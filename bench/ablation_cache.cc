@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Ablation studies over a replayed session, extending the paper's §4
+ * case study along its own future-work axis ("evaluate various
+ * hardware modifications to Palm OS devices"):
+ *
+ *  1. replacement policy: the paper fixes LRU ("the most common
+ *     algorithm"); how much does that choice matter?
+ *  2. two-level hierarchy: does a small L1 + larger L2 beat a single
+ *     level on this workload?
+ *  3. energy: §4.1 claims a cache "can reduce the battery consumption
+ *     for portable devices [22]"; the energy model quantifies it.
+ */
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/benchutil.h"
+#include "cache/cache.h"
+#include "cache/hierarchy.h"
+#include "core/palmsim.h"
+#include "trace/memtrace.h"
+
+namespace
+{
+
+using namespace pt;
+
+/** Replays one session into a trace buffer for offline experiments. */
+trace::TraceBuffer
+collectTrace(double scale)
+{
+    workload::UserModelConfig cfg =
+        workload::table1Presets()[0].config;
+    cfg.interactions =
+        static_cast<u32>(cfg.interactions * (scale > 0 ? scale : 1));
+    core::Session session = core::PalmSimulator::collect(cfg);
+    trace::TraceBuffer buffer;
+    core::ReplayConfig rc;
+    rc.extraRefSink = &buffer;
+    core::PalmSimulator::replaySession(session, rc);
+    return buffer;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    setLogQuiet(true);
+    bench::banner("Ablations", "Replacement policy, two-level "
+                               "hierarchy, and energy");
+
+    std::printf("collecting reference trace...\n");
+    trace::TraceBuffer buffer = collectTrace(args.scale);
+    const auto &recs = buffer.records();
+    std::printf("%zu references captured\n\n", recs.size());
+
+    u64 ramRefs = 0, flashRefs = 0;
+    for (const auto &r : recs)
+        (r.cls ? flashRefs : ramRefs) += 1;
+    std::printf("no-cache baseline: %.3f cycles\n\n",
+                cache::CacheStats::noCacheAccessTime(ramRefs,
+                                                     flashRefs));
+
+    // --- 1. replacement policy ---
+    TextTable t1("Replacement policy (4KB/32B/2-way)");
+    t1.setHeader({"Policy", "Miss rate", "T_eff (cycles)"});
+    double lruMiss = 0, randomMiss = 0;
+    for (auto policy : {cache::Policy::Lru, cache::Policy::Fifo,
+                        cache::Policy::Random}) {
+        cache::CacheConfig cfg{4096, 32, 2, policy};
+        cache::Cache c(cfg);
+        for (const auto &r : recs)
+            c.access(r.addr, r.cls != 0);
+        t1.addRow({cache::policyName(policy),
+                   TextTable::percent(c.stats().missRate(), 3),
+                   TextTable::num(c.stats().avgAccessTimePaper(), 3)});
+        if (policy == cache::Policy::Lru)
+            lruMiss = c.stats().missRate();
+        if (policy == cache::Policy::Random)
+            randomMiss = c.stats().missRate();
+    }
+    std::printf("%s\n", t1.render().c_str());
+    bool lruOk = lruMiss <= randomMiss * 1.10;
+    bench::expect("LRU competitive with alternatives",
+                  "LRU is the standard choice",
+                  TextTable::percent(lruMiss, 2) + " vs " +
+                      TextTable::percent(randomMiss, 2) + " (random)",
+                  lruOk);
+
+    // --- 2. two-level hierarchy ---
+    std::printf("\n");
+    TextTable t2("Two-level hierarchy (T_l1=1, T_l2=4 cycles)");
+    t2.setHeader({"Organization", "L1 miss", "L2 miss", "T_avg"});
+    cache::CacheConfig l1Small{1024, 32, 2, cache::Policy::Lru};
+    cache::CacheConfig l2Big{16384, 32, 4, cache::Policy::Lru};
+
+    cache::Cache l1Only(l1Small);
+    for (const auto &r : recs)
+        l1Only.access(r.addr, r.cls != 0);
+    double tL1Only = l1Only.stats().avgAccessTimePaper();
+    t2.addRow({"1KB L1 only",
+               TextTable::percent(l1Only.stats().missRate(), 2), "-",
+               TextTable::num(tL1Only, 3)});
+
+    cache::TwoLevelCache two(l1Small, l2Big);
+    for (const auto &r : recs)
+        two.access(r.addr, r.cls != 0);
+    double tTwo = two.avgAccessTime();
+    t2.addRow({"1KB L1 + 16KB L2",
+               TextTable::percent(two.l1().stats().missRate(), 2),
+               TextTable::percent(two.l2().stats().missRate(), 2),
+               TextTable::num(tTwo, 3)});
+    std::printf("%s\n", t2.render().c_str());
+    // Honest ablation finding: with backing memory at only 1-3
+    // cycles (the m515's RAM/flash), a 4-cycle L2 cannot pay off —
+    // the L2 sees mostly streaming misses. Multi-level caching is a
+    // desktop-era answer to a latency gap this device does not have.
+    bool l2Unwarranted = tTwo >= tL1Only;
+    bench::expect("an L2 is NOT warranted on m515-class memory",
+                  "flash costs only 3 cycles",
+                  TextTable::num(tTwo, 3) + " vs " +
+                      TextTable::num(tL1Only, 3) + " cycles (L1 only)",
+                  l2Unwarranted);
+
+    // --- 3. energy ---
+    std::printf("\n");
+    cache::EnergyModel energy;
+    TextTable t3("Memory-system energy per session (nominal nJ/access)");
+    t3.setHeader({"Configuration", "Energy (mJ)", "Savings"});
+    double baseMj = energy.uncachedEnergyMj(ramRefs, flashRefs);
+    t3.addRow({"no cache", TextTable::num(baseMj, 2), "-"});
+    double bestSavings = 0;
+    for (u32 size : {1024u, 4096u, 16384u}) {
+        cache::CacheConfig cfg{size, 32, 2, cache::Policy::Lru};
+        cache::Cache c(cfg);
+        for (const auto &r : recs)
+            c.access(r.addr, r.cls != 0);
+        double sv = energy.savings(c.stats());
+        bestSavings = std::max(bestSavings, sv);
+        t3.addRow({cfg.name(),
+                   TextTable::num(energy.cachedEnergyMj(c.stats()), 2),
+                   TextTable::percent(sv, 1)});
+    }
+    std::printf("%s\n", t3.render().c_str());
+    bool energyOk = bestSavings > 0.4;
+    bench::expect("a cache cuts memory-system energy",
+                  "\"can reduce the battery consumption\" (§4.1)",
+                  TextTable::percent(bestSavings, 1) + " savings",
+                  energyOk);
+
+    return lruOk && l2Unwarranted && energyOk ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses. Each
+ * bench binary reproduces one table or figure from the paper's
+ * evaluation and prints the paper's expectation next to the measured
+ * value so the shape comparison is explicit.
+ */
+
+#ifndef PT_BENCH_BENCHUTIL_H
+#define PT_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/logging.h"
+
+namespace pt::bench
+{
+
+/** Parses --scale N / --csv style flags. */
+struct BenchArgs
+{
+    double scale = 1.0; ///< workload scale factor
+    bool csv = false;   ///< also print CSV blocks
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--csv")) {
+                a.csv = true;
+            } else if (!std::strcmp(argv[i], "--scale") &&
+                       i + 1 < argc) {
+                a.scale = std::atof(argv[++i]);
+            }
+        }
+        return a;
+    }
+};
+
+/** Prints the standard bench header. */
+inline void
+banner(const char *id, const char *what)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s — %s\n", id, what);
+    std::printf("palmtrace reproduction of \"A Trace-Driven Simulator"
+                " For Palm OS Devices\" (ISPASS 2005)\n");
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+/** Prints a paper-vs-measured checkpoint line. */
+inline void
+expect(const char *what, const std::string &paper,
+       const std::string &measured, bool ok)
+{
+    std::printf("  %-46s paper: %-18s measured: %-18s %s\n", what,
+                paper.c_str(), measured.c_str(),
+                ok ? "[OK]" : "[DIVERGES]");
+}
+
+} // namespace pt::bench
+
+#endif // PT_BENCH_BENCHUTIL_H

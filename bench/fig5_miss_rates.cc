@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Regenerates Figure 5: "Miss Rates For 56 Cache Configurations".
+ *
+ * A collected session is replayed with profiling; every RAM/flash
+ * reference feeds 56 caches (7 sizes from 256 B to 16 KB, line sizes
+ * 16/32 B, associativities 1/2/4/8, LRU). The paper's observations:
+ *
+ *  - "Caches with a line size of 32 bytes performed better than those
+ *    with 16 byte lines except for the largest cache sizes simulated
+ *    with 4 and 8 way set associativities."
+ *  - "Increasing the associativity typically decreases the miss rate."
+ *  - Miss rates fall with cache size, the same trends as desktop
+ *    caches (Figure 7).
+ */
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/benchutil.h"
+#include "cache/cache.h"
+#include "core/palmsim.h"
+
+namespace
+{
+
+class SweepSink : public pt::device::MemRefSink
+{
+  public:
+    explicit SweepSink(pt::cache::CacheSweep &s)
+        : sweep(s)
+    {}
+
+    void
+    onRef(pt::Addr a, pt::m68k::AccessKind,
+          pt::device::RefClass cls) override
+    {
+        if (cls == pt::device::RefClass::Ram)
+            sweep.feed(a, false);
+        else if (cls == pt::device::RefClass::Flash)
+            sweep.feed(a, true);
+    }
+
+  private:
+    pt::cache::CacheSweep &sweep;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pt;
+    auto args = bench::BenchArgs::parse(argc, argv);
+    setLogQuiet(true);
+    bench::banner("Figure 5", "Miss Rates For 56 Cache Configurations");
+
+    // Session 1 of Table 1 (the figure shows one session's results;
+    // "these results are typical of the other sessions").
+    workload::UserModelConfig cfg =
+        workload::table1Presets()[0].config;
+    cfg.interactions = static_cast<u32>(cfg.interactions * args.scale);
+    std::printf("collecting and replaying session 1...\n");
+    core::Session session = core::PalmSimulator::collect(cfg);
+
+    cache::CacheSweep sweep(cache::CacheSweep::paper56());
+    SweepSink sink(sweep);
+    core::ReplayConfig rc;
+    rc.extraRefSink = &sink;
+    core::ReplayResult res =
+        core::PalmSimulator::replaySession(session, rc);
+    std::printf("%llu references replayed\n\n",
+                static_cast<unsigned long long>(res.refs.totalRefs()));
+
+    // Render: one row per size, one column per (line, assoc) series.
+    TextTable t("Figure 5 — miss rate (%) by configuration");
+    t.setHeader({"Size", "16B/1w", "16B/2w", "16B/4w", "16B/8w",
+                 "32B/1w", "32B/2w", "32B/4w", "32B/8w"});
+    const auto &caches = sweep.caches();
+    auto missOf = [&](u32 size, u32 line, u32 assoc) {
+        for (const auto &c : caches) {
+            if (c.config().sizeBytes == size &&
+                c.config().lineBytes == line &&
+                c.config().assoc == assoc) {
+                return c.stats().missRate();
+            }
+        }
+        return -1.0;
+    };
+    for (u32 size : cache::CacheSweep::paperSizes()) {
+        std::vector<std::string> row;
+        row.push_back(size >= 1024 ? std::to_string(size / 1024) + "KB"
+                                   : std::to_string(size) + "B");
+        for (u32 line : {16u, 32u})
+            for (u32 assoc : {1u, 2u, 4u, 8u})
+                row.push_back(TextTable::num(
+                    missOf(size, line, assoc) * 100.0, 3));
+        t.addRow(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+    if (args.csv)
+        std::printf("%s\n", t.renderCsv().c_str());
+
+    // --- shape checks against the paper's observations ---
+    // (1) Miss rate falls (weakly) with size for every series.
+    bool sizeMono = true;
+    for (u32 line : {16u, 32u}) {
+        for (u32 assoc : {1u, 2u, 4u, 8u}) {
+            double prev = 1.0;
+            for (u32 size : cache::CacheSweep::paperSizes()) {
+                double mr = missOf(size, line, assoc);
+                if (mr > prev * 1.05)
+                    sizeMono = false;
+                prev = mr;
+            }
+        }
+    }
+    bench::expect("miss rate decreases with cache size",
+                  "monotone trend", sizeMono ? "monotone" : "violated",
+                  sizeMono);
+
+    // (2) 32 B lines beat 16 B lines at small-to-medium sizes.
+    int wins32 = 0, comparisons = 0;
+    for (u32 size : cache::CacheSweep::paperSizes()) {
+        for (u32 assoc : {1u, 2u, 4u, 8u}) {
+            ++comparisons;
+            if (missOf(size, 32, assoc) <= missOf(size, 16, assoc))
+                ++wins32;
+        }
+    }
+    bool lineOk = wins32 >= comparisons * 3 / 4;
+    bench::expect("32B lines beat 16B lines (most configs)",
+                  "except largest sizes at 4/8-way",
+                  std::to_string(wins32) + "/" +
+                      std::to_string(comparisons) + " configs",
+                  lineOk);
+
+    // (3) Higher associativity typically lowers the miss rate.
+    int assocWins = 0, assocCmp = 0;
+    for (u32 size : cache::CacheSweep::paperSizes()) {
+        for (u32 line : {16u, 32u}) {
+            ++assocCmp;
+            if (missOf(size, line, 8) <= missOf(size, line, 1) * 1.02)
+                ++assocWins;
+        }
+    }
+    bool assocOk = assocWins >= assocCmp * 3 / 4;
+    bench::expect("associativity typically decreases miss rate",
+                  "8-way <= 1-way",
+                  std::to_string(assocWins) + "/" +
+                      std::to_string(assocCmp) + " series",
+                  assocOk);
+
+    return sizeMono && lineOk && assocOk ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Host-performance benchmarks for the cache simulator: single-cache
+ * access throughput per policy/associativity and the full 56-way
+ * sweep, which bounds how fast the §4 case study can consume traces.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "cache/cache.h"
+#include "workload/desktoptrace.h"
+
+namespace
+{
+
+using namespace pt;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::CacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.lineBytes = 32;
+    cfg.assoc = static_cast<u32>(state.range(0));
+    cfg.policy = static_cast<cache::Policy>(state.range(1));
+    cache::Cache c(cfg);
+
+    // Pre-generate a locality-bearing address stream.
+    std::vector<Addr> addrs;
+    addrs.reserve(1 << 16);
+    workload::DesktopTraceConfig tc;
+    tc.refs = 1 << 16;
+    workload::DesktopTraceGen gen(tc);
+    gen.generate([&](Addr a, u8) { addrs.push_back(a); });
+
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(addrs[i], false));
+        i = (i + 1) & (addrs.size() - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)
+    ->ArgsProduct({{1, 2, 4, 8},
+                   {static_cast<long>(cache::Policy::Lru),
+                    static_cast<long>(cache::Policy::Fifo),
+                    static_cast<long>(cache::Policy::Random)}});
+
+void
+BM_Paper56Sweep(benchmark::State &state)
+{
+    cache::CacheSweep sweep(cache::CacheSweep::paper56());
+    std::vector<Addr> addrs;
+    addrs.reserve(1 << 16);
+    workload::DesktopTraceConfig tc;
+    tc.refs = 1 << 16;
+    workload::DesktopTraceGen gen(tc);
+    gen.generate([&](Addr a, u8) { addrs.push_back(a); });
+
+    std::size_t i = 0;
+    for (auto _ : state) {
+        sweep.feed(addrs[i], (i & 3) != 0);
+        i = (i + 1) & (addrs.size() - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Paper56Sweep);
+
+} // namespace
+
+BENCHMARK_MAIN();

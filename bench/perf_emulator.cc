@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Host-performance benchmarks (google-benchmark): emulated
+ * instruction throughput of the m68k core, guest system-call cost,
+ * and session replay speed. These quantify the simulator itself — the
+ * practical property the paper needs ("replay a multi-day session in
+ * minutes on a desktop").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/logging.h"
+#include "core/palmsim.h"
+#include "m68k/codebuilder.h"
+#include "os/guestrun.h"
+#include "os/pilotos.h"
+
+namespace
+{
+
+using namespace pt;
+
+/** A tight guest compute loop, measured in emulated instructions/s. */
+void
+BM_EmulatedMips(benchmark::State &state)
+{
+    pt::setLogQuiet(true);
+    device::Device dev;
+    os::setupDevice(dev);
+    os::GuestRunner runner(dev);
+
+    u64 executed = 0;
+    for (auto _ : state) {
+        u64 before = dev.instructionsRetired();
+        runner.run([&](m68k::CodeBuilder &b) {
+            using namespace m68k::ops;
+            auto loop = b.newLabel();
+            b.move(m68k::Size::L, imm(100'000), dr(0));
+            b.bind(loop);
+            b.add(m68k::Size::L, dr(1), dr(2));
+            b.rol(m68k::Size::L, 3, 2);
+            b.subq(m68k::Size::L, 1, dr(0));
+            b.bcc(m68k::Cond::NE, loop);
+            b.stop(0x2700);
+        });
+        executed += dev.instructionsRetired() - before;
+    }
+    state.counters["guest_mips"] = benchmark::Counter(
+        static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulatedMips)->Unit(benchmark::kMillisecond);
+
+/** Guest system call round-trip (trap + dispatch + handler + rte). */
+void
+BM_GuestSystemCall(benchmark::State &state)
+{
+    pt::setLogQuiet(true);
+    device::Device dev;
+    os::setupDevice(dev);
+    os::GuestRunner runner(dev);
+
+    for (auto _ : state) {
+        runner.run([&](m68k::CodeBuilder &b) {
+            using namespace m68k::ops;
+            auto loop = b.newLabel();
+            b.move(m68k::Size::L, imm(10'000), dr(6));
+            b.bind(loop);
+            b.trapSel(15, os::Trap::TimGetTicks);
+            b.subq(m68k::Size::L, 1, dr(6));
+            b.bcc(m68k::Cond::NE, loop);
+            b.stop(0x2700);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_GuestSystemCall)->Unit(benchmark::kMillisecond);
+
+/** Full pipeline: collect + replay a small session. */
+void
+BM_SessionReplay(benchmark::State &state)
+{
+    pt::setLogQuiet(true);
+    workload::UserModelConfig cfg;
+    cfg.seed = 5;
+    cfg.interactions = 5;
+    cfg.meanIdleTicks = 2'000;
+    core::Session session = core::PalmSimulator::collect(cfg);
+
+    u64 totalRefs = 0;
+    for (auto _ : state) {
+        core::ReplayResult r =
+            core::PalmSimulator::replaySession(session);
+        totalRefs += r.refs.totalRefs();
+    }
+    state.counters["refs_per_s"] = benchmark::Counter(
+        static_cast<double>(totalRefs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SessionReplay)->Unit(benchmark::kMillisecond);
+
+/** Device boot (ROM build + heap install + guest boot). */
+void
+BM_DeviceProvisioning(benchmark::State &state)
+{
+    pt::setLogQuiet(true);
+    for (auto _ : state) {
+        device::Device dev;
+        os::setupDevice(dev);
+        benchmark::DoNotOptimize(dev.ticks());
+    }
+}
+BENCHMARK(BM_DeviceProvisioning)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Regenerates Table 1: "Volunteer User Session Data".
+ *
+ * Paper values (Palm m515, four sessions collected from a volunteer):
+ *
+ *   Session  Events  Elapsed    RAM Refs  Flash Refs  Ave Mem Cyc
+ *   1        1243    24:34:31   214 M     443 M       2.35
+ *   2        933     48:28:56   31 M      69 M        2.38
+ *   3        755     24:52:55   34 M      76 M        2.39
+ *   4        1622    141:27:26  234 M     486 M       2.35
+ *
+ * palmtrace regenerates the same row structure from four synthetic
+ * sessions whose interaction density matches the paper's (hundreds to
+ * ~1.6k logged events across 24-141 elapsed hours, the device dozing
+ * between inputs). Absolute reference counts are smaller — PilotOS
+ * applications are leaner than the commercial Palm suite — but the
+ * quantities the paper's analysis rests on (flash receiving roughly
+ * two-thirds of references, so the no-cache average access time sits
+ * near 2.35 cycles) are reproduced.
+ */
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/benchutil.h"
+#include "core/palmsim.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pt;
+    auto args = bench::BenchArgs::parse(argc, argv);
+    setLogQuiet(true);
+
+    bench::banner("Table 1", "Volunteer User Session Data");
+
+    struct PaperRow
+    {
+        u64 events;
+        const char *elapsed;
+        double aveCyc;
+    };
+    static const PaperRow paper[4] = {
+        {1243, "24:34:31", 2.35},
+        {933, "48:28:56", 2.38},
+        {755, "24:52:55", 2.39},
+        {1622, "141:27:26", 2.35},
+    };
+
+    TextTable t("Table 1 — Volunteer User Session Data (regenerated)");
+    t.setHeader({"Session", "Events", "Elapsed Time", "RAM Refs (M)",
+                 "Flash Refs (M)", "Ave Mem Cyc", "Paper Events",
+                 "Paper Cyc"});
+
+    bool allOk = true;
+    const auto *presets = workload::table1Presets();
+    for (int i = 0; i < workload::kTable1SessionCount; ++i) {
+        workload::UserModelConfig cfg = presets[i].config;
+        cfg.interactions = static_cast<u32>(
+            static_cast<double>(cfg.interactions) * args.scale);
+
+        core::Session session = core::PalmSimulator::collect(cfg);
+        core::ReplayResult r =
+            core::PalmSimulator::replaySession(session);
+
+        u64 events = session.log.records.size();
+        Ticks lastTick = session.log.records.empty()
+            ? 0 : session.log.records.back().tick;
+        u64 elapsedSec = lastTick / kTicksPerSecond;
+        double aveCyc = r.refs.avgMemCycles();
+
+        t.addRow({std::to_string(i + 1), std::to_string(events),
+                  TextTable::hms(elapsedSec),
+                  TextTable::num(
+                      static_cast<double>(r.refs.ramRefs()) / 1e6, 2),
+                  TextTable::num(
+                      static_cast<double>(r.refs.flashRefs()) / 1e6,
+                      2),
+                  TextTable::num(aveCyc, 2),
+                  std::to_string(paper[i].events),
+                  TextTable::num(paper[i].aveCyc, 2)});
+
+        bool cycOk = aveCyc > 2.1 && aveCyc < 2.6;
+        bool eventsOk =
+            args.scale != 1.0 ||
+            (events > paper[i].events / 2 &&
+             events < paper[i].events * 2);
+        allOk = allOk && cycOk && eventsOk;
+    }
+
+    std::printf("%s\n", t.render().c_str());
+    if (args.csv)
+        std::printf("%s\n", t.renderCsv().c_str());
+
+    bench::expect("flash-dominated reference mix",
+                  "~2/3 of refs to flash", "see rows above", allOk);
+    bench::expect("no-cache T_eff (Eq 3)", "2.35-2.39 cycles",
+                  "see rows above", allOk);
+    std::printf("\nNote: absolute reference counts are smaller than "
+                "the paper's (leaner synthetic apps); the reference "
+                "mix and derived access times are the reproduced "
+                "quantities.\n");
+    return allOk ? 0 : 1;
+}

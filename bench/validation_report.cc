@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Regenerates the §3 validation study: the two-fold correlation
+ * (activity logs §3.3, final states §3.4) over three test workloads
+ * whose initial states chain — "the initial state of the second test
+ * workload is the same as the final state for the first" — with the
+ * third workload a game of Puzzle, exactly as in the paper. Each
+ * session is replayed twice: from the bit-exact restored state and
+ * from the HotSync-style logical import (which reproduces the paper's
+ * benign date-field differences).
+ */
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/benchutil.h"
+#include "core/palmsim.h"
+#include "validate/correlate.h"
+
+namespace
+{
+
+using namespace pt;
+
+struct RunResult
+{
+    bool logPass;
+    bool statePass;
+    s64 maxLag;
+    u64 benign;
+    u64 significant;
+};
+
+RunResult
+replayAndValidate(const core::Session &s, bool logicalImport)
+{
+    core::ReplayConfig cfg;
+    cfg.logicalImportMode = logicalImport;
+    core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
+    auto logCorr = validate::correlateLogs(s.log, r.emulatedLog);
+    device::SnapshotBus a(s.finalState);
+    device::SnapshotBus b(r.finalState);
+    auto stateCorr = validate::correlateStates(os::listDatabases(a),
+                                               os::listDatabases(b));
+    u64 benign = 0;
+    for (const auto &d : stateCorr.diffs)
+        if (d.benign())
+            ++benign;
+    return {logCorr.pass(), stateCorr.pass(), logCorr.maxTickLag,
+            benign, stateCorr.significantDiffs()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    (void)args;
+    setLogQuiet(true);
+    bench::banner("§3", "System validation: log and final-state "
+                        "correlation over three chained workloads");
+
+    // Three chained workloads: each starts where the previous ended.
+    core::PalmSimulator sim;
+    std::vector<core::Session> sessions;
+
+    // Workload 1: scripted mixed usage.
+    sim.beginCollection();
+    {
+        workload::UserModelConfig cfg;
+        cfg.seed = 31;
+        cfg.interactions = 8;
+        cfg.meanIdleTicks = 4'000;
+        sim.runUser(cfg);
+    }
+    sessions.push_back(sim.endCollection());
+
+    // Workload 2: scripted, starting from workload 1's final state.
+    sim.beginCollection();
+    {
+        workload::UserModelConfig cfg;
+        cfg.seed = 32;
+        cfg.interactions = 8;
+        cfg.meanIdleTicks = 4'000;
+        cfg.tapWeight = 0.5;
+        cfg.strokeWeight = 0.3;
+        sim.runUser(cfg);
+    }
+    sessions.push_back(sim.endCollection());
+
+    // Workload 3: a game of Puzzle (§3.2).
+    sim.beginCollection();
+    {
+        auto &dev = sim.device();
+        dev.io().buttonsSet(device::Btn::App3);
+        dev.runUntilIdle();
+        dev.io().buttonsSet(0);
+        dev.runUntilIdle();
+        Rng rng(99);
+        for (int i = 0; i < 40; ++i) {
+            u16 x = static_cast<u16>(rng.below(4) * 40 + 20);
+            u16 y = static_cast<u16>(rng.below(4) * 40 + 20);
+            dev.io().penTouch(x, y);
+            dev.runUntilTick(dev.ticks() + 4);
+            dev.io().penRelease();
+            dev.runUntilTick(dev.ticks() + 40);
+            dev.runUntilIdle();
+        }
+    }
+    sessions.push_back(sim.endCollection());
+
+    TextTable t("Validation results (three chained test workloads)");
+    t.setHeader({"Workload", "Mode", "Log corr", "Max lag (ticks)",
+                 "Benign diffs", "Significant diffs", "Final state"});
+    bool allPass = true;
+    const char *names[3] = {"script 1", "script 2", "Puzzle game"};
+    for (int i = 0; i < 3; ++i) {
+        for (bool imported : {false, true}) {
+            RunResult r = replayAndValidate(sessions[i], imported);
+            t.addRow({names[i],
+                      imported ? "logical import" : "bit restore",
+                      r.logPass ? "PASS" : "FAIL",
+                      std::to_string(r.maxLag),
+                      std::to_string(r.benign),
+                      std::to_string(r.significant),
+                      r.statePass ? "PASS" : "FAIL"});
+            allPass = allPass && r.logPass && r.statePass;
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    bench::expect("replayed inputs match the user's inputs",
+                  "virtually the same inputs (bursts < 20 ticks)",
+                  allPass ? "all pass" : "FAILURES", allPass);
+    bench::expect("final states correlate",
+                  "only date-field / psysLaunchDB differences",
+                  allPass ? "only benign diffs" : "FAILURES", allPass);
+    return allPass ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The full collection workflow with on-disk artifacts, mirroring the
+ * paper's chronological procedure (§2.1):
+ *
+ *   1. instrument a handheld to collect user inputs,
+ *   2. transfer the initial state to the desktop,
+ *   3. collect inputs while the user operates the device,
+ *   4. transfer the activity log to the desktop,
+ *   5. load the emulator with the initial state,
+ *   6. replay while collecting processor information,
+ *
+ * then runs both validation procedures (§3).
+ *
+ * Usage: collect_and_replay [seed] [interactions] [outdir]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/palmsim.h"
+#include "trace/memtrace.h"
+#include "validate/correlate.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pt;
+
+    u64 seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 7;
+    u32 interactions =
+        argc > 2 ? static_cast<u32>(std::strtoul(argv[2], nullptr, 0))
+                 : 20;
+    std::string outDir = argc > 3 ? argv[3] : "/tmp";
+
+    // --- collection on the "handheld" ---
+    core::PalmSimulator sim;
+    std::printf("[1] device provisioned; installing hacks...\n");
+    sim.beginCollection();
+    std::printf("[2] initial state captured (%llu fingerprint)\n",
+                static_cast<unsigned long long>(
+                    device::Snapshot::capture(sim.device())
+                        .fingerprint()));
+
+    workload::UserModelConfig user;
+    user.seed = seed;
+    user.interactions = interactions;
+    user.meanIdleTicks = 30'000;
+    std::printf("[3] user operating the device...\n");
+    auto stats = sim.runUser(user);
+    std::printf("    %u strokes, %u taps, %u app switches, "
+                "%u scroll holds over %.1f simulated minutes\n",
+                stats.strokes, stats.taps, stats.appSwitches,
+                stats.scrollHolds,
+                static_cast<double>(stats.elapsedTicks) / 6000.0);
+
+    core::Session session = sim.endCollection();
+    std::string base = outDir + "/palmtrace_session";
+    if (!session.save(base)) {
+        std::fprintf(stderr, "cannot write session files to %s\n",
+                     outDir.c_str());
+        return 1;
+    }
+    std::printf("[4] activity log transferred: %zu records -> %s.log\n",
+                session.log.records.size(), base.c_str());
+
+    // --- replay on the "desktop" ---
+    core::Session loaded;
+    if (!core::Session::load(base, loaded)) {
+        std::fprintf(stderr, "cannot reload session\n");
+        return 1;
+    }
+    std::printf("[5] emulator loaded with the initial state\n");
+
+    trace::OpcodeHistogram hist;
+    core::ReplayConfig cfg;
+    cfg.opcodeSink = &hist;
+    core::ReplayResult result =
+        core::PalmSimulator::replaySession(loaded, cfg);
+    std::printf("[6] playback done: %llu instructions, %llu refs, "
+                "%.1f%% flash\n",
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(
+                    result.refs.totalRefs()),
+                result.refs.flashFraction() * 100.0);
+
+    auto groups = hist.byGroup();
+    std::printf("    top opcode groups:");
+    for (std::size_t i = 0; i < groups.size() && i < 5; ++i)
+        std::printf(" %s(%llu)", groups[i].first.c_str(),
+                    static_cast<unsigned long long>(groups[i].second));
+    std::printf("\n");
+
+    // --- validation (§3) ---
+    auto logCorr =
+        validate::correlateLogs(session.log, result.emulatedLog);
+    std::printf("%s\n", logCorr.report().c_str());
+
+    device::SnapshotBus handheld(session.finalState);
+    device::SnapshotBus emulated(result.finalState);
+    auto stateCorr = validate::correlateStates(
+        os::listDatabases(handheld), os::listDatabases(emulated));
+    std::printf("%s\n", stateCorr.report().c_str());
+
+    bool ok = logCorr.pass() && stateCorr.pass();
+    std::printf("validation %s\n", ok ? "PASSED" : "FAILED");
+    return ok ? 0 : 1;
+}

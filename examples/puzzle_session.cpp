@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The paper's third validation workload: "a game of Puzzle" (§3.2).
+ *
+ * Drives the Puzzle application directly — launch, inspect the
+ * shuffled board through the host-side database inspector, then tap
+ * tiles adjacent to the blank until the session budget is spent —
+ * and replays the whole game from its activity log.
+ */
+
+#include <cstdio>
+
+#include "core/palmsim.h"
+#include "os/guestmem.h"
+#include "validate/correlate.h"
+
+namespace
+{
+
+using namespace pt;
+
+/** Reads the 16-byte puzzle board from the guest. */
+std::vector<u8>
+readBoard(device::Device &dev)
+{
+    os::GuestHeap heap(dev.bus());
+    Addr db = heap.findDatabase("PuzzleDB");
+    if (!db)
+        return {};
+    auto view = os::parseDatabase(dev.bus(), db);
+    if (view.records.empty())
+        return {};
+    return view.records[0].data;
+}
+
+void
+printBoard(const std::vector<u8> &board)
+{
+    for (int y = 0; y < 4; ++y) {
+        std::printf("   ");
+        for (int x = 0; x < 4; ++x) {
+            u8 v = board[static_cast<std::size_t>(y * 4 + x)];
+            if (v == 15)
+                std::printf("  . ");
+            else
+                std::printf(" %2d ", v + 1);
+        }
+        std::printf("\n");
+    }
+}
+
+/** Taps the centre of a cell. */
+void
+tapCell(device::Device &dev, int cell)
+{
+    u16 x = static_cast<u16>((cell % 4) * 40 + 20);
+    u16 y = static_cast<u16>((cell / 4) * 40 + 20);
+    dev.io().penTouch(x, y);
+    dev.runUntilTick(dev.ticks() + 4);
+    dev.io().penRelease();
+    dev.runUntilTick(dev.ticks() + 6);
+    dev.runUntilIdle();
+}
+
+} // namespace
+
+int
+main()
+{
+    core::PalmSimulator sim;
+    sim.beginCollection();
+    auto &dev = sim.device();
+
+    // Launch Puzzle with its hardware button.
+    dev.io().buttonsSet(device::Btn::App3);
+    dev.runUntilIdle();
+    dev.io().buttonsSet(0);
+    dev.runUntilIdle();
+
+    auto board = readBoard(dev);
+    if (board.size() != 16) {
+        std::fprintf(stderr, "puzzle did not start\n");
+        return 1;
+    }
+    std::printf("initial (shuffled) board:\n");
+    printBoard(board);
+
+    // Play: repeatedly tap a tile adjacent to the blank.
+    Rng rng(4242);
+    int moves = 0;
+    for (int turn = 0; turn < 120; ++turn) {
+        board = readBoard(dev);
+        int blank = 0;
+        for (int i = 0; i < 16; ++i)
+            if (board[static_cast<std::size_t>(i)] == 15)
+                blank = i;
+        // Candidate neighbours of the blank.
+        int candidates[4];
+        int n = 0;
+        if (blank >= 4)
+            candidates[n++] = blank - 4;
+        if (blank < 12)
+            candidates[n++] = blank + 4;
+        if (blank % 4 != 0)
+            candidates[n++] = blank - 1;
+        if (blank % 4 != 3)
+            candidates[n++] = blank + 1;
+        tapCell(dev, candidates[rng.below(static_cast<u64>(n))]);
+        ++moves;
+        // Short think time between moves.
+        dev.runUntilTick(dev.ticks() + 30);
+    }
+
+    board = readBoard(dev);
+    std::printf("board after %d moves:\n", moves);
+    printBoard(board);
+
+    core::Session session = sim.endCollection();
+    std::printf("session log: %zu records (%llu pen, %llu random)\n",
+                session.log.records.size(),
+                static_cast<unsigned long long>(
+                    session.log.countOf(hacks::LogType::PenPoint)),
+                static_cast<unsigned long long>(
+                    session.log.countOf(hacks::LogType::Random)));
+
+    // Replay the game and validate.
+    core::ReplayResult result =
+        core::PalmSimulator::replaySession(session);
+    auto corr = validate::correlateLogs(session.log,
+                                        result.emulatedLog);
+    std::printf("%s\n", corr.report().c_str());
+
+    device::SnapshotBus a(session.finalState);
+    device::SnapshotBus b(result.finalState);
+    auto sc = validate::correlateStates(os::listDatabases(a),
+                                        os::listDatabases(b));
+    std::printf("%s\n", sc.report().c_str());
+    return corr.pass() && sc.pass() ? 0 : 1;
+}

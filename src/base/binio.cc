@@ -1,0 +1,39 @@
+#include "binio.h"
+
+#include <cstdio>
+
+namespace pt
+{
+
+bool
+BinWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::size_t n = buf.empty()
+        ? 0 : std::fwrite(buf.data(), 1, buf.size(), f);
+    std::fclose(f);
+    return n == buf.size();
+}
+
+bool
+BinReader::readFile(const std::string &path, BinReader &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<u8> data(size > 0 ? static_cast<std::size_t>(size) : 0);
+    std::size_t n = data.empty()
+        ? 0 : std::fread(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (n != data.size())
+        return false;
+    out = BinReader(std::move(data));
+    return true;
+}
+
+} // namespace pt

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Binary serialization helpers.
+ *
+ * Two byte orders appear in palmtrace: host-side file formats (activity
+ * log files, snapshots) are little-endian, while guest memory images
+ * follow the 68000's big-endian layout. BinWriter/BinReader handle the
+ * little-endian file formats; the big-endian guest view lives in the
+ * Bus and the guest inspectors.
+ */
+
+#ifndef PT_BASE_BINIO_H
+#define PT_BASE_BINIO_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types.h"
+
+namespace pt
+{
+
+/** Serializes little-endian scalars and blobs into a byte buffer. */
+class BinWriter
+{
+  public:
+    void put8(u8 v) { buf.push_back(v); }
+
+    void
+    put16(u16 v)
+    {
+        put8(static_cast<u8>(v));
+        put8(static_cast<u8>(v >> 8));
+    }
+
+    void
+    put32(u32 v)
+    {
+        put16(static_cast<u16>(v));
+        put16(static_cast<u16>(v >> 16));
+    }
+
+    void
+    put64(u64 v)
+    {
+        put32(static_cast<u32>(v));
+        put32(static_cast<u32>(v >> 32));
+    }
+
+    /** Writes a length-prefixed (u32) string. */
+    void
+    putString(std::string_view s)
+    {
+        put32(static_cast<u32>(s.size()));
+        putBytes(s.data(), s.size());
+    }
+
+    /** Appends raw bytes. */
+    void
+    putBytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const u8 *>(data);
+        buf.insert(buf.end(), p, p + len);
+    }
+
+    const std::vector<u8> &bytes() const { return buf; }
+    std::vector<u8> takeBytes() { return std::move(buf); }
+
+    /** Writes the accumulated buffer to a file. @return success. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<u8> buf;
+};
+
+/** Deserializes little-endian scalars from a byte buffer. */
+class BinReader
+{
+  public:
+    explicit BinReader(std::vector<u8> data)
+        : buf(std::move(data))
+    {}
+
+    /** Reads a whole file into a reader. @return success. */
+    static bool readFile(const std::string &path, BinReader &out);
+
+    bool atEnd() const { return pos >= buf.size(); }
+    std::size_t remaining() const { return buf.size() - pos; }
+    bool ok() const { return !failed; }
+
+    u8
+    get8()
+    {
+        if (pos >= buf.size()) {
+            failed = true;
+            return 0;
+        }
+        return buf[pos++];
+    }
+
+    u16
+    get16()
+    {
+        u16 lo = get8();
+        u16 hi = get8();
+        return static_cast<u16>(lo | (hi << 8));
+    }
+
+    u32
+    get32()
+    {
+        u32 lo = get16();
+        u32 hi = get16();
+        return lo | (hi << 16);
+    }
+
+    u64
+    get64()
+    {
+        u64 lo = get32();
+        u64 hi = get32();
+        return lo | (hi << 32);
+    }
+
+    std::string
+    getString()
+    {
+        u32 n = get32();
+        if (n > remaining()) {
+            failed = true;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(buf.data() + pos),
+                      n);
+        pos += n;
+        return s;
+    }
+
+    /** Copies len raw bytes out. Marks failure if short. */
+    void
+    getBytes(void *dst, std::size_t len)
+    {
+        if (len > remaining()) {
+            failed = true;
+            return;
+        }
+        auto *p = static_cast<u8 *>(dst);
+        for (std::size_t i = 0; i < len; ++i)
+            p[i] = buf[pos + i];
+        pos += len;
+    }
+
+  private:
+    std::vector<u8> buf;
+    std::size_t pos = 0;
+    bool failed = false;
+};
+
+} // namespace pt
+
+#endif // PT_BASE_BINIO_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FNV-1a hashing, used for final-state fingerprints in the determinism
+ * validation (two replays of the same session must hash identically).
+ */
+
+#ifndef PT_BASE_FNV_H
+#define PT_BASE_FNV_H
+
+#include <cstddef>
+#include <string_view>
+
+#include "types.h"
+
+namespace pt
+{
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fnv64
+{
+  public:
+    static constexpr u64 kOffset = 0xCBF29CE484222325ull;
+    static constexpr u64 kPrime = 0x100000001B3ull;
+
+    /** Mixes a raw byte range into the hash. */
+    void
+    update(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const u8 *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= kPrime;
+        }
+    }
+
+    /** Mixes a single integral value (little-endian byte order). */
+    template <typename T>
+    void
+    updateValue(T v)
+    {
+        update(&v, sizeof(v));
+    }
+
+    /** Mixes a string. */
+    void
+    updateString(std::string_view s)
+    {
+        update(s.data(), s.size());
+    }
+
+    /** @return the current hash value. */
+    u64 value() const { return h; }
+
+  private:
+    u64 h = kOffset;
+};
+
+/** @return the FNV-1a hash of one byte range. */
+inline u64
+fnv64(const void *data, std::size_t len)
+{
+    Fnv64 f;
+    f.update(data, len);
+    return f.value();
+}
+
+} // namespace pt
+
+#endif // PT_BASE_FNV_H

@@ -1,0 +1,60 @@
+#include "logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pt
+{
+
+namespace
+{
+bool gQuiet = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    gQuiet = quiet;
+}
+
+bool
+logQuiet()
+{
+    return gQuiet;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!gQuiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!gQuiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace pt

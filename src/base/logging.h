@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 style.
+ *
+ * panic()  — an internal invariant was violated: a palmtrace bug.
+ *            Aborts (may dump core).
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, malformed input file). Exits with code 1.
+ * warn()   — something works well enough but may explain odd behaviour.
+ * inform() — normal operating status for the user.
+ */
+
+#ifndef PT_BASE_LOGGING_H
+#define PT_BASE_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace pt
+{
+
+namespace detail
+{
+
+/** Appends each argument to a stream and returns the joined string. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Enables or disables inform()/warn() console output (tests use this). */
+void setLogQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool logQuiet();
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::format(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::format(std::forward<Args>(args)...));
+}
+
+#define PT_PANIC(...) \
+    ::pt::detail::panicImpl(__FILE__, __LINE__, \
+                            ::pt::detail::format(__VA_ARGS__))
+
+#define PT_FATAL(...) \
+    ::pt::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::pt::detail::format(__VA_ARGS__))
+
+/** Panics when an internal invariant does not hold. */
+#define PT_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::pt::detail::panicImpl(__FILE__, __LINE__, \
+                ::pt::detail::format("assertion failed: " #cond " ", \
+                                     ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace pt
+
+#endif // PT_BASE_LOGGING_H

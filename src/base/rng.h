@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in palmtrace (synthetic users, random cache
+ * replacement, desktop trace generation) draws from this generator so
+ * that every run is exactly reproducible from its seed — a requirement
+ * of the deterministic state machine model the paper is built on.
+ */
+
+#ifndef PT_BASE_RNG_H
+#define PT_BASE_RNG_H
+
+#include "types.h"
+
+namespace pt
+{
+
+/**
+ * An xorshift64* generator: tiny state, good quality, and identical
+ * output on every platform (unlike std::mt19937 distributions, whose
+ * library implementations may differ).
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** @return the next 64 uniformly random bits. */
+    u64
+    next()
+    {
+        u64 x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** @return a uniform integer in [0, bound). bound must be > 0. */
+    u64
+    below(u64 bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * @return a sample from a geometric-like "think time" distribution
+     * with the given mean, clamped to [1, 64 * mean]; used for user
+     * pacing and working-set jumps.
+     */
+    u64
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        // Inverse-CDF sampling of an exponential, rounded up.
+        double u = uniform();
+        if (u >= 1.0)
+            u = 0.9999999;
+        double v = -mean * __builtin_log1p(-u);
+        u64 r = static_cast<u64>(v) + 1;
+        u64 cap = static_cast<u64>(mean * 64.0) + 1;
+        return r > cap ? cap : r;
+    }
+
+    /** Re-seeds the generator. */
+    void
+    seed(u64 s)
+    {
+        state = s ? s : 1;
+    }
+
+  private:
+    u64 state;
+};
+
+} // namespace pt
+
+#endif // PT_BASE_RNG_H

@@ -1,0 +1,17 @@
+#include "stats.h"
+
+#include <sstream>
+
+namespace pt::stats
+{
+
+std::string
+CounterSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+} // namespace pt::stats

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters, scalar summaries
+ * and fixed-bucket histograms, with text formatting.
+ */
+
+#ifndef PT_BASE_STATS_H
+#define PT_BASE_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types.h"
+
+namespace pt::stats
+{
+
+/** Accumulates a stream of samples into count/sum/min/max/mean/stddev. */
+class Summary
+{
+  public:
+    void
+    add(double v)
+    {
+        ++n;
+        total += v;
+        totalSq += v * v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    u64 count() const { return n; }
+    double sum() const { return total; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (n < 2)
+            return 0.0;
+        double m = mean();
+        double var = totalSq / static_cast<double>(n) - m * m;
+        return var > 0 ? std::sqrt(var) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        n = 0;
+        total = totalSq = 0.0;
+        lo = 1e300;
+        hi = -1e300;
+    }
+
+  private:
+    u64 n = 0;
+    double total = 0.0;
+    double totalSq = 0.0;
+    double lo = 1e300;
+    double hi = -1e300;
+};
+
+/** A histogram over fixed-width buckets with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo(lo), hi(hi), counts(buckets + 2, 0)
+    {}
+
+    void
+    add(double v, u64 weight = 1)
+    {
+        std::size_t idx;
+        if (v < lo) {
+            idx = 0;
+        } else if (v >= hi) {
+            idx = counts.size() - 1;
+        } else {
+            double frac = (v - lo) / (hi - lo);
+            idx = 1 + static_cast<std::size_t>(
+                frac * static_cast<double>(counts.size() - 2));
+        }
+        counts[idx] += weight;
+        n += weight;
+        summary.add(v);
+    }
+
+    u64 underflow() const { return counts.front(); }
+    u64 overflow() const { return counts.back(); }
+    u64 count() const { return n; }
+    std::size_t buckets() const { return counts.size() - 2; }
+    u64 bucketCount(std::size_t i) const { return counts[i + 1]; }
+
+    double
+    bucketLow(std::size_t i) const
+    {
+        return lo + (hi - lo) * static_cast<double>(i) /
+               static_cast<double>(buckets());
+    }
+
+    const Summary &stats() const { return summary; }
+
+  private:
+    double lo;
+    double hi;
+    std::vector<u64> counts;
+    u64 n = 0;
+    Summary summary;
+};
+
+/** A registry of named 64-bit counters for simulation statistics. */
+class CounterSet
+{
+  public:
+    u64 &operator[](const std::string &name) { return counters[name]; }
+
+    u64
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    const std::map<std::string, u64> &all() const { return counters; }
+    void clear() { counters.clear(); }
+
+    /** Renders "name = value" lines, sorted by name. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, u64> counters;
+};
+
+} // namespace pt::stats
+
+#endif // PT_BASE_STATS_H

@@ -1,0 +1,119 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pt
+{
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header);
+    for (const auto &r : rows)
+        grow(r);
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            os << cell;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header.empty()) {
+        emit(header);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ",";
+            os << csvEscape(row[i]);
+        }
+        os << "\n";
+    };
+    if (!header.empty())
+        emit(header);
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::num(unsigned long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::hms(unsigned long long seconds)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu:%02llu:%02llu",
+                  seconds / 3600, (seconds / 60) % 60, seconds % 60);
+    return buf;
+}
+
+} // namespace pt

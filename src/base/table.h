@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain-text and CSV table rendering for the benchmark harnesses. Each
+ * bench binary regenerates one of the paper's tables or figures as rows
+ * printed through this formatter.
+ */
+
+#ifndef PT_BASE_TABLE_H
+#define PT_BASE_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pt
+{
+
+/** A simple column-aligned table with a title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = {})
+        : title(std::move(title))
+    {}
+
+    /** Sets the header row. */
+    void
+    setHeader(std::vector<std::string> cols)
+    {
+        header = std::move(cols);
+    }
+
+    /** Appends a data row (cells already formatted as strings). */
+    void
+    addRow(std::vector<std::string> cols)
+    {
+        rows.push_back(std::move(cols));
+    }
+
+    /** @return the table rendered with aligned columns. */
+    std::string render() const;
+
+    /** @return the table as CSV (header + rows). */
+    std::string renderCsv() const;
+
+    /** Helpers for cell formatting. */
+    static std::string num(double v, int precision);
+    static std::string num(unsigned long long v);
+    static std::string percent(double fraction, int precision = 2);
+
+    /** Formats seconds as HH:MM:SS (the paper's Elapsed Time format). */
+    static std::string hms(unsigned long long seconds);
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace pt
+
+#endif // PT_BASE_TABLE_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental integer and address types used throughout palmtrace.
+ */
+
+#ifndef PT_BASE_TYPES_H
+#define PT_BASE_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pt
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** A guest physical address (the 68000 has a 32-bit address space). */
+using Addr = u32;
+
+/** A count of emulated CPU clock cycles. */
+using Cycles = u64;
+
+/** A count of Palm OS system ticks (100 per second on the m515). */
+using Ticks = u32;
+
+/** System ticks per second on the emulated device. */
+inline constexpr u32 kTicksPerSecond = 100;
+
+/** CPU clock frequency of the emulated Dragonball MC68VZ328. */
+inline constexpr u64 kCpuHz = 33'000'000;
+
+/** CPU cycles per system tick. */
+inline constexpr u64 kCyclesPerTick = kCpuHz / kTicksPerSecond;
+
+} // namespace pt
+
+#endif // PT_BASE_TYPES_H

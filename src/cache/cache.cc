@@ -1,0 +1,202 @@
+#include "cache.h"
+
+#include <cstdio>
+
+#include "base/logging.h"
+
+namespace pt::cache
+{
+
+const char *
+policyName(Policy p)
+{
+    switch (p) {
+      case Policy::Lru: return "LRU";
+      case Policy::Fifo: return "FIFO";
+      default: return "Random";
+    }
+}
+
+std::string
+CacheConfig::name() const
+{
+    char buf[64];
+    if (sizeBytes >= 1024) {
+        std::snprintf(buf, sizeof(buf), "%uKB/%uB/%uway",
+                      sizeBytes / 1024, lineBytes, assoc);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%uB/%uB/%uway", sizeBytes,
+                      lineBytes, assoc);
+    }
+    return buf;
+}
+
+double
+CacheStats::avgAccessTimePaper(double tHit, double tRamMiss,
+                               double tFlashMiss) const
+{
+    if (!accesses)
+        return tHit;
+    double mr = missRate();
+    double total = static_cast<double>(accesses);
+    double fRam = static_cast<double>(ramAccesses) / total;
+    double fFlash = static_cast<double>(flashAccesses) / total;
+    return tHit + fRam * mr * tRamMiss + fFlash * mr * tFlashMiss;
+}
+
+double
+CacheStats::avgAccessTimeExact(double tHit, double tRamMiss,
+                               double tFlashMiss) const
+{
+    if (!accesses)
+        return tHit;
+    double total = static_cast<double>(accesses);
+    return tHit +
+           static_cast<double>(ramMisses) / total * tRamMiss +
+           static_cast<double>(flashMisses) / total * tFlashMiss;
+}
+
+double
+CacheStats::noCacheAccessTime(u64 ramRefs, u64 flashRefs, double tRam,
+                              double tFlash)
+{
+    u64 total = ramRefs + flashRefs;
+    if (!total)
+        return 0.0;
+    return (static_cast<double>(ramRefs) * tRam +
+            static_cast<double>(flashRefs) * tFlash) /
+           static_cast<double>(total);
+}
+
+namespace
+{
+
+u32
+log2u(u32 v)
+{
+    u32 n = 0;
+    while ((1u << n) < v)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg, u64 randomSeed)
+    : cfg(cfg), rng(randomSeed)
+{
+    PT_ASSERT(cfg.valid(), "invalid cache configuration ",
+              cfg.sizeBytes, "/", cfg.lineBytes, "/", cfg.assoc);
+    lines.assign(static_cast<std::size_t>(cfg.numSets()) * cfg.assoc,
+                 Line{});
+    setShift = log2u(cfg.lineBytes);
+    setMask = cfg.numSets() - 1;
+    indexBits = log2u(cfg.numSets());
+}
+
+void
+Cache::reset()
+{
+    std::fill(lines.begin(), lines.end(), Line{});
+    st = CacheStats{};
+    tick = 0;
+}
+
+bool
+Cache::access(Addr addr, bool isFlash)
+{
+    ++tick;
+    ++st.accesses;
+    if (isFlash)
+        ++st.flashAccesses;
+    else
+        ++st.ramAccesses;
+
+    u64 lineAddr = addr >> setShift;
+    u32 set = static_cast<u32>(lineAddr) & setMask;
+    u64 tag = lineAddr >> indexBits; // tag excludes the index bits
+    Line *base = &lines[static_cast<std::size_t>(set) * cfg.assoc];
+
+    for (u32 w = 0; w < cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            if (cfg.policy == Policy::Lru)
+                base[w].stamp = tick; // FIFO keeps insertion order
+            return true;
+        }
+    }
+
+    // Miss: pick a victim.
+    ++st.misses;
+    if (isFlash)
+        ++st.flashMisses;
+    else
+        ++st.ramMisses;
+
+    u32 victim = 0;
+    if (cfg.policy == Policy::Random) {
+        bool foundInvalid = false;
+        for (u32 w = 0; w < cfg.assoc; ++w) {
+            if (!base[w].valid) {
+                victim = w;
+                foundInvalid = true;
+                break;
+            }
+        }
+        if (!foundInvalid)
+            victim = static_cast<u32>(rng.below(cfg.assoc));
+    } else {
+        u64 oldest = ~0ull;
+        for (u32 w = 0; w < cfg.assoc; ++w) {
+            if (!base[w].valid) {
+                victim = w;
+                oldest = 0;
+                break;
+            }
+            if (base[w].stamp < oldest) {
+                oldest = base[w].stamp;
+                victim = w;
+            }
+        }
+    }
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    base[victim].stamp = tick;
+    return false;
+}
+
+CacheSweep::CacheSweep(const std::vector<CacheConfig> &configs)
+{
+    cachesVec.reserve(configs.size());
+    for (const auto &c : configs)
+        cachesVec.emplace_back(c);
+}
+
+const std::vector<u32> &
+CacheSweep::paperSizes()
+{
+    static const std::vector<u32> sizes = {256,  512,  1024, 2048,
+                                           4096, 8192, 16384};
+    return sizes;
+}
+
+std::vector<CacheConfig>
+CacheSweep::paper56()
+{
+    std::vector<CacheConfig> out;
+    for (u32 size : paperSizes()) {
+        for (u32 line : {16u, 32u}) {
+            for (u32 assoc : {1u, 2u, 4u, 8u}) {
+                CacheConfig c;
+                c.sizeBytes = size;
+                c.lineBytes = line;
+                c.assoc = assoc;
+                c.policy = Policy::Lru;
+                out.push_back(c);
+            }
+        }
+    }
+    PT_ASSERT(out.size() == 56, "expected 56 configurations");
+    return out;
+}
+
+} // namespace pt::cache

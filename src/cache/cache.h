@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The trace-driven cache simulator used for the paper's case study
+ * (§4): set-associative caches with configurable size, line size and
+ * associativity, LRU (plus FIFO/Random for ablations), fed with the
+ * RAM/flash-classified reference stream from replay.
+ */
+
+#ifndef PT_CACHE_CACHE_H
+#define PT_CACHE_CACHE_H
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+
+namespace pt::cache
+{
+
+/** Block replacement policies. */
+enum class Policy : u8 { Lru, Fifo, Random };
+
+/** @return a short name ("LRU", ...). */
+const char *policyName(Policy p);
+
+/** One cache configuration. */
+struct CacheConfig
+{
+    u32 sizeBytes = 1024;
+    u32 lineBytes = 32;
+    u32 assoc = 1;
+    Policy policy = Policy::Lru;
+
+    u32
+    numSets() const
+    {
+        return sizeBytes / (lineBytes * assoc);
+    }
+
+    /** e.g. "2KB/32B/4way". */
+    std::string name() const;
+
+    bool
+    valid() const
+    {
+        return sizeBytes && lineBytes && assoc &&
+               sizeBytes % (lineBytes * assoc) == 0 &&
+               (lineBytes & (lineBytes - 1)) == 0 &&
+               (numSets() & (numSets() - 1)) == 0;
+    }
+};
+
+/** Hit/miss accounting, split by backing store. */
+struct CacheStats
+{
+    u64 accesses = 0;
+    u64 misses = 0;
+    u64 ramAccesses = 0;
+    u64 ramMisses = 0;
+    u64 flashAccesses = 0;
+    u64 flashMisses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    /**
+     * Average effective memory access time per the paper's Eq 2:
+     * T_eff = T_hit + (REF_ram/REF_tot) * MR * T_ram_miss
+     *               + (REF_flash/REF_tot) * MR * T_flash_miss
+     * with a single overall miss rate, as the paper computes it.
+     */
+    double avgAccessTimePaper(double tHit = 1.0, double tRamMiss = 1.0,
+                              double tFlashMiss = 3.0) const;
+
+    /** Refinement using per-backing-store miss rates. */
+    double avgAccessTimeExact(double tHit = 1.0, double tRamMiss = 1.0,
+                              double tFlashMiss = 3.0) const;
+
+    /** No-cache baseline, Eq 3. */
+    static double noCacheAccessTime(u64 ramRefs, u64 flashRefs,
+                                    double tRam = 1.0,
+                                    double tFlash = 3.0);
+};
+
+/** A set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg, u64 randomSeed = 0xCACE);
+
+    /** Performs one access. @return true on hit. */
+    bool access(Addr addr, bool isFlash);
+
+    const CacheConfig &config() const { return cfg; }
+    const CacheStats &stats() const { return st; }
+    void reset();
+
+  private:
+    struct Line
+    {
+        u64 tag = 0;
+        u64 stamp = 0; ///< LRU recency or FIFO insertion order
+        bool valid = false;
+    };
+
+    CacheConfig cfg;
+    CacheStats st;
+    std::vector<Line> lines; ///< sets * assoc, set-major
+    u64 tick = 0;
+    u32 setShift;
+    u32 setMask;
+    u32 indexBits;
+    Rng rng;
+};
+
+/** Runs many configurations over one reference stream. */
+class CacheSweep
+{
+  public:
+    explicit CacheSweep(const std::vector<CacheConfig> &configs);
+
+    /** Feeds one classified reference to every cache. */
+    void
+    feed(Addr addr, bool isFlash)
+    {
+        for (auto &c : cachesVec)
+            c.access(addr, isFlash);
+    }
+
+    const std::vector<Cache> &caches() const { return cachesVec; }
+    std::vector<Cache> &mutableCaches() { return cachesVec; }
+
+    /** The paper's 56 configurations: 7 sizes (256 B - 16 KB) x line
+     *  {16, 32} x associativity {1, 2, 4, 8}, LRU. */
+    static std::vector<CacheConfig> paper56();
+
+    /** The size axis of paper56. */
+    static const std::vector<u32> &paperSizes();
+
+  private:
+    std::vector<Cache> cachesVec;
+};
+
+} // namespace pt::cache
+
+#endif // PT_CACHE_CACHE_H

@@ -1,0 +1,29 @@
+#include "hierarchy.h"
+
+namespace pt::cache
+{
+
+double
+TwoLevelCache::avgAccessTime(double tL1, double tL2, double tRamMiss,
+                             double tFlashMiss) const
+{
+    const CacheStats &s1 = l1Cache.stats();
+    const CacheStats &s2 = l2Cache.stats();
+    if (!s1.accesses)
+        return tL1;
+    double mr1 = s1.missRate();
+    double mr2 = s2.missRate(); // L2 sees only L1 misses
+    // Backing-store time weighted by the reference mix reaching it.
+    double total2 = static_cast<double>(s2.accesses);
+    double tMem;
+    if (total2 > 0) {
+        tMem = (static_cast<double>(s2.ramAccesses) * tRamMiss +
+                static_cast<double>(s2.flashAccesses) * tFlashMiss) /
+               total2;
+    } else {
+        tMem = tFlashMiss;
+    }
+    return tL1 + mr1 * (tL2 + mr2 * tMem);
+}
+
+} // namespace pt::cache

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extensions beyond the paper's single-level study:
+ *
+ *  - TwoLevelCache: an L1 backed by a unified L2, with the natural
+ *    generalization of the paper's Eq 2 (the paper's future-work
+ *    direction of evaluating "various hardware modifications").
+ *  - EnergyModel: per-access energy estimation in the spirit of the
+ *    related work the paper cites (Cignetti et al.'s Palm energy
+ *    tools, Su's cache-energy thesis [22]): §4.1 notes that "adding a
+ *    cache not only increases performance but can reduce the battery
+ *    consumption for portable devices" — this model quantifies that
+ *    claim on the replayed reference stream.
+ */
+
+#ifndef PT_CACHE_HIERARCHY_H
+#define PT_CACHE_HIERARCHY_H
+
+#include "cache/cache.h"
+
+namespace pt::cache
+{
+
+/** An L1 + unified L2 hierarchy fed by one reference stream. */
+class TwoLevelCache
+{
+  public:
+    TwoLevelCache(const CacheConfig &l1, const CacheConfig &l2)
+        : l1Cache(l1), l2Cache(l2)
+    {}
+
+    /** One access: L2 is consulted only on an L1 miss. */
+    void
+    access(Addr addr, bool isFlash)
+    {
+        if (!l1Cache.access(addr, isFlash))
+            l2Cache.access(addr, isFlash);
+    }
+
+    const Cache &l1() const { return l1Cache; }
+    const Cache &l2() const { return l2Cache; }
+
+    /**
+     * Average access time: T = T_l1 + MR1 * (T_l2 + MR2 * T_mem),
+     * where T_mem is the reference-mix-weighted backing-store time
+     * (the two-level generalization of Eq 2).
+     */
+    double avgAccessTime(double tL1 = 1.0, double tL2 = 4.0,
+                         double tRamMiss = 1.0,
+                         double tFlashMiss = 3.0) const;
+
+    void
+    reset()
+    {
+        l1Cache.reset();
+        l2Cache.reset();
+    }
+
+  private:
+    Cache l1Cache;
+    Cache l2Cache;
+};
+
+/**
+ * Energy estimation over a classified reference stream. Per-access
+ * energies are nominal early-2000s figures (nanojoules); they can be
+ * overridden to model other processes.
+ */
+struct EnergyModel
+{
+    double cacheHitNj = 0.5;   ///< SRAM array access
+    double cacheMissNj = 0.8;  ///< tag check + fill overhead
+    double ramAccessNj = 2.5;  ///< external DRAM/PSRAM access
+    double flashAccessNj = 6.0;///< flash read (slow, high current)
+
+    /** Total energy (millijoules) for a cached run. */
+    double
+    cachedEnergyMj(const CacheStats &s) const
+    {
+        double hits = static_cast<double>(s.accesses - s.misses);
+        double nj = hits * cacheHitNj +
+                    static_cast<double>(s.misses) * cacheMissNj +
+                    static_cast<double>(s.ramMisses) * ramAccessNj +
+                    static_cast<double>(s.flashMisses) * flashAccessNj;
+        return nj * 1e-6;
+    }
+
+    /** Total energy (millijoules) without a cache. */
+    double
+    uncachedEnergyMj(u64 ramRefs, u64 flashRefs) const
+    {
+        double nj = static_cast<double>(ramRefs) * ramAccessNj +
+                    static_cast<double>(flashRefs) * flashAccessNj;
+        return nj * 1e-6;
+    }
+
+    /** Fraction of memory energy saved by the cache. */
+    double
+    savings(const CacheStats &s) const
+    {
+        double base = uncachedEnergyMj(s.ramAccesses, s.flashAccesses);
+        if (base <= 0)
+            return 0.0;
+        return 1.0 - cachedEnergyMj(s) / base;
+    }
+};
+
+} // namespace pt::cache
+
+#endif // PT_CACHE_HIERARCHY_H

@@ -1,0 +1,130 @@
+#include "palmsim.h"
+
+#include "base/logging.h"
+#include "validate/correlate.h"
+
+namespace pt::core
+{
+
+bool
+Session::save(const std::string &basePath) const
+{
+    return initialState.save(basePath + ".init.snap") &&
+           log.save(basePath + ".log") &&
+           finalState.save(basePath + ".final.snap");
+}
+
+bool
+Session::load(const std::string &basePath, Session &out)
+{
+    return device::Snapshot::load(basePath + ".init.snap",
+                                  out.initialState) &&
+           trace::ActivityLog::load(basePath + ".log", out.log) &&
+           device::Snapshot::load(basePath + ".final.snap",
+                                  out.finalState);
+}
+
+PalmSimulator::PalmSimulator()
+{
+    syms = os::setupDevice(dev);
+    mgr = std::make_unique<hacks::HackManager>(dev, syms);
+}
+
+PalmSimulator::~PalmSimulator() = default;
+
+void
+PalmSimulator::beginCollection()
+{
+    PT_ASSERT(!collecting, "collection already in progress");
+    // "We simply chose to start every session directly after a soft
+    // reset" (§2.2): storage RAM survives, the dynamic state is
+    // rebuilt deterministically, and the replay-side boot follows
+    // the identical path.
+    dev.reset();
+    dev.runUntilIdle();
+    mgr->installCollectionHacks();
+    mgr->clearLog(); // chained sessions start with a fresh log
+    dev.runUntilIdle();
+    initial = device::Snapshot::capture(dev);
+    collecting = true;
+}
+
+workload::UserSessionStats
+PalmSimulator::runUser(const workload::UserModelConfig &cfg)
+{
+    workload::UserModel user(dev, cfg);
+    return user.runSession();
+}
+
+Session
+PalmSimulator::endCollection()
+{
+    PT_ASSERT(collecting, "no collection in progress");
+    collecting = false;
+    dev.runUntilIdle();
+    Session s;
+    s.initialState = initial;
+    s.log = trace::ActivityLog::extract(dev.bus());
+    s.finalState = device::Snapshot::capture(dev);
+    return s;
+}
+
+Session
+PalmSimulator::collect(const workload::UserModelConfig &cfg)
+{
+    PalmSimulator sim;
+    sim.beginCollection();
+    sim.runUser(cfg);
+    return sim.endCollection();
+}
+
+ReplayResult
+PalmSimulator::replaySession(const Session &s, const ReplayConfig &cfg)
+{
+    ReplayResult res;
+    device::Device dev;
+
+    if (cfg.logicalImportMode)
+        validate::logicalImport(s.initialState, dev);
+    else
+        s.initialState.restore(dev);
+    dev.runUntilIdle(); // boot to the launcher
+
+    // Reinstall the hacks exactly as on the handheld — §3.3: "we
+    // imported our hacks and X-Master along with the other
+    // applications", so the emulated session logs its own activity.
+    os::RomSymbols syms = os::buildRom().syms;
+    hacks::HackManager mgr(dev, syms);
+    mgr.installCollectionHacks();
+    dev.runUntilIdle();
+
+    // Profiling: every bus transaction and opcode from here on is the
+    // replayed workload.
+    trace::TeeSink tee;
+    tee.add(&res.refs);
+    if (cfg.extraRefSink)
+        tee.add(cfg.extraRefSink);
+    dev.bus().setRefSink(&tee);
+    dev.bus().setTraceEnabled(cfg.profile);
+    if (cfg.opcodeSink)
+        dev.cpu().setOpcodeSink(cfg.opcodeSink);
+
+    u64 instBefore = dev.instructionsRetired();
+    u64 cycBefore = dev.nowCycles();
+
+    replay::ReplayEngine engine(dev, s.log);
+    res.replayStats = engine.run(cfg.options);
+
+    res.instructions = dev.instructionsRetired() - instBefore;
+    res.cycles = dev.nowCycles() - cycBefore;
+
+    dev.bus().setTraceEnabled(false);
+    dev.bus().setRefSink(nullptr);
+    dev.cpu().setOpcodeSink(nullptr);
+
+    res.emulatedLog = trace::ActivityLog::extract(dev.bus());
+    res.finalState = device::Snapshot::capture(dev);
+    return res;
+}
+
+} // namespace pt::core

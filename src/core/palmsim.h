@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The palmtrace public API: a trace-driven simulator for Palm OS
+ * devices, after Carroll, Flanagan & Baniya (ISPASS 2005).
+ *
+ * The deterministic-state-machine pipeline (§2.1):
+ *
+ *   PalmSimulator sim;                  // provision + boot the m515
+ *   sim.beginCollection();             // instrument, capture state
+ *   sim.runUser(config);               // the volunteer uses it
+ *   Session s = sim.endCollection();   // HotSync the log + state
+ *
+ *   ReplayResult r = PalmSimulator::replaySession(s);
+ *   // r.refs     — RAM/flash reference counts (Table 1)
+ *   // r.emulatedLog / r.finalState — validation inputs (§3)
+ *   // feed r through a cache::CacheSweep for the §4 case study
+ */
+
+#ifndef PT_CORE_PALMSIM_H
+#define PT_CORE_PALMSIM_H
+
+#include <memory>
+#include <string>
+
+#include "device/device.h"
+#include "device/snapshot.h"
+#include "hacks/hackmgr.h"
+#include "os/pilotos.h"
+#include "replay/replayengine.h"
+#include "trace/activitylog.h"
+#include "trace/memtrace.h"
+#include "workload/usermodel.h"
+
+namespace pt::core
+{
+
+/** Everything collected from one session. */
+struct Session
+{
+    device::Snapshot initialState;
+    trace::ActivityLog log;
+    device::Snapshot finalState;
+
+    /** Persists as <base>.init.snap / <base>.log / <base>.final.snap. */
+    bool save(const std::string &basePath) const;
+    static bool load(const std::string &basePath, Session &out);
+};
+
+/** Replay configuration. */
+struct ReplayConfig
+{
+    replay::ReplayOptions options;
+
+    /** Collect the memory-reference stream (profiling on). */
+    bool profile = true;
+
+    /**
+     * Start from a HotSync-style logical import instead of the
+     * bit-exact restore: databases are re-created on a fresh heap, so
+     * creation/backup dates read zero — the paper's import procedure
+     * and the source of its benign final-state differences.
+     */
+    bool logicalImportMode = false;
+
+    /** Optional extra sinks fed during playback. */
+    device::MemRefSink *extraRefSink = nullptr;
+    m68k::OpcodeSink *opcodeSink = nullptr;
+};
+
+/** Everything measured from one replayed session. */
+struct ReplayResult
+{
+    replay::ReplayStats replayStats;
+    trace::RefCounter refs;          ///< RAM/flash reference split
+    trace::ActivityLog emulatedLog;  ///< recorded by the in-sim hacks
+    device::Snapshot finalState;
+    u64 instructions = 0;            ///< executed during playback
+    u64 cycles = 0;                  ///< elapsed during playback
+};
+
+/** The collection-side simulator (an instrumented virtual m515). */
+class PalmSimulator
+{
+  public:
+    PalmSimulator();
+    ~PalmSimulator();
+
+    device::Device &device() { return dev; }
+    const os::RomSymbols &symbols() const { return syms; }
+    hacks::HackManager &hackManager() { return *mgr; }
+
+    /**
+     * Instruments the device with the five collection hacks and
+     * captures the initial state (§2.2-2.3). Call once per session.
+     */
+    void beginCollection();
+
+    /** Drives the device with the synthetic user. */
+    workload::UserSessionStats
+    runUser(const workload::UserModelConfig &cfg);
+
+    /** Ends the session: extracts the log and the final state. */
+    Session endCollection();
+
+    /**
+     * Replays a session on a fresh emulated device with profiling
+     * (§2.4), returning measurements and validation inputs.
+     */
+    static ReplayResult replaySession(const Session &s,
+                                      const ReplayConfig &cfg = {});
+
+    /** One-call collection of a full synthetic session. */
+    static Session collect(const workload::UserModelConfig &cfg);
+
+  private:
+    device::Device dev;
+    os::RomSymbols syms;
+    std::unique_ptr<hacks::HackManager> mgr;
+    device::Snapshot initial;
+    bool collecting = false;
+};
+
+} // namespace pt::core
+
+#endif // PT_CORE_PALMSIM_H

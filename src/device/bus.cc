@@ -1,0 +1,188 @@
+#include "bus.h"
+
+#include "base/logging.h"
+
+namespace pt::device
+{
+
+Bus::Bus(DragonballIo &io)
+    : io(io), ram(kRamSize, 0), rom(kRomSize, 0xFF)
+{
+}
+
+RefClass
+Bus::classify(Addr a) const
+{
+    if (inRam(a))
+        return RefClass::Ram;
+    if (inRom(a))
+        return RefClass::Flash;
+    if (inMmio(a))
+        return RefClass::Mmio;
+    return RefClass::Unmapped;
+}
+
+void
+Bus::note(Addr a, m68k::AccessKind k, RefClass cls)
+{
+    switch (cls) {
+      case RefClass::Ram: ++nRam; break;
+      case RefClass::Flash: ++nFlash; break;
+      case RefClass::Mmio: ++nMmio; break;
+      default: break;
+    }
+    if (traceOn && refSink)
+        refSink->onRef(a, k, cls);
+}
+
+u8
+Bus::read8(Addr a, m68k::AccessKind k)
+{
+    RefClass cls = classify(a);
+    note(a, k, cls);
+    switch (cls) {
+      case RefClass::Ram:
+        return ram[a];
+      case RefClass::Flash:
+        return rom[a - kRomBase];
+      case RefClass::Mmio: {
+        u16 w = io.readReg((a - kMmioBase) & ~1u);
+        return (a & 1) ? static_cast<u8>(w) : static_cast<u8>(w >> 8);
+      }
+      default:
+        if (!warnedUnmapped) {
+            warnedUnmapped = true;
+            warn("bus: read from unmapped address ", a);
+        }
+        return 0;
+    }
+}
+
+u16
+Bus::read16(Addr a, m68k::AccessKind k)
+{
+    RefClass cls = classify(a);
+    note(a, k, cls);
+    switch (cls) {
+      case RefClass::Ram:
+        return static_cast<u16>((ram[a] << 8) | ram[a + 1]);
+      case RefClass::Flash: {
+        u32 off = a - kRomBase;
+        return static_cast<u16>((rom[off] << 8) | rom[off + 1]);
+      }
+      case RefClass::Mmio:
+        return io.readReg(a - kMmioBase);
+      default:
+        if (!warnedUnmapped) {
+            warnedUnmapped = true;
+            warn("bus: read from unmapped address ", a);
+        }
+        return 0;
+    }
+}
+
+void
+Bus::write8(Addr a, u8 v)
+{
+    RefClass cls = classify(a);
+    note(a, m68k::AccessKind::Write, cls);
+    switch (cls) {
+      case RefClass::Ram:
+        ram[a] = v;
+        return;
+      case RefClass::Flash:
+        if (!warnedRomWrite) {
+            warnedRomWrite = true;
+            warn("bus: write to flash ROM ignored at ", a);
+        }
+        return;
+      case RefClass::Mmio: {
+        // Byte writes merge with the latched register word.
+        u32 off = (a - kMmioBase) & ~1u;
+        u16 cur = io.readReg(off);
+        u16 w = (a & 1)
+            ? static_cast<u16>((cur & 0xFF00) | v)
+            : static_cast<u16>((cur & 0x00FF) | (v << 8));
+        io.writeReg(off, w);
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+void
+Bus::write16(Addr a, u16 v)
+{
+    RefClass cls = classify(a);
+    note(a, m68k::AccessKind::Write, cls);
+    switch (cls) {
+      case RefClass::Ram:
+        ram[a] = static_cast<u8>(v >> 8);
+        ram[a + 1] = static_cast<u8>(v);
+        return;
+      case RefClass::Flash:
+        if (!warnedRomWrite) {
+            warnedRomWrite = true;
+            warn("bus: write to flash ROM ignored at ", a);
+        }
+        return;
+      case RefClass::Mmio:
+        io.writeReg(a - kMmioBase, v);
+        return;
+      default:
+        return;
+    }
+}
+
+u8
+Bus::peek8(Addr a) const
+{
+    switch (classify(a)) {
+      case RefClass::Ram:
+        return ram[a];
+      case RefClass::Flash:
+        return rom[a - kRomBase];
+      default:
+        return 0; // peeks never touch MMIO state
+    }
+}
+
+void
+Bus::poke8(Addr a, u8 v)
+{
+    switch (classify(a)) {
+      case RefClass::Ram:
+        ram[a] = v;
+        return;
+      case RefClass::Flash:
+        rom[a - kRomBase] = v; // host-side ROM patching (ROM build)
+        return;
+      default:
+        return;
+    }
+}
+
+void
+Bus::loadRom(std::vector<u8> image)
+{
+    PT_ASSERT(image.size() <= kRomSize, "ROM image too large");
+    image.resize(kRomSize, 0xFF);
+    rom = std::move(image);
+}
+
+void
+Bus::loadRam(std::vector<u8> image)
+{
+    PT_ASSERT(image.size() <= kRamSize, "RAM image too large");
+    image.resize(kRamSize, 0);
+    ram = std::move(image);
+}
+
+void
+Bus::clearRam()
+{
+    std::fill(ram.begin(), ram.end(), 0);
+}
+
+} // namespace pt::device

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The device bus: routes CPU accesses to RAM, flash ROM, or the
+ * peripheral registers, and surfaces every bus transaction to an
+ * optional memory-reference sink.
+ *
+ * This reference stream is the paper's raw material: each 16-bit (or
+ * 8-bit) transaction is classified as a RAM or flash reference, the
+ * split that drives the no-cache average-access-time numbers in
+ * Table 1 and feeds the cache simulator for Figures 5 and 6.
+ */
+
+#ifndef PT_DEVICE_BUS_H
+#define PT_DEVICE_BUS_H
+
+#include <vector>
+
+#include "base/types.h"
+#include "device/io.h"
+#include "device/map.h"
+#include "m68k/busif.h"
+
+namespace pt::device
+{
+
+/** Classification of one bus transaction by target region. */
+enum class RefClass : u8 { Ram, Flash, Mmio, Unmapped };
+
+/** Receives every traced bus transaction. */
+class MemRefSink
+{
+  public:
+    virtual ~MemRefSink() = default;
+    virtual void onRef(Addr addr, m68k::AccessKind kind,
+                       RefClass cls) = 0;
+};
+
+/** The m515 system bus. */
+class Bus : public m68k::BusIf
+{
+  public:
+    explicit Bus(DragonballIo &io);
+
+    // --- m68k::BusIf ---
+    u8 read8(Addr a, m68k::AccessKind k) override;
+    u16 read16(Addr a, m68k::AccessKind k) override;
+    void write8(Addr a, u8 v) override;
+    void write16(Addr a, u16 v) override;
+    u8 peek8(Addr a) const override;
+    void poke8(Addr a, u8 v) override;
+
+    /** Installs (or clears, with nullptr) the reference sink. */
+    void setRefSink(MemRefSink *sink) { refSink = sink; }
+
+    /**
+     * Enables per-transaction tracing. This is POSE's "Profiling"
+     * switch: the reference counters below always run, but the sink is
+     * only invoked while tracing is on.
+     */
+    void setTraceEnabled(bool on) { traceOn = on; }
+    bool traceEnabled() const { return traceOn; }
+
+    /** Replaces the flash image (ROM build / snapshot restore). */
+    void loadRom(std::vector<u8> image);
+    /** Replaces the RAM image (snapshot restore). */
+    void loadRam(std::vector<u8> image);
+
+    const std::vector<u8> &ramImage() const { return ram; }
+    const std::vector<u8> &romImage() const { return rom; }
+    std::vector<u8> &ramImage() { return ram; }
+
+    /** Zeroes RAM (cold boot). */
+    void clearRam();
+
+    // Cumulative reference counters (always on, trace or not).
+    u64 ramRefs() const { return nRam; }
+    u64 flashRefs() const { return nFlash; }
+    u64 mmioRefs() const { return nMmio; }
+    u64 totalRefs() const { return nRam + nFlash + nMmio; }
+    void resetRefCounts() { nRam = nFlash = nMmio = 0; }
+
+  private:
+    RefClass classify(Addr a) const;
+    void note(Addr a, m68k::AccessKind k, RefClass cls);
+
+    DragonballIo &io;
+    std::vector<u8> ram;
+    std::vector<u8> rom;
+    MemRefSink *refSink = nullptr;
+    bool traceOn = false;
+    bool warnedRomWrite = false;
+    bool warnedUnmapped = false;
+    u64 nRam = 0;
+    u64 nFlash = 0;
+    u64 nMmio = 0;
+};
+
+} // namespace pt::device
+
+#endif // PT_DEVICE_BUS_H

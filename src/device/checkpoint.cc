@@ -1,0 +1,174 @@
+#include "checkpoint.h"
+
+#include "base/binio.h"
+#include "base/fnv.h"
+#include "device/device.h"
+
+namespace pt::device
+{
+
+namespace
+{
+constexpr u32 kMagic = 0x50544350; // "PTCP"
+constexpr u32 kVersion = 1;
+} // namespace
+
+Checkpoint
+Checkpoint::capture(const Device &dev)
+{
+    Checkpoint c;
+    c.memory = Snapshot::capture(dev);
+    c.cpu = dev.cpu().saveState();
+    c.io = dev.io().saveState();
+    c.cycleCount = dev.nowCycles();
+    c.nextPenSample = dev.penSampleAt();
+    return c;
+}
+
+void
+Checkpoint::restore(Device &dev) const
+{
+    dev.bus().loadRam(memory.ram);
+    dev.bus().loadRom(memory.rom);
+    dev.io().loadState(io);
+    dev.cpu().loadState(cpu);
+    dev.setClockState(cycleCount, nextPenSample);
+}
+
+u64
+Checkpoint::fingerprint() const
+{
+    Fnv64 f;
+    f.updateValue(memory.fingerprint());
+    for (int i = 0; i < 8; ++i) {
+        f.updateValue(cpu.d[i]);
+        f.updateValue(cpu.a[i]);
+    }
+    f.updateValue(cpu.otherSp);
+    f.updateValue(cpu.pc);
+    f.updateValue(cpu.sr);
+    f.updateValue(static_cast<u8>(cpu.stopped));
+    f.updateValue(io.intStat);
+    f.updateValue(io.intMask);
+    f.updateValue(io.timerCmp);
+    f.updateValue(io.btnState);
+    f.updateValue(static_cast<u8>(io.penIsDown));
+    f.updateValue(io.penXLatch);
+    f.updateValue(io.penYLatch);
+    f.updateValue(cycleCount);
+    f.updateValue(nextPenSample);
+    for (u8 b : io.serialFifo)
+        f.updateValue(b);
+    return f.value();
+}
+
+std::vector<u8>
+Checkpoint::serialize() const
+{
+    BinWriter w;
+    w.put32(kMagic);
+    w.put32(kVersion);
+    auto mem = memory.serialize();
+    w.put32(static_cast<u32>(mem.size()));
+    w.putBytes(mem.data(), mem.size());
+
+    for (int i = 0; i < 8; ++i)
+        w.put32(cpu.d[i]);
+    for (int i = 0; i < 8; ++i)
+        w.put32(cpu.a[i]);
+    w.put32(cpu.otherSp);
+    w.put32(cpu.pc);
+    w.put16(cpu.sr);
+    w.put8(cpu.stopped ? 1 : 0);
+    w.put64(cpu.cycles);
+    w.put64(cpu.instructions);
+
+    w.put32(io.rtcBase);
+    w.put16(io.intStat);
+    w.put16(io.intMask);
+    w.put32(io.timerCmp);
+    w.put8(io.penIsDown ? 1 : 0);
+    w.put16(io.penXNow);
+    w.put16(io.penYNow);
+    w.put8(io.lastSampleDown ? 1 : 0);
+    w.put16(io.penXLatch);
+    w.put16(io.penYLatch);
+    w.put16(io.penDownLatch);
+    w.put16(io.btnState);
+    w.put32(static_cast<u32>(io.serialFifo.size()));
+    w.putBytes(io.serialFifo.data(), io.serialFifo.size());
+
+    w.put64(cycleCount);
+    w.put64(nextPenSample);
+    return w.takeBytes();
+}
+
+bool
+Checkpoint::deserialize(const std::vector<u8> &data, Checkpoint &out)
+{
+    BinReader r(data);
+    if (r.get32() != kMagic || r.get32() != kVersion)
+        return false;
+    u32 memSize = r.get32();
+    if (memSize > r.remaining())
+        return false;
+    std::vector<u8> mem(memSize);
+    r.getBytes(mem.data(), memSize);
+    if (!Snapshot::deserialize(mem, out.memory))
+        return false;
+
+    for (int i = 0; i < 8; ++i)
+        out.cpu.d[i] = r.get32();
+    for (int i = 0; i < 8; ++i)
+        out.cpu.a[i] = r.get32();
+    out.cpu.otherSp = r.get32();
+    out.cpu.pc = r.get32();
+    out.cpu.sr = r.get16();
+    out.cpu.stopped = r.get8() != 0;
+    out.cpu.cycles = r.get64();
+    out.cpu.instructions = r.get64();
+
+    out.io.rtcBase = r.get32();
+    out.io.intStat = r.get16();
+    out.io.intMask = r.get16();
+    out.io.timerCmp = r.get32();
+    out.io.penIsDown = r.get8() != 0;
+    out.io.penXNow = r.get16();
+    out.io.penYNow = r.get16();
+    out.io.lastSampleDown = r.get8() != 0;
+    out.io.penXLatch = r.get16();
+    out.io.penYLatch = r.get16();
+    out.io.penDownLatch = r.get16();
+    out.io.btnState = r.get16();
+    u32 fifoLen = r.get32();
+    if (fifoLen > r.remaining())
+        return false;
+    out.io.serialFifo.resize(fifoLen);
+    r.getBytes(out.io.serialFifo.data(), fifoLen);
+
+    out.cycleCount = r.get64();
+    out.nextPenSample = r.get64();
+    return r.ok();
+}
+
+bool
+Checkpoint::save(const std::string &path) const
+{
+    BinWriter w;
+    auto bytes = serialize();
+    w.putBytes(bytes.data(), bytes.size());
+    return w.writeFile(path);
+}
+
+bool
+Checkpoint::load(const std::string &path, Checkpoint &out)
+{
+    BinReader r({});
+    if (!BinReader::readFile(path, r))
+        return false;
+    std::vector<u8> all(r.remaining());
+    r.getBytes(all.data(), all.size());
+    return deserialize(all, out);
+}
+
+} // namespace pt::device

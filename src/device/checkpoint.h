@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Full-machine checkpoints.
+ *
+ * A Snapshot (ROMTransfer + HotSync analog) captures only memory and
+ * restarts from a soft reset, as the paper's sessions do. A
+ * Checkpoint goes further — CITCAT-style "state of the processor,
+ * caches, main memory ... and other asynchronous events" (§1.1): it
+ * freezes the CPU register file, the peripheral block, and the
+ * emulated clock mid-run, so execution can be resumed bit-exactly on
+ * any device. This enables pausing/resuming long replays and forking
+ * what-if experiments from a common mid-session point.
+ */
+
+#ifndef PT_DEVICE_CHECKPOINT_H
+#define PT_DEVICE_CHECKPOINT_H
+
+#include <string>
+
+#include "base/types.h"
+#include "device/io.h"
+#include "device/snapshot.h"
+#include "m68k/cpu.h"
+
+namespace pt::device
+{
+
+class Device;
+
+/** A complete mid-run machine state. */
+struct Checkpoint
+{
+    Snapshot memory;      ///< RAM + ROM images + RTC base
+    m68k::CpuState cpu;   ///< register file, SR, PC, STOP flag
+    IoState io;           ///< peripherals (redundant RTC base kept
+                          ///< consistent by capture())
+    u64 cycleCount = 0;   ///< emulated time at capture
+    u64 nextPenSample = 0;///< digitizer grid phase
+
+    /** Freezes a running device. */
+    static Checkpoint capture(const Device &dev);
+
+    /**
+     * Thaws this state into a device. Unlike Snapshot::restore, no
+     * reset occurs: the device continues exactly where the captured
+     * one stopped.
+     */
+    void restore(Device &dev) const;
+
+    /** Fingerprint over memory + CPU + IO (determinism tests). */
+    u64 fingerprint() const;
+
+    /** Serialization (little-endian, memory images zero-RLE packed). */
+    std::vector<u8> serialize() const;
+    static bool deserialize(const std::vector<u8> &data,
+                            Checkpoint &out);
+    bool save(const std::string &path) const;
+    static bool load(const std::string &path, Checkpoint &out);
+};
+
+} // namespace pt::device
+
+#endif // PT_DEVICE_CHECKPOINT_H

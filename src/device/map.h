@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Palm m515 guest address map.
+ *
+ * 16 MB of RAM at the bottom of the address space, the 4 MB flash ROM
+ * at the Dragonball's standard CSA0 window (0x10C00000, where Palm OS
+ * ROMs actually live on the m515), and the Dragonball register file at
+ * the top of the address space.
+ */
+
+#ifndef PT_DEVICE_MAP_H
+#define PT_DEVICE_MAP_H
+
+#include "base/types.h"
+
+namespace pt::device
+{
+
+inline constexpr Addr kRamBase = 0x00000000;
+inline constexpr u32 kRamSize = 16u * 1024 * 1024;
+inline constexpr Addr kRomBase = 0x10C00000;
+inline constexpr u32 kRomSize = 4u * 1024 * 1024;
+inline constexpr Addr kMmioBase = 0xFFFFF000;
+inline constexpr u32 kMmioSize = 0x1000;
+
+/** @return true when an address falls in guest RAM. */
+constexpr bool
+inRam(Addr a)
+{
+    return a < kRamSize;
+}
+
+/** @return true when an address falls in the flash ROM window. */
+constexpr bool
+inRom(Addr a)
+{
+    return a >= kRomBase && a < kRomBase + kRomSize;
+}
+
+/** @return true when an address falls in the MMIO window. */
+constexpr bool
+inMmio(Addr a)
+{
+    return a >= kMmioBase;
+}
+
+/** Dragonball register offsets within the MMIO window. */
+struct Reg
+{
+    static constexpr u32 TickCount = 0x000;  ///< u32 RO, 100 Hz ticks
+    static constexpr u32 RtcSeconds = 0x004; ///< u32 RO, since 1904
+    static constexpr u32 PenX = 0x008;       ///< u16 RO
+    static constexpr u32 PenY = 0x00A;       ///< u16 RO
+    static constexpr u32 PenDown = 0x00C;    ///< u16 RO, 1 = touching
+    static constexpr u32 BtnState = 0x00E;   ///< u16 RO, button bits
+    static constexpr u32 IntStat = 0x010;    ///< u16 RO, pending
+    static constexpr u32 IntMask = 0x012;    ///< u16 RW, 1 = masked
+    static constexpr u32 IntAck = 0x014;     ///< u16 WO, clear bits
+    static constexpr u32 TimerCmp = 0x018;   ///< u32 RW, tick compare
+    static constexpr u32 DbgPort = 0x01E;    ///< u16 WO, debug char
+    static constexpr u32 SerData = 0x020;    ///< u16 RO, 0x100|byte
+                                             ///< when valid, else 0
+};
+
+/** Interrupt source bits in IntStat / IntMask / IntAck. */
+struct Irq
+{
+    static constexpr u16 Timer = 1 << 0;  ///< autovector level 6
+    static constexpr u16 Pen = 1 << 1;    ///< autovector level 5
+    static constexpr u16 Button = 1 << 2; ///< autovector level 4
+    static constexpr u16 Serial = 1 << 3; ///< autovector level 3
+                                          ///< (UART / IrDA receive)
+};
+
+/** Hardware button bits in BtnState (the m515 complement). */
+struct Btn
+{
+    static constexpr u16 Power = 1 << 0;
+    static constexpr u16 PageUp = 1 << 1;
+    static constexpr u16 PageDown = 1 << 2;
+    static constexpr u16 App1 = 1 << 3; ///< Datebook
+    static constexpr u16 App2 = 1 << 4; ///< Address
+    static constexpr u16 App3 = 1 << 5; ///< To Do
+    static constexpr u16 App4 = 1 << 6; ///< Memo
+    static constexpr u16 HotSync = 1 << 7;
+};
+
+/** A value for TimerCmp that never fires. */
+inline constexpr u32 kTimerDisarmed = 0xFFFFFFFF;
+
+/** Digitizer sample rate while the stylus touches the screen. */
+inline constexpr u32 kPenSampleHz = 50;
+inline constexpr u64 kCyclesPerPenSample = kCpuHz / kPenSampleHz;
+
+} // namespace pt::device
+
+#endif // PT_DEVICE_MAP_H

@@ -1,0 +1,130 @@
+#include "snapshot.h"
+
+#include "base/binio.h"
+#include "base/fnv.h"
+#include "device/device.h"
+
+namespace pt::device
+{
+
+namespace
+{
+
+constexpr u32 kMagic = 0x50545353; // "PTSS"
+constexpr u32 kVersion = 1;
+
+/** Encodes a byte image as (zeroRun, literalRun, literals)* records. */
+void
+rleEncode(BinWriter &w, const std::vector<u8> &data)
+{
+    w.put32(static_cast<u32>(data.size()));
+    std::size_t i = 0;
+    while (i < data.size()) {
+        std::size_t zstart = i;
+        while (i < data.size() && data[i] == 0)
+            ++i;
+        u32 zeros = static_cast<u32>(i - zstart);
+        std::size_t lstart = i;
+        while (i < data.size() && data[i] != 0)
+            ++i;
+        u32 lits = static_cast<u32>(i - lstart);
+        w.put32(zeros);
+        w.put32(lits);
+        w.putBytes(data.data() + lstart, lits);
+    }
+}
+
+bool
+rleDecode(BinReader &r, std::vector<u8> &out)
+{
+    u32 total = r.get32();
+    out.assign(total, 0);
+    std::size_t pos = 0;
+    while (pos < total && r.ok()) {
+        u32 zeros = r.get32();
+        u32 lits = r.get32();
+        if (!r.ok() || zeros > total - pos ||
+            lits > total - pos - zeros) {
+            return false;
+        }
+        pos += zeros;
+        r.getBytes(out.data() + pos, lits);
+        pos += lits;
+    }
+    return r.ok() && pos == total;
+}
+
+} // namespace
+
+Snapshot
+Snapshot::capture(const Device &dev)
+{
+    Snapshot s;
+    s.ram = dev.bus().ramImage();
+    s.rom = dev.bus().romImage();
+    s.rtcBase = dev.io().rtcBaseValue();
+    return s;
+}
+
+void
+Snapshot::restore(Device &dev) const
+{
+    dev.bus().loadRam(ram);
+    dev.bus().loadRom(rom);
+    dev.io().setRtcBase(rtcBase);
+    dev.reset();
+}
+
+u64
+Snapshot::fingerprint() const
+{
+    Fnv64 f;
+    f.update(ram.data(), ram.size());
+    f.update(rom.data(), rom.size());
+    f.updateValue(rtcBase);
+    return f.value();
+}
+
+std::vector<u8>
+Snapshot::serialize() const
+{
+    BinWriter w;
+    w.put32(kMagic);
+    w.put32(kVersion);
+    w.put32(rtcBase);
+    rleEncode(w, ram);
+    rleEncode(w, rom);
+    return w.takeBytes();
+}
+
+bool
+Snapshot::deserialize(const std::vector<u8> &data, Snapshot &out)
+{
+    BinReader r(data);
+    if (r.get32() != kMagic || r.get32() != kVersion)
+        return false;
+    out.rtcBase = r.get32();
+    return rleDecode(r, out.ram) && rleDecode(r, out.rom) && r.ok();
+}
+
+bool
+Snapshot::save(const std::string &path) const
+{
+    BinWriter w;
+    auto bytes = serialize();
+    w.putBytes(bytes.data(), bytes.size());
+    return w.writeFile(path);
+}
+
+bool
+Snapshot::load(const std::string &path, Snapshot &out)
+{
+    BinReader r({});
+    if (!BinReader::readFile(path, r))
+        return false;
+    std::vector<u8> all(r.remaining());
+    r.getBytes(all.data(), all.size());
+    return deserialize(all, out);
+}
+
+} // namespace pt::device

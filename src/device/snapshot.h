@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Device state snapshots — palmtrace's ROMTransfer + HotSync analog.
+ *
+ * The paper collects a device's initial state as a flash image
+ * (ROMTransfer.prc) plus the RAM-resident databases (HotSync with the
+ * backup bit set), and starts every session right after a soft reset
+ * so no processor state needs capturing (§2.2). A Snapshot captures
+ * exactly that: the flash image, the RAM image, and the RTC base.
+ *
+ * Images are serialized with zero-run-length compression: Palm RAM is
+ * mostly empty, so snapshots stay small on disk.
+ */
+
+#ifndef PT_DEVICE_SNAPSHOT_H
+#define PT_DEVICE_SNAPSHOT_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "device/map.h"
+#include "m68k/busif.h"
+
+namespace pt::device
+{
+
+class Device;
+
+/** A captured initial state. */
+struct Snapshot
+{
+    std::vector<u8> ram;
+    std::vector<u8> rom;
+    u32 rtcBase = 0;
+
+    /** Captures the device's memory and RTC base. */
+    static Snapshot capture(const Device &dev);
+
+    /**
+     * Loads this state into a device and soft-resets it, leaving the
+     * device exactly where a collected session begins.
+     */
+    void restore(Device &dev) const;
+
+    /** @return a fingerprint of RAM+ROM+rtcBase (determinism tests). */
+    u64 fingerprint() const;
+
+    /** Serializes to a byte buffer (zero-RLE compressed). */
+    std::vector<u8> serialize() const;
+    /** Parses a serialized snapshot. @return success. */
+    static bool deserialize(const std::vector<u8> &data, Snapshot &out);
+
+    /** Writes to / reads from a file. @return success. */
+    bool save(const std::string &path) const;
+    static bool load(const std::string &path, Snapshot &out);
+};
+
+/**
+ * A read-mostly bus view over a snapshot's memory images, so host
+ * tooling (database inspectors, correlators) can parse a captured
+ * state without instantiating a device.
+ */
+class SnapshotBus : public m68k::BusIf
+{
+  public:
+    explicit SnapshotBus(const Snapshot &snap)
+        : snap(snap)
+    {}
+
+    u8
+    read8(Addr a, m68k::AccessKind) override
+    {
+        return peek8(a);
+    }
+
+    u16
+    read16(Addr a, m68k::AccessKind) override
+    {
+        return peek16(a);
+    }
+
+    void write8(Addr, u8) override {}
+    void write16(Addr, u16) override {}
+
+    u8
+    peek8(Addr a) const override
+    {
+        if (inRam(a) && a < snap.ram.size())
+            return snap.ram[a];
+        if (inRom(a) && a - kRomBase < snap.rom.size())
+            return snap.rom[a - kRomBase];
+        return 0;
+    }
+
+    void poke8(Addr, u8) override {}
+
+  private:
+    const Snapshot &snap;
+};
+
+} // namespace pt::device
+
+#endif // PT_DEVICE_SNAPSHOT_H

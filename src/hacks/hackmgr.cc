@@ -1,0 +1,318 @@
+#include "hackmgr.h"
+
+#include "base/logging.h"
+#include "device/map.h"
+#include "m68k/codebuilder.h"
+#include "os/guestmem.h"
+
+namespace pt::hacks
+{
+
+namespace
+{
+
+using m68k::CodeBuilder;
+using m68k::Cond;
+using m68k::Size;
+using os::Db;
+using os::Lay;
+using os::Trap;
+using namespace m68k::ops;
+
+constexpr Addr kTick = device::kMmioBase + device::Reg::TickCount;
+constexpr Addr kRtc = device::kMmioBase + device::Reg::RtcSeconds;
+
+// Saved-register frame offsets after `movem.l d1-d5/a1-a2,-(sp)`.
+constexpr s16 kSavedD1 = 0;
+constexpr s16 kSavedD2 = 4;
+constexpr s16 kSavedD3 = 8;
+constexpr u16 kMovemMask = 0x063E; // d1-d5, a1-a2
+constexpr s16 kFrameSize = 28;
+
+/**
+ * Emits the shared logging body: masks interrupts, finds the common
+ * database, bounds-checks the record count, appends a record with
+ * tick/RTC/type, lets @p writeExtra fill the type-specific fields,
+ * then restores state. On completion the code falls through to
+ * whatever the caller emits next (chain or return).
+ */
+template <typename F>
+void
+emitLogBody(CodeBuilder &b, const os::RomSymbols &syms, int nameLbl,
+            u16 type, u32 recSize, F writeExtra)
+{
+    auto skip = b.newLabel();
+    b.moveFromSr(predec(7));
+    b.oriToSr(0x0700);
+    b.movemPush(kMovemMask);
+    b.move(Size::L, absl(kTick), dr(4));
+    b.move(Size::L, absl(kRtc), dr(5));
+    // "Opens a common database": looked up by name on every call.
+    b.lea(abslbl(nameLbl), 1);
+    b.jsr(absl(syms.trapHandler[Trap::DmFindDatabase]));
+    b.tst(Size::L, dr(0));
+    b.bcc(Cond::EQ, skip);
+    b.movea(Size::L, ar(0), 2);
+    b.movea(Size::L, ar(2), 1);
+    b.jsr(absl(syms.trapHandler[Trap::DmNumRecords]));
+    b.cmpi(Size::L, kMaxLogRecords - 64, dr(0));
+    b.bcc(Cond::CC, skip); // database full: stop logging
+    b.movea(Size::L, ar(2), 1);
+    b.moveq(static_cast<s8>(recSize), 1);
+    b.jsr(absl(syms.trapHandler[Trap::DmNewRecord]));
+    b.move(Size::L, dr(4), ind(0));
+    b.move(Size::L, dr(5), disp(0, 4));
+    b.move(Size::W, imm(type), disp(0, 8));
+    writeExtra(b);
+    b.bind(skip);
+    b.movemPop(kMovemMask);
+    b.moveToSr(postinc(7));
+}
+
+/** Builds all hook stubs into the hack area; returns entry addresses
+ *  indexed by selector (0 where no hook was requested). */
+struct HackBuild
+{
+    std::vector<u8> bytes;
+    Addr entry[Trap::Count] = {};
+};
+
+HackBuild
+buildCollectionStubs(const os::RomSymbols &syms, bool callOriginal)
+{
+    CodeBuilder b(Lay::HackArea);
+    int nameLbl = b.newLabel();
+    int entries[Trap::Count];
+    for (auto &e : entries)
+        e = -1;
+
+    auto chain = [&](u16 sel) {
+        if (callOriginal)
+            b.jmp(absl(syms.trapHandler[sel]));
+        else
+            b.rts();
+    };
+
+    // EvtEnqueuePenPoint: 16-byte record {down, x, y}.
+    entries[Trap::EvtEnqueuePenPoint] = b.hereLabel();
+    emitLogBody(b, syms, nameLbl, LogType::PenPoint, kLogRecLong,
+                [&](CodeBuilder &c) {
+                    c.move(Size::W, disp(7, kSavedD3 + 2),
+                           disp(0, 10)); // down (saved d3 low word)
+                    c.move(Size::W, disp(7, kSavedD1 + 2),
+                           disp(0, 12)); // x
+                    c.move(Size::W, disp(7, kSavedD2 + 2),
+                           disp(0, 14)); // y
+                });
+    chain(Trap::EvtEnqueuePenPoint);
+
+    // EvtEnqueueKey: 12-byte record {keycode}.
+    entries[Trap::EvtEnqueueKey] = b.hereLabel();
+    emitLogBody(b, syms, nameLbl, LogType::Key, kLogRecShort,
+                [&](CodeBuilder &c) {
+                    c.move(Size::W, disp(7, kSavedD1 + 2),
+                           disp(0, 10));
+                });
+    chain(Trap::EvtEnqueueKey);
+
+    // SysNotifyBroadcast: 12-byte record {notify type}.
+    entries[Trap::SysNotifyBroadcast] = b.hereLabel();
+    emitLogBody(b, syms, nameLbl, LogType::Notify, kLogRecShort,
+                [&](CodeBuilder &c) {
+                    c.move(Size::W, disp(7, kSavedD1 + 2),
+                           disp(0, 10));
+                });
+    chain(Trap::SysNotifyBroadcast);
+
+    // SysRandom: 16-byte record {seed argument}.
+    entries[Trap::SysRandom] = b.hereLabel();
+    emitLogBody(b, syms, nameLbl, LogType::Random, kLogRecLong,
+                [&](CodeBuilder &c) {
+                    c.clr(Size::W, disp(0, 10));
+                    c.move(Size::L, disp(7, kSavedD1),
+                           disp(0, 12)); // full 32-bit seed
+                });
+    chain(Trap::SysRandom);
+
+    // SerReceiveByte (extension): 12-byte record {received byte}.
+    entries[Trap::SerReceiveByte] = b.hereLabel();
+    emitLogBody(b, syms, nameLbl, LogType::Serial, kLogRecShort,
+                [&](CodeBuilder &c) {
+                    c.move(Size::W, disp(7, kSavedD1 + 2),
+                           disp(0, 10));
+                });
+    chain(Trap::SerReceiveByte);
+
+    // KeyCurrentState: call the original FIRST, then log its result.
+    entries[Trap::KeyCurrentState] = b.hereLabel();
+    if (callOriginal)
+        b.jsr(absl(syms.trapHandler[Trap::KeyCurrentState]));
+    else
+        b.moveq(0, 0);
+    b.move(Size::L, dr(0), predec(7)); // preserve the result
+    emitLogBody(b, syms, nameLbl, LogType::KeyState, kLogRecShort,
+                [&](CodeBuilder &c) {
+                    // result long sits above the movem+sr frame.
+                    c.move(Size::W, disp(7, kFrameSize + 2 + 2),
+                           disp(0, 10));
+                });
+    b.move(Size::L, postinc(7), dr(0));
+    b.rts();
+
+    // Database name used by every stub.
+    b.bind(nameLbl);
+    b.dcbString(os::kActivityLogDbName, Db::NameLen);
+
+    HackBuild out;
+    out.bytes = b.finalize();
+    PT_ASSERT(out.bytes.size() <= Lay::HackAreaSize,
+              "hack area overflow: ", out.bytes.size());
+    for (int i = 0; i < Trap::Count; ++i)
+        if (entries[i] >= 0)
+            out.entry[i] = b.labelAddr(entries[i]);
+    return out;
+}
+
+HackBuild
+buildPalmistStubs(const os::RomSymbols &syms, bool callOriginal)
+{
+    CodeBuilder b(Lay::HackArea);
+    int nameLbl = b.newLabel();
+    int entries[Trap::Count];
+    for (auto &e : entries)
+        e = -1;
+
+    for (u16 sel = 1; sel < Trap::Count; ++sel) {
+        entries[sel] = b.hereLabel();
+        emitLogBody(b, syms, nameLbl,
+                    static_cast<u16>(LogType::PalmistBase + sel),
+                    kLogRecShort, [&](CodeBuilder &c) {
+                        c.move(Size::W, disp(7, kSavedD1 + 2),
+                               disp(0, 10));
+                    });
+        if (callOriginal)
+            b.jmp(absl(syms.trapHandler[sel]));
+        else
+            b.rts();
+    }
+
+    b.bind(nameLbl);
+    b.dcbString(os::kActivityLogDbName, Db::NameLen);
+
+    HackBuild out;
+    out.bytes = b.finalize();
+    PT_ASSERT(out.bytes.size() <= Lay::HackAreaSize,
+              "hack area overflow: ", out.bytes.size());
+    for (int i = 0; i < Trap::Count; ++i)
+        if (entries[i] >= 0)
+            out.entry[i] = b.labelAddr(entries[i]);
+    return out;
+}
+
+} // namespace
+
+Addr
+HackManager::activityLogDb() const
+{
+    os::GuestHeap heap(dev.bus());
+    return heap.findDatabase(os::kActivityLogDbName);
+}
+
+u32
+HackManager::logRecordCount() const
+{
+    Addr db = activityLogDb();
+    if (!db)
+        return 0;
+    return dev.bus().peek16(db + Db::NumRecords);
+}
+
+void
+HackManager::clearLog()
+{
+    Addr db = activityLogDb();
+    if (!db)
+        return;
+    os::GuestHeap heap(dev.bus());
+    u16 n = dev.bus().peek16(db + Db::NumRecords);
+    Addr list = dev.bus().peek32(db + Db::RecordList);
+    for (u16 i = 0; i < n; ++i)
+        heap.chunkFree(dev.bus().peek32(list + i * 4u));
+    dev.bus().poke16(db + Db::NumRecords, 0);
+}
+
+Addr
+HackManager::ensureLogDb()
+{
+    os::GuestHeap heap(dev.bus());
+    Addr db = heap.findDatabase(os::kActivityLogDbName);
+    if (!db) {
+        db = heap.createDatabase(os::kActivityLogDbName,
+                                 os::fourcc('l', 'o', 'g', 's'),
+                                 os::fourcc('p', 't', 'r', 'c'),
+                                 Db::AttrBackup, dev.io().nowRtc());
+    }
+    return db;
+}
+
+void
+HackManager::patchTrap(u16 selector, Addr hookAddr)
+{
+    Addr entryAddr = Lay::TrapTable + selector * 4u;
+    if (!patched[selector]) {
+        savedEntries[selector] = dev.bus().peek32(entryAddr);
+        patched[selector] = true;
+    }
+    dev.bus().poke32(entryAddr, hookAddr);
+}
+
+void
+HackManager::installCollectionHacks(const HackOptions &opts)
+{
+    if (installedFlag)
+        uninstall();
+    if (opts.createLogDb)
+        PT_ASSERT(ensureLogDb() != 0, "cannot create activity log db");
+
+    HackBuild built = buildCollectionStubs(syms, opts.callOriginal);
+    for (std::size_t i = 0; i < built.bytes.size(); ++i)
+        dev.bus().poke8(Lay::HackArea + static_cast<Addr>(i),
+                        built.bytes[i]);
+    for (u16 sel = 0; sel < Trap::Count; ++sel)
+        if (built.entry[sel])
+            patchTrap(sel, built.entry[sel]);
+    installedFlag = true;
+}
+
+void
+HackManager::installPalmistMode(const HackOptions &opts)
+{
+    if (installedFlag)
+        uninstall();
+    if (opts.createLogDb)
+        PT_ASSERT(ensureLogDb() != 0, "cannot create activity log db");
+
+    HackBuild built = buildPalmistStubs(syms, opts.callOriginal);
+    for (std::size_t i = 0; i < built.bytes.size(); ++i)
+        dev.bus().poke8(Lay::HackArea + static_cast<Addr>(i),
+                        built.bytes[i]);
+    for (u16 sel = 0; sel < Trap::Count; ++sel)
+        if (built.entry[sel])
+            patchTrap(sel, built.entry[sel]);
+    installedFlag = true;
+}
+
+void
+HackManager::uninstall()
+{
+    for (u16 sel = 0; sel < Trap::Count; ++sel) {
+        if (patched[sel]) {
+            dev.bus().poke32(Lay::TrapTable + sel * 4u,
+                             savedEntries[sel]);
+            patched[sel] = false;
+        }
+    }
+    installedFlag = false;
+}
+
+} // namespace pt::hacks

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The hack manager — palmtrace's X-Master analog.
+ *
+ * A hack, in the Palm OS sense, is code "called in addition to or in
+ * lieu of the standard Palm OS routines", installed by writing its
+ * address into the trap dispatch table (§2.3.2, Figure 2). The five
+ * collection hacks here patch exactly the five routines the paper
+ * instruments — EvtEnqueueKey, EvtEnqueuePenPoint, KeyCurrentState,
+ * SysNotifyBroadcast and SysRandom. Each hack stub is genuine 68k
+ * code living in RAM (Lay::HackArea); on every call it opens the
+ * common activity-log database, appends a 12/16-byte record, and
+ * chains to the original ROM routine.
+ *
+ * PalmistMode reproduces the baseline the paper compares against:
+ * Gannamaraju & Chandra's Palmist hooked (nearly) every system call,
+ * which is why its overhead was two orders of magnitude worse.
+ */
+
+#ifndef PT_HACKS_HACKMGR_H
+#define PT_HACKS_HACKMGR_H
+
+#include "device/device.h"
+#include "hacks/logformat.h"
+#include "os/rombuilder.h"
+
+namespace pt::hacks
+{
+
+/** Installation options. */
+struct HackOptions
+{
+    /**
+     * Chain to the original routine after logging (normal operation).
+     * The paper's overhead micro-benchmark "eliminated the call to
+     * the original system routine to isolate the overhead associated
+     * with the hack" (§2.3.3); set false to reproduce that setup.
+     */
+    bool callOriginal = true;
+
+    /** Create the activity-log database if it does not exist. */
+    bool createLogDb = true;
+};
+
+/** Installs and removes the collection hacks on a booted device. */
+class HackManager
+{
+  public:
+    HackManager(device::Device &dev, const os::RomSymbols &syms)
+        : dev(dev), syms(syms)
+    {}
+
+    /**
+     * Installs the five collection hacks. The device must be booted
+     * (trap table live). Idempotent: reinstalling first uninstalls.
+     */
+    void installCollectionHacks(const HackOptions &opts = {});
+
+    /**
+     * Installs Palmist-style hooks on every implemented selector
+     * (except the few whose re-entry into the logger would recurse).
+     */
+    void installPalmistMode(const HackOptions &opts = {});
+
+    /** Restores all patched trap table entries. */
+    void uninstall();
+
+    /** @return true while any hack is installed. */
+    bool installed() const { return installedFlag; }
+
+    /** @return the guest address of the activity-log database, 0 if
+     *  absent. */
+    Addr activityLogDb() const;
+
+    /** @return number of records currently in the activity log. */
+    u32 logRecordCount() const;
+
+    /**
+     * Erases all records from the activity log (start of a new
+     * session; a chained session keeps the previous session's final
+     * state but collects a fresh log).
+     */
+    void clearLog();
+
+  private:
+    /** Ensures the common database exists; @return its address. */
+    Addr ensureLogDb();
+    /** Patches one trap table entry; remembers the original. */
+    void patchTrap(u16 selector, Addr hookAddr);
+
+    device::Device &dev;
+    os::RomSymbols syms;
+    bool installedFlag = false;
+    Addr savedEntries[os::Trap::Count] = {};
+    bool patched[os::Trap::Count] = {};
+};
+
+} // namespace pt::hacks
+
+#endif // PT_HACKS_HACKMGR_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The on-device activity-log record format.
+ *
+ * Each hack appends one 12- or 16-byte record to the common database
+ * (§2.3.2: "inserts a record with the current tick counter and the
+ * real time clock values, the event type and any necessary data").
+ *
+ * Layout (big-endian, as stored by guest code):
+ *   +0  tick u32     system tick counter at the call
+ *   +4  rtc  u32     RTC seconds since 1904 at the call
+ *   +8  type u16     LogType
+ *   +10 data u16     type-specific 16-bit datum
+ *   +12 extra u32    present only in 16-byte records
+ */
+
+#ifndef PT_HACKS_LOGFORMAT_H
+#define PT_HACKS_LOGFORMAT_H
+
+#include "base/types.h"
+
+namespace pt::hacks
+{
+
+/** Activity log record types. */
+struct LogType
+{
+    static constexpr u16 PenPoint = 1; ///< data=down, extra=(x<<16)|y
+    static constexpr u16 Key = 2;      ///< data=keycode (12 bytes)
+    static constexpr u16 KeyState = 3; ///< data=returned bit field
+    static constexpr u16 Notify = 4;   ///< data=notify type
+    static constexpr u16 Random = 5;   ///< extra=seed argument
+    static constexpr u16 Serial = 6;   ///< data=received byte
+                                       ///< (palmtrace extension)
+    /** PalmistMode generic records use 100 + trap selector. */
+    static constexpr u16 PalmistBase = 100;
+};
+
+/** Record sizes. */
+inline constexpr u32 kLogRecShort = 12;
+inline constexpr u32 kLogRecLong = 16;
+
+/** The database record cap the paper reports (§2.3.3). */
+inline constexpr u32 kMaxLogRecords = 65'536;
+
+} // namespace pt::hacks
+
+#endif // PT_HACKS_LOGFORMAT_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Width-parameterized bit manipulation shared by the instruction
+ * executors.
+ */
+
+#ifndef PT_M68K_BITS_H
+#define PT_M68K_BITS_H
+
+#include "base/types.h"
+#include "m68k/cpu.h"
+
+namespace pt::m68k
+{
+
+/** Truncates a value to the given operand size. */
+inline u32
+truncSz(u32 v, Size sz)
+{
+    switch (sz) {
+      case Size::B: return v & 0xFFu;
+      case Size::W: return v & 0xFFFFu;
+      default: return v;
+    }
+}
+
+/** Sign-extends a value of the given size to 32 bits. */
+inline u32
+signExt(u32 v, Size sz)
+{
+    switch (sz) {
+      case Size::B: return static_cast<u32>(static_cast<s32>(
+                        static_cast<s8>(v & 0xFF)));
+      case Size::W: return static_cast<u32>(static_cast<s32>(
+                        static_cast<s16>(v & 0xFFFF)));
+      default: return v;
+    }
+}
+
+/** @return the most significant (sign) bit of a sized value. */
+inline bool
+msb(u32 v, Size sz)
+{
+    switch (sz) {
+      case Size::B: return v & 0x80u;
+      case Size::W: return v & 0x8000u;
+      default: return v & 0x80000000u;
+    }
+}
+
+/** Decodes the standard 2-bit size field (00=B, 01=W, 10=L). */
+inline Size
+decodeSize2(u16 bits)
+{
+    return bits == 0 ? Size::B : bits == 1 ? Size::W : Size::L;
+}
+
+} // namespace pt::m68k
+
+#endif // PT_M68K_BITS_H

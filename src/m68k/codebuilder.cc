@@ -1,0 +1,732 @@
+#include "codebuilder.h"
+
+#include "base/logging.h"
+
+namespace pt::m68k
+{
+
+namespace
+{
+
+/** Size field used by most ALU encodings: B=0, W=1, L=2. */
+u16
+szBits(Size sz)
+{
+    return sz == Size::B ? 0 : sz == Size::W ? 1 : 2;
+}
+
+/** Size field used by MOVE: B=01, W=11, L=10 (bits 13-12). */
+u16
+moveSzBits(Size sz)
+{
+    return sz == Size::B ? 1 : sz == Size::W ? 3 : 2;
+}
+
+/** Reverses the 16 bits of a MOVEM register mask. */
+u16
+reverseMask(u16 m)
+{
+    u16 r = 0;
+    for (int i = 0; i < 16; ++i)
+        if (m & (1u << i))
+            r |= 1u << (15 - i);
+    return r;
+}
+
+} // namespace
+
+int
+CodeBuilder::newLabel()
+{
+    labels.push_back(-1);
+    return static_cast<int>(labels.size()) - 1;
+}
+
+void
+CodeBuilder::bind(int label)
+{
+    PT_ASSERT(label >= 0 &&
+              label < static_cast<int>(labels.size()),
+              "bad label id ", label);
+    PT_ASSERT(labels[label] < 0, "label ", label, " bound twice");
+    labels[label] = static_cast<s64>(words.size());
+}
+
+Addr
+CodeBuilder::labelAddr(int label) const
+{
+    PT_ASSERT(label >= 0 &&
+              label < static_cast<int>(labels.size()) &&
+              labels[label] >= 0,
+              "unbound label ", label);
+    return originAddr + static_cast<Addr>(labels[label]) * 2;
+}
+
+void
+CodeBuilder::dcl(u32 v)
+{
+    dcw(static_cast<u16>(v >> 16));
+    dcw(static_cast<u16>(v));
+}
+
+void
+CodeBuilder::dclbl(int label)
+{
+    fixups.push_back({words.size(), label, FixKind::AbsL, 0});
+    dcw(0);
+    dcw(0);
+}
+
+void
+CodeBuilder::dcbString(std::string_view s, std::size_t padTo)
+{
+    PT_ASSERT(padTo % 2 == 0 && s.size() <= padTo,
+              "bad dcbString padding");
+    for (std::size_t i = 0; i < padTo; i += 2) {
+        u8 hi = i < s.size() ? static_cast<u8>(s[i]) : 0;
+        u8 lo = i + 1 < s.size() ? static_cast<u8>(s[i + 1]) : 0;
+        dcw(static_cast<u16>((hi << 8) | lo));
+    }
+}
+
+u16
+CodeBuilder::eaField(const Op &op)
+{
+    return static_cast<u16>((op.mode << 3) | op.reg);
+}
+
+void
+CodeBuilder::emitImmediate(Size sz, u32 v)
+{
+    if (sz == Size::L) {
+        dcl(v);
+    } else {
+        dcw(static_cast<u16>(sz == Size::B ? (v & 0xFF) : v));
+    }
+}
+
+u16
+CodeBuilder::emitEa(const Op &op, Size sz)
+{
+    switch (op.mode) {
+      case 5:
+        dcw(static_cast<u16>(op.disp));
+        break;
+      case 6: {
+        u16 ext = static_cast<u16>(
+            (op.indexIsA ? 0x8000 : 0) |
+            (op.indexReg << 12) |
+            (op.indexLong ? 0x0800 : 0) |
+            (static_cast<u8>(op.disp8)));
+        dcw(ext);
+        break;
+      }
+      case 7:
+        switch (op.reg) {
+          case 0:
+            dcw(static_cast<u16>(op.value));
+            break;
+          case 1:
+            if (op.label >= 0) {
+                fixups.push_back({words.size(), op.label,
+                                  FixKind::AbsL, 0});
+                dcw(0);
+                dcw(0);
+            } else {
+                dcl(op.value);
+            }
+            break;
+          case 4:
+            if (op.label >= 0) {
+                PT_ASSERT(sz == Size::L,
+                          "label immediates must be long-sized");
+                fixups.push_back({words.size(), op.label,
+                                  FixKind::AbsL, 0});
+                dcw(0);
+                dcw(0);
+            } else {
+                emitImmediate(sz, op.value);
+            }
+            break;
+          default:
+            PT_PANIC("unsupported EA mode 7 reg ", op.reg);
+        }
+        break;
+      default:
+        break;
+    }
+    return eaField(op);
+}
+
+// --- data movement -----------------------------------------------------
+
+void
+CodeBuilder::move(Size sz, const Op &src, const Op &dst)
+{
+    PT_ASSERT(dst.mode != 7 || dst.reg <= 1, "bad MOVE destination");
+    u16 op = static_cast<u16>((moveSzBits(sz) << 12) |
+                              (dst.reg << 9) | (dst.mode << 6) |
+                              eaField(src));
+    dcw(op);
+    emitEa(src, sz);
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::movea(Size sz, const Op &src, int an)
+{
+    PT_ASSERT(sz != Size::B, "MOVEA has no byte form");
+    u16 op = static_cast<u16>((moveSzBits(sz) << 12) | (an << 9) |
+                              (1 << 6) | eaField(src));
+    dcw(op);
+    emitEa(src, sz);
+}
+
+void
+CodeBuilder::moveq(s8 v, int dn)
+{
+    dcw(static_cast<u16>(0x7000 | (dn << 9) |
+                         (static_cast<u8>(v))));
+}
+
+void
+CodeBuilder::lea(const Op &src, int an)
+{
+    dcw(static_cast<u16>(0x41C0 | (an << 9) | eaField(src)));
+    emitEa(src, Size::L);
+}
+
+void
+CodeBuilder::pea(const Op &src)
+{
+    dcw(static_cast<u16>(0x4840 | eaField(src)));
+    emitEa(src, Size::L);
+}
+
+void
+CodeBuilder::exg(const Op &rx, const Op &ry)
+{
+    if (rx.mode == 0 && ry.mode == 0) {
+        dcw(static_cast<u16>(0xC140 | (rx.reg << 9) | ry.reg));
+    } else if (rx.mode == 1 && ry.mode == 1) {
+        dcw(static_cast<u16>(0xC148 | (rx.reg << 9) | ry.reg));
+    } else {
+        PT_ASSERT(rx.mode == 0 && ry.mode == 1, "bad EXG operands");
+        dcw(static_cast<u16>(0xC188 | (rx.reg << 9) | ry.reg));
+    }
+}
+
+void
+CodeBuilder::movemPush(u16 regMask)
+{
+    dcw(0x48E7); // MOVEM.L regs,-(A7)
+    dcw(reverseMask(regMask));
+}
+
+void
+CodeBuilder::movemPop(u16 regMask)
+{
+    dcw(0x4CDF); // MOVEM.L (A7)+,regs
+    dcw(regMask);
+}
+
+// --- integer arithmetic --------------------------------------------------
+
+void
+CodeBuilder::add(Size sz, const Op &src, const Op &dst)
+{
+    if (dst.mode == 0) {
+        dcw(static_cast<u16>(0xD000 | (dst.reg << 9) |
+                             (szBits(sz) << 6) | eaField(src)));
+        emitEa(src, sz);
+    } else {
+        PT_ASSERT(src.mode == 0, "ADD needs a data register operand");
+        dcw(static_cast<u16>(0xD000 | (src.reg << 9) |
+                             ((szBits(sz) + 4) << 6) | eaField(dst)));
+        emitEa(dst, sz);
+    }
+}
+
+void
+CodeBuilder::adda(Size sz, const Op &src, int an)
+{
+    PT_ASSERT(sz != Size::B, "ADDA has no byte form");
+    u16 opmode = sz == Size::W ? 3 : 7;
+    dcw(static_cast<u16>(0xD000 | (an << 9) | (opmode << 6) |
+                         eaField(src)));
+    emitEa(src, sz);
+}
+
+void
+CodeBuilder::addi(Size sz, u32 v, const Op &dst)
+{
+    dcw(static_cast<u16>(0x0600 | (szBits(sz) << 6) | eaField(dst)));
+    emitImmediate(sz, v);
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::addq(Size sz, u32 v, const Op &dst)
+{
+    PT_ASSERT(v >= 1 && v <= 8, "ADDQ data out of range");
+    dcw(static_cast<u16>(0x5000 | ((v & 7) << 9) |
+                         (szBits(sz) << 6) | eaField(dst)));
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::sub(Size sz, const Op &src, const Op &dst)
+{
+    if (dst.mode == 0) {
+        dcw(static_cast<u16>(0x9000 | (dst.reg << 9) |
+                             (szBits(sz) << 6) | eaField(src)));
+        emitEa(src, sz);
+    } else {
+        PT_ASSERT(src.mode == 0, "SUB needs a data register operand");
+        dcw(static_cast<u16>(0x9000 | (src.reg << 9) |
+                             ((szBits(sz) + 4) << 6) | eaField(dst)));
+        emitEa(dst, sz);
+    }
+}
+
+void
+CodeBuilder::suba(Size sz, const Op &src, int an)
+{
+    PT_ASSERT(sz != Size::B, "SUBA has no byte form");
+    u16 opmode = sz == Size::W ? 3 : 7;
+    dcw(static_cast<u16>(0x9000 | (an << 9) | (opmode << 6) |
+                         eaField(src)));
+    emitEa(src, sz);
+}
+
+void
+CodeBuilder::subi(Size sz, u32 v, const Op &dst)
+{
+    dcw(static_cast<u16>(0x0400 | (szBits(sz) << 6) | eaField(dst)));
+    emitImmediate(sz, v);
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::subq(Size sz, u32 v, const Op &dst)
+{
+    PT_ASSERT(v >= 1 && v <= 8, "SUBQ data out of range");
+    dcw(static_cast<u16>(0x5100 | ((v & 7) << 9) |
+                         (szBits(sz) << 6) | eaField(dst)));
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::mulu(const Op &src, int dn)
+{
+    dcw(static_cast<u16>(0xC0C0 | (dn << 9) | eaField(src)));
+    emitEa(src, Size::W);
+}
+
+void
+CodeBuilder::divu(const Op &src, int dn)
+{
+    dcw(static_cast<u16>(0x80C0 | (dn << 9) | eaField(src)));
+    emitEa(src, Size::W);
+}
+
+void
+CodeBuilder::neg(Size sz, const Op &dst)
+{
+    dcw(static_cast<u16>(0x4400 | (szBits(sz) << 6) | eaField(dst)));
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::ext(Size sz, int dn)
+{
+    PT_ASSERT(sz != Size::B, "EXT has no byte form");
+    dcw(static_cast<u16>((sz == Size::W ? 0x4880 : 0x48C0) | dn));
+}
+
+void
+CodeBuilder::cmp(Size sz, const Op &src, int dn)
+{
+    dcw(static_cast<u16>(0xB000 | (dn << 9) | (szBits(sz) << 6) |
+                         eaField(src)));
+    emitEa(src, sz);
+}
+
+void
+CodeBuilder::cmpa(Size sz, const Op &src, int an)
+{
+    PT_ASSERT(sz != Size::B, "CMPA has no byte form");
+    u16 opmode = sz == Size::W ? 3 : 7;
+    dcw(static_cast<u16>(0xB000 | (an << 9) | (opmode << 6) |
+                         eaField(src)));
+    emitEa(src, sz);
+}
+
+void
+CodeBuilder::cmpi(Size sz, u32 v, const Op &dst)
+{
+    dcw(static_cast<u16>(0x0C00 | (szBits(sz) << 6) | eaField(dst)));
+    emitImmediate(sz, v);
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::tst(Size sz, const Op &dst)
+{
+    dcw(static_cast<u16>(0x4A00 | (szBits(sz) << 6) | eaField(dst)));
+    emitEa(dst, sz);
+}
+
+// --- logic ---------------------------------------------------------------
+
+void
+CodeBuilder::and_(Size sz, const Op &src, const Op &dst)
+{
+    if (dst.mode == 0) {
+        dcw(static_cast<u16>(0xC000 | (dst.reg << 9) |
+                             (szBits(sz) << 6) | eaField(src)));
+        emitEa(src, sz);
+    } else {
+        PT_ASSERT(src.mode == 0, "AND needs a data register operand");
+        dcw(static_cast<u16>(0xC000 | (src.reg << 9) |
+                             ((szBits(sz) + 4) << 6) | eaField(dst)));
+        emitEa(dst, sz);
+    }
+}
+
+void
+CodeBuilder::or_(Size sz, const Op &src, const Op &dst)
+{
+    if (dst.mode == 0) {
+        dcw(static_cast<u16>(0x8000 | (dst.reg << 9) |
+                             (szBits(sz) << 6) | eaField(src)));
+        emitEa(src, sz);
+    } else {
+        PT_ASSERT(src.mode == 0, "OR needs a data register operand");
+        dcw(static_cast<u16>(0x8000 | (src.reg << 9) |
+                             ((szBits(sz) + 4) << 6) | eaField(dst)));
+        emitEa(dst, sz);
+    }
+}
+
+void
+CodeBuilder::eor(Size sz, int dn, const Op &dst)
+{
+    dcw(static_cast<u16>(0xB100 | (dn << 9) | (szBits(sz) << 6) |
+                         eaField(dst)));
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::andi(Size sz, u32 v, const Op &dst)
+{
+    dcw(static_cast<u16>(0x0200 | (szBits(sz) << 6) | eaField(dst)));
+    emitImmediate(sz, v);
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::ori(Size sz, u32 v, const Op &dst)
+{
+    dcw(static_cast<u16>(0x0000 | (szBits(sz) << 6) | eaField(dst)));
+    emitImmediate(sz, v);
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::not_(Size sz, const Op &dst)
+{
+    dcw(static_cast<u16>(0x4600 | (szBits(sz) << 6) | eaField(dst)));
+    emitEa(dst, sz);
+}
+
+void
+CodeBuilder::swap(int dn)
+{
+    dcw(static_cast<u16>(0x4840 | dn));
+}
+
+void
+CodeBuilder::clr(Size sz, const Op &dst)
+{
+    dcw(static_cast<u16>(0x4200 | (szBits(sz) << 6) | eaField(dst)));
+    emitEa(dst, sz);
+}
+
+namespace
+{
+
+u16
+shiftOpcode(int type, bool left, Size sz, int count, int reg,
+            bool countInReg)
+{
+    return static_cast<u16>(0xE000 | ((count & 7) << 9) |
+                            (left ? 0x0100 : 0) | (szBits(sz) << 6) |
+                            (countInReg ? 0x20 : 0) | (type << 3) |
+                            reg);
+}
+
+} // namespace
+
+void
+CodeBuilder::lsl(Size sz, int count, int dn)
+{
+    PT_ASSERT(count >= 1 && count <= 8, "shift count out of range");
+    dcw(shiftOpcode(1, true, sz, count & 7, dn, false));
+}
+
+void
+CodeBuilder::lsr(Size sz, int count, int dn)
+{
+    PT_ASSERT(count >= 1 && count <= 8, "shift count out of range");
+    dcw(shiftOpcode(1, false, sz, count & 7, dn, false));
+}
+
+void
+CodeBuilder::asl(Size sz, int count, int dn)
+{
+    PT_ASSERT(count >= 1 && count <= 8, "shift count out of range");
+    dcw(shiftOpcode(0, true, sz, count & 7, dn, false));
+}
+
+void
+CodeBuilder::asr(Size sz, int count, int dn)
+{
+    PT_ASSERT(count >= 1 && count <= 8, "shift count out of range");
+    dcw(shiftOpcode(0, false, sz, count & 7, dn, false));
+}
+
+void
+CodeBuilder::lslr(Size sz, int countReg, int dn, bool left)
+{
+    dcw(shiftOpcode(1, left, sz, countReg, dn, true));
+}
+
+void
+CodeBuilder::rol(Size sz, int count, int dn)
+{
+    PT_ASSERT(count >= 1 && count <= 8, "rotate count out of range");
+    dcw(shiftOpcode(3, true, sz, count & 7, dn, false));
+}
+
+void
+CodeBuilder::ror(Size sz, int count, int dn)
+{
+    PT_ASSERT(count >= 1 && count <= 8, "rotate count out of range");
+    dcw(shiftOpcode(3, false, sz, count & 7, dn, false));
+}
+
+void
+CodeBuilder::btst(int bit, const Op &dst)
+{
+    dcw(static_cast<u16>(0x0800 | eaField(dst)));
+    dcw(static_cast<u16>(bit));
+    emitEa(dst, Size::B);
+}
+
+void
+CodeBuilder::bset(int bit, const Op &dst)
+{
+    dcw(static_cast<u16>(0x08C0 | eaField(dst)));
+    dcw(static_cast<u16>(bit));
+    emitEa(dst, Size::B);
+}
+
+void
+CodeBuilder::bclr(int bit, const Op &dst)
+{
+    dcw(static_cast<u16>(0x0880 | eaField(dst)));
+    dcw(static_cast<u16>(bit));
+    emitEa(dst, Size::B);
+}
+
+// --- control flow ----------------------------------------------------------
+
+void
+CodeBuilder::bra(int label)
+{
+    bcc(Cond::T, label);
+}
+
+void
+CodeBuilder::bsr(int label)
+{
+    dcw(0x6100);
+    fixups.push_back({words.size(), label, FixKind::Rel16,
+                      here()});
+    dcw(0);
+}
+
+void
+CodeBuilder::bcc(Cond c, int label)
+{
+    PT_ASSERT(c != Cond::F, "BF does not exist (that encoding is BSR)");
+    dcw(static_cast<u16>(0x6000 |
+                         (static_cast<u16>(c) << 8)));
+    fixups.push_back({words.size(), label, FixKind::Rel16,
+                      here()});
+    dcw(0);
+}
+
+void
+CodeBuilder::dbra(int dn, int label)
+{
+    dbcc(Cond::F, dn, label);
+}
+
+void
+CodeBuilder::dbcc(Cond c, int dn, int label)
+{
+    dcw(static_cast<u16>(0x50C8 | (static_cast<u16>(c) << 8) | dn));
+    fixups.push_back({words.size(), label, FixKind::Rel16,
+                      here()});
+    dcw(0);
+}
+
+void
+CodeBuilder::scc(Cond c, const Op &dst)
+{
+    dcw(static_cast<u16>(0x50C0 | (static_cast<u16>(c) << 8) |
+                         eaField(dst)));
+    emitEa(dst, Size::B);
+}
+
+void
+CodeBuilder::jsr(const Op &target)
+{
+    dcw(static_cast<u16>(0x4E80 | eaField(target)));
+    emitEa(target, Size::L);
+}
+
+void
+CodeBuilder::jmp(const Op &target)
+{
+    dcw(static_cast<u16>(0x4EC0 | eaField(target)));
+    emitEa(target, Size::L);
+}
+
+void
+CodeBuilder::rts()
+{
+    dcw(0x4E75);
+}
+
+void
+CodeBuilder::rte()
+{
+    dcw(0x4E73);
+}
+
+void
+CodeBuilder::nop()
+{
+    dcw(0x4E71);
+}
+
+void
+CodeBuilder::trap(int n)
+{
+    dcw(static_cast<u16>(0x4E40 | (n & 15)));
+}
+
+void
+CodeBuilder::trapSel(int n, u16 selector)
+{
+    trap(n);
+    dcw(selector);
+}
+
+void
+CodeBuilder::link(int an, s16 disp)
+{
+    dcw(static_cast<u16>(0x4E50 | an));
+    dcw(static_cast<u16>(disp));
+}
+
+void
+CodeBuilder::unlk(int an)
+{
+    dcw(static_cast<u16>(0x4E58 | an));
+}
+
+void
+CodeBuilder::stop(u16 sr)
+{
+    dcw(0x4E72);
+    dcw(sr);
+}
+
+// --- privileged / system ---------------------------------------------------
+
+void
+CodeBuilder::moveToSr(const Op &src)
+{
+    dcw(static_cast<u16>(0x46C0 | eaField(src)));
+    emitEa(src, Size::W);
+}
+
+void
+CodeBuilder::moveFromSr(const Op &dst)
+{
+    dcw(static_cast<u16>(0x40C0 | eaField(dst)));
+    emitEa(dst, Size::W);
+}
+
+void
+CodeBuilder::oriToSr(u16 v)
+{
+    dcw(0x007C);
+    dcw(v);
+}
+
+void
+CodeBuilder::andiToSr(u16 v)
+{
+    dcw(0x027C);
+    dcw(v);
+}
+
+void
+CodeBuilder::moveUsp(int an, bool toUsp)
+{
+    dcw(static_cast<u16>(0x4E60 | (toUsp ? 0 : 8) | an));
+}
+
+// --- finalize ------------------------------------------------------
+
+std::vector<u8>
+CodeBuilder::finalize()
+{
+    for (const auto &f : fixups) {
+        PT_ASSERT(f.label >= 0 &&
+                  f.label < static_cast<int>(labels.size()) &&
+                  labels[f.label] >= 0,
+                  "unresolved label ", f.label);
+        Addr target = originAddr +
+                      static_cast<Addr>(labels[f.label]) * 2;
+        switch (f.kind) {
+          case FixKind::AbsL:
+            words[f.wordIndex] = static_cast<u16>(target >> 16);
+            words[f.wordIndex + 1] = static_cast<u16>(target);
+            break;
+          case FixKind::Rel16: {
+            s64 disp = static_cast<s64>(target) -
+                       static_cast<s64>(f.base);
+            PT_ASSERT(disp >= -32768 && disp <= 32767,
+                      "branch out of range: ", disp);
+            words[f.wordIndex] = static_cast<u16>(disp);
+            break;
+          }
+        }
+    }
+
+    std::vector<u8> out;
+    out.reserve(words.size() * 2);
+    for (u16 w : words) {
+        out.push_back(static_cast<u8>(w >> 8));
+        out.push_back(static_cast<u8>(w));
+    }
+    return out;
+}
+
+} // namespace pt::m68k

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * A small two-pass 68000 assembler with symbolic labels.
+ *
+ * PilotOS, its applications, and the collection hacks are all genuine
+ * 68k machine code generated at ROM-build time through this API. The
+ * builder emits exact MC68000 encodings, records label fixups (branch
+ * displacements, absolute-long references), and resolves them in
+ * finalize().
+ *
+ * Operands are built with the factory functions in the ops namespace:
+ *
+ *   CodeBuilder b(0x10C00100);
+ *   auto loop = b.newLabel();
+ *   b.bind(loop);
+ *   b.move(Size::L, ops::dr(0), ops::ind(1));   // MOVE.L D0,(A1)
+ *   b.addq(Size::L, 2, ops::ar(1));             // ADDQ.L #2,A1
+ *   b.dbra(0, loop);                            // DBRA D0,loop
+ *   b.rts();
+ */
+
+#ifndef PT_M68K_CODEBUILDER_H
+#define PT_M68K_CODEBUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "m68k/cpu.h"
+
+namespace pt::m68k
+{
+
+/** Branch/Scc/DBcc condition codes (68000 encodings). */
+enum class Cond : u8
+{
+    T = 0, F = 1, HI = 2, LS = 3, CC = 4, CS = 5, NE = 6, EQ = 7,
+    VC = 8, VS = 9, PL = 10, MI = 11, GE = 12, LT = 13, GT = 14,
+    LE = 15,
+};
+
+/** One assembler operand: an addressing mode plus its payload. */
+struct Op
+{
+    u8 mode = 0;          ///< EA mode field (0-7)
+    u8 reg = 0;           ///< EA register field
+    u32 value = 0;        ///< immediate value or absolute address
+    int label = -1;       ///< label for abs.l references (else -1)
+    s16 disp = 0;         ///< displacement for d16(An)
+    bool hasIndex = false;
+    u8 indexReg = 0;      ///< Xn for d8(An,Xn)
+    bool indexIsA = false;
+    bool indexLong = false;
+    s8 disp8 = 0;
+};
+
+/** Operand factory functions. */
+namespace ops
+{
+
+/** Dn */
+inline Op dr(int n) { return Op{.mode = 0, .reg = static_cast<u8>(n)}; }
+/** An */
+inline Op ar(int n) { return Op{.mode = 1, .reg = static_cast<u8>(n)}; }
+/** (An) */
+inline Op ind(int n) { return Op{.mode = 2, .reg = static_cast<u8>(n)}; }
+/** (An)+ */
+inline Op
+postinc(int n)
+{
+    return Op{.mode = 3, .reg = static_cast<u8>(n)};
+}
+/** -(An) */
+inline Op
+predec(int n)
+{
+    return Op{.mode = 4, .reg = static_cast<u8>(n)};
+}
+/** d16(An) */
+inline Op
+disp(int n, s16 d)
+{
+    return Op{.mode = 5, .reg = static_cast<u8>(n), .disp = d};
+}
+/** d8(An,Dx.L) — long index register */
+inline Op
+indexed(int an, int dx, s8 d8 = 0)
+{
+    Op op{.mode = 6, .reg = static_cast<u8>(an)};
+    op.hasIndex = true;
+    op.indexReg = static_cast<u8>(dx);
+    op.indexIsA = false;
+    op.indexLong = true;
+    op.disp8 = d8;
+    return op;
+}
+/** abs.L with a constant address */
+inline Op absl(u32 addr) { return Op{.mode = 7, .reg = 1, .value = addr}; }
+/** abs.L referencing a label */
+inline Op
+abslbl(int label)
+{
+    return Op{.mode = 7, .reg = 1, .label = label};
+}
+/** #imm */
+inline Op imm(u32 v) { return Op{.mode = 7, .reg = 4, .value = v}; }
+/** #label-address — a 32-bit immediate holding a label's address */
+inline Op
+immlbl(int label)
+{
+    return Op{.mode = 7, .reg = 4, .label = label};
+}
+
+} // namespace ops
+
+/**
+ * The assembler. Emits into an internal word buffer rooted at @p origin
+ * and produces a big-endian byte image via finalize().
+ */
+class CodeBuilder
+{
+  public:
+    explicit CodeBuilder(Addr origin)
+        : originAddr(origin)
+    {}
+
+    /** Allocates a new, unbound label. */
+    int newLabel();
+    /** Binds a label to the current emission address. */
+    void bind(int label);
+    /** Allocates and immediately binds a label. */
+    int
+    hereLabel()
+    {
+        int l = newLabel();
+        bind(l);
+        return l;
+    }
+
+    /** @return the current emission address. */
+    Addr
+    here() const
+    {
+        return originAddr + static_cast<Addr>(words.size()) * 2;
+    }
+
+    /** @return a bound label's address (valid after finalize). */
+    Addr labelAddr(int label) const;
+
+    /** Resolves fixups and returns the big-endian code image. */
+    std::vector<u8> finalize();
+
+    // --- raw emission ---
+    void dcw(u16 v) { words.push_back(v); }
+    void dcl(u32 v);
+    /** Emits a label's 32-bit address as data. */
+    void dclbl(int label);
+    /** Emits a byte string, zero-padded to @p padTo bytes (even). */
+    void dcbString(std::string_view s, std::size_t padTo);
+
+    // --- data movement ---
+    void move(Size sz, const Op &src, const Op &dst);
+    void movea(Size sz, const Op &src, int an);
+    void moveq(s8 v, int dn);
+    void lea(const Op &src, int an);
+    void pea(const Op &src);
+    void exg(const Op &rx, const Op &ry);
+    /** MOVEM.L regs,-(A7) — mask uses D0..D7/A0..A7 bit order. */
+    void movemPush(u16 regMask);
+    /** MOVEM.L (A7)+,regs */
+    void movemPop(u16 regMask);
+
+    // --- integer arithmetic ---
+    void add(Size sz, const Op &src, const Op &dst);
+    void adda(Size sz, const Op &src, int an);
+    void addi(Size sz, u32 v, const Op &dst);
+    void addq(Size sz, u32 v, const Op &dst);
+    void sub(Size sz, const Op &src, const Op &dst);
+    void suba(Size sz, const Op &src, int an);
+    void subi(Size sz, u32 v, const Op &dst);
+    void subq(Size sz, u32 v, const Op &dst);
+    void mulu(const Op &src, int dn);
+    void divu(const Op &src, int dn);
+    void neg(Size sz, const Op &dst);
+    void ext(Size sz, int dn);
+    void cmp(Size sz, const Op &src, int dn);
+    void cmpa(Size sz, const Op &src, int an);
+    void cmpi(Size sz, u32 v, const Op &dst);
+    void tst(Size sz, const Op &dst);
+
+    // --- logic ---
+    void and_(Size sz, const Op &src, const Op &dst);
+    void or_(Size sz, const Op &src, const Op &dst);
+    void eor(Size sz, int dn, const Op &dst);
+    void andi(Size sz, u32 v, const Op &dst);
+    void ori(Size sz, u32 v, const Op &dst);
+    void not_(Size sz, const Op &dst);
+    void swap(int dn);
+    void clr(Size sz, const Op &dst);
+    void lsl(Size sz, int count, int dn);
+    void lsr(Size sz, int count, int dn);
+    void asl(Size sz, int count, int dn);
+    void asr(Size sz, int count, int dn);
+    void lslr(Size sz, int countReg, int dn, bool left);
+    void rol(Size sz, int count, int dn);
+    void ror(Size sz, int count, int dn);
+    void btst(int bit, const Op &dst);
+    void bset(int bit, const Op &dst);
+    void bclr(int bit, const Op &dst);
+
+    // --- control flow ---
+    void bra(int label);
+    void bsr(int label);
+    void bcc(Cond c, int label);
+    void dbra(int dn, int label);
+    void dbcc(Cond c, int dn, int label);
+    void scc(Cond c, const Op &dst);
+    void jsr(const Op &target);
+    void jsr(int label) { jsr(ops::abslbl(label)); }
+    void jmp(const Op &target);
+    void jmp(int label) { jmp(ops::abslbl(label)); }
+    void rts();
+    void rte();
+    void nop();
+    /** TRAP #n, optionally followed by a selector word. */
+    void trap(int n);
+    void trapSel(int n, u16 selector);
+    void link(int an, s16 disp);
+    void unlk(int an);
+    void stop(u16 sr);
+
+    // --- privileged / system ---
+    void moveToSr(const Op &src);
+    void moveFromSr(const Op &dst);
+    void oriToSr(u16 v);
+    void andiToSr(u16 v);
+    void moveUsp(int an, bool toUsp);
+
+  private:
+    enum class FixKind : u8
+    {
+        AbsL,   ///< two words hold a label's absolute address
+        Rel16,  ///< one word holds label - baseAddr
+    };
+
+    struct Fixup
+    {
+        std::size_t wordIndex;
+        int label;
+        FixKind kind;
+        Addr base = 0; ///< for Rel16: the displacement base address
+    };
+
+    /** Emits EA extension words for an operand; returns the 6-bit EA. */
+    u16 emitEa(const Op &op, Size sz);
+    /** Computes the 6-bit EA field without extensions (for encoding). */
+    static u16 eaField(const Op &op);
+    void emitImmediate(Size sz, u32 v);
+
+    Addr originAddr;
+    std::vector<u16> words;
+    std::vector<s64> labels; ///< bound word index, or -1
+    std::vector<Fixup> fixups;
+};
+
+} // namespace pt::m68k
+
+#endif // PT_M68K_CODEBUILDER_H

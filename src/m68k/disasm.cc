@@ -1,0 +1,441 @@
+#include "disasm.h"
+
+#include <cstdio>
+
+namespace pt::m68k
+{
+
+namespace
+{
+
+const char *const kCondNames[16] = {
+    "ra", "sr", "hi", "ls", "cc", "cs", "ne", "eq",
+    "vc", "vs", "pl", "mi", "ge", "lt", "gt", "le",
+};
+
+const char *const kSccNames[16] = {
+    "t", "f", "hi", "ls", "cc", "cs", "ne", "eq",
+    "vc", "vs", "pl", "mi", "ge", "lt", "gt", "le",
+};
+
+/** A cursor over the instruction stream using peeks. */
+class Cursor
+{
+  public:
+    Cursor(const BusIf &bus, Addr addr)
+        : bus(bus), start(addr), pos(addr)
+    {}
+
+    u16
+    next16()
+    {
+        u16 v = bus.peek16(pos);
+        pos += 2;
+        return v;
+    }
+
+    u32
+    next32()
+    {
+        u32 hi = next16();
+        return (hi << 16) | next16();
+    }
+
+    u32 length() const { return pos - start; }
+    Addr at() const { return pos; }
+
+  private:
+    const BusIf &bus;
+    Addr start;
+    Addr pos;
+};
+
+std::string
+hex(u32 v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "$%x", v);
+    return buf;
+}
+
+char
+sizeChar(int szBits)
+{
+    return szBits == 0 ? 'b' : szBits == 1 ? 'w' : 'l';
+}
+
+/** Renders one effective address, consuming extension words. */
+std::string
+ea(Cursor &c, int mode, int reg, int szBits)
+{
+    char buf[48];
+    switch (mode) {
+      case 0:
+        std::snprintf(buf, sizeof(buf), "d%d", reg);
+        return buf;
+      case 1:
+        std::snprintf(buf, sizeof(buf), "a%d", reg);
+        return buf;
+      case 2:
+        std::snprintf(buf, sizeof(buf), "(a%d)", reg);
+        return buf;
+      case 3:
+        std::snprintf(buf, sizeof(buf), "(a%d)+", reg);
+        return buf;
+      case 4:
+        std::snprintf(buf, sizeof(buf), "-(a%d)", reg);
+        return buf;
+      case 5: {
+        s16 d = static_cast<s16>(c.next16());
+        std::snprintf(buf, sizeof(buf), "%d(a%d)", d, reg);
+        return buf;
+      }
+      case 6: {
+        u16 x = c.next16();
+        std::snprintf(buf, sizeof(buf), "%d(a%d,%c%d.%c)",
+                      static_cast<s8>(x & 0xFF), reg,
+                      (x & 0x8000) ? 'a' : 'd', (x >> 12) & 7,
+                      (x & 0x0800) ? 'l' : 'w');
+        return buf;
+      }
+      default:
+        switch (reg) {
+          case 0:
+            return "(" + hex(static_cast<s16>(c.next16())) + ").w";
+          case 1:
+            return "(" + hex(c.next32()) + ").l";
+          case 2: {
+            s16 d = static_cast<s16>(c.next16());
+            std::snprintf(buf, sizeof(buf), "%d(pc)", d);
+            return buf;
+          }
+          case 3: {
+            u16 x = c.next16();
+            std::snprintf(buf, sizeof(buf), "%d(pc,%c%d.%c)",
+                          static_cast<s8>(x & 0xFF),
+                          (x & 0x8000) ? 'a' : 'd', (x >> 12) & 7,
+                          (x & 0x0800) ? 'l' : 'w');
+            return buf;
+          }
+          case 4:
+            if (szBits == 2)
+                return "#" + hex(c.next32());
+            return "#" + hex(c.next16());
+          default:
+            return "<bad-ea>";
+        }
+    }
+}
+
+std::string
+sizedOp(const char *name, int szBits)
+{
+    std::string s = name;
+    s += '.';
+    s += sizeChar(szBits);
+    return s;
+}
+
+std::string
+immOf(Cursor &c, int szBits)
+{
+    return szBits == 2 ? "#" + hex(c.next32()) : "#" + hex(c.next16());
+}
+
+std::string
+decode(Cursor &c)
+{
+    u16 op = c.next16();
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+    int szf = (op >> 6) & 3;
+    int dn = (op >> 9) & 7;
+    char buf[64];
+
+    switch (op >> 12) {
+      case 0x0: {
+        if (op & 0x0100) {
+            if (mode == 1) { // MOVEP
+                int opm = (op >> 6) & 3;
+                s16 d = static_cast<s16>(c.next16());
+                const char *dir = (opm & 2) ? "d%d,%d(a%d)"
+                                            : "%3$d(a%3$d),d%1$d";
+                (void)dir;
+                char sz = (opm & 1) ? 'l' : 'w';
+                if (opm & 2) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "movep.%c d%d,%d(a%d)", sz, dn, d,
+                                  reg);
+                } else {
+                    std::snprintf(buf, sizeof(buf),
+                                  "movep.%c %d(a%d),d%d", sz, d, reg,
+                                  dn);
+                }
+                return buf;
+            }
+            static const char *const bops[4] = {"btst", "bchg",
+                                                "bclr", "bset"};
+            return std::string(bops[szf]) + " d" +
+                   std::to_string(dn) + "," + ea(c, mode, reg, 0);
+        }
+        int kind = (op >> 9) & 7;
+        if (kind == 4) {
+            static const char *const bops[4] = {"btst", "bchg",
+                                                "bclr", "bset"};
+            u16 bit = c.next16();
+            return std::string(bops[szf]) + " #" +
+                   std::to_string(bit) + "," + ea(c, mode, reg, 0);
+        }
+        static const char *const iops[8] = {"ori", "andi", "subi",
+                                            "addi", "?", "eori",
+                                            "cmpi", "?"};
+        if (mode == 7 && reg == 4) { // to CCR/SR
+            std::string immS = immOf(c, 0);
+            return std::string(iops[kind]) + " " + immS +
+                   (szf == 0 ? ",ccr" : ",sr");
+        }
+        if (szf == 3)
+            break;
+        std::string immS = immOf(c, szf);
+        return sizedOp(iops[kind], szf) + " " + immS + "," +
+               ea(c, mode, reg, szf);
+      }
+      case 0x1:
+      case 0x2:
+      case 0x3: {
+        int szBits = (op >> 12) == 1 ? 0 : (op >> 12) == 3 ? 1 : 2;
+        std::string src = ea(c, mode, reg, szBits);
+        int dmode = (op >> 6) & 7;
+        if (dmode == 1) {
+            return sizedOp("movea", szBits) + " " + src + ",a" +
+                   std::to_string(dn);
+        }
+        std::string dst = ea(c, dmode, dn, szBits);
+        return sizedOp("move", szBits) + " " + src + "," + dst;
+      }
+      case 0x4: {
+        switch (op) {
+          case 0x4AFC: return "illegal";
+          case 0x4E70: return "reset";
+          case 0x4E71: return "nop";
+          case 0x4E72: return "stop #" + hex(c.next16());
+          case 0x4E73: return "rte";
+          case 0x4E75: return "rts";
+          case 0x4E76: return "trapv";
+          case 0x4E77: return "rtr";
+          default: break;
+        }
+        if ((op & 0xFFF0) == 0x4E40)
+            return "trap #" + std::to_string(op & 15);
+        if ((op & 0xFFF8) == 0x4E50) {
+            s16 d = static_cast<s16>(c.next16());
+            std::snprintf(buf, sizeof(buf), "link a%d,#%d", reg, d);
+            return buf;
+        }
+        if ((op & 0xFFF8) == 0x4E58)
+            return "unlk a" + std::to_string(reg);
+        if ((op & 0xFFF0) == 0x4E60) {
+            if (op & 8)
+                return "move usp,a" + std::to_string(reg);
+            return "move a" + std::to_string(reg) + ",usp";
+        }
+        if ((op & 0xFFC0) == 0x4E80)
+            return "jsr " + ea(c, mode, reg, 2);
+        if ((op & 0xFFC0) == 0x4EC0)
+            return "jmp " + ea(c, mode, reg, 2);
+        if ((op & 0xF1C0) == 0x41C0)
+            return "lea " + ea(c, mode, reg, 2) + ",a" +
+                   std::to_string(dn);
+        if ((op & 0xF1C0) == 0x4180)
+            return "chk " + ea(c, mode, reg, 1) + ",d" +
+                   std::to_string(dn);
+        if ((op & 0xFFF8) == 0x4840)
+            return "swap d" + std::to_string(reg);
+        if ((op & 0xFFC0) == 0x4840)
+            return "pea " + ea(c, mode, reg, 2);
+        if ((op & 0xFFF8) == 0x4880)
+            return "ext.w d" + std::to_string(reg);
+        if ((op & 0xFFF8) == 0x48C0)
+            return "ext.l d" + std::to_string(reg);
+        if ((op & 0xFFC0) == 0x4800)
+            return "nbcd " + ea(c, mode, reg, 0);
+        if ((op & 0xFF80) == 0x4880 || (op & 0xFF80) == 0x4C80) {
+            bool toMem = !(op & 0x0400);
+            char sz = (op & 0x0040) ? 'l' : 'w';
+            u16 mask = c.next16();
+            std::string eaS = ea(c, mode, reg, (op & 0x0040) ? 2 : 1);
+            std::snprintf(buf, sizeof(buf), "movem.%c %s%s%s (%04x)",
+                          sz, toMem ? "regs," : "", eaS.c_str(),
+                          toMem ? "" : ",regs", mask);
+            return buf;
+        }
+        if ((op & 0xFFC0) == 0x40C0)
+            return "move sr," + ea(c, mode, reg, 1);
+        if ((op & 0xFFC0) == 0x44C0)
+            return "move " + ea(c, mode, reg, 1) + ",ccr";
+        if ((op & 0xFFC0) == 0x46C0)
+            return "move " + ea(c, mode, reg, 1) + ",sr";
+        if ((op & 0xFFC0) == 0x4AC0)
+            return "tas " + ea(c, mode, reg, 0);
+        if (szf != 3) {
+            static const char *const unary[16] = {
+                "negx", 0, "clr", 0, "neg", 0, "not", 0,
+                0, 0, "tst", 0, 0, 0, 0, 0};
+            const char *name = unary[(op >> 8) & 0xF];
+            if (name)
+                return sizedOp(name, szf) + " " +
+                       ea(c, mode, reg, szf);
+        }
+        break;
+      }
+      case 0x5: {
+        if (szf == 3) {
+            int cond = (op >> 8) & 0xF;
+            if (mode == 1) {
+                s16 d = static_cast<s16>(c.next16());
+                Addr target = c.at() - 2 + d;
+                std::snprintf(buf, sizeof(buf), "db%s d%d,%s",
+                              kSccNames[cond], reg,
+                              hex(target).c_str());
+                return buf;
+            }
+            return std::string("s") + kSccNames[cond] + " " +
+                   ea(c, mode, reg, 0);
+        }
+        int data = dn == 0 ? 8 : dn;
+        const char *name = (op & 0x0100) ? "subq" : "addq";
+        return sizedOp(name, szf) + " #" + std::to_string(data) +
+               "," + ea(c, mode, reg, szf);
+      }
+      case 0x6: {
+        int cond = (op >> 8) & 0xF;
+        s32 d = static_cast<s8>(op & 0xFF);
+        Addr base = c.at();
+        if ((op & 0xFF) == 0)
+            d = static_cast<s16>(c.next16());
+        Addr target = base + static_cast<u32>(d);
+        return std::string("b") + kCondNames[cond] + " " +
+               hex(target);
+      }
+      case 0x7:
+        std::snprintf(buf, sizeof(buf), "moveq #%d,d%d",
+                      static_cast<s8>(op & 0xFF), dn);
+        return buf;
+      case 0x8:
+      case 0xC: {
+        bool isAnd = (op >> 12) == 0xC;
+        int opmode = (op >> 6) & 7;
+        if (opmode == 3 || opmode == 7) {
+            const char *name = isAnd
+                ? (opmode == 3 ? "mulu" : "muls")
+                : (opmode == 3 ? "divu" : "divs");
+            return std::string(name) + " " + ea(c, mode, reg, 1) +
+                   ",d" + std::to_string(dn);
+        }
+        if (opmode >= 4 && mode <= 1) {
+            if (isAnd && opmode == 5) {
+                if (mode == 0)
+                    return "exg d" + std::to_string(dn) + ",d" +
+                           std::to_string(reg);
+                return "exg a" + std::to_string(dn) + ",a" +
+                       std::to_string(reg);
+            }
+            if (isAnd && opmode == 6)
+                return "exg d" + std::to_string(dn) + ",a" +
+                       std::to_string(reg);
+            const char *name = isAnd ? "abcd" : "sbcd";
+            if (mode == 0)
+                return std::string(name) + " d" +
+                       std::to_string(reg) + ",d" + std::to_string(dn);
+            return std::string(name) + " -(a" + std::to_string(reg) +
+                   "),-(a" + std::to_string(dn) + ")";
+        }
+        const char *name = isAnd ? "and" : "or";
+        int sz = opmode & 3;
+        if (opmode >= 4)
+            return sizedOp(name, sz) + " d" + std::to_string(dn) +
+                   "," + ea(c, mode, reg, sz);
+        return sizedOp(name, sz) + " " + ea(c, mode, reg, sz) +
+               ",d" + std::to_string(dn);
+      }
+      case 0x9:
+      case 0xD: {
+        bool isAdd = (op >> 12) == 0xD;
+        const char *name = isAdd ? "add" : "sub";
+        int opmode = (op >> 6) & 7;
+        if (opmode == 3 || opmode == 7) {
+            int sz = opmode == 3 ? 1 : 2;
+            return sizedOp(isAdd ? "adda" : "suba", sz) + " " +
+                   ea(c, mode, reg, sz) + ",a" + std::to_string(dn);
+        }
+        int sz = opmode & 3;
+        if (opmode >= 4 && mode <= 1) {
+            const char *xname = isAdd ? "addx" : "subx";
+            if (mode == 0)
+                return sizedOp(xname, sz) + " d" +
+                       std::to_string(reg) + ",d" + std::to_string(dn);
+            return sizedOp(xname, sz) + " -(a" + std::to_string(reg) +
+                   "),-(a" + std::to_string(dn) + ")";
+        }
+        if (opmode >= 4)
+            return sizedOp(name, sz) + " d" + std::to_string(dn) +
+                   "," + ea(c, mode, reg, sz);
+        return sizedOp(name, sz) + " " + ea(c, mode, reg, sz) +
+               ",d" + std::to_string(dn);
+      }
+      case 0xB: {
+        int opmode = (op >> 6) & 7;
+        if (opmode == 3 || opmode == 7) {
+            int sz = opmode == 3 ? 1 : 2;
+            return sizedOp("cmpa", sz) + " " + ea(c, mode, reg, sz) +
+                   ",a" + std::to_string(dn);
+        }
+        int sz = opmode & 3;
+        if (opmode < 3)
+            return sizedOp("cmp", sz) + " " + ea(c, mode, reg, sz) +
+                   ",d" + std::to_string(dn);
+        if (mode == 1)
+            return sizedOp("cmpm", sz) + " (a" + std::to_string(reg) +
+                   ")+,(a" + std::to_string(dn) + ")+";
+        return sizedOp("eor", sz) + " d" + std::to_string(dn) + "," +
+               ea(c, mode, reg, sz);
+      }
+      case 0xE: {
+        static const char *const shiftNames[4] = {"as", "ls", "rox",
+                                                  "ro"};
+        bool left = op & 0x0100;
+        if (szf == 3) {
+            int type = (op >> 9) & 3;
+            return std::string(shiftNames[type]) +
+                   (left ? "l" : "r") + " " + ea(c, mode, reg, 1);
+        }
+        int type = (op >> 3) & 3;
+        std::string name = std::string(shiftNames[type]) +
+                           (left ? "l" : "r");
+        name += '.';
+        name += sizeChar(szf);
+        if (op & 0x20)
+            return name + " d" + std::to_string(dn) + ",d" +
+                   std::to_string(reg);
+        int count = dn == 0 ? 8 : dn;
+        return name + " #" + std::to_string(count) + ",d" +
+               std::to_string(reg);
+      }
+      default:
+        break;
+    }
+    std::snprintf(buf, sizeof(buf), "dc.w $%04x", op);
+    return buf;
+}
+
+} // namespace
+
+DisasmResult
+disassemble(const BusIf &bus, Addr addr)
+{
+    Cursor c(bus, addr);
+    std::string text = decode(c);
+    return {std::move(text), c.length()};
+}
+
+} // namespace pt::m68k

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * A one-instruction-at-a-time MC68000 disassembler.
+ *
+ * Used by debugging tools and by the assembler/disassembler agreement
+ * property tests. Reads guest memory through side-effect-free peeks.
+ */
+
+#ifndef PT_M68K_DISASM_H
+#define PT_M68K_DISASM_H
+
+#include <string>
+
+#include "base/types.h"
+#include "m68k/busif.h"
+
+namespace pt::m68k
+{
+
+/** The text and byte length of one decoded instruction. */
+struct DisasmResult
+{
+    std::string text;
+    u32 length; ///< bytes consumed, always even and >= 2
+};
+
+/** Disassembles the instruction at @p addr. Unknown words decode as
+ *  "dc.w $xxxx" with length 2, so a scan never gets stuck. */
+DisasmResult disassemble(const BusIf &bus, Addr addr);
+
+} // namespace pt::m68k
+
+#endif // PT_M68K_DISASM_H

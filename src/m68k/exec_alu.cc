@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Binary ALU opcode groups: OR/DIVU/DIVS/SBCD (group 8), SUB/SUBA/SUBX
+ * (group 9), CMP/CMPA/CMPM/EOR (group B), AND/MULU/MULS/ABCD/EXG
+ * (group C) and ADD/ADDA/ADDX (group D).
+ */
+
+#include "cpu.h"
+
+#include "m68k/bits.h"
+
+namespace pt::m68k
+{
+
+u32
+Cpu::bcdAdd(u32 dst, u32 src)
+{
+    u32 x = flag(Sr::X) ? 1 : 0;
+    u32 d = ((dst >> 4) & 0xF) * 10 + (dst & 0xF);
+    u32 s = ((src >> 4) & 0xF) * 10 + (src & 0xF);
+    u32 sum = d + s + x;
+    bool carry = sum > 99;
+    sum %= 100;
+    u32 r = ((sum / 10) << 4) | (sum % 10);
+    setFlag(Sr::C, carry);
+    setFlag(Sr::X, carry);
+    if (r != 0)
+        setFlag(Sr::Z, false);
+    setFlag(Sr::N, r & 0x80);
+    return r;
+}
+
+u32
+Cpu::bcdSub(u32 dst, u32 src)
+{
+    u32 x = flag(Sr::X) ? 1 : 0;
+    s32 d = static_cast<s32>(((dst >> 4) & 0xF) * 10 + (dst & 0xF));
+    s32 s = static_cast<s32>(((src >> 4) & 0xF) * 10 + (src & 0xF));
+    s32 diff = d - s - static_cast<s32>(x);
+    bool borrow = diff < 0;
+    if (borrow)
+        diff += 100;
+    u32 r = ((static_cast<u32>(diff) / 10) << 4) |
+            (static_cast<u32>(diff) % 10);
+    setFlag(Sr::C, borrow);
+    setFlag(Sr::X, borrow);
+    if (r != 0)
+        setFlag(Sr::Z, false);
+    setFlag(Sr::N, r & 0x80);
+    return r;
+}
+
+void
+Cpu::execGroup8(u16 op)
+{
+    int dn = (op >> 9) & 7;
+    int opmode = (op >> 6) & 7;
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+
+    if (opmode == 3 || opmode == 7) { // DIVU / DIVS
+        Ea ea = decodeEa(mode, reg, Size::W);
+        if (exceptionTaken)
+            return;
+        u32 src = readEa(ea, Size::W);
+        if (src == 0) {
+            pushException(Vector::DivideByZero);
+            internalCycles(34);
+            return;
+        }
+        u32 dst = dreg[dn];
+        if (opmode == 3) { // DIVU
+            u32 q = dst / src;
+            u32 r = dst % src;
+            if (q > 0xFFFF) {
+                setFlag(Sr::V, true);
+                setFlag(Sr::C, false);
+                internalCycles(66);
+                return;
+            }
+            dreg[dn] = (r << 16) | q;
+            setFlag(Sr::N, q & 0x8000);
+            setFlag(Sr::Z, q == 0);
+            setFlag(Sr::V, false);
+            setFlag(Sr::C, false);
+            internalCycles(132);
+        } else { // DIVS
+            s32 sd = static_cast<s32>(dst);
+            s32 ss = static_cast<s16>(src);
+            s32 q = sd / ss;
+            s32 r = sd % ss;
+            if (q < -0x8000 || q > 0x7FFF) {
+                setFlag(Sr::V, true);
+                setFlag(Sr::C, false);
+                internalCycles(66);
+                return;
+            }
+            dreg[dn] = (static_cast<u32>(r & 0xFFFF) << 16) |
+                       static_cast<u32>(q & 0xFFFF);
+            setFlag(Sr::N, q < 0);
+            setFlag(Sr::Z, q == 0);
+            setFlag(Sr::V, false);
+            setFlag(Sr::C, false);
+            internalCycles(154);
+        }
+        return;
+    }
+
+    if (opmode >= 4 && mode <= 1) { // SBCD
+        if (opmode != 4) {
+            illegal(op);
+            return;
+        }
+        if (mode == 0) {
+            dreg[dn] = (dreg[dn] & 0xFFFFFF00u) |
+                       bcdSub(dreg[dn] & 0xFF, dreg[reg] & 0xFF);
+            internalCycles(2);
+        } else { // -(Ay),-(Ax)
+            areg[reg] -= (reg == 7 ? 2 : 1);
+            u32 src = busRead8(areg[reg], AccessKind::Read);
+            areg[dn] -= (dn == 7 ? 2 : 1);
+            u32 dst = busRead8(areg[dn], AccessKind::Read);
+            busWrite8(areg[dn], static_cast<u8>(bcdSub(dst, src)));
+            internalCycles(2);
+        }
+        return;
+    }
+
+    // OR
+    Size sz = decodeSize2(opmode & 3);
+    bool toEa = opmode >= 4;
+    if (mode == 1 || (toEa && mode == 0) ||
+        (toEa && mode == 7 && reg > 1)) {
+        illegal(op);
+        return;
+    }
+    Ea ea = decodeEa(mode, reg, sz);
+    if (exceptionTaken)
+        return;
+    u32 eav = readEa(ea, sz);
+    u32 r = truncSz(eav | dreg[dn], sz);
+    setLogicFlags(r, sz);
+    if (toEa) {
+        writeEa(ea, sz, r);
+    } else {
+        writeEa(Ea{Ea::Kind::DReg, dn, 0, 0}, sz, r);
+        if (sz == Size::L)
+            internalCycles(2);
+    }
+}
+
+void
+Cpu::execGroup9D(u16 op, bool isAdd)
+{
+    int dn = (op >> 9) & 7;
+    int opmode = (op >> 6) & 7;
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+
+    if (opmode == 3 || opmode == 7) { // ADDA / SUBA
+        Size sz = opmode == 3 ? Size::W : Size::L;
+        Ea ea = decodeEa(mode, reg, sz);
+        if (exceptionTaken)
+            return;
+        u32 src = readEa(ea, sz);
+        if (sz == Size::W)
+            src = signExt(src, Size::W);
+        if (isAdd)
+            areg[dn] += src;
+        else
+            areg[dn] -= src;
+        internalCycles(sz == Size::L ? 2 : 4);
+        return;
+    }
+
+    Size sz = decodeSize2(opmode & 3);
+
+    if (opmode >= 4 && mode <= 1) { // ADDX / SUBX
+        if (mode == 0) {
+            u32 src = truncSz(dreg[reg], sz);
+            u32 dst = truncSz(dreg[dn], sz);
+            u32 r = isAdd ? addCommon(dst, src, sz, true, true)
+                          : subCommon(dst, src, sz, true, true);
+            writeEa(Ea{Ea::Kind::DReg, dn, 0, 0}, sz, r);
+            internalCycles(sz == Size::L ? 4 : 0);
+        } else { // -(Ay),-(Ax)
+            u32 step = sizeBytes(sz);
+            u32 srcStep = (reg == 7 && sz == Size::B) ? 2 : step;
+            u32 dstStep = (dn == 7 && sz == Size::B) ? 2 : step;
+            areg[reg] -= srcStep;
+            u32 src = sz == Size::B
+                ? busRead8(areg[reg], AccessKind::Read)
+                : sz == Size::W
+                    ? busRead16(areg[reg], AccessKind::Read)
+                    : busRead32(areg[reg], AccessKind::Read);
+            areg[dn] -= dstStep;
+            u32 dst = sz == Size::B
+                ? busRead8(areg[dn], AccessKind::Read)
+                : sz == Size::W
+                    ? busRead16(areg[dn], AccessKind::Read)
+                    : busRead32(areg[dn], AccessKind::Read);
+            u32 r = isAdd ? addCommon(dst, src, sz, true, true)
+                          : subCommon(dst, src, sz, true, true);
+            if (sz == Size::B)
+                busWrite8(areg[dn], static_cast<u8>(r));
+            else if (sz == Size::W)
+                busWrite16(areg[dn], static_cast<u16>(r));
+            else
+                busWrite32(areg[dn], r);
+        }
+        return;
+    }
+
+    bool toEa = opmode >= 4;
+    if ((mode == 1 && sz == Size::B) ||
+        (toEa && mode <= 1) ||
+        (toEa && mode == 7 && reg > 1)) {
+        illegal(op);
+        return;
+    }
+    Ea ea = decodeEa(mode, reg, sz);
+    if (exceptionTaken)
+        return;
+    u32 eav = readEa(ea, sz);
+    if (toEa) {
+        u32 r = isAdd ? addCommon(eav, dreg[dn], sz, false, false)
+                      : subCommon(eav, dreg[dn], sz, false, false);
+        writeEa(ea, sz, r);
+    } else {
+        u32 src = eav;
+        u32 dst = truncSz(dreg[dn], sz);
+        u32 r = isAdd ? addCommon(dst, src, sz, false, false)
+                      : subCommon(dst, src, sz, false, false);
+        writeEa(Ea{Ea::Kind::DReg, dn, 0, 0}, sz, r);
+        if (sz == Size::L)
+            internalCycles(2);
+    }
+}
+
+void
+Cpu::execGroupB(u16 op)
+{
+    int dn = (op >> 9) & 7;
+    int opmode = (op >> 6) & 7;
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+
+    if (opmode == 3 || opmode == 7) { // CMPA
+        Size sz = opmode == 3 ? Size::W : Size::L;
+        Ea ea = decodeEa(mode, reg, sz);
+        if (exceptionTaken)
+            return;
+        u32 src = readEa(ea, sz);
+        if (sz == Size::W)
+            src = signExt(src, Size::W);
+        cmpCommon(areg[dn], src, Size::L);
+        internalCycles(2);
+        return;
+    }
+
+    Size sz = decodeSize2(opmode & 3);
+
+    if (opmode < 3) { // CMP <ea>,Dn
+        if (mode == 1 && sz == Size::B) {
+            illegal(op);
+            return;
+        }
+        Ea ea = decodeEa(mode, reg, sz);
+        if (exceptionTaken)
+            return;
+        cmpCommon(truncSz(dreg[dn], sz), readEa(ea, sz), sz);
+        if (sz == Size::L)
+            internalCycles(2);
+        return;
+    }
+
+    if (mode == 1) { // CMPM (Ay)+,(Ax)+
+        u32 step = sizeBytes(sz);
+        u32 srcStep = (reg == 7 && sz == Size::B) ? 2 : step;
+        u32 dstStep = (dn == 7 && sz == Size::B) ? 2 : step;
+        u32 src = sz == Size::B
+            ? busRead8(areg[reg], AccessKind::Read)
+            : sz == Size::W ? busRead16(areg[reg], AccessKind::Read)
+                            : busRead32(areg[reg], AccessKind::Read);
+        areg[reg] += srcStep;
+        u32 dst = sz == Size::B
+            ? busRead8(areg[dn], AccessKind::Read)
+            : sz == Size::W ? busRead16(areg[dn], AccessKind::Read)
+                            : busRead32(areg[dn], AccessKind::Read);
+        areg[dn] += dstStep;
+        cmpCommon(dst, src, sz);
+        return;
+    }
+
+    // EOR Dn,<ea>
+    if (mode == 7 && reg > 1) {
+        illegal(op);
+        return;
+    }
+    Ea ea = decodeEa(mode, reg, sz);
+    if (exceptionTaken)
+        return;
+    u32 r = truncSz(readEa(ea, sz) ^ dreg[dn], sz);
+    setLogicFlags(r, sz);
+    writeEa(ea, sz, r);
+    if (ea.kind == Ea::Kind::DReg && sz == Size::L)
+        internalCycles(4);
+}
+
+void
+Cpu::execGroupC(u16 op)
+{
+    int dn = (op >> 9) & 7;
+    int opmode = (op >> 6) & 7;
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+
+    if (opmode == 3 || opmode == 7) { // MULU / MULS
+        Ea ea = decodeEa(mode, reg, Size::W);
+        if (exceptionTaken)
+            return;
+        u32 src = readEa(ea, Size::W);
+        u32 r;
+        if (opmode == 3) {
+            r = (dreg[dn] & 0xFFFF) * src;
+        } else {
+            s32 a = static_cast<s16>(dreg[dn] & 0xFFFF);
+            s32 b = static_cast<s16>(src);
+            r = static_cast<u32>(a * b);
+        }
+        dreg[dn] = r;
+        setLogicFlags(r, Size::L);
+        internalCycles(50);
+        return;
+    }
+
+    if (opmode >= 4 && mode <= 1) { // ABCD / EXG
+        if (opmode == 4) { // ABCD
+            if (mode == 0) {
+                dreg[dn] = (dreg[dn] & 0xFFFFFF00u) |
+                           bcdAdd(dreg[dn] & 0xFF, dreg[reg] & 0xFF);
+                internalCycles(2);
+            } else {
+                areg[reg] -= (reg == 7 ? 2 : 1);
+                u32 src = busRead8(areg[reg], AccessKind::Read);
+                areg[dn] -= (dn == 7 ? 2 : 1);
+                u32 dst = busRead8(areg[dn], AccessKind::Read);
+                busWrite8(areg[dn],
+                          static_cast<u8>(bcdAdd(dst, src)));
+                internalCycles(2);
+            }
+            return;
+        }
+        if (opmode == 5) { // EXG Dx,Dy or EXG Ax,Ay
+            if (mode == 0) {
+                u32 t = dreg[dn];
+                dreg[dn] = dreg[reg];
+                dreg[reg] = t;
+            } else {
+                u32 t = areg[dn];
+                areg[dn] = areg[reg];
+                areg[reg] = t;
+            }
+            internalCycles(2);
+            return;
+        }
+        if (opmode == 6 && mode == 1) { // EXG Dx,Ay
+            u32 t = dreg[dn];
+            dreg[dn] = areg[reg];
+            areg[reg] = t;
+            internalCycles(2);
+            return;
+        }
+        illegal(op);
+        return;
+    }
+
+    // AND
+    Size sz = decodeSize2(opmode & 3);
+    bool toEa = opmode >= 4;
+    if (mode == 1 || (toEa && mode == 0) ||
+        (toEa && mode == 7 && reg > 1)) {
+        illegal(op);
+        return;
+    }
+    Ea ea = decodeEa(mode, reg, sz);
+    if (exceptionTaken)
+        return;
+    u32 r = truncSz(readEa(ea, sz) & dreg[dn], sz);
+    setLogicFlags(r, sz);
+    if (toEa) {
+        writeEa(ea, sz, r);
+    } else {
+        writeEa(Ea{Ea::Kind::DReg, dn, 0, 0}, sz, r);
+        if (sz == Size::L)
+            internalCycles(2);
+    }
+}
+
+} // namespace pt::m68k

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Opcode group 0: immediate arithmetic/logic (ORI, ANDI, SUBI, ADDI,
+ * EORI, CMPI), static and dynamic bit operations (BTST, BCHG, BCLR,
+ * BSET), MOVEP, and the CCR/SR immediate forms.
+ */
+
+#include "cpu.h"
+
+#include "m68k/bits.h"
+
+namespace pt::m68k
+{
+
+void
+Cpu::execBitOp(u16 op, u32 bitNum)
+{
+    int type = (op >> 6) & 3; // 0 BTST, 1 BCHG, 2 BCLR, 3 BSET
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+
+    if (mode == 0) { // data register: long operand
+        bitNum &= 31;
+        u32 mask = 1u << bitNum;
+        u32 val = dreg[reg];
+        setFlag(Sr::Z, !(val & mask));
+        switch (type) {
+          case 1: dreg[reg] = val ^ mask; internalCycles(2); break;
+          case 2: dreg[reg] = val & ~mask; internalCycles(4); break;
+          case 3: dreg[reg] = val | mask; internalCycles(2); break;
+          default: internalCycles(2); break;
+        }
+        return;
+    }
+    if (mode == 1) {
+        illegal(op);
+        return;
+    }
+
+    bitNum &= 7;
+    Ea ea = decodeEa(mode, reg, Size::B);
+    if (exceptionTaken)
+        return;
+    u32 mask = 1u << bitNum;
+    u32 val = readEa(ea, Size::B);
+    setFlag(Sr::Z, !(val & mask));
+    switch (type) {
+      case 1: writeEa(ea, Size::B, val ^ mask); break;
+      case 2: writeEa(ea, Size::B, val & ~mask); break;
+      case 3: writeEa(ea, Size::B, val | mask); break;
+      default: break; // BTST does not write back
+    }
+}
+
+void
+Cpu::execGroup0(u16 op)
+{
+    if (op & 0x0100) {
+        if (((op >> 3) & 7) == 1) {
+            // MOVEP: 0000 ddd 1 om 001 aaa, opmode in bits 7-6.
+            int dn = (op >> 9) & 7;
+            int an = op & 7;
+            int opmode = (op >> 6) & 3;
+            bool isLong = opmode & 1;
+            bool toMem = opmode & 2;
+            Addr addr = areg[an] + signExt(fetch16(), Size::W);
+            int bytes = isLong ? 4 : 2;
+            if (toMem) {
+                u32 v = dreg[dn];
+                for (int i = 0; i < bytes; ++i) {
+                    int shift = (bytes - 1 - i) * 8;
+                    busWrite8(addr + static_cast<Addr>(i) * 2,
+                              static_cast<u8>(v >> shift));
+                }
+            } else {
+                u32 v = 0;
+                for (int i = 0; i < bytes; ++i) {
+                    v = (v << 8) |
+                        busRead8(addr + static_cast<Addr>(i) * 2,
+                                 AccessKind::Read);
+                }
+                if (isLong) {
+                    dreg[dn] = v;
+                } else {
+                    dreg[dn] = (dreg[dn] & 0xFFFF0000u) | (v & 0xFFFF);
+                }
+            }
+            return;
+        }
+        // Dynamic bit operation: bit number from a data register.
+        execBitOp(op, dreg[(op >> 9) & 7]);
+        return;
+    }
+
+    int kind = (op >> 9) & 7;
+    if (kind == 4) { // static bit operation: bit number is immediate
+        u32 bitNum = fetch16() & 0xFF;
+        execBitOp(op, bitNum);
+        return;
+    }
+    if (kind == 7) {
+        illegal(op);
+        return;
+    }
+
+    u16 szField = (op >> 6) & 3;
+    if (szField == 3) {
+        illegal(op);
+        return;
+    }
+    Size sz = decodeSize2(szField);
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+
+    // ORI/ANDI/EORI to CCR (byte) or SR (word, privileged).
+    bool logicOp = kind == 0 || kind == 1 || kind == 5;
+    if (logicOp && mode == 7 && reg == 4) {
+        u16 imm = fetch16();
+        bool toSr = sz == Size::W;
+        if (toSr && !(srReg & Sr::S)) {
+            privilegeViolation();
+            return;
+        }
+        u16 cur = toSr ? srReg : (srReg & 0xFF);
+        u16 val;
+        switch (kind) {
+          case 0: val = cur | imm; break;
+          case 1: val = cur & imm; break;
+          default: val = cur ^ imm; break;
+        }
+        if (toSr)
+            setSr(val);
+        else
+            srReg = static_cast<u16>((srReg & 0xFF00) | (val & 0x1F));
+        internalCycles(8);
+        return;
+    }
+
+    u32 imm = sz == Size::L ? fetch32() : (fetch16() & 0xFFFF);
+    if (sz == Size::B)
+        imm &= 0xFF;
+
+    if (mode == 1 || (mode == 7 && reg > (kind == 6 ? 3 : 1))) {
+        illegal(op); // An and immediate destinations are invalid
+        return;
+    }
+
+    Ea ea = decodeEa(mode, reg, sz);
+    if (exceptionTaken)
+        return;
+    u32 dst = readEa(ea, sz);
+
+    switch (kind) {
+      case 0: // ORI
+        dst |= imm;
+        setLogicFlags(dst, sz);
+        writeEa(ea, sz, dst);
+        break;
+      case 1: // ANDI
+        dst &= imm;
+        setLogicFlags(dst, sz);
+        writeEa(ea, sz, dst);
+        break;
+      case 2: // SUBI
+        dst = subCommon(dst, imm, sz, false, false);
+        writeEa(ea, sz, dst);
+        break;
+      case 3: // ADDI
+        dst = addCommon(dst, imm, sz, false, false);
+        writeEa(ea, sz, dst);
+        break;
+      case 5: // EORI
+        dst ^= imm;
+        setLogicFlags(dst, sz);
+        writeEa(ea, sz, dst);
+        break;
+      default: // CMPI
+        cmpCommon(dst, imm, sz);
+        break;
+    }
+    if (ea.kind == Ea::Kind::DReg && sz == Size::L)
+        internalCycles(4);
+}
+
+} // namespace pt::m68k

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Opcode group 4: LEA, PEA, JSR, JMP, MOVEM, LINK/UNLK, TRAP, RTS,
+ * RTE, RTR, STOP, NOP, SWAP, EXT, CLR, NEG, NEGX, NOT, TST, TAS, NBCD,
+ * CHK, and the SR/CCR move forms.
+ */
+
+#include "cpu.h"
+
+#include "m68k/bits.h"
+
+namespace pt::m68k
+{
+
+void
+Cpu::execMovem(u16 op, bool toMem, Size sz)
+{
+    u16 mask = fetch16();
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+    u32 step = sizeBytes(sz);
+
+    auto regValue = [&](int idx) { // 0-7 = D0-D7, 8-15 = A0-A7
+        return idx < 8 ? dreg[idx & 7] : areg[idx & 7];
+    };
+    auto setReg = [&](int idx, u32 v) {
+        if (idx < 8)
+            dreg[idx & 7] = v;
+        else
+            areg[idx & 7] = v;
+    };
+
+    if (toMem && mode == 4) { // -(An): reversed mask, descending
+        u32 addr = areg[reg];
+        u32 initial[16];
+        for (int i = 0; i < 16; ++i)
+            initial[i] = regValue(i);
+        for (int bit = 0; bit < 16; ++bit) {
+            if (!(mask & (1u << bit)))
+                continue;
+            int idx = 15 - bit; // bit 0 = A7 ... bit 15 = D0
+            addr -= step;
+            if (sz == Size::L)
+                busWrite32(addr, initial[idx]);
+            else
+                busWrite16(addr, static_cast<u16>(initial[idx]));
+        }
+        areg[reg] = addr;
+        return;
+    }
+
+    Addr addr;
+    bool postInc = !toMem && mode == 3;
+    if (postInc) {
+        addr = areg[reg];
+    } else {
+        addr = decodeControlEa(mode, reg);
+        if (exceptionTaken)
+            return;
+    }
+
+    for (int bit = 0; bit < 16; ++bit) {
+        if (!(mask & (1u << bit)))
+            continue;
+        if (toMem) {
+            if (sz == Size::L)
+                busWrite32(addr, regValue(bit));
+            else
+                busWrite16(addr, static_cast<u16>(regValue(bit)));
+        } else {
+            u32 v = sz == Size::L
+                ? busRead32(addr, AccessKind::Read)
+                : signExt(busRead16(addr, AccessKind::Read), Size::W);
+            setReg(bit, v);
+        }
+        addr += step;
+    }
+    if (postInc)
+        areg[reg] = addr; // overrides any value loaded into An
+    internalCycles(4);
+}
+
+void
+Cpu::execGroup4(u16 op)
+{
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+
+    // --- fully specified opcodes ---
+    switch (op) {
+      case 0x4AFC: // ILLEGAL
+        illegal(op);
+        return;
+      case 0x4E70: // RESET (asserts the external reset line)
+        if (!(srReg & Sr::S)) {
+            privilegeViolation();
+            return;
+        }
+        internalCycles(128);
+        return;
+      case 0x4E71: // NOP
+        return;
+      case 0x4E72: { // STOP #imm
+        if (!(srReg & Sr::S)) {
+            privilegeViolation();
+            return;
+        }
+        u16 imm = fetch16();
+        setSr(imm);
+        stoppedFlag = true;
+        return;
+      }
+      case 0x4E73: { // RTE
+        if (!(srReg & Sr::S)) {
+            privilegeViolation();
+            return;
+        }
+        u16 newSr = pop16();
+        u32 newPc = pop32();
+        setSr(newSr);
+        pcReg = newPc;
+        internalCycles(4);
+        return;
+      }
+      case 0x4E75: // RTS
+        pcReg = pop32();
+        internalCycles(4);
+        return;
+      case 0x4E76: // TRAPV
+        if (flag(Sr::V)) {
+            pushException(Vector::TrapV);
+            internalCycles(18);
+        }
+        return;
+      case 0x4E77: { // RTR
+        u16 ccr = pop16();
+        srReg = static_cast<u16>((srReg & 0xFF00) | (ccr & 0x1F));
+        pcReg = pop32();
+        internalCycles(4);
+        return;
+      }
+      default:
+        break;
+    }
+
+    if ((op & 0xFFF0) == 0x4E40) { // TRAP #n
+        doTrap(op & 15);
+        return;
+    }
+    if ((op & 0xFFF8) == 0x4E50) { // LINK An,#disp
+        u32 disp = signExt(fetch16(), Size::W);
+        push32(areg[reg]);
+        areg[reg] = areg[7];
+        areg[7] += disp;
+        return;
+    }
+    if ((op & 0xFFF8) == 0x4E58) { // UNLK An
+        areg[7] = areg[reg];
+        areg[reg] = pop32();
+        return;
+    }
+    if ((op & 0xFFF0) == 0x4E60) { // MOVE USP
+        if (!(srReg & Sr::S)) {
+            privilegeViolation();
+            return;
+        }
+        if (op & 8)
+            areg[reg] = otherSp; // MOVE USP,An
+        else
+            otherSp = areg[reg]; // MOVE An,USP
+        return;
+    }
+    if ((op & 0xFFC0) == 0x4E80) { // JSR
+        Addr target = decodeControlEa(mode, reg);
+        if (exceptionTaken)
+            return;
+        push32(pcReg);
+        pcReg = target;
+        internalCycles(4);
+        return;
+    }
+    if ((op & 0xFFC0) == 0x4EC0) { // JMP
+        Addr target = decodeControlEa(mode, reg);
+        if (exceptionTaken)
+            return;
+        pcReg = target;
+        internalCycles(4);
+        return;
+    }
+    if ((op & 0xF1C0) == 0x41C0) { // LEA An,<ea>
+        Addr addr = decodeControlEa(mode, reg);
+        if (exceptionTaken)
+            return;
+        areg[(op >> 9) & 7] = addr;
+        return;
+    }
+    if ((op & 0xF1C0) == 0x4180) { // CHK.W Dn,<ea>
+        Ea ea = decodeEa(mode, reg, Size::W);
+        if (exceptionTaken)
+            return;
+        s16 bound = static_cast<s16>(readEa(ea, Size::W));
+        s16 value = static_cast<s16>(dreg[(op >> 9) & 7] & 0xFFFF);
+        if (value < 0 || value > bound) {
+            setFlag(Sr::N, value < 0);
+            pushException(Vector::Chk);
+            internalCycles(30);
+        }
+        return;
+    }
+    if ((op & 0xFFF8) == 0x4840) { // SWAP Dn
+        u32 v = dreg[reg];
+        v = (v >> 16) | (v << 16);
+        dreg[reg] = v;
+        setLogicFlags(v, Size::L);
+        return;
+    }
+    if ((op & 0xFFC0) == 0x4840) { // PEA <ea>
+        Addr addr = decodeControlEa(mode, reg);
+        if (exceptionTaken)
+            return;
+        push32(addr);
+        return;
+    }
+    if ((op & 0xFFF8) == 0x4880) { // EXT.W Dn
+        u32 v = signExt(dreg[reg], Size::B) & 0xFFFF;
+        dreg[reg] = (dreg[reg] & 0xFFFF0000u) | v;
+        setLogicFlags(v, Size::W);
+        return;
+    }
+    if ((op & 0xFFF8) == 0x48C0) { // EXT.L Dn
+        u32 v = signExt(dreg[reg], Size::W);
+        dreg[reg] = v;
+        setLogicFlags(v, Size::L);
+        return;
+    }
+    if ((op & 0xFFC0) == 0x4800) { // NBCD <ea>
+        Ea ea = decodeEa(mode, reg, Size::B);
+        if (exceptionTaken)
+            return;
+        u32 dst = readEa(ea, Size::B);
+        u32 r = bcdSub(0, dst);
+        writeEa(ea, Size::B, r);
+        internalCycles(2);
+        return;
+    }
+    if ((op & 0xFF80) == 0x4880 || (op & 0xFF80) == 0x4C80) { // MOVEM
+        bool toMem = !(op & 0x0400);
+        Size sz = (op & 0x0040) ? Size::L : Size::W;
+        execMovem(op, toMem, sz);
+        return;
+    }
+    if ((op & 0xFFC0) == 0x40C0) { // MOVE SR,<ea>
+        Ea ea = decodeEa(mode, reg, Size::W);
+        if (exceptionTaken)
+            return;
+        writeEa(ea, Size::W, srReg);
+        return;
+    }
+    if ((op & 0xFFC0) == 0x44C0) { // MOVE <ea>,CCR
+        Ea ea = decodeEa(mode, reg, Size::W);
+        if (exceptionTaken)
+            return;
+        u32 v = readEa(ea, Size::W);
+        srReg = static_cast<u16>((srReg & 0xFF00) | (v & 0x1F));
+        internalCycles(8);
+        return;
+    }
+    if ((op & 0xFFC0) == 0x46C0) { // MOVE <ea>,SR
+        if (!(srReg & Sr::S)) {
+            privilegeViolation();
+            return;
+        }
+        Ea ea = decodeEa(mode, reg, Size::W);
+        if (exceptionTaken)
+            return;
+        setSr(static_cast<u16>(readEa(ea, Size::W)));
+        internalCycles(8);
+        return;
+    }
+    if ((op & 0xFFC0) == 0x4AC0) { // TAS <ea>
+        Ea ea = decodeEa(mode, reg, Size::B);
+        if (exceptionTaken)
+            return;
+        u32 v = readEa(ea, Size::B);
+        setLogicFlags(v, Size::B);
+        writeEa(ea, Size::B, v | 0x80);
+        internalCycles(2);
+        return;
+    }
+
+    // --- sized unary operations: NEGX, CLR, NEG, NOT, TST ---
+    u16 szField = (op >> 6) & 3;
+    if (szField == 3) {
+        illegal(op);
+        return;
+    }
+    Size sz = decodeSize2(szField);
+    int unary = (op >> 8) & 0xF;
+    if (mode == 1 || (mode == 7 && reg > 1)) {
+        illegal(op);
+        return;
+    }
+    Ea ea = decodeEa(mode, reg, sz);
+    if (exceptionTaken)
+        return;
+
+    switch (unary) {
+      case 0x0: { // NEGX
+        u32 dst = readEa(ea, sz);
+        u32 r = subCommon(0, dst, sz, true, true);
+        writeEa(ea, sz, r);
+        break;
+      }
+      case 0x2: // CLR
+        // The 68000 performs a (counted) read before clearing.
+        (void)readEa(ea, sz);
+        setLogicFlags(0, sz);
+        writeEa(ea, sz, 0);
+        break;
+      case 0x4: { // NEG
+        u32 dst = readEa(ea, sz);
+        u32 r = subCommon(0, dst, sz, false, false);
+        writeEa(ea, sz, r);
+        break;
+      }
+      case 0x6: { // NOT
+        u32 r = truncSz(~readEa(ea, sz), sz);
+        setLogicFlags(r, sz);
+        writeEa(ea, sz, r);
+        break;
+      }
+      case 0xA: // TST
+        setLogicFlags(readEa(ea, sz), sz);
+        break;
+      default:
+        illegal(op);
+        break;
+    }
+}
+
+} // namespace pt::m68k

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Opcode group 5: ADDQ, SUBQ, Scc, DBcc.
+ */
+
+#include "cpu.h"
+
+#include "m68k/bits.h"
+
+namespace pt::m68k
+{
+
+void
+Cpu::execGroup5(u16 op)
+{
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+    u16 szField = (op >> 6) & 3;
+
+    if (szField == 3) { // Scc / DBcc
+        int cond = (op >> 8) & 0xF;
+        if (mode == 1) { // DBcc Dn,<disp>
+            u32 base = pcReg;
+            u32 disp = signExt(fetch16(), Size::W);
+            if (!testCond(cond)) {
+                u16 counter = static_cast<u16>(dreg[reg] - 1);
+                dreg[reg] = (dreg[reg] & 0xFFFF0000u) | counter;
+                if (counter != 0xFFFF) {
+                    pcReg = base + disp;
+                    internalCycles(2);
+                    return;
+                }
+                internalCycles(6);
+                return;
+            }
+            internalCycles(4);
+            return;
+        }
+        // Scc <ea>
+        if (mode == 7 && reg > 1) {
+            illegal(op);
+            return;
+        }
+        Ea ea = decodeEa(mode, reg, Size::B);
+        if (exceptionTaken)
+            return;
+        bool taken = testCond(cond);
+        writeEa(ea, Size::B, taken ? 0xFF : 0x00);
+        if (taken && ea.kind == Ea::Kind::DReg)
+            internalCycles(2);
+        return;
+    }
+
+    Size sz = decodeSize2(szField);
+    u32 data = (op >> 9) & 7;
+    if (data == 0)
+        data = 8;
+    bool isSub = op & 0x0100;
+
+    if (mode == 1) { // address register: full 32 bits, no flags
+        if (sz == Size::B) {
+            illegal(op);
+            return;
+        }
+        if (isSub)
+            areg[reg] -= data;
+        else
+            areg[reg] += data;
+        internalCycles(4);
+        return;
+    }
+    if (mode == 7 && reg > 1) {
+        illegal(op);
+        return;
+    }
+
+    Ea ea = decodeEa(mode, reg, sz);
+    if (exceptionTaken)
+        return;
+    u32 dst = readEa(ea, sz);
+    u32 r = isSub ? subCommon(dst, data, sz, false, false)
+                  : addCommon(dst, data, sz, false, false);
+    writeEa(ea, sz, r);
+    if (ea.kind == Ea::Kind::DReg && sz == Size::L)
+        internalCycles(4);
+}
+
+} // namespace pt::m68k

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Opcode group 6: BRA, BSR, Bcc.
+ */
+
+#include "cpu.h"
+
+#include "m68k/bits.h"
+
+namespace pt::m68k
+{
+
+void
+Cpu::execGroup6(u16 op)
+{
+    int cond = (op >> 8) & 0xF;
+    u32 disp = signExt(op & 0xFF, Size::B);
+    u32 base = pcReg; // address just past the opcode word
+    if ((op & 0xFF) == 0)
+        disp = signExt(fetch16(), Size::W);
+
+    if (cond == 1) { // BSR
+        push32(pcReg);
+        pcReg = base + disp;
+        internalCycles(2);
+        return;
+    }
+    if (cond == 0 || testCond(cond)) { // BRA or taken Bcc
+        pcReg = base + disp;
+        internalCycles(2);
+        return;
+    }
+    internalCycles(4); // not taken
+}
+
+} // namespace pt::m68k

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * MOVE, MOVEA (opcode groups 1-3) and MOVEQ (group 7).
+ */
+
+#include "cpu.h"
+
+#include "m68k/bits.h"
+
+namespace pt::m68k
+{
+
+void
+Cpu::execMove(u16 op)
+{
+    Size sz;
+    switch (op >> 12) {
+      case 1: sz = Size::B; break;
+      case 3: sz = Size::W; break;
+      default: sz = Size::L; break;
+    }
+
+    int srcMode = (op >> 3) & 7;
+    int srcReg = op & 7;
+    int dstMode = (op >> 6) & 7;
+    int dstReg = (op >> 9) & 7;
+
+    if (srcMode == 1 && sz == Size::B) {
+        illegal(op);
+        return;
+    }
+
+    Ea src = decodeEa(srcMode, srcReg, sz);
+    if (exceptionTaken)
+        return;
+    u32 value = readEa(src, sz);
+
+    if (dstMode == 1) { // MOVEA
+        if (sz == Size::B) {
+            illegal(op);
+            return;
+        }
+        areg[dstReg] = sz == Size::W ? signExt(value, Size::W) : value;
+        return;
+    }
+
+    if (dstMode == 7 && dstReg > 1) {
+        illegal(op); // PC-relative / immediate destinations are invalid
+        return;
+    }
+
+    setLogicFlags(value, sz);
+    Ea dst = decodeEa(dstMode, dstReg, sz);
+    if (exceptionTaken)
+        return;
+    writeEa(dst, sz, value);
+}
+
+void
+Cpu::execMoveq(u16 op)
+{
+    if (op & 0x0100) {
+        illegal(op);
+        return;
+    }
+    u32 value = signExt(op & 0xFF, Size::B);
+    dreg[(op >> 9) & 7] = value;
+    setLogicFlags(value, Size::L);
+}
+
+} // namespace pt::m68k

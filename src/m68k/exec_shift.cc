@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Opcode group E: shifts and rotates (ASL/ASR, LSL/LSR, ROXL/ROXR,
+ * ROL/ROR) in register and memory forms.
+ *
+ * Shift semantics are implemented bit-by-bit; counts are at most 63 so
+ * the loop cost is negligible and the flag behaviour (notably ASL's
+ * sticky overflow and the X-extended rotates) falls out naturally.
+ */
+
+#include "cpu.h"
+
+#include "m68k/bits.h"
+
+namespace pt::m68k
+{
+
+void
+Cpu::execShift(int type, bool left, Size sz, u32 count, int reg)
+{
+    u32 bits = sizeBytes(sz) * 8;
+    u32 val = truncSz(dreg[reg], sz);
+    bool c = false;
+    bool v = false;
+
+    for (u32 i = 0; i < count; ++i) {
+        bool outBit = left ? msb(val, sz) : (val & 1);
+        switch (type) {
+          case 0: // arithmetic
+            if (left) {
+                val = truncSz(val << 1, sz);
+                if (msb(val, sz) != outBit)
+                    v = true; // sign changed at some point
+            } else {
+                bool sign = msb(val, sz);
+                val >>= 1;
+                if (sign)
+                    val |= 1u << (bits - 1);
+            }
+            c = outBit;
+            setFlag(Sr::X, outBit);
+            break;
+          case 1: // logical
+            val = left ? truncSz(val << 1, sz) : val >> 1;
+            c = outBit;
+            setFlag(Sr::X, outBit);
+            break;
+          case 2: { // rotate through X
+            bool x = flag(Sr::X);
+            val = left ? truncSz(val << 1, sz) : val >> 1;
+            if (x)
+                val |= left ? 1u : 1u << (bits - 1);
+            c = outBit;
+            setFlag(Sr::X, outBit);
+            break;
+          }
+          default: // rotate
+            val = left ? truncSz(val << 1, sz) : val >> 1;
+            if (outBit)
+                val |= left ? 1u : 1u << (bits - 1);
+            c = outBit; // X unaffected
+            break;
+        }
+    }
+
+    if (count == 0 && type == 2)
+        c = flag(Sr::X); // ROXd with zero count sets C from X
+
+    writeEa(Ea{Ea::Kind::DReg, reg, 0, 0}, sz, val);
+    setFlag(Sr::N, msb(val, sz));
+    setFlag(Sr::Z, val == 0);
+    setFlag(Sr::V, type == 0 && left ? v : false);
+    setFlag(Sr::C, count == 0 && type != 2 ? false : c);
+    internalCycles(2 + 2 * count + (sz == Size::L ? 2 : 0));
+}
+
+void
+Cpu::execShiftMem(int type, bool left, u16 op)
+{
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+    if (mode <= 1 || (mode == 7 && reg > 1)) {
+        illegal(op);
+        return;
+    }
+    Ea ea = decodeEa(mode, reg, Size::W);
+    if (exceptionTaken)
+        return;
+    u32 val = readEa(ea, Size::W);
+    bool outBit = left ? (val & 0x8000) : (val & 1);
+    bool v = false;
+
+    switch (type) {
+      case 0: // arithmetic
+        if (left) {
+            val = (val << 1) & 0xFFFF;
+            if (static_cast<bool>(val & 0x8000) != outBit)
+                v = true;
+        } else {
+            bool sign = val & 0x8000;
+            val >>= 1;
+            if (sign)
+                val |= 0x8000;
+        }
+        setFlag(Sr::X, outBit);
+        break;
+      case 1: // logical
+        val = left ? (val << 1) & 0xFFFF : val >> 1;
+        setFlag(Sr::X, outBit);
+        break;
+      case 2: { // rotate through X
+        bool x = flag(Sr::X);
+        val = left ? (val << 1) & 0xFFFF : val >> 1;
+        if (x)
+            val |= left ? 1u : 0x8000u;
+        setFlag(Sr::X, outBit);
+        break;
+      }
+      default: // rotate
+        val = left ? (val << 1) & 0xFFFF : val >> 1;
+        if (outBit)
+            val |= left ? 1u : 0x8000u;
+        break;
+    }
+
+    writeEa(ea, Size::W, val);
+    setFlag(Sr::N, val & 0x8000);
+    setFlag(Sr::Z, val == 0);
+    setFlag(Sr::V, v);
+    setFlag(Sr::C, outBit);
+}
+
+void
+Cpu::execGroupE(u16 op)
+{
+    u16 szField = (op >> 6) & 3;
+    bool left = op & 0x0100;
+
+    if (szField == 3) { // memory form, shift by one
+        int type = (op >> 9) & 3;
+        if (op & 0x0800) {
+            illegal(op); // 68020 bit-field space
+            return;
+        }
+        execShiftMem(type, left, op);
+        return;
+    }
+
+    Size sz = decodeSize2(szField);
+    int type = (op >> 3) & 3;
+    int reg = op & 7;
+    u32 count;
+    if (op & 0x0020) { // count in a data register, modulo 64
+        count = dreg[(op >> 9) & 7] & 63;
+    } else { // immediate 1-8
+        count = (op >> 9) & 7;
+        if (count == 0)
+            count = 8;
+    }
+    execShift(type, left, sz, count, reg);
+}
+
+} // namespace pt::m68k

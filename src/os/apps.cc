@@ -1,0 +1,658 @@
+#include "apps.h"
+
+#include "device/map.h"
+#include "m68k/codebuilder.h"
+#include "os/guestabi.h"
+
+namespace pt::os
+{
+
+namespace
+{
+
+using m68k::CodeBuilder;
+using m68k::Cond;
+using m68k::Size;
+using namespace m68k::ops;
+
+/** Emits: fetch the event buffer address (-12(a6)) into A1. */
+void
+eventBuf(CodeBuilder &b)
+{
+    b.lea(disp(6, -12), 1);
+}
+
+/** Emits the standard "handle key event" epilogue: D1 already holds
+ *  the keycode; leaves the app via RTS when a switch is requested. */
+void
+emitKeySwitch(CodeBuilder &b, int stayLabel)
+{
+    b.trapSel(15, Trap::SysHandleAppKey);
+    b.tst(Size::L, dr(0));
+    b.bcc(Cond::EQ, stayLabel);
+    b.unlk(6);
+    b.rts();
+}
+
+/**
+ * Emits an app-local framebuffer fill routine and returns its label.
+ * Palm applications blit with their own code rather than OS calls;
+ * since app code executes in place from RAM, drawing contributes RAM
+ * instruction fetches and writes — part of what keeps the device's
+ * RAM/flash reference mix near the paper's one-third/two-thirds.
+ *
+ * Input: d1 = framebuffer byte offset, d2 = length, d3 = fill byte.
+ * Clobbers d0/a0.
+ */
+int
+emitAppFill(CodeBuilder &b)
+{
+    auto fill = b.newLabel();
+    auto loop = b.newLabel();
+    auto done = b.newLabel();
+    b.bind(fill);
+    b.lea(absl(Lay::FrameBuffer), 0);
+    b.adda(Size::L, dr(1), 0);
+    b.bind(loop);
+    b.tst(Size::L, dr(2));
+    b.bcc(Cond::EQ, done);
+    b.move(Size::B, dr(3), postinc(0));
+    b.subq(Size::L, 1, dr(2));
+    b.bra(loop);
+    b.bind(done);
+    b.rts();
+    return fill;
+}
+
+} // namespace
+
+std::vector<u8>
+buildLauncherApp(Addr origin)
+{
+    CodeBuilder b(origin);
+    auto loop = b.newLabel();
+    auto pen = b.newLabel();
+    auto key = b.newLabel();
+    auto entry = b.newLabel();
+
+    b.bra(entry);
+    int fill = emitAppFill(b);
+    b.bind(entry);
+    b.link(6, -16);
+    // Paint the home screen (app-side blit).
+    b.moveq(0, 1);
+    b.move(Size::L, imm(3200), dr(2));
+    b.move(Size::L, imm(0x11), dr(3));
+    b.bsr(fill);
+
+    b.bind(loop);
+    eventBuf(b);
+    b.move(Size::L, imm(kEvtWaitForever), dr(1));
+    b.trapSel(15, Trap::EvtGetEvent);
+    eventBuf(b);
+    b.move(Size::W, ind(1), dr(0));
+    b.cmpi(Size::W, Evt::Pen, dr(0));
+    b.bcc(Cond::EQ, pen);
+    b.cmpi(Size::W, Evt::Key, dr(0));
+    b.bcc(Cond::EQ, key);
+    b.bra(loop);
+
+    b.bind(pen);
+    b.move(Size::W, disp(1, Evt::FData), dr(0)); // pen down?
+    b.bcc(Cond::EQ, loop);
+    // Hit-test the icon grid (app-side compute).
+    {
+        auto hit = b.newLabel();
+        b.move(Size::L, imm(500), dr(0));
+        b.bind(hit);
+        b.add(Size::L, dr(0), dr(3));
+        b.rol(Size::L, 1, 3);
+        b.subq(Size::L, 1, dr(0));
+        b.bcc(Cond::NE, hit);
+    }
+    // "Select an icon": consume a random number, highlight the spot.
+    b.moveq(0, 1);
+    b.trapSel(15, Trap::SysRandom);
+    eventBuf(b);
+    b.moveq(0, 1);
+    b.move(Size::W, disp(1, Evt::FY), dr(1));
+    b.mulu(imm(80), 1);
+    b.moveq(0, 0);
+    eventBuf(b); // a1 was clobbered as mulu scratch? no - keep it fresh
+    b.move(Size::W, disp(1, Evt::FX), dr(0));
+    b.lsr(Size::W, 1, 0);
+    b.add(Size::L, dr(0), dr(1));
+    b.move(Size::L, imm(64), dr(2));
+    b.move(Size::L, imm(0xFF), dr(3));
+    b.bsr(fill);
+    b.bra(loop);
+
+    b.bind(key);
+    b.move(Size::W, disp(1, Evt::FData), dr(1));
+    emitKeySwitch(b, loop);
+    b.bra(loop);
+
+    return b.finalize();
+}
+
+std::vector<u8>
+buildMemoApp(Addr origin)
+{
+    CodeBuilder b(origin);
+    auto nameLbl = b.newLabel();
+    auto beamLbl = b.newLabel();
+    auto entry = b.newLabel();
+    auto have = b.newLabel();
+    auto loop = b.newLabel();
+    auto nil = b.newLabel();
+    auto blink = b.newLabel();
+    auto pen = b.newLabel();
+    auto penUp = b.newLabel();
+    auto key = b.newLabel();
+    auto serial = b.newLabel();
+
+    b.bra(entry);
+    b.bind(nameLbl);
+    b.dcbString("MemoDB", Db::NameLen);
+    b.bind(beamLbl);
+    b.dcbString("BeamInbox", Db::NameLen);
+    int fill = emitAppFill(b);
+
+    b.bind(entry);
+    b.link(6, -16);
+    b.lea(abslbl(nameLbl), 1);
+    b.trapSel(15, Trap::DmFindDatabase);
+    b.tst(Size::L, dr(0));
+    b.bcc(Cond::NE, have);
+    b.lea(abslbl(nameLbl), 1);
+    b.move(Size::L, imm(fourcc('d', 'a', 't', 'a')), dr(1));
+    b.move(Size::L, imm(kCreatorMemo), dr(2));
+    b.trapSel(15, Trap::DmCreateDatabase);
+    b.bind(have);
+    b.movea(Size::L, ar(0), 2); // a2 = MemoDB
+    b.moveq(0, 6);              // d6 = stroke point count
+    b.moveq(0, 7);              // d7 = cursor blink state
+    b.moveq(0, 4);              // d4 = consecutive nil events
+
+    auto engaged = b.newLabel();
+    auto getEvt = b.newLabel();
+    b.bind(loop);
+    eventBuf(b);
+    // While the user is engaged, poll with a 0.5 s timeout (cursor
+    // blink + scroll-button checks). After ten idle timeouts, fall
+    // back to evtWaitForever so the device dozes, as Palm apps do.
+    b.cmpi(Size::L, 10, dr(4));
+    b.bcc(Cond::CS, engaged);
+    b.move(Size::L, imm(kEvtWaitForever), dr(1));
+    b.bra(getEvt);
+    b.bind(engaged);
+    b.moveq(50, 1); // 0.5 s timeout
+    b.bind(getEvt);
+    b.trapSel(15, Trap::EvtGetEvent);
+    eventBuf(b);
+    b.move(Size::W, ind(1), dr(0));
+    b.bcc(Cond::EQ, nil);
+    b.moveq(0, 4); // a real event: engaged again
+    b.cmpi(Size::W, Evt::Pen, dr(0));
+    b.bcc(Cond::EQ, pen);
+    b.cmpi(Size::W, Evt::Key, dr(0));
+    b.bcc(Cond::EQ, key);
+    b.cmpi(Size::W, Evt::Serial, dr(0));
+    b.bcc(Cond::EQ, serial);
+    b.bra(loop);
+
+    // A beamed byte arrived: file it in the BeamInbox database.
+    b.bind(serial);
+    {
+        auto haveBeam = b.newLabel();
+        b.move(Size::W, disp(1, Evt::FData), dr(5)); // byte
+        b.lea(abslbl(beamLbl), 1);
+        b.trapSel(15, Trap::DmFindDatabase);
+        b.tst(Size::L, dr(0));
+        b.bcc(Cond::NE, haveBeam);
+        b.lea(abslbl(beamLbl), 1);
+        b.move(Size::L, imm(fourcc('b', 'e', 'a', 'm')), dr(1));
+        b.move(Size::L, imm(kCreatorMemo), dr(2));
+        b.trapSel(15, Trap::DmCreateDatabase);
+        b.bind(haveBeam);
+        b.movea(Size::L, ar(0), 1);
+        b.moveq(2, 1);
+        b.trapSel(15, Trap::DmNewRecord);
+        b.move(Size::W, dr(5), ind(0));
+    }
+    b.bra(loop);
+
+    // Idle: poll the scroll buttons (a logged KeyCurrentState call)
+    // and blink the cursor.
+    b.bind(nil);
+    b.addq(Size::L, 1, dr(4));
+    b.trapSel(15, Trap::KeyCurrentState);
+    b.andi(Size::W, device::Btn::PageUp | device::Btn::PageDown,
+           dr(0));
+    b.bcc(Cond::EQ, blink);
+    // Scroll: repaint several text rows (app-side blit).
+    b.moveq(0, 1);
+    b.move(Size::L, imm(800), dr(2));
+    b.move(Size::L, imm(0xAA), dr(3));
+    b.bsr(fill);
+    b.bind(blink);
+    b.move(Size::W, imm(0xFF), dr(0));
+    b.eor(Size::W, 0, dr(7));
+    b.move(Size::L, imm(Lay::FrameBufferSize - 160), dr(1));
+    b.moveq(16, 2);
+    b.move(Size::L, dr(7), dr(3));
+    b.bsr(fill);
+    b.bra(loop);
+
+    b.bind(pen);
+    b.move(Size::W, disp(1, Evt::FData), dr(0));
+    b.bcc(Cond::EQ, penUp);
+    b.addq(Size::L, 1, dr(6));
+    // Ink the sample point.
+    b.moveq(0, 1);
+    b.move(Size::W, disp(1, Evt::FY), dr(1));
+    b.mulu(imm(80), 1);
+    b.moveq(0, 0);
+    eventBuf(b);
+    b.move(Size::W, disp(1, Evt::FX), dr(0));
+    b.lsr(Size::W, 1, 0);
+    b.add(Size::L, dr(0), dr(1));
+    b.moveq(4, 2); // a fat ink dot
+    b.move(Size::L, imm(0xFF), dr(3));
+    b.bsr(fill);
+    // Graffiti-style feature extraction: mix the sample into a
+    // rolling signature. Pure app-side compute, fetched from RAM.
+    {
+        auto mix = b.newLabel();
+        eventBuf(b);
+        b.move(Size::W, disp(1, Evt::FX), dr(0));
+        b.move(Size::L, imm(250), dr(5));
+        b.bind(mix);
+        b.add(Size::L, dr(0), dr(3));
+        b.rol(Size::L, 3, 3);
+        b.subq(Size::L, 1, dr(5));
+        b.bcc(Cond::NE, mix);
+    }
+    b.bra(loop);
+
+    b.bind(penUp);
+    b.tst(Size::L, dr(6));
+    b.bcc(Cond::EQ, loop);
+    // Graffiti recognition on stroke completion: ~12k app-side
+    // instructions (~0.4 ms at 33 MHz), matching the compute a real
+    // recognizer spends per stroke.
+    {
+        auto recog = b.newLabel();
+        b.move(Size::L, imm(600), dr(0));
+        b.bind(recog);
+        b.add(Size::L, dr(6), dr(3));
+        b.rol(Size::L, 7, 3);
+        b.eor(Size::W, 3, dr(3));
+        b.subq(Size::L, 1, dr(0));
+        b.bcc(Cond::NE, recog);
+    }
+    // Commit the stroke as a MemoDB record {count u16, pad, tick u32}.
+    b.trapSel(15, Trap::TimGetTicks);
+    b.move(Size::L, dr(0), dr(5));
+    b.movea(Size::L, ar(2), 1);
+    b.moveq(8, 1);
+    b.trapSel(15, Trap::DmNewRecord);
+    b.move(Size::W, dr(6), ind(0));
+    b.move(Size::L, dr(5), disp(0, 4));
+    b.moveq(0, 6);
+    // Every fourth stroke: broadcast an "auto-save" notification.
+    {
+        auto noNotify = b.newLabel();
+        b.movea(Size::L, ar(2), 1);
+        b.trapSel(15, Trap::DmNumRecords);
+        b.andi(Size::L, 3, dr(0));
+        b.bcc(Cond::NE, noNotify);
+        b.moveq(2, 1);
+        b.trapSel(15, Trap::SysNotifyBroadcast);
+        b.bind(noNotify);
+    }
+    b.bra(loop);
+
+    b.bind(key);
+    b.move(Size::W, disp(1, Evt::FData), dr(1));
+    emitKeySwitch(b, loop);
+    b.bra(loop);
+
+    return b.finalize();
+}
+
+std::vector<u8>
+buildPuzzleApp(Addr origin)
+{
+    CodeBuilder b(origin);
+    auto nameLbl = b.newLabel();
+    auto entry = b.newLabel();
+    auto have = b.newLabel();
+    auto haveBoard = b.newLabel();
+    auto loop = b.newLabel();
+    auto pen = b.newLabel();
+    auto key = b.newLabel();
+    auto shuffle = b.newLabel();
+    auto redraw = b.newLabel();
+
+    b.bra(entry);
+    b.bind(nameLbl);
+    b.dcbString("PuzzleDB", Db::NameLen);
+    int fill = emitAppFill(b);
+
+    // --- shuffle: 30 random swaps; a2 = PuzzleDB ---
+    b.bind(shuffle);
+    {
+        auto sloop = b.newLabel();
+        b.movemPush(0x0030); // d4,d5
+        b.move(Size::L, imm(29), dr(4));
+        b.bind(sloop);
+        b.moveq(0, 1);
+        b.trapSel(15, Trap::SysRandom);
+        b.move(Size::L, dr(0), dr(5));
+        b.andi(Size::L, 15, dr(5)); // idx1
+        b.moveq(0, 1);
+        b.trapSel(15, Trap::SysRandom);
+        b.andi(Size::L, 15, dr(0));
+        b.move(Size::L, dr(0), dr(2)); // idx2
+        b.movea(Size::L, ar(2), 1);
+        b.moveq(0, 1);
+        b.trapSel(15, Trap::DmGetRecord); // a0 = board
+        b.move(Size::L, dr(5), dr(1));
+        b.move(Size::B, indexed(0, 1), dr(3));
+        b.move(Size::B, indexed(0, 2), dr(0));
+        b.move(Size::B, dr(0), indexed(0, 1));
+        b.move(Size::B, dr(3), indexed(0, 2));
+        b.dbra(4, sloop);
+        b.movemPop(0x0030);
+        b.rts();
+    }
+
+    // --- redraw: one 20-byte strip per tile; a2 = PuzzleDB ---
+    b.bind(redraw);
+    {
+        auto rloop = b.newLabel();
+        b.movemPush(0x0060); // d5,d6
+        b.moveq(0, 6); // cell
+        b.bind(rloop);
+        b.movea(Size::L, ar(2), 1);
+        b.moveq(0, 1);
+        b.trapSel(15, Trap::DmGetRecord);
+        b.move(Size::L, dr(6), dr(1));
+        b.move(Size::B, indexed(0, 1), dr(5));
+        b.andi(Size::L, 0xFF, dr(5));
+        // offset = (cell >> 2) * 3200 + (cell & 3) * 20
+        b.move(Size::L, dr(6), dr(1));
+        b.lsr(Size::L, 2, 1);
+        b.mulu(imm(3200), 1);
+        b.move(Size::L, dr(6), dr(0));
+        b.andi(Size::L, 3, dr(0));
+        b.mulu(imm(20), 0);
+        b.add(Size::L, dr(0), dr(1));
+        b.move(Size::L, imm(200), dr(2)); // ten strips per tile
+        b.move(Size::L, dr(5), dr(3));
+        b.bsr(fill);
+        b.addq(Size::L, 1, dr(6));
+        b.cmpi(Size::L, 16, dr(6));
+        b.bcc(Cond::CS, rloop);
+        b.movemPop(0x0060);
+        b.rts();
+    }
+
+    b.bind(entry);
+    b.link(6, -16);
+    b.lea(abslbl(nameLbl), 1);
+    b.trapSel(15, Trap::DmFindDatabase);
+    b.tst(Size::L, dr(0));
+    b.bcc(Cond::NE, have);
+    // First launch: create the board and shuffle with a logged,
+    // nonzero, tick-derived SysRandom seed.
+    b.lea(abslbl(nameLbl), 1);
+    b.move(Size::L, imm(fourcc('d', 'a', 't', 'a')), dr(1));
+    b.move(Size::L, imm(kCreatorPuzzle), dr(2));
+    b.trapSel(15, Trap::DmCreateDatabase);
+    b.movea(Size::L, ar(0), 2);
+    b.movea(Size::L, ar(2), 1);
+    b.moveq(16, 1);
+    b.trapSel(15, Trap::DmNewRecord); // a0 = board
+    {
+        auto init = b.newLabel();
+        b.moveq(0, 1);
+        b.bind(init);
+        b.move(Size::B, dr(1), indexed(0, 1));
+        b.addq(Size::L, 1, dr(1));
+        b.cmpi(Size::L, 16, dr(1));
+        b.bcc(Cond::CS, init);
+    }
+    b.trapSel(15, Trap::TimGetTicks);
+    b.move(Size::L, dr(0), dr(1));
+    b.ori(Size::L, 1, dr(1)); // nonzero seed
+    b.trapSel(15, Trap::SysRandom);
+    b.bsr(shuffle);
+    b.bra(haveBoard);
+    b.bind(have);
+    b.movea(Size::L, ar(0), 2);
+    b.bind(haveBoard);
+    b.bsr(redraw);
+
+    b.bind(loop);
+    eventBuf(b);
+    b.move(Size::L, imm(kEvtWaitForever), dr(1));
+    b.trapSel(15, Trap::EvtGetEvent);
+    eventBuf(b);
+    b.move(Size::W, ind(1), dr(0));
+    b.cmpi(Size::W, Evt::Pen, dr(0));
+    b.bcc(Cond::EQ, pen);
+    b.cmpi(Size::W, Evt::Key, dr(0));
+    b.bcc(Cond::EQ, key);
+    b.bra(loop);
+
+    b.bind(pen);
+    {
+        auto findBlank = b.newLabel();
+        auto foundBlank = b.newLabel();
+        auto sameRow = b.newLabel();
+        auto slide = b.newLabel();
+        auto check = b.newLabel();
+        auto solvedLoop = b.newLabel();
+
+        b.move(Size::W, disp(1, Evt::FData), dr(0)); // down?
+        b.bcc(Cond::EQ, loop);
+        // cell = (y / 40) * 4 + (x / 40)
+        b.moveq(0, 0);
+        b.move(Size::W, disp(1, Evt::FY), dr(0));
+        b.divu(imm(40), 0);
+        b.andi(Size::L, 0xFFFF, dr(0));
+        b.lsl(Size::L, 2, 0);
+        b.move(Size::L, dr(0), dr(4));
+        eventBuf(b);
+        b.moveq(0, 0);
+        b.move(Size::W, disp(1, Evt::FX), dr(0));
+        b.divu(imm(40), 0);
+        b.andi(Size::L, 0xFFFF, dr(0));
+        b.add(Size::L, dr(0), dr(4)); // d4 = cell
+        b.cmpi(Size::L, 16, dr(4));
+        b.bcc(Cond::CC, loop);
+        // Find the blank tile (value 15).
+        b.movea(Size::L, ar(2), 1);
+        b.moveq(0, 1);
+        b.trapSel(15, Trap::DmGetRecord);
+        b.moveq(0, 5);
+        b.bind(findBlank);
+        b.move(Size::B, indexed(0, 5), dr(0));
+        b.cmpi(Size::B, 15, dr(0));
+        b.bcc(Cond::EQ, foundBlank);
+        b.addq(Size::L, 1, dr(5));
+        b.cmpi(Size::L, 16, dr(5));
+        b.bcc(Cond::CS, findBlank);
+        b.bra(loop);
+        b.bind(foundBlank); // d4 = cell, d5 = blank
+        b.move(Size::L, dr(4), dr(0));
+        b.sub(Size::L, dr(5), dr(0));
+        b.cmpi(Size::L, 4, dr(0));
+        b.bcc(Cond::EQ, slide);
+        b.cmpi(Size::L, static_cast<u32>(-4), dr(0));
+        b.bcc(Cond::EQ, slide);
+        b.cmpi(Size::L, 1, dr(0));
+        b.bcc(Cond::EQ, sameRow);
+        b.cmpi(Size::L, static_cast<u32>(-1), dr(0));
+        b.bcc(Cond::EQ, sameRow);
+        b.bra(loop);
+        b.bind(sameRow); // horizontal move must stay on one row
+        b.move(Size::L, dr(4), dr(0));
+        b.lsr(Size::L, 2, 0);
+        b.move(Size::L, dr(5), dr(1));
+        b.lsr(Size::L, 2, 1);
+        b.cmp(Size::L, dr(1), 0);
+        b.bcc(Cond::NE, loop);
+        b.bind(slide);
+        // Evaluate the position (app-side compute loop from RAM).
+        {
+            auto eval = b.newLabel();
+            b.move(Size::L, imm(800), dr(0));
+            b.bind(eval);
+            b.add(Size::L, dr(4), dr(3));
+            b.rol(Size::L, 5, 3);
+            b.subq(Size::L, 1, dr(0));
+            b.bcc(Cond::NE, eval);
+        }
+        b.movea(Size::L, ar(2), 1);
+        b.moveq(0, 1);
+        b.trapSel(15, Trap::DmGetRecord);
+        b.move(Size::L, dr(4), dr(1));
+        b.move(Size::B, indexed(0, 1), dr(0));
+        b.move(Size::B, dr(0), indexed(0, 5));
+        b.moveq(15, 0);
+        b.move(Size::B, dr(0), indexed(0, 1));
+        b.bsr(redraw);
+        b.bind(check);
+        // Solved when board[i] == i for all i.
+        b.movea(Size::L, ar(2), 1);
+        b.moveq(0, 1);
+        b.trapSel(15, Trap::DmGetRecord);
+        b.moveq(0, 1);
+        b.bind(solvedLoop);
+        b.move(Size::B, indexed(0, 1), dr(0));
+        b.cmp(Size::B, dr(0), 1);
+        b.bcc(Cond::NE, loop);
+        b.addq(Size::L, 1, dr(1));
+        b.cmpi(Size::L, 16, dr(1));
+        b.bcc(Cond::CS, solvedLoop);
+        // Solved!
+        b.moveq(1, 1);
+        b.trapSel(15, Trap::SysNotifyBroadcast);
+        b.bsr(shuffle);
+        b.bsr(redraw);
+        b.bra(loop);
+    }
+
+    b.bind(key);
+    {
+        auto notPage = b.newLabel();
+        b.move(Size::W, disp(1, Evt::FData), dr(1));
+        b.cmpi(Size::W, device::Btn::PageUp, dr(1));
+        b.bcc(Cond::NE, notPage);
+        b.bsr(shuffle);
+        b.bsr(redraw);
+        b.bra(loop);
+        b.bind(notPage);
+        emitKeySwitch(b, loop);
+        b.bra(loop);
+    }
+
+    return b.finalize();
+}
+
+std::vector<u8>
+buildDatebookApp(Addr origin)
+{
+    CodeBuilder b(origin);
+    auto nameLbl = b.newLabel();
+    auto entry = b.newLabel();
+    auto have = b.newLabel();
+    auto loop = b.newLabel();
+    auto pen = b.newLabel();
+    auto key = b.newLabel();
+
+    b.bra(entry);
+    b.bind(nameLbl);
+    b.dcbString("DatebookDB", Db::NameLen);
+    int fill = emitAppFill(b);
+
+    b.bind(entry);
+    b.link(6, -16);
+    b.lea(abslbl(nameLbl), 1);
+    b.trapSel(15, Trap::DmFindDatabase);
+    b.tst(Size::L, dr(0));
+    b.bcc(Cond::NE, have);
+    b.lea(abslbl(nameLbl), 1);
+    b.move(Size::L, imm(fourcc('d', 'a', 't', 'a')), dr(1));
+    b.move(Size::L, imm(kCreatorDatebook), dr(2));
+    b.trapSel(15, Trap::DmCreateDatabase);
+    b.bind(have);
+    b.movea(Size::L, ar(0), 2); // a2 = DatebookDB
+    b.moveq(0, 7);              // d7 = pen-held debounce flag
+    // Draw the day view.
+    b.moveq(0, 1);
+    b.move(Size::L, imm(1600), dr(2));
+    b.move(Size::L, imm(0x33), dr(3));
+    b.bsr(fill);
+
+    b.bind(loop);
+    eventBuf(b);
+    b.move(Size::L, imm(kEvtWaitForever), dr(1));
+    b.trapSel(15, Trap::EvtGetEvent);
+    eventBuf(b);
+    b.move(Size::W, ind(1), dr(0));
+    b.cmpi(Size::W, Evt::Pen, dr(0));
+    b.bcc(Cond::EQ, pen);
+    b.cmpi(Size::W, Evt::Key, dr(0));
+    b.bcc(Cond::EQ, key);
+    b.bra(loop);
+
+    b.bind(pen);
+    {
+        auto penUp = b.newLabel();
+        auto create = b.newLabel();
+        b.move(Size::W, disp(1, Evt::FData), dr(0));
+        b.bcc(Cond::EQ, penUp);
+        // Debounce: only the first down sample of a touch creates an
+        // appointment; further samples of the same touch are ignored.
+        b.tst(Size::L, dr(7));
+        b.bcc(Cond::EQ, create);
+        b.bra(loop);
+        b.bind(penUp);
+        b.moveq(0, 7);
+        b.bra(loop);
+        b.bind(create);
+        b.moveq(1, 7);
+    }
+    // Create an appointment: {rtc u32, y-slot u16, pad u16}. The RTC
+    // stamp makes the record content depend on the emulated clock,
+    // which the replay must reproduce tick-for-tick.
+    b.move(Size::W, disp(1, Evt::FY), dr(5)); // time slot from y
+    b.trapSel(15, Trap::TimGetSeconds);
+    b.move(Size::L, dr(0), dr(6));
+    b.movea(Size::L, ar(2), 1);
+    b.moveq(8, 1);
+    b.trapSel(15, Trap::DmNewRecord);
+    b.move(Size::L, dr(6), ind(0));
+    b.move(Size::W, dr(5), disp(0, 4));
+    // Highlight the slot row.
+    b.moveq(0, 1);
+    b.move(Size::W, dr(5), dr(1));
+    b.mulu(imm(80), 1);
+    b.move(Size::L, imm(80), dr(2));
+    b.move(Size::L, imm(0x77), dr(3));
+    b.bsr(fill);
+    b.bra(loop);
+
+    b.bind(key);
+    b.move(Size::W, disp(1, Evt::FData), dr(1));
+    emitKeySwitch(b, loop);
+    b.bra(loop);
+
+    return b.finalize();
+}
+
+} // namespace pt::os

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The PilotOS guest applications.
+ *
+ * Three applications, mirroring the workload mix of the paper's test
+ * sessions (§3.2: two scripted application workloads plus a game of
+ * Puzzle):
+ *
+ *  - Launcher ('lnch'): the home screen. Taps consume SysRandom and
+ *    repaint; application buttons switch applications.
+ *  - MemoPad ('memo'): pen strokes draw to the framebuffer and are
+ *    committed as records into MemoDB on pen-up; idle timeouts poll
+ *    KeyCurrentState (scroll buttons), exercising the polled-input
+ *    path the paper logs.
+ *  - Puzzle ('puzl'): a 15-puzzle whose board lives in PuzzleDB. The
+ *    initial shuffle seeds SysRandom with a tick-derived nonzero seed
+ *    (captured by the SysRandom hack and replayed from the seed
+ *    queue); solving broadcasts a SysNotifyBroadcast.
+ *  - Datebook ('date'): taps create appointment records stamped with
+ *    the real-time clock (TimGetSeconds), exercising the RTC path the
+ *    replay must keep consistent.
+ *
+ * Applications are position-dependent 68k code executed in place from
+ * their database's record 0, so each build function takes the final
+ * load address.
+ */
+
+#ifndef PT_OS_APPS_H
+#define PT_OS_APPS_H
+
+#include <vector>
+
+#include "base/types.h"
+
+namespace pt::os
+{
+
+std::vector<u8> buildLauncherApp(Addr origin);
+std::vector<u8> buildMemoApp(Addr origin);
+std::vector<u8> buildPuzzleApp(Addr origin);
+std::vector<u8> buildDatebookApp(Addr origin);
+
+} // namespace pt::os
+
+#endif // PT_OS_APPS_H

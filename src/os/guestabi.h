@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The PilotOS guest ABI: memory layout, trap selectors, event record
+ * format, database header layout, and calling convention.
+ *
+ * PilotOS is palmtrace's miniature Palm-OS-like guest operating
+ * system. It lives as 68k machine code in the flash ROM (so OS
+ * execution produces flash references, as on a real m515) and keeps
+ * its mutable state — trap dispatch table, event queue, storage heap
+ * with record databases — in RAM.
+ *
+ * Calling convention (all OS routines, reached via TRAP #15 followed
+ * by a 16-bit selector word):
+ *   arguments:  D1, D2, D3 (values), A1 (pointer)
+ *   results:    D0 (value), A0 (pointer)
+ *   D0-D3/A0-A1 are caller-saved; D4-D7/A2-A6 are callee-saved.
+ * The trap dispatcher itself only uses D0/A0, so it needs no register
+ * save/restore and is fully re-entrant.
+ */
+
+#ifndef PT_OS_GUESTABI_H
+#define PT_OS_GUESTABI_H
+
+#include "base/types.h"
+
+namespace pt::os
+{
+
+/** Guest RAM layout. */
+struct Lay
+{
+    // Exception vectors occupy 0x000-0x3FF.
+    static constexpr Addr VectorBase = 0x0000;
+
+    // System globals.
+    static constexpr Addr Globals = 0x0400;
+    static constexpr Addr GEvtHead = 0x0400;    ///< u16 ring head
+    static constexpr Addr GEvtTail = 0x0402;    ///< u16 ring tail
+    static constexpr Addr GBtnPrev = 0x0404;    ///< u16 previous buttons
+    static constexpr Addr GRandSeed = 0x0408;   ///< u32 SysRandom state
+    static constexpr Addr GNotifyCount = 0x040C;///< u32 broadcasts seen
+    static constexpr Addr GLaunchReq = 0x0410;  ///< u32 requested creator
+    static constexpr Addr GNilEvtCount = 0x0414;///< u32 nil events seen
+    static constexpr Addr GHackBase = 0x0418;   ///< u32 hack area ptr
+    static constexpr Addr GBootCount = 0x041C;  ///< u32 boots since cold
+
+    // Trap dispatch table: 64 entries of 4 bytes.
+    static constexpr Addr TrapTable = 0x0500;
+    static constexpr u32 TrapTableEntries = 64;
+
+    // Event queue ring buffer.
+    static constexpr Addr EvtQueue = 0x0700;
+    static constexpr u32 EvtQueueSlots = 32;
+    static constexpr u32 EvtRecordSize = 12;
+
+    // Hack area: installed hook stubs live here (RAM-resident, like
+    // real Palm OS hacks).
+    static constexpr Addr HackArea = 0x0900;
+    static constexpr u32 HackAreaSize = 0x1000;
+
+    // Supervisor stack.
+    static constexpr Addr StackTop = 0x8000;
+
+    // Framebuffer (160x160 at 4 bpp, as on the m515's greyscale LCD).
+    static constexpr Addr FrameBuffer = 0x9000;
+    static constexpr u32 FrameBufferSize = 160 * 160 / 2;
+
+    // Storage heap: databases and application code live here and
+    // survive soft resets (Palm storage RAM semantics).
+    static constexpr Addr HeapBase = 0x00010000;
+    static constexpr Addr HeapEnd = 0x00F00000;
+    static constexpr u32 HeapMagic = 0x50544850; // "PTHP"
+
+    // Storage heap header fields (relative to HeapBase).
+    static constexpr u32 HMagic = 0;     ///< u32
+    static constexpr u32 HDbListHead = 4;///< u32 first db header (0=none)
+    static constexpr u32 HFirstChunk = 8;///< u32
+    static constexpr u32 HEndField = 12; ///< u32 heap end
+    static constexpr u32 HHeaderSize = 16;
+
+    // Chunk header: [size u32 | flags u16 | owner u16], payload after.
+    static constexpr u32 ChunkHeaderSize = 8;
+    static constexpr u16 ChunkUsed = 1;
+};
+
+/** Database header layout (payload of the header chunk). */
+struct Db
+{
+    static constexpr u32 Name = 0;         ///< char[32], NUL padded
+    static constexpr u32 NameLen = 32;
+    static constexpr u32 Attrs = 32;       ///< u16
+    static constexpr u32 Type = 34;        ///< u32 fourcc
+    static constexpr u32 Creator = 38;     ///< u32 fourcc
+    static constexpr u32 CreationDate = 42;///< u32 seconds since 1904
+    static constexpr u32 ModDate = 46;     ///< u32
+    static constexpr u32 BackupDate = 50;  ///< u32
+    static constexpr u32 NumRecords = 54;  ///< u16
+    static constexpr u32 Capacity = 56;    ///< u16 record list slots
+    static constexpr u32 RecordList = 58;  ///< u32 ptr to u32[] of recs
+    static constexpr u32 NextDb = 62;      ///< u32 next header (0=end)
+    static constexpr u32 HeaderSize = 66;
+
+    static constexpr u16 AttrExecutable = 0x0001;
+    static constexpr u16 AttrBackup = 0x0008; ///< the paper's backup bit
+    static constexpr u32 InitialCapacity = 16;
+
+    // Record payload: [dataSize u16 | data...].
+    static constexpr u32 RecSizeField = 0;
+    static constexpr u32 RecData = 2;
+};
+
+/** TRAP #15 selectors. */
+struct Trap
+{
+    static constexpr u16 EvtGetEvent = 1;
+    static constexpr u16 EvtEnqueuePenPoint = 2;
+    static constexpr u16 EvtEnqueueKey = 3;
+    static constexpr u16 KeyCurrentState = 4;
+    static constexpr u16 SysRandom = 5;
+    static constexpr u16 SysNotifyBroadcast = 6;
+    static constexpr u16 TimGetTicks = 7;
+    static constexpr u16 TimGetSeconds = 8;
+    static constexpr u16 MemChunkNew = 9;
+    static constexpr u16 MemChunkFree = 10;
+    static constexpr u16 DmFindDatabase = 11;
+    static constexpr u16 DmCreateDatabase = 12;
+    static constexpr u16 DmNewRecord = 13;
+    static constexpr u16 DmNumRecords = 14;
+    static constexpr u16 DmGetRecord = 15;
+    static constexpr u16 SysTaskDelay = 16;
+    static constexpr u16 DbgPutChar = 17;
+    static constexpr u16 FbFill = 18;         ///< D1=off D2=len D3=byte
+    static constexpr u16 SysHandleAppKey = 19;///< D1=key -> D0 switch?
+    static constexpr u16 SerReceiveByte = 20; ///< D1=byte (extension:
+                                              ///< serial/IrDA receive)
+    static constexpr u16 Count = 21; ///< implemented selectors
+};
+
+/** Guest event record types (EvtQueue slots and EvtGetEvent output). */
+struct Evt
+{
+    static constexpr u16 Nil = 0;
+    static constexpr u16 Pen = 1;    ///< x, y, down
+    static constexpr u16 Key = 2;    ///< keycode in data3
+    static constexpr u16 Serial = 3; ///< received byte in data3
+
+    // Record layout (12 bytes).
+    static constexpr u32 FType = 0;  ///< u16
+    static constexpr u32 FX = 2;     ///< u16
+    static constexpr u32 FY = 4;     ///< u16
+    static constexpr u32 FData = 6;  ///< u16 pen-down flag / keycode
+    static constexpr u32 FTick = 8;  ///< u32 enqueue tick
+};
+
+/** EvtGetEvent timeout meaning "wait forever". */
+inline constexpr u32 kEvtWaitForever = 0xFFFFFFFF;
+
+/** Well-known database names. */
+inline constexpr const char *kActivityLogDbName = "PTActivityLog";
+inline constexpr const char *kLaunchDbName = "psysLaunchDB";
+
+/** Application creator codes. */
+inline constexpr u32 kCreatorLauncher = 0x6C6E6368; // 'lnch'
+inline constexpr u32 kCreatorMemo = 0x6D656D6F;     // 'memo'
+inline constexpr u32 kCreatorPuzzle = 0x70757A6C;   // 'puzl'
+inline constexpr u32 kCreatorDatebook = 0x64617465; // 'date'
+
+/** Makes a fourcc from text. */
+constexpr u32
+fourcc(char a, char b, char c, char d)
+{
+    return (static_cast<u32>(static_cast<u8>(a)) << 24) |
+           (static_cast<u32>(static_cast<u8>(b)) << 16) |
+           (static_cast<u32>(static_cast<u8>(c)) << 8) |
+           static_cast<u32>(static_cast<u8>(d));
+}
+
+} // namespace pt::os
+
+#endif // PT_OS_GUESTABI_H

@@ -1,0 +1,249 @@
+#include "guestmem.h"
+
+#include "base/logging.h"
+
+namespace pt::os
+{
+
+namespace
+{
+
+constexpr Addr kDbList = Lay::HeapBase + Lay::HDbListHead;
+
+/** Pads a name to the fixed 32-byte field. */
+std::vector<u8>
+paddedName(std::string_view name)
+{
+    PT_ASSERT(name.size() < Db::NameLen, "database name too long: ",
+              std::string(name));
+    std::vector<u8> out(Db::NameLen, 0);
+    for (std::size_t i = 0; i < name.size(); ++i)
+        out[i] = static_cast<u8>(name[i]);
+    return out;
+}
+
+} // namespace
+
+bool
+GuestHeap::formatted() const
+{
+    return bus.peek32(Lay::HeapBase + Lay::HMagic) == Lay::HeapMagic;
+}
+
+void
+GuestHeap::format()
+{
+    bus.poke32(Lay::HeapBase + Lay::HMagic, Lay::HeapMagic);
+    bus.poke32(kDbList, 0);
+    bus.poke32(Lay::HeapBase + Lay::HFirstChunk,
+               Lay::HeapBase + Lay::HHeaderSize);
+    bus.poke32(Lay::HeapBase + Lay::HEndField, Lay::HeapEnd);
+    Addr first = Lay::HeapBase + Lay::HHeaderSize;
+    bus.poke32(first, Lay::HeapEnd - first);
+    bus.poke16(first + 4, 0);
+    bus.poke16(first + 6, 0);
+}
+
+Addr
+GuestHeap::chunkNew(u32 payloadSize)
+{
+    u32 need = ((payloadSize + 1) & ~1u) + Lay::ChunkHeaderSize;
+    Addr cur = bus.peek32(Lay::HeapBase + Lay::HFirstChunk);
+    while (cur < Lay::HeapEnd) {
+        u32 size = bus.peek32(cur);
+        u16 flags = bus.peek16(cur + 4);
+        if (!(flags & Lay::ChunkUsed) && size >= need) {
+            u32 rem = size - need;
+            if (rem >= 16) {
+                Addr split = cur + need;
+                bus.poke32(split, rem);
+                bus.poke16(split + 4, 0);
+                bus.poke16(split + 6, 0);
+                bus.poke32(cur, need);
+            }
+            bus.poke16(cur + 4, Lay::ChunkUsed);
+            return cur + Lay::ChunkHeaderSize;
+        }
+        if (size == 0) {
+            warn("GuestHeap: corrupt chunk at ", cur);
+            return 0;
+        }
+        cur += size;
+    }
+    return 0;
+}
+
+void
+GuestHeap::chunkFree(Addr payload)
+{
+    Addr chunk = payload - Lay::ChunkHeaderSize;
+    bus.poke16(chunk + 4, 0);
+    u32 size = bus.peek32(chunk);
+    Addr next = chunk + size;
+    if (next < Lay::HeapEnd &&
+        !(bus.peek16(next + 4) & Lay::ChunkUsed)) {
+        bus.poke32(chunk, size + bus.peek32(next));
+    }
+}
+
+Addr
+GuestHeap::findDatabase(std::string_view name) const
+{
+    auto padded = paddedName(name);
+    Addr db = bus.peek32(kDbList);
+    while (db) {
+        bool match = true;
+        for (u32 i = 0; i < Db::NameLen; ++i) {
+            if (bus.peek8(db + Db::Name + i) != padded[i]) {
+                match = false;
+                break;
+            }
+        }
+        if (match)
+            return db;
+        db = bus.peek32(db + Db::NextDb);
+    }
+    return 0;
+}
+
+Addr
+GuestHeap::createDatabase(std::string_view name, u32 type, u32 creator,
+                          u16 attrs, u32 nowRtc)
+{
+    Addr db = chunkNew(Db::HeaderSize);
+    if (!db)
+        return 0;
+    auto padded = paddedName(name);
+    for (u32 i = 0; i < Db::NameLen; ++i)
+        bus.poke8(db + Db::Name + i, padded[i]);
+    bus.poke16(db + Db::Attrs, attrs);
+    bus.poke32(db + Db::Type, type);
+    bus.poke32(db + Db::Creator, creator);
+    bus.poke32(db + Db::CreationDate, nowRtc);
+    bus.poke32(db + Db::ModDate, nowRtc);
+    bus.poke32(db + Db::BackupDate, 0);
+    bus.poke16(db + Db::NumRecords, 0);
+    bus.poke16(db + Db::Capacity,
+               static_cast<u16>(Db::InitialCapacity));
+    Addr list = chunkNew(Db::InitialCapacity * 4);
+    bus.poke32(db + Db::RecordList, list);
+    bus.poke32(db + Db::NextDb, bus.peek32(kDbList));
+    bus.poke32(kDbList, db);
+    return db;
+}
+
+Addr
+GuestHeap::newRecord(Addr db, u32 dataSize, u32 nowRtc)
+{
+    u16 n = bus.peek16(db + Db::NumRecords);
+    u16 cap = bus.peek16(db + Db::Capacity);
+    if (n == cap) {
+        u16 newCap = static_cast<u16>(cap * 2);
+        Addr newList = chunkNew(static_cast<u32>(newCap) * 4);
+        if (!newList)
+            return 0;
+        Addr oldList = bus.peek32(db + Db::RecordList);
+        for (u16 i = 0; i < n; ++i)
+            bus.poke32(newList + i * 4u, bus.peek32(oldList + i * 4u));
+        chunkFree(oldList);
+        bus.poke32(db + Db::RecordList, newList);
+        bus.poke16(db + Db::Capacity, newCap);
+    }
+    Addr rec = chunkNew(dataSize + 2);
+    if (!rec)
+        return 0;
+    bus.poke16(rec + Db::RecSizeField, static_cast<u16>(dataSize));
+    Addr list = bus.peek32(db + Db::RecordList);
+    bus.poke32(list + n * 4u, rec);
+    bus.poke16(db + Db::NumRecords, static_cast<u16>(n + 1));
+    bus.poke32(db + Db::ModDate, nowRtc);
+    return rec + Db::RecData;
+}
+
+void
+GuestHeap::setAttrs(Addr db, u16 attrs)
+{
+    bus.poke16(db + Db::Attrs, attrs);
+}
+
+void
+GuestHeap::setBackupBitOnAll()
+{
+    Addr db = bus.peek32(kDbList);
+    while (db) {
+        bus.poke16(db + Db::Attrs,
+                   bus.peek16(db + Db::Attrs) | Db::AttrBackup);
+        db = bus.peek32(db + Db::NextDb);
+    }
+}
+
+GuestHeap::Stats
+GuestHeap::stats() const
+{
+    Stats s;
+    Addr cur = bus.peek32(Lay::HeapBase + Lay::HFirstChunk);
+    while (cur < Lay::HeapEnd) {
+        u32 size = bus.peek32(cur);
+        if (size == 0)
+            break;
+        u16 flags = bus.peek16(cur + 4);
+        ++s.chunks;
+        if (flags & Lay::ChunkUsed) {
+            ++s.usedChunks;
+            s.usedBytes += size;
+        } else {
+            ++s.freeChunks;
+            s.freeBytes += size;
+            if (size > s.largestFree)
+                s.largestFree = size;
+        }
+        cur += size;
+    }
+    return s;
+}
+
+DbView
+parseDatabase(const m68k::BusIf &bus, Addr db)
+{
+    DbView v;
+    v.addr = db;
+    for (u32 i = 0; i < Db::NameLen; ++i) {
+        u8 c = bus.peek8(db + Db::Name + i);
+        if (!c)
+            break;
+        v.name.push_back(static_cast<char>(c));
+    }
+    v.attrs = bus.peek16(db + Db::Attrs);
+    v.type = bus.peek32(db + Db::Type);
+    v.creator = bus.peek32(db + Db::Creator);
+    v.creationDate = bus.peek32(db + Db::CreationDate);
+    v.modDate = bus.peek32(db + Db::ModDate);
+    v.backupDate = bus.peek32(db + Db::BackupDate);
+    u16 n = bus.peek16(db + Db::NumRecords);
+    Addr list = bus.peek32(db + Db::RecordList);
+    v.records.reserve(n);
+    for (u16 i = 0; i < n; ++i) {
+        Addr rec = bus.peek32(list + i * 4u);
+        DbRecordView r;
+        r.size = bus.peek16(rec + Db::RecSizeField);
+        r.data.resize(r.size);
+        for (u16 j = 0; j < r.size; ++j)
+            r.data[j] = bus.peek8(rec + Db::RecData + j);
+        v.records.push_back(std::move(r));
+    }
+    return v;
+}
+
+std::vector<DbView>
+listDatabases(const m68k::BusIf &bus)
+{
+    std::vector<DbView> out;
+    Addr db = bus.peek32(kDbList);
+    while (db) {
+        out.push_back(parseDatabase(bus, db));
+        db = bus.peek32(db + Db::NextDb);
+    }
+    return out;
+}
+
+} // namespace pt::os

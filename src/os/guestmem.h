@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Host-side access to PilotOS guest memory structures.
+ *
+ * GuestHeap mirrors the guest's first-fit chunk allocator and database
+ * manager over side-effect-free peeks/pokes. It is used to install the
+ * initial state (applications, seed databases) before a session — the
+ * palmtrace equivalent of loading .prc files onto a handheld — and by
+ * the HotSync-style logical export.
+ *
+ * The DbView functions parse guest databases field by field, exactly
+ * the granularity the paper's final-state correlation compares (§3.4).
+ */
+
+#ifndef PT_OS_GUESTMEM_H
+#define PT_OS_GUESTMEM_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/types.h"
+#include "m68k/busif.h"
+#include "os/guestabi.h"
+
+namespace pt::os
+{
+
+/** Host-side view of (and writer into) the guest storage heap. */
+class GuestHeap
+{
+  public:
+    explicit GuestHeap(m68k::BusIf &bus)
+        : bus(bus)
+    {}
+
+    /** @return true when the heap magic is present. */
+    bool formatted() const;
+
+    /** Formats the heap exactly as guest boot would. */
+    void format();
+
+    /** First-fit allocation, bit-compatible with the guest allocator.
+     *  @return the payload address, or 0 when the heap is full. */
+    Addr chunkNew(u32 payloadSize);
+
+    /** Frees a chunk by payload address, coalescing with the next. */
+    void chunkFree(Addr payload);
+
+    /** @return the database header address, or 0. */
+    Addr findDatabase(std::string_view name) const;
+
+    /** Creates a database as the guest DmCreateDatabase would. */
+    Addr createDatabase(std::string_view name, u32 type, u32 creator,
+                        u16 attrs, u32 nowRtc);
+
+    /** Appends a record; @return the record data address. */
+    Addr newRecord(Addr db, u32 dataSize, u32 nowRtc);
+
+    /** Rewrites a database's attribute word. */
+    void setAttrs(Addr db, u16 attrs);
+
+    /** Sets the paper's backup bit on every database. */
+    void setBackupBitOnAll();
+
+    /** Heap occupancy summary. */
+    struct Stats
+    {
+        u32 chunks = 0;
+        u32 usedChunks = 0;
+        u32 freeChunks = 0;
+        u64 usedBytes = 0;
+        u64 freeBytes = 0;
+        u32 largestFree = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    m68k::BusIf &bus;
+};
+
+/** One parsed record. */
+struct DbRecordView
+{
+    u16 size = 0;
+    std::vector<u8> data;
+};
+
+/** One parsed database, field by field. */
+struct DbView
+{
+    Addr addr = 0;
+    std::string name;
+    u16 attrs = 0;
+    u32 type = 0;
+    u32 creator = 0;
+    u32 creationDate = 0;
+    u32 modDate = 0;
+    u32 backupDate = 0;
+    std::vector<DbRecordView> records;
+};
+
+/** Parses every database in the guest heap (list order). */
+std::vector<DbView> listDatabases(const m68k::BusIf &bus);
+
+/** Parses one database header at @p db. */
+DbView parseDatabase(const m68k::BusIf &bus, Addr db);
+
+} // namespace pt::os
+
+#endif // PT_OS_GUESTMEM_H

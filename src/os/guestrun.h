@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ad-hoc guest program execution on a booted device.
+ *
+ * Benchmarks and tests sometimes need to run a short guest routine in
+ * a tight loop — e.g. the paper's §2.3.3 overhead test "called a hack
+ * in a tight loop on a handheld". GuestRunner assembles the routine
+ * into scratch RAM, points the CPU at it, and runs until the program
+ * executes STOP.
+ */
+
+#ifndef PT_OS_GUESTRUN_H
+#define PT_OS_GUESTRUN_H
+
+#include <functional>
+
+#include "device/device.h"
+#include "m68k/codebuilder.h"
+
+namespace pt::os
+{
+
+/** Runs host-assembled guest routines on a device. */
+class GuestRunner
+{
+  public:
+    explicit GuestRunner(device::Device &dev, Addr scratch = 0xE000)
+        : dev(dev), scratch(scratch)
+    {}
+
+    /**
+     * Assembles @p emit at the scratch address, jumps there, and runs
+     * until the program STOPs (the emitter must end with stop(...)) or
+     * @p maxCycles elapse.
+     *
+     * @return cycles consumed.
+     */
+    u64
+    run(const std::function<void(m68k::CodeBuilder &)> &emit,
+        u64 maxCycles = 2'000'000'000ull)
+    {
+        m68k::CodeBuilder b(scratch);
+        emit(b);
+        auto bytes = b.finalize();
+        for (std::size_t i = 0; i < bytes.size(); ++i)
+            dev.bus().poke8(scratch + static_cast<Addr>(i), bytes[i]);
+        dev.cpu().wake();
+        dev.cpu().setSr(0x2700); // supervisor, inputs masked
+        dev.cpu().setPc(scratch);
+        u64 before = dev.nowCycles();
+        u64 limit = before + maxCycles;
+        while (!dev.cpu().stopped() && !dev.halted() &&
+               dev.nowCycles() < limit) {
+            dev.runCycles(100'000);
+        }
+        return dev.nowCycles() - before;
+    }
+
+  private:
+    device::Device &dev;
+    Addr scratch;
+};
+
+} // namespace pt::os
+
+#endif // PT_OS_GUESTRUN_H

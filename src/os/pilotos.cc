@@ -1,0 +1,62 @@
+#include "pilotos.h"
+
+#include "base/logging.h"
+#include "os/apps.h"
+#include "os/guestmem.h"
+
+namespace pt::os
+{
+
+namespace
+{
+
+/** Installs one application: code record 0 executing in place. */
+void
+installApp(GuestHeap &heap, m68k::BusIf &bus, const char *dbName,
+           u32 creator, u32 rtc,
+           std::vector<u8> (*build)(Addr origin))
+{
+    Addr db = heap.createDatabase(dbName, fourcc('a', 'p', 'p', 'l'),
+                                  creator,
+                                  Db::AttrExecutable | Db::AttrBackup,
+                                  rtc);
+    PT_ASSERT(db != 0, "app database allocation failed");
+    // Size the code with a throwaway assembly, then place it.
+    std::size_t size = build(0).size();
+    Addr code = heap.newRecord(db, static_cast<u32>(size), rtc);
+    PT_ASSERT(code != 0, "app code allocation failed");
+    std::vector<u8> bytes = build(code);
+    PT_ASSERT(bytes.size() == size, "app size changed on relocation");
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bus.poke8(code + static_cast<Addr>(i), bytes[i]);
+}
+
+} // namespace
+
+RomSymbols
+setupDevice(device::Device &dev, const SetupOptions &opts)
+{
+    RomImage rom = buildRom();
+    dev.bus().loadRom(rom.bytes);
+    dev.bus().clearRam();
+    dev.io().setRtcBase(opts.rtcBase);
+
+    GuestHeap heap(dev.bus());
+    heap.format();
+    installApp(heap, dev.bus(), "Launcher", kCreatorLauncher,
+               opts.rtcBase, buildLauncherApp);
+    installApp(heap, dev.bus(), "MemoPad", kCreatorMemo, opts.rtcBase,
+               buildMemoApp);
+    installApp(heap, dev.bus(), "Puzzle", kCreatorPuzzle, opts.rtcBase,
+               buildPuzzleApp);
+    installApp(heap, dev.bus(), "Datebook", kCreatorDatebook,
+               opts.rtcBase, buildDatebookApp);
+    heap.setBackupBitOnAll();
+
+    dev.reset();
+    if (opts.bootToLauncher)
+        dev.runUntilIdle();
+    return rom.syms;
+}
+
+} // namespace pt::os

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * PilotOS system assembly: build the ROM, install the applications
+ * into the storage heap, and boot the device to the launcher.
+ */
+
+#ifndef PT_OS_PILOTOS_H
+#define PT_OS_PILOTOS_H
+
+#include "device/device.h"
+#include "os/guestabi.h"
+#include "os/rombuilder.h"
+
+namespace pt::os
+{
+
+/** Options for initial device setup. */
+struct SetupOptions
+{
+    /**
+     * RTC seconds since 1904-01-01 at reset. The default corresponds
+     * to early 2004, the era of the paper's data collection.
+     */
+    u32 rtcBase = 3'160'000'000u;
+
+    /** Boot the device to the launcher idle loop after setup. */
+    bool bootToLauncher = true;
+};
+
+/**
+ * Fully provisions a device: loads the PilotOS ROM, formats the
+ * storage heap, installs the three applications (code executing in
+ * place from database records), sets every database's backup bit
+ * (§2.2), soft-resets, and optionally boots to the launcher.
+ *
+ * @return the ROM symbol table (hack installation needs the original
+ *         trap handler addresses).
+ */
+RomSymbols setupDevice(device::Device &dev,
+                       const SetupOptions &opts = {});
+
+} // namespace pt::os
+
+#endif // PT_OS_PILOTOS_H

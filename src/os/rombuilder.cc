@@ -1,0 +1,824 @@
+#include "rombuilder.h"
+
+#include "base/logging.h"
+#include "device/map.h"
+#include "m68k/codebuilder.h"
+
+namespace pt::os
+{
+
+namespace
+{
+
+using m68k::CodeBuilder;
+using m68k::Cond;
+using m68k::Size;
+using namespace m68k::ops;
+
+// MMIO register absolute addresses.
+constexpr Addr kTick = device::kMmioBase + device::Reg::TickCount;
+constexpr Addr kRtc = device::kMmioBase + device::Reg::RtcSeconds;
+constexpr Addr kPenX = device::kMmioBase + device::Reg::PenX;
+constexpr Addr kPenY = device::kMmioBase + device::Reg::PenY;
+constexpr Addr kPenDown = device::kMmioBase + device::Reg::PenDown;
+constexpr Addr kBtn = device::kMmioBase + device::Reg::BtnState;
+constexpr Addr kIntAck = device::kMmioBase + device::Reg::IntAck;
+constexpr Addr kTimerCmp = device::kMmioBase + device::Reg::TimerCmp;
+constexpr Addr kDbg = device::kMmioBase + device::Reg::DbgPort;
+constexpr Addr kSerData = device::kMmioBase + device::Reg::SerData;
+
+// Storage heap header fields (absolute).
+constexpr Addr kHpDbList = Lay::HeapBase + Lay::HDbListHead;
+constexpr Addr kHpFirst = Lay::HeapBase + Lay::HFirstChunk;
+
+/** Collects the labels of every ROM entry point during emission. */
+struct Labels
+{
+    int boot, dispatcher, unimplemented;
+    int penIsr, buttonIsr, timerIsr, serialIsr;
+    int trapTableData;
+    int nameLaunchDb;
+    int handler[Trap::Count];
+    int evtCommit;
+};
+
+/** Saves SR and masks interrupts (critical section entry). */
+void
+enterCritical(CodeBuilder &b)
+{
+    b.moveFromSr(predec(7));
+    b.oriToSr(0x0700);
+}
+
+/** Restores the SR saved by enterCritical. */
+void
+leaveCritical(CodeBuilder &b)
+{
+    b.moveToSr(postinc(7));
+}
+
+void
+emitDispatcher(CodeBuilder &b, Labels &L)
+{
+    // On entry (TRAP #15 exception): SP -> SR.w, PC.l where PC points
+    // at the selector word after the TRAP opcode. D0/A0 are free: the
+    // OS ABI designates them as result registers, dead at call time.
+    b.bind(L.dispatcher);
+    b.movea(Size::L, disp(7, 2), 0);      // A0 = return PC
+    b.move(Size::W, ind(0), dr(0));       // D0 = selector
+    b.addq(Size::L, 2, ar(0));
+    b.move(Size::L, ar(0), disp(7, 2));   // return past the selector
+    b.andi(Size::L, 0xFF, dr(0));
+    b.lsl(Size::L, 2, 0);
+    b.lea(absl(Lay::TrapTable), 0);
+    b.movea(Size::L, indexed(0, 0), 0);   // A0 = handler
+    b.jsr(ind(0));                        // handler returns via RTS
+    b.rte();
+}
+
+void
+emitUnimplemented(CodeBuilder &b, Labels &L)
+{
+    b.bind(L.unimplemented);
+    b.move(Size::W, imm('?'), absl(kDbg));
+    b.stop(0x2700); // unknown selector: hard stop, visible in tests
+}
+
+void
+emitIsrs(CodeBuilder &b, Labels &L)
+{
+    // Timer: acknowledge and disarm; the wake itself is the effect.
+    b.bind(L.timerIsr);
+    b.move(Size::W, imm(device::Irq::Timer), absl(kIntAck));
+    b.move(Size::L, imm(device::kTimerDisarmed), absl(kTimerCmp));
+    b.rte();
+
+    // Pen: read the latched sample and enqueue it via the trap, so
+    // installed hacks observe the call exactly as on hardware.
+    b.bind(L.penIsr);
+    b.movemPush(0x030F); // d0-d3/a0-a1
+    b.move(Size::W, imm(device::Irq::Pen), absl(kIntAck));
+    b.move(Size::W, absl(kPenX), dr(1));
+    b.move(Size::W, absl(kPenY), dr(2));
+    b.move(Size::W, absl(kPenDown), dr(3));
+    b.trapSel(15, Trap::EvtEnqueuePenPoint);
+    b.movemPop(0x030F);
+    b.rte();
+
+    // Buttons: derive newly-pressed edges and enqueue one key event
+    // per press (releases change KeyCurrentState only).
+    b.bind(L.buttonIsr);
+    b.movemPush(0x033F); // d0-d5/a0-a1
+    b.move(Size::W, imm(device::Irq::Button), absl(kIntAck));
+    b.move(Size::W, absl(kBtn), dr(2));          // new state
+    b.move(Size::W, absl(Lay::GBtnPrev), dr(3)); // old state
+    b.move(Size::W, dr(2), absl(Lay::GBtnPrev));
+    b.not_(Size::W, dr(3));
+    b.and_(Size::W, dr(2), dr(3));               // d3 = new presses
+    b.move(Size::W, dr(3), dr(4));               // presses (saved reg)
+    b.moveq(1, 5);                               // d5 = current mask
+    auto bloop = b.hereLabel();
+    auto bskip = b.newLabel();
+    auto bdone = b.newLabel();
+    b.move(Size::W, dr(4), dr(0));
+    b.and_(Size::W, dr(5), dr(0));
+    b.bcc(Cond::EQ, bskip);
+    b.move(Size::W, dr(5), dr(1));
+    b.trapSel(15, Trap::EvtEnqueueKey);
+    b.bind(bskip);
+    b.add(Size::W, dr(5), dr(5));                // mask <<= 1
+    b.cmpi(Size::W, 0x100, dr(5));
+    b.bcc(Cond::NE, bloop);
+    b.bind(bdone);
+    b.movemPop(0x033F);
+    b.rte();
+
+    // Serial/IrDA receive (extension of the paper's §5.1 future
+    // work): drain the UART FIFO, enqueueing one event per byte via
+    // the trap so the serial hack observes each reception.
+    b.bind(L.serialIsr);
+    auto sloop = b.newLabel();
+    auto sdone = b.newLabel();
+    b.movemPush(0x030F); // d0-d3/a0-a1
+    b.bind(sloop);
+    b.moveq(0, 1);
+    b.move(Size::W, absl(kSerData), dr(1));
+    b.btst(8, dr(1)); // valid flag
+    b.bcc(Cond::EQ, sdone);
+    b.andi(Size::L, 0xFF, dr(1));
+    b.trapSel(15, Trap::SerReceiveByte);
+    b.bra(sloop);
+    b.bind(sdone);
+    b.move(Size::W, imm(device::Irq::Serial), absl(kIntAck));
+    b.movemPop(0x030F);
+    b.rte();
+}
+
+void
+emitEventManager(CodeBuilder &b, Labels &L)
+{
+    // EvtCommit: internal. d0=type d1=x d2=y d3=data. Masks
+    // interrupts so ISR producers at different levels cannot race the
+    // tail pointer.
+    b.bind(L.evtCommit);
+    auto drop = b.newLabel();
+    enterCritical(b);
+    b.move(Size::W, dr(0), predec(7)); // save type
+    b.move(Size::W, absl(Lay::GEvtTail), dr(0));
+    b.addq(Size::W, 1, dr(0));
+    b.andi(Size::W, Lay::EvtQueueSlots - 1, dr(0));
+    b.cmp(Size::W, absl(Lay::GEvtHead), 0);
+    b.bcc(Cond::EQ, drop); // queue full: drop the event
+    b.move(Size::W, absl(Lay::GEvtTail), dr(0));
+    b.mulu(imm(Lay::EvtRecordSize), 0);
+    b.lea(absl(Lay::EvtQueue), 0);
+    b.adda(Size::L, dr(0), 0);
+    b.move(Size::W, postinc(7), dr(0)); // type back
+    b.move(Size::W, dr(0), ind(0));
+    b.move(Size::W, dr(1), disp(0, Evt::FX));
+    b.move(Size::W, dr(2), disp(0, Evt::FY));
+    b.move(Size::W, dr(3), disp(0, Evt::FData));
+    b.move(Size::L, absl(kTick), disp(0, Evt::FTick));
+    b.move(Size::W, absl(Lay::GEvtTail), dr(0));
+    b.addq(Size::W, 1, dr(0));
+    b.andi(Size::W, Lay::EvtQueueSlots - 1, dr(0));
+    b.move(Size::W, dr(0), absl(Lay::GEvtTail));
+    leaveCritical(b);
+    b.rts();
+    b.bind(drop);
+    b.addq(Size::L, 2, ar(7)); // discard saved type
+    leaveCritical(b);
+    b.rts();
+
+    // EvtEnqueuePenPoint(d1=x, d2=y, d3=down)
+    b.bind(L.handler[Trap::EvtEnqueuePenPoint]);
+    b.moveq(Evt::Pen, 0);
+    b.bra(L.evtCommit);
+
+    // EvtEnqueueKey(d1=key)
+    b.bind(L.handler[Trap::EvtEnqueueKey]);
+    b.move(Size::W, dr(1), dr(3));
+    b.moveq(0, 1);
+    b.moveq(0, 2);
+    b.moveq(Evt::Key, 0);
+    b.bra(L.evtCommit);
+
+    // SerReceiveByte(d1=byte): enqueue a serial event (extension).
+    b.bind(L.handler[Trap::SerReceiveByte]);
+    b.move(Size::W, dr(1), dr(3));
+    b.moveq(0, 1);
+    b.moveq(0, 2);
+    b.moveq(Evt::Serial, 0);
+    b.bra(L.evtCommit);
+
+    // EvtGetEvent(a1=dest, d1=timeout ticks; 0xFFFFFFFF = forever)
+    b.bind(L.handler[Trap::EvtGetEvent]);
+    auto forever = b.newLabel();
+    auto loop = b.newLabel();
+    auto pop = b.newLabel();
+    auto sleep = b.newLabel();
+    auto timedOut = b.newLabel();
+    b.cmpi(Size::L, kEvtWaitForever, dr(1));
+    b.bcc(Cond::EQ, forever);
+    b.move(Size::L, absl(kTick), dr(3));
+    b.add(Size::L, dr(1), dr(3)); // d3 = deadline
+    b.bind(forever);
+    b.bind(loop);
+    enterCritical(b);
+    b.move(Size::W, absl(Lay::GEvtHead), dr(0));
+    b.cmp(Size::W, absl(Lay::GEvtTail), 0);
+    b.bcc(Cond::NE, pop);
+    // Queue empty: arm the timeout timer (if any) and sleep. STOP
+    // atomically unmasks and waits, closing the check-then-sleep race.
+    b.cmpi(Size::L, kEvtWaitForever, dr(1));
+    b.bcc(Cond::EQ, sleep);
+    b.move(Size::L, dr(3), absl(kTimerCmp));
+    b.bind(sleep);
+    b.addq(Size::L, 2, ar(7)); // drop saved SR; STOP rewrites it
+    b.stop(0x2000);
+    // Woken by an ISR. Check the timeout.
+    b.cmpi(Size::L, kEvtWaitForever, dr(1));
+    b.bcc(Cond::EQ, loop);
+    b.move(Size::L, absl(kTick), dr(0));
+    b.cmp(Size::L, dr(3), 0);
+    b.bcc(Cond::CS, loop); // now < deadline: keep waiting
+    b.bind(timedOut);
+    b.clr(Size::W, ind(1)); // nilEvent
+    b.addq(Size::L, 1, absl(Lay::GNilEvtCount));
+    b.move(Size::L, imm(device::kTimerDisarmed), absl(kTimerCmp));
+    b.rts();
+    b.bind(pop);
+    b.mulu(imm(Lay::EvtRecordSize), 0);
+    b.lea(absl(Lay::EvtQueue), 0);
+    b.adda(Size::L, dr(0), 0);
+    b.move(Size::L, ind(0), ind(1));
+    b.move(Size::L, disp(0, 4), disp(1, 4));
+    b.move(Size::L, disp(0, 8), disp(1, 8));
+    b.move(Size::W, absl(Lay::GEvtHead), dr(0));
+    b.addq(Size::W, 1, dr(0));
+    b.andi(Size::W, Lay::EvtQueueSlots - 1, dr(0));
+    b.move(Size::W, dr(0), absl(Lay::GEvtHead));
+    leaveCritical(b);
+    b.rts();
+}
+
+void
+emitTimeAndMisc(CodeBuilder &b, Labels &L)
+{
+    // KeyCurrentState() -> d0
+    b.bind(L.handler[Trap::KeyCurrentState]);
+    b.moveq(0, 0);
+    b.move(Size::W, absl(kBtn), dr(0));
+    b.rts();
+
+    // SysRandom(d1=seed) -> d0 in [0, 0x7FFF]
+    b.bind(L.handler[Trap::SysRandom]);
+    auto noSeed = b.newLabel();
+    b.tst(Size::L, dr(1));
+    b.bcc(Cond::EQ, noSeed);
+    b.move(Size::L, dr(1), absl(Lay::GRandSeed));
+    b.bind(noSeed);
+    b.move(Size::L, absl(Lay::GRandSeed), dr(0));
+    b.mulu(imm(25173), 0);
+    b.addi(Size::L, 13849, dr(0));
+    b.move(Size::L, dr(0), absl(Lay::GRandSeed));
+    b.swap(0);
+    b.andi(Size::L, 0x7FFF, dr(0));
+    b.rts();
+
+    // SysNotifyBroadcast(d1=type)
+    b.bind(L.handler[Trap::SysNotifyBroadcast]);
+    b.addq(Size::L, 1, absl(Lay::GNotifyCount));
+    b.moveq(0, 0);
+    b.rts();
+
+    // TimGetTicks() -> d0
+    b.bind(L.handler[Trap::TimGetTicks]);
+    b.move(Size::L, absl(kTick), dr(0));
+    b.rts();
+
+    // TimGetSeconds() -> d0
+    b.bind(L.handler[Trap::TimGetSeconds]);
+    b.move(Size::L, absl(kRtc), dr(0));
+    b.rts();
+
+    // SysTaskDelay(d1=ticks)
+    b.bind(L.handler[Trap::SysTaskDelay]);
+    auto dloop = b.newLabel();
+    auto ddone = b.newLabel();
+    b.move(Size::L, absl(kTick), dr(2));
+    b.add(Size::L, dr(1), dr(2)); // d2 = deadline
+    b.bind(dloop);
+    b.move(Size::L, absl(kTick), dr(0));
+    b.cmp(Size::L, dr(2), 0);
+    b.bcc(Cond::CC, ddone); // now >= deadline
+    b.move(Size::L, dr(2), absl(kTimerCmp));
+    b.stop(0x2000);
+    b.bra(dloop);
+    b.bind(ddone);
+    b.move(Size::L, imm(device::kTimerDisarmed), absl(kTimerCmp));
+    b.rts();
+
+    // DbgPutChar(d1=char)
+    b.bind(L.handler[Trap::DbgPutChar]);
+    b.move(Size::W, dr(1), absl(kDbg));
+    b.rts();
+
+    // FbFill(d1=offset, d2=byte count, d3=fill byte)
+    b.bind(L.handler[Trap::FbFill]);
+    auto floop = b.newLabel();
+    auto fdone = b.newLabel();
+    b.lea(absl(Lay::FrameBuffer), 0);
+    b.adda(Size::L, dr(1), 0);
+    b.bind(floop);
+    b.tst(Size::L, dr(2));
+    b.bcc(Cond::EQ, fdone);
+    b.move(Size::B, dr(3), postinc(0));
+    b.subq(Size::L, 1, dr(2));
+    b.bra(floop);
+    b.bind(fdone);
+    b.rts();
+
+    // SysHandleAppKey(d1=key mask) -> d0 = 1 if an app switch was
+    // requested (GLaunchReq set), else 0.
+    b.bind(L.handler[Trap::SysHandleAppKey]);
+    auto tryMemo = b.newLabel();
+    auto tryPuzl = b.newLabel();
+    auto tryHome = b.newLabel();
+    auto noSwitch = b.newLabel();
+    auto doSwitch = b.newLabel();
+    b.cmpi(Size::W, device::Btn::App1, dr(1));
+    b.bcc(Cond::NE, tryMemo);
+    b.move(Size::L, imm(kCreatorLauncher), dr(0));
+    b.bra(doSwitch);
+    b.bind(tryMemo);
+    b.cmpi(Size::W, device::Btn::App2, dr(1));
+    b.bcc(Cond::NE, tryPuzl);
+    b.move(Size::L, imm(kCreatorMemo), dr(0));
+    b.bra(doSwitch);
+    b.bind(tryPuzl);
+    b.cmpi(Size::W, device::Btn::App3, dr(1));
+    b.bcc(Cond::NE, tryHome);
+    b.move(Size::L, imm(kCreatorPuzzle), dr(0));
+    b.bra(doSwitch);
+    b.bind(tryHome);
+    b.cmpi(Size::W, device::Btn::App4, dr(1));
+    b.bcc(Cond::NE, noSwitch);
+    b.move(Size::L, imm(kCreatorDatebook), dr(0));
+    b.bind(doSwitch);
+    b.move(Size::L, dr(0), absl(Lay::GLaunchReq));
+    b.moveq(1, 0);
+    b.rts();
+    b.bind(noSwitch);
+    b.moveq(0, 0);
+    b.rts();
+}
+
+void
+emitMemoryManager(CodeBuilder &b, Labels &L)
+{
+    // MemChunkNew(d1=payload size) -> a0/d0 payload ptr, 0 on failure.
+    //
+    // First-fit scan over the chunk list. The scan cost grows linearly
+    // with the number of live chunks — the mechanism behind the hack
+    // overhead growth in the paper's Figure 3 (§2.3.3 attributes it to
+    // the OS memory manager).
+    b.bind(L.handler[Trap::MemChunkNew]);
+    auto scan = b.newLabel();
+    auto next = b.newLabel();
+    auto fail = b.newLabel();
+    auto noSplit = b.newLabel();
+    auto mark = b.newLabel();
+    b.addq(Size::L, 1, dr(1));
+    b.bclr(0, dr(1)); // round up to even
+    b.addi(Size::L, Lay::ChunkHeaderSize, dr(1));
+    enterCritical(b);
+    b.movea(Size::L, absl(kHpFirst), 0);
+    b.bind(scan);
+    b.cmpa(Size::L, imm(Lay::HeapEnd), 0);
+    b.bcc(Cond::CC, fail); // cursor >= heap end
+    b.move(Size::W, disp(0, 4), dr(0)); // flags
+    b.btst(0, dr(0));
+    b.bcc(Cond::NE, next); // in use
+    b.move(Size::L, ind(0), dr(0)); // chunk size
+    b.cmp(Size::L, dr(1), 0);
+    b.bcc(Cond::CS, next); // too small
+    // Fits. Split when the remainder can hold a minimal chunk.
+    b.sub(Size::L, dr(1), dr(0)); // remainder
+    b.cmpi(Size::L, 16, dr(0));
+    b.bcc(Cond::CS, noSplit);
+    b.lea(indexed(0, 1), 1);      // a1 = a0 + d1 (new free chunk)
+    b.move(Size::L, dr(0), ind(1));
+    b.clr(Size::W, disp(1, 4));
+    b.clr(Size::W, disp(1, 6));
+    b.move(Size::L, dr(1), ind(0));
+    b.bind(noSplit);
+    b.bind(mark);
+    b.move(Size::W, imm(Lay::ChunkUsed), disp(0, 4));
+    leaveCritical(b);
+    b.lea(disp(0, Lay::ChunkHeaderSize), 0);
+    b.move(Size::L, ar(0), dr(0));
+    b.rts();
+    b.bind(next);
+    b.move(Size::L, ind(0), dr(0));
+    b.adda(Size::L, dr(0), 0);
+    b.bra(scan);
+    b.bind(fail);
+    leaveCritical(b);
+    b.moveq(0, 0);
+    b.movea(Size::L, imm(0), 0);
+    b.rts();
+
+    // MemChunkFree(a1=payload ptr). Coalesces with the next chunk.
+    b.bind(L.handler[Trap::MemChunkFree]);
+    auto fdone = b.newLabel();
+    enterCritical(b);
+    b.lea(disp(1, -static_cast<s16>(Lay::ChunkHeaderSize)), 0);
+    b.clr(Size::W, disp(0, 4));
+    b.move(Size::L, ind(0), dr(0));
+    b.lea(indexed(0, 0), 1); // a1 = next chunk
+    b.cmpa(Size::L, imm(Lay::HeapEnd), 1);
+    b.bcc(Cond::CC, fdone);
+    b.move(Size::W, disp(1, 4), dr(1));
+    b.btst(0, dr(1));
+    b.bcc(Cond::NE, fdone);
+    b.move(Size::L, ind(1), dr(1));
+    b.add(Size::L, dr(1), dr(0));
+    b.move(Size::L, dr(0), ind(0));
+    b.bind(fdone);
+    leaveCritical(b);
+    b.rts();
+}
+
+void
+emitDatabaseManager(CodeBuilder &b, Labels &L)
+{
+    // DmFindDatabase(a1=32-byte name) -> a0/d0 db header or 0.
+    b.bind(L.handler[Trap::DmFindDatabase]);
+    auto walk = b.newLabel();
+    auto cmpLoop = b.newLabel();
+    auto nextDb = b.newLabel();
+    auto miss = b.newLabel();
+    auto hit = b.newLabel();
+    b.move(Size::L, absl(kHpDbList), dr(0));
+    b.bind(walk);
+    b.tst(Size::L, dr(0));
+    b.bcc(Cond::EQ, miss);
+    b.movea(Size::L, dr(0), 0);
+    b.moveq(0, 2); // byte offset
+    b.bind(cmpLoop);
+    b.move(Size::L, indexed(0, 2), dr(3));
+    b.cmp(Size::L, indexed(1, 2), 3);
+    b.bcc(Cond::NE, nextDb);
+    b.addq(Size::L, 4, dr(2));
+    b.cmpi(Size::L, Db::NameLen, dr(2));
+    b.bcc(Cond::CS, cmpLoop);
+    b.bind(hit);
+    b.move(Size::L, ar(0), dr(0));
+    b.rts();
+    b.bind(nextDb);
+    b.move(Size::L, disp(0, Db::NextDb), dr(0));
+    b.bra(walk);
+    b.bind(miss);
+    b.moveq(0, 0);
+    b.movea(Size::L, imm(0), 0);
+    b.rts();
+
+    // DmCreateDatabase(a1=name, d1=type, d2=creator) -> a0 db header.
+    b.bind(L.handler[Trap::DmCreateDatabase]);
+    auto copyName = b.newLabel();
+    b.movemPush(0x0430); // d4,d5,a2
+    b.movea(Size::L, ar(1), 2); // a2 = name
+    b.move(Size::L, dr(1), dr(4)); // type
+    b.move(Size::L, dr(2), dr(5)); // creator
+    b.moveq(static_cast<s8>(Db::HeaderSize), 1);
+    b.jsr(L.handler[Trap::MemChunkNew]); // a0 = header
+    // Copy the 32-byte name.
+    b.moveq(0, 2);
+    b.bind(copyName);
+    b.move(Size::L, indexed(2, 2), dr(3)); // from (a2 + d2)
+    b.move(Size::L, dr(3), indexed(0, 2));
+    b.addq(Size::L, 4, dr(2));
+    b.cmpi(Size::L, Db::NameLen, dr(2));
+    b.bcc(Cond::CS, copyName);
+    b.clr(Size::W, disp(0, Db::Attrs));
+    b.move(Size::L, dr(4), disp(0, Db::Type));
+    b.move(Size::L, dr(5), disp(0, Db::Creator));
+    b.move(Size::L, absl(kRtc), disp(0, Db::CreationDate));
+    b.move(Size::L, absl(kRtc), disp(0, Db::ModDate));
+    b.clr(Size::L, disp(0, Db::BackupDate));
+    b.clr(Size::W, disp(0, Db::NumRecords));
+    b.move(Size::W, imm(Db::InitialCapacity), disp(0, Db::Capacity));
+    // Allocate the record list.
+    b.movea(Size::L, ar(0), 2); // a2 = db header now
+    b.moveq(Db::InitialCapacity * 4, 1);
+    b.jsr(L.handler[Trap::MemChunkNew]);
+    b.move(Size::L, ar(0), disp(2, Db::RecordList));
+    // Link at the head of the database list.
+    b.move(Size::L, absl(kHpDbList), disp(2, Db::NextDb));
+    b.move(Size::L, ar(2), absl(kHpDbList));
+    b.movea(Size::L, ar(2), 0);
+    b.move(Size::L, ar(0), dr(0));
+    b.movemPop(0x0430);
+    b.rts();
+
+    // DmNewRecord(a1=db, d1=data size) -> a0/d0 record data ptr.
+    b.bind(L.handler[Trap::DmNewRecord]);
+    auto room = b.newLabel();
+    auto growCopy = b.newLabel();
+    auto growTest = b.newLabel();
+    b.movemPush(0x0C70); // d4,d5,d6,a2,a3
+    b.movea(Size::L, ar(1), 2); // a2 = db
+    b.move(Size::L, dr(1), dr(4)); // data size
+    b.move(Size::W, disp(2, Db::NumRecords), dr(5));
+    b.cmp(Size::W, disp(2, Db::Capacity), 5);
+    b.bcc(Cond::NE, room);
+    // Grow the record list: capacity *= 2.
+    b.moveq(0, 6);
+    b.move(Size::W, disp(2, Db::Capacity), dr(6));
+    b.add(Size::W, dr(6), dr(6));
+    b.moveq(0, 1);
+    b.move(Size::W, dr(6), dr(1));
+    b.lsl(Size::L, 2, 1); // bytes
+    b.jsr(L.handler[Trap::MemChunkNew]); // a0 = new list
+    b.movea(Size::L, disp(2, Db::RecordList), 1); // old list
+    b.moveq(0, 2); // a2 is busy; d2 = byte offset cursor
+    b.bra(growTest);
+    b.bind(growCopy);
+    b.move(Size::L, indexed(1, 2), dr(3));
+    b.move(Size::L, dr(3), indexed(0, 2));
+    b.addq(Size::L, 4, dr(2));
+    b.bind(growTest);
+    b.moveq(0, 3);
+    b.move(Size::W, dr(5), dr(3));
+    b.lsl(Size::L, 2, 3);
+    b.cmp(Size::L, dr(3), 2);
+    b.bcc(Cond::CS, growCopy);
+    b.movea(Size::L, ar(0), 3); // a3 = new list
+    b.jsr(L.handler[Trap::MemChunkFree]); // frees old list (a1)
+    b.move(Size::L, ar(3), disp(2, Db::RecordList));
+    b.move(Size::W, dr(6), disp(2, Db::Capacity));
+    b.bind(room);
+    // Allocate the record chunk: 2-byte size field + data.
+    b.move(Size::L, dr(4), dr(1));
+    b.addq(Size::L, 2, dr(1));
+    b.jsr(L.handler[Trap::MemChunkNew]); // a0 = record payload
+    b.move(Size::W, dr(4), ind(0));      // data size
+    b.movea(Size::L, disp(2, Db::RecordList), 1);
+    b.moveq(0, 5);
+    b.move(Size::W, disp(2, Db::NumRecords), dr(5));
+    b.lsl(Size::L, 2, 5);
+    b.move(Size::L, ar(0), indexed(1, 5));
+    b.addq(Size::W, 1, disp(2, Db::NumRecords));
+    b.move(Size::L, absl(kRtc), disp(2, Db::ModDate));
+    b.lea(disp(0, Db::RecData), 0);
+    b.move(Size::L, ar(0), dr(0));
+    b.movemPop(0x0C70);
+    b.rts();
+
+    // DmNumRecords(a1=db) -> d0.
+    b.bind(L.handler[Trap::DmNumRecords]);
+    b.moveq(0, 0);
+    b.move(Size::W, disp(1, Db::NumRecords), dr(0));
+    b.rts();
+
+    // DmGetRecord(a1=db, d1=index) -> a0 data ptr, d0 data size.
+    b.bind(L.handler[Trap::DmGetRecord]);
+    b.movea(Size::L, disp(1, Db::RecordList), 0);
+    b.andi(Size::L, 0xFFFF, dr(1));
+    b.lsl(Size::L, 2, 1);
+    b.movea(Size::L, indexed(0, 1), 0); // record payload
+    b.moveq(0, 0);
+    b.move(Size::W, ind(0), dr(0));     // data size
+    b.lea(disp(0, Db::RecData), 0);
+    b.rts();
+}
+
+void
+emitBoot(CodeBuilder &b, Labels &L)
+{
+    b.bind(L.boot);
+
+    // 1) Exception vectors: default everything, then patch.
+    b.move(Size::L, immlbl(L.unimplemented), dr(1));
+    b.lea(absl(0), 1);
+    b.move(Size::L, imm(63), dr(2));
+    auto vecBody = b.hereLabel();
+    b.move(Size::L, dr(1), postinc(1));
+    b.dbra(2, vecBody);
+    b.move(Size::L, immlbl(L.dispatcher), absl(47 * 4)); // TRAP #15
+    b.move(Size::L, immlbl(L.timerIsr), absl((24 + 6) * 4));
+    b.move(Size::L, immlbl(L.penIsr), absl((24 + 5) * 4));
+    b.move(Size::L, immlbl(L.buttonIsr), absl((24 + 4) * 4));
+    b.move(Size::L, immlbl(L.serialIsr), absl((24 + 3) * 4));
+
+    // 2) Clear the system globals block (0x400-0x4FF).
+    b.lea(absl(Lay::Globals), 1);
+    b.move(Size::L, imm(63), dr(2));
+    auto clrLoop = b.hereLabel();
+    b.clr(Size::L, postinc(1));
+    b.dbra(2, clrLoop);
+    b.move(Size::W, absl(kBtn), absl(Lay::GBtnPrev));
+    b.move(Size::L, imm(0x2A1D5EED), absl(Lay::GRandSeed));
+    b.addq(Size::L, 1, absl(Lay::GBootCount));
+
+    // 3) Copy the trap dispatch table from ROM.
+    b.lea(abslbl(L.trapTableData), 1);
+    b.lea(absl(Lay::TrapTable), 0);
+    b.move(Size::L, imm(Lay::TrapTableEntries - 1), dr(2));
+    auto tblLoop = b.hereLabel();
+    b.move(Size::L, postinc(1), postinc(0));
+    b.dbra(2, tblLoop);
+
+    // 4) Storage heap: format only when the magic is absent (storage
+    //    RAM survives soft resets, like Palm nonvolatile storage).
+    auto heapOk = b.newLabel();
+    b.cmpi(Size::L, Lay::HeapMagic, absl(Lay::HeapBase + Lay::HMagic));
+    b.bcc(Cond::EQ, heapOk);
+    b.move(Size::L, imm(Lay::HeapMagic),
+           absl(Lay::HeapBase + Lay::HMagic));
+    b.clr(Size::L, absl(kHpDbList));
+    b.move(Size::L, imm(Lay::HeapBase + Lay::HHeaderSize),
+           absl(kHpFirst));
+    b.move(Size::L, imm(Lay::HeapEnd),
+           absl(Lay::HeapBase + Lay::HEndField));
+    // One big free chunk spanning the heap.
+    b.lea(absl(Lay::HeapBase + Lay::HHeaderSize), 0);
+    b.move(Size::L,
+           imm(Lay::HeapEnd - (Lay::HeapBase + Lay::HHeaderSize)),
+           ind(0));
+    b.clr(Size::W, disp(0, 4));
+    b.clr(Size::W, disp(0, 6));
+    b.bind(heapOk);
+
+    // 5) Rebuild psysLaunchDB: find-or-create, free old records, then
+    //    add one {creator, code ptr} record per executable database.
+    auto haveLaunch = b.newLabel();
+    b.lea(abslbl(L.nameLaunchDb), 1);
+    b.jsr(L.handler[Trap::DmFindDatabase]);
+    b.tst(Size::L, dr(0));
+    b.bcc(Cond::NE, haveLaunch);
+    b.lea(abslbl(L.nameLaunchDb), 1);
+    b.move(Size::L, imm(fourcc('s', 'y', 's', 'd')), dr(1));
+    b.move(Size::L, imm(fourcc('p', 's', 'y', 's')), dr(2));
+    b.jsr(L.handler[Trap::DmCreateDatabase]);
+    b.bind(haveLaunch);
+    b.movea(Size::L, ar(0), 2); // a2 = launch db
+    // Free old records.
+    b.moveq(0, 6); // index
+    auto freeLoop = b.newLabel();
+    auto freeDone = b.newLabel();
+    b.bind(freeLoop);
+    b.move(Size::W, disp(2, Db::NumRecords), dr(0));
+    b.cmp(Size::W, dr(0), 6); // d6 - n
+    b.bcc(Cond::CC, freeDone);    // d6 >= n
+    b.movea(Size::L, disp(2, Db::RecordList), 0);
+    b.moveq(0, 1);
+    b.move(Size::W, dr(6), dr(1));
+    b.lsl(Size::L, 2, 1);
+    b.movea(Size::L, indexed(0, 1), 1); // record payload
+    b.jsr(L.handler[Trap::MemChunkFree]);
+    b.addq(Size::W, 1, dr(6));
+    b.bra(freeLoop);
+    b.bind(freeDone);
+    b.clr(Size::W, disp(2, Db::NumRecords));
+    // Enumerate executable databases.
+    b.move(Size::L, absl(kHpDbList), dr(5));
+    auto enumLoop = b.newLabel();
+    auto enumSkip = b.newLabel();
+    auto enumDone = b.newLabel();
+    b.bind(enumLoop);
+    b.tst(Size::L, dr(5));
+    b.bcc(Cond::EQ, enumDone);
+    b.movea(Size::L, dr(5), 3); // a3 = db
+    b.move(Size::W, disp(3, Db::Attrs), dr(0));
+    b.btst(0, dr(0)); // AttrExecutable
+    b.bcc(Cond::EQ, enumSkip);
+    // d4 = code ptr (record 0 data).
+    b.movea(Size::L, ar(3), 1);
+    b.moveq(0, 1);
+    b.jsr(L.handler[Trap::DmGetRecord]);
+    b.move(Size::L, ar(0), dr(4));
+    // rec = DmNewRecord(launchDb, 8)
+    b.movea(Size::L, ar(2), 1);
+    b.moveq(8, 1);
+    b.jsr(L.handler[Trap::DmNewRecord]);
+    b.move(Size::L, disp(3, Db::Creator), ind(0));
+    b.move(Size::L, dr(4), disp(0, 4));
+    b.bind(enumSkip);
+    b.move(Size::L, disp(3, Db::NextDb), dr(5));
+    b.bra(enumLoop);
+    b.bind(enumDone);
+
+    // 6) Unmask interrupts and enter the application run loop.
+    b.moveToSr(imm(0x2000));
+    b.move(Size::L, imm(kCreatorLauncher), dr(7)); // d7 = creator
+    auto runLoop = b.newLabel();
+    auto findLoop = b.newLabel();
+    auto findNext = b.newLabel();
+    auto launch = b.newLabel();
+    auto fallback = b.newLabel();
+    auto halt = b.newLabel();
+    b.bind(runLoop);
+    // Locate the creator d7 in psysLaunchDB.
+    b.lea(abslbl(L.nameLaunchDb), 1);
+    b.jsr(L.handler[Trap::DmFindDatabase]);
+    b.movea(Size::L, ar(0), 2); // a2 = launch db
+    b.moveq(0, 6);              // d6 = index
+    b.bind(findLoop);
+    b.move(Size::W, disp(2, Db::NumRecords), dr(0));
+    b.cmp(Size::W, dr(0), 6);
+    b.bcc(Cond::CC, fallback); // index >= n: creator not found
+    b.movea(Size::L, ar(2), 1);
+    b.moveq(0, 1);
+    b.move(Size::W, dr(6), dr(1));
+    b.jsr(L.handler[Trap::DmGetRecord]); // a0 = {creator, codePtr}
+    b.cmp(Size::L, ind(0), 7);
+    b.bcc(Cond::EQ, launch);
+    b.bind(findNext);
+    b.addq(Size::W, 1, dr(6));
+    b.bra(findLoop);
+    b.bind(launch);
+    b.movea(Size::L, disp(0, 4), 0);
+    b.jsr(ind(0)); // run the application until it requests a switch
+    // The app returned: pick up the requested creator.
+    b.move(Size::L, absl(Lay::GLaunchReq), dr(7));
+    b.clr(Size::L, absl(Lay::GLaunchReq));
+    b.tst(Size::L, dr(7));
+    b.bcc(Cond::NE, runLoop);
+    b.bind(fallback);
+    b.cmpi(Size::L, kCreatorLauncher, dr(7));
+    b.bcc(Cond::EQ, halt); // launcher itself missing: give up
+    b.move(Size::L, imm(kCreatorLauncher), dr(7));
+    b.bra(runLoop);
+    b.bind(halt);
+    b.move(Size::W, imm('H'), absl(kDbg));
+    b.stop(0x2700);
+}
+
+} // namespace
+
+RomImage
+buildRom()
+{
+    CodeBuilder b(device::kRomBase);
+    Labels L{};
+    L.boot = b.newLabel();
+    L.dispatcher = b.newLabel();
+    L.unimplemented = b.newLabel();
+    L.penIsr = b.newLabel();
+    L.buttonIsr = b.newLabel();
+    L.timerIsr = b.newLabel();
+    L.serialIsr = b.newLabel();
+    L.trapTableData = b.newLabel();
+    L.nameLaunchDb = b.newLabel();
+    L.evtCommit = b.newLabel();
+    for (int i = 0; i < Trap::Count; ++i)
+        L.handler[i] = b.newLabel();
+
+    // Reset vectors at the flash base: initial SSP, initial PC.
+    b.dcl(Lay::StackTop);
+    b.dclbl(L.boot);
+
+    emitDispatcher(b, L);
+    emitUnimplemented(b, L);
+    emitIsrs(b, L);
+    emitEventManager(b, L);
+    emitTimeAndMisc(b, L);
+    emitMemoryManager(b, L);
+    emitDatabaseManager(b, L);
+
+    // Selector 0 (SysReset) is unimplemented.
+    b.bind(L.handler[0]);
+    b.bra(L.unimplemented);
+
+    // ROM-resident trap table, copied to RAM at boot.
+    b.bind(L.trapTableData);
+    for (u32 i = 0; i < Lay::TrapTableEntries; ++i) {
+        if (i < Trap::Count)
+            b.dclbl(L.handler[i]);
+        else
+            b.dclbl(L.unimplemented);
+    }
+
+    // ROM-resident database names.
+    b.bind(L.nameLaunchDb);
+    b.dcbString(kLaunchDbName, Db::NameLen);
+
+    emitBoot(b, L);
+
+    RomImage out;
+    out.bytes = b.finalize();
+    out.syms.boot = b.labelAddr(L.boot);
+    out.syms.dispatcher = b.labelAddr(L.dispatcher);
+    out.syms.unimplemented = b.labelAddr(L.unimplemented);
+    out.syms.penIsr = b.labelAddr(L.penIsr);
+    out.syms.buttonIsr = b.labelAddr(L.buttonIsr);
+    out.syms.timerIsr = b.labelAddr(L.timerIsr);
+    out.syms.serialIsr = b.labelAddr(L.serialIsr);
+    for (int i = 0; i < Trap::Count; ++i)
+        out.syms.trapHandler[i] = b.labelAddr(L.handler[i]);
+    return out;
+}
+
+} // namespace pt::os

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Assembles the PilotOS flash ROM image.
+ *
+ * Everything the guest OS executes — boot code, the TRAP #15
+ * dispatcher, interrupt service routines, the event manager, the
+ * first-fit chunk memory manager, and the record database manager —
+ * is emitted here as genuine 68k machine code rooted at the flash
+ * base. Executing an OS service therefore produces flash (ROM)
+ * references on the bus, reproducing the flash-dominated reference
+ * mix the paper measures on the Palm m515 (Table 1).
+ */
+
+#ifndef PT_OS_ROMBUILDER_H
+#define PT_OS_ROMBUILDER_H
+
+#include <vector>
+
+#include "base/types.h"
+#include "os/guestabi.h"
+
+namespace pt::os
+{
+
+/** Addresses of ROM entry points, exported for hacks and tests. */
+struct RomSymbols
+{
+    Addr boot = 0;
+    Addr dispatcher = 0;
+    Addr unimplemented = 0;
+    Addr penIsr = 0;
+    Addr buttonIsr = 0;
+    Addr timerIsr = 0;
+    Addr serialIsr = 0;
+    /** Original handler address for each trap selector. */
+    Addr trapHandler[Trap::Count] = {};
+};
+
+/** A built ROM: the byte image plus its symbol table. */
+struct RomImage
+{
+    std::vector<u8> bytes;
+    RomSymbols syms;
+};
+
+/** Builds the PilotOS ROM. Deterministic: same output every call. */
+RomImage buildRom();
+
+} // namespace pt::os
+
+#endif // PT_OS_ROMBUILDER_H

@@ -1,0 +1,218 @@
+#include "replayengine.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "hacks/logformat.h"
+#include "os/guestabi.h"
+
+namespace pt::replay
+{
+
+using hacks::LogType;
+
+ReplayEngine::ReplayEngine(device::Device &dev,
+                           const trace::ActivityLog &log)
+    : dev(dev)
+{
+    // Divide the log into the three groups (§2.4.2).
+    for (const auto &r : log.records) {
+        switch (r.type) {
+          case LogType::PenPoint: {
+            SyncEvent e;
+            // Pen samples are taken on the digitizer's fixed 50 Hz
+            // grid; staging the stylus state one tick ahead of the
+            // logged timestamp makes the replayed sample land at
+            // exactly the original tick.
+            e.tick = r.tick ? r.tick - 1 : 0;
+            e.isPen = true;
+            e.x = r.penX();
+            e.y = r.penY();
+            e.penDown = r.penDown();
+            syncEvents.push_back(e);
+            break;
+          }
+          case LogType::Key: {
+            SyncEvent e;
+            e.tick = r.tick;
+            e.isPen = false;
+            e.key = r.data;
+            syncEvents.push_back(e);
+            // A synthetic release two ticks later restores the idle
+            // button state; KeyCurrentState consistency between the
+            // press and the next logged poll comes from the bit-field
+            // queue, exactly as in the paper.
+            SyncEvent rel = e;
+            rel.tick = r.tick + 2;
+            rel.keyRelease = true;
+            syncEvents.push_back(rel);
+            break;
+          }
+          case LogType::Serial: {
+            SyncEvent e;
+            e.tick = r.tick;
+            e.isPen = false;
+            e.isSerial = true;
+            e.serialByte = static_cast<u8>(r.data);
+            syncEvents.push_back(e);
+            break;
+          }
+          case LogType::KeyState:
+            keyStateQueue.push_back({r.tick, r.data});
+            break;
+          case LogType::Random:
+            if (r.extra != 0)
+                seedQueue.push_back({r.tick, r.extra});
+            break;
+          default:
+            break; // Notify events replay as a side effect of input
+        }
+    }
+    std::stable_sort(syncEvents.begin(), syncEvents.end(),
+                     [](const SyncEvent &a, const SyncEvent &b) {
+                         return a.tick < b.tick;
+                     });
+
+    dev.cpu().setTrapHook(
+        [this](m68k::Cpu &cpu, int trapNum, u16 selector) {
+            onTrap(cpu, trapNum, selector);
+        });
+}
+
+ReplayEngine::~ReplayEngine()
+{
+    dev.cpu().setTrapHook(nullptr);
+}
+
+void
+ReplayEngine::onTrap(m68k::Cpu &cpu, int trapNum, u16 selector)
+{
+    if (trapNum != 15)
+        return;
+    if (selector == os::Trap::KeyCurrentState) {
+        // "Looks up the appropriate key bit field to return based on
+        // the emulated tick timer and the queue elements' tick
+        // timestamps": advance past entries stamped at or before now
+        // and force the last one reached.
+        Ticks now = dev.ticks();
+        while (keyStateCursor + 1 < keyStateQueue.size() &&
+               keyStateQueue[keyStateCursor + 1].tick <= now) {
+            ++keyStateCursor;
+        }
+        if (keyStateCursor < keyStateQueue.size()) {
+            dev.io().buttonsForce(static_cast<u16>(
+                keyStateQueue[keyStateCursor].value));
+            ++stats.keyStateOverrides;
+            // Consume the entry so repeated polls walk the queue.
+            if (keyStateCursor + 1 < keyStateQueue.size())
+                ++keyStateCursor;
+        }
+    } else if (selector == os::Trap::SysRandom) {
+        if (cpu.d(1) != 0) {
+            if (seedCursor < seedQueue.size()) {
+                cpu.setD(1, seedQueue[seedCursor].value);
+                ++seedCursor;
+                ++stats.seedsApplied;
+            } else {
+                ++stats.seedQueueUnderruns;
+            }
+        }
+    }
+}
+
+ReplayStats
+ReplayEngine::run(const ReplayOptions &opts)
+{
+    return playFrom(0, 0, opts, /*allowJitter=*/true);
+}
+
+ReplayStats
+ReplayEngine::resume(const ReplayCheckpoint &cp,
+                     const ReplayOptions &opts)
+{
+    PT_ASSERT(cp.valid, "resume from an invalid checkpoint");
+    cp.machine.restore(dev);
+    keyStateCursor = static_cast<std::size_t>(cp.keyStateCursor);
+    seedCursor = static_cast<std::size_t>(cp.seedCursor);
+    stats = ReplayStats{};
+    stats.lastEventTick = cp.lastEventTick;
+    return playFrom(static_cast<std::size_t>(cp.eventIndex),
+                    cp.buttons, opts, /*allowJitter=*/false);
+}
+
+ReplayStats
+ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
+                       const ReplayOptions &opts, bool allowJitter)
+{
+    Rng jitter(opts.jitterSeed);
+
+    // Jitter models the paper's replay bursts: a whole group of
+    // events runs slightly behind schedule, then snaps back. The
+    // delay is drawn once per burst (events separated by < 100 ticks
+    // belong to one burst), so intra-stroke sample spacing — and
+    // therefore the replayed payloads — are preserved.
+    bool useJitter = allowJitter && opts.burstJitterTicks != 0;
+    PT_ASSERT(!(useJitter && opts.checkpointOut),
+              "jitter and checkpointing cannot be combined");
+    Ticks burstDelay = 0;
+    Ticks prevTick = 0;
+    bool first = true;
+    bool captured = false;
+
+    for (std::size_t i = startIndex; i < syncEvents.size(); ++i) {
+        const auto &e = syncEvents[i];
+        if (useJitter && (first || e.tick > prevTick + 100)) {
+            burstDelay = static_cast<Ticks>(
+                jitter.below(opts.burstJitterTicks + 1));
+        }
+        first = false;
+        prevTick = e.tick;
+
+        if (opts.checkpointOut && !captured &&
+            opts.checkpointAtTick != 0 &&
+            e.tick >= opts.checkpointAtTick) {
+            // Freeze just before this event is delivered.
+            ReplayCheckpoint &cp = *opts.checkpointOut;
+            cp.machine = device::Checkpoint::capture(dev);
+            cp.eventIndex = i;
+            cp.keyStateCursor = keyStateCursor;
+            cp.seedCursor = seedCursor;
+            cp.buttons = buttons;
+            cp.lastEventTick = stats.lastEventTick;
+            cp.valid = true;
+            captured = true;
+        }
+
+        Ticks target = e.tick + burstDelay;
+        if (target > dev.ticks())
+            dev.runUntilTick(target);
+        if (e.isSerial) {
+            dev.io().serialInject(e.serialByte);
+            ++stats.serialBytesInjected;
+        } else if (e.isPen) {
+            if (e.penDown) {
+                if (dev.io().penIsTouching())
+                    dev.io().penMoveTo(e.x, e.y);
+                else
+                    dev.io().penTouch(e.x, e.y);
+            } else {
+                dev.io().penRelease();
+            }
+            ++stats.penEventsInjected;
+        } else if (e.keyRelease) {
+            buttons &= static_cast<u16>(~e.key);
+            dev.io().buttonsSet(buttons);
+        } else {
+            buttons |= e.key;
+            dev.io().buttonsSet(buttons);
+            ++stats.keyEventsInjected;
+        }
+        stats.lastEventTick = e.tick;
+    }
+
+    dev.runUntilTick(stats.lastEventTick + opts.settleTicks);
+    dev.runUntilIdle();
+    return stats;
+}
+
+} // namespace pt::replay

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The activity-log replay engine (§2.4.2).
+ *
+ * During initialization the engine divides a parsed activity log into
+ * three groups, exactly as the paper's modified POSE does:
+ *
+ *  1. synchronous events (pen points, key events and — as a palmtrace
+ *     extension — serial bytes), replayed when the emulated tick
+ *     counter reaches each event's timestamp by driving the
+ *     digitizer/button/UART hardware — the same input path the
+ *     collection hacks observe;
+ *  2. a queue of KeyCurrentState bit fields, fed back whenever the
+ *     guest calls KeyCurrentState (the emulator forces the hardware
+ *     register the routine is about to read);
+ *  3. a queue of SysRandom seeds from non-zero SysRandom calls, which
+ *     overwrite the guest's seed parameter before the routine runs
+ *     ("the parameter is overwritten with the seed value from the
+ *     queue").
+ *
+ * An optional deterministic jitter reproduces the short replay bursts
+ * (< 20 ticks behind schedule) the paper observed, so the validation
+ * correlator can be exercised against realistic timing noise.
+ *
+ * Long replays can be checkpointed mid-run (CITCAT-style full machine
+ * state plus the engine's queue cursors) and resumed bit-exactly on a
+ * fresh device.
+ */
+
+#ifndef PT_REPLAY_REPLAYENGINE_H
+#define PT_REPLAY_REPLAYENGINE_H
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "device/checkpoint.h"
+#include "device/device.h"
+#include "os/rombuilder.h"
+#include "trace/activitylog.h"
+
+namespace pt::replay
+{
+
+/** A frozen mid-replay state: machine plus engine cursors. */
+struct ReplayCheckpoint
+{
+    device::Checkpoint machine;
+    u64 eventIndex = 0;
+    u64 keyStateCursor = 0;
+    u64 seedCursor = 0;
+    u16 buttons = 0;
+    Ticks lastEventTick = 0;
+    bool valid = false;
+};
+
+/** Playback options. */
+struct ReplayOptions
+{
+    /** Ticks to keep running after the last scheduled event. */
+    Ticks settleTicks = 100;
+
+    /** Deterministic extra delay (0..N ticks) added per event burst
+     *  to emulate the paper's replay bursts; 0 disables. Unsupported
+     *  in combination with checkpointing. */
+    Ticks burstJitterTicks = 0;
+
+    /** Seed for the jitter generator. */
+    u64 jitterSeed = 0x9E3779B9;
+
+    /** When nonzero and checkpointOut is set: freeze the machine and
+     *  engine state just before the first event at or after this
+     *  tick. Playback continues normally afterwards. */
+    Ticks checkpointAtTick = 0;
+    ReplayCheckpoint *checkpointOut = nullptr;
+};
+
+/** Playback statistics. */
+struct ReplayStats
+{
+    u64 penEventsInjected = 0;
+    u64 keyEventsInjected = 0;
+    u64 serialBytesInjected = 0;
+    u64 keyStateOverrides = 0;
+    u64 seedsApplied = 0;
+    u64 seedQueueUnderruns = 0;
+    Ticks lastEventTick = 0;
+};
+
+/** Replays one activity log on a restored device. */
+class ReplayEngine
+{
+  public:
+    /**
+     * @param dev  a device restored to the session's initial state and
+     *             booted to idle, with the hacks reinstalled (exactly
+     *             the collection-start state).
+     * @param log  the session's activity log.
+     */
+    ReplayEngine(device::Device &dev, const trace::ActivityLog &log);
+
+    ~ReplayEngine();
+
+    /** Runs the playback to completion. */
+    ReplayStats run(const ReplayOptions &opts = {});
+
+    /**
+     * Resumes a checkpointed playback: thaws the machine state into
+     * this engine's device and continues from the frozen event index.
+     * Jitter options are ignored on resume.
+     */
+    ReplayStats resume(const ReplayCheckpoint &cp,
+                       const ReplayOptions &opts = {});
+
+  private:
+    struct SyncEvent
+    {
+        Ticks tick;
+        bool isPen;
+        u16 x = 0, y = 0;
+        bool penDown = false;
+        u16 key = 0;
+        bool keyRelease = false;
+        bool isSerial = false;
+        u8 serialByte = 0;
+    };
+
+    struct TimedValue
+    {
+        Ticks tick;
+        u32 value;
+    };
+
+    void onTrap(m68k::Cpu &cpu, int trapNum, u16 selector);
+
+    /** The shared playback loop starting at @p startIndex. */
+    ReplayStats playFrom(std::size_t startIndex, u16 buttons,
+                         const ReplayOptions &opts, bool allowJitter);
+
+    device::Device &dev;
+    std::vector<SyncEvent> syncEvents;
+    std::vector<TimedValue> keyStateQueue;
+    std::vector<TimedValue> seedQueue;
+    std::size_t keyStateCursor = 0;
+    std::size_t seedCursor = 0;
+    ReplayStats stats;
+};
+
+} // namespace pt::replay
+
+#endif // PT_REPLAY_REPLAYENGINE_H

@@ -1,0 +1,118 @@
+#include "activitylog.h"
+
+#include "base/binio.h"
+#include "os/guestmem.h"
+
+namespace pt::trace
+{
+
+namespace
+{
+constexpr u32 kMagic = 0x5054414C; // "PTAL"
+constexpr u32 kVersion = 1;
+} // namespace
+
+ActivityLog
+ActivityLog::extract(const m68k::BusIf &bus)
+{
+    ActivityLog log;
+    os::GuestHeap heap(const_cast<m68k::BusIf &>(bus));
+    Addr db = heap.findDatabase(os::kActivityLogDbName);
+    if (!db)
+        return log;
+    os::DbView view = os::parseDatabase(bus, db);
+    log.records.reserve(view.records.size());
+    for (const auto &rec : view.records) {
+        if (rec.size < hacks::kLogRecShort)
+            continue;
+        const auto &d = rec.data;
+        LogRecord r;
+        r.tick = (static_cast<u32>(d[0]) << 24) | (d[1] << 16) |
+                 (d[2] << 8) | d[3];
+        r.rtc = (static_cast<u32>(d[4]) << 24) | (d[5] << 16) |
+                (d[6] << 8) | d[7];
+        r.type = static_cast<u16>((d[8] << 8) | d[9]);
+        r.data = static_cast<u16>((d[10] << 8) | d[11]);
+        if (rec.size >= hacks::kLogRecLong) {
+            r.isLong = true;
+            r.extra = (static_cast<u32>(d[12]) << 24) | (d[13] << 16) |
+                      (d[14] << 8) | d[15];
+        }
+        log.records.push_back(r);
+    }
+    return log;
+}
+
+u64
+ActivityLog::countOf(u16 type) const
+{
+    u64 n = 0;
+    for (const auto &r : records)
+        if (r.type == type)
+            ++n;
+    return n;
+}
+
+std::vector<u8>
+ActivityLog::serialize() const
+{
+    BinWriter w;
+    w.put32(kMagic);
+    w.put32(kVersion);
+    w.put32(static_cast<u32>(records.size()));
+    for (const auto &r : records) {
+        w.put32(r.tick);
+        w.put32(r.rtc);
+        w.put16(r.type);
+        w.put16(r.data);
+        w.put8(r.isLong ? 1 : 0);
+        if (r.isLong)
+            w.put32(r.extra);
+    }
+    return w.takeBytes();
+}
+
+bool
+ActivityLog::deserialize(const std::vector<u8> &data, ActivityLog &out)
+{
+    BinReader r(data);
+    if (r.get32() != kMagic || r.get32() != kVersion)
+        return false;
+    u32 n = r.get32();
+    out.records.clear();
+    out.records.reserve(n);
+    for (u32 i = 0; i < n && r.ok(); ++i) {
+        LogRecord rec;
+        rec.tick = r.get32();
+        rec.rtc = r.get32();
+        rec.type = r.get16();
+        rec.data = r.get16();
+        rec.isLong = r.get8() != 0;
+        if (rec.isLong)
+            rec.extra = r.get32();
+        out.records.push_back(rec);
+    }
+    return r.ok();
+}
+
+bool
+ActivityLog::save(const std::string &path) const
+{
+    BinWriter w;
+    auto bytes = serialize();
+    w.putBytes(bytes.data(), bytes.size());
+    return w.writeFile(path);
+}
+
+bool
+ActivityLog::load(const std::string &path, ActivityLog &out)
+{
+    BinReader r({});
+    if (!BinReader::readFile(path, r))
+        return false;
+    std::vector<u8> all(r.remaining());
+    r.getBytes(all.data(), all.size());
+    return deserialize(all, out);
+}
+
+} // namespace pt::trace

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Host-side activity log model: extraction from the on-device common
+ * database, a little-endian file format (the "transfer the activity
+ * log from the handheld to the desktop" step), and queries.
+ */
+
+#ifndef PT_TRACE_ACTIVITYLOG_H
+#define PT_TRACE_ACTIVITYLOG_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "hacks/logformat.h"
+#include "m68k/busif.h"
+
+namespace pt::trace
+{
+
+/** One parsed activity-log record. */
+struct LogRecord
+{
+    Ticks tick = 0;
+    u32 rtc = 0;
+    u16 type = 0;
+    u16 data = 0;
+    u32 extra = 0;     ///< valid when isLong
+    bool isLong = false;
+
+    // Convenience accessors for pen records.
+    u16 penX() const { return static_cast<u16>(extra >> 16); }
+    u16 penY() const { return static_cast<u16>(extra); }
+    bool penDown() const { return data != 0; }
+
+    bool operator==(const LogRecord &) const = default;
+};
+
+/** The complete log of one collection session. */
+struct ActivityLog
+{
+    std::vector<LogRecord> records;
+
+    /**
+     * Extracts the log from the guest's common database, mirroring the
+     * HotSync transfer to the desktop. @return an empty log when the
+     * database is absent.
+     */
+    static ActivityLog extract(const m68k::BusIf &bus);
+
+    /** Number of records with the given LogType. */
+    u64 countOf(u16 type) const;
+
+    /** Serializes to the on-disk format. */
+    std::vector<u8> serialize() const;
+    static bool deserialize(const std::vector<u8> &data,
+                            ActivityLog &out);
+    bool save(const std::string &path) const;
+    static bool load(const std::string &path, ActivityLog &out);
+};
+
+} // namespace pt::trace
+
+#endif // PT_TRACE_ACTIVITYLOG_H

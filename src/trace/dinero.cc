@@ -1,0 +1,101 @@
+#include "dinero.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pt::trace
+{
+
+namespace
+{
+
+/** Parses one din line; @return true when a reference was parsed. */
+bool
+parseLine(const char *line, Addr &addr, u8 &label)
+{
+    // Skip leading whitespace.
+    while (*line == ' ' || *line == '\t')
+        ++line;
+    if (*line == '\0' || *line == '\n' || *line == '#')
+        return false;
+    char *end = nullptr;
+    long lab = std::strtol(line, &end, 10);
+    if (end == line || lab < 0 || lab > 2)
+        return false;
+    line = end;
+    while (*line == ' ' || *line == '\t')
+        ++line;
+    unsigned long long a = std::strtoull(line, &end, 16);
+    if (end == line)
+        return false;
+    addr = static_cast<Addr>(a);
+    label = static_cast<u8>(lab);
+    return true;
+}
+
+} // namespace
+
+s64
+readDineroFile(const std::string &path,
+               const std::function<void(Addr, u8)> &emit)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return -1;
+    char line[256];
+    s64 n = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        Addr addr;
+        u8 label;
+        if (parseLine(line, addr, label)) {
+            emit(addr, label);
+            ++n;
+        }
+    }
+    std::fclose(f);
+    return n;
+}
+
+s64
+readDineroText(std::string_view text,
+               const std::function<void(Addr, u8)> &emit)
+{
+    s64 n = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        std::string line(text.substr(pos, eol - pos));
+        Addr addr;
+        u8 label;
+        if (parseLine(line.c_str(), addr, label)) {
+            emit(addr, label);
+            ++n;
+        }
+        pos = eol + 1;
+    }
+    return n;
+}
+
+DineroWriter::DineroWriter(const std::string &path)
+    : file(std::fopen(path.c_str(), "w"))
+{
+}
+
+DineroWriter::~DineroWriter()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+DineroWriter::emit(Addr addr, u8 label)
+{
+    if (!file)
+        return;
+    std::fprintf(file, "%u %x\n", label, addr);
+    ++written;
+}
+
+} // namespace pt::trace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dinero "din" trace format support.
+ *
+ * The classic format used by trace repositories of the paper's era
+ * (including the BYU Trace Distribution Center that Figure 7 draws
+ * from): one reference per line, `<label> <hex address>`, where the
+ * label is 0 = data read, 1 = data write, 2 = instruction fetch.
+ * Lines starting with '#' and blank lines are ignored.
+ *
+ * This lets fig7_desktop_trace (and any user tooling) consume real
+ * desktop traces when one is available, instead of the synthetic
+ * generator.
+ */
+
+#ifndef PT_TRACE_DINERO_H
+#define PT_TRACE_DINERO_H
+
+#include <functional>
+#include <string>
+
+#include "base/types.h"
+
+namespace pt::trace
+{
+
+/** Dinero reference labels. */
+struct DinLabel
+{
+    static constexpr u8 Read = 0;
+    static constexpr u8 Write = 1;
+    static constexpr u8 Fetch = 2;
+};
+
+/**
+ * Streams a din-format file, one callback per reference.
+ * @return number of references delivered, or -1 on open failure.
+ */
+s64 readDineroFile(const std::string &path,
+                   const std::function<void(Addr, u8)> &emit);
+
+/** Parses din-format text from memory (tests, embedded traces). */
+s64 readDineroText(std::string_view text,
+                   const std::function<void(Addr, u8)> &emit);
+
+/** Writes references to a din-format file. Returns a writer handle. */
+class DineroWriter
+{
+  public:
+    /** Opens the file for writing; check ok() before use. */
+    explicit DineroWriter(const std::string &path);
+    ~DineroWriter();
+
+    DineroWriter(const DineroWriter &) = delete;
+    DineroWriter &operator=(const DineroWriter &) = delete;
+
+    bool ok() const { return file != nullptr; }
+    void emit(Addr addr, u8 label);
+    u64 count() const { return written; }
+
+  private:
+    std::FILE *file;
+    u64 written = 0;
+};
+
+} // namespace pt::trace
+
+#endif // PT_TRACE_DINERO_H

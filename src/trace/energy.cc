@@ -1,0 +1,110 @@
+#include "energy.h"
+
+namespace pt::trace
+{
+
+InstrClass
+classifyOpcode(u16 op)
+{
+    switch (op >> 12) {
+      case 0x1:
+      case 0x2:
+      case 0x3:
+      case 0x7:
+        return InstrClass::Move;
+      case 0x0:
+      case 0x5:
+        if ((op >> 12) == 0x5 && ((op >> 6) & 3) == 3)
+            return InstrClass::Branch; // Scc/DBcc
+        return InstrClass::Alu;
+      case 0x6:
+        return InstrClass::Branch;
+      case 0x8:
+      case 0xC:
+        if (((op >> 6) & 7) == 3 || ((op >> 6) & 7) == 7)
+            return InstrClass::MulDiv;
+        return InstrClass::Alu;
+      case 0x9:
+      case 0xB:
+      case 0xD:
+        return InstrClass::Alu;
+      case 0xE:
+        return InstrClass::Shift;
+      case 0x4:
+        if ((op & 0xFFC0) == 0x4E80 || (op & 0xFFC0) == 0x4EC0 ||
+            (op & 0xFFF0) == 0x4E40 || op == 0x4E75 || op == 0x4E73 ||
+            op == 0x4E77) {
+            return InstrClass::Control;
+        }
+        if ((op & 0xF1C0) == 0x41C0 || (op & 0xFFC0) == 0x4840 ||
+            (op & 0xFF80) == 0x4880 || (op & 0xFF80) == 0x4C80) {
+            return InstrClass::Move; // lea/pea/movem
+        }
+        return InstrClass::Misc;
+      default:
+        return InstrClass::Misc;
+    }
+}
+
+const char *
+instrClassName(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::Move: return "move";
+      case InstrClass::Alu: return "alu";
+      case InstrClass::MulDiv: return "mul/div";
+      case InstrClass::Shift: return "shift";
+      case InstrClass::Branch: return "branch";
+      case InstrClass::Control: return "control";
+      default: return "misc";
+    }
+}
+
+InstructionEnergyModel::InstructionEnergyModel()
+{
+    // Nominal nJ/instruction for a 3.3 V, 0.35 um 68k-class core.
+    setClassEnergy(InstrClass::Move, 1.2);
+    setClassEnergy(InstrClass::Alu, 1.0);
+    setClassEnergy(InstrClass::MulDiv, 9.0);
+    setClassEnergy(InstrClass::Shift, 1.4);
+    setClassEnergy(InstrClass::Branch, 1.1);
+    setClassEnergy(InstrClass::Control, 2.2);
+    setClassEnergy(InstrClass::Misc, 1.3);
+}
+
+u64
+InstructionEnergyModel::totalInstructions() const
+{
+    u64 n = 0;
+    for (u64 c : counts)
+        n += c;
+    return n;
+}
+
+double
+InstructionEnergyModel::totalMj() const
+{
+    double nj = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        nj += static_cast<double>(counts[i]) * energyNj[i];
+    return nj * 1e-6;
+}
+
+std::vector<InstructionEnergyModel::Row>
+InstructionEnergyModel::breakdown() const
+{
+    double total = totalMj();
+    std::vector<Row> rows;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        Row r;
+        r.name = instrClassName(static_cast<InstrClass>(i));
+        r.instructions = counts[i];
+        r.millijoules =
+            static_cast<double>(counts[i]) * energyNj[i] * 1e-6;
+        r.share = total > 0 ? r.millijoules / total : 0.0;
+        rows.push_back(std::move(r));
+    }
+    return rows;
+}
+
+} // namespace pt::trace

@@ -1,0 +1,226 @@
+#include "correlate.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "device/device.h"
+#include "hacks/logformat.h"
+#include "os/rombuilder.h"
+
+namespace pt::validate
+{
+
+using hacks::LogType;
+
+LogCorrelation
+correlateLogs(const trace::ActivityLog &original,
+              const trace::ActivityLog &replayed)
+{
+    LogCorrelation c;
+    c.originalEvents = original.records.size();
+    c.replayedEvents = replayed.records.size();
+
+    // Group records by type, preserving order within each type, and
+    // match them pairwise (the replay preserves per-type ordering).
+    std::map<u16, std::vector<const trace::LogRecord *>> origByType;
+    std::map<u16, std::vector<const trace::LogRecord *>> replByType;
+    for (const auto &r : original.records)
+        origByType[r.type].push_back(&r);
+    for (const auto &r : replayed.records)
+        replByType[r.type].push_back(&r);
+
+    double lagSum = 0.0;
+    u64 lagCount = 0;
+
+    for (const auto &[type, origs] : origByType) {
+        const auto &repls = replByType[type];
+        std::size_t n = std::min(origs.size(), repls.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &o = *origs[i];
+            const auto &r = *repls[i];
+            bool payloadOk = o.data == r.data && o.extra == r.extra;
+            if (payloadOk)
+                ++c.matchedEvents;
+            else
+                ++c.payloadMismatches;
+            s64 lag = static_cast<s64>(r.tick) -
+                      static_cast<s64>(o.tick);
+            c.maxTickLag = std::max(c.maxTickLag, lag);
+            c.minTickLag = std::min(c.minTickLag, lag);
+            if (lag > 20 || lag < -20)
+                ++c.lagOver20Ticks;
+            lagSum += static_cast<double>(lag);
+            ++lagCount;
+        }
+        if (origs.size() > n)
+            c.missingEvents += origs.size() - n;
+        if (repls.size() > n)
+            c.extraEvents += repls.size() - n;
+    }
+    // Replayed-only types count as extra.
+    for (const auto &[type, repls] : replByType)
+        if (!origByType.count(type))
+            c.extraEvents += repls.size();
+
+    c.meanTickLag = lagCount ? lagSum / static_cast<double>(lagCount)
+                             : 0.0;
+    return c;
+}
+
+std::string
+LogCorrelation::report() const
+{
+    std::ostringstream os;
+    os << "activity log correlation: " << matchedEvents << "/"
+       << originalEvents << " events matched";
+    os << ", payload mismatches " << payloadMismatches;
+    os << ", missing " << missingEvents << ", extra " << extraEvents;
+    os << ", tick lag mean " << meanTickLag << " max " << maxTickLag;
+    os << ", >20-tick lags " << lagOver20Ticks;
+    os << (pass() ? " [PASS]" : " [FAIL]");
+    return os.str();
+}
+
+namespace
+{
+
+void
+compareDb(const os::DbView &a, const os::DbView &b,
+          StateCorrelation &out)
+{
+    bool isPsys = a.name == os::kLaunchDbName;
+    bool isLog = a.name == os::kActivityLogDbName;
+    auto diffCls = [&](DiffClass normal) {
+        if (isPsys)
+            return DiffClass::PsysLaunchDb;
+        if (isLog)
+            return DiffClass::ActivityLog;
+        return normal;
+    };
+    auto field = [&](const char *name, u64 va, u64 vb,
+                     DiffClass cls) {
+        ++out.fieldsCompared;
+        if (va != vb) {
+            std::ostringstream d;
+            d << name << ": " << va << " vs " << vb;
+            out.diffs.push_back({diffCls(cls), a.name, d.str()});
+        }
+    };
+
+    field("attributes", a.attrs, b.attrs, DiffClass::HeaderField);
+    field("type", a.type, b.type, DiffClass::HeaderField);
+    field("creator", a.creator, b.creator, DiffClass::HeaderField);
+    field("creationDate", a.creationDate, b.creationDate,
+          DiffClass::DateField);
+    field("modificationDate", a.modDate, b.modDate,
+          DiffClass::DateField);
+    field("lastBackupDate", a.backupDate, b.backupDate,
+          DiffClass::DateField);
+    field("numRecords", a.records.size(), b.records.size(),
+          DiffClass::Structural);
+
+    std::size_t n = std::min(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        ++out.fieldsCompared;
+        if (a.records[i].size != b.records[i].size) {
+            std::ostringstream d;
+            d << "record " << i << " size " << a.records[i].size
+              << " vs " << b.records[i].size;
+            out.diffs.push_back(
+                {diffCls(DiffClass::Structural), a.name, d.str()});
+            continue;
+        }
+        ++out.fieldsCompared;
+        if (a.records[i].data != b.records[i].data) {
+            u32 byteDiffs = 0;
+            for (std::size_t j = 0; j < a.records[i].data.size(); ++j)
+                if (a.records[i].data[j] != b.records[i].data[j])
+                    ++byteDiffs;
+            std::ostringstream d;
+            d << "record " << i << ": " << byteDiffs
+              << " byte(s) differ";
+            out.diffs.push_back(
+                {diffCls(DiffClass::RecordData), a.name, d.str()});
+        }
+    }
+}
+
+} // namespace
+
+StateCorrelation
+correlateStates(const std::vector<os::DbView> &a,
+                const std::vector<os::DbView> &b)
+{
+    StateCorrelation out;
+    std::map<std::string, const os::DbView *> bByName;
+    for (const auto &db : b)
+        bByName[db.name] = &db;
+
+    for (const auto &db : a) {
+        auto it = bByName.find(db.name);
+        if (it == bByName.end()) {
+            out.diffs.push_back({DiffClass::MissingDb, db.name,
+                                 "absent in emulated state"});
+            continue;
+        }
+        ++out.databasesCompared;
+        compareDb(db, *it->second, out);
+        bByName.erase(it);
+    }
+    for (const auto &[name, db] : bByName) {
+        (void)db;
+        out.diffs.push_back(
+            {DiffClass::MissingDb, name, "absent in handheld state"});
+    }
+    return out;
+}
+
+std::string
+StateCorrelation::report() const
+{
+    std::ostringstream os;
+    os << "final state correlation: " << databasesCompared
+       << " databases, " << fieldsCompared << " fields compared, "
+       << diffs.size() << " difference(s) of which "
+       << significantDiffs() << " significant";
+    os << (pass() ? " [PASS]" : " [FAIL]");
+    for (const auto &d : diffs) {
+        os << "\n  [" << (d.benign() ? "benign" : "SIGNIFICANT")
+           << "] " << d.db << ": " << d.detail;
+    }
+    return os.str();
+}
+
+void
+logicalImport(const device::Snapshot &src, device::Device &dst)
+{
+    // Transfer the ROM and the storage databases only — the dynamic
+    // RAM areas start cold, as after a HotSync restore. The imported
+    // databases keep their original heap addresses: PilotOS code
+    // resources execute in place and are position-dependent, so the
+    // import pins addresses where Palm OS would have relied on its
+    // relocatable code resources (documented substitution).
+    dst.bus().loadRom(src.rom);
+    dst.bus().clearRam();
+    dst.io().setRtcBase(src.rtcBase);
+
+    auto &ram = dst.bus().ramImage();
+    std::copy(src.ram.begin() + os::Lay::HeapBase,
+              src.ram.begin() + os::Lay::HeapEnd,
+              ram.begin() + os::Lay::HeapBase);
+
+    // Imported, not created: the CREATION, MODIFICATION and LAST
+    // BACKUP dates read zero on the emulated device (§3.4) — the
+    // source of the paper's benign final-state differences.
+    Addr db = dst.bus().peek32(os::Lay::HeapBase + os::Lay::HDbListHead);
+    while (db) {
+        dst.bus().poke32(db + os::Db::CreationDate, 0);
+        dst.bus().poke32(db + os::Db::ModDate, 0);
+        dst.bus().poke32(db + os::Db::BackupDate, 0);
+        db = dst.bus().peek32(db + os::Db::NextDb);
+    }
+    dst.reset();
+}
+
+} // namespace pt::validate

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The paper's two-fold validation (§3):
+ *
+ *  1. Activity-log correlation (§3.3): the log recorded *during
+ *     replay* (the hacks run inside the simulator just as on the
+ *     handheld) is matched against the original log. Pen coordinates
+ *     and key codes must match exactly; replayed events may trail the
+ *     original schedule in short bursts (< 20 ticks).
+ *
+ *  2. Final-state correlation (§3.4): the databases of the replayed
+ *     session are compared field by field with the handheld's final
+ *     databases. The only acceptable differences are the three date
+ *     fields (CREATION/MODIFICATION/LAST BACKUP, zeroed or rewritten
+ *     by the import procedure) and the OS-private psysLaunchDB.
+ */
+
+#ifndef PT_VALIDATE_CORRELATE_H
+#define PT_VALIDATE_CORRELATE_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "device/snapshot.h"
+#include "os/guestmem.h"
+#include "trace/activitylog.h"
+
+namespace pt::validate
+{
+
+/** Result of matching one replayed log against the original. */
+struct LogCorrelation
+{
+    u64 originalEvents = 0;
+    u64 replayedEvents = 0;
+    u64 matchedEvents = 0;   ///< same type+payload, in order
+    u64 payloadMismatches = 0;
+    u64 missingEvents = 0;   ///< in original but not replayed
+    u64 extraEvents = 0;     ///< replayed but not in original
+    s64 maxTickLag = 0;      ///< worst replay delay (ticks)
+    s64 minTickLag = 0;
+    double meanTickLag = 0.0;
+    u64 lagOver20Ticks = 0;  ///< events beyond the paper's burst bound
+
+    /** The paper's pass criterion: all payloads match in order and
+     *  lags stay under 20 ticks. */
+    bool
+    pass() const
+    {
+        return payloadMismatches == 0 && missingEvents == 0 &&
+               lagOver20Ticks == 0;
+    }
+
+    std::string report() const;
+};
+
+/**
+ * Correlates the replayed activity log with the original, matching
+ * records of each type in order and comparing payloads and ticks.
+ */
+LogCorrelation correlateLogs(const trace::ActivityLog &original,
+                             const trace::ActivityLog &replayed);
+
+/** Classification of one database difference. */
+enum class DiffClass : u8
+{
+    DateField,    ///< creation/modification/backup date — benign
+    PsysLaunchDb, ///< OS-private database — benign
+    ActivityLog,  ///< the collection log itself — benign; it is
+                  ///< validated separately by the log correlator,
+                  ///< which tolerates the paper's < 20-tick bursts
+    MissingDb,    ///< database absent on one side
+    Structural,   ///< record count / sizes differ
+    RecordData,   ///< record byte contents differ
+    HeaderField,  ///< other header fields differ
+};
+
+/** One observed difference. */
+struct StateDiff
+{
+    DiffClass cls;
+    std::string db;
+    std::string detail;
+
+    bool
+    benign() const
+    {
+        return cls == DiffClass::DateField ||
+               cls == DiffClass::PsysLaunchDb ||
+               cls == DiffClass::ActivityLog;
+    }
+};
+
+/** Result of the final-state comparison. */
+struct StateCorrelation
+{
+    u64 databasesCompared = 0;
+    u64 fieldsCompared = 0;
+    std::vector<StateDiff> diffs;
+
+    u64
+    significantDiffs() const
+    {
+        u64 n = 0;
+        for (const auto &d : diffs)
+            if (!d.benign())
+                ++n;
+        return n;
+    }
+
+    bool pass() const { return significantDiffs() == 0; }
+
+    std::string report() const;
+};
+
+/**
+ * Compares two final states database-by-database, field-by-field.
+ * Works on parsed views so either side may come from a live device or
+ * a restored snapshot.
+ */
+StateCorrelation correlateStates(const std::vector<os::DbView> &a,
+                                 const std::vector<os::DbView> &b);
+
+/**
+ * HotSync-style logical import (§3.1: "we loaded the simulator with
+ * the initial state by importing the applications and databases").
+ *
+ * Rebuilds @p dst from a fresh ROM and a freshly formatted heap,
+ * re-creating every database of @p src in original creation order.
+ * Because the databases are imported rather than created, their
+ * CREATION and LAST BACKUP dates are zero on the emulated device —
+ * reproducing exactly the benign differences the paper observed.
+ */
+void logicalImport(const device::Snapshot &src, device::Device &dst);
+
+} // namespace pt::validate
+
+#endif // PT_VALIDATE_CORRELATE_H

@@ -1,0 +1,94 @@
+#include "desktoptrace.h"
+
+#include <vector>
+
+namespace pt::workload
+{
+
+void
+DesktopTraceGen::generate(const std::function<void(Addr, u8)> &emit)
+{
+    constexpr Addr kCodeBase = 0x00400000;
+    constexpr Addr kDataBase = 0x10000000;
+    constexpr Addr kStackBase = 0x7FFF0000;
+
+    Addr pc = kCodeBase;
+    Addr stackTop = kStackBase;
+    u64 streamCursor = 0;
+
+    // Recency list for temporal data reuse (geometric distances).
+    std::vector<Addr> recent(4096, kDataBase);
+    std::size_t recentPos = 0;
+    auto remember = [&](Addr a) {
+        recent[recentPos] = a;
+        recentPos = (recentPos + 1) % recent.size();
+    };
+
+    for (u64 i = 0; i < cfg.refs; ++i) {
+        double pick = rng.uniform();
+        if (pick < cfg.fetchFraction) {
+            emit(pc, DesktopRef::Fetch);
+            if (rng.chance(cfg.branchProbability)) {
+                if (rng.chance(cfg.nearBranchProbability)) {
+                    // Loop-like near branch, usually backwards.
+                    s32 disp = static_cast<s32>(rng.range(4, 512));
+                    if (rng.chance(0.7))
+                        disp = -disp;
+                    pc = static_cast<Addr>(
+                        static_cast<s64>(pc) + disp * 4);
+                } else {
+                    pc = kCodeBase +
+                         static_cast<Addr>(rng.below(
+                             cfg.codeWorkingSetBytes / 4)) * 4;
+                }
+                if (pc < kCodeBase ||
+                    pc >= kCodeBase + cfg.codeWorkingSetBytes)
+                    pc = kCodeBase;
+            } else {
+                pc += 4;
+                if (pc >= kCodeBase + cfg.codeWorkingSetBytes)
+                    pc = kCodeBase;
+            }
+        } else {
+            bool isWrite =
+                pick >= cfg.fetchFraction + cfg.readFraction;
+            Addr a;
+            double dk = rng.uniform();
+            if (dk < 0.35) {
+                // Stack frame traffic near the top of stack.
+                a = stackTop - static_cast<Addr>(rng.below(256)) * 4;
+                if (rng.chance(0.02))
+                    stackTop -= 64;
+                if (rng.chance(0.02) && stackTop < kStackBase)
+                    stackTop += 64;
+            } else if (dk < 0.35 + cfg.streamingProbability) {
+                // Streaming: fresh addresses, no reuse.
+                a = kDataBase + 0x01000000 +
+                    static_cast<Addr>((streamCursor += 16));
+            } else if (rng.chance(0.6)) {
+                // Temporal reuse with geometric stack distance.
+                u64 dist = rng.geometric(48.0);
+                if (dist >= recent.size())
+                    dist = recent.size() - 1;
+                std::size_t idx =
+                    (recentPos + recent.size() - 1 -
+                     static_cast<std::size_t>(dist)) % recent.size();
+                a = recent[idx];
+            } else {
+                // Heap access with a geometric (zipf-like) hot set:
+                // most traffic lands in a few kilobytes, the tail
+                // spans the full working set.
+                u64 block = rng.geometric(96.0);
+                u64 maxBlock = cfg.dataWorkingSetBytes / 64;
+                if (block >= maxBlock)
+                    block = maxBlock - 1;
+                a = kDataBase + static_cast<Addr>(block) * 64 +
+                    static_cast<Addr>(rng.below(16)) * 4;
+            }
+            emit(a, isWrite ? DesktopRef::Write : DesktopRef::Read);
+            remember(a);
+        }
+    }
+}
+
+} // namespace pt::workload

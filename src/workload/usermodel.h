@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The synthetic volunteer user.
+ *
+ * The paper's sessions were collected from a human operating a Palm
+ * m515 normally for one to six days (Table 1: 755-1622 logged events
+ * over 24-141 hours — the device dozes through almost all of it).
+ * UserModel reproduces that shape deterministically: bursts of
+ * interaction (taps, 50 Hz pen strokes, button presses, app switches)
+ * separated by think times and long idle gaps, all drawn from a
+ * seeded generator so any session can be regenerated exactly.
+ */
+
+#ifndef PT_WORKLOAD_USERMODEL_H
+#define PT_WORKLOAD_USERMODEL_H
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "device/device.h"
+
+namespace pt::workload
+{
+
+/** Session shape parameters. */
+struct UserModelConfig
+{
+    u64 seed = 1;
+
+    /** Interaction bursts in the session. */
+    u32 interactions = 60;
+
+    /** Mean think time between actions inside a burst (ticks). */
+    Ticks meanThinkTicks = 150;
+
+    /** Mean idle gap between bursts (ticks); dominates elapsed time. */
+    Ticks meanIdleTicks = 60'000; // ten minutes
+
+    /** Actions per burst (mean). */
+    u32 meanBurstActions = 4;
+
+    /** Relative action mix. */
+    double strokeWeight = 0.45;
+    double tapWeight = 0.30;
+    double appSwitchWeight = 0.10;
+    double scrollHoldWeight = 0.15;
+
+    /** IrDA beams (serial receptions); 0 keeps the paper's five-hack
+     *  input mix — the serial path is a palmtrace extension. */
+    double beamWeight = 0.0;
+};
+
+/** Summary of a driven session. */
+struct UserSessionStats
+{
+    u32 strokes = 0;
+    u32 taps = 0;
+    u32 appSwitches = 0;
+    u32 scrollHolds = 0;
+    u32 beams = 0;
+    Ticks elapsedTicks = 0;
+};
+
+/** Drives a booted, instrumented device like a human user would. */
+class UserModel
+{
+  public:
+    UserModel(device::Device &dev, const UserModelConfig &cfg)
+        : dev(dev), cfg(cfg), rng(cfg.seed)
+    {}
+
+    /** Runs the full session; @return what the user "did". */
+    UserSessionStats runSession();
+
+    // Individual actions (also usable from tests and examples).
+    void tap(u16 x, u16 y);
+    void stroke();
+    void appSwitch();
+    void scrollHold();
+    void beam();
+
+  private:
+    void think(Ticks mean);
+
+    device::Device &dev;
+    UserModelConfig cfg;
+    Rng rng;
+    UserSessionStats stats;
+};
+
+/** The paper's four volunteer sessions (Table 1), as presets scaled
+ *  to the same events-per-elapsed-time shape. */
+struct SessionPreset
+{
+    const char *name;
+    UserModelConfig config;
+};
+
+/** @return the four Table 1 session presets. */
+const SessionPreset *table1Presets();
+inline constexpr int kTable1SessionCount = 4;
+
+} // namespace pt::workload
+
+#endif // PT_WORKLOAD_USERMODEL_H

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the base utilities: RNG determinism, FNV hashing,
+ * binary I/O round-trips, statistics, and table rendering.
+ */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "base/binio.h"
+#include "base/fnv.h"
+#include "base/rng.h"
+#include "base/stats.h"
+#include "base/table.h"
+
+namespace pt
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        u64 v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        sawLo |= v == 3;
+        sawHi |= v == 5;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(10.0));
+    EXPECT_NEAR(sum / n, 10.0, 1.5);
+}
+
+TEST(Fnv, KnownVector)
+{
+    // FNV-1a of the empty string is the offset basis.
+    Fnv64 f;
+    EXPECT_EQ(f.value(), Fnv64::kOffset);
+    // "a" has a published value.
+    f.updateString("a");
+    EXPECT_EQ(f.value(), 0xAF63DC4C8601EC8Cull);
+}
+
+TEST(Fnv, OrderSensitive)
+{
+    Fnv64 a, b;
+    a.updateString("ab");
+    b.updateString("ba");
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(BinIo, ScalarRoundTrip)
+{
+    BinWriter w;
+    w.put8(0xAB);
+    w.put16(0x1234);
+    w.put32(0xDEADBEEF);
+    w.put64(0x0123456789ABCDEFull);
+    w.putString("palmtrace");
+
+    BinReader r(w.takeBytes());
+    EXPECT_EQ(r.get8(), 0xAB);
+    EXPECT_EQ(r.get16(), 0x1234);
+    EXPECT_EQ(r.get32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.get64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.getString(), "palmtrace");
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BinIo, ShortReadSetsFailure)
+{
+    BinWriter w;
+    w.put16(7);
+    BinReader r(w.takeBytes());
+    r.get32();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(BinIo, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/pt_binio_test.bin";
+    BinWriter w;
+    w.put32(0xC0FFEE);
+    w.putString("session");
+    ASSERT_TRUE(w.writeFile(path));
+
+    BinReader r({});
+    ASSERT_TRUE(BinReader::readFile(path, r));
+    EXPECT_EQ(r.get32(), 0xC0FFEEu);
+    EXPECT_EQ(r.getString(), "session");
+    std::remove(path.c_str());
+}
+
+TEST(Stats, SummaryMoments)
+{
+    stats::Summary s;
+    for (int i = 1; i <= 9; ++i)
+        s.add(i);
+    EXPECT_EQ(s.count(), 9u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.5820, 1e-3);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(10.0); // boundary goes to overflow
+    h.add(25.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Stats, CounterSet)
+{
+    stats::CounterSet c;
+    c["refs.ram"] += 3;
+    c["refs.flash"] += 5;
+    EXPECT_EQ(c.get("refs.ram"), 3u);
+    EXPECT_EQ(c.get("missing"), 0u);
+    std::string d = c.dump();
+    EXPECT_NE(d.find("refs.flash = 5"), std::string::npos);
+}
+
+TEST(Table, RenderAlignsColumns)
+{
+    TextTable t("Demo");
+    t.setHeader({"Session", "Events"});
+    t.addRow({"1", "1243"});
+    t.addRow({"2", "933"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("Session"), std::string::npos);
+    EXPECT_NE(s.find("1243"), std::string::npos);
+}
+
+TEST(Table, CsvEscapes)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"x,y", "q\"z"});
+    std::string s = t.renderCsv();
+    EXPECT_NE(s.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(s.find("\"q\"\"z\""), std::string::npos);
+}
+
+TEST(Table, HmsFormatsLikeThePaper)
+{
+    // Table 1 shows 24:34:31 for an 88471-second session.
+    EXPECT_EQ(TextTable::hms(24 * 3600 + 34 * 60 + 31), "24:34:31");
+    EXPECT_EQ(TextTable::hms(141 * 3600 + 27 * 60 + 26), "141:27:26");
+    EXPECT_EQ(TextTable::hms(59), "0:00:59");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(2.3456, 2), "2.35");
+    EXPECT_EQ(TextTable::num(1234ull), "1234");
+    EXPECT_EQ(TextTable::percent(0.5, 1), "50.0%");
+}
+
+} // namespace
+} // namespace pt

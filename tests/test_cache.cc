@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Cache simulator tests: geometry, replacement policies, the paper's
+ * equations, the 56-configuration sweep, and the fully-associative
+ * LRU inclusion property (parameterized).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "workload/desktoptrace.h"
+
+namespace pt
+{
+namespace
+{
+
+using cache::Cache;
+using cache::CacheConfig;
+using cache::CacheStats;
+using cache::CacheSweep;
+using cache::Policy;
+
+CacheConfig
+cfg(u32 size, u32 line, u32 assoc, Policy p = Policy::Lru)
+{
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.assoc = assoc;
+    c.policy = p;
+    return c;
+}
+
+TEST(CacheConfig, GeometryAndNames)
+{
+    CacheConfig c = cfg(2048, 32, 4);
+    EXPECT_TRUE(c.valid());
+    EXPECT_EQ(c.numSets(), 16u);
+    EXPECT_EQ(c.name(), "2KB/32B/4way");
+    EXPECT_EQ(cfg(256, 16, 1).name(), "256B/16B/1way");
+}
+
+TEST(CacheConfig, InvalidGeometriesRejected)
+{
+    EXPECT_FALSE(cfg(1000, 32, 1).valid());  // not divisible
+    EXPECT_FALSE(cfg(1024, 24, 1).valid());  // line not power of two
+    CacheConfig zero;
+    zero.sizeBytes = 0;
+    EXPECT_FALSE(zero.valid());
+}
+
+TEST(Cache, ColdMissesThenHits)
+{
+    Cache c(cfg(1024, 16, 1));
+    EXPECT_FALSE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x10F, false)); // same line
+    EXPECT_FALSE(c.access(0x110, false)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    // 256 B direct-mapped, 16 B lines: 16 sets. Addresses 0x0 and
+    // 0x100 map to the same set and evict each other.
+    Cache c(cfg(256, 16, 1));
+    EXPECT_FALSE(c.access(0x000, false));
+    EXPECT_FALSE(c.access(0x100, false));
+    EXPECT_FALSE(c.access(0x000, false)); // evicted
+    // Two-way associativity resolves the conflict.
+    Cache c2(cfg(256, 16, 2));
+    EXPECT_FALSE(c2.access(0x000, false));
+    EXPECT_FALSE(c2.access(0x100, false));
+    EXPECT_TRUE(c2.access(0x000, false));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // One set of 2 ways (32 B cache, 16 B lines, 2-way).
+    Cache c(cfg(32, 16, 2));
+    c.access(0x000, false); // miss, way 0
+    c.access(0x100, false); // miss, way 1
+    c.access(0x000, false); // hit: 0x100 becomes LRU
+    c.access(0x200, false); // evicts 0x100
+    EXPECT_TRUE(c.access(0x000, false));
+    EXPECT_FALSE(c.access(0x100, false));
+}
+
+TEST(Cache, FifoIgnoresRecency)
+{
+    Cache c(cfg(32, 16, 2, Policy::Fifo));
+    c.access(0x000, false);
+    c.access(0x100, false);
+    c.access(0x000, false); // hit, but FIFO order unchanged
+    c.access(0x200, false); // evicts 0x000 (oldest insertion)
+    EXPECT_FALSE(c.access(0x000, false));
+}
+
+TEST(Cache, RandomPolicyIsDeterministicForSeed)
+{
+    auto run = [](u64 seed) {
+        Cache c(cfg(256, 16, 4, Policy::Random), seed);
+        Rng r(99);
+        for (int i = 0; i < 10000; ++i)
+            c.access(static_cast<Addr>(r.below(4096)), false);
+        return c.stats().misses;
+    };
+    EXPECT_EQ(run(1), run(1));
+}
+
+TEST(Cache, FlashAndRamAccountedSeparately)
+{
+    Cache c(cfg(1024, 32, 2));
+    c.access(0x100, false);
+    c.access(0x100, false);
+    c.access(0x10C00000, true);
+    EXPECT_EQ(c.stats().ramAccesses, 2u);
+    EXPECT_EQ(c.stats().flashAccesses, 1u);
+    EXPECT_EQ(c.stats().ramMisses, 1u);
+    EXPECT_EQ(c.stats().flashMisses, 1u);
+}
+
+TEST(CacheEquations, NoCacheBaselineEq3)
+{
+    // Paper Table 1: flash at ~2/3 of refs gives ~2.35 cycles.
+    double t = CacheStats::noCacheAccessTime(1000, 2000);
+    EXPECT_NEAR(t, (1000.0 * 1 + 2000.0 * 3) / 3000.0, 1e-12);
+    EXPECT_NEAR(CacheStats::noCacheAccessTime(325, 675), 2.35, 0.001);
+}
+
+TEST(CacheEquations, AvgAccessTimeEq2)
+{
+    CacheStats s;
+    s.accesses = 1000;
+    s.misses = 100;
+    s.ramAccesses = 400;
+    s.flashAccesses = 600;
+    s.ramMisses = 30;
+    s.flashMisses = 70;
+    // Paper form: 1 + 0.4*0.1*1 + 0.6*0.1*3 = 1.22
+    EXPECT_NEAR(s.avgAccessTimePaper(), 1.22, 1e-12);
+    // Exact form: 1 + 30/1000*1 + 70/1000*3 = 1.24
+    EXPECT_NEAR(s.avgAccessTimeExact(), 1.24, 1e-12);
+    // A perfect cache costs exactly the hit time.
+    CacheStats p;
+    p.accesses = 10;
+    EXPECT_DOUBLE_EQ(p.avgAccessTimePaper(), 1.0);
+}
+
+TEST(CacheSweepTest, Paper56Configurations)
+{
+    auto configs = CacheSweep::paper56();
+    ASSERT_EQ(configs.size(), 56u);
+    for (const auto &c : configs) {
+        EXPECT_TRUE(c.valid()) << c.name();
+        EXPECT_EQ(c.policy, Policy::Lru);
+    }
+    // 7 sizes x 2 lines x 4 associativities, all distinct.
+    std::set<std::string> names;
+    for (const auto &c : configs)
+        names.insert(c.name());
+    EXPECT_EQ(names.size(), 56u);
+}
+
+TEST(CacheSweepTest, FeedReachesAllCaches)
+{
+    CacheSweep sweep(CacheSweep::paper56());
+    for (int i = 0; i < 1000; ++i)
+        sweep.feed(static_cast<Addr>(i * 8), i % 3 == 0);
+    for (const auto &c : sweep.caches())
+        EXPECT_EQ(c.stats().accesses, 1000u) << c.config().name();
+}
+
+/** Fully-associative LRU inclusion: bigger cache never misses more. */
+class LruInclusion : public testing::TestWithParam<u32>
+{
+};
+
+TEST_P(LruInclusion, MissesNonIncreasingWithSize)
+{
+    u32 line = GetParam();
+    // Fully associative: assoc = size / line.
+    std::vector<Cache> caches;
+    for (u32 size : {256u, 512u, 1024u, 2048u, 4096u})
+        caches.emplace_back(cfg(size, line, size / line));
+
+    workload::DesktopTraceConfig tc;
+    tc.refs = 200'000;
+    tc.seed = 1234 + line;
+    workload::DesktopTraceGen gen(tc);
+    gen.generate([&](Addr a, u8) {
+        for (auto &c : caches)
+            c.access(a, false);
+    });
+
+    for (std::size_t i = 1; i < caches.size(); ++i) {
+        EXPECT_LE(caches[i].stats().misses,
+                  caches[i - 1].stats().misses)
+            << caches[i].config().name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, LruInclusion,
+                         testing::Values(16u, 32u, 64u));
+
+/** Cold-start sanity across every paper configuration. */
+class PaperConfigs : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PaperConfigs, SequentialScanMissRateMatchesLineSize)
+{
+    auto configs = CacheSweep::paper56();
+    const auto &c = configs[static_cast<std::size_t>(GetParam())];
+    Cache cache(c);
+    // A long sequential word scan misses once per line.
+    const u32 n = 100'000;
+    for (u32 i = 0; i < n; ++i)
+        cache.access(i * 2, false);
+    double expected = 2.0 / c.lineBytes;
+    EXPECT_NEAR(cache.stats().missRate(), expected, expected * 0.05)
+        << c.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(All56, PaperConfigs, testing::Range(0, 56));
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Peripheral and snapshot edge-case tests: register byte-merge
+ * semantics, interrupt mask/ack behaviour, timer compare, RLE
+ * serialization corners, and SnapshotBus reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+#include "device/snapshot.h"
+
+namespace pt
+{
+namespace
+{
+
+using device::Device;
+using device::Irq;
+using device::kTimerDisarmed;
+using device::Reg;
+using device::Snapshot;
+
+TEST(IoRegs, IntMaskSuppressesLevel)
+{
+    Device dev;
+    auto &io = dev.io();
+    io.raiseIrq(Irq::Pen);
+    EXPECT_EQ(io.irqLevel(), 5);
+    io.writeReg(Reg::IntMask, Irq::Pen);
+    EXPECT_EQ(io.irqLevel(), 0);
+    io.writeReg(Reg::IntMask, 0);
+    EXPECT_EQ(io.irqLevel(), 5);
+    io.writeReg(Reg::IntAck, Irq::Pen);
+    EXPECT_EQ(io.irqLevel(), 0);
+}
+
+TEST(IoRegs, PriorityOrdering)
+{
+    Device dev;
+    auto &io = dev.io();
+    io.raiseIrq(Irq::Serial);
+    io.raiseIrq(Irq::Button);
+    io.raiseIrq(Irq::Pen);
+    io.raiseIrq(Irq::Timer);
+    EXPECT_EQ(io.irqLevel(), 6);
+    io.writeReg(Reg::IntAck, Irq::Timer);
+    EXPECT_EQ(io.irqLevel(), 5);
+    io.writeReg(Reg::IntAck, Irq::Pen);
+    EXPECT_EQ(io.irqLevel(), 4);
+    io.writeReg(Reg::IntAck, Irq::Button);
+    EXPECT_EQ(io.irqLevel(), 3);
+}
+
+TEST(IoRegs, TimerCompareWordHalves)
+{
+    Device dev;
+    auto &io = dev.io();
+    io.writeReg(Reg::TimerCmp, 0x1234);
+    io.writeReg(Reg::TimerCmp + 2, 0x5678);
+    EXPECT_EQ(io.timerCompare(), 0x12345678u);
+    EXPECT_EQ(io.readReg(Reg::TimerCmp), 0x1234u);
+    EXPECT_EQ(io.readReg(Reg::TimerCmp + 2), 0x5678u);
+    io.reset();
+    EXPECT_EQ(io.timerCompare(), kTimerDisarmed);
+}
+
+TEST(IoRegs, TimerFiresAtOrAfterCompare)
+{
+    Device dev;
+    auto &io = dev.io();
+    io.writeReg(Reg::TimerCmp, 0);
+    io.writeReg(Reg::TimerCmp + 2, 10);
+    io.tickAdvanced(9);
+    EXPECT_FALSE(io.activeIrqs() & Irq::Timer);
+    io.tickAdvanced(10);
+    EXPECT_TRUE(io.activeIrqs() & Irq::Timer);
+}
+
+TEST(IoRegs, MmioByteWriteMergesWithWord)
+{
+    Device dev;
+    // Byte-write the high half of IntMask through the bus.
+    dev.bus().write8(device::kMmioBase + Reg::IntMask,
+                     0x12); // high byte
+    dev.bus().write8(device::kMmioBase + Reg::IntMask + 1,
+                     0x34); // low byte
+    EXPECT_EQ(dev.io().readReg(Reg::IntMask), 0x1234u);
+}
+
+TEST(IoRegs, PenSampleLatchesAndFinalUp)
+{
+    Device dev;
+    auto &io = dev.io();
+    EXPECT_FALSE(io.samplePen()); // idle: no interrupt
+    io.penTouch(10, 20);
+    EXPECT_TRUE(io.samplePen());
+    EXPECT_EQ(io.readReg(Reg::PenX), 10u);
+    EXPECT_EQ(io.readReg(Reg::PenDown), 1u);
+    io.penRelease();
+    EXPECT_TRUE(io.samplePen()); // the trailing pen-up sample
+    EXPECT_EQ(io.readReg(Reg::PenDown), 0u);
+    EXPECT_FALSE(io.samplePen()); // then quiescent
+}
+
+TEST(SnapshotEdge, AllZeroImagesCompressTiny)
+{
+    Snapshot s;
+    s.ram.assign(1 << 20, 0);
+    s.rom.assign(1 << 16, 0);
+    auto bytes = s.serialize();
+    EXPECT_LT(bytes.size(), 256u);
+    Snapshot back;
+    ASSERT_TRUE(Snapshot::deserialize(bytes, back));
+    EXPECT_EQ(back.fingerprint(), s.fingerprint());
+}
+
+TEST(SnapshotEdge, NoZeroBytes)
+{
+    Snapshot s;
+    s.ram.assign(4096, 0xAB);
+    s.rom.assign(512, 0xCD);
+    s.rtcBase = 42;
+    Snapshot back;
+    ASSERT_TRUE(Snapshot::deserialize(s.serialize(), back));
+    EXPECT_EQ(back.ram, s.ram);
+    EXPECT_EQ(back.rom, s.rom);
+    EXPECT_EQ(back.rtcBase, 42u);
+}
+
+TEST(SnapshotEdge, TrailingZerosPreserved)
+{
+    Snapshot s;
+    s.ram = {1, 2, 3, 0, 0, 0, 0, 0};
+    s.rom = {0, 0, 9};
+    Snapshot back;
+    ASSERT_TRUE(Snapshot::deserialize(s.serialize(), back));
+    EXPECT_EQ(back.ram, s.ram);
+    EXPECT_EQ(back.rom, s.rom);
+}
+
+TEST(SnapshotEdge, CorruptDataRejected)
+{
+    Snapshot s;
+    s.ram.assign(128, 7);
+    s.rom.assign(64, 9);
+    auto bytes = s.serialize();
+    Snapshot back;
+    // Bad magic.
+    auto bad = bytes;
+    bad[0] ^= 0xFF;
+    EXPECT_FALSE(Snapshot::deserialize(bad, back));
+    // Truncated payload.
+    auto trunc = bytes;
+    trunc.resize(trunc.size() / 2);
+    EXPECT_FALSE(Snapshot::deserialize(trunc, back));
+    // Empty input.
+    EXPECT_FALSE(Snapshot::deserialize({}, back));
+}
+
+TEST(SnapshotEdge, SnapshotBusReadsBothRegions)
+{
+    Snapshot s;
+    s.ram.assign(0x20000, 0);
+    s.rom.assign(0x1000, 0);
+    s.ram[0x100] = 0xAB;
+    s.rom[0x10] = 0xCD;
+    device::SnapshotBus bus(s);
+    EXPECT_EQ(bus.peek8(0x100), 0xAB);
+    EXPECT_EQ(bus.peek8(device::kRomBase + 0x10), 0xCD);
+    EXPECT_EQ(bus.peek8(device::kMmioBase), 0); // MMIO reads as zero
+    // Writes and pokes are inert.
+    bus.write8(0x100, 0x55);
+    bus.poke8(0x100, 0x66);
+    EXPECT_EQ(bus.peek8(0x100), 0xAB);
+}
+
+TEST(DeviceRun, RunUntilIdleRespectsCycleBudget)
+{
+    Device dev;
+    // No ROM: the CPU fetches zeros and takes an illegal-instruction
+    // exception through a null vector, halting. runUntilIdle must not
+    // spin forever either way.
+    dev.runUntilIdle(1'000'000);
+    EXPECT_TRUE(dev.halted() || dev.nowCycles() <= 1'100'000);
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * GuestHeap and database-inspector tests: allocation/free/coalescing
+ * behaviour, first-fit reuse, record-list growth, database parsing,
+ * and heap statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+#include "os/guestmem.h"
+
+namespace pt
+{
+namespace
+{
+
+using device::Device;
+using os::Db;
+using os::GuestHeap;
+using os::Lay;
+
+struct HeapFixture
+{
+    HeapFixture()
+        : heap(dev.bus())
+    {
+        heap.format();
+    }
+
+    Device dev;
+    GuestHeap heap;
+};
+
+TEST(GuestHeapTest, FormatCreatesOneFreeChunk)
+{
+    HeapFixture f;
+    EXPECT_TRUE(f.heap.formatted());
+    auto s = f.heap.stats();
+    EXPECT_EQ(s.chunks, 1u);
+    EXPECT_EQ(s.freeChunks, 1u);
+    EXPECT_EQ(s.usedChunks, 0u);
+    EXPECT_EQ(s.freeBytes,
+              Lay::HeapEnd - (Lay::HeapBase + Lay::HHeaderSize));
+}
+
+TEST(GuestHeapTest, AllocationsAreSequentialOnFreshHeap)
+{
+    HeapFixture f;
+    Addr a = f.heap.chunkNew(100);
+    Addr b = f.heap.chunkNew(100);
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    EXPECT_GT(b, a);
+    // 100 rounded to even + 8-byte header = 108 apart.
+    EXPECT_EQ(b - a, 108u);
+}
+
+TEST(GuestHeapTest, FirstFitReusesFreedHole)
+{
+    HeapFixture f;
+    Addr a = f.heap.chunkNew(100);
+    f.heap.chunkNew(100); // pin a second chunk after the first
+    f.heap.chunkFree(a);
+    Addr c = f.heap.chunkNew(60); // fits into the 100-byte hole
+    EXPECT_EQ(c, a);
+}
+
+TEST(GuestHeapTest, FreeCoalescesWithNextChunk)
+{
+    HeapFixture f;
+    Addr a = f.heap.chunkNew(100);
+    Addr b = f.heap.chunkNew(100);
+    f.heap.chunkNew(100); // barrier so the free space is bounded
+    f.heap.chunkFree(b);  // b merges with nothing (barrier used)
+    f.heap.chunkFree(a);  // a coalesces with the free b
+    Addr big = f.heap.chunkNew(200); // only fits if coalesced
+    EXPECT_EQ(big, a);
+}
+
+TEST(GuestHeapTest, OddSizesRoundToEven)
+{
+    HeapFixture f;
+    Addr a = f.heap.chunkNew(7);
+    Addr b = f.heap.chunkNew(7);
+    EXPECT_EQ(b - a, 16u); // 8 payload + 8 header
+}
+
+TEST(GuestHeapTest, ExhaustionReturnsZero)
+{
+    HeapFixture f;
+    // Ask for more than the whole heap.
+    EXPECT_EQ(f.heap.chunkNew(Lay::HeapEnd - Lay::HeapBase), 0u);
+}
+
+TEST(GuestHeapTest, FindDatabaseByExactName)
+{
+    HeapFixture f;
+    Addr db = f.heap.createDatabase("TestDB", 0x64617461, 0x74657374,
+                                    0, 1000);
+    ASSERT_NE(db, 0u);
+    EXPECT_EQ(f.heap.findDatabase("TestDB"), db);
+    EXPECT_EQ(f.heap.findDatabase("TestD"), 0u);  // prefix is not it
+    EXPECT_EQ(f.heap.findDatabase("TestDBx"), 0u);
+    EXPECT_EQ(f.heap.findDatabase("other"), 0u);
+}
+
+TEST(GuestHeapTest, RecordListGrowsPastInitialCapacity)
+{
+    HeapFixture f;
+    Addr db = f.heap.createDatabase("GrowDB", 1, 2, 0, 0);
+    for (u32 i = 0; i < Db::InitialCapacity * 3; ++i) {
+        Addr rec = f.heap.newRecord(db, 4, i);
+        ASSERT_NE(rec, 0u);
+        f.dev.bus().poke32(rec, i);
+    }
+    auto view = os::parseDatabase(f.dev.bus(), db);
+    ASSERT_EQ(view.records.size(), Db::InitialCapacity * 3);
+    for (u32 i = 0; i < view.records.size(); ++i) {
+        const auto &d = view.records[i].data;
+        u32 v = (static_cast<u32>(d[0]) << 24) | (d[1] << 16) |
+                (d[2] << 8) | d[3];
+        EXPECT_EQ(v, i);
+    }
+    // Modification date reflects the last insert.
+    EXPECT_EQ(view.modDate, Db::InitialCapacity * 3 - 1);
+}
+
+TEST(GuestHeapTest, CreationOrderIsReverseListOrder)
+{
+    HeapFixture f;
+    f.heap.createDatabase("First", 1, 1, 0, 0);
+    f.heap.createDatabase("Second", 1, 2, 0, 0);
+    f.heap.createDatabase("Third", 1, 3, 0, 0);
+    auto dbs = os::listDatabases(f.dev.bus());
+    ASSERT_EQ(dbs.size(), 3u);
+    EXPECT_EQ(dbs[0].name, "Third"); // newest first (prepend)
+    EXPECT_EQ(dbs[2].name, "First");
+}
+
+TEST(GuestHeapTest, SetBackupBitOnAll)
+{
+    HeapFixture f;
+    f.heap.createDatabase("A", 1, 1, 0, 0);
+    f.heap.createDatabase("B", 1, 2, Db::AttrExecutable, 0);
+    f.heap.setBackupBitOnAll();
+    for (const auto &db : os::listDatabases(f.dev.bus()))
+        EXPECT_TRUE(db.attrs & Db::AttrBackup) << db.name;
+    // Existing attributes survive.
+    auto dbs = os::listDatabases(f.dev.bus());
+    EXPECT_TRUE(dbs[0].attrs & Db::AttrExecutable);
+}
+
+TEST(GuestHeapTest, StatsTrackUsage)
+{
+    HeapFixture f;
+    auto s0 = f.heap.stats();
+    Addr db = f.heap.createDatabase("S", 1, 1, 0, 0);
+    f.heap.newRecord(db, 50, 0);
+    auto s1 = f.heap.stats();
+    EXPECT_EQ(s1.usedChunks, s0.usedChunks + 3); // header, list, record
+    EXPECT_GT(s1.usedBytes, s0.usedBytes);
+    EXPECT_LT(s1.freeBytes, s0.freeBytes);
+}
+
+TEST(GuestHeapTest, ParseDatabaseFields)
+{
+    HeapFixture f;
+    Addr db = f.heap.createDatabase("Fields", os::fourcc('t','y','p','e'),
+                                    os::fourcc('c','r','t','r'),
+                                    Db::AttrBackup, 12345);
+    auto v = os::parseDatabase(f.dev.bus(), db);
+    EXPECT_EQ(v.name, "Fields");
+    EXPECT_EQ(v.type, os::fourcc('t', 'y', 'p', 'e'));
+    EXPECT_EQ(v.creator, os::fourcc('c', 'r', 't', 'r'));
+    EXPECT_EQ(v.creationDate, 12345u);
+    EXPECT_EQ(v.modDate, 12345u);
+    EXPECT_EQ(v.backupDate, 0u);
+    EXPECT_EQ(v.attrs, Db::AttrBackup);
+    EXPECT_TRUE(v.records.empty());
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Collection hack tests: the five trap patches log exactly what the
+ * paper's hacks log (§2.3.2), the overhead grows with database size
+ * (§2.3.3 / Fig 3), PalmistMode logs far more, and uninstall restores
+ * the pristine dispatch table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+#include "hacks/hackmgr.h"
+#include "os/guestmem.h"
+#include "os/guestrun.h"
+#include "os/pilotos.h"
+#include "trace/activitylog.h"
+
+namespace pt
+{
+namespace
+{
+
+using device::Btn;
+using device::Device;
+using hacks::HackManager;
+using hacks::HackOptions;
+using hacks::LogType;
+using trace::ActivityLog;
+
+struct HackFixture
+{
+    HackFixture()
+    {
+        syms = os::setupDevice(dev);
+        mgr = std::make_unique<HackManager>(dev, syms);
+    }
+
+    void
+    pressButton(u16 bit)
+    {
+        dev.io().buttonsSet(bit);
+        dev.runUntilIdle();
+        dev.io().buttonsSet(0);
+        dev.runUntilIdle();
+    }
+
+    void
+    stroke(u16 x0, u16 y0, u16 x1, u16 y1, Ticks ticks)
+    {
+        dev.io().penTouch(x0, y0);
+        // Rest at the touch point through one digitizer sample.
+        dev.runUntilTick(dev.ticks() + 3);
+        Ticks start = dev.ticks();
+        for (Ticks t = 0; t <= ticks; t += 2) {
+            dev.io().penMoveTo(
+                static_cast<u16>(x0 + (x1 - x0) * t / ticks),
+                static_cast<u16>(y0 + (y1 - y0) * t / ticks));
+            dev.runUntilTick(start + t);
+        }
+        dev.io().penRelease();
+        dev.runUntilTick(start + ticks + 6);
+        dev.runUntilIdle();
+    }
+
+    Device dev;
+    os::RomSymbols syms;
+    std::unique_ptr<HackManager> mgr;
+};
+
+TEST(Hacks, InstallCreatesLogDb)
+{
+    HackFixture f;
+    EXPECT_EQ(f.mgr->activityLogDb(), 0u);
+    f.mgr->installCollectionHacks();
+    EXPECT_NE(f.mgr->activityLogDb(), 0u);
+    EXPECT_EQ(f.mgr->logRecordCount(), 0u);
+}
+
+TEST(Hacks, PenStrokeLogsSamplesWithCoordinates)
+{
+    HackFixture f;
+    f.mgr->installCollectionHacks();
+    f.stroke(20, 30, 120, 100, 40);
+    ActivityLog log = ActivityLog::extract(f.dev.bus());
+    u64 pens = log.countOf(LogType::PenPoint);
+    EXPECT_GE(pens, 16u); // ~21 samples + final pen-up
+    // First pen record carries the initial coordinates.
+    const trace::LogRecord *first = nullptr;
+    const trace::LogRecord *lastDown = nullptr;
+    bool sawUp = false;
+    for (const auto &r : log.records) {
+        if (r.type != LogType::PenPoint)
+            continue;
+        if (!first)
+            first = &r;
+        if (r.penDown())
+            lastDown = &r;
+        else
+            sawUp = true;
+    }
+    ASSERT_NE(first, nullptr);
+    EXPECT_TRUE(first->penDown());
+    EXPECT_EQ(first->penX(), 20u);
+    EXPECT_EQ(first->penY(), 30u);
+    ASSERT_NE(lastDown, nullptr);
+    EXPECT_EQ(lastDown->penX(), 120u);
+    EXPECT_EQ(lastDown->penY(), 100u);
+    EXPECT_TRUE(sawUp); // the stroke ends with a pen-up record
+}
+
+TEST(Hacks, ButtonPressLogsKeyEvent)
+{
+    HackFixture f;
+    f.mgr->installCollectionHacks();
+    f.pressButton(Btn::App2);
+    ActivityLog log = ActivityLog::extract(f.dev.bus());
+    ASSERT_GE(log.countOf(LogType::Key), 1u);
+    bool found = false;
+    for (const auto &r : log.records)
+        if (r.type == LogType::Key && r.data == Btn::App2)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Hacks, MemoIdlePollsLogKeyCurrentState)
+{
+    HackFixture f;
+    f.mgr->installCollectionHacks();
+    f.pressButton(Btn::App2);               // memo: 50-tick polls
+    f.dev.io().buttonsSet(Btn::PageUp);     // held scroll button
+    f.dev.runUntilTick(f.dev.ticks() + 300);
+    f.dev.io().buttonsSet(0);
+    f.dev.runUntilIdle();
+    ActivityLog log = ActivityLog::extract(f.dev.bus());
+    ASSERT_GE(log.countOf(LogType::KeyState), 3u);
+    // At least one poll observed the held PageUp bit.
+    bool sawHeld = false;
+    for (const auto &r : log.records)
+        if (r.type == LogType::KeyState && (r.data & Btn::PageUp))
+            sawHeld = true;
+    EXPECT_TRUE(sawHeld);
+}
+
+TEST(Hacks, PuzzleShuffleLogsNonzeroRandomSeed)
+{
+    HackFixture f;
+    f.mgr->installCollectionHacks();
+    f.pressButton(Btn::App3); // first Puzzle launch seeds SysRandom
+    ActivityLog log = ActivityLog::extract(f.dev.bus());
+    ASSERT_GE(log.countOf(LogType::Random), 1u);
+    bool nonzeroSeed = false;
+    for (const auto &r : log.records)
+        if (r.type == LogType::Random && r.extra != 0)
+            nonzeroSeed = true;
+    EXPECT_TRUE(nonzeroSeed);
+}
+
+TEST(Hacks, MemoStrokesBroadcastNotify)
+{
+    HackFixture f;
+    f.mgr->installCollectionHacks();
+    f.pressButton(Btn::App2);
+    for (int i = 0; i < 4; ++i)
+        f.stroke(10, static_cast<u16>(10 + i * 10), 100,
+                 static_cast<u16>(20 + i * 10), 16);
+    ActivityLog log = ActivityLog::extract(f.dev.bus());
+    EXPECT_GE(log.countOf(LogType::Notify), 1u);
+}
+
+TEST(Hacks, UninstallRestoresDispatchTable)
+{
+    HackFixture f;
+    u32 before = f.dev.bus().peek32(
+        os::Lay::TrapTable + os::Trap::EvtEnqueueKey * 4);
+    f.mgr->installCollectionHacks();
+    u32 patchedEntry = f.dev.bus().peek32(
+        os::Lay::TrapTable + os::Trap::EvtEnqueueKey * 4);
+    EXPECT_NE(patchedEntry, before);
+    f.mgr->uninstall();
+    u32 after = f.dev.bus().peek32(
+        os::Lay::TrapTable + os::Trap::EvtEnqueueKey * 4);
+    EXPECT_EQ(after, before);
+    // Activity after uninstall does not log.
+    u32 n = f.mgr->logRecordCount();
+    f.pressButton(Btn::App2);
+    EXPECT_EQ(f.mgr->logRecordCount(), n);
+}
+
+TEST(Hacks, LogTimestampsAreMonotonic)
+{
+    HackFixture f;
+    f.mgr->installCollectionHacks();
+    f.pressButton(Btn::App2);
+    f.stroke(20, 20, 100, 100, 30);
+    ActivityLog log = ActivityLog::extract(f.dev.bus());
+    ASSERT_GE(log.records.size(), 5u);
+    for (std::size_t i = 1; i < log.records.size(); ++i)
+        EXPECT_GE(log.records[i].tick, log.records[i - 1].tick);
+}
+
+TEST(Hacks, OverheadGrowsWithDatabaseSize)
+{
+    // §2.3.3: the per-call overhead of the EvtEnqueueKey hack grows
+    // with the number of records already in the database, because the
+    // memory manager's scan lengthens. Tight loop, original call
+    // eliminated, exactly like the paper's micro-benchmark.
+    HackFixture f;
+    HackOptions opts;
+    opts.callOriginal = false;
+    f.mgr->installCollectionHacks(opts);
+
+    os::GuestRunner runner(f.dev);
+    auto batch = [&](int calls) {
+        return runner.run([&](m68k::CodeBuilder &b) {
+            using namespace m68k::ops;
+            auto loop = b.newLabel();
+            b.move(m68k::Size::L, imm(static_cast<u32>(calls - 1)),
+                   dr(6));
+            b.bind(loop);
+            b.moveq(1, 1); // keycode
+            b.trapSel(15, os::Trap::EvtEnqueueKey);
+            b.dbra(6, loop);
+            b.stop(0x2700);
+        });
+    };
+
+    u64 early = batch(200);   // records 0..200
+    for (int i = 0; i < 8; ++i)
+        batch(200);           // grow the log to ~1800 records
+    u64 late = batch(200);    // records ~1800..2000
+    EXPECT_GT(late, early + early / 4); // clearly growing
+    EXPECT_GE(f.mgr->logRecordCount(), 1900u);
+}
+
+TEST(Hacks, PalmistModeLogsEverySystemCall)
+{
+    HackFixture f;
+    f.mgr->installPalmistMode();
+    f.pressButton(Btn::App2);
+    // Let the memo app's idle polls run for five seconds: every
+    // EvtGetEvent / KeyCurrentState / FbFill call is now logged.
+    f.dev.runUntilTick(f.dev.ticks() + 500);
+    ActivityLog log = ActivityLog::extract(f.dev.bus());
+    // EvtGetEvent, DmFindDatabase, KeyCurrentState, ... all logged.
+    u64 palmist = 0;
+    for (const auto &r : log.records)
+        if (r.type >= LogType::PalmistBase)
+            ++palmist;
+    EXPECT_GT(palmist, 10u);
+
+    // Compare with the five-hack log for the same stimulus.
+    HackFixture g;
+    g.mgr->installCollectionHacks();
+    g.pressButton(Btn::App2);
+    ActivityLog fiveLog = ActivityLog::extract(g.dev.bus());
+    EXPECT_GT(palmist, fiveLog.records.size() * 3);
+}
+
+TEST(ActivityLogFile, RoundTrip)
+{
+    HackFixture f;
+    f.mgr->installCollectionHacks();
+    f.pressButton(Btn::App2);
+    f.stroke(10, 10, 60, 60, 20);
+    ActivityLog log = ActivityLog::extract(f.dev.bus());
+    ASSERT_GE(log.records.size(), 3u);
+
+    std::string path = testing::TempDir() + "/pt_actlog_test.bin";
+    ASSERT_TRUE(log.save(path));
+    ActivityLog back;
+    ASSERT_TRUE(ActivityLog::load(path, back));
+    EXPECT_EQ(back.records, log.records);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the cache extensions: the two-level hierarchy and the
+ * energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.h"
+#include "workload/desktoptrace.h"
+
+namespace pt
+{
+namespace
+{
+
+using cache::CacheConfig;
+using cache::CacheStats;
+using cache::EnergyModel;
+using cache::Policy;
+using cache::TwoLevelCache;
+
+CacheConfig
+cfg(u32 size, u32 line, u32 assoc)
+{
+    return CacheConfig{size, line, assoc, Policy::Lru};
+}
+
+TEST(TwoLevel, L2OnlySeesL1Misses)
+{
+    TwoLevelCache two(cfg(64, 16, 1), cfg(1024, 16, 4));
+    // Two addresses conflicting in a 4-set L1 but coexisting in L2.
+    for (int i = 0; i < 10; ++i) {
+        two.access(0x000, false);
+        two.access(0x100, false);
+    }
+    EXPECT_EQ(two.l1().stats().accesses, 20u);
+    EXPECT_EQ(two.l1().stats().misses, 20u); // they evict each other
+    EXPECT_EQ(two.l2().stats().accesses, 20u);
+    EXPECT_EQ(two.l2().stats().misses, 2u); // only the cold misses
+}
+
+TEST(TwoLevel, HitInL1SkipsL2)
+{
+    TwoLevelCache two(cfg(1024, 16, 2), cfg(4096, 16, 4));
+    two.access(0x500, false);
+    two.access(0x500, false);
+    two.access(0x500, false);
+    EXPECT_EQ(two.l1().stats().misses, 1u);
+    EXPECT_EQ(two.l2().stats().accesses, 1u);
+}
+
+TEST(TwoLevel, AccessTimeFormula)
+{
+    TwoLevelCache two(cfg(64, 16, 1), cfg(1024, 16, 4));
+    for (int i = 0; i < 10; ++i) {
+        two.access(0x000, true);
+        two.access(0x100, true);
+    }
+    // MR1 = 1.0, MR2 = 0.1, all flash: T = 1 + 1.0*(4 + 0.1*3) = 5.3
+    EXPECT_NEAR(two.avgAccessTime(1.0, 4.0, 1.0, 3.0), 5.3, 1e-9);
+}
+
+TEST(TwoLevel, PerfectL1MeansL1Time)
+{
+    TwoLevelCache two(cfg(1024, 16, 2), cfg(4096, 16, 4));
+    two.access(0x500, false);
+    for (int i = 0; i < 99; ++i)
+        two.access(0x500, false);
+    // MR1 = 1/100; T = 1 + 0.01 * (4 + 1.0 * 1.0)
+    EXPECT_NEAR(two.avgAccessTime(1.0, 4.0, 1.0, 3.0),
+                1.0 + 0.01 * 5.0, 1e-9);
+}
+
+TEST(TwoLevel, ResetClearsBothLevels)
+{
+    TwoLevelCache two(cfg(64, 16, 1), cfg(1024, 16, 4));
+    two.access(0x0, false);
+    two.reset();
+    EXPECT_EQ(two.l1().stats().accesses, 0u);
+    EXPECT_EQ(two.l2().stats().accesses, 0u);
+}
+
+TEST(Energy, UncachedScalesWithFlashShare)
+{
+    EnergyModel e;
+    // All-flash costs more than all-RAM for the same count.
+    EXPECT_GT(e.uncachedEnergyMj(0, 1000), e.uncachedEnergyMj(1000, 0));
+    EXPECT_NEAR(e.uncachedEnergyMj(1000, 0), 1000 * 2.5e-6, 1e-12);
+}
+
+TEST(Energy, PerfectCacheSavesMost)
+{
+    EnergyModel e;
+    CacheStats s;
+    s.accesses = 1000;
+    s.misses = 0;
+    s.ramAccesses = 300;
+    s.flashAccesses = 700;
+    double savings = e.savings(s);
+    // hit energy 0.5 vs mix 0.3*2.5 + 0.7*6 = 4.95 nJ/access.
+    EXPECT_NEAR(savings, 1.0 - 0.5 / 4.95, 1e-9);
+}
+
+TEST(Energy, MissyCacheCanLose)
+{
+    EnergyModel e;
+    CacheStats s;
+    s.accesses = 1000;
+    s.misses = 1000; // pure overhead on top of every memory access
+    s.ramAccesses = 1000;
+    s.ramMisses = 1000;
+    EXPECT_LT(e.savings(s), 0.0);
+}
+
+TEST(Energy, RealTraceSavesEnergy)
+{
+    EnergyModel e;
+    cache::Cache c(cfg(4096, 32, 2));
+    workload::DesktopTraceConfig tc;
+    tc.refs = 200'000;
+    workload::DesktopTraceGen gen(tc);
+    gen.generate([&](Addr a, u8) { c.access(a, (a >> 28) == 1); });
+    EXPECT_GT(e.savings(c.stats()), 0.3);
+}
+
+} // namespace
+} // namespace pt

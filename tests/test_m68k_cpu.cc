@@ -1,0 +1,546 @@
+/**
+ * @file
+ * MC68000 core tests: data movement, arithmetic flags, addressing
+ * modes, control flow, and exception processing. Code under test is
+ * assembled with CodeBuilder, so these double as assembler tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "m68k/codebuilder.h"
+#include "m68k/cpu.h"
+#include "testutil.h"
+
+namespace pt
+{
+namespace
+{
+
+using m68k::CodeBuilder;
+using m68k::Cond;
+using m68k::Size;
+using m68k::Sr;
+using test::CpuHarness;
+using namespace m68k::ops;
+
+TEST(CpuMove, MoveqSignExtends)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.moveq(-5, 3);
+    b.moveq(7, 4);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(3), 0xFFFFFFFBu);
+    EXPECT_EQ(h.cpu.d(4), 7u);
+}
+
+TEST(CpuMove, RegisterToRegisterSizes)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(0xAABBCCDD), dr(0));
+    b.move(Size::L, imm(0x11223344), dr(1));
+    b.move(Size::B, dr(0), dr(1)); // only low byte replaced
+    b.move(Size::L, imm(0x55667788), dr(2));
+    b.move(Size::W, dr(0), dr(2)); // low word replaced
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(1), 0x112233DDu);
+    EXPECT_EQ(h.cpu.d(2), 0x5566CCDDu);
+}
+
+TEST(CpuMove, MemoryRoundTrip)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(0xCAFEBABE), absl(0x2000));
+    b.move(Size::L, absl(0x2000), dr(5));
+    b.move(Size::W, absl(0x2000), dr(6));
+    b.move(Size::B, absl(0x2001), dr(7));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(5), 0xCAFEBABEu);
+    EXPECT_EQ(h.cpu.d(6) & 0xFFFF, 0xCAFEu);
+    EXPECT_EQ(h.cpu.d(7) & 0xFF, 0xFEu);
+    EXPECT_EQ(h.bus.peek32(0x2000), 0xCAFEBABEu);
+}
+
+TEST(CpuMove, MoveaWordSignExtends)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.movea(Size::W, imm(0x8000), 2);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.a(2), 0xFFFF8000u);
+}
+
+TEST(CpuMove, PostincAndPredec)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.movea(Size::L, imm(0x3000), 0);
+    b.move(Size::W, imm(0x1111), postinc(0));
+    b.move(Size::W, imm(0x2222), postinc(0));
+    b.move(Size::W, predec(0), dr(0)); // reads back 0x2222
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0) & 0xFFFF, 0x2222u);
+    EXPECT_EQ(h.cpu.a(0), 0x3002u);
+    EXPECT_EQ(h.bus.peek16(0x3000), 0x1111u);
+}
+
+TEST(CpuMove, ByteOnA7KeepsWordAlignment)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::B, imm(0x42), predec(7));
+    b.stop(0x2700);
+    h.load(b);
+    u32 sp0 = h.cpu.a(7);
+    h.run();
+    EXPECT_EQ(h.cpu.a(7), sp0 - 2); // decremented by 2, not 1
+}
+
+TEST(CpuMove, DispAndIndexedModes)
+{
+    CpuHarness h;
+    h.bus.poke32(0x2010, 0xFEEDF00D);
+    auto b = test::codeAt();
+    b.movea(Size::L, imm(0x2000), 1);
+    b.move(Size::L, disp(1, 0x10), dr(0));
+    b.move(Size::L, imm(0x10), dr(1));
+    b.move(Size::L, indexed(1, 1), dr(2));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 0xFEEDF00Du);
+    EXPECT_EQ(h.cpu.d(2), 0xFEEDF00Du);
+}
+
+TEST(CpuAlu, AddFlagsCarryOverflow)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(0x7FFFFFFF), dr(0));
+    b.addi(Size::L, 1, dr(0)); // overflow, no carry
+    b.moveFromSr(absl(0xF00)); // capture CCR before STOP rewrites SR
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    u16 ccr = h.bus.peek16(0xF00);
+    EXPECT_EQ(h.cpu.d(0), 0x80000000u);
+    EXPECT_TRUE(ccr & Sr::V);
+    EXPECT_FALSE(ccr & Sr::C);
+    EXPECT_TRUE(ccr & Sr::N);
+}
+
+TEST(CpuAlu, AddByteCarryWraps)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(0xFF), dr(0));
+    b.addi(Size::B, 1, dr(0));
+    b.moveFromSr(absl(0xF00));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    u16 ccr = h.bus.peek16(0xF00);
+    EXPECT_EQ(h.cpu.d(0) & 0xFF, 0u);
+    EXPECT_TRUE(ccr & Sr::C);
+    EXPECT_TRUE(ccr & Sr::X);
+    EXPECT_TRUE(ccr & Sr::Z);
+    EXPECT_FALSE(ccr & Sr::V);
+}
+
+TEST(CpuAlu, SubBorrow)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(3), dr(0));
+    b.subi(Size::L, 5, dr(0));
+    b.moveFromSr(absl(0xF00));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    u16 ccr = h.bus.peek16(0xF00);
+    EXPECT_EQ(h.cpu.d(0), 0xFFFFFFFEu);
+    EXPECT_TRUE(ccr & Sr::C);
+    EXPECT_TRUE(ccr & Sr::N);
+}
+
+TEST(CpuAlu, AddqSubqOnAddressRegisterIgnoresFlagsAndSize)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.movea(Size::L, imm(0x10000), 3);
+    b.move(Size::L, imm(0), dr(0));
+    b.tst(Size::L, dr(0)); // Z set
+    b.addq(Size::W, 4, ar(3));
+    b.moveFromSr(absl(0xF00));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.a(3), 0x10004u);
+    EXPECT_TRUE(h.bus.peek16(0xF00) & Sr::Z); // unaffected by ADDQ to An
+}
+
+TEST(CpuAlu, AddToMemoryDestination)
+{
+    CpuHarness h;
+    h.bus.poke32(0x4000, 100);
+    auto b = test::codeAt();
+    b.move(Size::L, imm(23), dr(1));
+    b.add(Size::L, dr(1), absl(0x4000));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.bus.peek32(0x4000), 123u);
+}
+
+TEST(CpuAlu, MuluProducesLongResult)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(300), dr(0));
+    b.move(Size::L, imm(500), dr(1));
+    b.mulu(dr(1), 0);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 150000u);
+}
+
+TEST(CpuAlu, DivuQuotientAndRemainder)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(100007), dr(0));
+    b.move(Size::L, imm(100), dr(1));
+    b.divu(dr(1), 0);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0) & 0xFFFF, 1000u);       // quotient
+    EXPECT_EQ((h.cpu.d(0) >> 16) & 0xFFFF, 7u);  // remainder
+}
+
+TEST(CpuAlu, DivideByZeroRaisesException)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto handler = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(handler);
+    b.moveq(99, 7);
+    b.stop(0x2700);
+    b.bind(main);
+    b.move(Size::L, imm(5), dr(0));
+    b.move(Size::L, imm(0), dr(1));
+    b.divu(dr(1), 0);
+    b.stop(0x2700);
+    h.load(b);
+    h.bus.poke32(5 * 4, b.labelAddr(handler));
+    h.run();
+    EXPECT_EQ(h.cpu.d(7), 99u);
+}
+
+TEST(CpuAlu, NegAndNot)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(5), dr(0));
+    b.neg(Size::L, dr(0));
+    b.move(Size::L, imm(0x0F0F0F0F), dr(1));
+    b.not_(Size::L, dr(1));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 0xFFFFFFFBu);
+    EXPECT_EQ(h.cpu.d(1), 0xF0F0F0F0u);
+}
+
+TEST(CpuAlu, ExtAndSwap)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(0x000000F0), dr(0));
+    b.ext(Size::W, 0); // byte F0 -> word FFF0
+    b.move(Size::L, imm(0x00008000), dr(1));
+    b.ext(Size::L, 1); // word 8000 -> long FFFF8000
+    b.move(Size::L, imm(0x12345678), dr(2));
+    b.swap(2);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0) & 0xFFFF, 0xFFF0u);
+    EXPECT_EQ(h.cpu.d(1), 0xFFFF8000u);
+    EXPECT_EQ(h.cpu.d(2), 0x56781234u);
+}
+
+TEST(CpuFlow, LoopWithDbra)
+{
+    // Sum 1..10 with a DBRA loop.
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.moveq(0, 0);       // sum
+    b.moveq(10, 1);      // value
+    b.moveq(9, 2);       // loop counter (10 iterations)
+    auto loop = b.hereLabel();
+    b.add(Size::L, dr(1), dr(0));
+    b.subq(Size::L, 1, dr(1));
+    b.dbra(2, loop);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 55u);
+}
+
+TEST(CpuFlow, BsrRtsNesting)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto sub1 = b.newLabel();
+    auto sub2 = b.newLabel();
+    auto done = b.newLabel();
+    b.moveq(0, 0);
+    b.bsr(sub1);
+    b.bra(done);
+    b.bind(sub1);
+    b.addq(Size::L, 1, dr(0));
+    b.bsr(sub2);
+    b.addq(Size::L, 1, dr(0));
+    b.rts();
+    b.bind(sub2);
+    b.addq(Size::L, 4, dr(0));
+    b.rts();
+    b.bind(done);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 6u);
+}
+
+TEST(CpuFlow, JsrThroughRegisterIndirect)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto target = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(target);
+    b.moveq(42, 6);
+    b.rts();
+    b.bind(main);
+    b.lea(abslbl(target), 0);
+    b.jsr(ind(0));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(6), 42u);
+}
+
+TEST(CpuFlow, ConditionalBranchTakenAndNot)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto skip = b.newLabel();
+    b.moveq(1, 0);
+    b.cmpi(Size::L, 1, dr(0));
+    b.bcc(Cond::EQ, skip);
+    b.moveq(111, 1); // skipped
+    b.bind(skip);
+    b.moveq(5, 2);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(1), 0u);
+    EXPECT_EQ(h.cpu.d(2), 5u);
+}
+
+TEST(CpuFlow, LinkUnlkFrame)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.link(6, -8);
+    b.move(Size::L, imm(0x1234), disp(6, -4));
+    b.move(Size::L, disp(6, -4), dr(0));
+    b.unlk(6);
+    b.stop(0x2700);
+    h.load(b);
+    u32 sp0 = h.cpu.a(7);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 0x1234u);
+    EXPECT_EQ(h.cpu.a(7), sp0); // balanced
+}
+
+TEST(CpuFlow, MovemPushPopRoundTrip)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(0x11), dr(2));
+    b.move(Size::L, imm(0x22), dr(3));
+    b.movea(Size::L, imm(0x7000), 2);
+    // push D2,D3,A2; clobber; pop
+    u16 mask = (1u << 2) | (1u << 3) | (1u << (8 + 2));
+    b.movemPush(mask);
+    b.moveq(0, 2);
+    b.moveq(0, 3);
+    b.movea(Size::L, imm(0), 2);
+    b.movemPop(mask);
+    b.stop(0x2700);
+    h.load(b);
+    u32 sp0 = h.cpu.a(7);
+    h.run();
+    EXPECT_EQ(h.cpu.d(2), 0x11u);
+    EXPECT_EQ(h.cpu.d(3), 0x22u);
+    EXPECT_EQ(h.cpu.a(2), 0x7000u);
+    EXPECT_EQ(h.cpu.a(7), sp0);
+}
+
+TEST(CpuTrap, TrapHookSeesSelector)
+{
+    CpuHarness h;
+    int seenTrap = -1;
+    u16 seenSel = 0;
+    h.cpu.setTrapHook([&](m68k::Cpu &, int n, u16 sel) {
+        seenTrap = n;
+        seenSel = sel;
+    });
+    auto b = test::codeAt();
+    auto handler = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(handler);
+    // Skip the selector word: pop return PC, add 2, push back.
+    b.move(Size::L, disp(7, 2), dr(0));
+    b.addq(Size::L, 2, dr(0));
+    b.move(Size::L, dr(0), disp(7, 2));
+    b.rte();
+    b.bind(main);
+    b.trapSel(15, 0xBEEF);
+    b.moveq(77, 5);
+    b.stop(0x2700);
+    h.load(b);
+    h.bus.poke32((32 + 15) * 4, b.labelAddr(handler));
+    h.run();
+    EXPECT_EQ(seenTrap, 15);
+    EXPECT_EQ(seenSel, 0xBEEF);
+    EXPECT_EQ(h.cpu.d(5), 77u); // resumed after the selector word
+}
+
+TEST(CpuTrap, IllegalInstructionVector)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto handler = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(handler);
+    b.moveq(13, 7);
+    b.stop(0x2700);
+    b.bind(main);
+    b.dcw(0x4AFC); // ILLEGAL
+    b.stop(0x2700);
+    h.load(b);
+    h.bus.poke32(4 * 4, b.labelAddr(handler));
+    h.run();
+    EXPECT_EQ(h.cpu.d(7), 13u);
+}
+
+TEST(CpuTrap, PrivilegeViolationFromUserMode)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto handler = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(handler);
+    b.moveq(21, 7);
+    b.stop(0x2700);
+    b.bind(main);
+    b.lea(absl(0x6000), 0);
+    b.moveUsp(0, true);            // USP = 0x6000
+    b.moveToSr(imm(0x0000));       // drop to user mode
+    b.oriToSr(0x0700);             // privileged: faults
+    b.stop(0x2700);                // never reached
+    h.load(b);
+    h.bus.poke32(8 * 4, b.labelAddr(handler));
+    h.run();
+    EXPECT_EQ(h.cpu.d(7), 21u);
+}
+
+TEST(CpuIrq, AutovectorInterruptWakesStop)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto isr = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(isr);
+    b.moveq(55, 6);
+    b.rte();
+    b.bind(main);
+    b.moveq(0, 6);
+    b.stop(0x2000); // wait for interrupt, mask 0
+    b.moveq(99, 5); // executed after ISR returns
+    b.stop(0x2700);
+    h.load(b);
+    h.bus.poke32((24 + 4) * 4, b.labelAddr(isr));
+    // Run until stopped, then raise IRQ level 4.
+    h.run();
+    EXPECT_TRUE(h.cpu.stopped());
+    h.cpu.setIrqLevel(4);
+    h.cpu.step(); // take the interrupt
+    h.cpu.setIrqLevel(0);
+    h.run();
+    EXPECT_EQ(h.cpu.d(6), 55u);
+    EXPECT_EQ(h.cpu.d(5), 99u);
+}
+
+TEST(CpuIrq, MaskedInterruptNotTaken)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.moveq(1, 0);
+    b.stop(0x2700); // mask 7
+    h.load(b);
+    h.run();
+    h.cpu.setIrqLevel(3);
+    h.cpu.step();
+    EXPECT_TRUE(h.cpu.stopped()); // level 3 < mask 7
+}
+
+TEST(CpuCycles, BusTransactionsDominateTiming)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.nop(); // one fetch: 4 cycles
+    b.stop(0x2700);
+    h.load(b);
+    Cycles c = h.cpu.step();
+    EXPECT_EQ(c, 4u);
+}
+
+TEST(CpuCycles, CyclesAccumulate)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    for (int i = 0; i < 10; ++i)
+        b.nop();
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_GE(h.cpu.totalCycles(), 40u);
+    EXPECT_EQ(h.cpu.instructionsRetired(), 11u);
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Disassembler tests: assembler/disassembler agreement on encodings
+ * emitted by CodeBuilder, plus a fuzz scan proving the decoder never
+ * gets stuck or over-reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "m68k/codebuilder.h"
+#include "m68k/disasm.h"
+#include "testutil.h"
+
+namespace pt
+{
+namespace
+{
+
+using m68k::CodeBuilder;
+using m68k::Cond;
+using m68k::disassemble;
+using m68k::Size;
+using namespace m68k::ops;
+
+/** Assembles one snippet and returns the first decoded line. */
+std::string
+decodeFirst(const std::function<void(CodeBuilder &)> &emit)
+{
+    test::FlatBus bus;
+    CodeBuilder b(0x1000);
+    emit(b);
+    bus.load(0x1000, b.finalize());
+    return disassemble(bus, 0x1000).text;
+}
+
+TEST(Disasm, DataMovement)
+{
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.move(Size::L, dr(1), dr(2));
+    }), "move.l d1,d2");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.move(Size::W, imm(0x1234), absl(0x2000));
+    }), "move.w #$1234,($2000).l");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.movea(Size::L, postinc(3), 4);
+    }), "movea.l (a3)+,a4");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.moveq(-2, 5); }),
+              "moveq #-2,d5");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.lea(disp(2, -8), 6);
+    }), "lea -8(a2),a6");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.pea(ind(0)); }),
+              "pea (a0)");
+}
+
+TEST(Disasm, Arithmetic)
+{
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.add(Size::W, dr(0), dr(1));
+    }), "add.w d0,d1");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.addi(Size::L, 100, dr(2));
+    }), "addi.l #$64,d2");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.subq(Size::W, 3, dr(4));
+    }), "subq.w #3,d4");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.mulu(dr(3), 5); }),
+              "mulu d3,d5");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.divu(dr(2), 6); }),
+              "divu d2,d6");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.cmpi(Size::B, 7, dr(0));
+    }), "cmpi.b #$7,d0");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.neg(Size::W, dr(1));
+    }), "neg.w d1");
+}
+
+TEST(Disasm, LogicAndShifts)
+{
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.and_(Size::L, dr(1), dr(0));
+    }), "and.l d1,d0");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.lsl(Size::W, 4, 3);
+    }), "lsl.w #4,d3");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.asr(Size::L, 1, 2);
+    }), "asr.l #1,d2");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.swap(6); }),
+              "swap d6");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.btst(3, dr(1));
+    }), "btst #3,d1");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.clr(Size::B, ind(2));
+    }), "clr.b (a2)");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.not_(Size::L, dr(7));
+    }), "not.l d7");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.tst(Size::W, dr(0));
+    }), "tst.w d0");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.ext(Size::L, 4);
+    }), "ext.l d4");
+}
+
+TEST(Disasm, ControlFlow)
+{
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.rts(); }), "rts");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.rte(); }), "rte");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.nop(); }), "nop");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.trap(15); }),
+              "trap #15");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.jsr(ind(0)); }),
+              "jsr (a0)");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.jmp(absl(0x4000));
+    }), "jmp ($4000).l");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.link(6, -12); }),
+              "link a6,#-12");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.unlk(6); }),
+              "unlk a6");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) { b.stop(0x2700); }),
+              "stop #$2700");
+    // Branch targets are resolved to absolute addresses.
+    std::string bra = decodeFirst([](CodeBuilder &b) {
+        auto l = b.newLabel();
+        b.bra(l);
+        b.bind(l);
+        b.nop();
+    });
+    EXPECT_EQ(bra, "bra $1004");
+    std::string beq = decodeFirst([](CodeBuilder &b) {
+        auto l = b.newLabel();
+        b.bcc(Cond::EQ, l);
+        b.bind(l);
+        b.nop();
+    });
+    EXPECT_EQ(beq, "beq $1004");
+    std::string dbra = decodeFirst([](CodeBuilder &b) {
+        auto l = b.hereLabel();
+        b.dbra(3, l);
+    });
+    EXPECT_EQ(dbra, "dbf d3,$1000");
+}
+
+TEST(Disasm, SystemInstructions)
+{
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.moveToSr(imm(0x2000));
+    }), "move #$2000,sr");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.moveFromSr(dr(0));
+    }), "move sr,d0");
+    EXPECT_EQ(decodeFirst([](CodeBuilder &b) {
+        b.moveUsp(3, true);
+    }), "move a3,usp");
+}
+
+TEST(Disasm, FuzzScanNeverSticksOrOverreads)
+{
+    test::FlatBus bus;
+    Rng rng(0xD15A);
+    for (Addr a = 0; a < 0x4000; ++a)
+        bus.poke8(a, static_cast<u8>(rng.next()));
+    Addr pc = 0;
+    int decoded = 0;
+    while (pc < 0x3F00) {
+        auto r = disassemble(bus, pc);
+        ASSERT_GE(r.length, 2u);
+        ASSERT_LE(r.length, 10u);
+        ASSERT_EQ(r.length % 2, 0u);
+        ASSERT_FALSE(r.text.empty());
+        pc += r.length;
+        ++decoded;
+    }
+    EXPECT_GT(decoded, 1000);
+}
+
+TEST(Disasm, WholeRomDecodes)
+{
+    // Every instruction the ROM builder emits must decode to
+    // something other than raw data words (data tables excepted).
+    test::FlatBus bus;
+    CodeBuilder b(0x1000);
+    auto sub = b.newLabel();
+    b.move(Size::L, imm(5), dr(0));
+    b.bsr(sub);
+    b.stop(0x2700);
+    b.bind(sub);
+    b.addq(Size::L, 1, dr(0));
+    b.rts();
+    bus.load(0x1000, b.finalize());
+    Addr pc = 0x1000;
+    std::vector<std::string> lines;
+    while (pc < 0x1000 + 18) {
+        auto r = disassemble(bus, pc);
+        lines.push_back(r.text);
+        pc += r.length;
+    }
+    ASSERT_GE(lines.size(), 5u);
+    EXPECT_EQ(lines[0].substr(0, 6), "move.l");
+    EXPECT_EQ(lines[1].substr(0, 3), "bsr");
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Additional MC68000 coverage: memory-form shifts/rotates, extend-bit
+ * rotates, NEGX chains, TRAPV, RTR, USP moves, nested interrupt
+ * priorities, CPU state save/load, and a random-soup robustness fuzz.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "m68k/codebuilder.h"
+#include "m68k/cpu.h"
+#include "testutil.h"
+
+namespace pt
+{
+namespace
+{
+
+using m68k::CodeBuilder;
+using m68k::Cond;
+using m68k::Size;
+using m68k::Sr;
+using test::CpuHarness;
+using namespace m68k::ops;
+
+TEST(CpuMemShift, WordShiftInMemoryByOne)
+{
+    CpuHarness h;
+    h.bus.poke16(0x2000, 0x8001);
+    auto b = test::codeAt();
+    // LSR $2000.w (memory form shifts by exactly one)
+    b.dcw(0xE2F9); // 1110 001 0 11 111001 = LSR.W abs.l
+    b.dcl(0x2000);
+    b.moveFromSr(absl(0xF00));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.bus.peek16(0x2000), 0x4000);
+    EXPECT_TRUE(h.bus.peek16(0xF00) & Sr::C); // bit 0 shifted out
+}
+
+TEST(CpuMemShift, AslMemorySetsOverflowOnSignChange)
+{
+    CpuHarness h;
+    h.bus.poke16(0x2000, 0x4000);
+    auto b = test::codeAt();
+    // ASL $2000.w
+    b.dcw(0xE1F9); // 1110 000 1 11 111001
+    b.dcl(0x2000);
+    b.moveFromSr(absl(0xF00));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.bus.peek16(0x2000), 0x8000);
+    EXPECT_TRUE(h.bus.peek16(0xF00) & Sr::V);
+}
+
+TEST(CpuRox, RotateThroughExtendUsesXBit)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(1), dr(0));
+    b.add(Size::L, dr(0), dr(0)); // clears X (no carry)
+    b.move(Size::L, imm(0x80000000), dr(1));
+    // ROXL.L #1,D1: with X=0, MSB goes to C/X, 0 enters bit 0.
+    b.dcw(0xE391); // 1110 001 1 10 0 10 001
+    b.move(Size::L, dr(1), dr(2));
+    // ROXL.L #1,D1 again: now X=1 enters bit 0.
+    b.dcw(0xE391);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(2), 0u); // first rotate: 0 entered
+    EXPECT_EQ(h.cpu.d(1), 1u); // second rotate: X=1 entered
+}
+
+TEST(CpuNegx, MultiPrecisionNegation)
+{
+    // Negate the 64-bit value 0x00000001_00000000: low NEG sets X=0
+    // (operand zero -> borrow clear? NEG 0 = 0 with C clear), so use
+    // a value with a nonzero low half instead: 0x00000001_00000002.
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(2), dr(0)); // low
+    b.move(Size::L, imm(1), dr(1)); // high
+    b.neg(Size::L, dr(0));          // low = -2, X=1
+    b.dcw(0x4081);                  // NEGX.L D1: high = 0 - 1 - X
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 0xFFFFFFFEu);
+    EXPECT_EQ(h.cpu.d(1), 0xFFFFFFFEu); // -(0x1_00000002) high word
+}
+
+TEST(CpuFlow, TrapvTrapsOnlyOnOverflow)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto handler = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(handler);
+    b.addq(Size::L, 1, dr(7));
+    b.rte();
+    b.bind(main);
+    b.moveq(0, 7);
+    b.move(Size::L, imm(1), dr(0));
+    b.addi(Size::L, 1, dr(0)); // no overflow
+    b.dcw(0x4E76);             // TRAPV: no trap
+    b.move(Size::L, imm(0x7FFFFFFF), dr(0));
+    b.addi(Size::L, 1, dr(0)); // overflow
+    b.dcw(0x4E76);             // TRAPV: trap
+    b.stop(0x2700);
+    h.load(b);
+    h.bus.poke32(7 * 4, b.labelAddr(handler));
+    h.run();
+    EXPECT_EQ(h.cpu.d(7), 1u);
+}
+
+TEST(CpuFlow, RtrRestoresCcrAndReturns)
+{
+    // RTR pops a CCR image and then the return PC. The subroutine
+    // pushes the CCR image itself, directly below the BSR return
+    // address, clobbers the live flags, and returns through RTR.
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto sub = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(sub);
+    b.move(Size::W, imm(Sr::N | Sr::X), predec(7)); // CCR image
+    b.moveq(0, 0);
+    b.tst(Size::L, dr(0)); // clobber: Z set
+    b.dcw(0x4E77);         // RTR: restore CCR image, return
+    b.bind(main);
+    b.bsr(sub);
+    b.moveFromSr(absl(0xF00));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    u16 ccr = h.bus.peek16(0xF00);
+    EXPECT_TRUE(ccr & Sr::N);
+    EXPECT_TRUE(ccr & Sr::X);
+    EXPECT_FALSE(ccr & Sr::Z);
+}
+
+TEST(CpuSystem, UspRoundTripThroughMoveUsp)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.lea(absl(0x7000), 0);
+    b.moveUsp(0, true);  // USP = A0
+    b.moveUsp(1, false); // A1 = USP
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.a(1), 0x7000u);
+    EXPECT_EQ(h.cpu.usp(), 0x7000u);
+}
+
+TEST(CpuSystem, HigherPriorityInterruptPreemptsLower)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto isr4 = b.newLabel();
+    auto isr6 = b.newLabel();
+    auto main = b.newLabel();
+    b.bra(main);
+    b.bind(isr4); // level 4: records order, spins a bit
+    b.move(Size::W, imm(4), absl(0xF10));
+    b.rte();
+    b.bind(isr6); // level 6
+    b.move(Size::W, imm(6), absl(0xF12));
+    b.rte();
+    b.bind(main);
+    b.stop(0x2000);
+    b.stop(0x2700);
+    h.load(b);
+    h.bus.poke32((24 + 4) * 4, b.labelAddr(isr4));
+    h.bus.poke32((24 + 6) * 4, b.labelAddr(isr6));
+    h.run();
+    // Level 6 asserted: taken even though level 4 also pending later.
+    h.cpu.setIrqLevel(6);
+    h.cpu.step();
+    h.cpu.setIrqLevel(0);
+    h.run();
+    EXPECT_EQ(h.bus.peek16(0xF12), 6u);
+    EXPECT_EQ(h.bus.peek16(0xF10), 0u);
+}
+
+TEST(CpuState, SaveLoadRoundTrip)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(0x11111111), dr(3));
+    b.movea(Size::L, imm(0x2222), 4);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    m68k::CpuState st = h.cpu.saveState();
+
+    CpuHarness h2;
+    h2.cpu.loadState(st);
+    EXPECT_EQ(h2.cpu.d(3), 0x11111111u);
+    EXPECT_EQ(h2.cpu.a(4), 0x2222u);
+    EXPECT_EQ(h2.cpu.pc(), h.cpu.pc());
+    EXPECT_EQ(h2.cpu.sr(), h.cpu.sr());
+    EXPECT_TRUE(h2.cpu.stopped());
+    EXPECT_EQ(h2.cpu.totalCycles(), h.cpu.totalCycles());
+}
+
+TEST(CpuFuzz, RandomSoupNeverHangsTheHost)
+{
+    // Fill memory with random words, install catch-all vectors that
+    // halt, and step a bounded number of times. The CPU must remain
+    // well-defined: every step returns nonzero cycles, and the run
+    // either halts or keeps making progress.
+    for (u64 seed : {1ull, 2ull, 3ull, 99ull}) {
+        CpuHarness h;
+        Rng rng(seed);
+        for (Addr a = 0x1000; a < 0x9000; a += 2)
+            h.bus.poke16(a, static_cast<u16>(rng.next()));
+        // Vectors: everything points at a STOP instruction.
+        h.bus.poke16(0xE00, 0x4E72); // STOP #...
+        h.bus.poke16(0xE02, 0x2700);
+        for (int v = 2; v < 64; ++v)
+            h.bus.poke32(static_cast<Addr>(v) * 4, 0xE00);
+        h.cpu.reset();
+        u64 steps = 0;
+        while (steps < 200'000 && !h.cpu.stopped() &&
+               !h.cpu.halted()) {
+            Cycles c = h.cpu.step();
+            ASSERT_GT(c, 0u);
+            ++steps;
+        }
+        SUCCEED();
+    }
+}
+
+TEST(CpuBcdMem, AbcdPredecrementMemoryForm)
+{
+    // Multi-byte packed-decimal addition, lowest byte first, exactly
+    // how 68k BCD arithmetic was meant to be chained.
+    CpuHarness h;
+    h.bus.poke8(0x2000, 0x12); // high byte of 1234
+    h.bus.poke8(0x2001, 0x34);
+    h.bus.poke8(0x3000, 0x08); // high byte of 0877
+    h.bus.poke8(0x3001, 0x77);
+    auto b = test::codeAt();
+    b.movea(Size::L, imm(0x2002), 0); // one past the low bytes
+    b.movea(Size::L, imm(0x3002), 1);
+    b.andiToSr(static_cast<u16>(~Sr::X & 0xFFFF));
+    // ABCD -(A1),-(A0) twice: low byte then high byte with carry.
+    b.dcw(0xC109);
+    b.dcw(0xC109);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    // 1234 + 0877 = 2111.
+    EXPECT_EQ(h.bus.peek8(0x2000), 0x21);
+    EXPECT_EQ(h.bus.peek8(0x2001), 0x11);
+}
+
+TEST(CpuBcdMem, SbcdPredecrementMemoryForm)
+{
+    CpuHarness h;
+    h.bus.poke8(0x2000, 0x21);
+    h.bus.poke8(0x2001, 0x11);
+    h.bus.poke8(0x3000, 0x08);
+    h.bus.poke8(0x3001, 0x77);
+    auto b = test::codeAt();
+    b.movea(Size::L, imm(0x2002), 0);
+    b.movea(Size::L, imm(0x3002), 1);
+    b.andiToSr(static_cast<u16>(~Sr::X & 0xFFFF));
+    // SBCD -(A1),-(A0) twice: 2111 - 0877 = 1234.
+    b.dcw(0x8109);
+    b.dcw(0x8109);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.bus.peek8(0x2000), 0x12);
+    EXPECT_EQ(h.bus.peek8(0x2001), 0x34);
+}
+
+TEST(CpuMisc, MoveToCcrLeavesSupervisorBitsAlone)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    b.move(Size::L, imm(Sr::X | Sr::N), dr(0));
+    // MOVE D0,CCR
+    b.dcw(0x44C0);
+    b.moveFromSr(absl(0xF00));
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    u16 sr = h.bus.peek16(0xF00);
+    EXPECT_TRUE(sr & Sr::N);
+    EXPECT_TRUE(sr & Sr::X);
+    EXPECT_TRUE(sr & Sr::S); // supervisor untouched by CCR move
+}
+
+TEST(CpuMisc, CmpaComparesFullAddressWidth)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto lower = b.newLabel();
+    b.movea(Size::L, imm(0x00010000), 0);
+    b.moveq(0, 0);
+    b.cmpa(Size::L, imm(0x00020000), 0); // A0 - imm: lower
+    b.bcc(Cond::CS, lower);
+    b.moveq(1, 0);
+    b.bind(lower);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 0u); // branch taken: A0 < 0x20000
+}
+
+TEST(CpuMisc, CmpaWordSourceSignExtends)
+{
+    CpuHarness h;
+    auto b = test::codeAt();
+    auto eq = b.newLabel();
+    b.movea(Size::L, imm(0xFFFF8000), 0);
+    b.moveq(0, 0);
+    b.cmpa(Size::W, imm(0x8000), 0); // sign-extends to 0xFFFF8000
+    b.bcc(Cond::EQ, eq);
+    b.moveq(1, 0);
+    b.bind(eq);
+    b.stop(0x2700);
+    h.load(b);
+    h.run();
+    EXPECT_EQ(h.cpu.d(0), 0u);
+}
+
+} // namespace
+} // namespace pt

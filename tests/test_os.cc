@@ -1,0 +1,312 @@
+/**
+ * @file
+ * PilotOS integration tests: boot, trap dispatch, event flow through
+ * the hardware input path, database activity from the applications,
+ * and whole-system determinism.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+#include "device/snapshot.h"
+#include "os/guestmem.h"
+#include "os/pilotos.h"
+
+namespace pt
+{
+namespace
+{
+
+using device::Btn;
+using device::Device;
+using device::Snapshot;
+using os::DbView;
+using os::GuestHeap;
+using os::listDatabases;
+
+/** Boots a provisioned device and tracks guest debug output. */
+struct OsFixture
+{
+    OsFixture()
+    {
+        dev.io().setDebugSink(
+            [this](char c) { debugOut.push_back(c); });
+        syms = os::setupDevice(dev);
+    }
+
+    /** Presses and releases a hardware button. */
+    void
+    pressButton(u16 bit)
+    {
+        dev.io().buttonsSet(bit);
+        dev.runUntilIdle();
+        dev.io().buttonsSet(0);
+        dev.runUntilIdle();
+    }
+
+    /** Performs a pen stroke over @p ticks system ticks. */
+    void
+    stroke(u16 x0, u16 y0, u16 x1, u16 y1, Ticks ticks)
+    {
+        dev.io().penTouch(x0, y0);
+        Ticks start = dev.ticks();
+        for (Ticks t = 0; t <= ticks; t += 2) {
+            u16 x = static_cast<u16>(x0 + (x1 - x0) * t / ticks);
+            u16 y = static_cast<u16>(y0 + (y1 - y0) * t / ticks);
+            dev.io().penMoveTo(x, y);
+            dev.runUntilTick(start + t);
+        }
+        dev.io().penRelease();
+        dev.runUntilTick(start + ticks + 6);
+        dev.runUntilIdle();
+    }
+
+    /** Taps the screen at (x, y). */
+    void
+    tap(u16 x, u16 y)
+    {
+        dev.io().penTouch(x, y);
+        dev.runUntilTick(dev.ticks() + 4);
+        dev.io().penRelease();
+        dev.runUntilTick(dev.ticks() + 6);
+        dev.runUntilIdle();
+    }
+
+    const DbView *
+    findDb(const std::vector<DbView> &dbs, const std::string &name)
+    {
+        for (const auto &d : dbs)
+            if (d.name == name)
+                return &d;
+        return nullptr;
+    }
+
+    Device dev;
+    os::RomSymbols syms;
+    std::string debugOut;
+};
+
+TEST(OsBoot, ReachesLauncherIdle)
+{
+    OsFixture f;
+    EXPECT_FALSE(f.dev.halted());
+    EXPECT_TRUE(f.dev.idle());
+    EXPECT_EQ(f.debugOut, ""); // no '?' (bad selector) or 'H' (halt)
+}
+
+TEST(OsBoot, LaunchDbListsAllApps)
+{
+    OsFixture f;
+    auto dbs = listDatabases(f.dev.bus());
+    const DbView *launch = f.findDb(dbs, os::kLaunchDbName);
+    ASSERT_NE(launch, nullptr);
+    EXPECT_EQ(launch->records.size(), 4u);
+    // Each record is {creator u32, code ptr u32}.
+    for (const auto &r : launch->records)
+        EXPECT_EQ(r.size, 8u);
+}
+
+TEST(OsBoot, AppDatabasesPresentWithBackupBit)
+{
+    OsFixture f;
+    auto dbs = listDatabases(f.dev.bus());
+    for (const char *name :
+         {"Launcher", "MemoPad", "Puzzle", "Datebook"}) {
+        const DbView *db = f.findDb(dbs, name);
+        ASSERT_NE(db, nullptr) << name;
+        EXPECT_TRUE(db->attrs & os::Db::AttrExecutable);
+        EXPECT_TRUE(db->attrs & os::Db::AttrBackup);
+        EXPECT_EQ(db->records.size(), 1u); // the code resource
+        EXPECT_GT(db->records[0].size, 50u);
+    }
+}
+
+TEST(OsLauncher, TapConsumesRandomAndStaysUp)
+{
+    OsFixture f;
+    u32 seedBefore = f.dev.bus().peek32(os::Lay::GRandSeed);
+    f.tap(80, 80);
+    EXPECT_FALSE(f.dev.halted());
+    EXPECT_EQ(f.debugOut, "");
+    u32 seedAfter = f.dev.bus().peek32(os::Lay::GRandSeed);
+    EXPECT_NE(seedBefore, seedAfter); // SysRandom advanced the seed
+}
+
+TEST(OsMemo, AppButtonSwitchesAndCreatesMemoDb)
+{
+    OsFixture f;
+    auto before = listDatabases(f.dev.bus());
+    EXPECT_EQ(f.findDb(before, "MemoDB"), nullptr);
+    f.pressButton(Btn::App2); // switch to MemoPad
+    EXPECT_FALSE(f.dev.halted());
+    auto after = listDatabases(f.dev.bus());
+    ASSERT_NE(f.findDb(after, "MemoDB"), nullptr);
+    EXPECT_EQ(f.debugOut, "");
+}
+
+TEST(OsMemo, StrokeAppendsRecordWithPointCount)
+{
+    OsFixture f;
+    f.pressButton(Btn::App2);
+    f.stroke(20, 30, 120, 100, 40); // ~21 samples over 40 ticks
+    auto dbs = listDatabases(f.dev.bus());
+    const DbView *memo = f.findDb(dbs, "MemoDB");
+    ASSERT_NE(memo, nullptr);
+    ASSERT_EQ(memo->records.size(), 1u);
+    ASSERT_EQ(memo->records[0].size, 8u);
+    u16 points = static_cast<u16>((memo->records[0].data[0] << 8) |
+                                  memo->records[0].data[1]);
+    EXPECT_GE(points, 15u);
+    EXPECT_LE(points, 25u);
+}
+
+TEST(OsMemo, MultipleStrokesMultipleRecords)
+{
+    OsFixture f;
+    f.pressButton(Btn::App2);
+    f.stroke(10, 10, 50, 50, 20);
+    f.stroke(60, 60, 100, 100, 20);
+    f.stroke(20, 120, 140, 30, 30);
+    auto dbs = listDatabases(f.dev.bus());
+    const DbView *memo = f.findDb(dbs, "MemoDB");
+    ASSERT_NE(memo, nullptr);
+    EXPECT_EQ(memo->records.size(), 3u);
+}
+
+TEST(OsPuzzle, LaunchCreatesShuffledBoard)
+{
+    OsFixture f;
+    f.pressButton(Btn::App3); // Puzzle
+    EXPECT_FALSE(f.dev.halted());
+    auto dbs = listDatabases(f.dev.bus());
+    const DbView *pz = f.findDb(dbs, "PuzzleDB");
+    ASSERT_NE(pz, nullptr);
+    ASSERT_EQ(pz->records.size(), 1u);
+    ASSERT_EQ(pz->records[0].size, 16u);
+    // The board is a permutation of 0..15.
+    bool seen[16] = {};
+    for (u8 v : pz->records[0].data) {
+        ASSERT_LT(v, 16);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+    EXPECT_EQ(f.debugOut, "");
+}
+
+TEST(OsPuzzle, TapsSlideTiles)
+{
+    OsFixture f;
+    f.pressButton(Btn::App3);
+    auto boardOf = [&] {
+        auto dbs = listDatabases(f.dev.bus());
+        const DbView *pz = f.findDb(dbs, "PuzzleDB");
+        return pz->records[0].data;
+    };
+    auto before = boardOf();
+    // Tap every cell once; at least one tap must be adjacent to the
+    // blank and thus change the board.
+    for (int cy = 0; cy < 4; ++cy)
+        for (int cx = 0; cx < 4; ++cx)
+            f.tap(static_cast<u16>(cx * 40 + 20),
+                  static_cast<u16>(cy * 40 + 20));
+    auto after = boardOf();
+    EXPECT_NE(before, after);
+    EXPECT_FALSE(f.dev.halted());
+    // Still a permutation.
+    bool seen[16] = {};
+    for (u8 v : after) {
+        ASSERT_LT(v, 16);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(OsSwitching, RoundTripThroughAllApps)
+{
+    OsFixture f;
+    f.pressButton(Btn::App2); // memo
+    f.pressButton(Btn::App3); // puzzle
+    f.pressButton(Btn::App1); // launcher
+    f.pressButton(Btn::App2); // memo again
+    f.stroke(40, 40, 80, 80, 20);
+    EXPECT_FALSE(f.dev.halted());
+    EXPECT_EQ(f.debugOut, "");
+    auto dbs = listDatabases(f.dev.bus());
+    EXPECT_NE(f.findDb(dbs, "MemoDB"), nullptr);
+    EXPECT_NE(f.findDb(dbs, "PuzzleDB"), nullptr);
+}
+
+TEST(OsHeap, HostAndGuestAllocatorsAgree)
+{
+    // Host-side allocations must leave the heap walkable and the
+    // guest must keep functioning afterwards.
+    OsFixture f;
+    GuestHeap heap(f.dev.bus());
+    auto s0 = heap.stats();
+    Addr p = heap.chunkNew(100);
+    ASSERT_NE(p, 0u);
+    auto s1 = heap.stats();
+    EXPECT_EQ(s1.usedChunks, s0.usedChunks + 1);
+    heap.chunkFree(p);
+    auto s2 = heap.stats();
+    EXPECT_EQ(s2.usedChunks, s0.usedChunks);
+    // The guest still runs: create MemoDB via the app.
+    f.pressButton(Btn::App2);
+    EXPECT_FALSE(f.dev.halted());
+}
+
+TEST(OsDeterminism, IdenticalSessionsIdenticalFingerprints)
+{
+    auto runSession = [] {
+        OsFixture f;
+        f.pressButton(Btn::App2);
+        f.stroke(20, 30, 120, 100, 40);
+        f.pressButton(Btn::App3);
+        f.tap(60, 60);
+        return Snapshot::capture(f.dev).fingerprint();
+    };
+    EXPECT_EQ(runSession(), runSession());
+}
+
+TEST(OsIdle, NilEventsPollKeyCurrentState)
+{
+    OsFixture f;
+    f.pressButton(Btn::App2); // memo polls on 50-tick timeouts
+    u32 nil0 = f.dev.bus().peek32(os::Lay::GNilEvtCount);
+    f.dev.runUntilTick(f.dev.ticks() + 500); // ~10 timeouts
+    u32 nil1 = f.dev.bus().peek32(os::Lay::GNilEvtCount);
+    EXPECT_GE(nil1 - nil0, 8u);
+    EXPECT_LE(nil1 - nil0, 12u);
+}
+
+TEST(OsDatebook, TapsCreateRtcStampedAppointments)
+{
+    OsFixture f;
+    f.pressButton(Btn::App4); // Datebook
+    EXPECT_FALSE(f.dev.halted());
+    f.tap(40, 60);
+    f.dev.runUntilTick(f.dev.ticks() + 200); // two seconds pass
+    f.tap(40, 120);
+    auto dbs = listDatabases(f.dev.bus());
+    const DbView *db = f.findDb(dbs, "DatebookDB");
+    ASSERT_NE(db, nullptr);
+    ASSERT_EQ(db->records.size(), 2u);
+    auto rtcOf = [](const os::DbRecordView &r) {
+        return (static_cast<u32>(r.data[0]) << 24) |
+               (r.data[1] << 16) | (r.data[2] << 8) | r.data[3];
+    };
+    u32 t0 = rtcOf(db->records[0]);
+    u32 t1 = rtcOf(db->records[1]);
+    EXPECT_GT(t0, 3'000'000'000u); // seconds since 1904 (year ~2004)
+    EXPECT_GE(t1, t0 + 1);         // the second tap is later
+    // The y coordinate selects the time slot.
+    u16 slot0 = static_cast<u16>((db->records[0].data[4] << 8) |
+                                 db->records[0].data[5]);
+    EXPECT_EQ(slot0, 60u);
+    EXPECT_EQ(f.debugOut, "");
+}
+
+} // namespace
+} // namespace pt

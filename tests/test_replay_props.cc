@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Replay property tests: for many session seeds and shapes, the
+ * deterministic state machine model must hold — the replayed log
+ * correlates with the original and the final states agree up to the
+ * paper's benign differences. Also covers replay-engine options
+ * (settle, empty logs, seed-queue underrun accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/palmsim.h"
+#include "validate/correlate.h"
+
+namespace pt
+{
+namespace
+{
+
+using core::PalmSimulator;
+using core::ReplayConfig;
+using core::ReplayResult;
+using core::Session;
+
+/** Session-shape axis for the property sweep. */
+struct SweepCase
+{
+    u64 seed;
+    u32 interactions;
+    Ticks idle;
+    double beamWeight;
+};
+
+class ReplayFidelity : public testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(ReplayFidelity, LogAndStateCorrelate)
+{
+    const auto &p = GetParam();
+    workload::UserModelConfig cfg;
+    cfg.seed = p.seed;
+    cfg.interactions = p.interactions;
+    cfg.meanIdleTicks = p.idle;
+    cfg.beamWeight = p.beamWeight;
+
+    Session s = PalmSimulator::collect(cfg);
+    ASSERT_GT(s.log.records.size(), 5u);
+
+    ReplayResult r = PalmSimulator::replaySession(s);
+    auto logCorr = validate::correlateLogs(s.log, r.emulatedLog);
+    EXPECT_TRUE(logCorr.pass()) << logCorr.report();
+
+    device::SnapshotBus a(s.finalState);
+    device::SnapshotBus b(r.finalState);
+    auto stateCorr = validate::correlateStates(os::listDatabases(a),
+                                               os::listDatabases(b));
+    EXPECT_TRUE(stateCorr.pass()) << stateCorr.report();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ReplayFidelity,
+    testing::Values(SweepCase{11, 5, 2'000, 0.0},
+                    SweepCase{12, 5, 2'000, 0.0},
+                    SweepCase{13, 8, 1'000, 0.0},
+                    SweepCase{14, 8, 20'000, 0.0},
+                    SweepCase{15, 4, 500, 0.0},
+                    SweepCase{16, 6, 5'000, 0.3},
+                    SweepCase{17, 10, 3'000, 0.15},
+                    SweepCase{18, 3, 100'000, 0.0}),
+    [](const testing::TestParamInfo<SweepCase> &info) {
+        return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(ReplayOptionsTest, EmptyLogIsANoOp)
+{
+    Session s;
+    {
+        PalmSimulator sim;
+        sim.beginCollection();
+        s = sim.endCollection(); // no user activity at all
+    }
+    EXPECT_TRUE(s.log.records.empty());
+    ReplayResult r = PalmSimulator::replaySession(s);
+    EXPECT_EQ(r.replayStats.penEventsInjected, 0u);
+    EXPECT_EQ(r.replayStats.keyEventsInjected, 0u);
+    // The final states still correlate (both just booted + idled).
+    device::SnapshotBus a(s.finalState);
+    device::SnapshotBus b(r.finalState);
+    auto corr = validate::correlateStates(os::listDatabases(a),
+                                          os::listDatabases(b));
+    EXPECT_TRUE(corr.pass()) << corr.report();
+}
+
+TEST(ReplayOptionsTest, StatsCountInjections)
+{
+    workload::UserModelConfig cfg;
+    cfg.seed = 21;
+    cfg.interactions = 6;
+    cfg.meanIdleTicks = 2'000;
+    Session s = PalmSimulator::collect(cfg);
+    ReplayResult r = PalmSimulator::replaySession(s);
+    EXPECT_EQ(r.replayStats.penEventsInjected,
+              s.log.countOf(hacks::LogType::PenPoint));
+    EXPECT_EQ(r.replayStats.keyEventsInjected,
+              s.log.countOf(hacks::LogType::Key));
+    EXPECT_GE(r.replayStats.keyStateOverrides,
+              s.log.countOf(hacks::LogType::KeyState));
+    // The last scheduled event may be the synthetic key release two
+    // ticks after the last logged record.
+    EXPECT_GE(r.replayStats.lastEventTick, s.log.records.back().tick);
+    EXPECT_LE(r.replayStats.lastEventTick,
+              s.log.records.back().tick + 2);
+}
+
+TEST(ReplayOptionsTest, SettleExtendsTheRun)
+{
+    workload::UserModelConfig cfg;
+    cfg.seed = 22;
+    cfg.interactions = 3;
+    cfg.meanIdleTicks = 1'000;
+    Session s = PalmSimulator::collect(cfg);
+
+    ReplayConfig shortSettle;
+    shortSettle.options.settleTicks = 10;
+    ReplayConfig longSettle;
+    longSettle.options.settleTicks = 5'000;
+    ReplayResult r1 = PalmSimulator::replaySession(s, shortSettle);
+    ReplayResult r2 = PalmSimulator::replaySession(s, longSettle);
+    // More settle time means at least as many cycles elapsed.
+    EXPECT_GT(r2.cycles, r1.cycles);
+    // But the guest is idle either way, so the databases agree.
+    device::SnapshotBus a(r1.finalState);
+    device::SnapshotBus b(r2.finalState);
+    auto corr = validate::correlateStates(os::listDatabases(a),
+                                          os::listDatabases(b));
+    EXPECT_TRUE(corr.pass()) << corr.report();
+}
+
+TEST(ReplayOptionsTest, TruncatedLogsReplaySafely)
+{
+    // Truncating a log mid-session (a crashed collection, say) must
+    // still replay cleanly: the injected counts match the truncated
+    // content and no queue accounting goes negative.
+    workload::UserModelConfig cfg;
+    cfg.seed = 23;
+    cfg.interactions = 8;
+    cfg.meanIdleTicks = 1'500;
+    Session s = PalmSimulator::collect(cfg);
+    ASSERT_GT(s.log.records.size(), 10u);
+
+    Session cut = s;
+    cut.log.records.resize(s.log.records.size() / 2);
+
+    ReplayResult r = PalmSimulator::replaySession(cut);
+    EXPECT_EQ(r.replayStats.penEventsInjected,
+              cut.log.countOf(hacks::LogType::PenPoint));
+    EXPECT_EQ(r.replayStats.keyEventsInjected,
+              cut.log.countOf(hacks::LogType::Key));
+    u64 queued = 0;
+    for (const auto &rec : cut.log.records)
+        if (rec.type == hacks::LogType::Random && rec.extra != 0)
+            ++queued;
+    EXPECT_LE(r.replayStats.seedsApplied, queued);
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the serial/IrDA extension (the paper's §5.1 future work):
+ * UART FIFO semantics, the guest receive path into the BeamInbox
+ * database, the sixth collection hack, and collect-replay fidelity
+ * for sessions containing beams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/palmsim.h"
+#include "hacks/hackmgr.h"
+#include "os/guestmem.h"
+#include "os/pilotos.h"
+#include "validate/correlate.h"
+
+namespace pt
+{
+namespace
+{
+
+using device::Btn;
+using device::Device;
+using hacks::LogType;
+
+TEST(SerialFifo, RegisterSemantics)
+{
+    Device dev;
+    auto &io = dev.io();
+    EXPECT_EQ(io.readReg(device::Reg::SerData), 0u); // empty
+    io.serialInject(0x41);
+    io.serialInject(0x42);
+    EXPECT_EQ(io.serialPending(), 2u);
+    EXPECT_TRUE(io.activeIrqs() & device::Irq::Serial);
+    EXPECT_EQ(io.irqLevel(), 3);
+    EXPECT_EQ(io.readReg(device::Reg::SerData), 0x141u);
+    EXPECT_EQ(io.readReg(device::Reg::SerData), 0x142u);
+    // Drained: valid bit clear, interrupt dropped.
+    EXPECT_EQ(io.readReg(device::Reg::SerData), 0u);
+    EXPECT_FALSE(io.activeIrqs() & device::Irq::Serial);
+}
+
+TEST(SerialFifo, HigherPrioritySourcesWin)
+{
+    Device dev;
+    dev.io().serialInject(0x10);
+    EXPECT_EQ(dev.io().irqLevel(), 3);
+    dev.io().buttonsSet(Btn::App1);
+    EXPECT_EQ(dev.io().irqLevel(), 4); // button outranks serial
+}
+
+struct SerialFixture
+{
+    SerialFixture()
+    {
+        syms = os::setupDevice(dev);
+    }
+
+    void
+    pressButton(u16 bit)
+    {
+        dev.io().buttonsSet(bit);
+        dev.runUntilIdle();
+        dev.io().buttonsSet(0);
+        dev.runUntilIdle();
+    }
+
+    void
+    beamBytes(std::initializer_list<u8> bytes)
+    {
+        for (u8 b : bytes) {
+            dev.io().serialInject(b);
+            dev.runUntilTick(dev.ticks() + 1);
+            dev.runUntilIdle();
+        }
+    }
+
+    Device dev;
+    os::RomSymbols syms;
+};
+
+TEST(SerialGuest, BeamedBytesLandInBeamInbox)
+{
+    SerialFixture f;
+    f.pressButton(Btn::App2); // memo handles serial events
+    f.beamBytes({'H', 'i', '!'});
+    f.dev.runUntilIdle();
+
+    os::GuestHeap heap(f.dev.bus());
+    Addr db = heap.findDatabase("BeamInbox");
+    ASSERT_NE(db, 0u);
+    auto view = os::parseDatabase(f.dev.bus(), db);
+    ASSERT_EQ(view.records.size(), 3u);
+    EXPECT_EQ(view.records[0].data[0] << 8 | view.records[0].data[1],
+              'H');
+    EXPECT_EQ(view.records[2].data[0] << 8 | view.records[2].data[1],
+              '!');
+    EXPECT_FALSE(f.dev.halted());
+}
+
+TEST(SerialGuest, IgnoredOutsideMemo)
+{
+    // The launcher drops serial events; nothing crashes and no
+    // BeamInbox appears.
+    SerialFixture f;
+    f.beamBytes({1, 2, 3});
+    os::GuestHeap heap(f.dev.bus());
+    EXPECT_EQ(heap.findDatabase("BeamInbox"), 0u);
+    EXPECT_FALSE(f.dev.halted());
+}
+
+TEST(SerialHack, ReceptionsAreLogged)
+{
+    SerialFixture f;
+    hacks::HackManager mgr(f.dev, f.syms);
+    mgr.installCollectionHacks();
+    f.pressButton(Btn::App2);
+    f.beamBytes({0xAA, 0xBB});
+    trace::ActivityLog log = trace::ActivityLog::extract(f.dev.bus());
+    ASSERT_EQ(log.countOf(LogType::Serial), 2u);
+    std::vector<u16> bytes;
+    for (const auto &r : log.records)
+        if (r.type == LogType::Serial)
+            bytes.push_back(r.data);
+    EXPECT_EQ(bytes, (std::vector<u16>{0xAA, 0xBB}));
+}
+
+TEST(SerialReplay, BeamSessionsReplayFaithfully)
+{
+    workload::UserModelConfig cfg;
+    cfg.seed = 777;
+    cfg.interactions = 6;
+    cfg.meanIdleTicks = 3'000;
+    cfg.beamWeight = 0.35; // exercise the extension heavily
+    cfg.strokeWeight = 0.25;
+    cfg.tapWeight = 0.20;
+    cfg.appSwitchWeight = 0.10;
+    cfg.scrollHoldWeight = 0.10;
+
+    core::Session s = core::PalmSimulator::collect(cfg);
+    if (s.log.countOf(LogType::Serial) == 0)
+        GTEST_SKIP() << "session rolled no beams";
+
+    core::ReplayResult r = core::PalmSimulator::replaySession(s);
+    EXPECT_EQ(r.replayStats.serialBytesInjected,
+              s.log.countOf(LogType::Serial));
+
+    auto logCorr = validate::correlateLogs(s.log, r.emulatedLog);
+    EXPECT_TRUE(logCorr.pass()) << logCorr.report();
+
+    device::SnapshotBus a(s.finalState);
+    device::SnapshotBus b(r.finalState);
+    auto stateCorr = validate::correlateStates(os::listDatabases(a),
+                                               os::listDatabases(b));
+    EXPECT_TRUE(stateCorr.pass()) << stateCorr.report();
+}
+
+TEST(SerialReplay, DeterministicWithBeams)
+{
+    workload::UserModelConfig cfg;
+    cfg.seed = 778;
+    cfg.interactions = 4;
+    cfg.meanIdleTicks = 2'000;
+    cfg.beamWeight = 0.5;
+    core::Session s = core::PalmSimulator::collect(cfg);
+    core::ReplayResult r1 = core::PalmSimulator::replaySession(s);
+    core::ReplayResult r2 = core::PalmSimulator::replaySession(s);
+    EXPECT_EQ(r1.finalState.fingerprint(),
+              r2.finalState.fingerprint());
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Trace-module tests: Dinero format round-trips and parsing edge
+ * cases, trace buffers, tee sinks, reference counters, and the opcode
+ * histogram/grouping.
+ */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "m68k/codebuilder.h"
+#include "trace/dinero.h"
+#include "trace/energy.h"
+#include "trace/memtrace.h"
+
+namespace pt
+{
+namespace
+{
+
+using trace::DinLabel;
+using trace::OpcodeHistogram;
+using trace::RefCounter;
+using trace::TeeSink;
+using trace::TraceBuffer;
+
+TEST(Dinero, ParsesClassicFormat)
+{
+    const char *text =
+        "# a comment\n"
+        "2 400100\n"
+        "0 10aB4\n"
+        "1 7fff0000\n"
+        "\n"
+        "bogus line\n"
+        "2 400104\n";
+    std::vector<std::pair<Addr, u8>> out;
+    s64 n = trace::readDineroText(
+        text, [&](Addr a, u8 l) { out.push_back({a, l}); });
+    ASSERT_EQ(n, 4);
+    EXPECT_EQ(out[0], (std::pair<Addr, u8>{0x400100, DinLabel::Fetch}));
+    EXPECT_EQ(out[1], (std::pair<Addr, u8>{0x10AB4, DinLabel::Read}));
+    EXPECT_EQ(out[2],
+              (std::pair<Addr, u8>{0x7FFF0000, DinLabel::Write}));
+    EXPECT_EQ(out[3], (std::pair<Addr, u8>{0x400104, DinLabel::Fetch}));
+}
+
+TEST(Dinero, RejectsBadLabels)
+{
+    s64 n = trace::readDineroText("7 1234\n-1 10\n",
+                                  [](Addr, u8) { FAIL(); });
+    EXPECT_EQ(n, 0);
+}
+
+TEST(Dinero, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/pt_din_test.din";
+    {
+        trace::DineroWriter w(path);
+        ASSERT_TRUE(w.ok());
+        w.emit(0x1000, DinLabel::Fetch);
+        w.emit(0x2004, DinLabel::Read);
+        w.emit(0x3008, DinLabel::Write);
+        EXPECT_EQ(w.count(), 3u);
+    }
+    std::vector<Addr> addrs;
+    s64 n = trace::readDineroFile(
+        path, [&](Addr a, u8) { addrs.push_back(a); });
+    EXPECT_EQ(n, 3);
+    EXPECT_EQ(addrs, (std::vector<Addr>{0x1000, 0x2004, 0x3008}));
+    std::remove(path.c_str());
+}
+
+TEST(Dinero, MissingFileReturnsError)
+{
+    s64 n = trace::readDineroFile("/nonexistent/trace.din",
+                                  [](Addr, u8) {});
+    EXPECT_EQ(n, -1);
+}
+
+TEST(RefCounterTest, SplitsByClassAndKind)
+{
+    RefCounter c;
+    c.onRef(0x100, m68k::AccessKind::Fetch, device::RefClass::Ram);
+    c.onRef(0x100, m68k::AccessKind::Write, device::RefClass::Ram);
+    c.onRef(0x10C00000, m68k::AccessKind::Fetch,
+            device::RefClass::Flash);
+    c.onRef(0x10C00000, m68k::AccessKind::Read,
+            device::RefClass::Flash);
+    c.onRef(0xFFFFF000, m68k::AccessKind::Read,
+            device::RefClass::Mmio); // not counted
+    EXPECT_EQ(c.ramRefs(), 2u);
+    EXPECT_EQ(c.flashRefs(), 2u);
+    EXPECT_EQ(c.totalRefs(), 4u);
+    EXPECT_EQ(c.ramFetch, 1u);
+    EXPECT_EQ(c.ramWrite, 1u);
+    EXPECT_EQ(c.flashFetch, 1u);
+    EXPECT_EQ(c.flashRead, 1u);
+    EXPECT_DOUBLE_EQ(c.flashFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(c.avgMemCycles(), 2.0); // (1+3)/2
+}
+
+TEST(TraceBufferTest, CapacityBoundsAndDropCount)
+{
+    TraceBuffer buf(3);
+    for (int i = 0; i < 5; ++i)
+        buf.onRef(static_cast<Addr>(i), m68k::AccessKind::Read,
+                  device::RefClass::Ram);
+    EXPECT_EQ(buf.records().size(), 3u);
+    EXPECT_EQ(buf.droppedCount(), 2u);
+}
+
+TEST(TraceBufferTest, FileRoundTrip)
+{
+    TraceBuffer buf;
+    buf.onRef(0x1234, m68k::AccessKind::Fetch, device::RefClass::Ram);
+    buf.onRef(0x10C00010, m68k::AccessKind::Write,
+              device::RefClass::Flash);
+    std::string path = testing::TempDir() + "/pt_trace_test.bin";
+    ASSERT_TRUE(buf.save(path));
+    TraceBuffer back;
+    ASSERT_TRUE(TraceBuffer::load(path, back));
+    ASSERT_EQ(back.records().size(), 2u);
+    EXPECT_EQ(back.records()[0].addr, 0x1234u);
+    EXPECT_EQ(back.records()[0].cls, 0);
+    EXPECT_EQ(back.records()[1].addr, 0x10C00010u);
+    EXPECT_EQ(back.records()[1].cls, 1);
+    std::remove(path.c_str());
+}
+
+TEST(TeeSinkTest, FansOut)
+{
+    RefCounter a, b;
+    TeeSink tee;
+    tee.add(&a);
+    tee.add(&b);
+    tee.onRef(0x100, m68k::AccessKind::Read, device::RefClass::Ram);
+    EXPECT_EQ(a.ramRefs(), 1u);
+    EXPECT_EQ(b.ramRefs(), 1u);
+}
+
+TEST(OpcodeHistogramTest, CountsAndGroups)
+{
+    OpcodeHistogram h;
+    h.onOpcode(0x4E71, 0); // nop
+    h.onOpcode(0x4E71, 2);
+    h.onOpcode(0x2040, 4); // movea.l d0,a0
+    EXPECT_EQ(h.totalOpcodes(), 3u);
+    EXPECT_EQ(h.count(0x4E71), 2u);
+    auto groups = h.byGroup();
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].first, "nop");
+    EXPECT_EQ(groups[0].second, 2u);
+    EXPECT_EQ(groups[1].first, "movea");
+}
+
+TEST(OpcodeGroupTest, ClassifiesRepresentativeOpcodes)
+{
+    EXPECT_EQ(trace::opcodeGroup(0x4E75), "rts");
+    EXPECT_EQ(trace::opcodeGroup(0x4E40), "trap");
+    EXPECT_EQ(trace::opcodeGroup(0x6000), "bra");
+    EXPECT_EQ(trace::opcodeGroup(0x6100), "bsr");
+    EXPECT_EQ(trace::opcodeGroup(0x6700), "bcc");
+    EXPECT_EQ(trace::opcodeGroup(0x7001), "moveq");
+    EXPECT_EQ(trace::opcodeGroup(0xD081), "add");
+    EXPECT_EQ(trace::opcodeGroup(0x9081), "sub");
+    EXPECT_EQ(trace::opcodeGroup(0xC0C1), "mul");
+    EXPECT_EQ(trace::opcodeGroup(0x80C1), "div");
+    EXPECT_EQ(trace::opcodeGroup(0xE348), "shift");
+    EXPECT_EQ(trace::opcodeGroup(0x51C8), "dbcc");
+    EXPECT_EQ(trace::opcodeGroup(0x5280), "addq");
+    EXPECT_EQ(trace::opcodeGroup(0x0C40), "cmpi");
+}
+
+TEST(InstrEnergy, ClassifiesRepresentativeOpcodes)
+{
+    using trace::classifyOpcode;
+    using trace::InstrClass;
+    EXPECT_EQ(classifyOpcode(0x2040), InstrClass::Move);   // movea
+    EXPECT_EQ(classifyOpcode(0x7001), InstrClass::Move);   // moveq
+    EXPECT_EQ(classifyOpcode(0xD081), InstrClass::Alu);    // add.l
+    EXPECT_EQ(classifyOpcode(0x0640), InstrClass::Alu);    // addi.w
+    EXPECT_EQ(classifyOpcode(0xC0C1), InstrClass::MulDiv); // mulu
+    EXPECT_EQ(classifyOpcode(0x80C1), InstrClass::MulDiv); // divu
+    EXPECT_EQ(classifyOpcode(0xE348), InstrClass::Shift);  // lsl
+    EXPECT_EQ(classifyOpcode(0x6700), InstrClass::Branch); // beq
+    EXPECT_EQ(classifyOpcode(0x51C8), InstrClass::Branch); // dbf
+    EXPECT_EQ(classifyOpcode(0x4E75), InstrClass::Control);// rts
+    EXPECT_EQ(classifyOpcode(0x4E4F), InstrClass::Control);// trap
+    EXPECT_EQ(classifyOpcode(0x41C0), InstrClass::Move);   // lea
+    EXPECT_EQ(classifyOpcode(0x4E71), InstrClass::Misc);   // nop
+}
+
+TEST(InstrEnergy, ChargesPerClass)
+{
+    trace::InstructionEnergyModel m;
+    for (int i = 0; i < 1000; ++i)
+        m.onOpcode(0xD081, 0); // alu: 1.0 nJ each
+    m.onOpcode(0x80C1, 0);     // one divu: 9.0 nJ
+    EXPECT_EQ(m.totalInstructions(), 1001u);
+    EXPECT_NEAR(m.totalMj(), (1000 * 1.0 + 9.0) * 1e-6, 1e-12);
+    auto rows = m.breakdown();
+    double shareSum = 0;
+    for (const auto &r : rows)
+        shareSum += r.share;
+    EXPECT_NEAR(shareSum, 1.0, 1e-9);
+}
+
+TEST(InstrEnergy, ClassEnergyOverride)
+{
+    trace::InstructionEnergyModel m;
+    m.setClassEnergy(trace::InstrClass::Alu, 5.0);
+    m.onOpcode(0xD081, 0);
+    EXPECT_NEAR(m.totalMj(), 5.0e-6, 1e-15);
+}
+
+} // namespace
+} // namespace pt

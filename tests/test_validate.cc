@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the validation correlators on synthetic inputs: the
+ * log correlator's matching, lag and burst accounting, and the
+ * final-state correlator's benign/significant classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hacks/logformat.h"
+#include "validate/correlate.h"
+
+namespace pt
+{
+namespace
+{
+
+using hacks::LogType;
+using trace::ActivityLog;
+using trace::LogRecord;
+using validate::correlateLogs;
+using validate::correlateStates;
+using validate::DiffClass;
+
+LogRecord
+pen(Ticks tick, u16 x, u16 y, bool down)
+{
+    LogRecord r;
+    r.tick = tick;
+    r.rtc = tick / 100;
+    r.type = LogType::PenPoint;
+    r.data = down ? 1 : 0;
+    r.extra = (static_cast<u32>(x) << 16) | y;
+    r.isLong = true;
+    return r;
+}
+
+LogRecord
+key(Ticks tick, u16 code)
+{
+    LogRecord r;
+    r.tick = tick;
+    r.type = LogType::Key;
+    r.data = code;
+    return r;
+}
+
+TEST(LogCorrelator, PerfectReplayPasses)
+{
+    ActivityLog a, b;
+    a.records = {pen(10, 5, 6, true), pen(12, 7, 8, true),
+                 pen(14, 7, 8, false), key(30, 8)};
+    b.records = a.records;
+    auto c = correlateLogs(a, b);
+    EXPECT_TRUE(c.pass());
+    EXPECT_EQ(c.matchedEvents, 4u);
+    EXPECT_EQ(c.maxTickLag, 0);
+}
+
+TEST(LogCorrelator, SmallLagAllowedLargeLagFlagged)
+{
+    ActivityLog a, b;
+    a.records = {pen(10, 5, 6, true), key(30, 8)};
+    b.records = {pen(25, 5, 6, true), key(80, 8)};
+    auto c = correlateLogs(a, b);
+    EXPECT_EQ(c.payloadMismatches, 0u);
+    EXPECT_EQ(c.maxTickLag, 50);
+    EXPECT_EQ(c.lagOver20Ticks, 1u); // only the key at +50
+    EXPECT_FALSE(c.pass());
+}
+
+TEST(LogCorrelator, PayloadMismatchDetected)
+{
+    ActivityLog a, b;
+    a.records = {pen(10, 5, 6, true)};
+    b.records = {pen(10, 5, 7, true)}; // wrong y
+    auto c = correlateLogs(a, b);
+    EXPECT_EQ(c.payloadMismatches, 1u);
+    EXPECT_FALSE(c.pass());
+}
+
+TEST(LogCorrelator, MissingAndExtraCounted)
+{
+    ActivityLog a, b;
+    a.records = {key(10, 1), key(20, 2), key(30, 4)};
+    b.records = {key(10, 1)};
+    auto c = correlateLogs(a, b);
+    EXPECT_EQ(c.missingEvents, 2u);
+    EXPECT_FALSE(c.pass());
+
+    auto c2 = correlateLogs(b, a);
+    EXPECT_EQ(c2.extraEvents, 2u);
+    EXPECT_TRUE(c2.pass()); // extra trailing events are tolerated
+}
+
+TEST(LogCorrelator, ReportMentionsVerdict)
+{
+    ActivityLog a, b;
+    a.records = {key(10, 1)};
+    b.records = {key(10, 1)};
+    EXPECT_NE(correlateLogs(a, b).report().find("[PASS]"),
+              std::string::npos);
+}
+
+os::DbView
+makeDb(const std::string &name, u32 created, u32 modified,
+       std::vector<std::vector<u8>> recs)
+{
+    os::DbView v;
+    v.name = name;
+    v.attrs = 0x8;
+    v.type = 0x64617461;
+    v.creator = 0x74657374;
+    v.creationDate = created;
+    v.modDate = modified;
+    v.backupDate = created;
+    for (auto &r : recs) {
+        os::DbRecordView rec;
+        rec.size = static_cast<u16>(r.size());
+        rec.data = std::move(r);
+        v.records.push_back(std::move(rec));
+    }
+    return v;
+}
+
+TEST(StateCorrelator, IdenticalStatesPass)
+{
+    auto a = makeDb("MemoDB", 100, 200, {{1, 2, 3}});
+    auto corr = correlateStates({a}, {a});
+    EXPECT_TRUE(corr.pass());
+    EXPECT_TRUE(corr.diffs.empty());
+    EXPECT_EQ(corr.databasesCompared, 1u);
+}
+
+TEST(StateCorrelator, DateDifferencesAreBenign)
+{
+    // The paper's exact observation: creation/backup dates zero on
+    // the emulated side because the databases were imported.
+    auto handheld = makeDb("MemoDB", 100, 200, {{1, 2, 3}});
+    auto emulated = makeDb("MemoDB", 0, 0, {{1, 2, 3}});
+    emulated.backupDate = 0;
+    auto corr = correlateStates({handheld}, {emulated});
+    EXPECT_TRUE(corr.pass()) << corr.report();
+    EXPECT_EQ(corr.diffs.size(), 3u);
+    for (const auto &d : corr.diffs)
+        EXPECT_EQ(d.cls, DiffClass::DateField);
+}
+
+TEST(StateCorrelator, RecordDataDifferenceIsSignificant)
+{
+    auto a = makeDb("MemoDB", 100, 200, {{1, 2, 3}});
+    auto b = makeDb("MemoDB", 100, 200, {{1, 2, 9}});
+    auto corr = correlateStates({a}, {b});
+    EXPECT_FALSE(corr.pass());
+    ASSERT_EQ(corr.significantDiffs(), 1u);
+    EXPECT_EQ(corr.diffs[0].cls, DiffClass::RecordData);
+}
+
+TEST(StateCorrelator, PsysLaunchDbDifferencesAreBenign)
+{
+    // "The few single byte differences between the records of the two
+    // databases are ... attributed to the procedure of loading
+    // databases into the simulator" (§3.4).
+    auto a = makeDb(os::kLaunchDbName, 100, 200, {{1, 2, 3}});
+    auto b = makeDb(os::kLaunchDbName, 100, 200, {{1, 2, 9}});
+    auto corr = correlateStates({a}, {b});
+    EXPECT_TRUE(corr.pass()) << corr.report();
+    ASSERT_EQ(corr.diffs.size(), 1u);
+    EXPECT_EQ(corr.diffs[0].cls, DiffClass::PsysLaunchDb);
+}
+
+TEST(StateCorrelator, MissingDatabaseIsSignificant)
+{
+    auto a = makeDb("MemoDB", 1, 1, {});
+    auto corr = correlateStates({a}, {});
+    EXPECT_FALSE(corr.pass());
+    EXPECT_EQ(corr.diffs[0].cls, DiffClass::MissingDb);
+    auto corr2 = correlateStates({}, {a});
+    EXPECT_FALSE(corr2.pass());
+}
+
+TEST(StateCorrelator, StructuralDifferenceIsSignificant)
+{
+    auto a = makeDb("MemoDB", 1, 1, {{1, 2}});
+    auto b = makeDb("MemoDB", 1, 1, {{1, 2}, {3, 4}});
+    auto corr = correlateStates({a}, {b});
+    EXPECT_FALSE(corr.pass());
+    bool sawStructural = false;
+    for (const auto &d : corr.diffs)
+        if (d.cls == DiffClass::Structural)
+            sawStructural = true;
+    EXPECT_TRUE(sawStructural);
+}
+
+} // namespace
+} // namespace pt

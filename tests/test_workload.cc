@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Workload tests: synthetic user determinism and session shape, and
+ * the desktop trace generator's determinism and locality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "device/snapshot.h"
+#include "os/pilotos.h"
+#include "workload/desktoptrace.h"
+#include "workload/usermodel.h"
+
+namespace pt
+{
+namespace
+{
+
+using workload::DesktopTraceConfig;
+using workload::DesktopTraceGen;
+using workload::UserModel;
+using workload::UserModelConfig;
+
+UserModelConfig
+tinySession(u64 seed)
+{
+    UserModelConfig cfg;
+    cfg.seed = seed;
+    cfg.interactions = 4;
+    cfg.meanIdleTicks = 2000;
+    cfg.meanThinkTicks = 100;
+    cfg.meanBurstActions = 3;
+    return cfg;
+}
+
+TEST(UserModelTest, DeterministicForSeed)
+{
+    auto run = [](u64 seed) {
+        device::Device dev;
+        os::setupDevice(dev);
+        UserModel user(dev, tinySession(seed));
+        user.runSession();
+        return device::Snapshot::capture(dev).fingerprint();
+    };
+    EXPECT_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(UserModelTest, PerformsAllActionKinds)
+{
+    device::Device dev;
+    os::setupDevice(dev);
+    UserModelConfig cfg = tinySession(11);
+    cfg.interactions = 20;
+    UserModel user(dev, cfg);
+    auto stats = user.runSession();
+    EXPECT_GT(stats.strokes, 0u);
+    EXPECT_GT(stats.taps, 0u);
+    EXPECT_GT(stats.appSwitches, 0u);
+    EXPECT_GT(stats.scrollHolds, 0u);
+    EXPECT_GT(stats.elapsedTicks, 1000u);
+    EXPECT_FALSE(dev.halted());
+}
+
+TEST(UserModelTest, IdleGapsDominateElapsedTime)
+{
+    device::Device dev;
+    os::setupDevice(dev);
+    UserModelConfig cfg = tinySession(13);
+    cfg.interactions = 10;
+    cfg.meanIdleTicks = 50'000;
+    UserModel user(dev, cfg);
+    auto stats = user.runSession();
+    // ~10 x 50k idle ticks; instructions should be tiny relative to
+    // elapsed cycles (the device dozes).
+    EXPECT_GT(stats.elapsedTicks, 100'000u);
+    u64 busyCycles = dev.instructionsRetired() * 4;
+    EXPECT_LT(busyCycles, dev.nowCycles() / 10);
+}
+
+TEST(UserModelTest, Table1PresetsAreDistinct)
+{
+    const auto *presets = workload::table1Presets();
+    std::set<u64> seeds;
+    for (int i = 0; i < workload::kTable1SessionCount; ++i) {
+        seeds.insert(presets[i].config.seed);
+        EXPECT_GT(presets[i].config.interactions, 0u);
+    }
+    EXPECT_EQ(seeds.size(), 4u);
+}
+
+TEST(DesktopTrace, DeterministicForSeed)
+{
+    auto checksum = [](u64 seed) {
+        DesktopTraceConfig cfg;
+        cfg.seed = seed;
+        cfg.refs = 50'000;
+        DesktopTraceGen gen(cfg);
+        u64 h = 0;
+        gen.generate([&](Addr a, u8 k) { h = h * 31 + a + k; });
+        return h;
+    };
+    EXPECT_EQ(checksum(3), checksum(3));
+    EXPECT_NE(checksum(3), checksum(4));
+}
+
+TEST(DesktopTrace, EmitsRequestedCountAndMix)
+{
+    DesktopTraceConfig cfg;
+    cfg.refs = 100'000;
+    DesktopTraceGen gen(cfg);
+    u64 fetches = 0, reads = 0, writes = 0;
+    gen.generate([&](Addr, u8 k) {
+        if (k == workload::DesktopRef::Fetch)
+            ++fetches;
+        else if (k == workload::DesktopRef::Read)
+            ++reads;
+        else
+            ++writes;
+    });
+    EXPECT_EQ(fetches + reads + writes, cfg.refs);
+    double ff = static_cast<double>(fetches) / cfg.refs;
+    EXPECT_NEAR(ff, cfg.fetchFraction, 0.02);
+}
+
+TEST(DesktopTrace, ExhibitsCacheFriendlyLocality)
+{
+    // A bigger cache must do much better — the working set is finite.
+    cache::Cache small(
+        {.sizeBytes = 256, .lineBytes = 16, .assoc = 1});
+    cache::Cache large(
+        {.sizeBytes = 16384, .lineBytes = 32, .assoc = 4});
+    DesktopTraceConfig cfg;
+    cfg.refs = 500'000;
+    DesktopTraceGen gen(cfg);
+    gen.generate([&](Addr a, u8) {
+        small.access(a, false);
+        large.access(a, false);
+    });
+    EXPECT_GT(small.stats().missRate(), 0.05);
+    EXPECT_LT(large.stats().missRate(),
+              small.stats().missRate() / 2.0);
+    EXPECT_LT(large.stats().missRate(), 0.25);
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * The palmtrace command-line driver.
+ *
+ * Subcommands cover the paper's whole workflow on session artifacts
+ * saved as <base>.init.snap / <base>.log / <base>.final.snap:
+ *
+ *   palmtrace collect --out BASE [--seed N] [--interactions N]
+ *                     [--idle TICKS] [--beams]
+ *       synthesize a volunteer session and save its artifacts
+ *
+ *   palmtrace info BASE
+ *       summarize a saved session (log mix, timestamps, states)
+ *
+ *   palmtrace replay BASE [--import] [--jitter N]
+ *       replay with profiling; print reference and timing measurements
+ *
+ *   palmtrace validate BASE [--import]
+ *       run the paper's two-fold validation and print both reports
+ *
+ *   palmtrace sweep BASE [--csv]
+ *       the §4 case study: 56-configuration miss rates and Eq 2 times
+ *
+ *   palmtrace disasm [--count N]
+ *       disassemble the front of the PilotOS ROM (sanity/debugging)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/logging.h"
+#include "base/table.h"
+#include "cache/cache.h"
+#include "core/palmsim.h"
+#include "m68k/disasm.h"
+#include "validate/correlate.h"
+
+namespace
+{
+
+using namespace pt;
+
+/** Tiny argv scanner. */
+struct Args
+{
+    int argc;
+    char **argv;
+
+    const char *
+    value(const char *flag, const char *fallback = nullptr) const
+    {
+        for (int i = 0; i + 1 < argc; ++i)
+            if (!std::strcmp(argv[i], flag))
+                return argv[i + 1];
+        return fallback;
+    }
+
+    bool
+    has(const char *flag) const
+    {
+        for (int i = 0; i < argc; ++i)
+            if (!std::strcmp(argv[i], flag))
+                return true;
+        return false;
+    }
+
+    /** First non-flag operand after the subcommand. */
+    const char *
+    operand() const
+    {
+        for (int i = 0; i < argc; ++i) {
+            if (argv[i][0] == '-') {
+                if (value(argv[i]) == argv[i + 1])
+                    ++i; // skip the flag's value
+                continue;
+            }
+            return argv[i];
+        }
+        return nullptr;
+    }
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: palmtrace <collect|info|replay|validate|sweep|disasm>"
+        " [options]\n"
+        "see the file header of tools/palmtrace_cli.cc for details\n");
+    return 2;
+}
+
+int
+cmdCollect(const Args &a)
+{
+    const char *out = a.value("--out");
+    if (!out) {
+        std::fprintf(stderr, "collect: --out BASE is required\n");
+        return 2;
+    }
+    workload::UserModelConfig cfg;
+    cfg.seed = std::strtoull(a.value("--seed", "1"), nullptr, 0);
+    cfg.interactions = static_cast<u32>(
+        std::strtoul(a.value("--interactions", "12"), nullptr, 0));
+    cfg.meanIdleTicks = static_cast<Ticks>(
+        std::strtoul(a.value("--idle", "30000"), nullptr, 0));
+    if (a.has("--beams"))
+        cfg.beamWeight = 0.2;
+
+    core::PalmSimulator sim;
+    sim.beginCollection();
+    auto stats = sim.runUser(cfg);
+    core::Session s = sim.endCollection();
+    if (!s.save(out)) {
+        std::fprintf(stderr, "collect: cannot write %s.*\n", out);
+        return 1;
+    }
+    std::printf("session saved to %s.{init.snap,log,final.snap}\n",
+                out);
+    std::printf("%zu log records; user did %u strokes, %u taps, "
+                "%u switches, %u scrolls, %u beams over %.1f min\n",
+                s.log.records.size(), stats.strokes, stats.taps,
+                stats.appSwitches, stats.scrollHolds, stats.beams,
+                static_cast<double>(stats.elapsedTicks) / 6000.0);
+    return 0;
+}
+
+bool
+loadSession(const Args &a, core::Session &s)
+{
+    const char *base = a.operand();
+    if (!base) {
+        std::fprintf(stderr, "missing session BASE operand\n");
+        return false;
+    }
+    if (!core::Session::load(base, s)) {
+        std::fprintf(stderr, "cannot load session '%s'\n", base);
+        return false;
+    }
+    return true;
+}
+
+int
+cmdInfo(const Args &a)
+{
+    core::Session s;
+    if (!loadSession(a, s))
+        return 1;
+    TextTable t("Session summary");
+    t.setHeader({"Quantity", "Value"});
+    t.addRow({"log records", std::to_string(s.log.records.size())});
+    t.addRow({"pen points",
+              std::to_string(s.log.countOf(hacks::LogType::PenPoint))});
+    t.addRow({"key events",
+              std::to_string(s.log.countOf(hacks::LogType::Key))});
+    t.addRow({"key-state polls",
+              std::to_string(s.log.countOf(hacks::LogType::KeyState))});
+    t.addRow({"notifies",
+              std::to_string(s.log.countOf(hacks::LogType::Notify))});
+    t.addRow({"random calls",
+              std::to_string(s.log.countOf(hacks::LogType::Random))});
+    t.addRow({"serial bytes",
+              std::to_string(s.log.countOf(hacks::LogType::Serial))});
+    if (!s.log.records.empty()) {
+        t.addRow({"first tick",
+                  std::to_string(s.log.records.front().tick)});
+        t.addRow({"last tick",
+                  std::to_string(s.log.records.back().tick)});
+        t.addRow({"elapsed",
+                  TextTable::hms(s.log.records.back().tick /
+                                 kTicksPerSecond)});
+    }
+    device::SnapshotBus bus(s.finalState);
+    t.addRow({"databases (final)",
+              std::to_string(os::listDatabases(bus).size())});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Args &a)
+{
+    core::Session s;
+    if (!loadSession(a, s))
+        return 1;
+    core::ReplayConfig cfg;
+    cfg.logicalImportMode = a.has("--import");
+    cfg.options.burstJitterTicks = static_cast<Ticks>(
+        std::strtoul(a.value("--jitter", "0"), nullptr, 0));
+    core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("cycles        %llu (%.2f s guest time)\n",
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<double>(r.cycles) / kCpuHz);
+    std::printf("RAM refs      %llu\n",
+                static_cast<unsigned long long>(r.refs.ramRefs()));
+    std::printf("flash refs    %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(r.refs.flashRefs()),
+                r.refs.flashFraction() * 100.0);
+    std::printf("T_eff (Eq 3)  %.3f cycles (no cache)\n",
+                r.refs.avgMemCycles());
+    std::printf("events        %llu pen, %llu key, %llu serial; "
+                "%llu key-state overrides, %llu seeds\n",
+                static_cast<unsigned long long>(
+                    r.replayStats.penEventsInjected),
+                static_cast<unsigned long long>(
+                    r.replayStats.keyEventsInjected),
+                static_cast<unsigned long long>(
+                    r.replayStats.serialBytesInjected),
+                static_cast<unsigned long long>(
+                    r.replayStats.keyStateOverrides),
+                static_cast<unsigned long long>(
+                    r.replayStats.seedsApplied));
+    return 0;
+}
+
+int
+cmdValidate(const Args &a)
+{
+    core::Session s;
+    if (!loadSession(a, s))
+        return 1;
+    core::ReplayConfig cfg;
+    cfg.logicalImportMode = a.has("--import");
+    core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
+
+    auto logCorr = validate::correlateLogs(s.log, r.emulatedLog);
+    std::printf("%s\n", logCorr.report().c_str());
+    device::SnapshotBus handheld(s.finalState);
+    device::SnapshotBus emulated(r.finalState);
+    auto stateCorr = validate::correlateStates(
+        os::listDatabases(handheld), os::listDatabases(emulated));
+    std::printf("%s\n", stateCorr.report().c_str());
+    return logCorr.pass() && stateCorr.pass() ? 0 : 1;
+}
+
+/** Cache sweep sink. */
+class SweepSink : public device::MemRefSink
+{
+  public:
+    explicit SweepSink(cache::CacheSweep &s)
+        : sweep(s)
+    {}
+
+    void
+    onRef(Addr addr, m68k::AccessKind,
+          device::RefClass cls) override
+    {
+        if (cls == device::RefClass::Ram)
+            sweep.feed(addr, false);
+        else if (cls == device::RefClass::Flash)
+            sweep.feed(addr, true);
+    }
+
+  private:
+    cache::CacheSweep &sweep;
+};
+
+int
+cmdSweep(const Args &a)
+{
+    core::Session s;
+    if (!loadSession(a, s))
+        return 1;
+    cache::CacheSweep sweep(cache::CacheSweep::paper56());
+    SweepSink sink(sweep);
+    core::ReplayConfig cfg;
+    cfg.extraRefSink = &sink;
+    core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
+
+    TextTable t("56-configuration sweep (miss rate %, T_eff cycles)");
+    t.setHeader({"Config", "Miss rate", "T_eff", "vs no cache"});
+    double base = r.refs.avgMemCycles();
+    for (const auto &c : sweep.caches()) {
+        double teff = c.stats().avgAccessTimePaper();
+        t.addRow({c.config().name(),
+                  TextTable::percent(c.stats().missRate(), 3),
+                  TextTable::num(teff, 3),
+                  TextTable::percent(1.0 - teff / base, 1)});
+    }
+    if (a.has("--csv"))
+        std::printf("%s", t.renderCsv().c_str());
+    else
+        std::printf("%s\nno-cache baseline: %.3f cycles\n",
+                    t.render().c_str(), base);
+    return 0;
+}
+
+int
+cmdDisasm(const Args &a)
+{
+    u32 count = static_cast<u32>(
+        std::strtoul(a.value("--count", "40"), nullptr, 0));
+    os::RomImage rom = os::buildRom();
+    device::Device dev;
+    dev.bus().loadRom(rom.bytes);
+    std::printf("PilotOS ROM @ 0x%08X (boot 0x%08X, dispatcher "
+                "0x%08X)\n\n",
+                device::kRomBase, rom.syms.boot, rom.syms.dispatcher);
+    Addr pc = rom.syms.dispatcher;
+    for (u32 i = 0; i < count; ++i) {
+        auto d = m68k::disassemble(dev.bus(), pc);
+        std::printf("  %08X  %s\n", pc, d.text.c_str());
+        pc += d.length;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    setLogQuiet(true);
+    Args rest{argc - 2, argv + 2};
+    std::string cmd = argv[1];
+    if (cmd == "collect")
+        return cmdCollect(rest);
+    if (cmd == "info")
+        return cmdInfo(rest);
+    if (cmd == "replay")
+        return cmdReplay(rest);
+    if (cmd == "validate")
+        return cmdValidate(rest);
+    if (cmd == "sweep")
+        return cmdSweep(rest);
+    if (cmd == "disasm")
+        return cmdDisasm(rest);
+    return usage();
+}
