@@ -15,6 +15,7 @@
 #include "base/table.h"
 #include "bench/benchutil.h"
 #include "core/palmsim.h"
+#include "fault/faultplan.h"
 #include "validate/correlate.h"
 
 namespace
@@ -136,5 +137,45 @@ main(int argc, char **argv)
     bench::expect("final states correlate",
                   "only date-field / psysLaunchDB differences",
                   allPass ? "only benign diffs" : "FAILURES", allPass);
+
+    // Divergence-recovery check: drop one delivery from workload 1's
+    // replay and let the self-recovering engine repair it. The final
+    // state must come back bit-identical to a clean recovering run.
+    {
+        const core::Session &s = sessions[0];
+        core::ReplayConfig cleanCfg;
+        cleanCfg.options.recover = true;
+        core::ReplayResult clean =
+            core::PalmSimulator::replaySession(s, cleanCfg);
+
+        fault::ScriptedReplayFaults faults;
+        faults.dropOnceAtAttempt(0);
+        core::ReplayConfig faultCfg;
+        faultCfg.options.recover = true;
+        faultCfg.options.faultHook = &faults;
+        core::ReplayResult repaired =
+            core::PalmSimulator::replaySession(s, faultCfg);
+
+        const auto &st = repaired.replayStats;
+        bool bitExact = repaired.finalState.fingerprint() ==
+                        clean.finalState.fingerprint();
+        bool recovered = bitExact && st.divergencesDetected >= 1 &&
+                         st.recoveryRewinds >= 1 &&
+                         st.recordsSkipped == 0;
+        std::printf("\n  divergence recovery: %llu fault(s) injected, "
+                    "%llu divergence(s), %llu rewind(s), %llu "
+                    "record(s) skipped\n",
+                    static_cast<unsigned long long>(st.faultsInjected),
+                    static_cast<unsigned long long>(
+                        st.divergencesDetected),
+                    static_cast<unsigned long long>(st.recoveryRewinds),
+                    static_cast<unsigned long long>(st.recordsSkipped));
+        bench::expect("dropped record repaired by rewind",
+                      "deterministic replay (bit-exact state)",
+                      bitExact ? "bit-exact after recovery"
+                               : "STATE DIVERGED",
+                      recovered);
+        allPass = allPass && recovered;
+    }
     return allPass ? 0 : 1;
 }

@@ -1,0 +1,131 @@
+#include "artifact.h"
+
+#include "binio.h"
+#include "fnv.h"
+
+namespace pt::artifact
+{
+
+namespace
+{
+
+std::string
+hex32(u32 v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08X", v);
+    return buf;
+}
+
+std::string
+hex64(u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llX",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+u32
+readLe32(const std::vector<u8> &b, std::size_t at)
+{
+    return static_cast<u32>(b[at]) | (static_cast<u32>(b[at + 1]) << 8) |
+           (static_cast<u32>(b[at + 2]) << 16) |
+           (static_cast<u32>(b[at + 3]) << 24);
+}
+
+u64
+readLe64(const std::vector<u8> &b, std::size_t at)
+{
+    return static_cast<u64>(readLe32(b, at)) |
+           (static_cast<u64>(readLe32(b, at + 4)) << 32);
+}
+
+} // namespace
+
+const char *
+magicName(u32 magic)
+{
+    switch (magic) {
+      case kLogMagic:
+        return "activity log";
+      case kSnapshotMagic:
+        return "snapshot";
+      case kCheckpointMagic:
+        return "checkpoint";
+      default:
+        return "unknown";
+    }
+}
+
+std::vector<u8>
+frame(u32 magic, const std::vector<u8> &payload)
+{
+    BinWriter w;
+    w.put32(magic);
+    w.put32(kFramedVersion);
+    w.put64(payload.size());
+    w.put64(fnv64(payload.data(), payload.size()));
+    w.putBytes(payload.data(), payload.size());
+    return w.takeBytes();
+}
+
+LoadResult
+unframe(const std::vector<u8> &file, u32 magic, FrameInfo &out)
+{
+    if (file.size() < 8) {
+        return LoadResult::fail(
+            0, "header",
+            "file too short for an artifact header (" +
+                std::to_string(file.size()) + " bytes)");
+    }
+    u32 gotMagic = readLe32(file, 0);
+    if (gotMagic != magic) {
+        return LoadResult::fail(0, "magic",
+                                "expected " + hex32(magic) + " (" +
+                                    magicName(magic) + "), found " +
+                                    hex32(gotMagic));
+    }
+    u32 version = readLe32(file, 4);
+    if (version == kLegacyVersion) {
+        out.version = version;
+        out.checksummed = false;
+        out.payloadOffset = 8;
+        out.payloadLen = file.size() - 8;
+        return {};
+    }
+    if (version != kFramedVersion) {
+        return LoadResult::fail(4, "version",
+                                "unsupported format version " +
+                                    std::to_string(version));
+    }
+    if (file.size() < 24) {
+        return LoadResult::fail(
+            8, "header",
+            "file too short for a v2 integrity header (" +
+                std::to_string(file.size()) + " bytes)");
+    }
+    u64 payloadLen = readLe64(file, 8);
+    if (payloadLen != file.size() - 24) {
+        return LoadResult::fail(
+            8, "payloadLen",
+            "header says " + std::to_string(payloadLen) +
+                " payload bytes but the file holds " +
+                std::to_string(file.size() - 24));
+    }
+    u64 stored = readLe64(file, 16);
+    u64 computed = fnv64(file.data() + 24, payloadLen);
+    if (stored != computed) {
+        return LoadResult::fail(16, "payloadFnv",
+                                "checksum mismatch: stored " +
+                                    hex64(stored) + ", computed " +
+                                    hex64(computed));
+    }
+    out.version = version;
+    out.checksummed = true;
+    out.payloadOffset = 24;
+    out.payloadLen = payloadLen;
+    return {};
+}
+
+} // namespace pt::artifact

@@ -1,28 +1,64 @@
 #include "binio.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 namespace pt
 {
 
-bool
-BinWriter::writeFile(const std::string &path) const
+namespace
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-    std::size_t n = buf.empty()
-        ? 0 : std::fwrite(buf.data(), 1, buf.size(), f);
-    std::fclose(f);
-    return n == buf.size();
-}
 
 bool
+writeFailed(std::string *errOut, const std::string &step,
+            const std::string &path)
+{
+    if (errOut) {
+        *errOut = step + " " + path + ": " +
+                  std::strerror(errno ? errno : EIO);
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+BinWriter::writeFile(const std::string &path, std::string *errOut) const
+{
+    const std::string tmp = path + ".tmp";
+    errno = 0;
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return writeFailed(errOut, "open", tmp);
+    std::size_t n = buf.empty()
+        ? 0 : std::fwrite(buf.data(), 1, buf.size(), f);
+    if (n != buf.size() || std::fflush(f) != 0) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        return writeFailed(errOut, "write", tmp);
+    }
+    if (std::fclose(f) != 0) {
+        std::remove(tmp.c_str());
+        return writeFailed(errOut, "close", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return writeFailed(errOut, "rename " + tmp + " to", path);
+    }
+    return true;
+}
+
+LoadResult
 BinReader::readFile(const std::string &path, BinReader &out)
 {
+    errno = 0;
     std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
+    if (!f) {
+        return LoadResult::fail(0, "file",
+                                "cannot open " + path + ": " +
+                                    std::strerror(errno ? errno : EIO));
+    }
     std::fseek(f, 0, SEEK_END);
     long size = std::ftell(f);
     std::fseek(f, 0, SEEK_SET);
@@ -30,10 +66,15 @@ BinReader::readFile(const std::string &path, BinReader &out)
     std::size_t n = data.empty()
         ? 0 : std::fread(data.data(), 1, data.size(), f);
     std::fclose(f);
-    if (n != data.size())
-        return false;
+    if (n != data.size()) {
+        return LoadResult::fail(n, "file",
+                                "short read from " + path + " (" +
+                                    std::to_string(n) + " of " +
+                                    std::to_string(data.size()) +
+                                    " bytes)");
+    }
     out = BinReader(std::move(data));
-    return true;
+    return {};
 }
 
 } // namespace pt

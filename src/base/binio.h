@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "loaderror.h"
 #include "types.h"
 
 namespace pt
@@ -68,8 +69,15 @@ class BinWriter
     const std::vector<u8> &bytes() const { return buf; }
     std::vector<u8> takeBytes() { return std::move(buf); }
 
-    /** Writes the accumulated buffer to a file. @return success. */
-    bool writeFile(const std::string &path) const;
+    /**
+     * Writes the accumulated buffer to a file atomically: the bytes go
+     * to a temporary sibling which is renamed over @p path only once
+     * fully flushed, so a crash mid-write can never leave a torn
+     * artifact behind. @return success; on failure @p errOut (when
+     * given) receives the failing step and errno context.
+     */
+    bool writeFile(const std::string &path,
+                   std::string *errOut = nullptr) const;
 
   private:
     std::vector<u8> buf;
@@ -83,12 +91,15 @@ class BinReader
         : buf(std::move(data))
     {}
 
-    /** Reads a whole file into a reader. @return success. */
-    static bool readFile(const std::string &path, BinReader &out);
+    /** Reads a whole file into a reader; errors carry errno context. */
+    static LoadResult readFile(const std::string &path, BinReader &out);
 
     bool atEnd() const { return pos >= buf.size(); }
     std::size_t remaining() const { return buf.size() - pos; }
     bool ok() const { return !failed; }
+
+    /** Current read position; on failure, where the failure was seen. */
+    std::size_t offset() const { return pos; }
 
     u8
     get8()

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Structured load/parse diagnostics for on-disk artifacts.
+ *
+ * Every artifact loader (activity log, snapshot, checkpoint) returns a
+ * LoadResult instead of a bare bool: on failure it carries the byte
+ * offset, the field being parsed and a reason, so a corrupted or
+ * truncated artifact is diagnosable (`palmtrace fsck`) rather than
+ * silently accepted or anonymously refused.
+ */
+
+#ifndef PT_BASE_LOADERROR_H
+#define PT_BASE_LOADERROR_H
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "types.h"
+
+namespace pt
+{
+
+/** Where and why an artifact failed to parse. */
+struct LoadError
+{
+    std::size_t offset = 0; ///< byte offset where the failure was seen
+    std::string field;      ///< the field being parsed
+    std::string reason;     ///< what was wrong with it
+};
+
+/** Success, or a LoadError describing the first failure. */
+class LoadResult
+{
+  public:
+    /** Success. */
+    LoadResult() = default;
+
+    /** Failure at @p offset while parsing @p field. */
+    static LoadResult
+    fail(std::size_t offset, std::string field, std::string reason)
+    {
+        LoadResult r;
+        r.err = LoadError{offset, std::move(field), std::move(reason)};
+        return r;
+    }
+
+    /**
+     * Re-frames a nested failure (e.g. the snapshot embedded in a
+     * checkpoint) into the enclosing artifact's coordinates.
+     */
+    static LoadResult
+    nested(const LoadResult &inner, std::size_t baseOffset,
+           const std::string &fieldPrefix)
+    {
+        if (inner.ok())
+            return inner;
+        return fail(baseOffset + inner.error().offset,
+                    fieldPrefix + inner.error().field,
+                    inner.error().reason);
+    }
+
+    bool ok() const { return !err.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** The failure; all-empty when ok(). */
+    const LoadError &
+    error() const
+    {
+        static const LoadError none{};
+        return err ? *err : none;
+    }
+
+    /** One-line "offset 0x18, field 'magic': ..." rendering. */
+    std::string
+    message() const
+    {
+        if (ok())
+            return "ok";
+        char off[32];
+        std::snprintf(off, sizeof(off), "0x%zX",
+                      static_cast<std::size_t>(err->offset));
+        return "offset " + std::string(off) + ", field '" +
+               err->field + "': " + err->reason;
+    }
+
+  private:
+    std::optional<LoadError> err;
+};
+
+} // namespace pt
+
+#endif // PT_BASE_LOADERROR_H

@@ -6,22 +6,43 @@
 namespace pt::core
 {
 
-bool
-Session::save(const std::string &basePath) const
+namespace
 {
-    return initialState.save(basePath + ".init.snap") &&
-           log.save(basePath + ".log") &&
-           finalState.save(basePath + ".final.snap");
+
+/** Tags a per-file load failure with the file it came from. */
+LoadResult
+inFile(const LoadResult &res, const std::string &path)
+{
+    if (res.ok())
+        return res;
+    return LoadResult::fail(res.error().offset,
+                            path + ": " + res.error().field,
+                            res.error().reason);
 }
 
+} // namespace
+
 bool
+Session::save(const std::string &basePath, std::string *errOut) const
+{
+    return initialState.save(basePath + ".init.snap", errOut) &&
+           log.save(basePath + ".log", errOut) &&
+           finalState.save(basePath + ".final.snap", errOut);
+}
+
+LoadResult
 Session::load(const std::string &basePath, Session &out)
 {
-    return device::Snapshot::load(basePath + ".init.snap",
-                                  out.initialState) &&
-           trace::ActivityLog::load(basePath + ".log", out.log) &&
-           device::Snapshot::load(basePath + ".final.snap",
-                                  out.finalState);
+    std::string path = basePath + ".init.snap";
+    if (auto r = device::Snapshot::load(path, out.initialState); !r)
+        return inFile(r, path);
+    path = basePath + ".log";
+    if (auto r = trace::ActivityLog::load(path, out.log); !r)
+        return inFile(r, path);
+    path = basePath + ".final.snap";
+    if (auto r = device::Snapshot::load(path, out.finalState); !r)
+        return inFile(r, path);
+    return {};
 }
 
 PalmSimulator::PalmSimulator()

@@ -41,9 +41,14 @@ struct Session
     trace::ActivityLog log;
     device::Snapshot finalState;
 
-    /** Persists as <base>.init.snap / <base>.log / <base>.final.snap. */
-    bool save(const std::string &basePath) const;
-    static bool load(const std::string &basePath, Session &out);
+    /** Persists as <base>.init.snap / <base>.log / <base>.final.snap.
+     *  Each file is written atomically; @p errOut gets errno context. */
+    bool save(const std::string &basePath,
+              std::string *errOut = nullptr) const;
+
+    /** Loads all three artifacts; the first failure is returned with
+     *  the offending file named in the error's field. */
+    static LoadResult load(const std::string &basePath, Session &out);
 };
 
 /** Replay configuration. */

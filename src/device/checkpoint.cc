@@ -1,17 +1,12 @@
 #include "checkpoint.h"
 
+#include "base/artifact.h"
 #include "base/binio.h"
 #include "base/fnv.h"
 #include "device/device.h"
 
 namespace pt::device
 {
-
-namespace
-{
-constexpr u32 kMagic = 0x50544350; // "PTCP"
-constexpr u32 kVersion = 1;
-} // namespace
 
 Checkpoint
 Checkpoint::capture(const Device &dev)
@@ -66,8 +61,6 @@ std::vector<u8>
 Checkpoint::serialize() const
 {
     BinWriter w;
-    w.put32(kMagic);
-    w.put32(kVersion);
     auto mem = memory.serialize();
     w.put32(static_cast<u32>(mem.size()));
     w.putBytes(mem.data(), mem.size());
@@ -100,22 +93,37 @@ Checkpoint::serialize() const
 
     w.put64(cycleCount);
     w.put64(nextPenSample);
-    return w.takeBytes();
+    return artifact::frame(artifact::kCheckpointMagic, w.takeBytes());
 }
 
-bool
+LoadResult
 Checkpoint::deserialize(const std::vector<u8> &data, Checkpoint &out)
 {
-    BinReader r(data);
-    if (r.get32() != kMagic || r.get32() != kVersion)
-        return false;
+    artifact::FrameInfo fi;
+    if (auto res =
+            artifact::unframe(data, artifact::kCheckpointMagic, fi);
+        !res) {
+        return res;
+    }
+    const std::size_t base = fi.payloadOffset;
+    BinReader r(std::vector<u8>(data.begin() + base,
+                                data.begin() + base + fi.payloadLen));
+
     u32 memSize = r.get32();
-    if (memSize > r.remaining())
-        return false;
+    if (!r.ok() || memSize > r.remaining()) {
+        return LoadResult::fail(
+            base + r.offset(), "memorySize",
+            !r.ok() ? "payload too short"
+                    : "embedded snapshot size " +
+                          std::to_string(memSize) + " exceeds the " +
+                          std::to_string(r.remaining()) +
+                          " remaining bytes");
+    }
+    std::size_t memBase = base + r.offset();
     std::vector<u8> mem(memSize);
     r.getBytes(mem.data(), memSize);
-    if (!Snapshot::deserialize(mem, out.memory))
-        return false;
+    if (auto res = Snapshot::deserialize(mem, out.memory); !res)
+        return LoadResult::nested(res, memBase, "memory.");
 
     for (int i = 0; i < 8; ++i)
         out.cpu.d[i] = r.get32();
@@ -127,6 +135,10 @@ Checkpoint::deserialize(const std::vector<u8> &data, Checkpoint &out)
     out.cpu.stopped = r.get8() != 0;
     out.cpu.cycles = r.get64();
     out.cpu.instructions = r.get64();
+    if (!r.ok()) {
+        return LoadResult::fail(base + r.offset(), "cpu",
+                                "truncated CPU register block");
+    }
 
     out.io.rtcBase = r.get32();
     out.io.intStat = r.get16();
@@ -140,32 +152,53 @@ Checkpoint::deserialize(const std::vector<u8> &data, Checkpoint &out)
     out.io.penYLatch = r.get16();
     out.io.penDownLatch = r.get16();
     out.io.btnState = r.get16();
+    if (!r.ok()) {
+        return LoadResult::fail(base + r.offset(), "io",
+                                "truncated peripheral block");
+    }
     u32 fifoLen = r.get32();
-    if (fifoLen > r.remaining())
-        return false;
+    if (!r.ok() || fifoLen > r.remaining()) {
+        return LoadResult::fail(
+            base + r.offset(), "serialFifo",
+            !r.ok() ? "payload too short"
+                    : "FIFO length " + std::to_string(fifoLen) +
+                          " exceeds the " +
+                          std::to_string(r.remaining()) +
+                          " remaining bytes");
+    }
     out.io.serialFifo.resize(fifoLen);
     r.getBytes(out.io.serialFifo.data(), fifoLen);
 
     out.cycleCount = r.get64();
     out.nextPenSample = r.get64();
-    return r.ok();
+    if (!r.ok()) {
+        return LoadResult::fail(base + r.offset(), "clock",
+                                "truncated clock state");
+    }
+    if (!r.atEnd()) {
+        return LoadResult::fail(base + r.offset(), "trailer",
+                                std::to_string(r.remaining()) +
+                                    " stray bytes after the clock "
+                                    "state");
+    }
+    return {};
 }
 
 bool
-Checkpoint::save(const std::string &path) const
+Checkpoint::save(const std::string &path, std::string *errOut) const
 {
     BinWriter w;
     auto bytes = serialize();
     w.putBytes(bytes.data(), bytes.size());
-    return w.writeFile(path);
+    return w.writeFile(path, errOut);
 }
 
-bool
+LoadResult
 Checkpoint::load(const std::string &path, Checkpoint &out)
 {
     BinReader r({});
-    if (!BinReader::readFile(path, r))
-        return false;
+    if (auto res = BinReader::readFile(path, r); !res)
+        return res;
     std::vector<u8> all(r.remaining());
     r.getBytes(all.data(), all.size());
     return deserialize(all, out);

@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "base/loaderror.h"
 #include "base/types.h"
 #include "device/io.h"
 #include "device/snapshot.h"
@@ -50,12 +51,14 @@ struct Checkpoint
     /** Fingerprint over memory + CPU + IO (determinism tests). */
     u64 fingerprint() const;
 
-    /** Serialization (little-endian, memory images zero-RLE packed). */
+    /** Serialization (little-endian, memory images zero-RLE packed,
+     *  integrity-framed; the embedded snapshot keeps its own frame). */
     std::vector<u8> serialize() const;
-    static bool deserialize(const std::vector<u8> &data,
-                            Checkpoint &out);
-    bool save(const std::string &path) const;
-    static bool load(const std::string &path, Checkpoint &out);
+    static LoadResult deserialize(const std::vector<u8> &data,
+                                  Checkpoint &out);
+    bool save(const std::string &path,
+              std::string *errOut = nullptr) const;
+    static LoadResult load(const std::string &path, Checkpoint &out);
 };
 
 } // namespace pt::device

@@ -1,5 +1,6 @@
 #include "snapshot.h"
 
+#include "base/artifact.h"
 #include "base/binio.h"
 #include "base/fnv.h"
 #include "device/device.h"
@@ -10,8 +11,9 @@ namespace pt::device
 namespace
 {
 
-constexpr u32 kMagic = 0x50545353; // "PTSS"
-constexpr u32 kVersion = 1;
+/** Largest believable decoded image: 4x the m515's RAM. A corrupt
+ *  length field must never drive a multi-gigabyte allocation. */
+constexpr u32 kMaxImageBytes = 4 * kRamSize;
 
 /** Encodes a byte image as (zeroRun, literalRun, literals)* records. */
 void
@@ -34,24 +36,53 @@ rleEncode(BinWriter &w, const std::vector<u8> &data)
     }
 }
 
-bool
-rleDecode(BinReader &r, std::vector<u8> &out)
+LoadResult
+rleDecode(BinReader &r, std::vector<u8> &out, const char *field,
+          std::size_t base)
 {
+    std::size_t at = base + r.offset();
     u32 total = r.get32();
+    if (!r.ok()) {
+        return LoadResult::fail(at, field,
+                                "truncated before the image size");
+    }
+    if (total > kMaxImageBytes) {
+        return LoadResult::fail(at, field,
+                                "implausible image size " +
+                                    std::to_string(total) + " bytes");
+    }
     out.assign(total, 0);
     std::size_t pos = 0;
-    while (pos < total && r.ok()) {
+    while (pos < total) {
+        at = base + r.offset();
         u32 zeros = r.get32();
         u32 lits = r.get32();
-        if (!r.ok() || zeros > total - pos ||
-            lits > total - pos - zeros) {
-            return false;
+        if (!r.ok()) {
+            return LoadResult::fail(at, field,
+                                    "truncated RLE stream at image "
+                                    "byte " +
+                                        std::to_string(pos));
+        }
+        if (zeros > total - pos || lits > total - pos - zeros) {
+            return LoadResult::fail(
+                at, field,
+                "RLE run overflows the image (zeros=" +
+                    std::to_string(zeros) + ", literals=" +
+                    std::to_string(lits) + " at image byte " +
+                    std::to_string(pos) + " of " +
+                    std::to_string(total) + ")");
         }
         pos += zeros;
         r.getBytes(out.data() + pos, lits);
+        if (!r.ok()) {
+            return LoadResult::fail(base + r.offset(), field,
+                                    "truncated RLE literals at image "
+                                    "byte " +
+                                        std::to_string(pos));
+        }
         pos += lits;
     }
-    return r.ok() && pos == total;
+    return {};
 }
 
 } // namespace
@@ -89,39 +120,57 @@ std::vector<u8>
 Snapshot::serialize() const
 {
     BinWriter w;
-    w.put32(kMagic);
-    w.put32(kVersion);
     w.put32(rtcBase);
     rleEncode(w, ram);
     rleEncode(w, rom);
-    return w.takeBytes();
+    return artifact::frame(artifact::kSnapshotMagic, w.takeBytes());
 }
 
-bool
+LoadResult
 Snapshot::deserialize(const std::vector<u8> &data, Snapshot &out)
 {
-    BinReader r(data);
-    if (r.get32() != kMagic || r.get32() != kVersion)
-        return false;
+    artifact::FrameInfo fi;
+    if (auto res =
+            artifact::unframe(data, artifact::kSnapshotMagic, fi);
+        !res) {
+        return res;
+    }
+    const std::size_t base = fi.payloadOffset;
+    BinReader r(std::vector<u8>(data.begin() + base,
+                                data.begin() + base + fi.payloadLen));
     out.rtcBase = r.get32();
-    return rleDecode(r, out.ram) && rleDecode(r, out.rom) && r.ok();
+    if (!r.ok()) {
+        return LoadResult::fail(base + r.offset(), "rtcBase",
+                                "payload too short");
+    }
+    if (auto res = rleDecode(r, out.ram, "ram", base); !res)
+        return res;
+    if (auto res = rleDecode(r, out.rom, "rom", base); !res)
+        return res;
+    if (!r.atEnd()) {
+        return LoadResult::fail(base + r.offset(), "trailer",
+                                std::to_string(r.remaining()) +
+                                    " stray bytes after the ROM "
+                                    "image");
+    }
+    return {};
 }
 
 bool
-Snapshot::save(const std::string &path) const
+Snapshot::save(const std::string &path, std::string *errOut) const
 {
     BinWriter w;
     auto bytes = serialize();
     w.putBytes(bytes.data(), bytes.size());
-    return w.writeFile(path);
+    return w.writeFile(path, errOut);
 }
 
-bool
+LoadResult
 Snapshot::load(const std::string &path, Snapshot &out)
 {
     BinReader r({});
-    if (!BinReader::readFile(path, r))
-        return false;
+    if (auto res = BinReader::readFile(path, r); !res)
+        return res;
     std::vector<u8> all(r.remaining());
     r.getBytes(all.data(), all.size());
     return deserialize(all, out);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "base/loaderror.h"
 #include "base/types.h"
 #include "device/map.h"
 #include "m68k/busif.h"
@@ -46,14 +47,18 @@ struct Snapshot
     /** @return a fingerprint of RAM+ROM+rtcBase (determinism tests). */
     u64 fingerprint() const;
 
-    /** Serializes to a byte buffer (zero-RLE compressed). */
+    /** Serializes to a byte buffer (zero-RLE, integrity-framed). */
     std::vector<u8> serialize() const;
-    /** Parses a serialized snapshot. @return success. */
-    static bool deserialize(const std::vector<u8> &data, Snapshot &out);
 
-    /** Writes to / reads from a file. @return success. */
-    bool save(const std::string &path) const;
-    static bool load(const std::string &path, Snapshot &out);
+    /** Parses a serialized snapshot (framed or seed-era legacy);
+     *  corruption yields a structured LoadError. */
+    static LoadResult deserialize(const std::vector<u8> &data,
+                                  Snapshot &out);
+
+    /** Writes atomically / reads with structured diagnostics. */
+    bool save(const std::string &path,
+              std::string *errOut = nullptr) const;
+    static LoadResult load(const std::string &path, Snapshot &out);
 };
 
 /**

@@ -1,0 +1,109 @@
+#include "faultplan.h"
+
+#include "base/logging.h"
+
+namespace pt::fault
+{
+
+std::vector<u8>
+FaultPlan::truncated(const std::vector<u8> &bytes)
+{
+    PT_ASSERT(!bytes.empty(), "cannot truncate an empty artifact");
+    return truncatedAt(bytes,
+                       static_cast<std::size_t>(rng.below(
+                           static_cast<u32>(bytes.size()))));
+}
+
+std::vector<u8>
+FaultPlan::truncatedAt(const std::vector<u8> &bytes, std::size_t keep)
+{
+    PT_ASSERT(keep < bytes.size(), "truncation must remove bytes");
+    return {bytes.begin(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(keep)};
+}
+
+std::vector<u8>
+FaultPlan::bitFlipped(const std::vector<u8> &bytes)
+{
+    PT_ASSERT(!bytes.empty(), "cannot flip a bit in an empty artifact");
+    std::size_t off = static_cast<std::size_t>(
+        rng.below(static_cast<u32>(bytes.size())));
+    unsigned bit = rng.below(8);
+    return bitFlippedAt(bytes, off, bit);
+}
+
+std::vector<u8>
+FaultPlan::bitFlippedAt(const std::vector<u8> &bytes, std::size_t offset,
+                        unsigned bit)
+{
+    PT_ASSERT(offset < bytes.size() && bit < 8,
+              "bit-flip target out of range");
+    std::vector<u8> out = bytes;
+    out[offset] ^= static_cast<u8>(1u << bit);
+    return out;
+}
+
+std::vector<u8>
+FaultPlan::smashed(const std::vector<u8> &bytes, std::size_t count)
+{
+    PT_ASSERT(!bytes.empty(), "cannot smash an empty artifact");
+    std::vector<u8> out = bytes;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::size_t off = static_cast<std::size_t>(
+            rng.below(static_cast<u32>(out.size())));
+        out[off] = static_cast<u8>(rng.next());
+    }
+    return out;
+}
+
+void
+ScriptedReplayFaults::dropOnceAtAttempt(u64 attempt)
+{
+    replay::ReplayFaultDecision d;
+    d.action = replay::ReplayFaultDecision::Action::Drop;
+    transientByAttempt[attempt] = {d, false};
+}
+
+void
+ScriptedReplayFaults::duplicateOnceAtAttempt(u64 attempt)
+{
+    replay::ReplayFaultDecision d;
+    d.action = replay::ReplayFaultDecision::Action::Duplicate;
+    transientByAttempt[attempt] = {d, false};
+}
+
+void
+ScriptedReplayFaults::skewOnceAtAttempt(u64 attempt, Ticks ticks)
+{
+    replay::ReplayFaultDecision d;
+    d.skewTicks = ticks;
+    transientByAttempt[attempt] = {d, false};
+}
+
+void
+ScriptedReplayFaults::dropAlwaysAtIndex(u64 eventIndex)
+{
+    replay::ReplayFaultDecision d;
+    d.action = replay::ReplayFaultDecision::Action::Drop;
+    persistentByIndex[eventIndex] = d;
+}
+
+replay::ReplayFaultDecision
+ScriptedReplayFaults::onEvent(u64 eventIndex, Ticks /*tick*/)
+{
+    u64 attempt = attemptCount++;
+    if (auto it = transientByAttempt.find(attempt);
+        it != transientByAttempt.end() && !it->second.spent) {
+        it->second.spent = true;
+        ++firedCount;
+        return it->second.decision;
+    }
+    if (auto it = persistentByIndex.find(eventIndex);
+        it != persistentByIndex.end()) {
+        ++firedCount;
+        return it->second;
+    }
+    return {};
+}
+
+} // namespace pt::fault

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * Two fault surfaces, matching the two places a trace pipeline can go
+ * wrong in the field:
+ *
+ *  - FaultPlan corrupts *serialized artifacts* (activity logs,
+ *    snapshots, checkpoints) before they are parsed: truncation at a
+ *    seeded or chosen offset, single-bit flips, and multi-byte
+ *    smashes. Every mutation is driven by a seeded pt::Rng, so a
+ *    failing corruption is reproducible from its seed alone.
+ *
+ *  - ScriptedReplayFaults injects *runtime replay faults* through the
+ *    replay::ReplayFaultHook interface: dropped deliveries, duplicated
+ *    deliveries, and tick skew beyond the paper's < 20-tick jitter
+ *    model. Transient faults fire once at a given delivery attempt
+ *    (and are consumed, so a recovery rewind replays the event
+ *    cleanly); persistent faults fire at an event index on every
+ *    attempt, forcing the engine's graceful-degradation path.
+ */
+
+#ifndef PT_FAULT_FAULTPLAN_H
+#define PT_FAULT_FAULTPLAN_H
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "replay/replayengine.h"
+
+namespace pt::fault
+{
+
+/** Seeded corruptor for serialized artifact bytes. */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(u64 seed) : rng(seed) {}
+
+    /** @return a copy truncated at a seeded offset in [0, size). */
+    std::vector<u8> truncated(const std::vector<u8> &bytes);
+
+    /** @return a copy truncated to exactly @p keep bytes. */
+    static std::vector<u8> truncatedAt(const std::vector<u8> &bytes,
+                                       std::size_t keep);
+
+    /** @return a copy with one seeded bit flipped. */
+    std::vector<u8> bitFlipped(const std::vector<u8> &bytes);
+
+    /** @return a copy with bit @p bit of byte @p offset flipped. */
+    static std::vector<u8> bitFlippedAt(const std::vector<u8> &bytes,
+                                        std::size_t offset, unsigned bit);
+
+    /** @return a copy with @p count seeded bytes overwritten with
+     *  seeded values (a burst of media corruption). */
+    std::vector<u8> smashed(const std::vector<u8> &bytes,
+                            std::size_t count);
+
+  private:
+    Rng rng;
+};
+
+/**
+ * A scripted replay::ReplayFaultHook.
+ *
+ * Transient faults are keyed by the global delivery-attempt counter
+ * (which keeps counting across recovery rewinds) and fire exactly
+ * once; persistent faults are keyed by sync-event index and fire on
+ * every attempt at that event.
+ */
+class ScriptedReplayFaults final : public replay::ReplayFaultHook
+{
+  public:
+    /** Drop the @p attempt-th delivery attempt (0-based), once. */
+    void dropOnceAtAttempt(u64 attempt);
+
+    /** Duplicate the @p attempt-th delivery attempt, once. */
+    void duplicateOnceAtAttempt(u64 attempt);
+
+    /** Skew the @p attempt-th delivery attempt by @p ticks, once. */
+    void skewOnceAtAttempt(u64 attempt, Ticks ticks);
+
+    /** Drop every delivery attempt at sync-event @p eventIndex. */
+    void dropAlwaysAtIndex(u64 eventIndex);
+
+    replay::ReplayFaultDecision onEvent(u64 eventIndex,
+                                        Ticks tick) override;
+
+    /** Total delivery attempts observed. */
+    u64 attempts() const { return attemptCount; }
+
+    /** Faults actually injected (transient fired + persistent hits). */
+    u64 fired() const { return firedCount; }
+
+  private:
+    struct Transient
+    {
+        replay::ReplayFaultDecision decision;
+        bool spent = false;
+    };
+
+    std::map<u64, Transient> transientByAttempt;
+    std::map<u64, replay::ReplayFaultDecision> persistentByIndex;
+    u64 attemptCount = 0;
+    u64 firedCount = 0;
+};
+
+} // namespace pt::fault
+
+#endif // PT_FAULT_FAULTPLAN_H

@@ -25,11 +25,25 @@
  * Long replays can be checkpointed mid-run (CITCAT-style full machine
  * state plus the engine's queue cursors) and resumed bit-exactly on a
  * fresh device.
+ *
+ * Self-recovering mode (ReplayOptions::recover): the records the
+ * replay-side hacks produce are correlated online against the original
+ * log, with the paper's < 20-tick burst tolerance. On divergence the
+ * engine rewinds to the last automatically captured, fully verified
+ * ReplayCheckpoint and retries; when a divergence persists past the
+ * retry budget it degrades gracefully — the offending record is
+ * tolerated, counted in ReplayStats, and playback continues — instead
+ * of producing a silently-wrong trace. A ReplayFaultHook can inject
+ * deterministic runtime faults (dropped / duplicated deliveries, tick
+ * skew beyond the jitter model) to exercise exactly that machinery.
  */
 
 #ifndef PT_REPLAY_REPLAYENGINE_H
 #define PT_REPLAY_REPLAYENGINE_H
 
+#include <array>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "base/rng.h"
@@ -54,6 +68,33 @@ struct ReplayCheckpoint
     bool valid = false;
 };
 
+/** Decision for one sync-event delivery attempt (fault injection). */
+struct ReplayFaultDecision
+{
+    enum class Action : u8
+    {
+        Deliver,  ///< normal delivery
+        Drop,     ///< swallow the event
+        Duplicate ///< deliver it twice
+    };
+
+    Action action = Action::Deliver;
+    Ticks skewTicks = 0; ///< extra delay before delivery
+};
+
+/**
+ * Deterministic runtime fault injector, consulted once per delivery
+ * attempt of each synchronous event (and re-consulted after a recovery
+ * rewind re-reaches the same event).
+ */
+class ReplayFaultHook
+{
+  public:
+    virtual ~ReplayFaultHook() = default;
+    virtual ReplayFaultDecision onEvent(u64 eventIndex,
+                                        Ticks tick) = 0;
+};
+
 /** Playback options. */
 struct ReplayOptions
 {
@@ -61,8 +102,8 @@ struct ReplayOptions
     Ticks settleTicks = 100;
 
     /** Deterministic extra delay (0..N ticks) added per event burst
-     *  to emulate the paper's replay bursts; 0 disables. Unsupported
-     *  in combination with checkpointing. */
+     *  to emulate the paper's replay bursts; 0 disables. Rejected by
+     *  validate() in combination with checkpointing or recovery. */
     Ticks burstJitterTicks = 0;
 
     /** Seed for the jitter generator. */
@@ -73,6 +114,29 @@ struct ReplayOptions
      *  tick. Playback continues normally afterwards. */
     Ticks checkpointAtTick = 0;
     ReplayCheckpoint *checkpointOut = nullptr;
+
+    /**
+     * Online divergence detection plus checkpoint-rewind recovery.
+     * Requires the collection hacks installed on the device (the
+     * replay-side log is read back as it is produced).
+     */
+    bool recover = false;
+
+    /** Rewind attempts per divergence before degrading. */
+    u32 maxRecoveryRetries = 3;
+
+    /** Cadence (ticks) of the verify + auto-checkpoint pass. */
+    Ticks recoveryCheckTicks = 2000;
+
+    /** Acceptable replay lag — the paper's < 20-tick burst bound. */
+    Ticks divergenceToleranceTicks = 20;
+
+    /** Optional runtime fault injector (tests, chaos runs). */
+    ReplayFaultHook *faultHook = nullptr;
+
+    /** @return empty when consistent, else why this combination of
+     *  options is rejected. */
+    std::string validate() const;
 };
 
 /** Playback statistics. */
@@ -85,6 +149,16 @@ struct ReplayStats
     u64 seedsApplied = 0;
     u64 seedQueueUnderruns = 0;
     Ticks lastEventTick = 0;
+
+    // Robustness accounting (recovery mode and fault injection).
+    u64 faultsInjected = 0;      ///< hook decisions other than Deliver
+    u64 divergencesDetected = 0; ///< online correlation failures
+    u64 recoveryRewinds = 0;     ///< checkpoint rewinds performed
+    u64 recordsSkipped = 0;      ///< degraded: records given up on
+
+    /** Set when run()/resume() refused inconsistent options. */
+    bool optionsRejected = false;
+    std::string optionsError;
 };
 
 /** Replays one activity log on a restored device. */
@@ -101,7 +175,8 @@ class ReplayEngine
 
     ~ReplayEngine();
 
-    /** Runs the playback to completion. */
+    /** Runs the playback to completion. Inconsistent options return
+     *  immediately with optionsRejected set. */
     ReplayStats run(const ReplayOptions &opts = {});
 
     /**
@@ -131,6 +206,15 @@ class ReplayEngine
         u32 value;
     };
 
+    /** One original log record the online correlator must see again
+     *  in the replay-side log (pen / key / serial only). */
+    struct OrigRecord
+    {
+        Ticks tick;
+        u16 type;
+        u64 payload;
+    };
+
     void onTrap(m68k::Cpu &cpu, int trapNum, u16 selector);
 
     /** The shared playback loop starting at @p startIndex. */
@@ -141,6 +225,7 @@ class ReplayEngine
     std::vector<SyncEvent> syncEvents;
     std::vector<TimedValue> keyStateQueue;
     std::vector<TimedValue> seedQueue;
+    std::vector<OrigRecord> origSync;
     std::size_t keyStateCursor = 0;
     std::size_t seedCursor = 0;
     ReplayStats stats;

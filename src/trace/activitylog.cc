@@ -1,5 +1,6 @@
 #include "activitylog.h"
 
+#include "base/artifact.h"
 #include "base/binio.h"
 #include "os/guestmem.h"
 
@@ -8,8 +9,8 @@ namespace pt::trace
 
 namespace
 {
-constexpr u32 kMagic = 0x5054414C; // "PTAL"
-constexpr u32 kVersion = 1;
+// A record serializes to at least 13 bytes (short form + isLong flag).
+constexpr u64 kMinRecordBytes = 13;
 } // namespace
 
 ActivityLog
@@ -57,8 +58,6 @@ std::vector<u8>
 ActivityLog::serialize() const
 {
     BinWriter w;
-    w.put32(kMagic);
-    w.put32(kVersion);
     w.put32(static_cast<u32>(records.size()));
     for (const auto &r : records) {
         w.put32(r.tick);
@@ -69,19 +68,35 @@ ActivityLog::serialize() const
         if (r.isLong)
             w.put32(r.extra);
     }
-    return w.takeBytes();
+    return artifact::frame(artifact::kLogMagic, w.takeBytes());
 }
 
-bool
+LoadResult
 ActivityLog::deserialize(const std::vector<u8> &data, ActivityLog &out)
 {
-    BinReader r(data);
-    if (r.get32() != kMagic || r.get32() != kVersion)
-        return false;
+    artifact::FrameInfo fi;
+    if (auto res = artifact::unframe(data, artifact::kLogMagic, fi);
+        !res) {
+        return res;
+    }
+    const std::size_t base = fi.payloadOffset;
+    BinReader r(std::vector<u8>(data.begin() + base,
+                                data.begin() + base + fi.payloadLen));
     u32 n = r.get32();
+    if (!r.ok()) {
+        return LoadResult::fail(base + r.offset(), "count",
+                                "payload too short for a record count");
+    }
+    if (static_cast<u64>(n) * kMinRecordBytes > r.remaining()) {
+        return LoadResult::fail(
+            base, "count",
+            "record count " + std::to_string(n) +
+                " exceeds the payload (" +
+                std::to_string(r.remaining()) + " bytes left)");
+    }
     out.records.clear();
     out.records.reserve(n);
-    for (u32 i = 0; i < n && r.ok(); ++i) {
+    for (u32 i = 0; i < n; ++i) {
         LogRecord rec;
         rec.tick = r.get32();
         rec.rtc = r.get32();
@@ -90,26 +105,38 @@ ActivityLog::deserialize(const std::vector<u8> &data, ActivityLog &out)
         rec.isLong = r.get8() != 0;
         if (rec.isLong)
             rec.extra = r.get32();
+        if (!r.ok()) {
+            return LoadResult::fail(
+                base + r.offset(), "record",
+                "truncated in record " + std::to_string(i) + " of " +
+                    std::to_string(n));
+        }
         out.records.push_back(rec);
     }
-    return r.ok();
+    if (!r.atEnd()) {
+        return LoadResult::fail(base + r.offset(), "trailer",
+                                std::to_string(r.remaining()) +
+                                    " stray bytes after the last "
+                                    "record");
+    }
+    return {};
 }
 
 bool
-ActivityLog::save(const std::string &path) const
+ActivityLog::save(const std::string &path, std::string *errOut) const
 {
     BinWriter w;
     auto bytes = serialize();
     w.putBytes(bytes.data(), bytes.size());
-    return w.writeFile(path);
+    return w.writeFile(path, errOut);
 }
 
-bool
+LoadResult
 ActivityLog::load(const std::string &path, ActivityLog &out)
 {
     BinReader r({});
-    if (!BinReader::readFile(path, r))
-        return false;
+    if (auto res = BinReader::readFile(path, r); !res)
+        return res;
     std::vector<u8> all(r.remaining());
     r.getBytes(all.data(), all.size());
     return deserialize(all, out);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "base/loaderror.h"
 #include "base/types.h"
 #include "hacks/logformat.h"
 #include "m68k/busif.h"
@@ -51,12 +52,21 @@ struct ActivityLog
     /** Number of records with the given LogType. */
     u64 countOf(u16 type) const;
 
-    /** Serializes to the on-disk format. */
+    /** Serializes to the on-disk format (integrity-framed). */
     std::vector<u8> serialize() const;
-    static bool deserialize(const std::vector<u8> &data,
-                            ActivityLog &out);
-    bool save(const std::string &path) const;
-    static bool load(const std::string &path, ActivityLog &out);
+
+    /**
+     * Parses a serialized log (current framed format or seed-era
+     * unversioned files). Corruption and truncation yield a structured
+     * LoadError, never a partial log.
+     */
+    static LoadResult deserialize(const std::vector<u8> &data,
+                                  ActivityLog &out);
+
+    /** Writes atomically; @p errOut receives errno context on failure. */
+    bool save(const std::string &path,
+              std::string *errOut = nullptr) const;
+    static LoadResult load(const std::string &path, ActivityLog &out);
 };
 
 } // namespace pt::trace

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Self-recovering replay tests: option validation, clean-run parity,
+ * and fault-injected runs — a transiently dropped or skewed record
+ * must recover via checkpoint rewind to the bit-exact clean final
+ * state, and a persistent fault must degrade gracefully (skip and
+ * continue) instead of looping or corrupting the run.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/palmsim.h"
+#include "fault/faultplan.h"
+#include "validate/correlate.h"
+
+namespace pt
+{
+namespace
+{
+
+using core::PalmSimulator;
+using core::ReplayConfig;
+using core::ReplayResult;
+using core::Session;
+
+workload::UserModelConfig
+sessionCfg(u64 seed, double beamWeight = 0.0)
+{
+    workload::UserModelConfig cfg;
+    cfg.seed = seed;
+    cfg.interactions = 6;
+    cfg.meanIdleTicks = 3'000;
+    cfg.beamWeight = beamWeight;
+    return cfg;
+}
+
+/**
+ * Reconstructs the engine's sync-event schedule from a log, so tests
+ * can aim a fault at the delivery attempt of a specific record kind.
+ * Mirrors ReplayEngine's constructor: pen events stage one tick early,
+ * key presses add a synthetic release two ticks later, and the list is
+ * stable-sorted by tick.
+ */
+struct SyncSketch
+{
+    Ticks tick;
+    char kind; // 'p'en, 'k'ey press, 'r'elease, 's'erial
+};
+
+std::vector<SyncSketch>
+sketchSyncEvents(const trace::ActivityLog &log)
+{
+    std::vector<SyncSketch> ev;
+    for (const auto &r : log.records) {
+        switch (r.type) {
+          case hacks::LogType::PenPoint:
+            ev.push_back({r.tick ? r.tick - 1 : 0, 'p'});
+            break;
+          case hacks::LogType::Key:
+            ev.push_back({r.tick, 'k'});
+            ev.push_back({static_cast<Ticks>(r.tick + 2), 'r'});
+            break;
+          case hacks::LogType::Serial:
+            ev.push_back({r.tick, 's'});
+            break;
+          default:
+            break;
+        }
+    }
+    std::stable_sort(ev.begin(), ev.end(),
+                     [](const SyncSketch &a, const SyncSketch &b) {
+                         return a.tick < b.tick;
+                     });
+    return ev;
+}
+
+/** Index of the first sync event of @p kind, or -1. */
+s64
+firstSyncIndexOf(const trace::ActivityLog &log, char kind)
+{
+    auto ev = sketchSyncEvents(log);
+    for (std::size_t i = 0; i < ev.size(); ++i)
+        if (ev[i].kind == kind)
+            return static_cast<s64>(i);
+    return -1;
+}
+
+TEST(RecoveryOptions, InconsistentCombinationsRejected)
+{
+    device::Device dev;
+    trace::ActivityLog empty;
+    replay::ReplayEngine engine(dev, empty);
+
+    replay::ReplayCheckpoint cp;
+    replay::ReplayOptions bad;
+
+    bad.burstJitterTicks = 10;
+    bad.checkpointOut = &cp;
+    bad.checkpointAtTick = 100;
+    auto s1 = engine.run(bad);
+    EXPECT_TRUE(s1.optionsRejected);
+    EXPECT_FALSE(s1.optionsError.empty());
+    EXPECT_EQ(s1.penEventsInjected, 0u);
+    EXPECT_FALSE(cp.valid);
+
+    bad = {};
+    bad.burstJitterTicks = 10;
+    bad.recover = true;
+    auto s2 = engine.run(bad);
+    EXPECT_TRUE(s2.optionsRejected);
+    EXPECT_NE(s2.optionsError.find("recovery"), std::string::npos);
+
+    bad = {};
+    bad.recover = true;
+    bad.checkpointOut = &cp;
+    bad.checkpointAtTick = 100;
+    EXPECT_TRUE(engine.run(bad).optionsRejected);
+
+    bad = {};
+    bad.recover = true;
+    bad.recoveryCheckTicks = 0;
+    EXPECT_TRUE(engine.run(bad).optionsRejected);
+
+    // The same combinations pass validate() individually.
+    replay::ReplayOptions good;
+    good.recover = true;
+    EXPECT_TRUE(good.validate().empty());
+    good = {};
+    good.burstJitterTicks = 10;
+    EXPECT_TRUE(good.validate().empty());
+}
+
+TEST(Recovery, CleanRunWithRecoveryMatchesPlainReplay)
+{
+    Session s = PalmSimulator::collect(sessionCfg(1234));
+    ASSERT_GT(s.log.records.size(), 20u);
+
+    ReplayResult plain = PalmSimulator::replaySession(s);
+
+    ReplayConfig cfg;
+    cfg.options.recover = true;
+    ReplayResult recovered = PalmSimulator::replaySession(s, cfg);
+
+    EXPECT_FALSE(recovered.replayStats.optionsRejected);
+    EXPECT_EQ(recovered.finalState.fingerprint(),
+              plain.finalState.fingerprint());
+    EXPECT_EQ(recovered.replayStats.divergencesDetected, 0u);
+    EXPECT_EQ(recovered.replayStats.recoveryRewinds, 0u);
+    EXPECT_EQ(recovered.replayStats.recordsSkipped, 0u);
+    EXPECT_EQ(recovered.replayStats.faultsInjected, 0u);
+}
+
+TEST(Recovery, TransientDroppedRecordRecoversBitExactly)
+{
+    Session s = PalmSimulator::collect(sessionCfg(1234));
+    ASSERT_GT(s.log.countOf(hacks::LogType::Key), 0u);
+    s64 keyIdx = firstSyncIndexOf(s.log, 'k');
+    ASSERT_GE(keyIdx, 0);
+
+    ReplayResult clean = PalmSimulator::replaySession(s);
+
+    // On the first pass, delivery attempt N is sync event N, so the
+    // transient fault lands on the key press; the recovery rewind
+    // replays it cleanly (the fault is consumed).
+    fault::ScriptedReplayFaults faults;
+    faults.dropOnceAtAttempt(static_cast<u64>(keyIdx));
+
+    ReplayConfig cfg;
+    cfg.options.recover = true;
+    cfg.options.faultHook = &faults;
+    ReplayResult r = PalmSimulator::replaySession(s, cfg);
+
+    EXPECT_EQ(faults.fired(), 1u);
+    EXPECT_GE(r.replayStats.faultsInjected, 1u);
+    EXPECT_GE(r.replayStats.divergencesDetected, 1u);
+    EXPECT_GE(r.replayStats.recoveryRewinds, 1u);
+    EXPECT_EQ(r.replayStats.recordsSkipped, 0u);
+    EXPECT_EQ(r.finalState.fingerprint(),
+              clean.finalState.fingerprint());
+
+    // The self-recovered log also passes the paper's correlator.
+    auto corr = validate::correlateLogs(s.log, r.emulatedLog);
+    EXPECT_TRUE(corr.pass()) << corr.report();
+}
+
+TEST(Recovery, TransientTickSkewRecovers)
+{
+    Session s = PalmSimulator::collect(sessionCfg(1234));
+    s64 keyIdx = firstSyncIndexOf(s.log, 'k');
+    ASSERT_GE(keyIdx, 0);
+
+    ReplayResult clean = PalmSimulator::replaySession(s);
+
+    // 500 ticks is far beyond the paper's < 20-tick burst model, so
+    // the skewed delivery must be flagged and rewound.
+    fault::ScriptedReplayFaults faults;
+    faults.skewOnceAtAttempt(static_cast<u64>(keyIdx), 500);
+
+    ReplayConfig cfg;
+    cfg.options.recover = true;
+    cfg.options.faultHook = &faults;
+    ReplayResult r = PalmSimulator::replaySession(s, cfg);
+
+    EXPECT_EQ(faults.fired(), 1u);
+    EXPECT_GE(r.replayStats.divergencesDetected, 1u);
+    EXPECT_GE(r.replayStats.recoveryRewinds, 1u);
+    EXPECT_EQ(r.finalState.fingerprint(),
+              clean.finalState.fingerprint());
+}
+
+TEST(Recovery, PersistentDropDegradesGracefully)
+{
+    Session s = PalmSimulator::collect(sessionCfg(1234));
+    s64 keyIdx = firstSyncIndexOf(s.log, 'k');
+    ASSERT_GE(keyIdx, 0);
+
+    // The fault fires on every attempt at this event, so no number of
+    // rewinds can fix it: the engine must give the record up and
+    // finish the replay rather than loop.
+    fault::ScriptedReplayFaults faults;
+    faults.dropAlwaysAtIndex(static_cast<u64>(keyIdx));
+
+    ReplayConfig cfg;
+    cfg.options.recover = true;
+    cfg.options.faultHook = &faults;
+    cfg.options.maxRecoveryRetries = 1;
+    ReplayResult r = PalmSimulator::replaySession(s, cfg);
+
+    EXPECT_GE(faults.fired(), 1u);
+    EXPECT_GE(r.replayStats.divergencesDetected, 1u);
+    EXPECT_GE(r.replayStats.recordsSkipped, 1u);
+    // Everything else still replays: pen events were unaffected.
+    EXPECT_EQ(r.replayStats.penEventsInjected,
+              s.log.countOf(hacks::LogType::PenPoint));
+}
+
+TEST(Recovery, DuplicateDeliveryDetected)
+{
+    Session s = PalmSimulator::collect(sessionCfg(16, 0.5));
+    if (s.log.countOf(hacks::LogType::Serial) == 0)
+        GTEST_SKIP() << "session produced no serial traffic";
+    s64 serIdx = firstSyncIndexOf(s.log, 's');
+    ASSERT_GE(serIdx, 0);
+
+    // A duplicated serial byte puts an extra record in the replayed
+    // log. Whether the engine repairs it by rewind or degrades by
+    // widening its extra-record budget, the run must complete with
+    // the fault accounted for.
+    fault::ScriptedReplayFaults faults;
+    faults.duplicateOnceAtAttempt(static_cast<u64>(serIdx));
+
+    ReplayConfig cfg;
+    cfg.options.recover = true;
+    cfg.options.faultHook = &faults;
+    cfg.options.maxRecoveryRetries = 1;
+    ReplayResult r = PalmSimulator::replaySession(s, cfg);
+
+    EXPECT_EQ(faults.fired(), 1u);
+    EXPECT_GE(r.replayStats.faultsInjected, 1u);
+    EXPECT_GE(r.replayStats.divergencesDetected, 1u);
+}
+
+TEST(Recovery, FaultHookWithoutRecoveryStillCounts)
+{
+    Session s = PalmSimulator::collect(sessionCfg(1234));
+    s64 keyIdx = firstSyncIndexOf(s.log, 'k');
+    ASSERT_GE(keyIdx, 0);
+
+    // Without recover, the fault silently lands (the paper's failure
+    // mode) — but the stats still disclose that the run was faulted.
+    fault::ScriptedReplayFaults faults;
+    faults.dropOnceAtAttempt(static_cast<u64>(keyIdx));
+
+    ReplayConfig cfg;
+    cfg.options.faultHook = &faults;
+    ReplayResult r = PalmSimulator::replaySession(s, cfg);
+    EXPECT_EQ(r.replayStats.faultsInjected, 1u);
+    EXPECT_EQ(r.replayStats.recoveryRewinds, 0u);
+    EXPECT_EQ(r.replayStats.keyEventsInjected,
+              s.log.countOf(hacks::LogType::Key) - 1);
+}
+
+} // namespace
+} // namespace pt

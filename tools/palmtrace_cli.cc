@@ -12,11 +12,17 @@
  *   palmtrace info BASE
  *       summarize a saved session (log mix, timestamps, states)
  *
- *   palmtrace replay BASE [--import] [--jitter N]
+ *   palmtrace replay BASE [--import] [--jitter N] [--recover]
  *       replay with profiling; print reference and timing measurements
+ *       (--recover turns on online divergence detection with
+ *       checkpoint-rewind recovery)
  *
  *   palmtrace validate BASE [--import]
  *       run the paper's two-fold validation and print both reports
+ *
+ *   palmtrace fsck <FILE | BASE>
+ *       verify artifact integrity (frame header, checksum, and full
+ *       structural parse); exit 0 when clean, 1 when corrupt
  *
  *   palmtrace sweep BASE [--csv]
  *       the §4 case study: 56-configuration miss rates and Eq 2 times
@@ -29,12 +35,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "base/logging.h"
 #include "base/table.h"
 #include "cache/cache.h"
 #include "core/palmsim.h"
 #include "m68k/disasm.h"
+#include "validate/artifactcheck.h"
 #include "validate/correlate.h"
 
 namespace
@@ -87,7 +95,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: palmtrace <collect|info|replay|validate|sweep|disasm>"
+        "usage: palmtrace "
+        "<collect|info|replay|validate|fsck|sweep|disasm>"
         " [options]\n"
         "see the file header of tools/palmtrace_cli.cc for details\n");
     return 2;
@@ -114,8 +123,9 @@ cmdCollect(const Args &a)
     sim.beginCollection();
     auto stats = sim.runUser(cfg);
     core::Session s = sim.endCollection();
-    if (!s.save(out)) {
-        std::fprintf(stderr, "collect: cannot write %s.*\n", out);
+    std::string err;
+    if (!s.save(out, &err)) {
+        std::fprintf(stderr, "collect: %s\n", err.c_str());
         return 1;
     }
     std::printf("session saved to %s.{init.snap,log,final.snap}\n",
@@ -136,8 +146,9 @@ loadSession(const Args &a, core::Session &s)
         std::fprintf(stderr, "missing session BASE operand\n");
         return false;
     }
-    if (!core::Session::load(base, s)) {
-        std::fprintf(stderr, "cannot load session '%s'\n", base);
+    if (auto res = core::Session::load(base, s); !res) {
+        std::fprintf(stderr, "cannot load session '%s': %s\n", base,
+                     res.message().c_str());
         return false;
     }
     return true;
@@ -190,7 +201,13 @@ cmdReplay(const Args &a)
     cfg.logicalImportMode = a.has("--import");
     cfg.options.burstJitterTicks = static_cast<Ticks>(
         std::strtoul(a.value("--jitter", "0"), nullptr, 0));
+    cfg.options.recover = a.has("--recover");
     core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
+    if (r.replayStats.optionsRejected) {
+        std::fprintf(stderr, "replay: %s\n",
+                     r.replayStats.optionsError.c_str());
+        return 2;
+    }
     std::printf("instructions  %llu\n",
                 static_cast<unsigned long long>(r.instructions));
     std::printf("cycles        %llu (%.2f s guest time)\n",
@@ -215,7 +232,48 @@ cmdReplay(const Args &a)
                     r.replayStats.keyStateOverrides),
                 static_cast<unsigned long long>(
                     r.replayStats.seedsApplied));
+    if (cfg.options.recover) {
+        std::printf("recovery      %llu divergences, %llu rewinds, "
+                    "%llu records skipped\n",
+                    static_cast<unsigned long long>(
+                        r.replayStats.divergencesDetected),
+                    static_cast<unsigned long long>(
+                        r.replayStats.recoveryRewinds),
+                    static_cast<unsigned long long>(
+                        r.replayStats.recordsSkipped));
+    }
     return 0;
+}
+
+int
+cmdFsck(const Args &a)
+{
+    const char *target = a.operand();
+    if (!target) {
+        std::fprintf(stderr,
+                     "fsck: missing FILE or session BASE operand\n");
+        return 2;
+    }
+
+    // A direct file path is checked alone; otherwise the operand is a
+    // session base naming the usual three artifacts.
+    std::vector<std::string> paths;
+    if (std::FILE *f = std::fopen(target, "rb")) {
+        std::fclose(f);
+        paths.push_back(target);
+    } else {
+        std::string base = target;
+        paths = {base + ".init.snap", base + ".log",
+                 base + ".final.snap"};
+    }
+
+    bool allClean = true;
+    for (const auto &p : paths) {
+        validate::FsckReport rep = validate::fsckArtifact(p);
+        std::printf("%s\n", rep.summary.c_str());
+        allClean = allClean && rep.clean();
+    }
+    return allClean ? 0 : 1;
 }
 
 int
@@ -328,6 +386,8 @@ main(int argc, char **argv)
         return cmdReplay(rest);
     if (cmd == "validate")
         return cmdValidate(rest);
+    if (cmd == "fsck")
+        return cmdFsck(rest);
     if (cmd == "sweep")
         return cmdSweep(rest);
     if (cmd == "disasm")
