@@ -151,5 +151,7 @@ main(int argc, char **argv)
                   TextTable::percent(bestSavings, 1) + " savings",
                   energyOk);
 
-    return lruOk && l2Unwarranted && energyOk ? 0 : 1;
+    int exitCode = lruOk && l2Unwarranted && energyOk ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

@@ -155,6 +155,7 @@ main(int argc, char **argv)
     bench::expect("instruction energy accounted",
                   "per-class charges", "see table", energySane);
 
-    return longOk && coldBiased && primingHelps && energySane
-        ? 0 : 1;
+    int exitCode = longOk && coldBiased && primingHelps && energySane ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

@@ -4,6 +4,11 @@
  * bench binary reproduces one table or figure from the paper's
  * evaluation and prints the paper's expectation next to the measured
  * value so the shape comparison is explicit.
+ *
+ * Every checkpoint printed through expect() is also published into the
+ * process metrics registry (bench.checks_passed / bench.checks_failed
+ * plus a per-check gauge), so `--metrics-out FILE` turns any bench
+ * into a machine-readable pass/fail report.
  */
 
 #ifndef PT_BENCH_BENCHUTIL_H
@@ -14,15 +19,17 @@
 #include <string>
 
 #include "base/logging.h"
+#include "obs/registry.h"
 
 namespace pt::bench
 {
 
-/** Parses --scale N / --csv style flags. */
+/** Parses --scale N / --csv / --metrics-out FILE style flags. */
 struct BenchArgs
 {
-    double scale = 1.0; ///< workload scale factor
-    bool csv = false;   ///< also print CSV blocks
+    double scale = 1.0;     ///< workload scale factor
+    bool csv = false;       ///< also print CSV blocks
+    std::string metricsOut; ///< write the registry as JSON on finish
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -34,6 +41,9 @@ struct BenchArgs
             } else if (!std::strcmp(argv[i], "--scale") &&
                        i + 1 < argc) {
                 a.scale = std::atof(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--metrics-out") &&
+                       i + 1 < argc) {
+                a.metricsOut = argv[++i];
             }
         }
         return a;
@@ -53,7 +63,31 @@ banner(const char *id, const char *what)
                 "=============\n\n");
 }
 
-/** Prints a paper-vs-measured checkpoint line. */
+/** Slug form of a check name for a registry gauge. */
+inline std::string
+checkSlug(const char *what)
+{
+    std::string s;
+    bool lastSep = true;
+    for (const char *p = what; *p; ++p) {
+        char c = *p;
+        if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+            s += c;
+            lastSep = false;
+        } else if (c >= 'A' && c <= 'Z') {
+            s += static_cast<char>(c - 'A' + 'a');
+            lastSep = false;
+        } else if (!lastSep) {
+            s += '_';
+            lastSep = true;
+        }
+    }
+    while (!s.empty() && s.back() == '_')
+        s.pop_back();
+    return s;
+}
+
+/** Prints a paper-vs-measured checkpoint line and records it. */
 inline void
 expect(const char *what, const std::string &paper,
        const std::string &measured, bool ok)
@@ -61,6 +95,24 @@ expect(const char *what, const std::string &paper,
     std::printf("  %-46s paper: %-18s measured: %-18s %s\n", what,
                 paper.c_str(), measured.c_str(),
                 ok ? "[OK]" : "[DIVERGES]");
+    auto &reg = obs::Registry::global();
+    reg.counter(ok ? "bench.checks_passed" : "bench.checks_failed")
+        .inc();
+    reg.gauge("bench.check." + checkSlug(what)).set(ok ? 1.0 : 0.0);
+}
+
+/** Writes the registry when --metrics-out was given. Call at exit. */
+inline void
+finishMetrics(const BenchArgs &a)
+{
+    if (a.metricsOut.empty())
+        return;
+    std::string err;
+    if (!obs::Registry::global().writeJson(a.metricsOut, &err))
+        std::fprintf(stderr, "bench: %s\n", err.c_str());
+    else
+        std::fprintf(stderr, "metrics written to %s\n",
+                     a.metricsOut.c_str());
 }
 
 } // namespace pt::bench

@@ -142,5 +142,7 @@ main(int argc, char **argv)
     bench::expect("acceptable overhead for small logs",
                   "< 10 ms per call",
                   TextTable::num(hi, 2) + " ms", acceptable);
-    return growth && magnitude && similar && acceptable ? 0 : 1;
+    int exitCode = growth && magnitude && similar && acceptable ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

@@ -151,5 +151,7 @@ main(int argc, char **argv)
                       std::to_string(assocCmp) + " series",
                   assocOk);
 
-    return sizeMono && lineOk && assocOk ? 0 : 1;
+    int exitCode = sizeMono && lineOk && assocOk ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

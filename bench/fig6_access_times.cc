@@ -123,5 +123,7 @@ main(int argc, char **argv)
     std::printf("\n  T_eff range across configs: %.3f - %.3f cycles "
                 "(baseline %.3f)\n",
                 best, worst, noCache);
-    return allReduce && halfOk ? 0 : 1;
+    int exitCode = allReduce && halfOk ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

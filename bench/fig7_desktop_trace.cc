@@ -107,5 +107,7 @@ main(int argc, char **argv)
     bench::expect("dynamic range across configurations",
                   "small caches clearly worse",
                   TextTable::num(spread, 1) + "x", spreadOk);
-    return sizeMono && spreadOk ? 0 : 1;
+    int exitCode = sizeMono && spreadOk ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

@@ -184,5 +184,7 @@ main(int argc, char **argv)
                 "surface; the per-call overhead blow-up above is the "
                 "directly reproduced result.\n",
                 os::Trap::Count - 1);
-    return fiveOk && palmistBad && storageGrows && extrapOk ? 0 : 1;
+    int exitCode = fiveOk && palmistBad && storageGrows && extrapOk ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

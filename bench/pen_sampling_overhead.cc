@@ -58,5 +58,7 @@ main(int argc, char **argv)
     bench::expect("pen events per second with hack installed",
                   "50.0 (no perceptible overhead)",
                   TextTable::num(perSecond, 2), ok);
-    return ok ? 0 : 1;
+    int exitCode = ok ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

@@ -101,5 +101,7 @@ main(int argc, char **argv)
                 "the paper's (leaner synthetic apps); the reference "
                 "mix and derived access times are the reproduced "
                 "quantities.\n");
-    return allOk ? 0 : 1;
+    int exitCode = allOk ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

@@ -16,6 +16,7 @@
 #include "bench/benchutil.h"
 #include "core/palmsim.h"
 #include "fault/faultplan.h"
+#include "obs/registry.h"
 #include "validate/correlate.h"
 
 namespace
@@ -47,6 +48,18 @@ replayAndValidate(const core::Session &s, bool logicalImport)
     for (const auto &d : stateCorr.diffs)
         if (d.benign())
             ++benign;
+    auto &reg = obs::Registry::global();
+    reg.counter(logCorr.pass() ? "validate.log_pass"
+                               : "validate.log_fail")
+        .inc();
+    reg.counter(stateCorr.pass() ? "validate.state_pass"
+                                 : "validate.state_fail")
+        .inc();
+    reg.counter("validate.benign_diffs").inc(benign);
+    reg.counter("validate.significant_diffs")
+        .inc(stateCorr.significantDiffs());
+    reg.gauge("validate.max_lag_ticks")
+        .max(static_cast<double>(logCorr.maxTickLag));
     return {logCorr.pass(), stateCorr.pass(), logCorr.maxTickLag,
             benign, stateCorr.significantDiffs()};
 }
@@ -57,7 +70,6 @@ int
 main(int argc, char **argv)
 {
     auto args = bench::BenchArgs::parse(argc, argv);
-    (void)args;
     setLogQuiet(true);
     bench::banner("§3", "System validation: log and final-state "
                         "correlation over three chained workloads");
@@ -177,5 +189,7 @@ main(int argc, char **argv)
                       recovered);
         allPass = allPass && recovered;
     }
-    return allPass ? 0 : 1;
+    int exitCode = allPass ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
 }

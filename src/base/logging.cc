@@ -1,26 +1,96 @@
 #include "logging.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace pt
 {
 
 namespace
 {
-bool gQuiet = false;
+
+LogLevel gLevel = LogLevel::Info;
+bool gTimestamps = false;
+
+/** Process-start reference for the timestamp prefix. */
+const std::chrono::steady_clock::time_point gStart =
+    std::chrono::steady_clock::now();
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    if (gTimestamps) {
+        double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - gStart)
+                .count();
+        std::fprintf(stderr, "[%9.3f] %s: %s\n", secs, tag,
+                     msg.c_str());
+    } else {
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    }
+}
+
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
 
 void
 setLogQuiet(bool quiet)
 {
-    gQuiet = quiet;
+    gLevel = quiet ? LogLevel::Quiet : LogLevel::Info;
 }
 
 bool
 logQuiet()
 {
-    return gQuiet;
+    return gLevel == LogLevel::Quiet;
+}
+
+void
+setLogTimestamps(bool on)
+{
+    gTimestamps = on;
+}
+
+bool
+logTimestamps()
+{
+    return gTimestamps;
+}
+
+void
+applyLogEnv()
+{
+    if (const char *lv = std::getenv("PT_LOG_LEVEL")) {
+        if (!std::strcmp(lv, "quiet") || !std::strcmp(lv, "0"))
+            gLevel = LogLevel::Quiet;
+        else if (!std::strcmp(lv, "warn") || !std::strcmp(lv, "1"))
+            gLevel = LogLevel::Warn;
+        else if (!std::strcmp(lv, "info") || !std::strcmp(lv, "2"))
+            gLevel = LogLevel::Info;
+        else if (!std::strcmp(lv, "debug") || !std::strcmp(lv, "3"))
+            gLevel = LogLevel::Debug;
+        else
+            std::fprintf(stderr,
+                         "warn: unrecognized PT_LOG_LEVEL '%s' "
+                         "(want quiet|warn|info|debug)\n",
+                         lv);
+    }
+    if (const char *ts = std::getenv("PT_LOG_TIMESTAMPS"))
+        gTimestamps = std::strcmp(ts, "0") != 0;
 }
 
 namespace detail
@@ -45,15 +115,22 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!gQuiet)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (gLevel >= LogLevel::Warn)
+        emit("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!gQuiet)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (gLevel >= LogLevel::Info)
+        emit("info", msg);
+}
+
+void
+verboseImpl(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Debug)
+        emit("debug", msg);
 }
 
 } // namespace detail

@@ -8,6 +8,14 @@
  *            configuration, malformed input file). Exits with code 1.
  * warn()   — something works well enough but may explain odd behaviour.
  * inform() — normal operating status for the user.
+ * verbose() — chatty diagnostics, off unless the level is Debug.
+ *
+ * Verbosity is a runtime level (Quiet < Warn < Info < Debug),
+ * settable programmatically (setLogLevel), from the environment
+ * (PT_LOG_LEVEL=quiet|warn|info|debug via applyLogEnv), or through
+ * the CLI's --quiet/--verbose flags. setLogQuiet() remains as the
+ * two-state shorthand the tests use. setLogTimestamps() prefixes
+ * every line with seconds elapsed since process start.
  */
 
 #ifndef PT_BASE_LOGGING_H
@@ -38,14 +46,37 @@ format(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void verboseImpl(const std::string &msg);
 
 } // namespace detail
 
-/** Enables or disables inform()/warn() console output (tests use this). */
+/** Console verbosity levels, most to least restrictive. */
+enum class LogLevel : unsigned char
+{
+    Quiet = 0, ///< nothing but panic/fatal
+    Warn = 1,  ///< warn() only
+    Info = 2,  ///< warn() + inform() (the default)
+    Debug = 3  ///< everything, including verbose()
+};
+
+/** Sets the console verbosity level. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Enables or disables inform()/warn() console output (tests use this).
+ *  Shorthand for setLogLevel(Quiet / Info). */
 void setLogQuiet(bool quiet);
 
 /** @return true when inform()/warn() output is suppressed. */
 bool logQuiet();
+
+/** Prefixes every log line with "[  12.345]" seconds since start. */
+void setLogTimestamps(bool on);
+bool logTimestamps();
+
+/** Applies PT_LOG_LEVEL (quiet|warn|info|debug or 0-3) and
+ *  PT_LOG_TIMESTAMPS (1/0) from the environment, when set. */
+void applyLogEnv();
 
 template <typename... Args>
 void
@@ -59,6 +90,13 @@ void
 inform(Args &&...args)
 {
     detail::informImpl(detail::format(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+verbose(Args &&...args)
+{
+    detail::verboseImpl(detail::format(std::forward<Args>(args)...));
 }
 
 #define PT_PANIC(...) \

@@ -18,7 +18,12 @@
 namespace pt::stats
 {
 
-/** Accumulates a stream of samples into count/sum/min/max/mean/stddev. */
+/**
+ * Accumulates a stream of samples into count/sum/min/max/mean/stddev.
+ * The variance runs on Welford's online recurrence, so the stddev of
+ * samples with a large common offset (e.g. cycle timestamps near 1e9)
+ * does not suffer the sum-of-squares catastrophic cancellation.
+ */
 class Summary
 {
   public:
@@ -27,7 +32,9 @@ class Summary
     {
         ++n;
         total += v;
-        totalSq += v * v;
+        double delta = v - meanAcc;
+        meanAcc += delta / static_cast<double>(n);
+        m2 += delta * (v - meanAcc);
         lo = std::min(lo, v);
         hi = std::max(hi, v);
     }
@@ -36,15 +43,15 @@ class Summary
     double sum() const { return total; }
     double min() const { return n ? lo : 0.0; }
     double max() const { return n ? hi : 0.0; }
-    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    double mean() const { return n ? meanAcc : 0.0; }
 
+    /** Population standard deviation (n divisor). */
     double
     stddev() const
     {
         if (n < 2)
             return 0.0;
-        double m = mean();
-        double var = totalSq / static_cast<double>(n) - m * m;
+        double var = m2 / static_cast<double>(n);
         return var > 0 ? std::sqrt(var) : 0.0;
     }
 
@@ -52,7 +59,7 @@ class Summary
     reset()
     {
         n = 0;
-        total = totalSq = 0.0;
+        total = meanAcc = m2 = 0.0;
         lo = 1e300;
         hi = -1e300;
     }
@@ -60,7 +67,8 @@ class Summary
   private:
     u64 n = 0;
     double total = 0.0;
-    double totalSq = 0.0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
     double lo = 1e300;
     double hi = -1e300;
 };

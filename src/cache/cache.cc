@@ -158,6 +158,8 @@ Cache::access(Addr addr, bool isFlash)
             }
         }
     }
+    if (base[victim].valid)
+        ++st.evictions;
     base[victim].valid = true;
     base[victim].tag = tag;
     base[victim].stamp = tick;

@@ -56,6 +56,7 @@ struct CacheStats
 {
     u64 accesses = 0;
     u64 misses = 0;
+    u64 evictions = 0; ///< misses that displaced a valid line
     u64 ramAccesses = 0;
     u64 ramMisses = 0;
     u64 flashAccesses = 0;

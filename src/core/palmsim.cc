@@ -1,6 +1,8 @@
 #include "palmsim.h"
 
 #include "base/logging.h"
+#include "obs/profile.h"
+#include "obs/tracer.h"
 #include "validate/correlate.h"
 
 namespace pt::core
@@ -56,6 +58,7 @@ PalmSimulator::~PalmSimulator() = default;
 void
 PalmSimulator::beginCollection()
 {
+    PT_TRACE_SCOPE("collect.begin", "collect");
     PT_ASSERT(!collecting, "collection already in progress");
     // "We simply chose to start every session directly after a soft
     // reset" (§2.2): storage RAM survives, the dynamic state is
@@ -73,6 +76,7 @@ PalmSimulator::beginCollection()
 workload::UserSessionStats
 PalmSimulator::runUser(const workload::UserModelConfig &cfg)
 {
+    PT_TRACE_SCOPE("collect.user_session", "collect");
     workload::UserModel user(dev, cfg);
     return user.runSession();
 }
@@ -80,6 +84,7 @@ PalmSimulator::runUser(const workload::UserModelConfig &cfg)
 Session
 PalmSimulator::endCollection()
 {
+    PT_TRACE_SCOPE("collect.end", "collect");
     PT_ASSERT(collecting, "no collection in progress");
     collecting = false;
     dev.runUntilIdle();
@@ -99,25 +104,65 @@ PalmSimulator::collect(const workload::UserModelConfig &cfg)
     return sim.endCollection();
 }
 
+namespace
+{
+
+/** Publishes one replayed session's totals into the profile sink. */
+void
+publishReplayMetrics(obs::ProfileSink &ps, const ReplayResult &r,
+                     u64 traps)
+{
+    const replay::ReplayStats &st = r.replayStats;
+    ps.count("m68k.instructions", r.instructions);
+    ps.count("m68k.cycles", r.cycles);
+    ps.count("m68k.traps", traps);
+    ps.count("bus.ram_refs", r.refs.ramRefs());
+    ps.count("bus.flash_refs", r.refs.flashRefs());
+    ps.gauge("bus.flash_fraction", r.refs.flashFraction());
+    ps.count("replay.events_injected", st.penEventsInjected +
+                                           st.keyEventsInjected +
+                                           st.serialBytesInjected);
+    ps.count("replay.pen_events", st.penEventsInjected);
+    ps.count("replay.key_events", st.keyEventsInjected);
+    ps.count("replay.serial_bytes", st.serialBytesInjected);
+    ps.count("replay.key_state_overrides", st.keyStateOverrides);
+    ps.count("replay.seeds_applied", st.seedsApplied);
+    ps.count("replay.faults_injected", st.faultsInjected);
+    ps.count("recovery.divergences", st.divergencesDetected);
+    ps.count("recovery.rewinds", st.recoveryRewinds);
+    ps.count("recovery.records_skipped", st.recordsSkipped);
+}
+
+} // namespace
+
 ReplayResult
 PalmSimulator::replaySession(const Session &s, const ReplayConfig &cfg)
 {
+    PT_TRACE_SCOPE("replay.session", "replay");
     ReplayResult res;
     device::Device dev;
 
-    if (cfg.logicalImportMode)
-        validate::logicalImport(s.initialState, dev);
-    else
-        s.initialState.restore(dev);
-    dev.runUntilIdle(); // boot to the launcher
+    {
+        PT_TRACE_SCOPE(cfg.logicalImportMode ? "replay.import"
+                                             : "replay.restore",
+                       "replay");
+        if (cfg.logicalImportMode)
+            validate::logicalImport(s.initialState, dev);
+        else
+            s.initialState.restore(dev);
+        dev.runUntilIdle(); // boot to the launcher
+    }
 
     // Reinstall the hacks exactly as on the handheld — §3.3: "we
     // imported our hacks and X-Master along with the other
     // applications", so the emulated session logs its own activity.
-    os::RomSymbols syms = os::buildRom().syms;
-    hacks::HackManager mgr(dev, syms);
-    mgr.installCollectionHacks();
-    dev.runUntilIdle();
+    {
+        PT_TRACE_SCOPE("replay.install_hacks", "replay");
+        os::RomSymbols syms = os::buildRom().syms;
+        hacks::HackManager mgr(dev, syms);
+        mgr.installCollectionHacks();
+        dev.runUntilIdle();
+    }
 
     // Profiling: every bus transaction and opcode from here on is the
     // replayed workload.
@@ -132,6 +177,7 @@ PalmSimulator::replaySession(const Session &s, const ReplayConfig &cfg)
 
     u64 instBefore = dev.instructionsRetired();
     u64 cycBefore = dev.nowCycles();
+    u64 trapBefore = dev.cpu().trapsTaken();
 
     replay::ReplayEngine engine(dev, s.log);
     res.replayStats = engine.run(cfg.options);
@@ -143,8 +189,18 @@ PalmSimulator::replaySession(const Session &s, const ReplayConfig &cfg)
     dev.bus().setRefSink(nullptr);
     dev.cpu().setOpcodeSink(nullptr);
 
-    res.emulatedLog = trace::ActivityLog::extract(dev.bus());
-    res.finalState = device::Snapshot::capture(dev);
+    {
+        PT_TRACE_SCOPE("replay.extract_log", "replay");
+        res.emulatedLog = trace::ActivityLog::extract(dev.bus());
+    }
+    {
+        PT_TRACE_SCOPE("replay.final_snapshot", "replay");
+        res.finalState = device::Snapshot::capture(dev);
+    }
+    if (auto *ps = obs::profileSink()) {
+        publishReplayMetrics(*ps, res,
+                             dev.cpu().trapsTaken() - trapBefore);
+    }
     return res;
 }
 

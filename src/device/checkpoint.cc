@@ -4,6 +4,7 @@
 #include "base/binio.h"
 #include "base/fnv.h"
 #include "device/device.h"
+#include "obs/tracer.h"
 
 namespace pt::device
 {
@@ -11,6 +12,7 @@ namespace pt::device
 Checkpoint
 Checkpoint::capture(const Device &dev)
 {
+    PT_TRACE_SCOPE("checkpoint.capture", "checkpoint");
     Checkpoint c;
     c.memory = Snapshot::capture(dev);
     c.cpu = dev.cpu().saveState();
@@ -23,6 +25,7 @@ Checkpoint::capture(const Device &dev)
 void
 Checkpoint::restore(Device &dev) const
 {
+    PT_TRACE_SCOPE("checkpoint.restore", "checkpoint");
     dev.bus().loadRam(memory.ram);
     dev.bus().loadRom(memory.rom);
     dev.io().loadState(io);
@@ -187,6 +190,7 @@ Checkpoint::deserialize(const std::vector<u8> &data, Checkpoint &out)
 bool
 Checkpoint::save(const std::string &path, std::string *errOut) const
 {
+    PT_TRACE_SCOPE("checkpoint.save", "checkpoint");
     BinWriter w;
     auto bytes = serialize();
     w.putBytes(bytes.data(), bytes.size());
@@ -196,6 +200,7 @@ Checkpoint::save(const std::string &path, std::string *errOut) const
 LoadResult
 Checkpoint::load(const std::string &path, Checkpoint &out)
 {
+    PT_TRACE_SCOPE("checkpoint.load", "checkpoint");
     BinReader r({});
     if (auto res = BinReader::readFile(path, r); !res)
         return res;

@@ -502,6 +502,7 @@ Cpu::enterInterrupt(int level)
 Cycles
 Cpu::doTrap(int trapNum)
 {
+    ++trapCount;
     if (trapHook) {
         u16 selector = 0;
         if (trapNum == 15)

@@ -174,6 +174,9 @@ class Cpu
     u64 instructionsRetired() const { return instret; }
     Cycles totalCycles() const { return cycleCount; }
 
+    /** TRAP instructions executed (profiling: system-call rate). */
+    u64 trapsTaken() const { return trapCount; }
+
     BusIf &bus() { return busRef; }
 
   private:
@@ -275,6 +278,7 @@ class Cpu
     Cycles pendingCycles = 0;    ///< accumulates during one step()
     Cycles cycleCount = 0;
     u64 instret = 0;
+    u64 trapCount = 0;
     TrapHook trapHook;
     OpcodeSink *opcodeSink = nullptr;
 };

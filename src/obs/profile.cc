@@ -1,0 +1,23 @@
+#include "profile.h"
+
+namespace pt::obs
+{
+
+namespace
+{
+ProfileSink *gSink = nullptr;
+} // namespace
+
+ProfileSink *
+profileSink()
+{
+    return gSink;
+}
+
+void
+setProfileSink(ProfileSink *sink)
+{
+    gSink = sink;
+}
+
+} // namespace pt::obs

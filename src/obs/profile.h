@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Profiling hooks: the interface instrumented components report
+ * through when profiling mode is on.
+ *
+ * The paper's profiling mode ("Profiling enabled" in POSE) observes
+ * every instruction; palmtrace components therefore keep their own
+ * always-on cheap counters (Cpu::instructionsRetired, Bus ref counts,
+ * ReplayStats, CacheStats) and, when a ProfileSink is installed,
+ * additionally publish named observations through it — per-event
+ * latency samples, queue depths, phase totals. The default sink
+ * forwards into the global metrics Registry.
+ *
+ * The sink pointer is process-global and null by default: an
+ * uninstrumented run pays one pointer test per reporting site, and
+ * reporting sites are per event / per phase, never per instruction.
+ */
+
+#ifndef PT_OBS_PROFILE_H
+#define PT_OBS_PROFILE_H
+
+#include "registry.h"
+
+namespace pt::obs
+{
+
+/** Receives named profiling observations from instrumented code. */
+class ProfileSink
+{
+  public:
+    virtual ~ProfileSink() = default;
+
+    /** Adds @p delta to the named cumulative count. */
+    virtual void count(const char *metric, u64 delta = 1) = 0;
+
+    /** Publishes a point-in-time scalar. */
+    virtual void gauge(const char *metric, double value) = 0;
+
+    /** Adds one sample to the named distribution. */
+    virtual void sample(const char *metric, double value) = 0;
+};
+
+/** The default sink: forwards every observation into a Registry. */
+class RegistrySink final : public ProfileSink
+{
+  public:
+    explicit RegistrySink(Registry &r = Registry::global())
+        : reg(r)
+    {}
+
+    void
+    count(const char *metric, u64 delta = 1) override
+    {
+        reg.counter(metric).inc(delta);
+    }
+
+    void
+    gauge(const char *metric, double value) override
+    {
+        reg.gauge(metric).set(value);
+    }
+
+    void
+    sample(const char *metric, double value) override
+    {
+        reg.histogram(metric).add(value);
+    }
+
+  private:
+    Registry &reg;
+};
+
+/** @return the installed profile sink, or nullptr (profiling off). */
+ProfileSink *profileSink();
+
+/** Installs (or clears, with nullptr) the process profile sink. */
+void setProfileSink(ProfileSink *sink);
+
+} // namespace pt::obs
+
+#endif // PT_OBS_PROFILE_H

@@ -1,0 +1,261 @@
+#include "registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace pt::obs
+{
+
+namespace
+{
+
+/** Bucket index: 0 for v < 1, else 1 + floor(log2(v)), capped. */
+std::size_t
+bucketIndex(double v)
+{
+    if (!(v >= 1.0))
+        return 0;
+    u64 n = v >= 9.2e18 ? ~0ull : static_cast<u64>(v);
+    std::size_t bits = 0;
+    while (n) {
+        ++bits;
+        n >>= 1;
+    }
+    return bits < LogHistogram::kBuckets ? bits
+                                         : LogHistogram::kBuckets - 1;
+}
+
+/** Formats a double with no trailing-zero noise, JSON-safe. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    if (v == static_cast<double>(static_cast<s64>(v)) &&
+        std::fabs(v) < 9e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+    }
+    return buf;
+}
+
+} // namespace
+
+void
+LogHistogram::add(double v)
+{
+    ++counts[bucketIndex(v)];
+    summaryAcc.add(v);
+}
+
+double
+LogHistogram::bucketLow(std::size_t i)
+{
+    if (i == 0)
+        return 0.0;
+    return std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double
+LogHistogram::bucketHigh(std::size_t i)
+{
+    return std::ldexp(1.0, static_cast<int>(i));
+}
+
+std::size_t
+LogHistogram::usedBuckets() const
+{
+    std::size_t n = kBuckets;
+    while (n > 0 && counts[n - 1] == 0)
+        --n;
+    return n;
+}
+
+void
+LogHistogram::reset()
+{
+    std::memset(counts, 0, sizeof(counts));
+    summaryAcc.reset();
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    auto &slot = gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LogHistogram &
+Registry::histogram(const std::string &name)
+{
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<LogHistogram>();
+    return *slot;
+}
+
+u64
+Registry::counterValue(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second->value();
+}
+
+double
+Registry::gaugeValue(const std::string &name) const
+{
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0.0 : it->second->value();
+}
+
+std::size_t
+Registry::size() const
+{
+    return counters.size() + gauges.size() + histograms.size();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+Registry::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"palmtrace-metrics-v1\",\n";
+
+    os << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << jsonNumber(g->value());
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        const auto &s = h->summary();
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"count\": " << s.count()
+           << ", \"sum\": " << jsonNumber(s.sum())
+           << ", \"min\": " << jsonNumber(s.min())
+           << ", \"max\": " << jsonNumber(s.max())
+           << ", \"mean\": " << jsonNumber(s.mean())
+           << ", \"stddev\": " << jsonNumber(s.stddev())
+           << ", \"buckets\": [";
+        bool firstB = true;
+        for (std::size_t i = 0; i < h->usedBuckets(); ++i) {
+            if (h->bucketCount(i) == 0)
+                continue;
+            os << (firstB ? "" : ", ") << "["
+               << jsonNumber(LogHistogram::bucketLow(i)) << ", "
+               << jsonNumber(LogHistogram::bucketHigh(i)) << ", "
+               << h->bucketCount(i) << "]";
+            firstB = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+    return os.str();
+}
+
+std::string
+Registry::toText() const
+{
+    std::ostringstream os;
+    for (const auto &[name, c] : counters)
+        os << name << " = " << c->value() << "\n";
+    for (const auto &[name, g] : gauges)
+        os << name << " = " << jsonNumber(g->value()) << "\n";
+    for (const auto &[name, h] : histograms) {
+        const auto &s = h->summary();
+        os << name << " = {count " << s.count() << ", mean "
+           << jsonNumber(s.mean()) << ", min " << jsonNumber(s.min())
+           << ", max " << jsonNumber(s.max()) << ", stddev "
+           << jsonNumber(s.stddev()) << "}\n";
+    }
+    return os.str();
+}
+
+bool
+Registry::writeJson(const std::string &path, std::string *errOut) const
+{
+    std::string body = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        if (errOut)
+            *errOut = path + ": cannot open for writing";
+        return false;
+    }
+    bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok && errOut)
+        *errOut = path + ": short write";
+    return ok;
+}
+
+void
+Registry::clear()
+{
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+}
+
+} // namespace pt::obs

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The process-global metrics registry: hierarchically named counters,
+ * gauges, and log-scale histograms, unified over the stats::Summary
+ * primitives, with JSON and text formatters.
+ *
+ * Naming scheme: lower-case dotted paths, subsystem first —
+ * `replay.events_injected`, `cache.l1.misses`, `m68k.instructions`,
+ * `recovery.rewinds`. Metrics are created on first lookup and live for
+ * the life of the process; handles returned by the registry are stable
+ * and may be cached by hot paths.
+ *
+ * Threading: palmtrace simulates one device per process on one thread;
+ * the registry deliberately has concurrent-free single-thread semantics
+ * (no locks, no atomics) and must only be touched from that thread.
+ */
+
+#ifndef PT_OBS_REGISTRY_H
+#define PT_OBS_REGISTRY_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/stats.h"
+#include "base/types.h"
+
+namespace pt::obs
+{
+
+/** A monotonically increasing 64-bit event count. */
+class Counter
+{
+  public:
+    void inc(u64 delta = 1) { v += delta; }
+    u64 value() const { return v; }
+    void reset() { v = 0; }
+
+  private:
+    u64 v = 0;
+};
+
+/** A point-in-time scalar (queue depth, fraction, rate). */
+class Gauge
+{
+  public:
+    void set(double value) { v = value; }
+    void max(double value) { v = value > v ? value : v; }
+    double value() const { return v; }
+    void reset() { v = 0.0; }
+
+  private:
+    double v = 0.0;
+};
+
+/**
+ * A log-scale histogram for latencies and sizes: power-of-two buckets
+ * (bucket i counts samples in [2^(i-1), 2^i), bucket 0 counts samples
+ * < 1), with full moments kept by an embedded stats::Summary. Negative
+ * samples land in bucket 0 but still update the moments.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void add(double v);
+
+    u64 count() const { return summaryAcc.count(); }
+    u64 bucketCount(std::size_t i) const { return counts[i]; }
+
+    /** Inclusive lower sample bound of bucket @p i (0 for bucket 0). */
+    static double bucketLow(std::size_t i);
+    /** Exclusive upper sample bound of bucket @p i. */
+    static double bucketHigh(std::size_t i);
+
+    /** Index of the highest nonempty bucket plus one (0 when empty). */
+    std::size_t usedBuckets() const;
+
+    const stats::Summary &summary() const { return summaryAcc; }
+    void reset();
+
+  private:
+    u64 counts[kBuckets] = {};
+    stats::Summary summaryAcc;
+};
+
+/**
+ * The metrics registry. Usually used through the process-global
+ * instance; separate instances exist only for tests.
+ */
+class Registry
+{
+  public:
+    /** The process-global registry. */
+    static Registry &global();
+
+    /** Looks up (creating on first use) a metric by dotted name. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    LogHistogram &histogram(const std::string &name);
+
+    /** @return the counter's value, 0 when it was never created. */
+    u64 counterValue(const std::string &name) const;
+    /** @return the gauge's value, 0.0 when it was never created. */
+    double gaugeValue(const std::string &name) const;
+
+    std::size_t size() const;
+
+    /**
+     * Renders the whole registry as one JSON document:
+     *   { "schema": "palmtrace-metrics-v1",
+     *     "counters": {...}, "gauges": {...}, "histograms": {...} }
+     */
+    std::string toJson() const;
+
+    /** Renders "name = value" lines plus histogram summaries. */
+    std::string toText() const;
+
+    /** Writes toJson() atomically-ish (direct write, short file). */
+    bool writeJson(const std::string &path,
+                   std::string *errOut = nullptr) const;
+
+    /** Drops every metric (tests and fresh CLI runs). */
+    void clear();
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<LogHistogram>> histograms;
+};
+
+/** Escapes a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace pt::obs
+
+#endif // PT_OBS_REGISTRY_H

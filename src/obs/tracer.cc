@@ -1,0 +1,132 @@
+#include "tracer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "registry.h"
+
+namespace pt::obs
+{
+
+namespace
+{
+
+u64
+steadyNowNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+Tracer::Tracer()
+    : epochNs(steadyNowNs())
+{}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer instance;
+    return instance;
+}
+
+u64
+Tracer::nowUs() const
+{
+    return (steadyNowNs() - epochNs) / 1000;
+}
+
+void
+Tracer::begin(const char *name, const char *cat)
+{
+    if (!enabledFlag)
+        return;
+    stack.push_back({name, cat, nowUs()});
+}
+
+void
+Tracer::end()
+{
+    if (!enabledFlag || stack.empty())
+        return;
+    Open o = stack.back();
+    stack.pop_back();
+    u64 now = nowUs();
+    events.push_back(
+        {o.name, o.cat, 'X', o.tsUs, now - o.tsUs, 0.0});
+}
+
+void
+Tracer::instant(const char *name, const char *cat)
+{
+    if (!enabledFlag)
+        return;
+    events.push_back({name, cat, 'i', nowUs(), 0, 0.0});
+}
+
+void
+Tracer::counter(const char *name, double value)
+{
+    if (!enabledFlag)
+        return;
+    events.push_back({name, "counter", 'C', nowUs(), 0, value});
+}
+
+std::string
+Tracer::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    for (const auto &e : events) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << " {\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"" << jsonEscape(e.cat)
+           << "\", \"ph\": \"" << e.ph << "\", \"ts\": " << e.tsUs
+           << ", \"pid\": 1, \"tid\": 1";
+        if (e.ph == 'X')
+            os << ", \"dur\": " << e.durUs;
+        else if (e.ph == 'i')
+            os << ", \"s\": \"t\"";
+        else if (e.ph == 'C') {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.9g", e.value);
+            os << ", \"args\": {\"value\": " << buf << "}";
+        }
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return os.str();
+}
+
+bool
+Tracer::writeJson(const std::string &path, std::string *errOut) const
+{
+    std::string body = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        if (errOut)
+            *errOut = path + ": cannot open for writing";
+        return false;
+    }
+    bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok && errOut)
+        *errOut = path + ": short write";
+    return ok;
+}
+
+void
+Tracer::clear()
+{
+    events.clear();
+    stack.clear();
+}
+
+} // namespace pt::obs

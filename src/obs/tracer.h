@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A low-overhead timeline tracer emitting Chrome trace-event JSON.
+ *
+ * The output loads directly in Perfetto (https://ui.perfetto.dev) or
+ * chrome://tracing: one process, one track, "X" complete events for
+ * scoped spans (replay phases, checkpoint save/restore, recovery
+ * rewinds, bench sections), "i" instant events for point occurrences,
+ * and "C" counter events for time series (queue depths).
+ *
+ * Cost model: every entry point first tests a single bool; a disabled
+ * tracer therefore costs one predictable branch per PT_TRACE_* site.
+ * Defining PALMTRACE_NO_TRACING compiles the macros away entirely.
+ * Like the registry, the tracer has single-thread semantics.
+ */
+
+#ifndef PT_OBS_TRACER_H
+#define PT_OBS_TRACER_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace pt::obs
+{
+
+/** The process-global timeline tracer. */
+class Tracer
+{
+  public:
+    static Tracer &global();
+
+    /** Turns event recording on or off (off by default). */
+    void setEnabled(bool on) { enabledFlag = on; }
+    bool enabled() const { return enabledFlag; }
+
+    /** Opens a span; pair with end(). Prefer TraceSpan (RAII). */
+    void begin(const char *name, const char *cat);
+    /** Closes the innermost open span. */
+    void end();
+    /** Records a point event. */
+    void instant(const char *name, const char *cat);
+    /** Records one sample of a named time series. */
+    void counter(const char *name, double value);
+
+    std::size_t eventCount() const { return events.size(); }
+    std::size_t openSpans() const { return stack.size(); }
+
+    /** Renders {"traceEvents": [...]} (closing open spans is the
+     *  caller's job; unclosed spans are dropped). */
+    std::string toJson() const;
+
+    bool writeJson(const std::string &path,
+                   std::string *errOut = nullptr) const;
+
+    /** Drops all recorded events and open spans. */
+    void clear();
+
+  private:
+    struct Event
+    {
+        const char *name; ///< string literals only (never freed)
+        const char *cat;
+        char ph;      ///< 'X', 'i', or 'C'
+        u64 tsUs;     ///< microseconds since tracer epoch
+        u64 durUs;    ///< 'X' only
+        double value; ///< 'C' only
+    };
+
+    struct Open
+    {
+        const char *name;
+        const char *cat;
+        u64 tsUs;
+    };
+
+    Tracer();
+    u64 nowUs() const;
+
+    bool enabledFlag = false;
+    u64 epochNs;
+    std::vector<Event> events;
+    std::vector<Open> stack;
+};
+
+/** RAII span: opens on construction when tracing, closes on exit. */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *name, const char *cat)
+    {
+        if (Tracer::global().enabled()) {
+            live = true;
+            Tracer::global().begin(name, cat);
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (live)
+            Tracer::global().end();
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    bool live = false;
+};
+
+} // namespace pt::obs
+
+#ifndef PALMTRACE_NO_TRACING
+#define PT_TRACE_CONCAT2(a, b) a##b
+#define PT_TRACE_CONCAT(a, b) PT_TRACE_CONCAT2(a, b)
+/** Traces the enclosing scope as a span. */
+#define PT_TRACE_SCOPE(name, cat) \
+    ::pt::obs::TraceSpan PT_TRACE_CONCAT(ptTraceSpan_, \
+                                         __COUNTER__)(name, cat)
+/** Traces a point event. */
+#define PT_TRACE_INSTANT(name, cat) \
+    do { \
+        if (::pt::obs::Tracer::global().enabled()) \
+            ::pt::obs::Tracer::global().instant(name, cat); \
+    } while (0)
+/** Traces one sample of a named counter track. */
+#define PT_TRACE_COUNTER(name, value) \
+    do { \
+        if (::pt::obs::Tracer::global().enabled()) \
+            ::pt::obs::Tracer::global().counter(name, value); \
+    } while (0)
+#else
+#define PT_TRACE_SCOPE(name, cat) \
+    do { \
+    } while (0)
+#define PT_TRACE_INSTANT(name, cat) \
+    do { \
+    } while (0)
+#define PT_TRACE_COUNTER(name, value) \
+    do { \
+    } while (0)
+#endif
+
+#endif // PT_OBS_TRACER_H

@@ -4,6 +4,8 @@
 
 #include "base/logging.h"
 #include "hacks/logformat.h"
+#include "obs/profile.h"
+#include "obs/tracer.h"
 #include "os/guestabi.h"
 
 namespace pt::replay
@@ -314,7 +316,23 @@ ReplayStats
 ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
                        const ReplayOptions &opts, bool allowJitter)
 {
+    PT_TRACE_SCOPE("replay.playback", "replay");
     Rng jitter(opts.jitterSeed);
+
+    // Profiling-mode observations beyond the ReplayStats totals:
+    // queue depths at entry and a per-delivery injection-lag sample.
+    obs::ProfileSink *prof = obs::profileSink();
+    if (prof) {
+        prof->gauge("replay.queue.sync_events",
+                    static_cast<double>(syncEvents.size()));
+        prof->gauge("replay.queue.key_states",
+                    static_cast<double>(keyStateQueue.size()));
+        prof->gauge("replay.queue.seeds",
+                    static_cast<double>(seedQueue.size()));
+    }
+    const Ticks finalTick =
+        syncEvents.empty() ? 0 : syncEvents.back().tick;
+    u64 delivered = 0;
 
     // Jitter models the paper's replay bursts: a whole group of
     // events runs slightly behind schedule, then snaps back. The
@@ -382,6 +400,7 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
     };
 
     auto rewind = [&]() {
+        PT_TRACE_INSTANT("recovery.rewind", "recovery");
         lastGood.cp.machine.restore(dev);
         keyStateCursor =
             static_cast<std::size_t>(lastGood.cp.keyStateCursor);
@@ -396,6 +415,7 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
     // Rewind-and-retry, else degrade: tolerate the offending record
     // and carry on rather than produce a silently-wrong trace.
     auto onDivergence = [&](const Divergence &d) {
+        PT_TRACE_INSTANT("recovery.divergence", "recovery");
         ++divergences;
         if (retriesLeft > 0) {
             --retriesLeft;
@@ -418,6 +438,7 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
     };
 
     auto verify = [&](bool final) {
+        PT_TRACE_SCOPE("recovery.verify", "recovery");
         trace::ActivityLog rep =
             trace::ActivityLog::extract(dev.bus());
         Ticks now = dev.ticks();
@@ -524,12 +545,28 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
                     deliver(e);
                 }
             }
+            if (prof) {
+                // How far behind its scheduled tick the event landed
+                // (the paper's replay-burst lag, §3.3).
+                prof->sample("replay.injection_lag_ticks",
+                             static_cast<double>(dev.ticks() -
+                                                 e.tick));
+            }
             stats.lastEventTick = e.tick;
             ++i;
+            ++delivered;
+            if (opts.progress && opts.progressEveryEvents &&
+                delivered % opts.progressEveryEvents == 0) {
+                opts.progress({delivered, syncEvents.size(),
+                               dev.ticks(), finalTick});
+            }
         }
 
-        dev.runUntilTick(stats.lastEventTick + opts.settleTicks);
-        dev.runUntilIdle();
+        {
+            PT_TRACE_SCOPE("replay.settle", "replay");
+            dev.runUntilTick(stats.lastEventTick + opts.settleTicks);
+            dev.runUntilIdle();
+        }
 
         if (!recovering)
             break;

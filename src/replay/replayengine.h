@@ -42,6 +42,7 @@
 #define PT_REPLAY_REPLAYENGINE_H
 
 #include <array>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -95,6 +96,15 @@ class ReplayFaultHook
                                         Ticks tick) = 0;
 };
 
+/** A progress heartbeat snapshot (CLI progress reporting). */
+struct ReplayProgress
+{
+    u64 eventsDelivered = 0; ///< deliveries so far (rewinds included)
+    u64 totalEvents = 0;     ///< scheduled synchronous events
+    Ticks tick = 0;          ///< current emulated tick
+    Ticks finalTick = 0;     ///< tick of the last scheduled event
+};
+
 /** Playback options. */
 struct ReplayOptions
 {
@@ -133,6 +143,11 @@ struct ReplayOptions
 
     /** Optional runtime fault injector (tests, chaos runs). */
     ReplayFaultHook *faultHook = nullptr;
+
+    /** Invoked every @ref progressEveryEvents deliveries (heartbeat);
+     *  never invoked when unset or when the cadence is zero. */
+    std::function<void(const ReplayProgress &)> progress;
+    u64 progressEveryEvents = 0;
 
     /** @return empty when consistent, else why this combination of
      *  options is rejected. */

@@ -154,6 +154,85 @@ TEST(Stats, SummaryMoments)
     EXPECT_NEAR(s.stddev(), 2.5820, 1e-3);
 }
 
+TEST(Stats, SummaryEmptyIsAllZeros)
+{
+    stats::Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SummarySingleSample)
+{
+    stats::Summary s;
+    s.add(-7.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), -7.5);
+    EXPECT_DOUBLE_EQ(s.min(), -7.5);
+    EXPECT_DOUBLE_EQ(s.max(), -7.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SummaryHandlesNegatives)
+{
+    stats::Summary s;
+    for (double v : {-3.0, -1.0, 1.0, 3.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(5.0), 1e-12);
+}
+
+TEST(Stats, SummaryStddevStableUnderLargeOffset)
+{
+    // The naive sum-of-squares recurrence catastrophically cancels
+    // here; Welford's recurrence must not. Samples {0,1,2} shifted by
+    // 1e9 keep the population stddev sqrt(2/3).
+    stats::Summary s;
+    s.add(1e9);
+    s.add(1e9 + 1.0);
+    s.add(1e9 + 2.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0 / 3.0), 1e-9);
+    EXPECT_DOUBLE_EQ(s.mean(), 1e9 + 1.0);
+}
+
+TEST(Stats, SummaryResetClears)
+{
+    stats::Summary s;
+    s.add(5.0);
+    s.add(6.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+}
+
+TEST(Stats, HistogramEmpty)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.stats().count(), 0u);
+}
+
+TEST(Stats, HistogramSingleSampleMoments)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.add(4.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_DOUBLE_EQ(h.stats().mean(), 4.0);
+    EXPECT_DOUBLE_EQ(h.stats().stddev(), 0.0);
+}
+
 TEST(Stats, HistogramBuckets)
 {
     stats::Histogram h(0.0, 10.0, 10);

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the observability layer: the metrics registry
+ * (counters, gauges, log-scale histograms, JSON/text rendering), the
+ * profile-sink indirection, and the Chrome trace-event tracer.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
+
+namespace pt::obs
+{
+namespace
+{
+
+TEST(Registry, CounterCreatesOnFirstUseAndAccumulates)
+{
+    Registry reg;
+    EXPECT_EQ(reg.counterValue("replay.events"), 0u);
+    reg.counter("replay.events").inc();
+    reg.counter("replay.events").inc(41);
+    EXPECT_EQ(reg.counterValue("replay.events"), 42u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, GaugeSetAndMax)
+{
+    Registry reg;
+    reg.gauge("queue.depth").set(3.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("queue.depth"), 3.0);
+    reg.gauge("queue.depth").max(1.0); // lower: no change
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("queue.depth"), 3.0);
+    reg.gauge("queue.depth").max(9.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("queue.depth"), 9.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("missing"), 0.0);
+}
+
+TEST(Registry, HandlesAreStableAcrossLaterInsertions)
+{
+    Registry reg;
+    Counter &c = reg.counter("a.first");
+    for (int i = 0; i < 100; ++i)
+        reg.counter("fill." + std::to_string(i)).inc();
+    c.inc(7); // the handle must still point at the same counter
+    EXPECT_EQ(reg.counterValue("a.first"), 7u);
+}
+
+TEST(Registry, ClearDropsEverything)
+{
+    Registry reg;
+    reg.counter("a").inc();
+    reg.gauge("b").set(1.0);
+    reg.histogram("c").add(2.0);
+    EXPECT_EQ(reg.size(), 3u);
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_EQ(reg.counterValue("a"), 0u);
+}
+
+TEST(LogHistogram, PowerOfTwoBucketing)
+{
+    LogHistogram h;
+    h.add(0.0);  // < 1 → bucket 0
+    h.add(0.5);  // < 1 → bucket 0
+    h.add(1.0);  // [1,2) → bucket 1
+    h.add(3.0);  // [2,4) → bucket 2
+    h.add(4.0);  // [4,8) → bucket 3
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.usedBuckets(), 4u);
+}
+
+TEST(LogHistogram, BucketBoundsArePowersOfTwo)
+{
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketHigh(0), 1.0);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLow(1), 1.0);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketHigh(1), 2.0);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLow(10), 512.0);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketHigh(10), 1024.0);
+}
+
+TEST(LogHistogram, NegativeSamplesLandInBucketZeroButKeepMoments)
+{
+    LogHistogram h;
+    h.add(-8.0);
+    h.add(8.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u); // [8,16)
+    EXPECT_DOUBLE_EQ(h.summary().min(), -8.0);
+    EXPECT_DOUBLE_EQ(h.summary().max(), 8.0);
+    EXPECT_DOUBLE_EQ(h.summary().mean(), 0.0);
+}
+
+TEST(LogHistogram, EmptyAndReset)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.usedBuckets(), 0u);
+    h.add(100.0);
+    EXPECT_GT(h.usedBuckets(), 0u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.usedBuckets(), 0u);
+}
+
+TEST(Registry, JsonHasSchemaAndAllSections)
+{
+    Registry reg;
+    reg.counter("m68k.instructions").inc(123);
+    reg.gauge("bus.flash_fraction").set(0.5);
+    reg.histogram("replay.lag").add(7.0);
+    std::string j = reg.toJson();
+    EXPECT_NE(j.find("\"schema\": \"palmtrace-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"m68k.instructions\": 123"), std::string::npos);
+    EXPECT_NE(j.find("\"bus.flash_fraction\""), std::string::npos);
+    EXPECT_NE(j.find("\"replay.lag\""), std::string::npos);
+    EXPECT_NE(j.find("\"buckets\""), std::string::npos);
+}
+
+TEST(Registry, JsonFileRoundTrip)
+{
+    Registry reg;
+    reg.counter("x.count").inc(5);
+    std::string path = testing::TempDir() + "pt_obs_roundtrip.json";
+    std::string err;
+    ASSERT_TRUE(reg.writeJson(path, &err)) << err;
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string back;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        back.append(buf, got);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(back, reg.toJson());
+    EXPECT_NE(back.find("\"x.count\": 5"), std::string::npos);
+}
+
+TEST(Registry, TextListsMetrics)
+{
+    Registry reg;
+    reg.counter("a.hits").inc(2);
+    reg.gauge("a.rate").set(0.25);
+    std::string t = reg.toText();
+    EXPECT_NE(t.find("a.hits"), std::string::npos);
+    EXPECT_NE(t.find("a.rate"), std::string::npos);
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ProfileSink, NullByDefaultAndInstallable)
+{
+    ASSERT_EQ(profileSink(), nullptr);
+    Registry reg;
+    RegistrySink sink(reg);
+    setProfileSink(&sink);
+    ASSERT_EQ(profileSink(), &sink);
+    profileSink()->count("p.count", 3);
+    profileSink()->gauge("p.gauge", 1.5);
+    profileSink()->sample("p.sample", 2.0);
+    setProfileSink(nullptr);
+    EXPECT_EQ(profileSink(), nullptr);
+
+    EXPECT_EQ(reg.counterValue("p.count"), 3u);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("p.gauge"), 1.5);
+    EXPECT_EQ(reg.histogram("p.sample").count(), 1u);
+}
+
+TEST(Tracer, DisabledRecordsNothing)
+{
+    Tracer &t = Tracer::global();
+    t.clear();
+    t.setEnabled(false);
+    {
+        PT_TRACE_SCOPE("span", "test");
+        PT_TRACE_INSTANT("point", "test");
+        PT_TRACE_COUNTER("series", 1.0);
+    }
+    EXPECT_EQ(t.eventCount(), 0u);
+    EXPECT_EQ(t.openSpans(), 0u);
+}
+
+TEST(Tracer, RecordsSpansInstantsAndCounters)
+{
+    Tracer &t = Tracer::global();
+    t.clear();
+    t.setEnabled(true);
+    {
+        PT_TRACE_SCOPE("outer", "test");
+        PT_TRACE_INSTANT("point", "test");
+        PT_TRACE_COUNTER("series", 4.0);
+    }
+    t.setEnabled(false);
+    EXPECT_EQ(t.eventCount(), 3u);
+    EXPECT_EQ(t.openSpans(), 0u);
+
+    std::string j = t.toJson();
+    EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\": \"outer\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\": \"C\""), std::string::npos);
+    t.clear();
+}
+
+TEST(Tracer, UnclosedSpanIsNotEmitted)
+{
+    Tracer &t = Tracer::global();
+    t.clear();
+    t.setEnabled(true);
+    t.begin("dangling", "test");
+    t.instant("point", "test");
+    t.setEnabled(false);
+    EXPECT_EQ(t.openSpans(), 1u);
+    std::string j = t.toJson();
+    EXPECT_EQ(j.find("dangling"), std::string::npos);
+    EXPECT_NE(j.find("point"), std::string::npos);
+    t.clear();
+    EXPECT_EQ(t.openSpans(), 0u);
+}
+
+} // namespace
+} // namespace pt::obs

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate palmtrace observability output in CI.
+
+Checks a metrics JSON document (written by ``--metrics-out``) against
+the expectations in tools/metrics_schema.json, and optionally checks a
+Chrome trace-event timeline (written by ``--trace-out``) for structural
+sanity so it is guaranteed to load in Perfetto / chrome://tracing.
+
+Usage:
+    check_metrics_schema.py METRICS_JSON [--schema SCHEMA_JSON]
+                            [--trace TRACE_JSON]
+
+Exits 0 when every check passes, 1 otherwise, listing each failure.
+Standard library only.
+"""
+
+import argparse
+import json
+import numbers
+import os
+import sys
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def check_metrics(doc, schema):
+    if doc.get("schema") != schema["schema"]:
+        fail("metrics: schema tag is %r, want %r"
+             % (doc.get("schema"), schema["schema"]))
+    for section in schema["required_sections"]:
+        if not isinstance(doc.get(section), dict):
+            fail("metrics: missing section %r" % section)
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    histograms = doc.get("histograms", {})
+
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail("metrics: counter %r is %r, want a non-negative "
+                 "integer" % (name, value))
+    for name, value in gauges.items():
+        if not isinstance(value, numbers.Real):
+            fail("metrics: gauge %r is %r, want a number"
+                 % (name, value))
+
+    for name in schema["required_counters"]:
+        if name not in counters:
+            fail("metrics: required counter %r is missing" % name)
+    for name in schema["required_nonzero"]:
+        if counters.get(name, 0) == 0:
+            fail("metrics: counter %r must be nonzero" % name)
+    for name in schema["required_gauges"]:
+        if name not in gauges:
+            fail("metrics: required gauge %r is missing" % name)
+    for name in schema["required_histograms"]:
+        if name not in histograms:
+            fail("metrics: required histogram %r is missing" % name)
+
+    for name, h in histograms.items():
+        for field in ("count", "sum", "min", "max", "mean", "stddev",
+                      "buckets"):
+            if field not in h:
+                fail("metrics: histogram %r lacks %r" % (name, field))
+        total = 0
+        for b in h.get("buckets", []):
+            if (not isinstance(b, list) or len(b) != 3
+                    or not all(isinstance(x, numbers.Real)
+                               for x in b)):
+                fail("metrics: histogram %r has malformed bucket %r"
+                     % (name, b))
+                continue
+            lo, hi, count = b
+            if hi <= lo:
+                fail("metrics: histogram %r bucket [%r,%r) is empty-"
+                     "range" % (name, lo, hi))
+            total += count
+        if h.get("count") != total:
+            fail("metrics: histogram %r count %r != bucket sum %r"
+                 % (name, h.get("count"), total))
+
+    # Cross-metric consistency: each level's hits+misses == accesses.
+    for lvl in ("cache.l1", "cache.l2"):
+        acc = counters.get(lvl + ".accesses")
+        hits = counters.get(lvl + ".hits")
+        misses = counters.get(lvl + ".misses")
+        if None not in (acc, hits, misses) and hits + misses != acc:
+            fail("metrics: %s hits %d + misses %d != accesses %d"
+                 % (lvl, hits, misses, acc))
+
+
+def check_trace(doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("trace: no traceEvents array")
+        return
+    if not events:
+        fail("trace: traceEvents is empty")
+    names = set()
+    for i, e in enumerate(events):
+        for field in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                fail("trace: event %d lacks %r" % (i, field))
+        ph = e.get("ph")
+        if ph not in ("X", "i", "C"):
+            fail("trace: event %d has unknown phase %r" % (i, ph))
+        if ph == "X" and "dur" not in e:
+            fail("trace: complete event %d lacks dur" % i)
+        if ph == "i" and e.get("s") not in ("t", "p", "g"):
+            fail("trace: instant event %d lacks scope" % i)
+        if ph == "C" and "value" not in e.get("args", {}):
+            fail("trace: counter event %d lacks args.value" % i)
+        if isinstance(e.get("ts"), numbers.Real) and e["ts"] < 0:
+            fail("trace: event %d has negative timestamp" % i)
+        names.add(e.get("name"))
+    # An instrumented replay must contain the replay-phase spans.
+    for expected in ("replay.session", "replay.playback"):
+        if expected not in names:
+            fail("trace: expected span %r not present" % expected)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("metrics", help="metrics JSON from --metrics-out")
+    ap.add_argument("--schema",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "metrics_schema.json"))
+    ap.add_argument("--trace", default=None,
+                    help="also check a --trace-out timeline")
+    args = ap.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    try:
+        with open(args.metrics) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print("FAIL: cannot parse %s: %s" % (args.metrics, e))
+        return 1
+    check_metrics(doc, schema)
+
+    if args.trace:
+        try:
+            with open(args.trace) as f:
+                tdoc = json.load(f)
+        except (OSError, ValueError) as e:
+            print("FAIL: cannot parse %s: %s" % (args.trace, e))
+            return 1
+        check_trace(tdoc)
+
+    if errors:
+        for e in errors:
+            print("FAIL:", e)
+        print("%d check(s) failed" % len(errors))
+        return 1
+    print("ok: %s conforms to %s%s"
+          % (args.metrics, schema["schema"],
+             " (+ trace %s)" % args.trace if args.trace else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

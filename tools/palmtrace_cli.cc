@@ -13,9 +13,12 @@
  *       summarize a saved session (log mix, timestamps, states)
  *
  *   palmtrace replay BASE [--import] [--jitter N] [--recover]
+ *                    [--profile]
  *       replay with profiling; print reference and timing measurements
  *       (--recover turns on online divergence detection with
- *       checkpoint-rewind recovery)
+ *       checkpoint-rewind recovery; --profile additionally runs a
+ *       two-level cache hierarchy over the reference stream and
+ *       publishes per-level counters)
  *
  *   palmtrace validate BASE [--import]
  *       run the paper's two-fold validation and print both reports
@@ -24,13 +27,30 @@
  *       verify artifact integrity (frame header, checksum, and full
  *       structural parse); exit 0 when clean, 1 when corrupt
  *
+ *   palmtrace stats <FILE | BASE>
+ *       summarize any artifact (activity log, snapshot, checkpoint):
+ *       record mix, sizes, fingerprints, tick ranges
+ *
  *   palmtrace sweep BASE [--csv]
  *       the §4 case study: 56-configuration miss rates and Eq 2 times
  *
  *   palmtrace disasm [--count N]
  *       disassemble the front of the PilotOS ROM (sanity/debugging)
+ *
+ * Observability options, accepted by every subcommand:
+ *
+ *   --metrics-out FILE   write the metrics registry as JSON on exit
+ *   --trace-out FILE     record a Chrome trace-event timeline (open in
+ *                        Perfetto / chrome://tracing) and write it
+ *   --quiet / --verbose  lower / raise log verbosity (see also the
+ *                        PT_LOG_LEVEL environment variable)
+ *
+ * Exit codes: 0 success, 1 operational failure (corrupt artifact,
+ * failed validation), 2 usage error (unknown subcommand, missing
+ * operand).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,8 +60,13 @@
 #include "base/logging.h"
 #include "base/table.h"
 #include "cache/cache.h"
+#include "cache/hierarchy.h"
 #include "core/palmsim.h"
+#include "device/checkpoint.h"
 #include "m68k/disasm.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "validate/artifactcheck.h"
 #include "validate/correlate.h"
 
@@ -55,6 +80,21 @@ struct Args
 {
     int argc;
     char **argv;
+
+    /** Flags that consume the following token as their value. */
+    static bool
+    takesValue(const char *flag)
+    {
+        static const char *kValueFlags[] = {
+            "--out",    "--seed",        "--interactions",
+            "--idle",   "--jitter",      "--count",
+            "--metrics-out", "--trace-out",
+        };
+        for (const char *f : kValueFlags)
+            if (!std::strcmp(flag, f))
+                return true;
+        return false;
+    }
 
     const char *
     value(const char *flag, const char *fallback = nullptr) const
@@ -80,7 +120,7 @@ struct Args
     {
         for (int i = 0; i < argc; ++i) {
             if (argv[i][0] == '-') {
-                if (value(argv[i]) == argv[i + 1])
+                if (takesValue(argv[i]))
                     ++i; // skip the flag's value
                 continue;
             }
@@ -90,17 +130,185 @@ struct Args
     }
 };
 
+const char *const kSubcommands[] = {
+    "collect", "info", "replay", "validate",
+    "fsck",    "stats", "sweep", "disasm",
+};
+
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: palmtrace <subcommand> [options]\n"
+        "\n"
+        "subcommands:\n"
+        "  collect --out BASE [--seed N] [--interactions N]\n"
+        "          [--idle TICKS] [--beams]\n"
+        "                     synthesize a session, save its artifacts\n"
+        "  info BASE          summarize a saved session\n"
+        "  replay BASE [--import] [--jitter N] [--recover] [--profile]\n"
+        "                     replay with profiling measurements\n"
+        "  validate BASE [--import]\n"
+        "                     the paper's two-fold validation\n"
+        "  fsck FILE|BASE     artifact integrity check (exit 0/1)\n"
+        "  stats FILE|BASE    summarize any log/snapshot/checkpoint\n"
+        "  sweep BASE [--csv] the 56-configuration cache case study\n"
+        "  disasm [--count N] disassemble the PilotOS ROM\n"
+        "  help               print this message\n"
+        "\n"
+        "observability options (any subcommand):\n"
+        "  --metrics-out FILE   write the metrics registry as JSON\n"
+        "  --trace-out FILE     write a Chrome/Perfetto trace timeline\n"
+        "  --quiet | --verbose  log verbosity (also: PT_LOG_LEVEL=\n"
+        "                       quiet|warn|info|debug)\n");
+}
+
 int
 usage()
 {
-    std::fprintf(
-        stderr,
-        "usage: palmtrace "
-        "<collect|info|replay|validate|fsck|sweep|disasm>"
-        " [options]\n"
-        "see the file header of tools/palmtrace_cli.cc for details\n");
+    printUsage(stderr);
     return 2;
 }
+
+/** Levenshtein distance, for the unknown-subcommand hint. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t cur = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               prev + (a[i - 1] != b[j - 1])});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+int
+unknownSubcommand(const std::string &cmd)
+{
+    std::fprintf(stderr, "palmtrace: unknown subcommand '%s'\n",
+                 cmd.c_str());
+    const char *best = nullptr;
+    std::size_t bestDist = 3; // suggest within distance 2 only
+    for (const char *s : kSubcommands) {
+        std::size_t d = editDistance(cmd, s);
+        if (d < bestDist) {
+            bestDist = d;
+            best = s;
+        }
+    }
+    if (best)
+        std::fprintf(stderr, "did you mean '%s'?\n", best);
+    std::fprintf(stderr, "run 'palmtrace help' for the full list\n");
+    return 2;
+}
+
+// ---------------------------------------------------------------------
+// Observability plumbing shared by the subcommands.
+
+/** Wall-clock heartbeat printer for long replays. */
+class Heartbeat
+{
+  public:
+    void
+    install(replay::ReplayOptions &opts, u64 everyEvents = 250)
+    {
+        start = std::chrono::steady_clock::now();
+        opts.progressEveryEvents = everyEvents;
+        opts.progress = [this](const replay::ReplayProgress &p) {
+            report(p);
+        };
+    }
+
+  private:
+    void
+    report(const replay::ReplayProgress &p)
+    {
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        if (secs <= 0.0)
+            return;
+        double evRate = static_cast<double>(p.eventsDelivered) / secs;
+        double tickRate = static_cast<double>(p.tick) / secs;
+        double eta = 0.0;
+        if (p.tick > 0 && p.finalTick > p.tick) {
+            eta = static_cast<double>(p.finalTick - p.tick) /
+                  (static_cast<double>(p.tick) / secs);
+        }
+        std::fprintf(stderr,
+                     "progress: %llu/%llu events, tick %llu/%llu "
+                     "(%.0f events/s, %.2fM ticks/s, ETA %.1fs)\n",
+                     static_cast<unsigned long long>(p.eventsDelivered),
+                     static_cast<unsigned long long>(p.totalEvents),
+                     static_cast<unsigned long long>(p.tick),
+                     static_cast<unsigned long long>(p.finalTick),
+                     evRate, tickRate / 1e6, eta);
+    }
+
+    std::chrono::steady_clock::time_point start;
+};
+
+/** Publishes one simulated cache level into the registry. */
+void
+publishCacheLevel(const char *level, const cache::CacheStats &st)
+{
+    auto &reg = obs::Registry::global();
+    std::string p = std::string("cache.") + level + ".";
+    reg.counter(p + "accesses").inc(st.accesses);
+    reg.counter(p + "hits").inc(st.accesses - st.misses);
+    reg.counter(p + "misses").inc(st.misses);
+    reg.counter(p + "evictions").inc(st.evictions);
+    reg.gauge(p + "miss_rate").set(st.missRate());
+}
+
+/** Feeds the replayed reference stream into a two-level hierarchy. */
+class HierarchySink : public device::MemRefSink
+{
+  public:
+    explicit HierarchySink(cache::TwoLevelCache &h)
+        : hier(h)
+    {}
+
+    void
+    onRef(Addr addr, m68k::AccessKind,
+          device::RefClass cls) override
+    {
+        if (cls == device::RefClass::Ram)
+            hier.access(addr, false);
+        else if (cls == device::RefClass::Flash)
+            hier.access(addr, true);
+    }
+
+  private:
+    cache::TwoLevelCache &hier;
+};
+
+/** The representative profiling hierarchy: the paper's sweet-spot L1
+ *  (8 KB, 32 B lines, 4-way) over a unified 64 KB L2. */
+cache::TwoLevelCache
+profileHierarchy()
+{
+    cache::CacheConfig l1;
+    l1.sizeBytes = 8 * 1024;
+    l1.lineBytes = 32;
+    l1.assoc = 4;
+    cache::CacheConfig l2;
+    l2.sizeBytes = 64 * 1024;
+    l2.lineBytes = 32;
+    l2.assoc = 8;
+    return cache::TwoLevelCache(l1, l2);
+}
+
+// ---------------------------------------------------------------------
 
 int
 cmdCollect(const Args &a)
@@ -202,6 +410,19 @@ cmdReplay(const Args &a)
     cfg.options.burstJitterTicks = static_cast<Ticks>(
         std::strtoul(a.value("--jitter", "0"), nullptr, 0));
     cfg.options.recover = a.has("--recover");
+
+    // Profiling mode: run the reference stream through a representative
+    // two-level hierarchy so per-level counters land in the registry.
+    bool profile = a.has("--profile");
+    cache::TwoLevelCache hier = profileHierarchy();
+    HierarchySink hierSink(hier);
+    if (profile)
+        cfg.extraRefSink = &hierSink;
+
+    Heartbeat hb;
+    if (!a.has("--quiet"))
+        hb.install(cfg.options);
+
     core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
     if (r.replayStats.optionsRejected) {
         std::fprintf(stderr, "replay: %s\n",
@@ -242,19 +463,23 @@ cmdReplay(const Args &a)
                     static_cast<unsigned long long>(
                         r.replayStats.recordsSkipped));
     }
+    if (profile) {
+        publishCacheLevel("l1", hier.l1().stats());
+        publishCacheLevel("l2", hier.l2().stats());
+        std::printf("cache L1      %.3f%% miss (%s), L2 %.3f%% miss "
+                    "(%s); T_eff %.3f cycles\n",
+                    hier.l1().stats().missRate() * 100.0,
+                    hier.l1().config().name().c_str(),
+                    hier.l2().stats().missRate() * 100.0,
+                    hier.l2().config().name().c_str(),
+                    hier.avgAccessTime());
+    }
     return 0;
 }
 
-int
-cmdFsck(const Args &a)
+std::vector<std::string>
+resolveArtifactPaths(const char *target)
 {
-    const char *target = a.operand();
-    if (!target) {
-        std::fprintf(stderr,
-                     "fsck: missing FILE or session BASE operand\n");
-        return 2;
-    }
-
     // A direct file path is checked alone; otherwise the operand is a
     // session base naming the usual three artifacts.
     std::vector<std::string> paths;
@@ -266,13 +491,136 @@ cmdFsck(const Args &a)
         paths = {base + ".init.snap", base + ".log",
                  base + ".final.snap"};
     }
+    return paths;
+}
 
+int
+cmdFsck(const Args &a)
+{
+    const char *target = a.operand();
+    if (!target) {
+        std::fprintf(stderr,
+                     "fsck: missing FILE or session BASE operand\n");
+        return 2;
+    }
     bool allClean = true;
-    for (const auto &p : paths) {
+    for (const auto &p : resolveArtifactPaths(target)) {
         validate::FsckReport rep = validate::fsckArtifact(p);
         std::printf("%s\n", rep.summary.c_str());
         allClean = allClean && rep.clean();
     }
+    return allClean ? 0 : 1;
+}
+
+/** Per-kind artifact summaries for `palmtrace stats`. */
+void
+statsForLog(const std::string &path, TextTable &t)
+{
+    trace::ActivityLog log;
+    if (auto res = trace::ActivityLog::load(path, log); !res)
+        return;
+    auto row = [&](const char *what, u64 v) {
+        t.addRow({path, what, std::to_string(v)});
+    };
+    row("records", log.records.size());
+    row("pen points", log.countOf(hacks::LogType::PenPoint));
+    row("key events", log.countOf(hacks::LogType::Key));
+    row("key-state polls", log.countOf(hacks::LogType::KeyState));
+    row("notifies", log.countOf(hacks::LogType::Notify));
+    row("random calls", log.countOf(hacks::LogType::Random));
+    row("serial bytes", log.countOf(hacks::LogType::Serial));
+    if (!log.records.empty()) {
+        row("first tick", log.records.front().tick);
+        row("last tick", log.records.back().tick);
+        t.addRow({path, "elapsed",
+                  TextTable::hms(log.records.back().tick /
+                                 kTicksPerSecond)});
+    }
+    auto &reg = obs::Registry::global();
+    reg.counter("artifact.logs_summarized").inc();
+    reg.counter("artifact.log_records").inc(log.records.size());
+}
+
+void
+statsForSnapshot(const std::string &path, TextTable &t)
+{
+    device::Snapshot snap;
+    if (auto res = device::Snapshot::load(path, snap); !res)
+        return;
+    u64 nonZero = 0;
+    for (u8 b : snap.ram)
+        nonZero += b != 0;
+    char fp[20];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(snap.fingerprint()));
+    t.addRow({path, "RAM bytes", std::to_string(snap.ram.size())});
+    t.addRow({path, "RAM bytes nonzero", std::to_string(nonZero)});
+    t.addRow({path, "ROM bytes", std::to_string(snap.rom.size())});
+    t.addRow({path, "RTC base", std::to_string(snap.rtcBase)});
+    t.addRow({path, "fingerprint", fp});
+    obs::Registry::global().counter("artifact.snapshots_summarized")
+        .inc();
+}
+
+void
+statsForCheckpoint(const std::string &path, TextTable &t)
+{
+    device::Checkpoint cp;
+    if (auto res = device::Checkpoint::load(path, cp); !res)
+        return;
+    char fp[20];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(cp.fingerprint()));
+    char pc[16];
+    std::snprintf(pc, sizeof(pc), "0x%08X", cp.cpu.pc);
+    t.addRow({path, "cycles", std::to_string(cp.cycleCount)});
+    t.addRow({path, "ticks",
+              std::to_string(cp.cycleCount / kCyclesPerTick)});
+    t.addRow({path, "instructions",
+              std::to_string(cp.cpu.instructions)});
+    t.addRow({path, "PC", pc});
+    t.addRow({path, "stopped", cp.cpu.stopped ? "yes" : "no"});
+    t.addRow({path, "fingerprint", fp});
+    obs::Registry::global()
+        .counter("artifact.checkpoints_summarized")
+        .inc();
+}
+
+int
+cmdStats(const Args &a)
+{
+    const char *target = a.operand();
+    if (!target) {
+        std::fprintf(stderr,
+                     "stats: missing FILE or session BASE operand\n");
+        return 2;
+    }
+    TextTable t("Artifact statistics");
+    t.setHeader({"Artifact", "Quantity", "Value"});
+    bool allClean = true;
+    for (const auto &p : resolveArtifactPaths(target)) {
+        validate::FsckReport rep = validate::fsckArtifact(p);
+        t.addRow({p, "kind", rep.kind});
+        t.addRow({p, "format version", std::to_string(rep.version)});
+        t.addRow({p, "size bytes", std::to_string(rep.sizeBytes)});
+        t.addRow({p, "integrity",
+                  rep.clean() ? (rep.checksummed
+                                     ? "ok (checksum verified)"
+                                     : "ok (legacy, structural)")
+                              : "CORRUPT"});
+        if (!rep.clean()) {
+            t.addRow({p, "error", rep.result.message()});
+            allClean = false;
+            continue;
+        }
+        if (rep.kind == std::string("activity log"))
+            statsForLog(p, t);
+        else if (rep.kind == std::string("snapshot"))
+            statsForSnapshot(p, t);
+        else if (rep.kind == std::string("checkpoint"))
+            statsForCheckpoint(p, t);
+    }
+    std::printf("%s", t.render().c_str());
     return allClean ? 0 : 1;
 }
 
@@ -284,6 +632,11 @@ cmdValidate(const Args &a)
         return 1;
     core::ReplayConfig cfg;
     cfg.logicalImportMode = a.has("--import");
+
+    Heartbeat hb;
+    if (!a.has("--quiet"))
+        hb.install(cfg.options);
+
     core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
 
     auto logCorr = validate::correlateLogs(s.log, r.emulatedLog);
@@ -293,6 +646,16 @@ cmdValidate(const Args &a)
     auto stateCorr = validate::correlateStates(
         os::listDatabases(handheld), os::listDatabases(emulated));
     std::printf("%s\n", stateCorr.report().c_str());
+
+    auto &reg = obs::Registry::global();
+    reg.counter(logCorr.pass() ? "validate.log_pass"
+                               : "validate.log_fail")
+        .inc();
+    reg.counter(stateCorr.pass() ? "validate.state_pass"
+                                 : "validate.state_fail")
+        .inc();
+    reg.gauge("validate.max_lag_ticks")
+        .max(static_cast<double>(logCorr.maxTickLag));
     return logCorr.pass() && stateCorr.pass() ? 0 : 1;
 }
 
@@ -328,17 +691,28 @@ cmdSweep(const Args &a)
     SweepSink sink(sweep);
     core::ReplayConfig cfg;
     cfg.extraRefSink = &sink;
+
+    Heartbeat hb;
+    if (!a.has("--quiet"))
+        hb.install(cfg.options);
+
     core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
 
     TextTable t("56-configuration sweep (miss rate %, T_eff cycles)");
     t.setHeader({"Config", "Miss rate", "T_eff", "vs no cache"});
     double base = r.refs.avgMemCycles();
+    auto &reg = obs::Registry::global();
     for (const auto &c : sweep.caches()) {
         double teff = c.stats().avgAccessTimePaper();
         t.addRow({c.config().name(),
                   TextTable::percent(c.stats().missRate(), 3),
                   TextTable::num(teff, 3),
                   TextTable::percent(1.0 - teff / base, 1)});
+        if (obs::profileSink()) {
+            reg.gauge("cache.sweep." + c.config().name() +
+                      ".miss_rate")
+                .set(c.stats().missRate());
+        }
     }
     if (a.has("--csv"))
         std::printf("%s", t.renderCsv().c_str());
@@ -368,16 +742,9 @@ cmdDisasm(const Args &a)
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const std::string &cmd, const Args &rest)
 {
-    if (argc < 2)
-        return usage();
-    setLogQuiet(true);
-    Args rest{argc - 2, argv + 2};
-    std::string cmd = argv[1];
     if (cmd == "collect")
         return cmdCollect(rest);
     if (cmd == "info")
@@ -388,9 +755,74 @@ main(int argc, char **argv)
         return cmdValidate(rest);
     if (cmd == "fsck")
         return cmdFsck(rest);
+    if (cmd == "stats")
+        return cmdStats(rest);
     if (cmd == "sweep")
         return cmdSweep(rest);
     if (cmd == "disasm")
         return cmdDisasm(rest);
-    return usage();
+    return unknownSubcommand(cmd);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    std::string cmd = argv[1];
+    Args rest{argc - 2, argv + 2};
+
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        printUsage(stdout);
+        return 0;
+    }
+
+    // Verbosity: CLI default is quiet (tables are the output), the
+    // environment can override, explicit flags win.
+    setLogQuiet(true);
+    applyLogEnv();
+    if (rest.has("--quiet"))
+        setLogLevel(LogLevel::Quiet);
+    else if (rest.has("--verbose"))
+        setLogLevel(LogLevel::Debug);
+
+    // Observability surfaces: install the registry sink when metrics
+    // are wanted, arm the timeline tracer when a trace is wanted.
+    const char *metricsOut = rest.value("--metrics-out");
+    const char *traceOut = rest.value("--trace-out");
+    obs::RegistrySink sink;
+    if (metricsOut || rest.has("--profile"))
+        obs::setProfileSink(&sink);
+    if (traceOut)
+        obs::Tracer::global().setEnabled(true);
+
+    int rc = dispatch(cmd, rest);
+
+    if (metricsOut) {
+        std::string err;
+        if (!obs::Registry::global().writeJson(metricsOut, &err)) {
+            std::fprintf(stderr, "palmtrace: %s\n", err.c_str());
+            rc = rc ? rc : 1;
+        } else {
+            std::fprintf(stderr, "metrics written to %s (%zu metrics)\n",
+                         metricsOut, obs::Registry::global().size());
+        }
+    }
+    if (traceOut) {
+        std::string err;
+        if (!obs::Tracer::global().writeJson(traceOut, &err)) {
+            std::fprintf(stderr, "palmtrace: %s\n", err.c_str());
+            rc = rc ? rc : 1;
+        } else {
+            std::fprintf(
+                stderr, "timeline written to %s (%zu events); open "
+                        "in https://ui.perfetto.dev\n",
+                traceOut, obs::Tracer::global().eventCount());
+        }
+    }
+    obs::setProfileSink(nullptr);
+    return rc;
 }
