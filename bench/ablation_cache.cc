@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "base/table.h"
+#include "base/threadpool.h"
 #include "bench/benchutil.h"
 #include "cache/cache.h"
 #include "cache/hierarchy.h"
@@ -65,22 +66,32 @@ main(int argc, char **argv)
                                                      flashRefs));
 
     // --- 1. replacement policy ---
+    // Each policy run replays the whole buffered trace through an
+    // independent cache, so the runs fan out over the worker pool.
     TextTable t1("Replacement policy (4KB/32B/2-way)");
     t1.setHeader({"Policy", "Miss rate", "T_eff (cycles)"});
+    const std::vector<cache::Policy> policies{
+        cache::Policy::Lru, cache::Policy::Fifo,
+        cache::Policy::Random};
+    std::vector<cache::CacheStats> policyStats =
+        ThreadPool::shared().parallelMap(
+            policies, [&](const cache::Policy &policy) {
+                cache::CacheConfig cfg{4096, 32, 2, policy};
+                cache::Cache c(cfg);
+                for (const auto &r : recs)
+                    c.access(r.addr, r.cls != 0);
+                return c.stats();
+            });
     double lruMiss = 0, randomMiss = 0;
-    for (auto policy : {cache::Policy::Lru, cache::Policy::Fifo,
-                        cache::Policy::Random}) {
-        cache::CacheConfig cfg{4096, 32, 2, policy};
-        cache::Cache c(cfg);
-        for (const auto &r : recs)
-            c.access(r.addr, r.cls != 0);
-        t1.addRow({cache::policyName(policy),
-                   TextTable::percent(c.stats().missRate(), 3),
-                   TextTable::num(c.stats().avgAccessTimePaper(), 3)});
-        if (policy == cache::Policy::Lru)
-            lruMiss = c.stats().missRate();
-        if (policy == cache::Policy::Random)
-            randomMiss = c.stats().missRate();
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const cache::CacheStats &st = policyStats[i];
+        t1.addRow({cache::policyName(policies[i]),
+                   TextTable::percent(st.missRate(), 3),
+                   TextTable::num(st.avgAccessTimePaper(), 3)});
+        if (policies[i] == cache::Policy::Lru)
+            lruMiss = st.missRate();
+        if (policies[i] == cache::Policy::Random)
+            randomMiss = st.missRate();
     }
     std::printf("%s\n", t1.render().c_str());
     bool lruOk = lruMiss <= randomMiss * 1.10;
@@ -132,16 +143,25 @@ main(int argc, char **argv)
     t3.setHeader({"Configuration", "Energy (mJ)", "Savings"});
     double baseMj = energy.uncachedEnergyMj(ramRefs, flashRefs);
     t3.addRow({"no cache", TextTable::num(baseMj, 2), "-"});
+    const std::vector<u32> sizes{1024u, 4096u, 16384u};
+    std::vector<cache::CacheStats> sizeStats =
+        ThreadPool::shared().parallelMap(
+            sizes, [&](const u32 &size) {
+                cache::CacheConfig cfg{size, 32, 2,
+                                       cache::Policy::Lru};
+                cache::Cache c(cfg);
+                for (const auto &r : recs)
+                    c.access(r.addr, r.cls != 0);
+                return c.stats();
+            });
     double bestSavings = 0;
-    for (u32 size : {1024u, 4096u, 16384u}) {
-        cache::CacheConfig cfg{size, 32, 2, cache::Policy::Lru};
-        cache::Cache c(cfg);
-        for (const auto &r : recs)
-            c.access(r.addr, r.cls != 0);
-        double sv = energy.savings(c.stats());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        cache::CacheConfig cfg{sizes[i], 32, 2, cache::Policy::Lru};
+        double sv = energy.savings(sizeStats[i]);
         bestSavings = std::max(bestSavings, sv);
         t3.addRow({cfg.name(),
-                   TextTable::num(energy.cachedEnergyMj(c.stats()), 2),
+                   TextTable::num(energy.cachedEnergyMj(sizeStats[i]),
+                                  2),
                    TextTable::percent(sv, 1)});
     }
     std::printf("%s\n", t3.render().c_str());

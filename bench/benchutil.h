@@ -19,16 +19,18 @@
 #include <string>
 
 #include "base/logging.h"
+#include "base/threadpool.h"
 #include "obs/registry.h"
 
 namespace pt::bench
 {
 
-/** Parses --scale N / --csv / --metrics-out FILE style flags. */
+/** Parses --scale N / --csv / --jobs N / --metrics-out FILE flags. */
 struct BenchArgs
 {
     double scale = 1.0;     ///< workload scale factor
     bool csv = false;       ///< also print CSV blocks
+    unsigned jobs = 0;      ///< 0: PT_JOBS / hardware default
     std::string metricsOut; ///< write the registry as JSON on finish
 
     static BenchArgs
@@ -41,11 +43,17 @@ struct BenchArgs
             } else if (!std::strcmp(argv[i], "--scale") &&
                        i + 1 < argc) {
                 a.scale = std::atof(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--jobs") &&
+                       i + 1 < argc) {
+                a.jobs = static_cast<unsigned>(
+                    std::atoi(argv[++i]));
             } else if (!std::strcmp(argv[i], "--metrics-out") &&
                        i + 1 < argc) {
                 a.metricsOut = argv[++i];
             }
         }
+        if (a.jobs)
+            setDefaultJobs(a.jobs);
         return a;
     }
 };

@@ -18,34 +18,10 @@
 
 #include "base/table.h"
 #include "bench/benchutil.h"
+#include "bench/sweeputil.h"
 #include "cache/cache.h"
 #include "core/palmsim.h"
-
-namespace
-{
-
-class SweepSink : public pt::device::MemRefSink
-{
-  public:
-    explicit SweepSink(pt::cache::CacheSweep &s)
-        : sweep(s)
-    {}
-
-    void
-    onRef(pt::Addr a, pt::m68k::AccessKind,
-          pt::device::RefClass cls) override
-    {
-        if (cls == pt::device::RefClass::Ram)
-            sweep.feed(a, false);
-        else if (cls == pt::device::RefClass::Flash)
-            sweep.feed(a, true);
-    }
-
-  private:
-    pt::cache::CacheSweep &sweep;
-};
-
-} // namespace
+#include "trace/memtrace.h"
 
 int
 main(int argc, char **argv)
@@ -63,20 +39,28 @@ main(int argc, char **argv)
     std::printf("collecting and replaying session 1...\n");
     core::Session session = core::PalmSimulator::collect(cfg);
 
-    cache::CacheSweep sweep(cache::CacheSweep::paper56());
-    SweepSink sink(sweep);
+    // Buffer the reference stream once, then sweep it from memory:
+    // sequentially and on the worker pool, checking the runs agree.
+    trace::TraceBuffer refs;
     core::ReplayConfig rc;
-    rc.extraRefSink = &sink;
+    rc.extraRefSink = &refs;
     core::ReplayResult res =
         core::PalmSimulator::replaySession(session, rc);
     std::printf("%llu references replayed\n\n",
                 static_cast<unsigned long long>(res.refs.totalRefs()));
 
+    bench::TimedSweep sweep =
+        bench::runSweepTimed(cache::CacheSweep::paper56(), refs);
+    std::printf("sweep: %.3fs sequential, %.3fs with %u jobs "
+                "(%.2fx)\n\n",
+                sweep.seqSeconds, sweep.parSeconds, sweep.jobs,
+                sweep.speedup());
+
     // Render: one row per size, one column per (line, assoc) series.
     TextTable t("Figure 5 — miss rate (%) by configuration");
     t.setHeader({"Size", "16B/1w", "16B/2w", "16B/4w", "16B/8w",
                  "32B/1w", "32B/2w", "32B/4w", "32B/8w"});
-    const auto &caches = sweep.caches();
+    const auto &caches = sweep.caches;
     auto missOf = [&](u32 size, u32 line, u32 assoc) {
         for (const auto &c : caches) {
             if (c.config().sizeBytes == size &&
@@ -151,7 +135,10 @@ main(int argc, char **argv)
                       std::to_string(assocCmp) + " series",
                   assocOk);
 
-    int exitCode = sizeMono && lineOk && assocOk ? 0 : 1;
+    int exitCode = sizeMono && lineOk && assocOk &&
+                           sweep.identical && sweep.speedOk
+                       ? 0
+                       : 1;
     bench::finishMetrics(args);
     return exitCode;
 }

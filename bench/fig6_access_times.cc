@@ -16,34 +16,10 @@
 
 #include "base/table.h"
 #include "bench/benchutil.h"
+#include "bench/sweeputil.h"
 #include "cache/cache.h"
 #include "core/palmsim.h"
-
-namespace
-{
-
-class SweepSink : public pt::device::MemRefSink
-{
-  public:
-    explicit SweepSink(pt::cache::CacheSweep &s)
-        : sweep(s)
-    {}
-
-    void
-    onRef(pt::Addr a, pt::m68k::AccessKind,
-          pt::device::RefClass cls) override
-    {
-        if (cls == pt::device::RefClass::Ram)
-            sweep.feed(a, false);
-        else if (cls == pt::device::RefClass::Flash)
-            sweep.feed(a, true);
-    }
-
-  private:
-    pt::cache::CacheSweep &sweep;
-};
-
-} // namespace
+#include "trace/memtrace.h"
 
 int
 main(int argc, char **argv)
@@ -60,12 +36,18 @@ main(int argc, char **argv)
     std::printf("collecting and replaying session 1...\n");
     core::Session session = core::PalmSimulator::collect(cfg);
 
-    cache::CacheSweep sweep(cache::CacheSweep::paper56());
-    SweepSink sink(sweep);
+    trace::TraceBuffer refs;
     core::ReplayConfig rc;
-    rc.extraRefSink = &sink;
+    rc.extraRefSink = &refs;
     core::ReplayResult res =
         core::PalmSimulator::replaySession(session, rc);
+
+    bench::TimedSweep sweep =
+        bench::runSweepTimed(cache::CacheSweep::paper56(), refs);
+    std::printf("sweep: %.3fs sequential, %.3fs with %u jobs "
+                "(%.2fx)\n",
+                sweep.seqSeconds, sweep.parSeconds, sweep.jobs,
+                sweep.speedup());
 
     double noCache = res.refs.avgMemCycles();
     std::printf("no-cache baseline (Eq 3): %.3f cycles\n\n", noCache);
@@ -73,7 +55,7 @@ main(int argc, char **argv)
     TextTable t("Figure 6 — average effective access time (cycles)");
     t.setHeader({"Size", "16B/1w", "16B/2w", "16B/4w", "16B/8w",
                  "32B/1w", "32B/2w", "32B/4w", "32B/8w"});
-    const auto &caches = sweep.caches();
+    const auto &caches = sweep.caches;
     auto teffOf = [&](u32 size, u32 line, u32 assoc) {
         for (const auto &c : caches) {
             if (c.config().sizeBytes == size &&
@@ -123,7 +105,10 @@ main(int argc, char **argv)
     std::printf("\n  T_eff range across configs: %.3f - %.3f cycles "
                 "(baseline %.3f)\n",
                 best, worst, noCache);
-    int exitCode = allReduce && halfOk ? 0 : 1;
+    int exitCode = allReduce && halfOk && sweep.identical &&
+                           sweep.speedOk
+                       ? 0
+                       : 1;
     bench::finishMetrics(args);
     return exitCode;
 }

@@ -47,10 +47,13 @@ BENCHMARK(BM_CacheAccess)
                     static_cast<long>(cache::Policy::Fifo),
                     static_cast<long>(cache::Policy::Random)}});
 
+/** Full 56-way sweep throughput at a given worker count; jobs = 1
+ *  is the inline sequential engine. */
 void
 BM_Paper56Sweep(benchmark::State &state)
 {
-    cache::CacheSweep sweep(cache::CacheSweep::paper56());
+    unsigned jobs = static_cast<unsigned>(state.range(0));
+    cache::CacheSweep sweep(cache::CacheSweep::paper56(), jobs);
     std::vector<Addr> addrs;
     addrs.reserve(1 << 16);
     workload::DesktopTraceConfig tc;
@@ -63,9 +66,10 @@ BM_Paper56Sweep(benchmark::State &state)
         sweep.feed(addrs[i], (i & 3) != 0);
         i = (i + 1) & (addrs.size() - 1);
     }
+    sweep.finish();
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_Paper56Sweep);
+BENCHMARK(BM_Paper56Sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 } // namespace
 

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared sequential-vs-parallel sweep driver for the figure benches.
+ *
+ * Each figure that sweeps cache configurations buffers the replayed
+ * reference stream once (trace::TraceBuffer), then runs the sweep
+ * twice from the buffer: sequentially (jobs = 1) and on the worker
+ * pool. The two runs must be bit-identical — that check, plus the
+ * measured speedup, is published through expect() and the metrics
+ * registry (sweep.seq_seconds / sweep.par_seconds / sweep.speedup /
+ * sweep.jobs), so `--metrics-out FILE` reports the parallel engine's
+ * health alongside the paper checks.
+ */
+
+#ifndef PT_BENCH_SWEEPUTIL_H
+#define PT_BENCH_SWEEPUTIL_H
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/benchutil.h"
+#include "cache/cache.h"
+#include "trace/memtrace.h"
+
+namespace pt::bench
+{
+
+/** Both sweep runs plus their timings. */
+struct TimedSweep
+{
+    std::vector<cache::Cache> caches; ///< parallel-run results
+    double seqSeconds = 0.0;
+    double parSeconds = 0.0;
+    unsigned jobs = 1;     ///< workers used by the parallel run
+    bool identical = true; ///< parallel stats == sequential stats
+    bool speedOk = true;   ///< speedup check (gated on hardware)
+
+    double
+    speedup() const
+    {
+        return parSeconds > 0.0 ? seqSeconds / parSeconds : 1.0;
+    }
+};
+
+inline double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Replays @p buf through a sweep of @p configs with @p jobs. */
+inline std::vector<cache::Cache>
+runSweepOnce(const std::vector<cache::CacheConfig> &configs,
+             const trace::TraceBuffer &buf, unsigned jobs,
+             double *secondsOut)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    cache::CacheSweep sweep(configs, jobs);
+    for (const auto &r : buf.records())
+        sweep.feed(r.addr, r.cls == 1);
+    sweep.finish();
+    if (secondsOut)
+        *secondsOut = secondsSince(t0);
+    return sweep.caches();
+}
+
+inline bool
+sameStats(const cache::CacheStats &a, const cache::CacheStats &b)
+{
+    return a.accesses == b.accesses && a.misses == b.misses &&
+           a.evictions == b.evictions &&
+           a.ramAccesses == b.ramAccesses &&
+           a.ramMisses == b.ramMisses &&
+           a.flashAccesses == b.flashAccesses &&
+           a.flashMisses == b.flashMisses;
+}
+
+/**
+ * Runs the sweep sequentially, then in parallel when more than one
+ * job is available, checks the runs agree bit-for-bit, and publishes
+ * the comparison. The speedup check only demands >= 2x on machines
+ * with at least four hardware threads; the bit-identity check always
+ * applies.
+ */
+inline TimedSweep
+runSweepTimed(const std::vector<cache::CacheConfig> &configs,
+              const trace::TraceBuffer &buf)
+{
+    TimedSweep out;
+    std::vector<cache::Cache> seq =
+        runSweepOnce(configs, buf, 1, &out.seqSeconds);
+
+    out.jobs = defaultJobs();
+    if (out.jobs > 1) {
+        out.caches =
+            runSweepOnce(configs, buf, out.jobs, &out.parSeconds);
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            if (!sameStats(seq[i].stats(), out.caches[i].stats()))
+                out.identical = false;
+        }
+    } else {
+        out.caches = std::move(seq);
+        out.parSeconds = out.seqSeconds;
+    }
+
+    auto &reg = obs::Registry::global();
+    reg.gauge("sweep.seq_seconds").set(out.seqSeconds);
+    reg.gauge("sweep.par_seconds").set(out.parSeconds);
+    reg.gauge("sweep.speedup").set(out.speedup());
+    reg.gauge("sweep.jobs").set(static_cast<double>(out.jobs));
+
+    expect("parallel sweep bit-identical to sequential",
+           "identical stats", out.identical ? "identical" : "DIFFERS",
+           out.identical);
+    char buf2[64];
+    std::snprintf(buf2, sizeof(buf2), "%.2fx @ %u jobs",
+                  out.speedup(), out.jobs);
+    out.speedOk = out.jobs < 2 || hardwareJobs() < 4 ||
+                  out.speedup() >= 2.0;
+    expect("parallel sweep speedup", ">= 2x on 4+ cores", buf2,
+           out.speedOk);
+    return out;
+}
+
+} // namespace pt::bench
+
+#endif // PT_BENCH_SWEEPUTIL_H

@@ -20,11 +20,13 @@
  * near 2.35 cycles) are reproduced.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "base/table.h"
 #include "bench/benchutil.h"
 #include "core/palmsim.h"
+#include "workload/sessionrunner.h"
 
 int
 main(int argc, char **argv)
@@ -53,16 +55,27 @@ main(int argc, char **argv)
                  "Flash Refs (M)", "Ave Mem Cyc", "Paper Events",
                  "Paper Cyc"});
 
-    bool allOk = true;
-    const auto *presets = workload::table1Presets();
-    for (int i = 0; i < workload::kTable1SessionCount; ++i) {
-        workload::UserModelConfig cfg = presets[i].config;
-        cfg.interactions = static_cast<u32>(
-            static_cast<double>(cfg.interactions) * args.scale);
+    // All four sessions are independent collect/replay pipelines, so
+    // they run concurrently on the worker pool (jobs from --jobs /
+    // PT_JOBS); the rows are identical for any job count.
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<workload::SessionRunResult> runs =
+        workload::runSessionsParallel(
+            workload::table1Specs(args.scale));
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    std::printf("%zu sessions in %.3fs with %u jobs\n\n", runs.size(),
+                seconds, defaultJobs());
+    obs::Registry::global().gauge("sessions.seconds").set(seconds);
+    obs::Registry::global()
+        .gauge("sessions.jobs")
+        .set(static_cast<double>(defaultJobs()));
 
-        core::Session session = core::PalmSimulator::collect(cfg);
-        core::ReplayResult r =
-            core::PalmSimulator::replaySession(session);
+    bool allOk = true;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const core::Session &session = runs[i].session;
+        const core::ReplayResult &r = runs[i].replay;
 
         u64 events = session.log.records.size();
         Ticks lastTick = session.log.records.empty()

@@ -107,6 +107,7 @@ main(int argc, char **argv)
     cfg.extraRefSink = &sink;
     core::ReplayResult result =
         core::PalmSimulator::replaySession(session, cfg);
+    sweep.finish();
 
     double noCache = result.refs.avgMemCycles();
 

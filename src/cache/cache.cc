@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "base/logging.h"
+#include "base/threadpool.h"
 
 namespace pt::cache
 {
@@ -29,6 +30,33 @@ CacheConfig::name() const
                       lineBytes, assoc);
     }
     return buf;
+}
+
+LoadResult
+CacheConfig::validate() const
+{
+    if (sizeBytes == 0)
+        return LoadResult::fail(0, "sizeBytes", "must be nonzero");
+    if (lineBytes == 0)
+        return LoadResult::fail(0, "lineBytes", "must be nonzero");
+    if (assoc == 0)
+        return LoadResult::fail(0, "assoc", "must be nonzero");
+    if (lineBytes & (lineBytes - 1))
+        return LoadResult::fail(0, "lineBytes",
+                                "must be a power of two");
+    u64 waySize = static_cast<u64>(lineBytes) * assoc;
+    if (sizeBytes % waySize)
+        return LoadResult::fail(
+            0, "sizeBytes",
+            "not divisible by lineBytes * assoc (" +
+                std::to_string(waySize) + ")");
+    u32 sets = numSets();
+    if (sets & (sets - 1))
+        return LoadResult::fail(
+            0, "sizeBytes",
+            "set count " + std::to_string(sets) +
+                " is not a power of two (the index mask needs one)");
+    return LoadResult();
 }
 
 double
@@ -86,7 +114,8 @@ Cache::Cache(const CacheConfig &cfg, u64 randomSeed)
     : cfg(cfg), rng(randomSeed)
 {
     PT_ASSERT(cfg.valid(), "invalid cache configuration ",
-              cfg.sizeBytes, "/", cfg.lineBytes, "/", cfg.assoc);
+              cfg.sizeBytes, "/", cfg.lineBytes, "/", cfg.assoc, ": ",
+              cfg.validate().message());
     lines.assign(static_cast<std::size_t>(cfg.numSets()) * cfg.assoc,
                  Line{});
     setShift = log2u(cfg.lineBytes);
@@ -166,11 +195,68 @@ Cache::access(Addr addr, bool isFlash)
     return false;
 }
 
-CacheSweep::CacheSweep(const std::vector<CacheConfig> &configs)
+CacheSweep::CacheSweep(const std::vector<CacheConfig> &configs,
+                       unsigned jobs)
+    : jobsOverride(jobs)
 {
     cachesVec.reserve(configs.size());
-    for (const auto &c : configs)
-        cachesVec.emplace_back(c);
+    batch.reserve(kBatchRefs);
+    // Each shard gets its own deterministic seed derived from its
+    // position, never from the schedule: Random-policy results are
+    // identical for every job count.
+    u64 seed = 0xCACEull;
+    for (const auto &c : configs) {
+        cachesVec.emplace_back(c, seed);
+        seed += 0x9E3779B97F4A7C15ull;
+    }
+    if (jobsOverride > 1)
+        ownPool = std::make_unique<ThreadPool>(jobsOverride);
+}
+
+CacheSweep::~CacheSweep() = default;
+
+void
+CacheSweep::flush()
+{
+    if (batch.empty())
+        return;
+    auto runShard = [this](std::size_t ci) {
+        Cache &c = cachesVec[ci];
+        for (const BatchRef &r : batch)
+            c.access(r.addr, r.isFlash);
+    };
+    if (jobsOverride == 1) {
+        for (std::size_t ci = 0; ci < cachesVec.size(); ++ci)
+            runShard(ci);
+    } else if (ownPool) {
+        // A pool of the pinned size (differential tests fix jobs).
+        ownPool->parallelFor(cachesVec.size(), runShard);
+    } else {
+        ThreadPool::shared().parallelFor(cachesVec.size(), runShard);
+    }
+    batch.clear();
+}
+
+void
+CacheSweep::finish()
+{
+    flush();
+}
+
+const std::vector<Cache> &
+CacheSweep::caches() const
+{
+    PT_ASSERT(batch.empty(),
+              "CacheSweep::finish() must run before reading results");
+    return cachesVec;
+}
+
+std::vector<Cache> &
+CacheSweep::mutableCaches()
+{
+    PT_ASSERT(batch.empty(),
+              "CacheSweep::finish() must run before reading results");
+    return cachesVec;
 }
 
 const std::vector<u32> &

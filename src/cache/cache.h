@@ -9,11 +9,18 @@
 #ifndef PT_CACHE_CACHE_H
 #define PT_CACHE_CACHE_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/loaderror.h"
 #include "base/rng.h"
 #include "base/types.h"
+
+namespace pt
+{
+class ThreadPool;
+}
 
 namespace pt::cache
 {
@@ -32,23 +39,27 @@ struct CacheConfig
     u32 assoc = 1;
     Policy policy = Policy::Lru;
 
+    /** @return sets, or 0 when the geometry is degenerate (a zero
+     *  line size or associativity must not divide by zero). */
     u32
     numSets() const
     {
-        return sizeBytes / (lineBytes * assoc);
+        u64 waySize = static_cast<u64>(lineBytes) * assoc;
+        return waySize ? static_cast<u32>(sizeBytes / waySize) : 0;
     }
 
     /** e.g. "2KB/32B/4way". */
     std::string name() const;
 
-    bool
-    valid() const
-    {
-        return sizeBytes && lineBytes && assoc &&
-               sizeBytes % (lineBytes * assoc) == 0 &&
-               (lineBytes & (lineBytes - 1)) == 0 &&
-               (numSets() & (numSets() - 1)) == 0;
-    }
+    /**
+     * Checks the geometry and names the first offending field:
+     * nonzero size/line/associativity, power-of-two line size, size
+     * divisible by line*assoc, and a power-of-two set count (the
+     * indexing mask requires it). @return ok, or field + reason.
+     */
+    LoadResult validate() const;
+
+    bool valid() const { return validate().ok(); }
 };
 
 /** Hit/miss accounting, split by backing store. */
@@ -120,22 +131,51 @@ class Cache
     Rng rng;
 };
 
-/** Runs many configurations over one reference stream. */
+/**
+ * Runs many configurations over one reference stream in a single
+ * pass, fanning fixed-size reference batches out to per-config
+ * shards on a thread pool.
+ *
+ * Determinism contract: every cache is an independent shard (own
+ * lines, own stats, own seeded RNG) that consumes the full reference
+ * stream in arrival order, so per-config results are bit-identical
+ * for any job count — jobs only decide which thread walks which
+ * shard over the current batch. The differential test
+ * (tests/test_parallel.cc) proves this against the sequential
+ * baseline for jobs in {1, 2, 8}.
+ *
+ * Call finish() after the last feed(); results are read through
+ * caches().
+ */
 class CacheSweep
 {
   public:
-    explicit CacheSweep(const std::vector<CacheConfig> &configs);
+    /** References buffered per flush; large enough to amortize the
+     *  fork/join, small enough to stay cache-resident. */
+    static constexpr std::size_t kBatchRefs = 8192;
 
-    /** Feeds one classified reference to every cache. */
+    /** @param jobs worker count for flushes; 0 uses the shared
+     *  pool's default (PT_JOBS / --jobs), 1 is fully inline. */
+    explicit CacheSweep(const std::vector<CacheConfig> &configs,
+                        unsigned jobs = 0);
+    ~CacheSweep();
+
+    /** Feeds one classified reference to every cache (buffered). */
     void
     feed(Addr addr, bool isFlash)
     {
-        for (auto &c : cachesVec)
-            c.access(addr, isFlash);
+        batch.push_back({addr, isFlash});
+        if (batch.size() >= kBatchRefs)
+            flush();
     }
 
-    const std::vector<Cache> &caches() const { return cachesVec; }
-    std::vector<Cache> &mutableCaches() { return cachesVec; }
+    /** Flushes buffered references; required before reading stats. */
+    void finish();
+
+    /** @return the per-config shards; finish() must have run since
+     *  the last feed(). */
+    const std::vector<Cache> &caches() const;
+    std::vector<Cache> &mutableCaches();
 
     /** The paper's 56 configurations: 7 sizes (256 B - 16 KB) x line
      *  {16, 32} x associativity {1, 2, 4, 8}, LRU. */
@@ -145,7 +185,18 @@ class CacheSweep
     static const std::vector<u32> &paperSizes();
 
   private:
+    struct BatchRef
+    {
+        Addr addr;
+        bool isFlash;
+    };
+
+    void flush();
+
     std::vector<Cache> cachesVec;
+    std::vector<BatchRef> batch;
+    unsigned jobsOverride;
+    std::unique_ptr<ThreadPool> ownPool; ///< when jobs > 1 was pinned
 };
 
 } // namespace pt::cache

@@ -1,23 +1,28 @@
 #include "profile.h"
 
+#include <atomic>
+
 namespace pt::obs
 {
 
 namespace
 {
-ProfileSink *gSink = nullptr;
+// Atomic so pool workers and the main thread can observe an install
+// or teardown without a data race; acquire/release orders the sink's
+// construction before its first use.
+std::atomic<ProfileSink *> gSink{nullptr};
 } // namespace
 
 ProfileSink *
 profileSink()
 {
-    return gSink;
+    return gSink.load(std::memory_order_acquire);
 }
 
 void
 setProfileSink(ProfileSink *sink)
 {
-    gSink = sink;
+    gSink.store(sink, std::memory_order_release);
 }
 
 } // namespace pt::obs

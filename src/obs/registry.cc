@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <vector>
+
+#include "base/fnv.h"
 
 namespace pt::obs
 {
@@ -49,8 +52,23 @@ jsonNumber(double v)
 void
 LogHistogram::add(double v)
 {
+    std::lock_guard<std::mutex> lk(m);
     ++counts[bucketIndex(v)];
     summaryAcc.add(v);
+}
+
+u64
+LogHistogram::count() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return summaryAcc.count();
+}
+
+u64
+LogHistogram::bucketCount(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return counts[i];
 }
 
 double
@@ -70,15 +88,24 @@ LogHistogram::bucketHigh(std::size_t i)
 std::size_t
 LogHistogram::usedBuckets() const
 {
+    std::lock_guard<std::mutex> lk(m);
     std::size_t n = kBuckets;
     while (n > 0 && counts[n - 1] == 0)
         --n;
     return n;
 }
 
+stats::Summary
+LogHistogram::summary() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return summaryAcc;
+}
+
 void
 LogHistogram::reset()
 {
+    std::lock_guard<std::mutex> lk(m);
     std::memset(counts, 0, sizeof(counts));
     summaryAcc.reset();
 }
@@ -90,10 +117,24 @@ Registry::global()
     return instance;
 }
 
+Registry::Shard &
+Registry::shardFor(const std::string &name)
+{
+    return shards[fnv64(name.data(), name.size()) % kShards];
+}
+
+const Registry::Shard &
+Registry::shardFor(const std::string &name) const
+{
+    return shards[fnv64(name.data(), name.size()) % kShards];
+}
+
 Counter &
 Registry::counter(const std::string &name)
 {
-    auto &slot = counters[name];
+    Shard &s = shardFor(name);
+    std::lock_guard<std::mutex> lk(s.m);
+    auto &slot = s.counters[name];
     if (!slot)
         slot = std::make_unique<Counter>();
     return *slot;
@@ -102,7 +143,9 @@ Registry::counter(const std::string &name)
 Gauge &
 Registry::gauge(const std::string &name)
 {
-    auto &slot = gauges[name];
+    Shard &s = shardFor(name);
+    std::lock_guard<std::mutex> lk(s.m);
+    auto &slot = s.gauges[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
     return *slot;
@@ -111,7 +154,9 @@ Registry::gauge(const std::string &name)
 LogHistogram &
 Registry::histogram(const std::string &name)
 {
-    auto &slot = histograms[name];
+    Shard &s = shardFor(name);
+    std::lock_guard<std::mutex> lk(s.m);
+    auto &slot = s.histograms[name];
     if (!slot)
         slot = std::make_unique<LogHistogram>();
     return *slot;
@@ -120,21 +165,31 @@ Registry::histogram(const std::string &name)
 u64
 Registry::counterValue(const std::string &name) const
 {
-    auto it = counters.find(name);
-    return it == counters.end() ? 0 : it->second->value();
+    const Shard &s = shardFor(name);
+    std::lock_guard<std::mutex> lk(s.m);
+    auto it = s.counters.find(name);
+    return it == s.counters.end() ? 0 : it->second->value();
 }
 
 double
 Registry::gaugeValue(const std::string &name) const
 {
-    auto it = gauges.find(name);
-    return it == gauges.end() ? 0.0 : it->second->value();
+    const Shard &s = shardFor(name);
+    std::lock_guard<std::mutex> lk(s.m);
+    auto it = s.gauges.find(name);
+    return it == s.gauges.end() ? 0.0 : it->second->value();
 }
 
 std::size_t
 Registry::size() const
 {
-    return counters.size() + gauges.size() + histograms.size();
+    std::size_t n = 0;
+    for (const Shard &s : shards) {
+        std::lock_guard<std::mutex> lk(s.m);
+        n += s.counters.size() + s.gauges.size() +
+             s.histograms.size();
+    }
+    return n;
 }
 
 std::string
@@ -164,31 +219,46 @@ jsonEscape(const std::string &s)
 std::string
 Registry::toJson() const
 {
+    // Merge the shards into name order so the document is identical
+    // whatever the shard layout (and whatever thread created what).
+    std::map<std::string, u64> counterVals;
+    std::map<std::string, double> gaugeVals;
+    std::map<std::string, const LogHistogram *> histPtrs;
+    for (const Shard &s : shards) {
+        std::lock_guard<std::mutex> lk(s.m);
+        for (const auto &[name, c] : s.counters)
+            counterVals[name] = c->value();
+        for (const auto &[name, g] : s.gauges)
+            gaugeVals[name] = g->value();
+        for (const auto &[name, h] : s.histograms)
+            histPtrs[name] = h.get();
+    }
+
     std::ostringstream os;
     os << "{\n  \"schema\": \"palmtrace-metrics-v1\",\n";
 
     os << "  \"counters\": {";
     bool first = true;
-    for (const auto &[name, c] : counters) {
+    for (const auto &[name, v] : counterVals) {
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
-           << "\": " << c->value();
+           << "\": " << v;
         first = false;
     }
     os << (first ? "" : "\n  ") << "},\n";
 
     os << "  \"gauges\": {";
     first = true;
-    for (const auto &[name, g] : gauges) {
+    for (const auto &[name, v] : gaugeVals) {
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
-           << "\": " << jsonNumber(g->value());
+           << "\": " << jsonNumber(v);
         first = false;
     }
     os << (first ? "" : "\n  ") << "},\n";
 
     os << "  \"histograms\": {";
     first = true;
-    for (const auto &[name, h] : histograms) {
-        const auto &s = h->summary();
+    for (const auto &[name, h] : histPtrs) {
+        const stats::Summary s = h->summary();
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
            << "\": {\"count\": " << s.count()
            << ", \"sum\": " << jsonNumber(s.sum())
@@ -217,13 +287,26 @@ Registry::toJson() const
 std::string
 Registry::toText() const
 {
+    std::map<std::string, u64> counterVals;
+    std::map<std::string, double> gaugeVals;
+    std::map<std::string, const LogHistogram *> histPtrs;
+    for (const Shard &s : shards) {
+        std::lock_guard<std::mutex> lk(s.m);
+        for (const auto &[name, c] : s.counters)
+            counterVals[name] = c->value();
+        for (const auto &[name, g] : s.gauges)
+            gaugeVals[name] = g->value();
+        for (const auto &[name, h] : s.histograms)
+            histPtrs[name] = h.get();
+    }
+
     std::ostringstream os;
-    for (const auto &[name, c] : counters)
-        os << name << " = " << c->value() << "\n";
-    for (const auto &[name, g] : gauges)
-        os << name << " = " << jsonNumber(g->value()) << "\n";
-    for (const auto &[name, h] : histograms) {
-        const auto &s = h->summary();
+    for (const auto &[name, v] : counterVals)
+        os << name << " = " << v << "\n";
+    for (const auto &[name, v] : gaugeVals)
+        os << name << " = " << jsonNumber(v) << "\n";
+    for (const auto &[name, h] : histPtrs) {
+        const stats::Summary s = h->summary();
         os << name << " = {count " << s.count() << ", mean "
            << jsonNumber(s.mean()) << ", min " << jsonNumber(s.min())
            << ", max " << jsonNumber(s.max()) << ", stddev "
@@ -253,9 +336,12 @@ Registry::writeJson(const std::string &path, std::string *errOut) const
 void
 Registry::clear()
 {
-    counters.clear();
-    gauges.clear();
-    histograms.clear();
+    for (Shard &s : shards) {
+        std::lock_guard<std::mutex> lk(s.m);
+        s.counters.clear();
+        s.gauges.clear();
+        s.histograms.clear();
+    }
 }
 
 } // namespace pt::obs

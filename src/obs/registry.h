@@ -10,16 +10,22 @@
  * the life of the process; handles returned by the registry are stable
  * and may be cached by hot paths.
  *
- * Threading: palmtrace simulates one device per process on one thread;
- * the registry deliberately has concurrent-free single-thread semantics
- * (no locks, no atomics) and must only be touched from that thread.
+ * Threading: since the parallel sweep and the batch session runner,
+ * metrics are updated from pool workers. Counters and gauges are
+ * lock-free atomics; each histogram serializes its moment updates
+ * behind its own small mutex; name lookup goes through a sharded
+ * lock (names hash to one of kShards maps), so concurrent lookups of
+ * different metrics rarely contend. Formatting (toJson/toText) takes
+ * every shard lock and is meant for quiescent points, not hot paths.
  */
 
 #ifndef PT_OBS_REGISTRY_H
 #define PT_OBS_REGISTRY_H
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "base/stats.h"
@@ -28,36 +34,58 @@
 namespace pt::obs
 {
 
-/** A monotonically increasing 64-bit event count. */
+/** A monotonically increasing 64-bit event count (lock-free). */
 class Counter
 {
   public:
-    void inc(u64 delta = 1) { v += delta; }
-    u64 value() const { return v; }
-    void reset() { v = 0; }
+    void
+    inc(u64 delta = 1)
+    {
+        v.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    u64 value() const { return v.load(std::memory_order_relaxed); }
+    void reset() { v.store(0, std::memory_order_relaxed); }
 
   private:
-    u64 v = 0;
+    std::atomic<u64> v{0};
 };
 
 /** A point-in-time scalar (queue depth, fraction, rate). */
 class Gauge
 {
   public:
-    void set(double value) { v = value; }
-    void max(double value) { v = value > v ? value : v; }
-    double value() const { return v; }
-    void reset() { v = 0.0; }
+    void
+    set(double value)
+    {
+        v.store(value, std::memory_order_relaxed);
+    }
+
+    /** Raises the gauge to @p value if larger (atomic max). */
+    void
+    max(double value)
+    {
+        double cur = v.load(std::memory_order_relaxed);
+        while (value > cur &&
+               !v.compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+        }
+    }
+
+    double value() const { return v.load(std::memory_order_relaxed); }
+    void reset() { v.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double v = 0.0;
+    std::atomic<double> v{0.0};
 };
 
 /**
  * A log-scale histogram for latencies and sizes: power-of-two buckets
  * (bucket i counts samples in [2^(i-1), 2^i), bucket 0 counts samples
  * < 1), with full moments kept by an embedded stats::Summary. Negative
- * samples land in bucket 0 but still update the moments.
+ * samples land in bucket 0 but still update the moments. Updates and
+ * reads serialize on a per-histogram mutex (Welford moments cannot be
+ * maintained lock-free).
  */
 class LogHistogram
 {
@@ -66,8 +94,8 @@ class LogHistogram
 
     void add(double v);
 
-    u64 count() const { return summaryAcc.count(); }
-    u64 bucketCount(std::size_t i) const { return counts[i]; }
+    u64 count() const;
+    u64 bucketCount(std::size_t i) const;
 
     /** Inclusive lower sample bound of bucket @p i (0 for bucket 0). */
     static double bucketLow(std::size_t i);
@@ -77,10 +105,13 @@ class LogHistogram
     /** Index of the highest nonempty bucket plus one (0 when empty). */
     std::size_t usedBuckets() const;
 
-    const stats::Summary &summary() const { return summaryAcc; }
+    /** A consistent snapshot of the moments. */
+    stats::Summary summary() const;
+
     void reset();
 
   private:
+    mutable std::mutex m;
     u64 counts[kBuckets] = {};
     stats::Summary summaryAcc;
 };
@@ -111,6 +142,7 @@ class Registry
      * Renders the whole registry as one JSON document:
      *   { "schema": "palmtrace-metrics-v1",
      *     "counters": {...}, "gauges": {...}, "histograms": {...} }
+     * Output is sorted by name regardless of shard layout.
      */
     std::string toJson() const;
 
@@ -125,9 +157,21 @@ class Registry
     void clear();
 
   private:
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<LogHistogram>> histograms;
+    static constexpr std::size_t kShards = 8;
+
+    struct Shard
+    {
+        mutable std::mutex m;
+        std::map<std::string, std::unique_ptr<Counter>> counters;
+        std::map<std::string, std::unique_ptr<Gauge>> gauges;
+        std::map<std::string, std::unique_ptr<LogHistogram>>
+            histograms;
+    };
+
+    Shard &shardFor(const std::string &name);
+    const Shard &shardFor(const std::string &name) const;
+
+    Shard shards[kShards];
 };
 
 /** Escapes a string for embedding in a JSON document. */

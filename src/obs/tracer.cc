@@ -21,6 +21,20 @@ steadyNowNs()
             .count());
 }
 
+/** Monotonic per-thread track ids; the process main thread usually
+ *  claims 1 by tracing first. */
+std::atomic<u32> gNextTid{1};
+
+struct OpenSpanFrame
+{
+    const char *name;
+    const char *cat;
+    u64 tsUs;
+};
+
+/** This thread's open-span stack (spans nest per thread). */
+thread_local std::vector<OpenSpanFrame> tlStack;
+
 } // namespace
 
 Tracer::Tracer()
@@ -40,55 +54,105 @@ Tracer::nowUs() const
     return (steadyNowNs() - epochNs) / 1000;
 }
 
+u32
+Tracer::threadTid()
+{
+    thread_local u32 tid =
+        gNextTid.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void
+Tracer::push(const Event &e)
+{
+    std::lock_guard<std::mutex> lk(m);
+    events.push_back(e);
+}
+
 void
 Tracer::begin(const char *name, const char *cat)
 {
-    if (!enabledFlag)
+    if (!enabled())
         return;
-    stack.push_back({name, cat, nowUs()});
+    tlStack.push_back({name, cat, nowUs()});
 }
 
 void
 Tracer::end()
 {
-    if (!enabledFlag || stack.empty())
+    if (!enabled() || tlStack.empty())
         return;
-    Open o = stack.back();
-    stack.pop_back();
+    OpenSpanFrame o = tlStack.back();
+    tlStack.pop_back();
     u64 now = nowUs();
-    events.push_back(
-        {o.name, o.cat, 'X', o.tsUs, now - o.tsUs, 0.0});
+    push({o.name, o.cat, 'X', threadTid(), o.tsUs, now - o.tsUs,
+          0.0});
 }
 
 void
 Tracer::instant(const char *name, const char *cat)
 {
-    if (!enabledFlag)
+    if (!enabled())
         return;
-    events.push_back({name, cat, 'i', nowUs(), 0, 0.0});
+    push({name, cat, 'i', threadTid(), nowUs(), 0, 0.0});
 }
 
 void
 Tracer::counter(const char *name, double value)
 {
-    if (!enabledFlag)
+    if (!enabled())
         return;
-    events.push_back({name, "counter", 'C', nowUs(), 0, value});
+    push({name, "counter", 'C', threadTid(), nowUs(), 0, value});
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return events.size();
+}
+
+std::size_t
+Tracer::openSpans() const
+{
+    return tlStack.size();
 }
 
 std::string
 Tracer::toJson() const
 {
+    std::vector<Event> snapshot;
+    {
+        std::lock_guard<std::mutex> lk(m);
+        snapshot = events;
+    }
+
     std::ostringstream os;
     os << "{\"traceEvents\": [";
     bool first = true;
-    for (const auto &e : events) {
+
+    // Name the per-thread tracks so workers are identifiable.
+    u32 maxTid = 0;
+    for (const auto &e : snapshot)
+        maxTid = e.tid > maxTid ? e.tid : maxTid;
+    for (u32 tid = 1; tid <= maxTid; ++tid) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << " {\"name\": \"thread_name\", \"ph\": \"M\", "
+              "\"pid\": 1, \"tid\": "
+           << tid << ", \"args\": {\"name\": \""
+           << (tid == 1 ? std::string("main")
+                        : "worker-" + std::to_string(tid - 1))
+           << "\"}}";
+    }
+
+    for (const auto &e : snapshot) {
         os << (first ? "\n" : ",\n");
         first = false;
         os << " {\"name\": \"" << jsonEscape(e.name)
            << "\", \"cat\": \"" << jsonEscape(e.cat)
            << "\", \"ph\": \"" << e.ph << "\", \"ts\": " << e.tsUs
-           << ", \"pid\": 1, \"tid\": 1";
+           << ", \"pid\": 1, \"tid\": " << e.tid;
         if (e.ph == 'X')
             os << ", \"dur\": " << e.durUs;
         else if (e.ph == 'i')
@@ -125,8 +189,11 @@ Tracer::writeJson(const std::string &path, std::string *errOut) const
 void
 Tracer::clear()
 {
-    events.clear();
-    stack.clear();
+    {
+        std::lock_guard<std::mutex> lk(m);
+        events.clear();
+    }
+    tlStack.clear();
 }
 
 } // namespace pt::obs

@@ -11,12 +11,20 @@
  * Cost model: every entry point first tests a single bool; a disabled
  * tracer therefore costs one predictable branch per PT_TRACE_* site.
  * Defining PALMTRACE_NO_TRACING compiles the macros away entirely.
- * Like the registry, the tracer has single-thread semantics.
+ *
+ * Threading: events may be recorded from pool workers. Each thread
+ * keeps its own open-span stack (spans nest per thread, never across
+ * threads) and is assigned a stable small tid on first use — the
+ * main thread renders as "main", workers as "worker-N" via thread
+ * metadata events, so Perfetto shows one track per worker. The
+ * shared event buffer is mutex-protected.
  */
 
 #ifndef PT_OBS_TRACER_H
 #define PT_OBS_TRACER_H
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,20 +40,31 @@ class Tracer
     static Tracer &global();
 
     /** Turns event recording on or off (off by default). */
-    void setEnabled(bool on) { enabledFlag = on; }
-    bool enabled() const { return enabledFlag; }
+    void
+    setEnabled(bool on)
+    {
+        enabledFlag.store(on, std::memory_order_relaxed);
+    }
 
-    /** Opens a span; pair with end(). Prefer TraceSpan (RAII). */
+    bool
+    enabled() const
+    {
+        return enabledFlag.load(std::memory_order_relaxed);
+    }
+
+    /** Opens a span on this thread; pair with end(). Prefer
+     *  TraceSpan (RAII). */
     void begin(const char *name, const char *cat);
-    /** Closes the innermost open span. */
+    /** Closes this thread's innermost open span. */
     void end();
     /** Records a point event. */
     void instant(const char *name, const char *cat);
     /** Records one sample of a named time series. */
     void counter(const char *name, double value);
 
-    std::size_t eventCount() const { return events.size(); }
-    std::size_t openSpans() const { return stack.size(); }
+    std::size_t eventCount() const;
+    /** Open spans on the calling thread. */
+    std::size_t openSpans() const;
 
     /** Renders {"traceEvents": [...]} (closing open spans is the
      *  caller's job; unclosed spans are dropped). */
@@ -54,7 +73,8 @@ class Tracer
     bool writeJson(const std::string &path,
                    std::string *errOut = nullptr) const;
 
-    /** Drops all recorded events and open spans. */
+    /** Drops all recorded events, plus this thread's open spans
+     *  (other threads' stacks drain as their spans close). */
     void clear();
 
   private:
@@ -63,25 +83,21 @@ class Tracer
         const char *name; ///< string literals only (never freed)
         const char *cat;
         char ph;      ///< 'X', 'i', or 'C'
+        u32 tid;      ///< per-thread track id (main == 1)
         u64 tsUs;     ///< microseconds since tracer epoch
         u64 durUs;    ///< 'X' only
         double value; ///< 'C' only
     };
 
-    struct Open
-    {
-        const char *name;
-        const char *cat;
-        u64 tsUs;
-    };
-
     Tracer();
     u64 nowUs() const;
+    static u32 threadTid();
+    void push(const Event &e);
 
-    bool enabledFlag = false;
+    std::atomic<bool> enabledFlag{false};
     u64 epochNs;
+    mutable std::mutex m; ///< guards events
     std::vector<Event> events;
-    std::vector<Open> stack;
 };
 
 /** RAII span: opens on construction when tracing, closes on exit. */

@@ -1,0 +1,62 @@
+#include "sessionrunner.h"
+
+#include <algorithm>
+
+#include "base/threadpool.h"
+
+namespace pt::workload
+{
+
+std::vector<SessionRunResult>
+runSessionsParallel(const std::vector<SessionSpec> &specs,
+                    unsigned jobs, bool profile)
+{
+    std::vector<SessionRunResult> results(specs.size());
+
+    auto runOne = [&](std::size_t i) {
+        const SessionSpec &spec = specs[i];
+        SessionRunResult &out = results[i];
+        out.name = spec.name;
+
+        core::PalmSimulator sim;
+        sim.beginCollection();
+        out.userStats = sim.runUser(spec.config);
+        out.session = sim.endCollection();
+
+        core::ReplayConfig cfg;
+        cfg.profile = profile;
+        out.replay =
+            core::PalmSimulator::replaySession(out.session, cfg);
+    };
+
+    if (jobs == 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            runOne(i);
+    } else if (jobs > 1) {
+        ThreadPool pool(jobs);
+        pool.parallelFor(specs.size(), runOne);
+    } else {
+        ThreadPool::shared().parallelFor(specs.size(), runOne);
+    }
+    return results;
+}
+
+std::vector<SessionSpec>
+table1Specs(double scale)
+{
+    std::vector<SessionSpec> specs;
+    specs.reserve(static_cast<std::size_t>(kTable1SessionCount));
+    const SessionPreset *presets = table1Presets();
+    for (int i = 0; i < kTable1SessionCount; ++i) {
+        SessionSpec spec;
+        spec.name = presets[i].name;
+        spec.config = presets[i].config;
+        double scaled = spec.config.interactions * scale;
+        spec.config.interactions = static_cast<u32>(
+            std::max(1.0, scaled));
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+} // namespace pt::workload

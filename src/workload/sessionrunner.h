@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The batch session runner: collect-and-replay many independent
+ * sessions concurrently.
+ *
+ * The paper's Table 1 evaluates four volunteer sessions; each is a
+ * self-contained collect → replay pipeline with no shared mutable
+ * state (every run provisions its own virtual m515). That makes the
+ * batch embarrassingly parallel: runSessionsParallel() fans the specs
+ * out over the shared thread pool and the results are bit-identical
+ * to a sequential run for any job count — each session's outcome is a
+ * pure function of its UserModelConfig seed.
+ */
+
+#ifndef PT_WORKLOAD_SESSIONRUNNER_H
+#define PT_WORKLOAD_SESSIONRUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "core/palmsim.h"
+#include "workload/usermodel.h"
+
+namespace pt::workload
+{
+
+/** One session to collect and replay. */
+struct SessionSpec
+{
+    std::string name;
+    UserModelConfig config;
+};
+
+/** Everything produced by one session run. */
+struct SessionRunResult
+{
+    std::string name;
+    UserSessionStats userStats;
+    core::Session session;
+    core::ReplayResult replay;
+};
+
+/**
+ * Collects and replays every spec, fanning the runs out over worker
+ * threads (0 jobs means the PT_JOBS / --jobs default). Results come
+ * back in spec order and are independent of the job count.
+ *
+ * @p profile mirrors ReplayConfig::profile (reference counting on).
+ */
+std::vector<SessionRunResult>
+runSessionsParallel(const std::vector<SessionSpec> &specs,
+                    unsigned jobs = 0, bool profile = true);
+
+/**
+ * The four Table 1 sessions as runnable specs. @p scale multiplies
+ * each preset's interaction count (use < 1 for quick tests); every
+ * spec keeps its preset seed so scaled runs stay deterministic.
+ */
+std::vector<SessionSpec> table1Specs(double scale = 1.0);
+
+} // namespace pt::workload
+
+#endif // PT_WORKLOAD_SESSIONRUNNER_H

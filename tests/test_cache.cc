@@ -50,6 +50,46 @@ TEST(CacheConfig, InvalidGeometriesRejected)
     EXPECT_FALSE(zero.valid());
 }
 
+TEST(CacheConfig, DegenerateGeometryDoesNotDivideByZero)
+{
+    // A zero line size or associativity used to divide by zero in
+    // numSets(); now the geometry reads as zero sets and validate()
+    // names the offending field.
+    CacheConfig zeroLine = cfg(1024, 0, 2);
+    EXPECT_EQ(zeroLine.numSets(), 0u);
+    EXPECT_FALSE(zeroLine.valid());
+    EXPECT_EQ(zeroLine.validate().error().field, "lineBytes");
+
+    CacheConfig zeroAssoc = cfg(1024, 32, 0);
+    EXPECT_EQ(zeroAssoc.numSets(), 0u);
+    EXPECT_FALSE(zeroAssoc.valid());
+    EXPECT_EQ(zeroAssoc.validate().error().field, "assoc");
+}
+
+TEST(CacheConfig, ValidateNamesTheOffendingField)
+{
+    CacheConfig zeroSize = cfg(0, 32, 1);
+    EXPECT_EQ(zeroSize.validate().error().field, "sizeBytes");
+
+    // Line size must be a power of two (the offset mask needs it).
+    EXPECT_EQ(cfg(1024, 24, 1).validate().error().field, "lineBytes");
+
+    // Size must divide into whole sets of line*assoc bytes.
+    EXPECT_EQ(cfg(1000, 32, 1).validate().error().field, "sizeBytes");
+
+    // Set count must be a power of two (the index mask needs it).
+    // 1536 B / (32 B * 1 way) = 48 sets: divisible but not a power
+    // of two.
+    EXPECT_EQ(cfg(1536, 32, 1).validate().error().field, "sizeBytes");
+
+    // An associativity exceeding the line count makes waySize exceed
+    // the cache: 256 B / (32 B * 16 ways) = 0 sets.
+    EXPECT_FALSE(cfg(256, 32, 16).valid());
+
+    EXPECT_TRUE(cfg(1024, 32, 2).validate().ok());
+    EXPECT_EQ(cfg(1024, 32, 2).validate().message(), "ok");
+}
+
 TEST(Cache, ColdMissesThenHits)
 {
     Cache c(cfg(1024, 16, 1));
@@ -169,6 +209,7 @@ TEST(CacheSweepTest, FeedReachesAllCaches)
     CacheSweep sweep(CacheSweep::paper56());
     for (int i = 0; i < 1000; ++i)
         sweep.feed(static_cast<Addr>(i * 8), i % 3 == 0);
+    sweep.finish();
     for (const auto &c : sweep.caches())
         EXPECT_EQ(c.stats().accesses, 1000u) << c.config().name();
 }

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Golden-file regression test for the paper's Figure 5 (miss rates)
+ * and Figure 6 (Eq 2 average access times): a small deterministic
+ * session is collected, replayed, and swept through all 56 paper
+ * configurations, and every per-config result is compared against
+ * tests/golden/fig5_fig6.json.
+ *
+ * The golden file pins the whole pipeline — user model, emulator,
+ * replay, reference classification, cache simulation — so any
+ * behavioral drift shows up as a diff against checked-in numbers,
+ * not just as a broken trend check in the bench harnesses.
+ *
+ * Regenerating after an intentional change:
+ *
+ *   build/tests/test_golden --update-golden
+ *
+ * rewrites the golden file in the source tree; review the diff and
+ * commit it with the change that caused it.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "core/palmsim.h"
+#include "trace/memtrace.h"
+
+namespace pt
+{
+namespace
+{
+
+bool gUpdateGolden = false;
+
+std::string
+goldenPath()
+{
+    return std::string(PT_GOLDEN_DIR) + "/fig5_fig6.json";
+}
+
+/** One per-config golden row. */
+struct GoldenRow
+{
+    u64 accesses = 0;
+    u64 misses = 0;
+    u64 evictions = 0;
+    double missRate = 0.0;
+    double tEff = 0.0;
+};
+
+/** The fixed pipeline input: small but long enough to exercise every
+ *  cache configuration (tens of thousands of references). */
+workload::UserModelConfig
+goldenSession()
+{
+    workload::UserModelConfig cfg;
+    cfg.seed = 42;
+    cfg.interactions = 6;
+    cfg.meanIdleTicks = 5'000;
+    return cfg;
+}
+
+std::map<std::string, GoldenRow>
+computeRows()
+{
+    core::Session session =
+        core::PalmSimulator::collect(goldenSession());
+    trace::TraceBuffer refs;
+    core::ReplayConfig rc;
+    rc.extraRefSink = &refs;
+    core::PalmSimulator::replaySession(session, rc);
+
+    // jobs = 1: the sequential baseline defines the golden numbers;
+    // test_parallel proves the parallel engine matches it exactly.
+    cache::CacheSweep sweep(cache::CacheSweep::paper56(), 1);
+    for (const auto &r : refs.records())
+        sweep.feed(r.addr, r.cls == 1);
+    sweep.finish();
+
+    std::map<std::string, GoldenRow> rows;
+    for (const auto &c : sweep.caches()) {
+        GoldenRow row;
+        row.accesses = c.stats().accesses;
+        row.misses = c.stats().misses;
+        row.evictions = c.stats().evictions;
+        row.missRate = c.stats().missRate();
+        row.tEff = c.stats().avgAccessTimePaper();
+        rows[c.config().name()] = row;
+    }
+    return rows;
+}
+
+bool
+writeGolden(const std::map<std::string, GoldenRow> &rows)
+{
+    std::FILE *f = std::fopen(goldenPath().c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"schema\": \"palmtrace-golden-fig5-fig6-v1\",\n");
+    std::fprintf(f, "  \"session\": {\"seed\": 42, \"interactions\": "
+                    "6, \"mean_idle_ticks\": 5000},\n");
+    std::fprintf(f, "  \"configs\": [\n");
+    std::size_t i = 0;
+    for (const auto &[name, r] : rows) {
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"accesses\": %llu, \"misses\": "
+            "%llu, \"evictions\": %llu, \"miss_rate\": %.17g, "
+            "\"t_eff\": %.17g}%s\n",
+            name.c_str(), static_cast<unsigned long long>(r.accesses),
+            static_cast<unsigned long long>(r.misses),
+            static_cast<unsigned long long>(r.evictions), r.missRate,
+            r.tEff, ++i < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+}
+
+bool
+readGolden(std::map<std::string, GoldenRow> &rows)
+{
+    std::FILE *f = std::fopen(goldenPath().c_str(), "rb");
+    if (!f)
+        return false;
+    char line[512];
+    while (std::fgets(line, sizeof(line), f)) {
+        char name[64];
+        unsigned long long accesses, misses, evictions;
+        GoldenRow r;
+        if (std::sscanf(line,
+                        " {\"name\": \"%63[^\"]\", \"accesses\": "
+                        "%llu, \"misses\": %llu, \"evictions\": "
+                        "%llu, \"miss_rate\": %lg, \"t_eff\": %lg",
+                        name, &accesses, &misses, &evictions,
+                        &r.missRate, &r.tEff) == 6) {
+            r.accesses = accesses;
+            r.misses = misses;
+            r.evictions = evictions;
+            rows[name] = r;
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+TEST(Golden, Fig5MissRatesAndFig6AccessTimes)
+{
+    std::map<std::string, GoldenRow> measured = computeRows();
+    ASSERT_EQ(measured.size(), 56u);
+
+    if (gUpdateGolden) {
+        ASSERT_TRUE(writeGolden(measured))
+            << "cannot write " << goldenPath();
+        std::printf("golden file updated: %s\n", goldenPath().c_str());
+        return;
+    }
+
+    std::map<std::string, GoldenRow> golden;
+    ASSERT_TRUE(readGolden(golden))
+        << "cannot read " << goldenPath()
+        << " — regenerate with: test_golden --update-golden";
+    ASSERT_EQ(golden.size(), 56u)
+        << "golden file is incomplete — regenerate with "
+           "--update-golden";
+
+    for (const auto &[name, want] : golden) {
+        ASSERT_TRUE(measured.count(name)) << name;
+        const GoldenRow &got = measured.at(name);
+        EXPECT_EQ(got.accesses, want.accesses) << name;
+        EXPECT_EQ(got.misses, want.misses) << name;
+        EXPECT_EQ(got.evictions, want.evictions) << name;
+        // Doubles pass through text with 17 significant digits, so
+        // round-tripping is exact; allow only for that formatting.
+        EXPECT_NEAR(got.missRate, want.missRate, 1e-15) << name;
+        EXPECT_NEAR(got.tEff, want.tEff, 1e-12) << name;
+    }
+}
+
+} // namespace
+} // namespace pt
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--update-golden"))
+            pt::gUpdateGolden = true;
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

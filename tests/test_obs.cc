@@ -5,8 +5,11 @@
  * profile-sink indirection, and the Chrome trace-event tracer.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -222,6 +225,122 @@ TEST(Tracer, RecordsSpansInstantsAndCounters)
     EXPECT_NE(j.find("\"ph\": \"i\""), std::string::npos);
     EXPECT_NE(j.find("\"ph\": \"C\""), std::string::npos);
     t.clear();
+}
+
+// ---------------------------------------------------------------------
+// Multi-thread stress: these tests exist to run under TSan (the CI
+// sanitizer job) and prove the registry and tracer are data-race-free
+// when pool workers publish concurrently.
+
+TEST(RegistryStress, ConcurrentCountersGaugesHistograms)
+{
+    Registry reg;
+    constexpr int kThreads = 8;
+    constexpr int kOps = 2'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, t] {
+            // Half the names are shared across threads, half are
+            // per-thread, so lookup creation races are exercised too.
+            std::string mine =
+                "stress.private." + std::to_string(t);
+            for (int i = 0; i < kOps; ++i) {
+                reg.counter("stress.shared.count").inc();
+                reg.counter(mine).inc();
+                reg.gauge("stress.shared.max")
+                    .max(static_cast<double>(i));
+                reg.histogram("stress.shared.hist")
+                    .add(static_cast<double>(i % 97));
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(reg.counterValue("stress.shared.count"),
+              static_cast<u64>(kThreads) * kOps);
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(reg.counterValue("stress.private." +
+                                   std::to_string(t)),
+                  static_cast<u64>(kOps));
+    }
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("stress.shared.max"), kOps - 1);
+    EXPECT_EQ(reg.histogram("stress.shared.hist").count(),
+              static_cast<u64>(kThreads) * kOps);
+}
+
+TEST(RegistryStress, RenderWhileWriting)
+{
+    Registry reg;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        int i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            reg.counter("render.count").inc();
+            reg.histogram("render.hist").add(i++ % 31);
+        }
+    });
+    for (int i = 0; i < 50; ++i) {
+        std::string j = reg.toJson();
+        EXPECT_NE(j.find("\"schema\""), std::string::npos);
+        reg.toText();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+}
+
+TEST(TracerStress, WorkersGetDistinctTracksAndAllEventsLand)
+{
+    Tracer &t = Tracer::global();
+    t.clear();
+    t.setEnabled(true);
+    constexpr int kThreads = 4;
+    constexpr int kSpans = 500;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&t] {
+            for (int i = 0; i < kSpans; ++i) {
+                t.begin("work", "stress");
+                t.instant("tick", "stress");
+                t.end();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    t.setEnabled(false);
+
+    // Two events per iteration per thread; each thread kept its own
+    // span stack, so nothing dangles.
+    EXPECT_EQ(t.eventCount(),
+              static_cast<std::size_t>(kThreads) * kSpans * 2);
+    EXPECT_EQ(t.openSpans(), 0u);
+
+    // The JSON names one track per participating thread.
+    std::string j = t.toJson();
+    EXPECT_NE(j.find("thread_name"), std::string::npos);
+    EXPECT_NE(j.find("worker-"), std::string::npos);
+    t.clear();
+}
+
+TEST(ProfileSinkStress, InstallObserveTeardownAcrossThreads)
+{
+    Registry reg;
+    RegistrySink sink(reg);
+    setProfileSink(&sink);
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 4; ++w) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 1'000; ++i) {
+                if (auto *ps = profileSink())
+                    ps->count("stress.sink", 1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    setProfileSink(nullptr);
+    EXPECT_EQ(reg.counterValue("stress.sink"), 4'000u);
 }
 
 TEST(Tracer, UnclosedSpanIsNotEmitted)

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The determinism-proving differential harness for the parallel
+ * engines. The contract (src/cache/cache.h): per-config results are
+ * bit-identical for any job count, because each shard consumes the
+ * full reference stream in arrival order with its own seeded RNG.
+ *
+ * Every test here replays identical inputs through the sequential
+ * baseline (jobs = 1) and the parallel paths (jobs = 2 and 8) and
+ * demands exact equality — integer hit/miss/eviction counts and
+ * bit-equal derived doubles (miss rates, Eq 2 times, energy totals).
+ * FIFO and Random configurations ride along to prove replacement
+ * randomness comes from the per-shard seed, never the schedule.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/threadpool.h"
+#include "cache/cache.h"
+#include "cache/hierarchy.h"
+#include "workload/desktoptrace.h"
+#include "workload/sessionrunner.h"
+
+namespace pt
+{
+namespace
+{
+
+using cache::Cache;
+using cache::CacheConfig;
+using cache::CacheStats;
+using cache::CacheSweep;
+using cache::Policy;
+
+/** The 56 paper configs plus FIFO/Random variants (schedule-sensitive
+ *  if the per-shard RNG seeding were wrong). */
+std::vector<CacheConfig>
+sweepConfigs()
+{
+    std::vector<CacheConfig> configs = CacheSweep::paper56();
+    configs.push_back({4096, 32, 2, Policy::Fifo});
+    configs.push_back({1024, 16, 4, Policy::Fifo});
+    configs.push_back({4096, 32, 2, Policy::Random});
+    configs.push_back({1024, 16, 4, Policy::Random});
+    configs.push_back({256, 16, 8, Policy::Random});
+    return configs;
+}
+
+struct Ref
+{
+    Addr addr;
+    bool isFlash;
+};
+
+/** A deterministic RAM/flash-classified stream with locality, long
+ *  enough to cross several kBatchRefs flush boundaries. */
+std::vector<Ref>
+referenceStream()
+{
+    std::vector<Ref> refs;
+    const std::size_t n = 3 * CacheSweep::kBatchRefs + 137;
+    refs.reserve(n);
+    workload::DesktopTraceConfig tc;
+    tc.refs = n;
+    tc.seed = 777;
+    workload::DesktopTraceGen gen(tc);
+    u64 i = 0;
+    gen.generate([&](Addr a, u8) {
+        // Roughly two thirds flash, like the measured sessions.
+        refs.push_back({a, i % 3 != 0});
+        ++i;
+    });
+    refs.resize(n);
+    return refs;
+}
+
+std::vector<Cache>
+runSweep(const std::vector<CacheConfig> &configs,
+         const std::vector<Ref> &refs, unsigned jobs)
+{
+    CacheSweep sweep(configs, jobs);
+    for (const Ref &r : refs)
+        sweep.feed(r.addr, r.isFlash);
+    sweep.finish();
+    return sweep.caches();
+}
+
+void
+expectIdentical(const std::vector<Cache> &seq,
+                const std::vector<Cache> &par, unsigned jobs)
+{
+    ASSERT_EQ(seq.size(), par.size());
+    cache::EnergyModel energy;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const CacheStats &a = seq[i].stats();
+        const CacheStats &b = par[i].stats();
+        const std::string where = seq[i].config().name() + "/" +
+                                  cache::policyName(
+                                      seq[i].config().policy) +
+                                  " at jobs=" + std::to_string(jobs);
+        EXPECT_EQ(a.accesses, b.accesses) << where;
+        EXPECT_EQ(a.misses, b.misses) << where;
+        EXPECT_EQ(a.evictions, b.evictions) << where;
+        EXPECT_EQ(a.ramAccesses, b.ramAccesses) << where;
+        EXPECT_EQ(a.ramMisses, b.ramMisses) << where;
+        EXPECT_EQ(a.flashAccesses, b.flashAccesses) << where;
+        EXPECT_EQ(a.flashMisses, b.flashMisses) << where;
+        // Bit-equal inputs must give bit-equal derived quantities.
+        EXPECT_EQ(a.missRate(), b.missRate()) << where;
+        EXPECT_EQ(a.avgAccessTimePaper(), b.avgAccessTimePaper())
+            << where;
+        EXPECT_EQ(energy.cachedEnergyMj(a), energy.cachedEnergyMj(b))
+            << where;
+        EXPECT_EQ(energy.savings(a), energy.savings(b)) << where;
+    }
+}
+
+TEST(ParallelSweep, BitIdenticalAcrossJobCounts)
+{
+    const std::vector<CacheConfig> configs = sweepConfigs();
+    const std::vector<Ref> refs = referenceStream();
+    const std::vector<Cache> seq = runSweep(configs, refs, 1);
+    for (unsigned jobs : {2u, 8u}) {
+        SCOPED_TRACE(jobs);
+        expectIdentical(seq, runSweep(configs, refs, jobs), jobs);
+    }
+}
+
+TEST(ParallelSweep, RepeatedParallelRunsAgreeWithThemselves)
+{
+    // Two identical parallel runs must agree exactly — schedules
+    // differ between runs, results must not.
+    const std::vector<CacheConfig> configs = sweepConfigs();
+    const std::vector<Ref> refs = referenceStream();
+    expectIdentical(runSweep(configs, refs, 8),
+                    runSweep(configs, refs, 8), 8);
+}
+
+TEST(ParallelSweep, PartialBatchOnlyStillFlushesOnFinish)
+{
+    // Fewer references than one batch: finish() must flush them.
+    std::vector<CacheConfig> configs = sweepConfigs();
+    CacheSweep sweep(configs, 2);
+    for (int i = 0; i < 100; ++i)
+        sweep.feed(static_cast<Addr>(i * 16), i % 2 == 0);
+    sweep.finish();
+    for (const auto &c : sweep.caches())
+        EXPECT_EQ(c.stats().accesses, 100u);
+    // finish() is idempotent.
+    sweep.finish();
+    for (const auto &c : sweep.caches())
+        EXPECT_EQ(c.stats().accesses, 100u);
+}
+
+TEST(ParallelSweep, SharedPoolPathMatchesPinnedPools)
+{
+    // jobs = 0 routes through the process-shared pool; the results
+    // must match the pinned-pool and sequential paths.
+    const std::vector<CacheConfig> configs = sweepConfigs();
+    const std::vector<Ref> refs = referenceStream();
+    const std::vector<Cache> seq = runSweep(configs, refs, 1);
+    setDefaultJobs(4);
+    expectIdentical(seq, runSweep(configs, refs, 0), 0);
+    setDefaultJobs(0);
+}
+
+TEST(ParallelSessions, BatchIdenticalAcrossJobCounts)
+{
+    // Whole collect+replay pipelines fanned out: every measured
+    // quantity must be independent of the job count.
+    std::vector<workload::SessionSpec> specs =
+        workload::table1Specs(0.05);
+    ASSERT_EQ(specs.size(), 4u);
+
+    std::vector<workload::SessionRunResult> seq =
+        workload::runSessionsParallel(specs, 1);
+    std::vector<workload::SessionRunResult> par =
+        workload::runSessionsParallel(specs, 2);
+
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        SCOPED_TRACE(seq[i].name);
+        EXPECT_EQ(seq[i].session.log.records.size(),
+                  par[i].session.log.records.size());
+        EXPECT_EQ(seq[i].session.finalState.fingerprint(),
+                  par[i].session.finalState.fingerprint());
+        EXPECT_EQ(seq[i].replay.refs.ramRefs(),
+                  par[i].replay.refs.ramRefs());
+        EXPECT_EQ(seq[i].replay.refs.flashRefs(),
+                  par[i].replay.refs.flashRefs());
+        EXPECT_EQ(seq[i].replay.instructions,
+                  par[i].replay.instructions);
+        EXPECT_EQ(seq[i].replay.cycles, par[i].replay.cycles);
+        EXPECT_EQ(seq[i].replay.finalState.fingerprint(),
+                  par[i].replay.finalState.fingerprint());
+    }
+}
+
+} // namespace
+} // namespace pt

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the worker pool: chunk claiming, caller
+ * participation, inline degradation at jobs = 1, nested parallelFor
+ * from worker threads, exception propagation, parallelMap ordering,
+ * and clean teardown with work still queued.
+ */
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/threadpool.h"
+
+namespace pt
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 10'000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, JobsOneRunsInlineOnTheCaller)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    std::thread::id caller = std::this_thread::get_id();
+    std::size_t ran = 0;
+    pool.parallelFor(100, [&](std::size_t) {
+        // Inline execution means no synchronization is needed here.
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++ran;
+    });
+    EXPECT_EQ(ran, 100u);
+}
+
+TEST(ThreadPool, EmptyLoopIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, GrainBatchesIndices)
+{
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(
+        1000,
+        [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        64);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ExceptionInTaskPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(1000,
+                         [&](std::size_t i) {
+                             if (i == 137)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+
+    // The pool survives a failed loop and runs later work.
+    std::atomic<std::size_t> count{0};
+    pool.parallelFor(100, [&](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    // A worker that calls parallelFor must not deadlock waiting for
+    // peers that are busy with the outer loop; nested calls run
+    // inline on the worker.
+    ThreadPool pool(2);
+    std::atomic<std::size_t> inner{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(10, [&](std::size_t) {
+            inner.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(inner.load(), 80u);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> in;
+    for (int i = 0; i < 500; ++i)
+        in.push_back(i);
+    std::vector<std::string> out =
+        pool.parallelMap(in, [](const int &v) {
+            return std::to_string(v * 3);
+        });
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out[i], std::to_string(static_cast<int>(i) * 3));
+}
+
+TEST(ThreadPool, ManySmallLoopsOnOnePool)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 200; ++round) {
+        pool.parallelFor(17, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+TEST(ThreadPool, TeardownWithIdleWorkersIsClean)
+{
+    // Construct and destroy pools repeatedly; destruction must join
+    // every worker (no leaks, no crashes under TSan).
+    for (int i = 0; i < 20; ++i) {
+        ThreadPool pool(3);
+        std::atomic<std::size_t> n{0};
+        pool.parallelFor(10, [&](std::size_t) {
+            n.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(n.load(), 10u);
+    }
+}
+
+TEST(ThreadPool, ConcurrentLoopsFromManyThreads)
+{
+    // External threads may submit loops to one pool concurrently.
+    ThreadPool pool(4);
+    std::atomic<std::size_t> total{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&] {
+            for (int round = 0; round < 50; ++round) {
+                pool.parallelFor(31, [&](std::size_t) {
+                    total.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    EXPECT_EQ(total.load(), 4u * 50u * 31u);
+}
+
+TEST(ThreadPoolDefaults, HardwareAndOverride)
+{
+    EXPECT_GE(hardwareJobs(), 1u);
+    unsigned before = defaultJobs();
+    setDefaultJobs(3);
+    EXPECT_EQ(defaultJobs(), 3u);
+    setDefaultJobs(0); // back to the environment/hardware default
+    EXPECT_EQ(defaultJobs(), before);
+}
+
+TEST(ThreadPoolDefaults, SharedPoolFollowsDefault)
+{
+    setDefaultJobs(2);
+    EXPECT_EQ(ThreadPool::shared().jobs(), 2u);
+    std::atomic<std::size_t> n{0};
+    ThreadPool::shared().parallelFor(64, [&](std::size_t) {
+        n.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(n.load(), 64u);
+    setDefaultJobs(0);
+}
+
+} // namespace
+} // namespace pt

@@ -34,11 +34,18 @@
  *   palmtrace sweep BASE [--csv]
  *       the §4 case study: 56-configuration miss rates and Eq 2 times
  *
+ *   palmtrace sweep --sessions [--scale X]
+ *       collect and replay the four Table 1 sessions concurrently on
+ *       the worker pool and print the per-session measurements
+ *
  *   palmtrace disasm [--count N]
  *       disassemble the front of the PilotOS ROM (sanity/debugging)
  *
  * Observability options, accepted by every subcommand:
  *
+ *   --jobs N             worker threads for the parallel stages
+ *                        (PT_JOBS env var sets the default; 1 forces
+ *                        fully sequential execution)
  *   --metrics-out FILE   write the metrics registry as JSON on exit
  *   --trace-out FILE     record a Chrome trace-event timeline (open in
  *                        Perfetto / chrome://tracing) and write it
@@ -59,6 +66,7 @@
 
 #include "base/logging.h"
 #include "base/table.h"
+#include "base/threadpool.h"
 #include "cache/cache.h"
 #include "cache/hierarchy.h"
 #include "core/palmsim.h"
@@ -69,6 +77,7 @@
 #include "obs/tracer.h"
 #include "validate/artifactcheck.h"
 #include "validate/correlate.h"
+#include "workload/sessionrunner.h"
 
 namespace
 {
@@ -88,6 +97,7 @@ struct Args
         static const char *kValueFlags[] = {
             "--out",    "--seed",        "--interactions",
             "--idle",   "--jitter",      "--count",
+            "--jobs",   "--scale",
             "--metrics-out", "--trace-out",
         };
         for (const char *f : kValueFlags)
@@ -154,10 +164,15 @@ printUsage(std::FILE *to)
         "  fsck FILE|BASE     artifact integrity check (exit 0/1)\n"
         "  stats FILE|BASE    summarize any log/snapshot/checkpoint\n"
         "  sweep BASE [--csv] the 56-configuration cache case study\n"
+        "  sweep --sessions [--scale X]\n"
+        "                     collect+replay the four Table 1 sessions\n"
+        "                     concurrently, then print the table\n"
         "  disasm [--count N] disassemble the PilotOS ROM\n"
         "  help               print this message\n"
         "\n"
         "observability options (any subcommand):\n"
+        "  --jobs N             worker threads for parallel stages\n"
+        "                       (also: PT_JOBS; 1 forces sequential)\n"
         "  --metrics-out FILE   write the metrics registry as JSON\n"
         "  --trace-out FILE     write a Chrome/Perfetto trace timeline\n"
         "  --quiet | --verbose  log verbosity (also: PT_LOG_LEVEL=\n"
@@ -681,9 +696,49 @@ class SweepSink : public device::MemRefSink
     cache::CacheSweep &sweep;
 };
 
+/** `sweep --sessions`: the Table 1 batch, sessions fanned out over
+ *  the worker pool (each is an independent collect+replay). */
+int
+cmdSweepSessions(const Args &a)
+{
+    double scale = std::atof(a.value("--scale", "1"));
+    if (scale <= 0)
+        scale = 1.0;
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<workload::SessionRunResult> runs =
+        workload::runSessionsParallel(workload::table1Specs(scale));
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    TextTable t("Table 1 sessions (parallel batch)");
+    t.setHeader({"Session", "Events", "RAM refs", "Flash refs",
+                 "Ave mem cyc"});
+    for (const auto &run : runs) {
+        t.addRow({run.name,
+                  std::to_string(run.session.log.records.size()),
+                  std::to_string(run.replay.refs.ramRefs()),
+                  std::to_string(run.replay.refs.flashRefs()),
+                  TextTable::num(run.replay.refs.avgMemCycles(), 3)});
+    }
+    if (a.has("--csv"))
+        std::printf("%s", t.renderCsv().c_str());
+    else
+        std::printf("%s", t.render().c_str());
+    std::printf("%zu sessions in %.2fs with %u jobs\n", runs.size(),
+                secs, defaultJobs());
+    auto &reg = obs::Registry::global();
+    reg.gauge("sessions.seconds").set(secs);
+    reg.gauge("sessions.jobs")
+        .set(static_cast<double>(defaultJobs()));
+    return 0;
+}
+
 int
 cmdSweep(const Args &a)
 {
+    if (a.has("--sessions"))
+        return cmdSweepSessions(a);
     core::Session s;
     if (!loadSession(a, s))
         return 1;
@@ -697,6 +752,7 @@ cmdSweep(const Args &a)
         hb.install(cfg.options);
 
     core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
+    sweep.finish();
 
     TextTable t("56-configuration sweep (miss rate %, T_eff cycles)");
     t.setHeader({"Config", "Miss rate", "T_eff", "vs no cache"});
@@ -788,6 +844,14 @@ main(int argc, char **argv)
         setLogLevel(LogLevel::Quiet);
     else if (rest.has("--verbose"))
         setLogLevel(LogLevel::Debug);
+
+    // Worker threads for the parallel stages (sweep flushes, session
+    // batches). PT_JOBS is the environment's default; --jobs wins.
+    if (const char *jobs = rest.value("--jobs")) {
+        unsigned n = static_cast<unsigned>(std::atoi(jobs));
+        if (n)
+            setDefaultJobs(n);
+    }
 
     // Observability surfaces: install the registry sink when metrics
     // are wanted, arm the timeline tracer when a trace is wanted.
