@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Trace I/O performance report: packed (PTPK) size vs the raw PTTR
+ * encoding on the Figure 7 synthetic desktop trace, encode/decode
+ * throughput, and end-to-end sweep wall time fed from memory vs
+ * streamed from the packed file. Publishes everything through the
+ * metrics registry (`--metrics-out FILE`) and fails if the packed
+ * format loses its >= 3x size edge or the streamed sweep diverges
+ * from the in-memory one.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/table.h"
+#include "bench/benchutil.h"
+#include "cache/cache.h"
+#include "trace/memtrace.h"
+#include "trace/packedtrace.h"
+#include "workload/desktoptrace.h"
+#include "workload/tracefeed.h"
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pt;
+    auto args = bench::BenchArgs::parse(argc, argv);
+    setLogQuiet(true);
+    bench::banner("Trace I/O", "packed trace size and throughput");
+
+    workload::DesktopTraceConfig tc;
+    tc.refs = static_cast<u64>(2'000'000 * args.scale);
+    std::printf("generating %llu-reference synthetic desktop "
+                "trace (Figure 7 workload)...\n\n",
+                static_cast<unsigned long long>(tc.refs));
+    std::vector<trace::TraceRecord> recs;
+    recs.reserve(tc.refs);
+    workload::DesktopTraceGen gen(tc);
+    gen.generate(
+        [&](Addr a, u8 kind) { recs.push_back({a, kind, 0}); });
+
+    std::string packedPath = "/tmp/perf_trace_fig7.ptpk";
+
+    // Encode: records -> packed file.
+    auto t0 = std::chrono::steady_clock::now();
+    u64 packedBytes = 0;
+    {
+        trace::PackedTraceWriter w(packedPath);
+        for (const auto &r : recs)
+            w.add(r);
+        std::string err;
+        if (!w.ok() || !w.close(&err)) {
+            std::fprintf(stderr, "pack failed: %s\n", err.c_str());
+            return 1;
+        }
+        packedBytes = w.bytesWritten();
+    }
+    double encodeSec = secondsSince(t0);
+
+    // Decode: packed file -> records, checked against the source.
+    t0 = std::chrono::steady_clock::now();
+    u64 decoded = 0;
+    bool decodeSame = true;
+    {
+        trace::PackedTraceReader r;
+        if (auto res = r.open(packedPath); !res) {
+            std::fprintf(stderr, "open failed: %s\n",
+                         res.message().c_str());
+            return 1;
+        }
+        std::vector<trace::TraceRecord> block;
+        while (r.nextBlock(block)) {
+            for (const auto &rec : block) {
+                if (decoded >= recs.size() ||
+                    rec.addr != recs[decoded].addr ||
+                    rec.kind != recs[decoded].kind ||
+                    rec.cls != recs[decoded].cls) {
+                    decodeSame = false;
+                }
+                ++decoded;
+            }
+        }
+        if (!r.status().ok()) {
+            std::fprintf(stderr, "decode failed: %s\n",
+                         r.status().message().c_str());
+            return 1;
+        }
+        decodeSame = decodeSame && decoded == recs.size();
+    }
+    double decodeSec = secondsSince(t0);
+
+    u64 rawBytes = 8 + 6 * recs.size(); // PTTR header + 6 B/record
+    double ratio = static_cast<double>(rawBytes) /
+                   static_cast<double>(packedBytes);
+    double bytesPerRef = static_cast<double>(packedBytes) /
+                         static_cast<double>(recs.size());
+    double rawMb = static_cast<double>(rawBytes) / (1024.0 * 1024.0);
+
+    // Sweep wall time: in-memory feed vs streamed from the packed
+    // file, and the bit-identical check between the two.
+    auto configs = cache::CacheSweep::paper56();
+    t0 = std::chrono::steady_clock::now();
+    cache::CacheSweep mem(configs, args.jobs);
+    for (const auto &r : recs)
+        mem.feed(r.addr, r.cls == 1);
+    mem.finish();
+    double memSec = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    workload::PackedSweepResult packed =
+        workload::sweepPackedFile(packedPath, configs, args.jobs);
+    double packedSec = secondsSince(t0);
+    if (!packed.status.ok()) {
+        std::fprintf(stderr, "packed sweep failed: %s\n",
+                     packed.status.message().c_str());
+        return 1;
+    }
+    bool sweepSame = packed.caches.size() == mem.caches().size();
+    for (std::size_t i = 0; sweepSame && i < packed.caches.size();
+         ++i) {
+        const auto &a = packed.caches[i].stats();
+        const auto &b = mem.caches()[i].stats();
+        sweepSame = a.accesses == b.accesses &&
+                    a.misses == b.misses &&
+                    a.evictions == b.evictions &&
+                    a.ramMisses == b.ramMisses &&
+                    a.flashMisses == b.flashMisses;
+    }
+
+    TextTable t("Trace I/O — packed vs raw PTTR");
+    t.setHeader({"Metric", "Value"});
+    t.addRow({"references", std::to_string(recs.size())});
+    t.addRow({"raw PTTR bytes", std::to_string(rawBytes)});
+    t.addRow({"packed bytes", std::to_string(packedBytes)});
+    t.addRow({"size ratio", TextTable::num(ratio, 2) + "x"});
+    t.addRow({"packed bytes/ref", TextTable::num(bytesPerRef, 2)});
+    t.addRow({"encode MB/s (raw in)",
+              TextTable::num(rawMb / encodeSec, 1)});
+    t.addRow({"decode MB/s (raw out)",
+              TextTable::num(rawMb / decodeSec, 1)});
+    t.addRow({"sweep from memory (s)", TextTable::num(memSec, 3)});
+    t.addRow({"sweep from packed file (s)",
+              TextTable::num(packedSec, 3)});
+    std::printf("%s\n", t.render().c_str());
+    if (args.csv)
+        std::printf("%s\n", t.renderCsv().c_str());
+
+    auto &reg = obs::Registry::global();
+    reg.gauge("trace.pttr_bytes")
+        .set(static_cast<double>(rawBytes));
+    reg.gauge("trace.packed_bytes")
+        .set(static_cast<double>(packedBytes));
+    reg.gauge("trace.size_ratio").set(ratio);
+    reg.gauge("trace.packed_bytes_per_ref").set(bytesPerRef);
+    reg.gauge("trace.encode_mb_s").set(rawMb / encodeSec);
+    reg.gauge("trace.decode_mb_s").set(rawMb / decodeSec);
+    reg.gauge("trace.sweep_memory_seconds").set(memSec);
+    reg.gauge("trace.sweep_packed_seconds").set(packedSec);
+
+    bench::expect("packed size vs raw PTTR", ">= 3x smaller",
+                  TextTable::num(ratio, 2) + "x", ratio >= 3.0);
+    bench::expect("decode round-trips the trace", "bit-identical",
+                  decodeSame ? "identical" : "diverged", decodeSame);
+    bench::expect("streamed sweep vs in-memory sweep",
+                  "bit-identical stats",
+                  sweepSame ? "identical" : "diverged", sweepSame);
+
+    std::remove(packedPath.c_str());
+    int exitCode = ratio >= 3.0 && decodeSame && sweepSame ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
+}

@@ -222,7 +222,7 @@ CacheSweep::flush()
         return;
     auto runShard = [this](std::size_t ci) {
         Cache &c = cachesVec[ci];
-        for (const BatchRef &r : batch)
+        for (const ClassifiedRef &r : batch)
             c.access(r.addr, r.isFlash);
     };
     if (jobsOverride == 1) {
@@ -235,6 +235,27 @@ CacheSweep::flush()
         ThreadPool::shared().parallelFor(cachesVec.size(), runShard);
     }
     batch.clear();
+}
+
+u64
+CacheSweep::feedAll(RefSource &src)
+{
+    u64 total = 0;
+    for (;;) {
+        // Let the source fill the batch buffer in place up to the
+        // flush threshold — the same boundaries per-ref feed() hits.
+        std::size_t base = batch.size();
+        batch.resize(kBatchRefs);
+        std::size_t got =
+            src.pull(batch.data() + base, kBatchRefs - base);
+        batch.resize(base + got);
+        total += got;
+        if (batch.size() >= kBatchRefs)
+            flush();
+        if (!got)
+            break;
+    }
+    return total;
 }
 
 void

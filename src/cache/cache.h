@@ -131,6 +131,34 @@ class Cache
     Rng rng;
 };
 
+/** One classified reference, the unit a sweep consumes. */
+struct ClassifiedRef
+{
+    Addr addr;
+    bool isFlash;
+};
+
+/**
+ * Pull-source of classified references for streaming sweeps: the
+ * sweep asks the source to fill its internal batch buffer directly,
+ * so a disk-backed trace (trace::PackedTraceReader via
+ * workload::PackedRefSource) feeds the parallel engine with O(block)
+ * memory and zero intermediate copies.
+ */
+class RefSource
+{
+  public:
+    virtual ~RefSource() = default;
+
+    /**
+     * Fills up to @p max references into @p out.
+     * @return the number produced; 0 ends the stream (a source that
+     * fails mid-stream returns 0 and reports the error on its own
+     * surface).
+     */
+    virtual std::size_t pull(ClassifiedRef *out, std::size_t max) = 0;
+};
+
 /**
  * Runs many configurations over one reference stream in a single
  * pass, fanning fixed-size reference batches out to per-config
@@ -169,6 +197,15 @@ class CacheSweep
             flush();
     }
 
+    /**
+     * Drains @p src into the sweep until it runs dry. Batch
+     * boundaries land exactly where per-reference feed() calls would
+     * put them, so a streamed trace is bit-identical to the same
+     * records fed from memory (the §9 determinism contract).
+     * @return references consumed. finish() is still required.
+     */
+    u64 feedAll(RefSource &src);
+
     /** Flushes buffered references; required before reading stats. */
     void finish();
 
@@ -185,16 +222,10 @@ class CacheSweep
     static const std::vector<u32> &paperSizes();
 
   private:
-    struct BatchRef
-    {
-        Addr addr;
-        bool isFlash;
-    };
-
     void flush();
 
     std::vector<Cache> cachesVec;
-    std::vector<BatchRef> batch;
+    std::vector<ClassifiedRef> batch;
     unsigned jobsOverride;
     std::unique_ptr<ThreadPool> ownPool; ///< when jobs > 1 was pinned
 };

@@ -1,7 +1,7 @@
 #include "dinero.h"
 
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 
 namespace pt::trace
 {
@@ -9,73 +9,148 @@ namespace pt::trace
 namespace
 {
 
-/** Parses one din line; @return true when a reference was parsed. */
-bool
-parseLine(const char *line, Addr &addr, u8 &label)
+/** What one logical line turned out to be. */
+enum class LineKind
 {
-    // Skip leading whitespace.
-    while (*line == ' ' || *line == '\t')
-        ++line;
-    if (*line == '\0' || *line == '\n' || *line == '#')
-        return false;
-    char *end = nullptr;
-    long lab = std::strtol(line, &end, 10);
-    if (end == line || lab < 0 || lab > 2)
-        return false;
-    line = end;
-    while (*line == ' ' || *line == '\t')
-        ++line;
-    unsigned long long a = std::strtoull(line, &end, 16);
-    if (end == line)
-        return false;
+    Blank,     ///< empty, whitespace-only, or a '#' comment
+    Ref,       ///< a parsed reference
+    Malformed, ///< anything else
+};
+
+/**
+ * Parses one din line from the bounded range [p, end) — no NUL
+ * terminator required, so callers can point straight into a larger
+ * buffer instead of copying each line out.
+ */
+LineKind
+parseLine(const char *p, const char *end, Addr &addr, u8 &label)
+{
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r'))
+        ++p;
+    if (p == end || *p == '\n' || *p == '#')
+        return LineKind::Blank;
+
+    // Label: a small decimal integer, 0..2.
+    u32 lab = 0;
+    const char *digits = p;
+    while (p < end && *p >= '0' && *p <= '9') {
+        lab = lab * 10 + static_cast<u32>(*p - '0');
+        if (lab > 9)
+            return LineKind::Malformed;
+        ++p;
+    }
+    if (p == digits || lab > 2)
+        return LineKind::Malformed;
+
+    const char *ws = p;
+    while (p < end && (*p == ' ' || *p == '\t'))
+        ++p;
+    if (p == ws)
+        return LineKind::Malformed; // label glued to the address
+
+    // Address: hex digits, must fit the 32-bit guest address space.
+    u64 a = 0;
+    const char *hex = p;
+    while (p < end) {
+        char c = *p;
+        u32 d;
+        if (c >= '0' && c <= '9')
+            d = static_cast<u32>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d = static_cast<u32>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            d = static_cast<u32>(c - 'A' + 10);
+        else
+            break;
+        a = (a << 4) | d;
+        if (a > 0xFFFFFFFFull)
+            return LineKind::Malformed;
+        ++p;
+    }
+    if (p == hex)
+        return LineKind::Malformed;
+    // Trailing fields (din dialects with a size column) are ignored.
+
     addr = static_cast<Addr>(a);
     label = static_cast<u8>(lab);
-    return true;
+    return LineKind::Ref;
+}
+
+void
+account(LineKind kind, Addr addr, u8 label,
+        const std::function<void(Addr, u8)> &emit, DineroStats &st)
+{
+    if (kind == LineKind::Ref) {
+        emit(addr, label);
+        ++st.refs;
+    } else if (kind == LineKind::Malformed) {
+        ++st.malformed;
+    }
 }
 
 } // namespace
 
 s64
 readDineroFile(const std::string &path,
-               const std::function<void(Addr, u8)> &emit)
+               const std::function<void(Addr, u8)> &emit,
+               DineroStats *stats)
 {
     std::FILE *f = std::fopen(path.c_str(), "r");
-    if (!f)
+    if (!f) {
+        if (stats)
+            *stats = DineroStats{-1, 0, 0};
         return -1;
-    char line[256];
-    s64 n = 0;
-    while (std::fgets(line, sizeof(line), f)) {
-        Addr addr;
-        u8 label;
-        if (parseLine(line, addr, label)) {
-            emit(addr, label);
-            ++n;
-        }
+    }
+    char buf[256];
+    DineroStats st;
+    // fgets splits lines longer than the buffer across reads; only a
+    // fragment that starts a line may be parsed, or an overlong
+    // line's tail could masquerade as a fresh reference.
+    bool atLineStart = true;
+    while (std::fgets(buf, sizeof(buf), f)) {
+        std::size_t len = std::strlen(buf);
+        bool hasEol = len > 0 && buf[len - 1] == '\n';
+        bool isStart = atLineStart;
+        atLineStart = hasEol;
+        if (!isStart)
+            continue; // continuation of an overlong line: discard
+        if (!hasEol && len == sizeof(buf) - 1)
+            ++st.overlong; // head fragment; tail discarded above
+        Addr addr = 0;
+        u8 label = 0;
+        // Sequence the parse before the copies: argument evaluation
+        // order is unspecified, so nesting parseLine in the account
+        // call could pass the pre-parse addr/label values.
+        LineKind kind = parseLine(buf, buf + len, addr, label);
+        account(kind, addr, label, emit, st);
     }
     std::fclose(f);
-    return n;
+    if (stats)
+        *stats = st;
+    return st.refs;
 }
 
 s64
 readDineroText(std::string_view text,
-               const std::function<void(Addr, u8)> &emit)
+               const std::function<void(Addr, u8)> &emit,
+               DineroStats *stats)
 {
-    s64 n = 0;
+    DineroStats st;
     std::size_t pos = 0;
     while (pos < text.size()) {
         std::size_t eol = text.find('\n', pos);
         if (eol == std::string_view::npos)
             eol = text.size();
-        std::string line(text.substr(pos, eol - pos));
-        Addr addr;
-        u8 label;
-        if (parseLine(line.c_str(), addr, label)) {
-            emit(addr, label);
-            ++n;
-        }
+        const char *b = text.data() + pos;
+        Addr addr = 0;
+        u8 label = 0;
+        LineKind kind = parseLine(b, text.data() + eol, addr, label);
+        account(kind, addr, label, emit, st);
         pos = eol + 1;
     }
-    return n;
+    if (stats)
+        *stats = st;
+    return st.refs;
 }
 
 DineroWriter::DineroWriter(const std::string &path)
@@ -94,7 +169,10 @@ DineroWriter::emit(Addr addr, u8 label)
 {
     if (!file)
         return;
-    std::fprintf(file, "%u %x\n", label, addr);
+    // Explicit widening casts: u8 would promote to int under "%u",
+    // and "%llx" stays correct if Addr ever widens past 32 bits.
+    std::fprintf(file, "%u %llx\n", static_cast<unsigned>(label),
+                 static_cast<unsigned long long>(addr));
     ++written;
 }
 

@@ -6,7 +6,15 @@
  * (including the BYU Trace Distribution Center that Figure 7 draws
  * from): one reference per line, `<label> <hex address>`, where the
  * label is 0 = data read, 1 = data write, 2 = instruction fetch.
- * Lines starting with '#' and blank lines are ignored.
+ * Lines starting with '#' and blank lines are ignored; trailing
+ * fields after the address are tolerated (some din dialects carry a
+ * size column).
+ *
+ * The file reader is robust against hostile or damaged inputs: lines
+ * longer than the read buffer are consumed whole (continuation
+ * fragments are discarded rather than re-parsed as spurious
+ * references), and malformed lines are counted and reported through
+ * DineroStats instead of silently skipped.
  *
  * This lets fig7_desktop_trace (and any user tooling) consume real
  * desktop traces when one is available, instead of the synthetic
@@ -32,16 +40,30 @@ struct DinLabel
     static constexpr u8 Fetch = 2;
 };
 
+/** Parse accounting for one din read. */
+struct DineroStats
+{
+    s64 refs = 0;      ///< references delivered
+    u64 malformed = 0; ///< non-blank, non-comment lines that did not
+                       ///< parse as `<label> <hex addr>`
+    u64 overlong = 0;  ///< lines longer than the read buffer; only
+                       ///< the head is parsed, the tail is discarded
+};
+
 /**
  * Streams a din-format file, one callback per reference.
  * @return number of references delivered, or -1 on open failure.
+ * @p stats (when given) additionally reports malformed and overlong
+ * line counts.
  */
 s64 readDineroFile(const std::string &path,
-                   const std::function<void(Addr, u8)> &emit);
+                   const std::function<void(Addr, u8)> &emit,
+                   DineroStats *stats = nullptr);
 
-/** Parses din-format text from memory (tests, embedded traces). */
+/** Parses din-format text in place (tests, embedded traces). */
 s64 readDineroText(std::string_view text,
-                   const std::function<void(Addr, u8)> &emit);
+                   const std::function<void(Addr, u8)> &emit,
+                   DineroStats *stats = nullptr);
 
 /** Writes references to a din-format file. Returns a writer handle. */
 class DineroWriter

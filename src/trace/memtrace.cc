@@ -22,6 +22,7 @@ RefCounter::avgMemCycles() const
 namespace
 {
 constexpr u32 kTraceMagic = 0x50545452; // "PTTR"
+constexpr std::size_t kTraceRecordBytes = 6; // u32 addr + kind + cls
 } // namespace
 
 bool
@@ -38,25 +39,55 @@ TraceBuffer::save(const std::string &path) const
     return w.writeFile(path);
 }
 
-bool
+LoadResult
 TraceBuffer::load(const std::string &path, TraceBuffer &out)
 {
     BinReader r({});
-    if (!BinReader::readFile(path, r))
-        return false;
-    if (r.get32() != kTraceMagic)
-        return false;
+    if (auto res = BinReader::readFile(path, r); !res)
+        return res;
+    if (r.remaining() < 8) {
+        return LoadResult::fail(0, "header",
+                                "file too short for a PTTR header (" +
+                                    std::to_string(r.remaining()) +
+                                    " bytes)");
+    }
+    if (u32 magic = r.get32(); magic != kTraceMagic) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "0x%08X", magic);
+        return LoadResult::fail(0, "magic",
+                                "expected 0x50545452 (PTTR), found " +
+                                    std::string(buf));
+    }
     u32 n = r.get32();
+    // The count is untrusted: clamp it against the bytes actually
+    // present before reserving, so a corrupt header cannot demand a
+    // multi-gigabyte allocation.
+    if (static_cast<u64>(n) * kTraceRecordBytes > r.remaining()) {
+        return LoadResult::fail(
+            4, "count",
+            "header claims " + std::to_string(n) + " records (" +
+                std::to_string(static_cast<u64>(n) *
+                               kTraceRecordBytes) +
+                " bytes) but only " + std::to_string(r.remaining()) +
+                " payload bytes remain");
+    }
+    if (r.remaining() !=
+        static_cast<u64>(n) * kTraceRecordBytes) {
+        return LoadResult::fail(
+            8 + static_cast<u64>(n) * kTraceRecordBytes, "payload",
+            "trailing bytes after the last record");
+    }
     out.recs.clear();
     out.recs.reserve(n);
-    for (u32 i = 0; i < n && r.ok(); ++i) {
+    out.dropped = 0;
+    for (u32 i = 0; i < n; ++i) {
         TraceRecord rec;
         rec.addr = r.get32();
         rec.kind = r.get8();
         rec.cls = r.get8();
         out.recs.push_back(rec);
     }
-    return r.ok();
+    return LoadResult();
 }
 
 std::string

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "base/loaderror.h"
 #include "base/types.h"
 #include "device/bus.h"
 #include "m68k/cpu.h"
@@ -125,9 +126,16 @@ class TraceBuffer : public device::MemRefSink
     u64 droppedCount() const { return dropped; }
     void clear() { recs.clear(); dropped = 0; }
 
-    /** Writes a compact binary trace file. */
+    /** Writes a raw PTTR binary trace file (6 bytes per record). */
     bool save(const std::string &path) const;
-    static bool load(const std::string &path, TraceBuffer &out);
+
+    /**
+     * Loads a raw PTTR file. The on-disk record count is validated
+     * against the actual payload size before any allocation, so a
+     * corrupt or truncated header cannot trigger a multi-gigabyte
+     * reserve; failures return a structured LoadError.
+     */
+    static LoadResult load(const std::string &path, TraceBuffer &out);
 
   private:
     std::size_t capacity;

@@ -1,0 +1,29 @@
+#include "tracefeed.h"
+
+namespace pt::workload
+{
+
+PackedSweepResult
+sweepPackedFile(const std::string &path,
+                const std::vector<cache::CacheConfig> &configs,
+                unsigned jobs)
+{
+    PackedSweepResult out;
+    trace::PackedTraceReader reader;
+    if (auto res = reader.open(path); !res) {
+        out.status = res;
+        return out;
+    }
+    cache::CacheSweep sweep(configs, jobs);
+    PackedRefSource src(reader);
+    out.refs = sweep.feedAll(src);
+    sweep.finish();
+    if (auto res = src.status(); !res) {
+        out.status = res;
+        return out;
+    }
+    out.caches = sweep.caches();
+    return out;
+}
+
+} // namespace pt::workload

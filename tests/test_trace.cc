@@ -120,7 +120,7 @@ TEST(TraceBufferTest, FileRoundTrip)
     std::string path = testing::TempDir() + "/pt_trace_test.bin";
     ASSERT_TRUE(buf.save(path));
     TraceBuffer back;
-    ASSERT_TRUE(TraceBuffer::load(path, back));
+    ASSERT_TRUE(TraceBuffer::load(path, back).ok());
     ASSERT_EQ(back.records().size(), 2u);
     EXPECT_EQ(back.records()[0].addr, 0x1234u);
     EXPECT_EQ(back.records()[0].cls, 0);

@@ -34,9 +34,29 @@
  *   palmtrace sweep BASE [--csv]
  *       the §4 case study: 56-configuration miss rates and Eq 2 times
  *
+ *   palmtrace sweep --packed FILE [--in-memory] [--csv]
+ *       the same case study fed from a packed PTPK trace file,
+ *       streamed block by block with O(block) memory (--in-memory
+ *       decodes the whole trace up front instead, for differential
+ *       comparison against the streaming path)
+ *
  *   palmtrace sweep --sessions [--scale X]
  *       collect and replay the four Table 1 sessions concurrently on
  *       the worker pool and print the per-session measurements
+ *
+ *   palmtrace trace pack IN OUT [--block N]
+ *   palmtrace trace pack --synthetic N OUT [--seed S] [--block N]
+ *   palmtrace trace unpack IN OUT [--format din|pttr]
+ *   palmtrace trace info FILE
+ *       packed-trace toolbox: convert Dinero .din or raw PTTR traces
+ *       to/from the block-compressed PTPK format (pack autodetects
+ *       the input format by its magic bytes; --synthetic packs the
+ *       Figure 7 synthetic desktop trace instead of reading a file),
+ *       and summarize/verify any trace file
+ *
+ *   palmtrace replay BASE --pack-out FILE
+ *       additionally tee the replayed reference stream into a packed
+ *       PTPK trace file (composable with --profile)
  *
  *   palmtrace disasm [--count N]
  *       disassemble the front of the PilotOS ROM (sanity/debugging)
@@ -61,6 +81,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -75,9 +96,14 @@
 #include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "trace/dinero.h"
+#include "trace/memtrace.h"
+#include "trace/packedtrace.h"
 #include "validate/artifactcheck.h"
 #include "validate/correlate.h"
+#include "workload/desktoptrace.h"
 #include "workload/sessionrunner.h"
+#include "workload/tracefeed.h"
 
 namespace
 {
@@ -99,6 +125,8 @@ struct Args
             "--idle",   "--jitter",      "--count",
             "--jobs",   "--scale",
             "--metrics-out", "--trace-out",
+            "--packed", "--pack-out",    "--synthetic",
+            "--format", "--block",
         };
         for (const char *f : kValueFlags)
             if (!std::strcmp(flag, f))
@@ -128,21 +156,30 @@ struct Args
     const char *
     operand() const
     {
+        auto ops = operands();
+        return ops.empty() ? nullptr : ops.front();
+    }
+
+    /** All non-flag operands, in order. */
+    std::vector<const char *>
+    operands() const
+    {
+        std::vector<const char *> out;
         for (int i = 0; i < argc; ++i) {
             if (argv[i][0] == '-') {
                 if (takesValue(argv[i]))
                     ++i; // skip the flag's value
                 continue;
             }
-            return argv[i];
+            out.push_back(argv[i]);
         }
-        return nullptr;
+        return out;
     }
 };
 
 const char *const kSubcommands[] = {
     "collect", "info", "replay", "validate",
-    "fsck",    "stats", "sweep", "disasm",
+    "fsck",    "stats", "sweep", "trace", "disasm",
 };
 
 void
@@ -164,9 +201,21 @@ printUsage(std::FILE *to)
         "  fsck FILE|BASE     artifact integrity check (exit 0/1)\n"
         "  stats FILE|BASE    summarize any log/snapshot/checkpoint\n"
         "  sweep BASE [--csv] the 56-configuration cache case study\n"
+        "  sweep --packed FILE [--in-memory] [--csv]\n"
+        "                     the case study fed from a packed trace,\n"
+        "                     streamed from disk (or decoded up front\n"
+        "                     with --in-memory for differential runs)\n"
         "  sweep --sessions [--scale X]\n"
         "                     collect+replay the four Table 1 sessions\n"
         "                     concurrently, then print the table\n"
+        "  trace pack IN OUT [--block N]\n"
+        "                     convert a Dinero .din or raw PTTR trace\n"
+        "                     to the packed PTPK format\n"
+        "  trace pack --synthetic N OUT [--seed S]\n"
+        "                     pack the Fig 7 synthetic desktop trace\n"
+        "  trace unpack IN OUT [--format din|pttr]\n"
+        "                     expand a packed trace (default: din)\n"
+        "  trace info FILE    trace statistics (any trace format)\n"
         "  disasm [--count N] disassemble the PilotOS ROM\n"
         "  help               print this message\n"
         "\n"
@@ -431,8 +480,28 @@ cmdReplay(const Args &a)
     bool profile = a.has("--profile");
     cache::TwoLevelCache hier = profileHierarchy();
     HierarchySink hierSink(hier);
+
+    // --pack-out tees the replayed reference stream into a packed
+    // PTPK trace file; composable with --profile through a TeeSink.
+    const char *packOut = a.value("--pack-out");
+    std::unique_ptr<trace::PackedTraceWriter> packWriter;
+    std::unique_ptr<trace::PackedWriterSink> packSink;
+    trace::TeeSink tee;
     if (profile)
-        cfg.extraRefSink = &hierSink;
+        tee.add(&hierSink);
+    if (packOut) {
+        packWriter = std::make_unique<trace::PackedTraceWriter>(packOut);
+        if (!packWriter->ok()) {
+            std::fprintf(stderr,
+                         "replay: cannot open '%s' for writing\n",
+                         packOut);
+            return 1;
+        }
+        packSink = std::make_unique<trace::PackedWriterSink>(*packWriter);
+        tee.add(packSink.get());
+    }
+    if (profile || packOut)
+        cfg.extraRefSink = &tee;
 
     Heartbeat hb;
     if (!a.has("--quiet"))
@@ -477,6 +546,25 @@ cmdReplay(const Args &a)
                         r.replayStats.recoveryRewinds),
                     static_cast<unsigned long long>(
                         r.replayStats.recordsSkipped));
+    }
+    if (packWriter) {
+        std::string err;
+        if (!packWriter->close(&err)) {
+            std::fprintf(stderr, "replay: pack-out: %s\n", err.c_str());
+            return 1;
+        }
+        double perRef =
+            packWriter->count()
+                ? static_cast<double>(packWriter->bytesWritten()) /
+                      static_cast<double>(packWriter->count())
+                : 0.0;
+        std::printf("packed trace  %s (%llu refs, %llu bytes, "
+                    "%.2f B/ref)\n",
+                    packOut,
+                    static_cast<unsigned long long>(packWriter->count()),
+                    static_cast<unsigned long long>(
+                        packWriter->bytesWritten()),
+                    perRef);
     }
     if (profile) {
         publishCacheLevel("l1", hier.l1().stats());
@@ -734,11 +822,98 @@ cmdSweepSessions(const Args &a)
     return 0;
 }
 
+/** `sweep --packed`: the 56-configuration case study fed from a
+ *  packed PTPK trace instead of a live replay. The default path
+ *  streams blocks from disk with O(block) memory; --in-memory decodes
+ *  the whole trace up front and feeds it record by record, giving CI
+ *  a differential reference for the streaming path. */
+int
+cmdSweepPacked(const Args &a, const char *path)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    workload::PackedSweepResult res;
+    const char *mode;
+    if (a.has("--in-memory")) {
+        mode = "in-memory";
+        trace::PackedTraceReader reader;
+        if (auto r = reader.open(path); !r) {
+            std::fprintf(stderr, "sweep: %s: %s\n", path,
+                         r.message().c_str());
+            return 1;
+        }
+        // Decode everything first (no reserve from the untrusted
+        // footer count: each accepted block is checksum-verified and
+        // capacity-bounded, so growth stays proportional to real
+        // payload), then feed from memory.
+        std::vector<trace::TraceRecord> all, block;
+        while (reader.nextBlock(block))
+            all.insert(all.end(), block.begin(), block.end());
+        if (auto &r = reader.status(); !r) {
+            std::fprintf(stderr, "sweep: %s: %s\n", path,
+                         r.message().c_str());
+            return 1;
+        }
+        cache::CacheSweep sweep(cache::CacheSweep::paper56());
+        for (const auto &rec : all)
+            sweep.feed(rec.addr, rec.cls == 1);
+        sweep.finish();
+        res.caches = sweep.caches();
+        res.refs = all.size();
+    } else {
+        mode = "streaming";
+        res = workload::sweepPackedFile(path,
+                                        cache::CacheSweep::paper56());
+        if (!res.status) {
+            std::fprintf(stderr, "sweep: %s: %s\n", path,
+                         res.status.message().c_str());
+            return 1;
+        }
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    // The no-cache baseline needs the RAM/flash split, which every
+    // shard accumulated identically while consuming the stream.
+    const cache::CacheStats &any = res.caches.front().stats();
+    double base = cache::CacheStats::noCacheAccessTime(
+        any.ramAccesses, any.flashAccesses);
+
+    TextTable t("56-configuration sweep from packed trace "
+                "(miss rate %, T_eff cycles)");
+    t.setHeader({"Config", "Miss rate", "T_eff", "vs no cache"});
+    auto &reg = obs::Registry::global();
+    for (const auto &c : res.caches) {
+        double teff = c.stats().avgAccessTimePaper();
+        t.addRow({c.config().name(),
+                  TextTable::percent(c.stats().missRate(), 3),
+                  TextTable::num(teff, 3),
+                  TextTable::percent(
+                      base > 0 ? 1.0 - teff / base : 0.0, 1)});
+        if (obs::profileSink()) {
+            reg.gauge("cache.sweep." + c.config().name() +
+                      ".miss_rate")
+                .set(c.stats().missRate());
+        }
+    }
+    if (a.has("--csv"))
+        std::printf("%s", t.renderCsv().c_str());
+    else
+        std::printf("%s\nno-cache baseline: %.3f cycles\n",
+                    t.render().c_str(), base);
+    std::fprintf(stderr, "%llu refs from %s (%s) in %.2fs\n",
+                 static_cast<unsigned long long>(res.refs), path, mode,
+                 secs);
+    return 0;
+}
+
 int
 cmdSweep(const Args &a)
 {
     if (a.has("--sessions"))
         return cmdSweepSessions(a);
+    if (const char *packed = a.value("--packed"))
+        return cmdSweepPacked(a, packed);
     core::Session s;
     if (!loadSession(a, s))
         return 1;
@@ -778,6 +953,384 @@ cmdSweep(const Args &a)
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// `palmtrace trace`: the packed-trace toolbox.
+
+/** On-disk trace formats the toolbox understands. */
+enum class TraceFormat { Din, Pttr, Packed, Unreadable };
+
+/** Sniffs a trace file's format by its magic bytes; anything that is
+ *  not PTTR or PTPK is treated as Dinero text. */
+TraceFormat
+sniffTraceFormat(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f)
+        return TraceFormat::Unreadable;
+    u8 b[4] = {0, 0, 0, 0};
+    std::size_t got = std::fread(b, 1, sizeof(b), f);
+    std::fclose(f);
+    if (got == 4) {
+        u32 magic = static_cast<u32>(b[0]) |
+                    static_cast<u32>(b[1]) << 8 |
+                    static_cast<u32>(b[2]) << 16 |
+                    static_cast<u32>(b[3]) << 24;
+        if (magic == 0x50545452) // PTTR (trace::kTraceMagic)
+            return TraceFormat::Pttr;
+        if (magic == trace::kPackedMagic)
+            return TraceFormat::Packed;
+    }
+    return TraceFormat::Din;
+}
+
+/** Maps a Dinero label (0 read / 1 write / 2 fetch) onto the trace
+ *  record kind (0 fetch / 1 read / 2 write), and back. */
+u8
+dinLabelToKind(u8 label)
+{
+    return label == trace::DinLabel::Fetch  ? 0
+           : label == trace::DinLabel::Read ? 1
+                                            : 2;
+}
+
+u8
+kindToDinLabel(u8 kind)
+{
+    return kind == 0   ? trace::DinLabel::Fetch
+           : kind == 1 ? trace::DinLabel::Read
+                       : trace::DinLabel::Write;
+}
+
+/** Parses --block, defaulting and bounds-checking. @return 0 on a
+ *  bad value (caller reports). */
+u32
+blockCapacityArg(const Args &a)
+{
+    const char *arg = a.value("--block");
+    if (!arg)
+        return trace::kPackedDefaultBlockCapacity;
+    unsigned long v = std::strtoul(arg, nullptr, 0);
+    if (v < 1 || v > trace::kPackedMaxBlockCapacity)
+        return 0;
+    return static_cast<u32>(v);
+}
+
+int
+cmdTracePack(const Args &a, const std::vector<const char *> &ops)
+{
+    u32 cap = blockCapacityArg(a);
+    if (!cap) {
+        std::fprintf(stderr,
+                     "trace pack: --block must be in [1, %u]\n",
+                     trace::kPackedMaxBlockCapacity);
+        return 2;
+    }
+
+    const char *synthetic = a.value("--synthetic");
+    const char *in = nullptr;
+    const char *out = nullptr;
+    if (synthetic) {
+        if (ops.size() != 2) {
+            std::fprintf(stderr,
+                         "usage: palmtrace trace pack --synthetic N "
+                         "OUT [--seed S] [--block N]\n");
+            return 2;
+        }
+        out = ops[1];
+    } else {
+        if (ops.size() != 3) {
+            std::fprintf(stderr, "usage: palmtrace trace pack IN OUT "
+                                 "[--block N]\n");
+            return 2;
+        }
+        in = ops[1];
+        out = ops[2];
+    }
+
+    trace::PackedTraceWriter w(out, cap);
+    if (!w.ok()) {
+        std::fprintf(stderr,
+                     "trace pack: cannot open '%s' for writing\n",
+                     out);
+        return 1;
+    }
+
+    if (synthetic) {
+        // The Figure 7 synthetic desktop trace, packed directly from
+        // the generator with O(block) memory.
+        workload::DesktopTraceConfig cfg;
+        cfg.refs = std::strtoull(synthetic, nullptr, 0);
+        if (!cfg.refs) {
+            std::fprintf(stderr,
+                         "trace pack: --synthetic needs a positive "
+                         "reference count\n");
+            return 2;
+        }
+        cfg.seed = std::strtoull(a.value("--seed", "7"), nullptr, 0);
+        workload::DesktopTraceGen gen(cfg);
+        gen.generate([&](Addr addr, u8 kind) { w.add(addr, kind, 0); });
+    } else {
+        switch (sniffTraceFormat(in)) {
+          case TraceFormat::Unreadable:
+            std::fprintf(stderr, "trace pack: cannot read '%s'\n", in);
+            return 1;
+          case TraceFormat::Packed:
+            std::fprintf(stderr,
+                         "trace pack: '%s' is already a packed PTPK "
+                         "trace\n",
+                         in);
+            return 1;
+          case TraceFormat::Pttr: {
+            trace::TraceBuffer buf;
+            if (auto res = trace::TraceBuffer::load(in, buf); !res) {
+                std::fprintf(stderr, "trace pack: %s: %s\n", in,
+                             res.message().c_str());
+                return 1;
+            }
+            for (const auto &r : buf.records())
+                w.add(r);
+            break;
+          }
+          case TraceFormat::Din: {
+            trace::DineroStats st;
+            s64 n = trace::readDineroFile(
+                in,
+                [&](Addr addr, u8 label) {
+                    w.add(addr, dinLabelToKind(label), 0);
+                },
+                &st);
+            if (n < 0) {
+                std::fprintf(stderr, "trace pack: cannot read '%s'\n",
+                             in);
+                return 1;
+            }
+            if (st.malformed || st.overlong) {
+                std::fprintf(
+                    stderr,
+                    "trace pack: %llu malformed line(s), %llu "
+                    "overlong line(s) in '%s'\n",
+                    static_cast<unsigned long long>(st.malformed),
+                    static_cast<unsigned long long>(st.overlong), in);
+            }
+            break;
+          }
+        }
+    }
+
+    std::string err;
+    if (!w.close(&err)) {
+        std::fprintf(stderr, "trace pack: %s\n", err.c_str());
+        return 1;
+    }
+    double perRef = w.count()
+                        ? static_cast<double>(w.bytesWritten()) /
+                              static_cast<double>(w.count())
+                        : 0.0;
+    std::printf("packed %llu refs into %s (%llu bytes, %.2f B/ref)\n",
+                static_cast<unsigned long long>(w.count()), out,
+                static_cast<unsigned long long>(w.bytesWritten()),
+                perRef);
+    return 0;
+}
+
+int
+cmdTraceUnpack(const Args &a, const std::vector<const char *> &ops)
+{
+    if (ops.size() != 3) {
+        std::fprintf(stderr, "usage: palmtrace trace unpack IN OUT "
+                             "[--format din|pttr]\n");
+        return 2;
+    }
+    const char *in = ops[1];
+    const char *out = ops[2];
+    const char *format = a.value("--format", "din");
+    bool toPttr = !std::strcmp(format, "pttr");
+    if (!toPttr && std::strcmp(format, "din")) {
+        std::fprintf(stderr,
+                     "trace unpack: unknown --format '%s' (want din "
+                     "or pttr)\n",
+                     format);
+        return 2;
+    }
+
+    trace::PackedTraceReader reader;
+    if (auto res = reader.open(in); !res) {
+        std::fprintf(stderr, "trace unpack: %s: %s\n", in,
+                     res.message().c_str());
+        return 1;
+    }
+
+    std::vector<trace::TraceRecord> block;
+    u64 n = 0;
+    if (toPttr) {
+        // PTTR is an in-memory format anyway; materialize and save.
+        trace::TraceBuffer buf;
+        while (reader.nextBlock(block)) {
+            for (const auto &r : block) {
+                buf.onRef(r.addr, static_cast<m68k::AccessKind>(r.kind),
+                          r.cls ? device::RefClass::Flash
+                                : device::RefClass::Ram);
+            }
+            n += block.size();
+        }
+        if (auto &res = reader.status(); !res) {
+            std::fprintf(stderr, "trace unpack: %s: %s\n", in,
+                         res.message().c_str());
+            return 1;
+        }
+        if (!buf.save(out)) {
+            std::fprintf(stderr,
+                         "trace unpack: cannot write '%s'\n", out);
+            return 1;
+        }
+    } else {
+        trace::DineroWriter w(out);
+        if (!w.ok()) {
+            std::fprintf(stderr,
+                         "trace unpack: cannot open '%s' for "
+                         "writing\n",
+                         out);
+            return 1;
+        }
+        while (reader.nextBlock(block)) {
+            for (const auto &r : block)
+                w.emit(r.addr, kindToDinLabel(r.kind));
+            n += block.size();
+        }
+        if (auto &res = reader.status(); !res) {
+            std::fprintf(stderr, "trace unpack: %s: %s\n", in,
+                         res.message().c_str());
+            return 1;
+        }
+    }
+    std::printf("unpacked %llu refs into %s (%s)\n",
+                static_cast<unsigned long long>(n), out,
+                toPttr ? "PTTR" : "din");
+    return 0;
+}
+
+int
+cmdTraceInfo(const Args &, const std::vector<const char *> &ops)
+{
+    if (ops.size() != 2) {
+        std::fprintf(stderr, "usage: palmtrace trace info FILE\n");
+        return 2;
+    }
+    const char *path = ops[1];
+    TextTable t("Trace statistics");
+    t.setHeader({"Quantity", "Value"});
+    auto row = [&](const char *what, const std::string &v) {
+        t.addRow({what, v});
+    };
+    auto num = [](u64 v) { return std::to_string(v); };
+
+    u64 kinds[3] = {0, 0, 0};
+    u64 classes[2] = {0, 0};
+    auto tally = [&](u8 kind, u8 cls) {
+        ++kinds[kind > 2 ? 2 : kind];
+        ++classes[cls ? 1 : 0];
+    };
+
+    switch (sniffTraceFormat(path)) {
+      case TraceFormat::Unreadable:
+        std::fprintf(stderr, "trace info: cannot read '%s'\n", path);
+        return 1;
+      case TraceFormat::Packed: {
+        trace::PackedTraceReader reader;
+        if (auto res = reader.open(path); !res) {
+            std::fprintf(stderr, "trace info: %s: %s\n", path,
+                         res.message().c_str());
+            return 1;
+        }
+        std::vector<trace::TraceRecord> block;
+        u64 n = 0;
+        while (reader.nextBlock(block)) {
+            for (const auto &r : block)
+                tally(r.kind, r.cls);
+            n += block.size();
+        }
+        if (auto &res = reader.status(); !res) {
+            std::fprintf(stderr, "trace info: %s: %s\n", path,
+                         res.message().c_str());
+            return 1;
+        }
+        row("format", "PTPK packed");
+        row("records", num(n));
+        row("blocks", num(reader.blockCount()));
+        row("block capacity", num(reader.blockCapacity()));
+        row("file bytes", num(reader.fileBytes()));
+        row("bytes/ref",
+            n ? TextTable::num(static_cast<double>(reader.fileBytes()) /
+                                   static_cast<double>(n),
+                               2)
+              : "-");
+        row("integrity", "ok (all blocks verified)");
+        break;
+      }
+      case TraceFormat::Pttr: {
+        trace::TraceBuffer buf;
+        if (auto res = trace::TraceBuffer::load(path, buf); !res) {
+            std::fprintf(stderr, "trace info: %s: %s\n", path,
+                         res.message().c_str());
+            return 1;
+        }
+        for (const auto &r : buf.records())
+            tally(r.kind, r.cls);
+        row("format", "PTTR raw");
+        row("records", num(buf.records().size()));
+        row("file bytes", num(8 + 6 * buf.records().size()));
+        row("bytes/ref", "6.00");
+        break;
+      }
+      case TraceFormat::Din: {
+        trace::DineroStats st;
+        s64 n = trace::readDineroFile(
+            path,
+            [&](Addr, u8 label) { tally(dinLabelToKind(label), 0); },
+            &st);
+        if (n < 0) {
+            std::fprintf(stderr, "trace info: cannot read '%s'\n",
+                         path);
+            return 1;
+        }
+        row("format", "Dinero din text");
+        row("records", num(static_cast<u64>(n)));
+        row("malformed lines", num(st.malformed));
+        row("overlong lines", num(st.overlong));
+        break;
+      }
+    }
+    row("fetches", num(kinds[0]));
+    row("reads", num(kinds[1]));
+    row("writes", num(kinds[2]));
+    row("RAM refs", num(classes[0]));
+    row("flash refs", num(classes[1]));
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdTrace(const Args &a)
+{
+    auto ops = a.operands();
+    if (ops.empty()) {
+        std::fprintf(stderr,
+                     "trace: missing operation (pack, unpack, info)\n");
+        return 2;
+    }
+    if (!std::strcmp(ops[0], "pack"))
+        return cmdTracePack(a, ops);
+    if (!std::strcmp(ops[0], "unpack"))
+        return cmdTraceUnpack(a, ops);
+    if (!std::strcmp(ops[0], "info"))
+        return cmdTraceInfo(a, ops);
+    std::fprintf(stderr,
+                 "trace: unknown operation '%s' (want pack, unpack, "
+                 "or info)\n",
+                 ops[0]);
+    return 2;
+}
+
 int
 cmdDisasm(const Args &a)
 {
@@ -815,6 +1368,8 @@ dispatch(const std::string &cmd, const Args &rest)
         return cmdStats(rest);
     if (cmd == "sweep")
         return cmdSweep(rest);
+    if (cmd == "trace")
+        return cmdTrace(rest);
     if (cmd == "disasm")
         return cmdDisasm(rest);
     return unknownSubcommand(cmd);
