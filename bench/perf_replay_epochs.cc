@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Epoch-parallel replay performance report: sequential profiled
+ * replay vs scan + parallel fan-out + stitch on a reference session,
+ * with the byte-identity differential checked in-bench. Publishes
+ * wall times, speedup and scaling efficiency through the metrics
+ * registry (`--metrics-out FILE`) and fails if the stitched trace
+ * diverges or (at full scale) if the fan-out loses its >= 2x edge
+ * at four workers.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/table.h"
+#include "bench/benchutil.h"
+#include "core/palmsim.h"
+#include "epoch/epochrunner.h"
+#include "trace/packedtrace.h"
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::vector<pt::u8>
+readFileBytes(const std::string &path)
+{
+    std::vector<pt::u8> bytes;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return bytes;
+    std::fseek(f, 0, SEEK_END);
+    bytes.resize(static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size())
+        bytes.clear();
+    std::fclose(f);
+    return bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pt;
+    auto args = bench::BenchArgs::parse(argc, argv);
+    setLogQuiet(true);
+    bench::banner("Epoch replay",
+                  "sequential vs epoch-parallel profiled replay");
+
+    const unsigned jobs = args.jobs ? args.jobs : 4;
+
+    workload::UserModelConfig cfg;
+    cfg.seed = 2005;
+    cfg.interactions =
+        static_cast<u32>(24 * (args.scale > 0 ? args.scale : 1));
+    if (cfg.interactions == 0)
+        cfg.interactions = 2;
+    cfg.meanIdleTicks = 12'000;
+    std::printf("collecting the reference session (%u interaction "
+                "bursts)...\n\n",
+                cfg.interactions);
+    core::Session s = core::PalmSimulator::collect(cfg);
+
+    const std::string seqPath = "/tmp/perf_epoch_seq.ptpk";
+    const std::string parPath = "/tmp/perf_epoch_par.ptpk";
+
+    // Sequential profiled replay, the baseline every epoch run must
+    // reproduce byte for byte.
+    auto t0 = std::chrono::steady_clock::now();
+    u64 seqRefs = 0;
+    {
+        trace::PackedTraceWriter w(seqPath);
+        trace::PackedWriterSink sink(w);
+        core::ReplayConfig rc;
+        rc.extraRefSink = &sink;
+        core::PalmSimulator::replaySession(s, rc);
+        seqRefs = w.count();
+        std::string err;
+        if (!w.ok() || !w.close(&err)) {
+            std::fprintf(stderr, "sequential pack failed: %s\n",
+                         err.c_str());
+            return 1;
+        }
+    }
+    const double seqSec = secondsSince(t0);
+
+    // Scan pass: one unprofiled replay capturing the epoch plan.
+    epoch::ScanOptions so;
+    so.epochs = 2 * jobs; // fine-grained slices balance the pool
+    epoch::ScanResult scan = epoch::scanSession(s, so);
+    if (!scan.ok) {
+        std::fprintf(stderr, "scan failed: %s\n", scan.error.c_str());
+        return 1;
+    }
+
+    // Profile pass: fan out + stitch.
+    epoch::RunOptions ro;
+    ro.jobs = jobs;
+    epoch::RunResult run = epoch::runEpochs(s, scan.plan, parPath, ro);
+    if (!run.ok) {
+        std::fprintf(stderr, "epoch run failed: %s\n",
+                     run.error.c_str());
+        return 1;
+    }
+
+    const bool identical =
+        readFileBytes(seqPath) == readFileBytes(parPath) &&
+        run.refs == seqRefs && seqRefs > 0;
+    const bool clean = run.divergences.empty();
+
+    const double parSec = run.profileSeconds + run.stitchSeconds;
+    const double speedup = parSec > 0 ? seqSec / parSec : 0;
+    const double totalPar = scan.seconds + parSec;
+    const double totalSpeedup = totalPar > 0 ? seqSec / totalPar : 0;
+    const double efficiency =
+        jobs ? speedup / static_cast<double>(jobs) : 0;
+
+    TextTable t("Epoch-parallel replay — wall time");
+    t.setHeader({"Metric", "Value"});
+    t.addRow({"references", std::to_string(seqRefs)});
+    t.addRow({"epochs", std::to_string(scan.plan.epochCount())});
+    t.addRow({"jobs", std::to_string(jobs)});
+    t.addRow({"sequential replay (s)", TextTable::num(seqSec, 3)});
+    t.addRow({"scan pass (s)", TextTable::num(scan.seconds, 3)});
+    t.addRow({"profile fan-out (s)",
+              TextTable::num(run.profileSeconds, 3)});
+    t.addRow({"stitch (s)", TextTable::num(run.stitchSeconds, 3)});
+    t.addRow({"speedup (profile+stitch)",
+              TextTable::num(speedup, 2) + "x"});
+    t.addRow({"speedup (incl. scan)",
+              TextTable::num(totalSpeedup, 2) + "x"});
+    t.addRow({"scaling efficiency",
+              TextTable::num(efficiency * 100, 1) + "%"});
+    std::printf("%s\n", t.render().c_str());
+    if (args.csv)
+        std::printf("%s\n", t.renderCsv().c_str());
+
+    auto &reg = obs::Registry::global();
+    reg.gauge("epoch.seq_seconds").set(seqSec);
+    reg.gauge("epoch.scan_seconds").set(scan.seconds);
+    reg.gauge("epoch.profile_seconds").set(run.profileSeconds);
+    reg.gauge("epoch.stitch_seconds").set(run.stitchSeconds);
+    reg.gauge("epoch.speedup").set(speedup);
+    reg.gauge("epoch.total_speedup").set(totalSpeedup);
+    reg.gauge("epoch.scaling_efficiency").set(efficiency);
+    reg.gauge("epoch.refs").set(static_cast<double>(seqRefs));
+    reg.gauge("epoch.jobs").set(static_cast<double>(jobs));
+
+    bench::expect("stitched trace vs sequential", "bit-identical",
+                  identical ? "identical" : "diverged", identical);
+    bench::expect("fingerprint handoffs", "all verified",
+                  clean ? "all verified"
+                        : std::to_string(run.divergences.size()) +
+                              " diverged",
+                  clean);
+    // The wall-time gate only binds at full scale and on hosts that
+    // actually have the cores: smoke runs (--scale < 1) replay too
+    // little work to amortize the fan-out, and a machine with fewer
+    // hardware threads than jobs can only time-slice.
+    const bool gateSpeedup =
+        args.scale >= 1.0 && hardwareJobs() >= jobs;
+    bench::expect("speedup at 4 jobs (profile+stitch)",
+                  gateSpeedup ? ">= 2x" : ">= 2x (not gated)",
+                  TextTable::num(speedup, 2) + "x",
+                  !gateSpeedup || speedup >= 2.0);
+
+    std::remove(seqPath.c_str());
+    std::remove(parPath.c_str());
+    int exitCode = identical && clean &&
+                           (!gateSpeedup || speedup >= 2.0)
+                       ? 0
+                       : 1;
+    bench::finishMetrics(args);
+    return exitCode;
+}

@@ -53,6 +53,8 @@ magicName(u32 magic)
         return "snapshot";
       case kCheckpointMagic:
         return "checkpoint";
+      case kEpochPlanMagic:
+        return "epoch plan";
       default:
         return "unknown";
     }

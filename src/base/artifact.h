@@ -33,6 +33,7 @@ namespace pt::artifact
 inline constexpr u32 kLogMagic = 0x5054414C;        // "PTAL"
 inline constexpr u32 kSnapshotMagic = 0x50545353;   // "PTSS"
 inline constexpr u32 kCheckpointMagic = 0x50544350; // "PTCP"
+inline constexpr u32 kEpochPlanMagic = 0x50455450;  // "PTEP"
 
 /** The legacy seed-era format version (no length, no checksum). */
 inline constexpr u32 kLegacyVersion = 1;

@@ -1,0 +1,157 @@
+#include "epochplan.h"
+
+#include "base/artifact.h"
+#include "base/binio.h"
+#include "base/fnv.h"
+#include "validate/artifactcheck.h"
+
+namespace pt::epoch
+{
+
+u64
+EpochPlan::logFingerprintOf(const trace::ActivityLog &log)
+{
+    const std::vector<u8> bytes = log.serialize();
+    return fnv64(bytes.data(), bytes.size());
+}
+
+std::vector<u8>
+EpochPlan::serialize() const
+{
+    BinWriter w;
+    w.put32(static_cast<u32>(entries.size()));
+    w.put64(totalEvents);
+    w.put64(settleTicks);
+    w.put64(logFingerprint);
+    w.put64(finalFingerprint);
+    for (const EpochEntry &e : entries) {
+        w.put64(e.state.eventIndex);
+        w.put64(e.state.keyStateCursor);
+        w.put64(e.state.seedCursor);
+        w.put16(e.state.buttons);
+        w.put64(e.state.lastEventTick);
+        w.put64(e.fingerprint);
+        const std::vector<u8> machine = e.state.machine.serialize();
+        w.put32(static_cast<u32>(machine.size()));
+        w.putBytes(machine.data(), machine.size());
+    }
+    return artifact::frame(artifact::kEpochPlanMagic, w.takeBytes());
+}
+
+LoadResult
+EpochPlan::deserialize(const std::vector<u8> &data, EpochPlan &out)
+{
+    artifact::FrameInfo frame;
+    if (LoadResult r =
+            artifact::unframe(data, artifact::kEpochPlanMagic, frame);
+        !r)
+        return r;
+
+    BinReader r(std::vector<u8>(
+        data.begin() + static_cast<std::ptrdiff_t>(frame.payloadOffset),
+        data.end()));
+    const std::size_t base = frame.payloadOffset;
+
+    const u32 entryCount = r.get32();
+    if (!r.ok())
+        return LoadResult::fail(base, "entryCount",
+                                "payload too short for the header");
+    if (entryCount > kMaxEpochEntries)
+        return LoadResult::fail(
+            base, "entryCount",
+            "implausible entry count " + std::to_string(entryCount) +
+                " (max " + std::to_string(kMaxEpochEntries) + ")");
+
+    EpochPlan plan;
+    plan.totalEvents = r.get64();
+    plan.settleTicks = static_cast<Ticks>(r.get64());
+    plan.logFingerprint = r.get64();
+    plan.finalFingerprint = r.get64();
+    if (!r.ok())
+        return LoadResult::fail(base + r.offset(), "header",
+                                "payload too short for the header");
+
+    plan.entries.reserve(entryCount);
+    u64 prevIndex = 0;
+    for (u32 i = 0; i < entryCount; ++i) {
+        const std::string tag = "entry[" + std::to_string(i) + "].";
+        EpochEntry e;
+        e.state.eventIndex = r.get64();
+        e.state.keyStateCursor = r.get64();
+        e.state.seedCursor = r.get64();
+        e.state.buttons = r.get16();
+        e.state.lastEventTick = static_cast<Ticks>(r.get64());
+        e.fingerprint = r.get64();
+        const std::size_t lenAt = base + r.offset();
+        const u32 machineLen = r.get32();
+        if (!r.ok())
+            return LoadResult::fail(base + r.offset(), tag + "fields",
+                                    "payload truncated mid-entry");
+        if (e.state.eventIndex > plan.totalEvents)
+            return LoadResult::fail(
+                lenAt, tag + "eventIndex",
+                "event index " + std::to_string(e.state.eventIndex) +
+                    " past the plan's " +
+                    std::to_string(plan.totalEvents) + " events");
+        if (i > 0 && e.state.eventIndex < prevIndex)
+            return LoadResult::fail(
+                lenAt, tag + "eventIndex",
+                "event indices must be non-decreasing (" +
+                    std::to_string(e.state.eventIndex) + " after " +
+                    std::to_string(prevIndex) + ")");
+        prevIndex = e.state.eventIndex;
+        if (machineLen > r.remaining())
+            return LoadResult::fail(
+                lenAt, tag + "machineLen",
+                "entry claims " + std::to_string(machineLen) +
+                    " machine bytes but only " +
+                    std::to_string(r.remaining()) + " remain");
+        const std::size_t machineAt = base + r.offset();
+        std::vector<u8> machineBytes(machineLen);
+        r.getBytes(machineBytes.data(), machineBytes.size());
+        if (LoadResult m = device::Checkpoint::deserialize(
+                machineBytes, e.state.machine);
+            !m)
+            return LoadResult::nested(m, machineAt, tag + "machine.");
+        e.state.valid = true;
+        plan.entries.push_back(std::move(e));
+    }
+    if (r.remaining() != 0)
+        return LoadResult::fail(base + r.offset(), "trailer",
+                                std::to_string(r.remaining()) +
+                                    " unexpected trailing bytes");
+    out = std::move(plan);
+    return {};
+}
+
+bool
+EpochPlan::save(const std::string &path, std::string *errOut) const
+{
+    BinWriter w;
+    const std::vector<u8> bytes = serialize();
+    w.putBytes(bytes.data(), bytes.size());
+    return w.writeFile(path, errOut);
+}
+
+LoadResult
+EpochPlan::load(const std::string &path, EpochPlan &out)
+{
+    BinReader r{std::vector<u8>{}};
+    if (LoadResult res = BinReader::readFile(path, r); !res)
+        return res;
+    std::vector<u8> data(r.remaining());
+    r.getBytes(data.data(), data.size());
+    return deserialize(data, out);
+}
+
+void
+registerFsckParser()
+{
+    validate::registerPayloadParser(
+        artifact::kEpochPlanMagic, [](const std::vector<u8> &file) {
+            EpochPlan plan;
+            return EpochPlan::deserialize(file, plan);
+        });
+}
+
+} // namespace pt::epoch

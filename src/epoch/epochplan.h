@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The epoch plan: the scan pass's artifact.
+ *
+ * A plan divides one session's replay into epochs. Entry i is the
+ * complete frozen replay state (full-machine device::Checkpoint plus
+ * the engine's queue cursors, i.e. a replay::ReplayCheckpoint) at the
+ * moment a sequential replay is about to deliver event
+ * entries[i].state.eventIndex; epoch i covers the half-open event
+ * range [entries[i].eventIndex, entries[i+1].eventIndex), and the
+ * last epoch runs through the end of the log plus the settle phase.
+ * A trailing entry at eventIndex == totalEvents is legal and makes
+ * the final epoch empty (it replays only the settle).
+ *
+ * Each entry also records the machine fingerprint at capture. That is
+ * the handoff contract of the profile pass: a worker that replays
+ * epoch i must land bit-exactly on entry i+1's fingerprint (or, for
+ * the last epoch, on finalFingerprint, taken after the settle). The
+ * plan is bound to one activity log by logFingerprint, so a plan can
+ * never be replayed against the wrong session.
+ *
+ * On disk the plan is integrity-framed like every PR 1 artifact
+ * (magic "PTEP"); the embedded machine checkpoints keep their own
+ * "PTCP" frames, so corruption is attributed to the entry it hit.
+ */
+
+#ifndef PT_EPOCH_EPOCHPLAN_H
+#define PT_EPOCH_EPOCHPLAN_H
+
+#include <string>
+#include <vector>
+
+#include "base/loaderror.h"
+#include "base/types.h"
+#include "replay/replayengine.h"
+#include "trace/activitylog.h"
+
+namespace pt::epoch
+{
+
+/** Upper bound on entries a plan file may claim (allocation guard). */
+inline constexpr u32 kMaxEpochEntries = 1u << 16;
+
+/** One epoch boundary: the frozen replay state at its first event. */
+struct EpochEntry
+{
+    replay::ReplayCheckpoint state;
+    u64 fingerprint = 0; ///< state.machine.fingerprint() at capture
+};
+
+/** A session's epoch decomposition (see the file comment). */
+struct EpochPlan
+{
+    u64 logFingerprint = 0;   ///< binds the plan to one activity log
+    u64 totalEvents = 0;      ///< engine sync events (incl. synthetic)
+    Ticks settleTicks = 0;    ///< settle phase length the scan used
+    u64 finalFingerprint = 0; ///< machine fingerprint after settle
+    std::vector<EpochEntry> entries;
+
+    u64 epochCount() const { return entries.size(); }
+
+    /** First event index of epoch @p i. */
+    u64
+    firstEvent(std::size_t i) const
+    {
+        return entries[i].state.eventIndex;
+    }
+
+    /** One past the last event index of epoch @p i. */
+    u64
+    lastEvent(std::size_t i) const
+    {
+        return i + 1 < entries.size()
+                   ? entries[i + 1].state.eventIndex
+                   : totalEvents;
+    }
+
+    /** The fingerprint epoch @p i must land on (handoff contract). */
+    u64
+    expectedFingerprint(std::size_t i) const
+    {
+        return i + 1 < entries.size() ? entries[i + 1].fingerprint
+                                      : finalFingerprint;
+    }
+
+    /** The binding fingerprint of an activity log (FNV-64 over its
+     *  serialized form). */
+    static u64 logFingerprintOf(const trace::ActivityLog &log);
+
+    /** Serialization (little-endian, integrity-framed "PTEP"). */
+    std::vector<u8> serialize() const;
+    static LoadResult deserialize(const std::vector<u8> &data,
+                                  EpochPlan &out);
+    bool save(const std::string &path,
+              std::string *errOut = nullptr) const;
+    static LoadResult load(const std::string &path, EpochPlan &out);
+};
+
+/** Hooks the epoch-plan deserializer into `palmtrace fsck` (the
+ *  validate layer sits below this one, so the parser is registered
+ *  rather than linked). Idempotent. */
+void registerFsckParser();
+
+} // namespace pt::epoch
+
+#endif // PT_EPOCH_EPOCHPLAN_H

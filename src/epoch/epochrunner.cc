@@ -1,0 +1,563 @@
+#include "epochrunner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "base/threadpool.h"
+#include "hacks/hackmgr.h"
+#include "obs/profile.h"
+#include "obs/tracer.h"
+#include "os/rombuilder.h"
+
+namespace pt::epoch
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Rebuilds the collection-start device state for @p s: bit-exact
+ * restore, boot to the launcher, reinstall the hacks. This is the
+ * exact sequence PalmSimulator::replaySession runs, and the state
+ * every epoch checkpoint's timeline begins from.
+ */
+void
+prepareReplayDevice(const core::Session &s, device::Device &dev)
+{
+    s.initialState.restore(dev);
+    dev.runUntilIdle();
+    os::RomSymbols syms = os::buildRom().syms;
+    hacks::HackManager mgr(dev, syms);
+    mgr.installCollectionHacks();
+    dev.runUntilIdle();
+}
+
+} // namespace
+
+ScanResult
+scanSession(const core::Session &s, const ScanOptions &so)
+{
+    PT_TRACE_SCOPE("epoch.scan", "epoch");
+    const auto t0 = std::chrono::steady_clock::now();
+    ScanResult res;
+
+    device::Device dev;
+    prepareReplayDevice(s, dev);
+    replay::ReplayEngine engine(dev, s.log);
+    const u64 total = engine.syncEventCount();
+
+    u64 everyEvents = so.everyEvents;
+    u64 everyCycles = so.everyCycles;
+    std::vector<u64> atEvents;
+    if (everyEvents == 0 && everyCycles == 0) {
+        u64 epochs = so.epochs ? so.epochs : defaultJobs();
+        if (epochs == 0)
+            epochs = 1;
+        if (total == 0 || epochs <= 1) {
+            everyEvents =
+                std::max<u64>(1, (total + epochs - 1) / epochs);
+        } else {
+            // Balance slices by retired instructions. Event counts
+            // skew badly because events cluster in interaction
+            // bursts, and emulated cycles skew the other way: the
+            // device fast-forwards through idle, so a long idle gap
+            // holds an enormous cycle span but almost no work.
+            // Instructions track actual emulation (and profiling)
+            // cost — but the curve is only knowable by running, so
+            // meter one lightweight replay first, split its
+            // instruction curve evenly, then capture checkpoints at
+            // exactly those event indices in the pass below.
+            std::vector<u64> instrAt(total + 1, 0);
+            {
+                PT_TRACE_SCOPE("epoch.scan.meter", "epoch");
+                device::Device mdev;
+                prepareReplayDevice(s, mdev);
+                replay::ReplayEngine meter(mdev, s.log);
+                replay::ReplayOptions mo;
+                mo.settleTicks = so.settleTicks;
+                const u64 base = mdev.instructionsRetired();
+                mo.eventMeter = [&](u64 idx, u64 instr) {
+                    if (idx <= total)
+                        instrAt[idx] = instr - base;
+                };
+                replay::ReplayStats ms = meter.run(mo);
+                if (ms.optionsRejected) {
+                    res.error = "scan meter options rejected: " +
+                                ms.optionsError;
+                    return res;
+                }
+            }
+            const u64 finalInstr = instrAt[total];
+            u64 k = 1;
+            for (u64 idx = 1; idx <= total && k < epochs; ++idx) {
+                if (instrAt[idx] * epochs >= finalInstr * k) {
+                    atEvents.push_back(idx);
+                    while (k < epochs &&
+                           instrAt[idx] * epochs >= finalInstr * k) {
+                        ++k;
+                    }
+                }
+            }
+            if (atEvents.empty()) {
+                everyEvents =
+                    std::max<u64>(1, (total + epochs - 1) / epochs);
+            }
+        }
+    }
+
+    EpochPlan plan;
+    plan.logFingerprint = EpochPlan::logFingerprintOf(s.log);
+    plan.totalEvents = total;
+    plan.settleTicks = so.settleTicks;
+
+    // Entry 0 is the collection-start state itself: the engine does
+    // no device work before its first loop iteration, so the state
+    // here is exactly what freeze() would capture before event 0.
+    {
+        EpochEntry e0;
+        e0.state.machine = device::Checkpoint::capture(dev);
+        e0.state.valid = true;
+        e0.fingerprint = e0.state.machine.fingerprint();
+        plan.entries.push_back(std::move(e0));
+    }
+
+    replay::ReplayOptions ro;
+    ro.settleTicks = so.settleTicks;
+    ro.epochEveryEvents = everyEvents;
+    ro.epochEveryCycles = everyCycles;
+    ro.epochAtEvents = std::move(atEvents);
+    bool truncated = false;
+    ro.epochHook = [&](const replay::ReplayCheckpoint &cp) {
+        if (plan.entries.size() >= kMaxEpochEntries) {
+            truncated = true; // later work merges into the last epoch
+            return;
+        }
+        EpochEntry e;
+        e.state = cp;
+        e.fingerprint = cp.machine.fingerprint();
+        plan.entries.push_back(std::move(e));
+        if (auto *ps = obs::profileSink())
+            ps->count("epoch.scan.captures");
+    };
+
+    const u64 instBefore = dev.instructionsRetired();
+    const u64 cycBefore = dev.nowCycles();
+    res.stats = engine.run(ro);
+    if (res.stats.optionsRejected) {
+        res.error = "scan options rejected: " + res.stats.optionsError;
+        return res;
+    }
+    if (truncated) {
+        res.error = "scan cadence produced more than " +
+                    std::to_string(kMaxEpochEntries) +
+                    " epochs; coarsen --every-events/--every-cycles";
+        return res;
+    }
+
+    plan.finalFingerprint =
+        device::Checkpoint::capture(dev).fingerprint();
+    res.instructions = dev.instructionsRetired() - instBefore;
+    res.cycles = dev.nowCycles() - cycBefore;
+    res.plan = std::move(plan);
+    res.seconds = secondsSince(t0);
+    res.ok = true;
+    if (auto *ps = obs::profileSink()) {
+        ps->count("epoch.scan.runs");
+        ps->gauge("epoch.scan.seconds", res.seconds);
+        ps->gauge("epoch.scan.epochs",
+                  static_cast<double>(res.plan.epochCount()));
+    }
+    return res;
+}
+
+std::string
+shardPath(const std::string &outPath, u64 epoch)
+{
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".epoch%04llu",
+                  static_cast<unsigned long long>(epoch));
+    return outPath + suffix;
+}
+
+namespace
+{
+
+/** One worker attempt's outcome (the shard is on disk on success). */
+struct AttemptResult
+{
+    bool ioOk = false;       ///< shard written and closed cleanly
+    bool verified = false;   ///< fingerprint handoff held
+    u64 actualFingerprint = 0;
+    u64 refs = 0;
+    u64 instructions = 0;
+    u64 cycles = 0;
+    std::string error;
+};
+
+/**
+ * Replays epoch @p k of @p plan from its checkpoint on a private
+ * device, streaming references to @p shard. Pure function of
+ * (session, plan, k) — retries re-run it from scratch.
+ */
+AttemptResult
+attemptEpoch(const core::Session &s, const EpochPlan &plan,
+             std::size_t k, const std::string &shard,
+             const RunOptions &ro)
+{
+    AttemptResult out;
+    const EpochEntry &entry = plan.entries[k];
+    const bool lastEpoch = k + 1 == plan.entries.size();
+
+    device::Device dev;
+    replay::ReplayEngine engine(dev, s.log);
+
+    trace::PackedTraceWriter writer(shard, ro.blockCapacity);
+    if (!writer.ok()) {
+        out.error = "cannot open shard " + shard;
+        return out;
+    }
+    trace::PackedWriterSink sink(writer);
+    dev.bus().setRefSink(&sink);
+    dev.bus().setTraceEnabled(true);
+
+    replay::ReplayOptions opts;
+    opts.settleTicks = plan.settleTicks;
+    if (!lastEpoch) {
+        // Stop right after this slice's events, no settle: the device
+        // then holds the state the next entry was captured at.
+        opts.stopAtEventIndex = plan.lastEvent(k);
+    }
+    opts.progressEpochId = static_cast<int>(k);
+    opts.progress = ro.progress;
+    opts.progressEveryEvents = ro.progressEveryEvents;
+
+    // resume() restores the checkpoint's CPU counters, so the slice's
+    // own work is measured against the frozen counts, not against the
+    // fresh device's zeros.
+    const u64 instBefore = entry.state.machine.cpu.instructions;
+    const u64 cycBefore = entry.state.machine.cycleCount;
+    replay::ReplayStats st = engine.resume(entry.state, opts);
+    if (st.optionsRejected) {
+        out.error = "epoch options rejected: " + st.optionsError;
+        return out;
+    }
+    out.instructions = dev.instructionsRetired() - instBefore;
+    out.cycles = dev.nowCycles() - cycBefore;
+
+    dev.bus().setTraceEnabled(false);
+    dev.bus().setRefSink(nullptr);
+
+    out.actualFingerprint =
+        device::Checkpoint::capture(dev).fingerprint();
+    out.verified =
+        out.actualFingerprint == plan.expectedFingerprint(k);
+
+    out.refs = writer.count();
+    std::string err;
+    if (!writer.close(&err)) {
+        out.error = "shard write failed: " + err;
+        return out;
+    }
+    out.ioOk = true;
+    return out;
+}
+
+} // namespace
+
+RunResult
+runEpochs(const core::Session &s, const EpochPlan &plan,
+          const std::string &outPath, const RunOptions &ro)
+{
+    RunResult res;
+    if (plan.entries.empty()) {
+        res.error = "the plan has no epochs";
+        return res;
+    }
+    if (plan.entries.front().state.eventIndex != 0) {
+        res.error = "the plan's first epoch does not start at event 0";
+        return res;
+    }
+    if (plan.logFingerprint != EpochPlan::logFingerprintOf(s.log)) {
+        res.error = "the plan was scanned from a different activity "
+                    "log (fingerprint mismatch)";
+        return res;
+    }
+    {
+        // The event index space must match the engine's view of the
+        // log (synthetic key releases included).
+        device::Device dev;
+        replay::ReplayEngine probe(dev, s.log);
+        if (plan.totalEvents != probe.syncEventCount()) {
+            res.error =
+                "the plan schedules " +
+                std::to_string(plan.totalEvents) +
+                " events but the log expands to " +
+                std::to_string(probe.syncEventCount());
+            return res;
+        }
+    }
+
+    const std::size_t n = plan.entries.size();
+    res.epochs.assign(n, EpochStats{});
+    std::vector<EpochDivergence> divergences(n);
+    std::vector<bool> diverged(n, false);
+    std::mutex errMutex;
+    std::string firstError;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        PT_TRACE_SCOPE("epoch.fanout", "epoch");
+        ThreadPool pool(ro.jobs);
+        pool.parallelFor(n, [&](std::size_t k) {
+            PT_TRACE_SCOPE("epoch.worker", "epoch");
+            const auto w0 = std::chrono::steady_clock::now();
+            EpochStats &st = res.epochs[k];
+            st.epoch = k;
+            st.events = plan.lastEvent(k) - plan.firstEvent(k);
+
+            const std::string shard = shardPath(outPath, k);
+            AttemptResult a;
+            for (u32 attempt = 0;; ++attempt) {
+                a = attemptEpoch(s, plan, k, shard, ro);
+                if (!a.ioOk)
+                    break; // I/O or option failure: retry won't help
+                if (a.verified)
+                    break;
+                if (attempt >= ro.maxRetries)
+                    break;
+                // Fingerprint mismatch: rewind by re-thawing the
+                // checkpoint into a brand-new device and retrying.
+                st.retries = attempt + 1;
+                PT_TRACE_INSTANT("epoch.retry", "epoch");
+                if (auto *ps = obs::profileSink())
+                    ps->count("epoch.retries");
+            }
+
+            st.refs = a.refs;
+            st.instructions = a.instructions;
+            st.cycles = a.cycles;
+            st.verified = a.ioOk && a.verified;
+            st.seconds = secondsSince(w0);
+
+            if (!a.ioOk) {
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (firstError.empty()) {
+                    firstError = "epoch " + std::to_string(k) + ": " +
+                                 a.error;
+                }
+            } else if (!a.verified) {
+                // Graceful degradation: the shard from the last
+                // attempt is kept and the divergence reported.
+                diverged[k] = true;
+                divergences[k] = {k, plan.expectedFingerprint(k),
+                                  a.actualFingerprint, st.retries,
+                                  true};
+                if (auto *ps = obs::profileSink())
+                    ps->count("epoch.divergences");
+            }
+            if (auto *ps = obs::profileSink()) {
+                ps->count("epoch.epochs_run");
+                ps->count("epoch.events_replayed", st.events);
+                ps->count("epoch.refs_streamed", st.refs);
+                ps->sample("epoch.worker_seconds", st.seconds);
+            }
+        });
+    }
+    res.profileSeconds = secondsSince(t0);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (diverged[k])
+            res.divergences.push_back(divergences[k]);
+        res.instructions += res.epochs[k].instructions;
+        res.cycles += res.epochs[k].cycles;
+    }
+    if (!firstError.empty()) {
+        res.error = firstError;
+        return res;
+    }
+
+    // Stitch: the stitched file's block/chain state is a pure
+    // function of the concatenated record sequence and the block
+    // capacity, and all chain state restarts at every block boundary
+    // — so each output block can be encoded independently. The shard
+    // record counts give every record's global index; the blocks fan
+    // out over the pool in chunks and the encoded payloads are
+    // appended in order, reproducing the sequential file byte for
+    // byte at a fraction of its encode wall time.
+    const auto s0 = std::chrono::steady_clock::now();
+    {
+        PT_TRACE_SCOPE("epoch.stitch", "epoch");
+
+        struct Shard
+        {
+            std::string path;
+            u64 first = 0; ///< global index of its first record
+            u64 records = 0;
+        };
+        std::vector<Shard> shards(n);
+        u64 total = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            shards[k].path = shardPath(outPath, k);
+            trace::PackedTraceReader probe;
+            if (LoadResult r = probe.open(shards[k].path); !r) {
+                res.error = "shard " + shards[k].path +
+                            " unreadable: " + r.message();
+                return res;
+            }
+            shards[k].first = total;
+            shards[k].records = probe.totalRecords();
+            total += shards[k].records;
+        }
+
+        trace::PackedTraceWriter stitched(outPath, ro.blockCapacity);
+        if (!stitched.ok()) {
+            res.error = "cannot open stitched output " + outPath;
+            return res;
+        }
+        const u32 cap = stitched.capacity();
+        const u64 blockCount = (total + cap - 1) / cap;
+        const u64 blocksPerTask =
+            std::max<u64>(1, (u64{1} << 20) / cap);
+        const std::size_t tasks = static_cast<std::size_t>(
+            (blockCount + blocksPerTask - 1) / blocksPerTask);
+
+        struct TaskOut
+        {
+            std::vector<u8> payloads; ///< concatenated block payloads
+            std::vector<std::pair<u32, u64>> blocks; ///< count, len
+            std::string error;
+        };
+        std::vector<TaskOut> outs(tasks);
+        {
+            ThreadPool pool(ro.jobs);
+            pool.parallelFor(tasks, [&](std::size_t t) {
+                PT_TRACE_SCOPE("epoch.stitch.encode", "epoch");
+                TaskOut &to = outs[t];
+                const u64 b0 = t * blocksPerTask;
+                const u64 b1 =
+                    std::min<u64>(blockCount, b0 + blocksPerTask);
+                const u64 r0 = b0 * cap;
+                const u64 r1 = std::min<u64>(total, b1 * cap);
+
+                // Gather records [r0, r1) from the shards they live
+                // in (each task opens its own readers; seekBlock
+                // jumps to the first overlapping shard block).
+                std::vector<trace::TraceRecord> recs;
+                recs.reserve(static_cast<std::size_t>(r1 - r0));
+                for (std::size_t k = 0; k < n; ++k) {
+                    const Shard &sh = shards[k];
+                    if (sh.first + sh.records <= r0 ||
+                        sh.first >= r1)
+                        continue;
+                    const u64 lr0 =
+                        r0 > sh.first ? r0 - sh.first : 0;
+                    const u64 lr1 =
+                        std::min(sh.records, r1 - sh.first);
+                    trace::PackedTraceReader reader;
+                    if (LoadResult r = reader.open(sh.path); !r) {
+                        to.error = "shard " + sh.path +
+                                   " unreadable: " + r.message();
+                        return;
+                    }
+                    const u32 shardCap = reader.blockCapacity();
+                    const u32 firstBlock = static_cast<u32>(
+                        lr0 / std::max<u32>(1, shardCap));
+                    if (LoadResult r = reader.seekBlock(firstBlock);
+                        !r) {
+                        to.error = "shard " + sh.path +
+                                   " seek failed: " + r.message();
+                        return;
+                    }
+                    u64 pos = static_cast<u64>(firstBlock) * shardCap;
+                    std::vector<trace::TraceRecord> block;
+                    while (pos < lr1 && reader.nextBlock(block)) {
+                        const u64 from = lr0 > pos ? lr0 - pos : 0;
+                        const u64 until =
+                            std::min<u64>(block.size(), lr1 - pos);
+                        for (u64 i = from; i < until; ++i)
+                            recs.push_back(
+                                block[static_cast<std::size_t>(i)]);
+                        pos += block.size();
+                    }
+                    if (!reader.status()) {
+                        to.error = "shard " + sh.path + " corrupt: " +
+                                   reader.status().message();
+                        return;
+                    }
+                }
+                if (recs.size() != r1 - r0) {
+                    to.error = "shards yielded " +
+                               std::to_string(recs.size()) +
+                               " records for a " +
+                               std::to_string(r1 - r0) +
+                               "-record block range";
+                    return;
+                }
+
+                std::vector<u8> payload;
+                for (u64 b = b0; b < b1; ++b) {
+                    const u64 off = b * cap - r0;
+                    const u32 cnt = static_cast<u32>(
+                        std::min<u64>(cap, (r1 - r0) - off));
+                    trace::encodePackedBlockPayload(
+                        recs.data() + off, cnt, payload);
+                    to.blocks.emplace_back(cnt, payload.size());
+                    to.payloads.insert(to.payloads.end(),
+                                       payload.begin(),
+                                       payload.end());
+                }
+            });
+        }
+        for (const TaskOut &to : outs) {
+            if (!to.error.empty()) {
+                res.error = to.error;
+                return res;
+            }
+        }
+        for (const TaskOut &to : outs) {
+            std::size_t off = 0;
+            for (const auto &[cnt, len] : to.blocks) {
+                stitched.addEncodedBlock(
+                    cnt, to.payloads.data() + off,
+                    static_cast<std::size_t>(len));
+                off += static_cast<std::size_t>(len);
+            }
+        }
+        res.refs = stitched.count();
+        std::string err;
+        if (!stitched.close(&err)) {
+            res.error = "stitched write failed: " + err;
+            return res;
+        }
+        res.bytesWritten = stitched.bytesWritten();
+    }
+    res.stitchSeconds = secondsSince(s0);
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::string shard = shardPath(outPath, k);
+        if (ro.keepShards)
+            res.shards.push_back(shard);
+        else
+            std::remove(shard.c_str());
+    }
+
+    if (auto *ps = obs::profileSink()) {
+        ps->count("epoch.runs");
+        ps->gauge("epoch.profile_seconds", res.profileSeconds);
+        ps->gauge("epoch.stitch_seconds", res.stitchSeconds);
+        ps->gauge("epoch.stitched_refs",
+                  static_cast<double>(res.refs));
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace pt::epoch

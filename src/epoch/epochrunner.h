@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Epoch-parallel replay: profile long sessions on all cores,
+ * bit-identically.
+ *
+ * Sequential profiled replay is the pipeline's throughput ceiling —
+ * one emulated 68K core, every bus transaction observed. But replay
+ * of a fixed activity log is a deterministic state machine (§2.4.2),
+ * so its timeline can be cut into epochs and each epoch replayed
+ * independently from a full-machine checkpoint:
+ *
+ *  1. scanSession(): one fast unprofiled replay (tracing off, no ref
+ *     sink) that freezes a ReplayCheckpoint at every epoch boundary
+ *     into an EpochPlan. Tracing is pure observation, so the scan
+ *     walks the exact state sequence the profiled replay will.
+ *  2. runEpochs(): the plan's epochs fan out over the thread pool.
+ *     Each worker thaws its checkpoint into a private Device, replays
+ *     exactly its event slice with profiling on, streams its
+ *     references to a per-epoch PTPK shard, and must land on the
+ *     plan's next-entry fingerprint — the handoff contract. A
+ *     mismatch rewinds and retries the epoch from its checkpoint;
+ *     persistent mismatch degrades gracefully (the shard is kept,
+ *     the divergence reported) instead of failing the whole run.
+ *  3. The stitcher decodes the shards in epoch order and re-encodes
+ *     them into one PTPK stream byte-identical to what a sequential
+ *     profiled replay writes — PTPK block/chain state depends only on
+ *     the record sequence and block capacity, so re-adding the
+ *     records through a fresh writer reproduces the sequential file
+ *     exactly.
+ */
+
+#ifndef PT_EPOCH_EPOCHRUNNER_H
+#define PT_EPOCH_EPOCHRUNNER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "core/palmsim.h"
+#include "epoch/epochplan.h"
+#include "trace/packedtrace.h"
+
+namespace pt::epoch
+{
+
+/** Scan-pass configuration. Exactly one cadence applies: an explicit
+ *  everyEvents/everyCycles wins; otherwise the session is divided
+ *  into @ref epochs even event slices (0 = one per default job). */
+struct ScanOptions
+{
+    u64 epochs = 0;      ///< target epoch count (0 = defaultJobs())
+    u64 everyEvents = 0; ///< capture every K delivered sync events
+    u64 everyCycles = 0; ///< capture every N emulated cycles
+    Ticks settleTicks = 100; ///< settle phase the plan binds to
+};
+
+/** Scan-pass outcome. */
+struct ScanResult
+{
+    bool ok = false;
+    std::string error;
+    EpochPlan plan;
+    replay::ReplayStats stats;
+    u64 instructions = 0; ///< executed during the scan replay
+    u64 cycles = 0;       ///< elapsed during the scan replay
+    double seconds = 0;   ///< wall time of the scan pass
+};
+
+/**
+ * The scan pass: replays @p s once with profiling off, capturing an
+ * epoch boundary per the cadence. The plan always starts with the
+ * pre-event-0 state, records the session's log fingerprint and total
+ * sync-event count, and ends with the post-settle machine
+ * fingerprint every profile pass must reproduce.
+ */
+ScanResult scanSession(const core::Session &s, const ScanOptions &so);
+
+/** One epoch's fingerprint-handoff failure. */
+struct EpochDivergence
+{
+    u64 epoch = 0;
+    u64 expected = 0; ///< the plan's next-entry fingerprint
+    u64 actual = 0;   ///< the worker's final machine fingerprint
+    u32 retries = 0;  ///< rewind-and-retry attempts consumed
+    bool degraded = false; ///< shard kept despite the mismatch
+};
+
+/** One epoch's profile-pass measurements. */
+struct EpochStats
+{
+    u64 epoch = 0;
+    u64 events = 0;       ///< sync events in this epoch's slice
+    u64 refs = 0;         ///< references streamed to the shard
+    u64 instructions = 0;
+    u64 cycles = 0;
+    double seconds = 0;   ///< wall time of this epoch's worker
+    u32 retries = 0;
+    bool verified = false; ///< fingerprint handoff held
+};
+
+/** Profile-pass configuration. */
+struct RunOptions
+{
+    unsigned jobs = 0; ///< worker threads (0 = defaultJobs())
+    u32 blockCapacity = trace::kPackedDefaultBlockCapacity;
+    u32 maxRetries = 2;     ///< re-thaws per epoch before degrading
+    bool keepShards = false; ///< leave per-epoch shards on disk
+    std::function<void(const replay::ReplayProgress &)> progress;
+    u64 progressEveryEvents = 0;
+};
+
+/** Profile-pass outcome. */
+struct RunResult
+{
+    bool ok = false;   ///< false only on structural failure, not on
+                       ///< degraded epochs (check divergences)
+    std::string error;
+    std::vector<EpochStats> epochs;
+    std::vector<EpochDivergence> divergences;
+    u64 refs = 0;         ///< records in the stitched trace
+    u64 bytesWritten = 0; ///< stitched PTPK file size
+    u64 instructions = 0; ///< summed over all epoch workers
+    u64 cycles = 0;
+    double profileSeconds = 0; ///< wall time of the parallel fan-out
+    double stitchSeconds = 0;  ///< wall time of the stitch pass
+    std::vector<std::string> shards; ///< kept shard paths (keepShards)
+};
+
+/** The per-epoch shard path runEpochs() writes next to @p outPath. */
+std::string shardPath(const std::string &outPath, u64 epoch);
+
+/**
+ * The profile pass: fans @p plan's epochs over the thread pool and
+ * stitches the shards into @p outPath (a PTPK file byte-identical to
+ * a sequential profiled replay's --pack-out at the same block
+ * capacity). The plan must match @p s (log fingerprint and event
+ * count are verified first).
+ */
+RunResult runEpochs(const core::Session &s, const EpochPlan &plan,
+                    const std::string &outPath, const RunOptions &ro);
+
+} // namespace pt::epoch
+
+#endif // PT_EPOCH_EPOCHRUNNER_H

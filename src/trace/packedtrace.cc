@@ -134,21 +134,19 @@ PackedTraceWriter::add(Addr addr, u8 kind, u8 cls)
 }
 
 void
-PackedTraceWriter::flushBlock()
+encodePackedBlockPayload(const TraceRecord *recs, std::size_t n,
+                         std::vector<u8> &scratch)
 {
-    if (pending.empty())
-        return;
-
     scratch.clear();
 
     // 1. Meta tokens: varint(runLength << 3 | meta). A single-record
     // run costs one byte, so interleaved kinds degrade gracefully
     // while uniform stretches collapse.
     std::size_t i = 0;
-    while (i < pending.size()) {
-        u8 meta = metaOf(pending[i]);
+    while (i < n) {
+        u8 meta = metaOf(recs[i]);
         std::size_t j = i + 1;
-        while (j < pending.size() && metaOf(pending[j]) == meta)
+        while (j < n && metaOf(recs[j]) == meta)
             ++j;
         putVarint(scratch,
                   (static_cast<u64>(j - i) << 3) | meta);
@@ -178,7 +176,8 @@ PackedTraceWriter::flushBlock()
         unsigned ringPos = 0;
         u32 prevRegion = kRegions; // invalid: first item switches
         u32 chainPrev = 0;
-        for (const TraceRecord &rec : pending) {
+        for (std::size_t r = 0; r < n; ++r) {
+            const TraceRecord &rec = recs[r];
             if (metaOf(rec) != m)
                 continue;
             u32 reg = rec.addr >> 28;
@@ -250,7 +249,14 @@ PackedTraceWriter::flushBlock()
             k = e;
         }
     }
+}
 
+void
+PackedTraceWriter::flushBlock()
+{
+    if (pending.empty())
+        return;
+    encodePackedBlockPayload(pending.data(), pending.size(), scratch);
     BinWriter h;
     h.put32(kPackedBlockMagic);
     h.put32(static_cast<u32>(pending.size()));
@@ -260,6 +266,23 @@ PackedTraceWriter::flushBlock()
     write(h.bytes().data(), h.bytes().size());
     write(scratch.data(), scratch.size());
     pending.clear();
+}
+
+void
+PackedTraceWriter::addEncodedBlock(u32 count, const u8 *payload,
+                                   std::size_t len)
+{
+    if (count == 0)
+        return;
+    BinWriter h;
+    h.put32(kPackedBlockMagic);
+    h.put32(count);
+    h.put64(len);
+    h.put64(fnv64(payload, len));
+    index.push_back({written, count});
+    write(h.bytes().data(), h.bytes().size());
+    write(payload, len);
+    total += count;
 }
 
 bool

@@ -1,5 +1,7 @@
 #include "artifactcheck.h"
 
+#include <map>
+
 #include "base/binio.h"
 #include "device/checkpoint.h"
 #include "device/snapshot.h"
@@ -10,6 +12,14 @@ namespace pt::validate
 
 namespace
 {
+
+/** Parsers registered by higher layers, keyed by artifact magic. */
+std::map<u32, PayloadParser> &
+extraParsers()
+{
+    static std::map<u32, PayloadParser> parsers;
+    return parsers;
+}
 
 u32
 sniffMagic(const std::vector<u8> &bytes)
@@ -38,13 +48,23 @@ parsePayload(u32 magic, const std::vector<u8> &bytes)
         device::Checkpoint cp;
         return device::Checkpoint::deserialize(bytes, cp);
       }
-      default:
+      default: {
+        auto it = extraParsers().find(magic);
+        if (it != extraParsers().end())
+            return it->second(bytes);
         return LoadResult::fail(0, "magic",
                                 "unrecognized artifact magic");
+      }
     }
 }
 
 } // namespace
+
+void
+registerPayloadParser(u32 magic, PayloadParser parser)
+{
+    extraParsers()[magic] = parser;
+}
 
 FsckReport
 fsckArtifact(const std::string &path)

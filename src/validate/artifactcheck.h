@@ -44,6 +44,17 @@ struct FsckReport
  */
 FsckReport fsckArtifact(const std::string &path);
 
+/** A structural payload parser for one artifact magic. */
+using PayloadParser = LoadResult (*)(const std::vector<u8> &file);
+
+/**
+ * Registers the structural parser for @p magic. Artifact formats
+ * defined in layers above pt_validate (the epoch plan) hook their
+ * deserializers in here so fsck can fully parse them; re-registering
+ * a magic replaces its parser.
+ */
+void registerPayloadParser(u32 magic, PayloadParser parser);
+
 } // namespace pt::validate
 
 #endif // PT_VALIDATE_ARTIFACTCHECK_H

@@ -11,6 +11,7 @@
 
 #include "core/palmsim.h"
 #include "device/checkpoint.h"
+#include "fault/faultplan.h"
 #include "os/pilotos.h"
 #include "validate/correlate.h"
 
@@ -121,6 +122,75 @@ TEST(CheckpointTest, CorruptDataRejected)
     bytes[1] ^= 0xFF;
     EXPECT_FALSE(Checkpoint::deserialize(bytes, back));
     EXPECT_FALSE(Checkpoint::deserialize({}, back));
+}
+
+// The corruption contract at real scale. test_integrity already runs
+// the exhaustive every-length / every-bit sweep on a small synthetic
+// checkpoint; these suites repeat it against a checkpoint captured
+// from a booted device — megabytes of RLE-packed RAM — where an
+// exhaustive sweep would be quadratic, so the payload is covered with
+// a prime stride while every framing byte is still hit exactly.
+
+std::vector<u8>
+realCheckpointBytes()
+{
+    Device dev;
+    os::setupDevice(dev);
+    dev.io().serialInject(0x5A);
+    dev.runUntilTick(dev.ticks() + 50);
+    return Checkpoint::capture(dev).serialize();
+}
+
+TEST(CheckpointCorruption, RealDeviceTruncationsRejected)
+{
+    const auto bytes = realCheckpointBytes();
+    ASSERT_GT(bytes.size(), 1u << 16);
+
+    std::vector<std::size_t> keeps;
+    for (std::size_t keep = 0; keep < 96; ++keep)
+        keeps.push_back(keep); // the whole framed header region
+    for (std::size_t keep = 96; keep < bytes.size(); keep += 4093)
+        keeps.push_back(keep); // payload, prime stride
+    for (std::size_t keep = bytes.size() - 32; keep < bytes.size();
+         ++keep)
+        keeps.push_back(keep); // every tail length
+
+    for (std::size_t keep : keeps) {
+        auto cut = fault::FaultPlan::truncatedAt(bytes, keep);
+        Checkpoint out;
+        LoadResult res = Checkpoint::deserialize(cut, out);
+        ASSERT_FALSE(res.ok())
+            << "truncation to " << keep << " bytes was accepted";
+        ASSERT_FALSE(res.error().reason.empty());
+    }
+}
+
+TEST(CheckpointCorruption, RealDeviceHeaderBitFlipsRejected)
+{
+    const auto bytes = realCheckpointBytes();
+    ASSERT_GT(bytes.size(), 1u << 16);
+
+    std::vector<std::size_t> offsets;
+    for (std::size_t off = 0; off < 96; ++off)
+        offsets.push_back(off); // outer frame + embedded headers
+    for (std::size_t off = 96; off < bytes.size();
+         off += bytes.size() / 16)
+        offsets.push_back(off); // sampled payload interior
+    for (std::size_t off = bytes.size() - 16; off < bytes.size();
+         ++off)
+        offsets.push_back(off);
+
+    for (std::size_t off : offsets) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            auto flipped =
+                fault::FaultPlan::bitFlippedAt(bytes, off, bit);
+            Checkpoint out;
+            LoadResult res = Checkpoint::deserialize(flipped, out);
+            ASSERT_FALSE(res.ok()) << "bit " << bit << " of byte "
+                                   << off << " flipped undetected";
+            ASSERT_FALSE(res.error().field.empty());
+        }
+    }
 }
 
 TEST(CheckpointReplay, ResumeMatchesUninterruptedReplay)

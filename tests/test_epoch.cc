@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Epoch-parallel replay tests: the plan artifact's round-trip and
+ * corruption contracts, and the subsystem's one theorem — the stitched
+ * epoch-parallel trace is byte-identical to a sequential profiled
+ * replay at every job count — plus the boundary edge cases (a capture
+ * landing exactly on a sync event's tick, mid-queue cursor handoff,
+ * and an empty final epoch).
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/palmsim.h"
+#include "epoch/epochplan.h"
+#include "epoch/epochrunner.h"
+#include "fault/faultplan.h"
+#include "hacks/hackmgr.h"
+#include "os/pilotos.h"
+#include "trace/packedtrace.h"
+#include "workload/tracefeed.h"
+#include "workload/usermodel.h"
+
+namespace pt
+{
+namespace
+{
+
+workload::UserModelConfig
+sessionCfg(u64 seed)
+{
+    workload::UserModelConfig cfg;
+    cfg.seed = seed;
+    cfg.interactions = 4;
+    cfg.meanIdleTicks = 2'000;
+    return cfg;
+}
+
+std::string
+tmpFile(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::vector<u8>
+readFileBytes(const std::string &path)
+{
+    std::vector<u8> bytes;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return bytes;
+    std::fseek(f, 0, SEEK_END);
+    bytes.resize(static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size())
+        bytes.clear();
+    std::fclose(f);
+    return bytes;
+}
+
+/** Writes the sequential profiled replay's packed trace — the
+ *  reference stream every epoch-parallel run must reproduce. */
+u64
+sequentialPacked(const core::Session &s, const std::string &path)
+{
+    trace::PackedTraceWriter w(path);
+    trace::PackedWriterSink sink(w);
+    core::ReplayConfig cfg;
+    cfg.extraRefSink = &sink;
+    core::PalmSimulator::replaySession(s, cfg);
+    u64 n = w.count();
+    EXPECT_TRUE(w.close());
+    return n;
+}
+
+/** A small synthetic machine checkpoint (the corruption test does not
+ *  need a booted device, only a structurally valid artifact). */
+device::Checkpoint
+smallCheckpoint(u8 fill)
+{
+    device::Checkpoint c;
+    c.memory.ram.assign(512, 0);
+    c.memory.ram[9] = fill;
+    c.memory.rom.assign(256, 0);
+    c.memory.rom[0] = 0x4E;
+    c.memory.rtcBase = 0x1000u + fill;
+    for (int i = 0; i < 8; ++i) {
+        c.cpu.d[i] = 0x100u + static_cast<u32>(i);
+        c.cpu.a[i] = 0x200u + static_cast<u32>(i);
+    }
+    c.cpu.pc = 0x10C00200;
+    c.cpu.sr = 0x2700;
+    c.io.btnState = fill;
+    c.cycleCount = 1000u * fill;
+    return c;
+}
+
+epoch::EpochPlan
+syntheticPlan()
+{
+    epoch::EpochPlan plan;
+    plan.logFingerprint = 0x1122334455667788ull;
+    plan.totalEvents = 9;
+    plan.settleTicks = 100;
+    plan.finalFingerprint = 0xCAFEBABEDEADBEEFull;
+
+    epoch::EpochEntry e0;
+    e0.state.machine = smallCheckpoint(1);
+    e0.state.valid = true;
+    e0.fingerprint = e0.state.machine.fingerprint();
+
+    epoch::EpochEntry e1;
+    e1.state.machine = smallCheckpoint(7);
+    e1.state.eventIndex = 5;
+    e1.state.keyStateCursor = 2;
+    e1.state.seedCursor = 1;
+    e1.state.buttons = 0x0003;
+    e1.state.lastEventTick = 44;
+    e1.state.valid = true;
+    e1.fingerprint = e1.state.machine.fingerprint();
+
+    plan.entries = {e0, e1};
+    return plan;
+}
+
+TEST(EpochPlan, RoundTripPreservesEverything)
+{
+    epoch::EpochPlan plan = syntheticPlan();
+    auto bytes = plan.serialize();
+
+    epoch::EpochPlan back;
+    LoadResult res = epoch::EpochPlan::deserialize(bytes, back);
+    ASSERT_TRUE(res.ok()) << res.message();
+    EXPECT_EQ(back.logFingerprint, plan.logFingerprint);
+    EXPECT_EQ(back.totalEvents, plan.totalEvents);
+    EXPECT_EQ(back.settleTicks, plan.settleTicks);
+    EXPECT_EQ(back.finalFingerprint, plan.finalFingerprint);
+    ASSERT_EQ(back.entries.size(), plan.entries.size());
+    for (std::size_t i = 0; i < plan.entries.size(); ++i) {
+        const auto &a = plan.entries[i];
+        const auto &b = back.entries[i];
+        EXPECT_EQ(b.state.eventIndex, a.state.eventIndex);
+        EXPECT_EQ(b.state.keyStateCursor, a.state.keyStateCursor);
+        EXPECT_EQ(b.state.seedCursor, a.state.seedCursor);
+        EXPECT_EQ(b.state.buttons, a.state.buttons);
+        EXPECT_EQ(b.state.lastEventTick, a.state.lastEventTick);
+        EXPECT_TRUE(b.state.valid);
+        EXPECT_EQ(b.fingerprint, a.fingerprint);
+        EXPECT_EQ(b.state.machine.fingerprint(),
+                  a.state.machine.fingerprint());
+    }
+
+    // Epoch geometry helpers read through to the entries.
+    EXPECT_EQ(back.epochCount(), 2u);
+    EXPECT_EQ(back.firstEvent(0), 0u);
+    EXPECT_EQ(back.lastEvent(0), 5u);
+    EXPECT_EQ(back.lastEvent(1), plan.totalEvents);
+    EXPECT_EQ(back.expectedFingerprint(0), plan.entries[1].fingerprint);
+    EXPECT_EQ(back.expectedFingerprint(1), plan.finalFingerprint);
+
+    // File round-trip (atomic save, framed load).
+    std::string path = tmpFile("pt_epoch_plan_rt.plan");
+    ASSERT_TRUE(plan.save(path));
+    epoch::EpochPlan fromDisk;
+    ASSERT_TRUE(epoch::EpochPlan::load(path, fromDisk).ok());
+    EXPECT_EQ(fromDisk.serialize(), bytes);
+    std::remove(path.c_str());
+}
+
+TEST(EpochPlan, AllTruncationsAndBitFlipsRejected)
+{
+    auto bytes = syntheticPlan().serialize();
+    for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+        auto cut = fault::FaultPlan::truncatedAt(bytes, keep);
+        epoch::EpochPlan out;
+        LoadResult res = epoch::EpochPlan::deserialize(cut, out);
+        ASSERT_FALSE(res.ok())
+            << "truncation to " << keep << " bytes was accepted";
+        ASSERT_FALSE(res.error().reason.empty());
+    }
+    for (std::size_t off = 0; off < bytes.size(); ++off) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            auto flipped =
+                fault::FaultPlan::bitFlippedAt(bytes, off, bit);
+            epoch::EpochPlan out;
+            LoadResult res =
+                epoch::EpochPlan::deserialize(flipped, out);
+            ASSERT_FALSE(res.ok()) << "bit " << bit << " of byte "
+                                   << off << " flipped undetected";
+            ASSERT_FALSE(res.error().field.empty());
+        }
+    }
+}
+
+TEST(EpochPlan, MismatchedSessionRejected)
+{
+    core::Session a = core::PalmSimulator::collect(sessionCfg(301));
+    core::Session b = core::PalmSimulator::collect(sessionCfg(302));
+
+    epoch::ScanOptions so;
+    so.epochs = 2;
+    epoch::ScanResult scan = epoch::scanSession(a, so);
+    ASSERT_TRUE(scan.ok) << scan.error;
+
+    std::string out = tmpFile("pt_epoch_mismatch.ptpk");
+    epoch::RunOptions ro;
+    ro.jobs = 1;
+    epoch::RunResult run = epoch::runEpochs(b, scan.plan, out, ro);
+    EXPECT_FALSE(run.ok);
+    EXPECT_NE(run.error.find("fingerprint"), std::string::npos)
+        << run.error;
+    std::remove(out.c_str());
+}
+
+TEST(EpochDifferential, StitchedMatchesSequentialAtJobs128)
+{
+    core::Session s = core::PalmSimulator::collect(sessionCfg(21));
+    std::string seqPath = tmpFile("pt_epoch_seq.ptpk");
+    u64 seqRefs = sequentialPacked(s, seqPath);
+    std::vector<u8> seqBytes = readFileBytes(seqPath);
+    ASSERT_FALSE(seqBytes.empty());
+    ASSERT_GT(seqRefs, 0u);
+
+    epoch::ScanOptions so;
+    so.epochs = 4;
+    epoch::ScanResult scan = epoch::scanSession(s, so);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    ASSERT_GE(scan.plan.epochCount(), 2u);
+
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        std::string out = tmpFile("pt_epoch_par.ptpk");
+        epoch::RunOptions ro;
+        ro.jobs = jobs;
+
+        // The heartbeat satellite: epoch-mode progress snapshots must
+        // carry the worker's epoch id and the emulated cycle position.
+        // Observed at jobs=1 only — the callback runs on worker
+        // threads, and this test has no business locking.
+        std::set<int> epochIds;
+        u64 progressCalls = 0;
+        bool cyclesSeen = true;
+        if (jobs == 1) {
+            ro.progress = [&](const replay::ReplayProgress &p) {
+                epochIds.insert(p.epochId);
+                ++progressCalls;
+                if (p.cycles == 0 || p.finalTick == 0)
+                    cyclesSeen = false;
+            };
+            ro.progressEveryEvents = 25;
+        }
+
+        epoch::RunResult run = epoch::runEpochs(s, scan.plan, out, ro);
+        ASSERT_TRUE(run.ok) << run.error;
+        EXPECT_TRUE(run.divergences.empty());
+        EXPECT_EQ(run.refs, seqRefs);
+        u64 events = 0;
+        for (const auto &e : run.epochs) {
+            EXPECT_TRUE(e.verified) << "epoch " << e.epoch;
+            events += e.events;
+        }
+        EXPECT_EQ(events, scan.plan.totalEvents);
+        if (progressCalls > 0) {
+            EXPECT_TRUE(cyclesSeen);
+            for (int id : epochIds) {
+                EXPECT_GE(id, 0);
+                EXPECT_LT(id,
+                          static_cast<int>(scan.plan.epochCount()));
+            }
+        }
+
+        std::vector<u8> parBytes = readFileBytes(out);
+        EXPECT_EQ(parBytes.size(), seqBytes.size())
+            << "jobs=" << jobs;
+        EXPECT_TRUE(parBytes == seqBytes)
+            << "stitched trace differs from sequential at jobs="
+            << jobs;
+        std::remove(out.c_str());
+    }
+    std::remove(seqPath.c_str());
+}
+
+TEST(EpochDifferential, SweepConsumesStitchedTrace)
+{
+    core::Session s = core::PalmSimulator::collect(sessionCfg(22));
+    epoch::ScanOptions so;
+    so.epochs = 3;
+    epoch::ScanResult scan = epoch::scanSession(s, so);
+    ASSERT_TRUE(scan.ok) << scan.error;
+
+    std::string out = tmpFile("pt_epoch_sweep.ptpk");
+    epoch::RunOptions ro;
+    ro.jobs = 2;
+    epoch::RunResult run = epoch::runEpochs(s, scan.plan, out, ro);
+    ASSERT_TRUE(run.ok) << run.error;
+    ASSERT_TRUE(run.divergences.empty());
+
+    // The stitched stream feeds the case-study sweep directly.
+    std::vector<cache::CacheConfig> configs;
+    configs.push_back({4096, 32, 1, cache::Policy::Lru});
+    configs.push_back({8192, 32, 2, cache::Policy::Lru});
+    workload::PackedSweepResult swept =
+        workload::sweepPackedFile(out, configs, 2);
+    ASSERT_TRUE(swept.status.ok()) << swept.status.message();
+    EXPECT_EQ(swept.refs, run.refs);
+    ASSERT_EQ(swept.caches.size(), configs.size());
+    for (const auto &c : swept.caches)
+        EXPECT_GT(c.stats().accesses, 0u);
+    std::remove(out.c_str());
+}
+
+TEST(EpochBoundary, BoundaryExactlyOnEventTick)
+{
+    // A hand-built log with two key presses on the SAME tick: with a
+    // one-event capture cadence, the boundary between them is frozen
+    // at exactly the tick the next event fires on (zero advance), and
+    // the synthetic releases repeat the collision two ticks later.
+    device::Device dev;
+    os::RomSymbols syms = os::setupDevice(dev);
+    hacks::HackManager mgr(dev, syms);
+    dev.reset();
+    dev.runUntilIdle();
+    mgr.installCollectionHacks();
+    mgr.clearLog();
+    dev.runUntilIdle();
+
+    core::Session s;
+    s.initialState = device::Snapshot::capture(dev);
+
+    const Ticks base = dev.ticks() + 50;
+    auto key = [&](Ticks tick, u16 mask) {
+        trace::LogRecord r;
+        r.tick = tick;
+        r.type = hacks::LogType::Key;
+        r.data = mask;
+        s.log.records.push_back(r);
+    };
+    key(base, 0x0001);
+    key(base, 0x0002); // same tick as the first press
+    key(base + 20, 0x0001);
+
+    epoch::ScanOptions so;
+    so.everyEvents = 1; // a boundary before every single event
+    epoch::ScanResult scan = epoch::scanSession(s, so);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    // 3 presses + 3 synthetic releases, a boundary before each event
+    // plus the trailing capture at totalEvents.
+    EXPECT_EQ(scan.plan.totalEvents, 6u);
+    ASSERT_EQ(scan.plan.epochCount(), 7u);
+
+    // The boundary before the second same-tick press was captured at
+    // exactly that event's tick.
+    const auto &e1 = scan.plan.entries[1].state;
+    EXPECT_EQ(e1.eventIndex, 1u);
+    EXPECT_EQ(e1.lastEventTick, base);
+    EXPECT_EQ(static_cast<Ticks>(e1.machine.cycleCount /
+                                 kCyclesPerTick),
+              base);
+
+    std::string seqPath = tmpFile("pt_epoch_tick_seq.ptpk");
+    u64 seqRefs = sequentialPacked(s, seqPath);
+    ASSERT_GT(seqRefs, 0u);
+
+    std::string out = tmpFile("pt_epoch_tick_par.ptpk");
+    epoch::RunOptions ro;
+    ro.jobs = 2;
+    epoch::RunResult run = epoch::runEpochs(s, scan.plan, out, ro);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_TRUE(run.divergences.empty());
+    EXPECT_TRUE(readFileBytes(out) == readFileBytes(seqPath));
+    std::remove(out.c_str());
+    std::remove(seqPath.c_str());
+}
+
+TEST(EpochBoundary, QueueCursorHandoffMidQueue)
+{
+    // A scroll-hold-heavy session floods the KeyCurrentState queue, so
+    // fine-grained boundaries land between queue pops and the cursors
+    // must travel through the plan. This seed's session spends time in
+    // the memo app, whose idle loop is the KeyCurrentState caller.
+    workload::UserModelConfig cfg = sessionCfg(101);
+    cfg.interactions = 6;
+    cfg.strokeWeight = 0.1;
+    cfg.tapWeight = 0.1;
+    cfg.appSwitchWeight = 0.1;
+    cfg.scrollHoldWeight = 0.7;
+    core::Session s = core::PalmSimulator::collect(cfg);
+
+    epoch::ScanOptions so;
+    so.everyEvents = 8;
+    epoch::ScanResult scan = epoch::scanSession(s, so);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    ASSERT_GT(scan.stats.keyStateOverrides, 0u)
+        << "workload produced no KeyCurrentState traffic";
+
+    bool midKeyState = false;
+    bool midSeed = false;
+    for (const auto &e : scan.plan.entries) {
+        if (e.state.keyStateCursor > 0 &&
+            e.state.keyStateCursor < scan.stats.keyStateOverrides)
+            midKeyState = true;
+        if (e.state.seedCursor > 0 &&
+            e.state.seedCursor < scan.stats.seedsApplied)
+            midSeed = true;
+    }
+    EXPECT_TRUE(midKeyState)
+        << "no boundary landed mid-way through the key-state queue";
+    if (scan.stats.seedsApplied > 1) {
+        EXPECT_TRUE(midSeed)
+            << "no boundary landed mid-way through the seed queue";
+    }
+
+    std::string seqPath = tmpFile("pt_epoch_queue_seq.ptpk");
+    u64 seqRefs = sequentialPacked(s, seqPath);
+    ASSERT_GT(seqRefs, 0u);
+
+    std::string out = tmpFile("pt_epoch_queue_par.ptpk");
+    epoch::RunOptions ro;
+    ro.jobs = 4;
+    epoch::RunResult run = epoch::runEpochs(s, scan.plan, out, ro);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_TRUE(run.divergences.empty());
+    for (const auto &e : run.epochs)
+        EXPECT_TRUE(e.verified) << "epoch " << e.epoch;
+    EXPECT_TRUE(readFileBytes(out) == readFileBytes(seqPath));
+    std::remove(out.c_str());
+    std::remove(seqPath.c_str());
+}
+
+TEST(EpochBoundary, EmptyFinalEpochReplaysOnlyTheSettle)
+{
+    core::Session s = core::PalmSimulator::collect(sessionCfg(33));
+
+    // Learn the event count, then pick a cadence that fires its last
+    // capture exactly after the final event: the plan gains a trailing
+    // entry at totalEvents and the last epoch replays zero events.
+    epoch::ScanOptions probe;
+    probe.epochs = 2;
+    epoch::ScanResult first = epoch::scanSession(s, probe);
+    ASSERT_TRUE(first.ok) << first.error;
+    const u64 total = first.plan.totalEvents;
+    ASSERT_GT(total, 0u);
+
+    epoch::ScanOptions so;
+    so.everyEvents = total;
+    epoch::ScanResult scan = epoch::scanSession(s, so);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    ASSERT_EQ(scan.plan.epochCount(), 2u);
+    EXPECT_EQ(scan.plan.entries.back().state.eventIndex, total);
+    EXPECT_EQ(scan.plan.lastEvent(1) - scan.plan.firstEvent(1), 0u);
+
+    std::string seqPath = tmpFile("pt_epoch_empty_seq.ptpk");
+    u64 seqRefs = sequentialPacked(s, seqPath);
+    ASSERT_GT(seqRefs, 0u);
+
+    std::string out = tmpFile("pt_epoch_empty_par.ptpk");
+    epoch::RunOptions ro;
+    ro.jobs = 2;
+    epoch::RunResult run = epoch::runEpochs(s, scan.plan, out, ro);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_TRUE(run.divergences.empty());
+    ASSERT_EQ(run.epochs.size(), 2u);
+    EXPECT_EQ(run.epochs[1].events, 0u);
+    EXPECT_TRUE(run.epochs[1].verified);
+    EXPECT_TRUE(readFileBytes(out) == readFileBytes(seqPath));
+    std::remove(out.c_str());
+    std::remove(seqPath.c_str());
+}
+
+} // namespace
+} // namespace pt

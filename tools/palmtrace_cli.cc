@@ -81,7 +81,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -92,6 +94,8 @@
 #include "cache/hierarchy.h"
 #include "core/palmsim.h"
 #include "device/checkpoint.h"
+#include "epoch/epochplan.h"
+#include "epoch/epochrunner.h"
 #include "m68k/disasm.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
@@ -127,6 +131,8 @@ struct Args
             "--metrics-out", "--trace-out",
             "--packed", "--pack-out",    "--synthetic",
             "--format", "--block",
+            "--epochs", "--every-events", "--every-cycles",
+            "--retries",
         };
         for (const char *f : kValueFlags)
             if (!std::strcmp(flag, f))
@@ -179,7 +185,7 @@ struct Args
 
 const char *const kSubcommands[] = {
     "collect", "info", "replay", "validate",
-    "fsck",    "stats", "sweep", "trace", "disasm",
+    "fsck",    "stats", "sweep", "trace", "epoch", "disasm",
 };
 
 void
@@ -216,6 +222,20 @@ printUsage(std::FILE *to)
         "  trace unpack IN OUT [--format din|pttr]\n"
         "                     expand a packed trace (default: din)\n"
         "  trace info FILE    trace statistics (any trace format)\n"
+        "  trace diff A B     compare two traces record by record\n"
+        "                     (any mix of din/PTTR/PTPK); report the\n"
+        "                     first divergence, exit 0 iff identical\n"
+        "  replay BASE --epochs N --jobs J --pack-out FILE\n"
+        "                     epoch-parallel profiled replay: scan,\n"
+        "                     fan the epochs over the worker pool,\n"
+        "                     stitch a bit-identical packed trace\n"
+        "  epoch plan BASE --out PLAN [--epochs N |\n"
+        "             --every-events K | --every-cycles C]\n"
+        "                     scan a session into an epoch plan\n"
+        "  epoch run BASE PLAN --out FILE [--keep-shards]\n"
+        "            [--retries R] [--block N]\n"
+        "                     profile a plan's epochs on all cores\n"
+        "  epoch info PLAN    summarize an epoch plan\n"
         "  disasm [--count N] disassemble the PilotOS ROM\n"
         "  help               print this message\n"
         "\n"
@@ -278,7 +298,10 @@ unknownSubcommand(const std::string &cmd)
 // ---------------------------------------------------------------------
 // Observability plumbing shared by the subcommands.
 
-/** Wall-clock heartbeat printer for long replays. */
+/** Wall-clock heartbeat printer for long replays. Reports progress
+ *  in emulated cycles — the quantity replay wall time is actually
+ *  proportional to — with a cycle-rate ETA, and tags the owning
+ *  epoch when epoch-parallel workers report concurrently. */
 class Heartbeat
 {
   public:
@@ -287,9 +310,16 @@ class Heartbeat
     {
         start = std::chrono::steady_clock::now();
         opts.progressEveryEvents = everyEvents;
-        opts.progress = [this](const replay::ReplayProgress &p) {
-            report(p);
-        };
+        opts.progress = handler();
+    }
+
+    /** The progress callback itself, for non-ReplayOptions surfaces
+     *  (the epoch runner's RunOptions). */
+    std::function<void(const replay::ReplayProgress &)>
+    handler()
+    {
+        start = std::chrono::steady_clock::now();
+        return [this](const replay::ReplayProgress &p) { report(p); };
     }
 
   private:
@@ -301,24 +331,37 @@ class Heartbeat
                           .count();
         if (secs <= 0.0)
             return;
+        // Concurrent epoch workers share one heartbeat; serialize the
+        // lines so they never interleave mid-record.
+        std::lock_guard<std::mutex> lock(mutex);
         double evRate = static_cast<double>(p.eventsDelivered) / secs;
-        double tickRate = static_cast<double>(p.tick) / secs;
+        double cycRate = static_cast<double>(p.cycles) / secs;
+        // The replay ends around the last scheduled event (plus a
+        // short settle), so the final emulated-cycle position is
+        // known up front — unlike wall time, which depends on host
+        // load, this ETA is derived from emulated progress.
+        u64 finalCycles = p.finalTick * kCyclesPerTick;
         double eta = 0.0;
-        if (p.tick > 0 && p.finalTick > p.tick) {
-            eta = static_cast<double>(p.finalTick - p.tick) /
-                  (static_cast<double>(p.tick) / secs);
+        if (p.cycles > 0 && finalCycles > p.cycles) {
+            eta = static_cast<double>(finalCycles - p.cycles) /
+                  cycRate;
         }
-        std::fprintf(stderr,
-                     "progress: %llu/%llu events, tick %llu/%llu "
-                     "(%.0f events/s, %.2fM ticks/s, ETA %.1fs)\n",
-                     static_cast<unsigned long long>(p.eventsDelivered),
-                     static_cast<unsigned long long>(p.totalEvents),
-                     static_cast<unsigned long long>(p.tick),
-                     static_cast<unsigned long long>(p.finalTick),
-                     evRate, tickRate / 1e6, eta);
+        char tag[24] = "";
+        if (p.epochId >= 0)
+            std::snprintf(tag, sizeof(tag), " [epoch %d]", p.epochId);
+        std::fprintf(
+            stderr,
+            "progress%s: %llu/%llu events, cycle %.1fM/%.1fM "
+            "(%.0f events/s, %.2fM cyc/s, ETA %.1fs)\n",
+            tag, static_cast<unsigned long long>(p.eventsDelivered),
+            static_cast<unsigned long long>(p.totalEvents),
+            static_cast<double>(p.cycles) / 1e6,
+            static_cast<double>(finalCycles) / 1e6, evRate,
+            cycRate / 1e6, eta);
     }
 
     std::chrono::steady_clock::time_point start;
+    std::mutex mutex;
 };
 
 /** Publishes one simulated cache level into the registry. */
@@ -373,6 +416,8 @@ profileHierarchy()
 }
 
 // ---------------------------------------------------------------------
+
+u32 blockCapacityArg(const Args &a); // defined with the trace toolbox
 
 int
 cmdCollect(const Args &a)
@@ -463,12 +508,144 @@ cmdInfo(const Args &a)
     return 0;
 }
 
+/** Formats a fingerprint for display. */
+std::string
+fpHex(u64 fp)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+/** Prints the profile pass's per-epoch table and totals. */
+void
+printEpochRun(const epoch::RunResult &run, const char *out)
+{
+    TextTable t("Epoch-parallel profile pass");
+    t.setHeader({"Epoch", "Events", "Refs", "Instructions", "Seconds",
+                 "Retries", "Handoff"});
+    for (const auto &e : run.epochs) {
+        t.addRow({std::to_string(e.epoch), std::to_string(e.events),
+                  std::to_string(e.refs),
+                  std::to_string(e.instructions),
+                  TextTable::num(e.seconds, 2),
+                  std::to_string(e.retries),
+                  e.verified ? "verified" : "DIVERGED"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("stitched trace %s (%llu refs, %llu bytes); "
+                "profile %.2fs + stitch %.2fs\n",
+                out, static_cast<unsigned long long>(run.refs),
+                static_cast<unsigned long long>(run.bytesWritten),
+                run.profileSeconds, run.stitchSeconds);
+    for (const auto &d : run.divergences) {
+        std::fprintf(stderr,
+                     "epoch %llu DIVERGED after %u retries: expected "
+                     "fingerprint %s, got %s (degraded: shard kept)\n",
+                     static_cast<unsigned long long>(d.epoch),
+                     d.retries, fpHex(d.expected).c_str(),
+                     fpHex(d.actual).c_str());
+    }
+}
+
+/** `replay --epochs N --pack-out FILE`: the one-shot epoch-parallel
+ *  pipeline — scan this session into N epochs, profile them on the
+ *  worker pool, stitch the shards into one packed trace. */
+int
+cmdReplayEpochs(const Args &a, const core::Session &s)
+{
+    if (a.has("--import") || a.has("--recover") ||
+        a.value("--jitter")) {
+        std::fprintf(stderr,
+                     "replay: --epochs cannot be combined with "
+                     "--import, --jitter, or --recover (epoch replay "
+                     "reproduces the exact bit-identical timeline)\n");
+        return 2;
+    }
+    const char *packOut = a.value("--pack-out");
+    if (!packOut) {
+        std::fprintf(stderr, "replay: --epochs needs --pack-out FILE "
+                             "(the stitched trace destination)\n");
+        return 2;
+    }
+    u32 cap = blockCapacityArg(a);
+    if (!cap) {
+        std::fprintf(stderr, "replay: --block must be in [1, %u]\n",
+                     trace::kPackedMaxBlockCapacity);
+        return 2;
+    }
+
+    epoch::ScanOptions so;
+    so.epochs = std::strtoull(a.value("--epochs", "0"), nullptr, 0);
+    epoch::ScanResult scan = epoch::scanSession(s, so);
+    if (!scan.ok) {
+        std::fprintf(stderr, "replay: %s\n", scan.error.c_str());
+        return 1;
+    }
+    std::printf("scan pass     %.2fs, %llu epochs over %llu events\n",
+                scan.seconds,
+                static_cast<unsigned long long>(scan.plan.epochCount()),
+                static_cast<unsigned long long>(scan.plan.totalEvents));
+
+    epoch::RunOptions ro;
+    ro.blockCapacity = cap;
+    ro.maxRetries = static_cast<u32>(
+        std::strtoul(a.value("--retries", "2"), nullptr, 0));
+    ro.keepShards = a.has("--keep-shards");
+    Heartbeat hb;
+    if (!a.has("--quiet")) {
+        ro.progress = hb.handler();
+        ro.progressEveryEvents = 250;
+    }
+    epoch::RunResult run = epoch::runEpochs(s, scan.plan, packOut, ro);
+    if (!run.ok) {
+        std::fprintf(stderr, "replay: %s\n", run.error.c_str());
+        return 1;
+    }
+    printEpochRun(run, packOut);
+
+    if (a.has("--profile")) {
+        // Profiling from the stitched stream: byte-identical to the
+        // sequential replay's, so the hierarchy counters match too.
+        cache::TwoLevelCache hier = profileHierarchy();
+        trace::PackedTraceReader reader;
+        if (auto r = reader.open(packOut); !r) {
+            std::fprintf(stderr, "replay: %s: %s\n", packOut,
+                         r.message().c_str());
+            return 1;
+        }
+        std::vector<trace::TraceRecord> block;
+        while (reader.nextBlock(block)) {
+            for (const auto &rec : block)
+                hier.access(rec.addr, rec.cls == 1);
+        }
+        if (auto &r = reader.status(); !r) {
+            std::fprintf(stderr, "replay: %s: %s\n", packOut,
+                         r.message().c_str());
+            return 1;
+        }
+        publishCacheLevel("l1", hier.l1().stats());
+        publishCacheLevel("l2", hier.l2().stats());
+        std::printf("cache L1      %.3f%% miss (%s), L2 %.3f%% miss "
+                    "(%s); T_eff %.3f cycles\n",
+                    hier.l1().stats().missRate() * 100.0,
+                    hier.l1().config().name().c_str(),
+                    hier.l2().stats().missRate() * 100.0,
+                    hier.l2().config().name().c_str(),
+                    hier.avgAccessTime());
+    }
+    return run.divergences.empty() ? 0 : 1;
+}
+
 int
 cmdReplay(const Args &a)
 {
     core::Session s;
     if (!loadSession(a, s))
         return 1;
+    if (a.value("--epochs"))
+        return cmdReplayEpochs(a, s);
     core::ReplayConfig cfg;
     cfg.logicalImportMode = a.has("--import");
     cfg.options.burstJitterTicks = static_cast<Ticks>(
@@ -689,6 +866,22 @@ statsForCheckpoint(const std::string &path, TextTable &t)
         .inc();
 }
 
+void
+statsForEpochPlan(const std::string &path, TextTable &t)
+{
+    epoch::EpochPlan plan;
+    if (auto res = epoch::EpochPlan::load(path, plan); !res)
+        return;
+    t.addRow({path, "epochs", std::to_string(plan.epochCount())});
+    t.addRow({path, "total events",
+              std::to_string(plan.totalEvents)});
+    t.addRow({path, "settle ticks",
+              std::to_string(plan.settleTicks)});
+    obs::Registry::global()
+        .counter("artifact.epoch_plans_summarized")
+        .inc();
+}
+
 int
 cmdStats(const Args &a)
 {
@@ -722,6 +915,8 @@ cmdStats(const Args &a)
             statsForSnapshot(p, t);
         else if (rep.kind == std::string("checkpoint"))
             statsForCheckpoint(p, t);
+        else if (rep.kind == std::string("epoch plan"))
+            statsForEpochPlan(p, t);
     }
     std::printf("%s", t.render().c_str());
     return allClean ? 0 : 1;
@@ -1309,13 +1504,171 @@ cmdTraceInfo(const Args &, const std::vector<const char *> &ops)
     return 0;
 }
 
+/** Pulls records one at a time from any trace format: din and PTTR
+ *  are materialized (they are in-memory formats anyway), PTPK is
+ *  streamed block by block with O(block) memory. */
+class TraceSource
+{
+  public:
+    bool
+    open(const char *path)
+    {
+        switch (sniffTraceFormat(path)) {
+          case TraceFormat::Unreadable:
+            err = "cannot read file";
+            return false;
+          case TraceFormat::Packed: {
+            packed = true;
+            if (auto r = reader.open(path); !r) {
+                err = r.message();
+                return false;
+            }
+            return true;
+          }
+          case TraceFormat::Pttr: {
+            trace::TraceBuffer buf;
+            if (auto r = trace::TraceBuffer::load(path, buf); !r) {
+                err = r.message();
+                return false;
+            }
+            all = buf.records();
+            return true;
+          }
+          case TraceFormat::Din: {
+            // Dinero text carries no RAM/flash class; records read
+            // back as class 0 (ram), matching what unpack wrote.
+            s64 n = trace::readDineroFile(
+                path, [&](Addr addr, u8 label) {
+                    all.push_back({addr, dinLabelToKind(label), 0});
+                });
+            if (n < 0) {
+                err = "cannot read file";
+                return false;
+            }
+            return true;
+          }
+        }
+        return false;
+    }
+
+    /** @return true with the next record; false at end or on error
+     *  (error() tells the two apart). */
+    bool
+    next(trace::TraceRecord &out)
+    {
+        if (!packed) {
+            if (pos >= all.size())
+                return false;
+            out = all[pos++];
+            return true;
+        }
+        while (bpos >= block.size()) {
+            if (!reader.nextBlock(block)) {
+                if (!reader.status())
+                    err = reader.status().message();
+                return false;
+            }
+            bpos = 0;
+        }
+        out = block[bpos++];
+        return true;
+    }
+
+    const std::string &error() const { return err; }
+
+  private:
+    bool packed = false;
+    std::vector<trace::TraceRecord> all;
+    std::size_t pos = 0;
+    trace::PackedTraceReader reader;
+    std::vector<trace::TraceRecord> block;
+    std::size_t bpos = 0;
+    std::string err;
+};
+
+const char *
+kindName(u8 kind)
+{
+    return kind == 0 ? "fetch" : kind == 1 ? "read" : "write";
+}
+
+/** `trace diff A B`: record-by-record comparison of two traces in
+ *  any mix of formats; reports the first divergence. The epoch CI
+ *  job uses it to prove stitched == sequential. */
+int
+cmdTraceDiff(const Args &, const std::vector<const char *> &ops)
+{
+    if (ops.size() != 3) {
+        std::fprintf(stderr, "usage: palmtrace trace diff A B\n");
+        return 2;
+    }
+    TraceSource srcA, srcB;
+    if (!srcA.open(ops[1])) {
+        std::fprintf(stderr, "trace diff: %s: %s\n", ops[1],
+                     srcA.error().c_str());
+        return 1;
+    }
+    if (!srcB.open(ops[2])) {
+        std::fprintf(stderr, "trace diff: %s: %s\n", ops[2],
+                     srcB.error().c_str());
+        return 1;
+    }
+
+    auto describe = [](const trace::TraceRecord &r) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s %s 0x%08X",
+                      r.cls ? "flash" : "ram", kindName(r.kind),
+                      r.addr);
+        return std::string(buf);
+    };
+
+    u64 i = 0;
+    for (;;) {
+        trace::TraceRecord ra, rb;
+        bool haveA = srcA.next(ra);
+        bool haveB = srcB.next(rb);
+        if (!srcA.error().empty() || !srcB.error().empty()) {
+            std::fprintf(stderr, "trace diff: %s: %s\n",
+                         srcA.error().empty() ? ops[2] : ops[1],
+                         srcA.error().empty()
+                             ? srcB.error().c_str()
+                             : srcA.error().c_str());
+            return 1;
+        }
+        if (!haveA && !haveB)
+            break;
+        if (haveA != haveB) {
+            std::printf("traces diverge at record %llu: %s ends, %s "
+                        "continues with [%s]\n",
+                        static_cast<unsigned long long>(i),
+                        haveA ? ops[2] : ops[1],
+                        haveA ? ops[1] : ops[2],
+                        describe(haveA ? ra : rb).c_str());
+            return 1;
+        }
+        if (ra.addr != rb.addr || ra.kind != rb.kind ||
+            ra.cls != rb.cls) {
+            std::printf("traces diverge at record %llu:\n"
+                        "  %s: [%s]\n  %s: [%s]\n",
+                        static_cast<unsigned long long>(i), ops[1],
+                        describe(ra).c_str(), ops[2],
+                        describe(rb).c_str());
+            return 1;
+        }
+        ++i;
+    }
+    std::printf("traces identical (%llu records)\n",
+                static_cast<unsigned long long>(i));
+    return 0;
+}
+
 int
 cmdTrace(const Args &a)
 {
     auto ops = a.operands();
     if (ops.empty()) {
-        std::fprintf(stderr,
-                     "trace: missing operation (pack, unpack, info)\n");
+        std::fprintf(stderr, "trace: missing operation (pack, "
+                             "unpack, info, diff)\n");
         return 2;
     }
     if (!std::strcmp(ops[0], "pack"))
@@ -1324,9 +1677,185 @@ cmdTrace(const Args &a)
         return cmdTraceUnpack(a, ops);
     if (!std::strcmp(ops[0], "info"))
         return cmdTraceInfo(a, ops);
+    if (!std::strcmp(ops[0], "diff"))
+        return cmdTraceDiff(a, ops);
     std::fprintf(stderr,
                  "trace: unknown operation '%s' (want pack, unpack, "
-                 "or info)\n",
+                 "info, or diff)\n",
+                 ops[0]);
+    return 2;
+}
+
+// ---------------------------------------------------------------------
+// `palmtrace epoch`: the epoch-parallel replay toolbox.
+
+bool
+loadSessionAt(const char *base, core::Session &s)
+{
+    if (auto res = core::Session::load(base, s); !res) {
+        std::fprintf(stderr, "cannot load session '%s': %s\n", base,
+                     res.message().c_str());
+        return false;
+    }
+    return true;
+}
+
+/** `epoch plan BASE --out PLAN`: the scan pass alone — replay once
+ *  without profiling instrumentation and save the checkpoint fan-out
+ *  plan as a reusable artifact. */
+int
+cmdEpochPlan(const Args &a, const std::vector<const char *> &ops)
+{
+    if (ops.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: palmtrace epoch plan BASE --out PLAN "
+                     "[--epochs N | --every-events K | "
+                     "--every-cycles C]\n");
+        return 2;
+    }
+    const char *out = a.value("--out");
+    if (!out) {
+        std::fprintf(stderr, "epoch plan: --out PLAN is required\n");
+        return 2;
+    }
+    core::Session s;
+    if (!loadSessionAt(ops[1], s))
+        return 1;
+
+    epoch::ScanOptions so;
+    so.epochs = std::strtoull(a.value("--epochs", "0"), nullptr, 0);
+    so.everyEvents =
+        std::strtoull(a.value("--every-events", "0"), nullptr, 0);
+    so.everyCycles =
+        std::strtoull(a.value("--every-cycles", "0"), nullptr, 0);
+
+    epoch::ScanResult scan = epoch::scanSession(s, so);
+    if (!scan.ok) {
+        std::fprintf(stderr, "epoch plan: %s\n", scan.error.c_str());
+        return 1;
+    }
+    std::string err;
+    if (!scan.plan.save(out, &err)) {
+        std::fprintf(stderr, "epoch plan: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("epoch plan %s: %llu epochs over %llu events "
+                "(scan %.2fs, %llu instructions)\n",
+                out,
+                static_cast<unsigned long long>(scan.plan.epochCount()),
+                static_cast<unsigned long long>(scan.plan.totalEvents),
+                scan.seconds,
+                static_cast<unsigned long long>(scan.instructions));
+    return 0;
+}
+
+/** `epoch run BASE PLAN --out FILE`: the profile pass alone — fan a
+ *  saved plan's epochs over the worker pool and stitch the shards. */
+int
+cmdEpochRun(const Args &a, const std::vector<const char *> &ops)
+{
+    if (ops.size() != 3) {
+        std::fprintf(stderr,
+                     "usage: palmtrace epoch run BASE PLAN --out FILE "
+                     "[--keep-shards] [--retries R] [--block N]\n");
+        return 2;
+    }
+    const char *out = a.value("--out");
+    if (!out) {
+        std::fprintf(stderr, "epoch run: --out FILE is required\n");
+        return 2;
+    }
+    u32 cap = blockCapacityArg(a);
+    if (!cap) {
+        std::fprintf(stderr, "epoch run: --block must be in [1, %u]\n",
+                     trace::kPackedMaxBlockCapacity);
+        return 2;
+    }
+    core::Session s;
+    if (!loadSessionAt(ops[1], s))
+        return 1;
+    epoch::EpochPlan plan;
+    if (auto res = epoch::EpochPlan::load(ops[2], plan); !res) {
+        std::fprintf(stderr, "epoch run: %s: %s\n", ops[2],
+                     res.message().c_str());
+        return 1;
+    }
+
+    epoch::RunOptions ro;
+    ro.blockCapacity = cap;
+    ro.maxRetries = static_cast<u32>(
+        std::strtoul(a.value("--retries", "2"), nullptr, 0));
+    ro.keepShards = a.has("--keep-shards");
+    Heartbeat hb;
+    if (!a.has("--quiet")) {
+        ro.progress = hb.handler();
+        ro.progressEveryEvents = 250;
+    }
+    epoch::RunResult run = epoch::runEpochs(s, plan, out, ro);
+    if (!run.ok) {
+        std::fprintf(stderr, "epoch run: %s\n", run.error.c_str());
+        return 1;
+    }
+    printEpochRun(run, out);
+    return run.divergences.empty() ? 0 : 1;
+}
+
+/** `epoch info PLAN`: summarize a plan artifact. */
+int
+cmdEpochInfo(const Args &, const std::vector<const char *> &ops)
+{
+    if (ops.size() != 2) {
+        std::fprintf(stderr, "usage: palmtrace epoch info PLAN\n");
+        return 2;
+    }
+    epoch::EpochPlan plan;
+    if (auto res = epoch::EpochPlan::load(ops[1], plan); !res) {
+        std::fprintf(stderr, "epoch info: %s: %s\n", ops[1],
+                     res.message().c_str());
+        return 1;
+    }
+    TextTable t("Epoch plan");
+    t.setHeader({"Epoch", "First event", "Events", "Start tick",
+                 "Fingerprint"});
+    for (std::size_t k = 0; k < plan.entries.size(); ++k) {
+        const auto &e = plan.entries[k];
+        t.addRow({std::to_string(k),
+                  std::to_string(e.state.eventIndex),
+                  std::to_string(plan.lastEvent(k) -
+                                 plan.firstEvent(k)),
+                  std::to_string(e.state.machine.cycleCount /
+                                 kCyclesPerTick),
+                  fpHex(e.fingerprint)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("%llu epochs over %llu events; settle %llu ticks; "
+                "log %s, final state %s\n",
+                static_cast<unsigned long long>(plan.epochCount()),
+                static_cast<unsigned long long>(plan.totalEvents),
+                static_cast<unsigned long long>(plan.settleTicks),
+                fpHex(plan.logFingerprint).c_str(),
+                fpHex(plan.finalFingerprint).c_str());
+    return 0;
+}
+
+int
+cmdEpoch(const Args &a)
+{
+    auto ops = a.operands();
+    if (ops.empty()) {
+        std::fprintf(stderr,
+                     "epoch: missing operation (plan, run, info)\n");
+        return 2;
+    }
+    if (!std::strcmp(ops[0], "plan"))
+        return cmdEpochPlan(a, ops);
+    if (!std::strcmp(ops[0], "run"))
+        return cmdEpochRun(a, ops);
+    if (!std::strcmp(ops[0], "info"))
+        return cmdEpochInfo(a, ops);
+    std::fprintf(stderr,
+                 "epoch: unknown operation '%s' (want plan, run, or "
+                 "info)\n",
                  ops[0]);
     return 2;
 }
@@ -1370,6 +1899,8 @@ dispatch(const std::string &cmd, const Args &rest)
         return cmdSweep(rest);
     if (cmd == "trace")
         return cmdTrace(rest);
+    if (cmd == "epoch")
+        return cmdEpoch(rest);
     if (cmd == "disasm")
         return cmdDisasm(rest);
     return unknownSubcommand(cmd);
@@ -1390,6 +1921,10 @@ main(int argc, char **argv)
         printUsage(stdout);
         return 0;
     }
+
+    // fsck/stats dispatch on artifact magic; the epoch-plan parser
+    // lives above the validate layer and hooks in at startup.
+    epoch::registerFsckParser();
 
     // Verbosity: CLI default is quiet (tables are the output), the
     // environment can override, explicit flags win.
