@@ -55,6 +55,8 @@ magicName(u32 magic)
         return "checkpoint";
       case kEpochPlanMagic:
         return "epoch plan";
+      case kJournalMagic:
+        return "job journal";
       default:
         return "unknown";
     }

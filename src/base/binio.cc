@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "iohooks.h"
+
 namespace pt
 {
 
@@ -28,21 +30,42 @@ BinWriter::writeFile(const std::string &path, std::string *errOut) const
 {
     const std::string tmp = path + ".tmp";
     errno = 0;
+    if (io::checkFault(io::Op::Open, path).any())
+        return writeFailed(errOut, "open", tmp);
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return writeFailed(errOut, "open", tmp);
-    std::size_t n = buf.empty()
+    io::Fault wf = io::checkFault(io::Op::Write, path);
+    if (wf.torn) {
+        // A crash mid-write: half the payload lands and the
+        // temporary survives — the process would never reach the
+        // cleanup below.
+        std::fwrite(buf.data(), 1, buf.size() / 2, f);
+        std::fclose(f);
+        errno = EIO;
+        return writeFailed(errOut, "torn write of", tmp);
+    }
+    std::size_t n = (buf.empty() || wf.fail)
         ? 0 : std::fwrite(buf.data(), 1, buf.size(), f);
-    if (n != buf.size() || std::fflush(f) != 0) {
+    if (n != buf.size() || wf.fail || std::fflush(f) != 0 ||
+        io::checkFault(io::Op::Flush, path).any()) {
         std::fclose(f);
         std::remove(tmp.c_str());
         return writeFailed(errOut, "write", tmp);
     }
-    if (std::fclose(f) != 0) {
+    if (std::fclose(f) != 0 ||
+        io::checkFault(io::Op::Close, path).any()) {
         std::remove(tmp.c_str());
         return writeFailed(errOut, "close", tmp);
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    io::Fault rf = io::checkFault(io::Op::Rename, path);
+    if (rf.torn) {
+        // A crash between close and rename: the finished temporary
+        // stays behind as stale litter for fsck to report.
+        errno = EIO;
+        return writeFailed(errOut, "rename " + tmp + " to", path);
+    }
+    if (rf.fail || std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return writeFailed(errOut, "rename " + tmp + " to", path);
     }

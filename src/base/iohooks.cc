@@ -1,0 +1,52 @@
+#include "iohooks.h"
+
+#include <atomic>
+
+namespace pt::io
+{
+
+namespace
+{
+
+std::atomic<FaultInjector *> gInjector{nullptr};
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Open:
+        return "open";
+      case Op::Write:
+        return "write";
+      case Op::Flush:
+        return "flush";
+      case Op::Close:
+        return "close";
+      case Op::Rename:
+        return "rename";
+    }
+    return "?";
+}
+
+FaultInjector *
+faultInjector() noexcept
+{
+    return gInjector.load(std::memory_order_relaxed);
+}
+
+void
+setFaultInjector(FaultInjector *injector) noexcept
+{
+    gInjector.store(injector, std::memory_order_relaxed);
+}
+
+Fault
+checkFault(Op op, const std::string &path)
+{
+    FaultInjector *fi = faultInjector();
+    return fi ? fi->onIo(op, path) : Fault{};
+}
+
+} // namespace pt::io

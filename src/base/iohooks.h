@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scripted I/O fault injection for the atomic-write paths.
+ *
+ * Every durable artifact goes through the same discipline: write
+ * <path>.tmp, flush, close, rename into place. The chaos harness
+ * needs to fail each of those steps deterministically — a full disk
+ * at write(), an fsync error, a rename that never happens because
+ * the process died first (the "torn" atomic write that leaves .tmp
+ * litter behind). A process-global FaultInjector hook is consulted
+ * at each step by BinWriter::writeFile, PackedTraceWriter and the
+ * job journal; production runs pay one relaxed atomic load per step.
+ *
+ * The hook is for tests and chaos runs only: install before the I/O
+ * under test starts and uninstall after it finishes (the pointer is
+ * not reference-counted against in-flight operations).
+ */
+
+#ifndef PT_BASE_IOHOOKS_H
+#define PT_BASE_IOHOOKS_H
+
+#include <string>
+
+#include "base/types.h"
+
+namespace pt::io
+{
+
+/** The atomic-write steps a fault can target. */
+enum class Op : u8
+{
+    Open,   ///< fopen of the temporary file
+    Write,  ///< fwrite of payload bytes
+    Flush,  ///< fflush before close
+    Close,  ///< fclose
+    Rename  ///< rename temporary -> final
+};
+
+const char *opName(Op op);
+
+/** One injected decision. `fail` makes the step error out through
+ *  the normal cleanup path (tmp removed, error reported). `torn`
+ *  simulates a crash at that step instead: partial bytes may land
+ *  and the temporary file is left behind, exactly as a killed
+ *  process would leave it. */
+struct Fault
+{
+    bool fail = false;
+    bool torn = false;
+
+    bool any() const { return fail || torn; }
+};
+
+/** Scripted fault source (implemented by fault::IoFaultScript). */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+
+    /** Consulted once per step per file operation, in order. */
+    virtual Fault onIo(Op op, const std::string &path) = 0;
+};
+
+/** The installed injector, or nullptr (the default). */
+FaultInjector *faultInjector() noexcept;
+
+/** Installs/uninstalls the process-global injector. */
+void setFaultInjector(FaultInjector *injector) noexcept;
+
+/** One-call consult: no injector means no fault. */
+Fault checkFault(Op op, const std::string &path);
+
+} // namespace pt::io
+
+#endif // PT_BASE_IOHOOKS_H

@@ -238,10 +238,15 @@ CacheSweep::flush()
 }
 
 u64
-CacheSweep::feedAll(RefSource &src)
+CacheSweep::feedAll(RefSource &src, CancelToken *cancel)
 {
     u64 total = 0;
     for (;;) {
+        if (cancel) {
+            cancel->beat();
+            if (cancel->cancelled())
+                break;
+        }
         // Let the source fill the batch buffer in place up to the
         // flush threshold — the same boundaries per-ref feed() hits.
         std::size_t base = batch.size();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.h"
 #include "base/loaderror.h"
 #include "base/rng.h"
 #include "base/types.h"
@@ -203,8 +204,12 @@ class CacheSweep
      * put them, so a streamed trace is bit-identical to the same
      * records fed from memory (the §9 determinism contract).
      * @return references consumed. finish() is still required.
+     *
+     * When @p cancel is set the drain beats it once per pulled batch
+     * and stops between batches on cancellation — the stats then
+     * cover a prefix of the stream and must be discarded.
      */
-    u64 feedAll(RefSource &src);
+    u64 feedAll(RefSource &src, CancelToken *cancel = nullptr);
 
     /** Flushes buffered references; required before reading stats. */
     void finish();

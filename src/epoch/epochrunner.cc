@@ -188,32 +188,12 @@ shardPath(const std::string &outPath, u64 epoch)
     return outPath + suffix;
 }
 
-namespace
+EpochAttempt
+runOneEpoch(const core::Session &s, const EpochPlan &plan,
+            std::size_t k, const std::string &shard,
+            const RunOptions &ro, CancelToken *cancel)
 {
-
-/** One worker attempt's outcome (the shard is on disk on success). */
-struct AttemptResult
-{
-    bool ioOk = false;       ///< shard written and closed cleanly
-    bool verified = false;   ///< fingerprint handoff held
-    u64 actualFingerprint = 0;
-    u64 refs = 0;
-    u64 instructions = 0;
-    u64 cycles = 0;
-    std::string error;
-};
-
-/**
- * Replays epoch @p k of @p plan from its checkpoint on a private
- * device, streaming references to @p shard. Pure function of
- * (session, plan, k) — retries re-run it from scratch.
- */
-AttemptResult
-attemptEpoch(const core::Session &s, const EpochPlan &plan,
-             std::size_t k, const std::string &shard,
-             const RunOptions &ro)
-{
-    AttemptResult out;
+    EpochAttempt out;
     const EpochEntry &entry = plan.entries[k];
     const bool lastEpoch = k + 1 == plan.entries.size();
 
@@ -239,6 +219,7 @@ attemptEpoch(const core::Session &s, const EpochPlan &plan,
     opts.progressEpochId = static_cast<int>(k);
     opts.progress = ro.progress;
     opts.progressEveryEvents = ro.progressEveryEvents;
+    opts.cancel = cancel;
 
     // resume() restores the checkpoint's CPU counters, so the slice's
     // own work is measured against the frozen counts, not against the
@@ -248,6 +229,15 @@ attemptEpoch(const core::Session &s, const EpochPlan &plan,
     replay::ReplayStats st = engine.resume(entry.state, opts);
     if (st.optionsRejected) {
         out.error = "epoch options rejected: " + st.optionsError;
+        return out;
+    }
+    if (st.interrupted) {
+        // A cancelled slice is a prefix, not a shard: abandon the
+        // temporary so a structurally valid partial PTPK can never be
+        // mistaken for the epoch's complete trace.
+        writer.abort();
+        out.interrupted = true;
+        out.error = "epoch " + std::to_string(k) + " cancelled";
         return out;
     }
     out.instructions = dev.instructionsRetired() - instBefore;
@@ -271,39 +261,38 @@ attemptEpoch(const core::Session &s, const EpochPlan &plan,
     return out;
 }
 
-} // namespace
+std::string
+validatePlan(const core::Session &s, const EpochPlan &plan)
+{
+    if (plan.entries.empty())
+        return "the plan has no epochs";
+    if (plan.entries.front().state.eventIndex != 0)
+        return "the plan's first epoch does not start at event 0";
+    if (plan.logFingerprint != EpochPlan::logFingerprintOf(s.log)) {
+        return "the plan was scanned from a different activity "
+               "log (fingerprint mismatch)";
+    }
+    // The event index space must match the engine's view of the
+    // log (synthetic key releases included).
+    device::Device dev;
+    replay::ReplayEngine probe(dev, s.log);
+    if (plan.totalEvents != probe.syncEventCount()) {
+        return "the plan schedules " +
+               std::to_string(plan.totalEvents) +
+               " events but the log expands to " +
+               std::to_string(probe.syncEventCount());
+    }
+    return {};
+}
 
 RunResult
 runEpochs(const core::Session &s, const EpochPlan &plan,
           const std::string &outPath, const RunOptions &ro)
 {
     RunResult res;
-    if (plan.entries.empty()) {
-        res.error = "the plan has no epochs";
+    if (std::string err = validatePlan(s, plan); !err.empty()) {
+        res.error = std::move(err);
         return res;
-    }
-    if (plan.entries.front().state.eventIndex != 0) {
-        res.error = "the plan's first epoch does not start at event 0";
-        return res;
-    }
-    if (plan.logFingerprint != EpochPlan::logFingerprintOf(s.log)) {
-        res.error = "the plan was scanned from a different activity "
-                    "log (fingerprint mismatch)";
-        return res;
-    }
-    {
-        // The event index space must match the engine's view of the
-        // log (synthetic key releases included).
-        device::Device dev;
-        replay::ReplayEngine probe(dev, s.log);
-        if (plan.totalEvents != probe.syncEventCount()) {
-            res.error =
-                "the plan schedules " +
-                std::to_string(plan.totalEvents) +
-                " events but the log expands to " +
-                std::to_string(probe.syncEventCount());
-            return res;
-        }
     }
 
     const std::size_t n = plan.entries.size();
@@ -312,6 +301,7 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
     std::vector<bool> diverged(n, false);
     std::mutex errMutex;
     std::string firstError;
+    bool anyInterrupted = false;
 
     const auto t0 = std::chrono::steady_clock::now();
     {
@@ -325,11 +315,11 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
             st.events = plan.lastEvent(k) - plan.firstEvent(k);
 
             const std::string shard = shardPath(outPath, k);
-            AttemptResult a;
+            EpochAttempt a;
             for (u32 attempt = 0;; ++attempt) {
-                a = attemptEpoch(s, plan, k, shard, ro);
+                a = runOneEpoch(s, plan, k, shard, ro, ro.cancel);
                 if (!a.ioOk)
-                    break; // I/O or option failure: retry won't help
+                    break; // I/O, option or cancel: retry won't help
                 if (a.verified)
                     break;
                 if (attempt >= ro.maxRetries)
@@ -350,6 +340,8 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
 
             if (!a.ioOk) {
                 std::lock_guard<std::mutex> lock(errMutex);
+                if (a.interrupted)
+                    anyInterrupted = true;
                 if (firstError.empty()) {
                     firstError = "epoch " + std::to_string(k) + ": " +
                                  a.error;
@@ -380,10 +372,43 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
         res.cycles += res.epochs[k].cycles;
     }
     if (!firstError.empty()) {
+        res.interrupted = anyInterrupted;
         res.error = firstError;
         return res;
     }
 
+    StitchResult sr = stitchShards(outPath, n, ro);
+    res.refs = sr.refs;
+    res.bytesWritten = sr.bytesWritten;
+    res.stitchSeconds = sr.seconds;
+    if (!sr.ok) {
+        res.error = sr.error;
+        return res;
+    }
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::string shard = shardPath(outPath, k);
+        if (ro.keepShards)
+            res.shards.push_back(shard);
+        else
+            std::remove(shard.c_str());
+    }
+
+    if (auto *ps = obs::profileSink()) {
+        ps->count("epoch.runs");
+        ps->gauge("epoch.profile_seconds", res.profileSeconds);
+        ps->gauge("epoch.stitch_seconds", res.stitchSeconds);
+        ps->gauge("epoch.stitched_refs",
+                  static_cast<double>(res.refs));
+    }
+    res.ok = true;
+    return res;
+}
+
+StitchResult
+stitchShards(const std::string &outPath, std::size_t n,
+             const RunOptions &ro)
+{
     // Stitch: the stitched file's block/chain state is a pure
     // function of the concatenated record sequence and the block
     // capacity, and all chain state restarts at every block boundary
@@ -392,6 +417,7 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
     // out over the pool in chunks and the encoded payloads are
     // appended in order, reproducing the sequential file byte for
     // byte at a fraction of its encode wall time.
+    StitchResult res;
     const auto s0 = std::chrono::steady_clock::now();
     {
         PT_TRACE_SCOPE("epoch.stitch", "epoch");
@@ -539,23 +565,7 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
         }
         res.bytesWritten = stitched.bytesWritten();
     }
-    res.stitchSeconds = secondsSince(s0);
-
-    for (std::size_t k = 0; k < n; ++k) {
-        const std::string shard = shardPath(outPath, k);
-        if (ro.keepShards)
-            res.shards.push_back(shard);
-        else
-            std::remove(shard.c_str());
-    }
-
-    if (auto *ps = obs::profileSink()) {
-        ps->count("epoch.runs");
-        ps->gauge("epoch.profile_seconds", res.profileSeconds);
-        ps->gauge("epoch.stitch_seconds", res.stitchSeconds);
-        ps->gauge("epoch.stitched_refs",
-                  static_cast<double>(res.refs));
-    }
+    res.seconds = secondsSince(s0);
     res.ok = true;
     return res;
 }

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.h"
 #include "base/types.h"
 #include "core/palmsim.h"
 #include "epoch/epochplan.h"
@@ -108,6 +109,10 @@ struct RunOptions
     bool keepShards = false; ///< leave per-epoch shards on disk
     std::function<void(const replay::ReplayProgress &)> progress;
     u64 progressEveryEvents = 0;
+
+    /** Global stop request (SIGINT, job abort). Workers poll it via
+     *  the replay engine; a cancelled run reports interrupted. */
+    CancelToken *cancel = nullptr;
 };
 
 /** Profile-pass outcome. */
@@ -125,10 +130,61 @@ struct RunResult
     double profileSeconds = 0; ///< wall time of the parallel fan-out
     double stitchSeconds = 0;  ///< wall time of the stitch pass
     std::vector<std::string> shards; ///< kept shard paths (keepShards)
+    bool interrupted = false;  ///< a CancelToken stopped the run early
 };
 
 /** The per-epoch shard path runEpochs() writes next to @p outPath. */
 std::string shardPath(const std::string &outPath, u64 epoch);
+
+/** @return empty when @p plan matches @p s (fingerprint, event index
+ *  space, structure), else why the pair is rejected. */
+std::string validatePlan(const core::Session &s, const EpochPlan &plan);
+
+/** One epoch worker attempt's outcome. */
+struct EpochAttempt
+{
+    bool ioOk = false;     ///< shard written and closed cleanly
+    bool verified = false; ///< fingerprint handoff held
+    bool interrupted = false; ///< cancelled mid-replay (shard aborted)
+    u64 actualFingerprint = 0;
+    u64 refs = 0;
+    u64 instructions = 0;
+    u64 cycles = 0;
+    std::string error;
+};
+
+/**
+ * Replays epoch @p k of @p plan from its checkpoint on a private
+ * device, streaming references to @p shard. A pure function of
+ * (session, plan, k, blockCapacity) — retries re-run it from scratch
+ * and a finished shard's bytes never depend on who ran it, which is
+ * what makes supervised resume byte-identical. A cancellation (via
+ * @p cancel) aborts the shard — the temporary is removed, never
+ * renamed into place as a complete trace.
+ */
+EpochAttempt runOneEpoch(const core::Session &s, const EpochPlan &plan,
+                         std::size_t k, const std::string &shard,
+                         const RunOptions &ro,
+                         CancelToken *cancel = nullptr);
+
+/** Stitch-pass outcome. */
+struct StitchResult
+{
+    bool ok = false;
+    std::string error;
+    u64 refs = 0;         ///< records in the stitched trace
+    u64 bytesWritten = 0; ///< stitched PTPK file size
+    double seconds = 0;   ///< wall time of the stitch pass
+};
+
+/**
+ * Decodes the @p n per-epoch shards next to @p outPath (see
+ * shardPath) and re-encodes them into @p outPath, byte-identical to a
+ * sequential profiled replay at the same block capacity. Shards are
+ * left on disk — the caller decides when to delete them.
+ */
+StitchResult stitchShards(const std::string &outPath, std::size_t n,
+                          const RunOptions &ro);
 
 /**
  * The profile pass: fans @p plan's epochs over the thread pool and

@@ -1,0 +1,150 @@
+#include "chaos.h"
+
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include "base/fnv.h"
+
+namespace pt::fault
+{
+
+void
+IoFaultScript::failNth(io::Op op, u64 n)
+{
+    std::lock_guard<std::mutex> lock(m);
+    scripted[{static_cast<u8>(op), n}] = io::Fault{true, false};
+}
+
+void
+IoFaultScript::tornNth(io::Op op, u64 n)
+{
+    std::lock_guard<std::mutex> lock(m);
+    scripted[{static_cast<u8>(op), n}] = io::Fault{false, true};
+}
+
+void
+IoFaultScript::seedRandom(u64 s, u32 faultPm, u32 tornPm)
+{
+    std::lock_guard<std::mutex> lock(m);
+    seeded = true;
+    seed = s;
+    faultPerMille = faultPm;
+    tornPerMille = tornPm;
+}
+
+u64
+IoFaultScript::consults(io::Op op) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return counts[static_cast<std::size_t>(op)];
+}
+
+u64
+IoFaultScript::injected() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return injectedCount;
+}
+
+io::Fault
+IoFaultScript::onIo(io::Op op, const std::string &)
+{
+    std::lock_guard<std::mutex> lock(m);
+    const u64 n = counts[static_cast<std::size_t>(op)]++;
+
+    auto it = scripted.find({static_cast<u8>(op), n});
+    if (it != scripted.end()) {
+        ++injectedCount;
+        return it->second;
+    }
+
+    if (seeded && faultPerMille > 0) {
+        // Hash rather than advance an Rng: the roll for a consult
+        // depends only on (seed, roll index), so interleaving across
+        // worker threads cannot reorder the schedule's decisions.
+        Fnv64 h;
+        h.updateValue(seed);
+        h.updateValue(rolls++);
+        const u64 v = h.value();
+        if (v % 1000 < faultPerMille) {
+            ++injectedCount;
+            const bool torn = (v >> 32) % 1000 < tornPerMille;
+            return io::Fault{!torn, torn};
+        }
+    }
+    return {};
+}
+
+WorkerFaultScript::Kind
+WorkerFaultScript::decide(u64 item, u32 attempt) const
+{
+    if (faultPerMille == 0)
+        return Kind::None;
+    Fnv64 h;
+    h.updateValue(seed);
+    h.updateValue(item);
+    h.updateValue(attempt);
+    const u64 v = h.value();
+    if (v % 1000 >= faultPerMille)
+        return Kind::None;
+    switch ((v >> 32) % 4) {
+      case 0:
+        return Kind::Throw;
+      case 1:
+        return Kind::BadAlloc;
+      case 2:
+        return Kind::Stall;
+      default:
+        return Kind::Fail;
+    }
+}
+
+void
+WorkerFaultScript::act(Kind k, CancelToken &cancel, u64 maxStallMs)
+{
+    using Clock = std::chrono::steady_clock;
+    switch (k) {
+      case Kind::Throw:
+        throw std::runtime_error("chaos: injected worker exception");
+      case Kind::BadAlloc:
+        throw std::bad_alloc();
+      case Kind::Stall: {
+        const auto until =
+            Clock::now() + std::chrono::milliseconds(maxStallMs);
+        while (!cancel.cancelled()) {
+            if (Clock::now() >= until) {
+                throw std::runtime_error(
+                    "chaos: stall outlived maxStallMs — is the "
+                    "watchdog deadline armed?");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return; // cancelled: the caller reports the stalled attempt
+      }
+      case Kind::Fail:
+      case Kind::None:
+        return;
+    }
+}
+
+const char *
+WorkerFaultScript::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::None:
+        return "none";
+      case Kind::Throw:
+        return "throw";
+      case Kind::BadAlloc:
+        return "bad_alloc";
+      case Kind::Stall:
+        return "stall";
+      case Kind::Fail:
+        return "fail";
+    }
+    return "?";
+}
+
+} // namespace pt::fault

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The chaos-harness fault matrix: scripted and seeded misbehaviour
+ * for every failure surface the supervised jobs must survive.
+ *
+ *  - IoFaultScript is an io::FaultInjector that fails or tears
+ *    individual atomic-write steps (open/write/flush/close/rename),
+ *    either at scripted consult indices or by a seeded per-consult
+ *    roll. Install with io::setFaultInjector(); every BinWriter::
+ *    writeFile, PackedTraceWriter and journal append then runs
+ *    through it.
+ *
+ *  - WorkerFaultScript decides, as a pure function of
+ *    (seed, item, attempt), whether a supervised work item's attempt
+ *    misbehaves — throws, fails allocation, stalls its heartbeat, or
+ *    reports a plain failure — and performs the misbehaviour on
+ *    request. Chaos tests call decide() + act() at the top of their
+ *    ItemFn.
+ *
+ * Both scripts are deterministic: a failing schedule reproduces from
+ * its seed alone, which is what lets CI run hundreds of them and
+ * bisect any regression to one seed.
+ */
+
+#ifndef PT_FAULT_CHAOS_H
+#define PT_FAULT_CHAOS_H
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "base/cancel.h"
+#include "base/iohooks.h"
+#include "base/types.h"
+
+namespace pt::fault
+{
+
+/**
+ * Scripted/seeded io::FaultInjector.
+ *
+ * Consults are counted per Op. A scripted entry fires on the n-th
+ * consult (0-based) of its op; independently, seeded mode rolls every
+ * consult against faultPerMille, and a firing roll tears (instead of
+ * cleanly failing) with probability tornPerMille of firings. onIo()
+ * is thread-safe — pool workers consult it concurrently.
+ */
+class IoFaultScript final : public io::FaultInjector
+{
+  public:
+    IoFaultScript() = default;
+
+    /** Fail the @p n-th consult (0-based) of @p op. */
+    void failNth(io::Op op, u64 n);
+
+    /** Tear (simulated crash) the @p n-th consult of @p op. */
+    void tornNth(io::Op op, u64 n);
+
+    /** Arms the seeded roll: each consult faults with
+     *  @p faultPerMille/1000; a faulting consult tears with
+     *  @p tornPerMille/1000, else fails cleanly. */
+    void seedRandom(u64 seed, u32 faultPerMille, u32 tornPerMille);
+
+    /** Consults observed for @p op so far. */
+    u64 consults(io::Op op) const;
+
+    /** Faults actually injected (scripted + seeded). */
+    u64 injected() const;
+
+    io::Fault onIo(io::Op op, const std::string &path) override;
+
+  private:
+    mutable std::mutex m;
+    std::array<u64, 5> counts{};
+    std::map<std::pair<u8, u64>, io::Fault> scripted;
+    bool seeded = false;
+    u64 seed = 0;
+    u64 rolls = 0; ///< seeded-roll counter (all ops combined)
+    u32 faultPerMille = 0;
+    u32 tornPerMille = 0;
+    u64 injectedCount = 0;
+};
+
+/**
+ * Seeded worker misbehaviour for supervisor chaos runs.
+ *
+ * decide() is a pure function of (seed, item, attempt) — stateless
+ * and thread-safe — so a chaos schedule's worker faults replay
+ * identically across retries and resumes. act() performs the chosen
+ * misbehaviour from inside an ItemFn.
+ */
+class WorkerFaultScript
+{
+  public:
+    enum class Kind : u8
+    {
+        None,     ///< attempt behaves normally
+        Throw,    ///< throws std::runtime_error
+        BadAlloc, ///< throws std::bad_alloc (allocation failure)
+        Stall,    ///< stops beating until cancelled (watchdog food)
+        Fail      ///< reports a plain failed attempt
+    };
+
+    WorkerFaultScript(u64 seed, u32 faultPerMille)
+        : seed(seed), faultPerMille(faultPerMille)
+    {}
+
+    /** The misbehaviour (or None) for this (item, attempt). */
+    Kind decide(u64 item, u32 attempt) const;
+
+    /**
+     * Performs @p k. Throw/BadAlloc throw; Stall spins without
+     * beating @p cancel until it is cancelled (use only under a
+     * watchdog deadline) or @p maxStallMs elapses, then throws so a
+     * mis-configured test hangs loudly instead of forever; Fail and
+     * None return (the caller reports the failure for Fail).
+     */
+    static void act(Kind k, CancelToken &cancel, u64 maxStallMs = 5000);
+
+    static const char *kindName(Kind k);
+
+  private:
+    u64 seed;
+    u32 faultPerMille;
+};
+
+} // namespace pt::fault
+
+#endif // PT_FAULT_CHAOS_H

@@ -555,6 +555,14 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
 
     for (;;) {
         while (i < stopAt) {
+            if (opts.cancel) {
+                opts.cancel->beat();
+                if (opts.cancel->cancelled()) {
+                    stats.interrupted = true;
+                    return stats;
+                }
+            }
+
             const auto &e = syncEvents[i];
 
             if (opts.eventMeter) {

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.h"
 #include "base/rng.h"
 #include "base/types.h"
 #include "device/checkpoint.h"
@@ -146,6 +147,16 @@ struct ReplayOptions
     /** Optional runtime fault injector (tests, chaos runs). */
     ReplayFaultHook *faultHook = nullptr;
 
+    /**
+     * Cooperative cancellation. When set, the engine beats the token
+     * once per delivered event and checks for cancellation between
+     * events; a cancelled replay stops cleanly (no settle, no final
+     * verify) with stats.interrupted set. The partial output must be
+     * discarded by the caller — an interrupted replay's trace is a
+     * prefix, not a result.
+     */
+    CancelToken *cancel = nullptr;
+
     /** Invoked every @ref progressEveryEvents deliveries (heartbeat);
      *  never invoked when unset or when the cadence is zero. */
     std::function<void(const ReplayProgress &)> progress;
@@ -224,6 +235,10 @@ struct ReplayStats
     /** Set when run()/resume() refused inconsistent options. */
     bool optionsRejected = false;
     std::string optionsError;
+
+    /** Set when a CancelToken stopped playback early; the device and
+     *  any streamed trace hold a partial, non-final state. */
+    bool interrupted = false;
 };
 
 /** Replays one activity log on a restored device. */

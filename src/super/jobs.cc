@@ -1,0 +1,884 @@
+#include "jobs.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/fnv.h"
+#include "workload/tracefeed.h"
+
+namespace pt::super
+{
+
+namespace
+{
+
+u64
+doubleBits(double d)
+{
+    u64 v;
+    std::memcpy(&v, &d, sizeof(v));
+    return v;
+}
+
+double
+bitsDouble(u64 v)
+{
+    double d;
+    std::memcpy(&d, &v, sizeof(d));
+    return d;
+}
+
+void
+appendFixed(std::string &out, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    out += buf;
+}
+
+/** Footers are best-effort, like every journal append. */
+void
+footerBestEffort(JournalWriter *journal, const JournalFooter &f)
+{
+    if (journal && journal->ok())
+        journal->appendFooter(f);
+}
+
+/** Shared early-out when the supervisor was cancelled: journal a
+ *  clean Interrupted footer (the resumable orderly-stop marker) and
+ *  report the interruption. */
+bool
+handleInterrupt(JobResult &res, JournalWriter *journal)
+{
+    if (!res.super.interrupted)
+        return false;
+    footerBestEffort(journal,
+                     {JobStatus::Interrupted, 0,
+                      "interrupted; `palmtrace resume` continues"});
+    res.interrupted = true;
+    res.error = "interrupted";
+    return true;
+}
+
+SuperOptions
+superOptionsFor(const JobSpec &spec, JournalWriter *journal,
+                CancelToken *globalCancel, u64 backoffBaseMs,
+                std::vector<bool> skip)
+{
+    SuperOptions so;
+    so.jobs = spec.jobs;
+    so.maxAttempts = spec.maxAttempts;
+    so.deadlineMs = spec.deadlineMs;
+    so.backoffBaseMs = backoffBaseMs;
+    so.backoffSeed = spec.backoffSeed;
+    so.journal = journal;
+    so.globalCancel = globalCancel;
+    so.skip = std::move(skip);
+    return so;
+}
+
+} // namespace
+
+u64
+fnvFile(const std::string &path, bool *okOut)
+{
+    if (okOut)
+        *okOut = false;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return 0;
+    Fnv64 h;
+    u8 buf[1 << 16];
+    for (;;) {
+        std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+        h.update(buf, n);
+        if (n < sizeof(buf))
+            break;
+    }
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (okOut)
+        *okOut = ok;
+    return ok ? h.value() : 0;
+}
+
+// ---------------------------------------------------------------------
+// Epoch jobs
+
+namespace
+{
+
+JobResult
+epochJobCore(const core::Session &s, const epoch::EpochPlan &plan,
+             const JobSpec &spec, JournalWriter *journal,
+             std::vector<bool> skip, const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = spec.outPath;
+    const std::size_t n = plan.entries.size();
+
+    epoch::RunOptions ro;
+    ro.jobs = 1; // parallelism is the supervisor's fan-out
+    ro.blockCapacity = spec.blockCapacity;
+    ro.progress = jo.progress;
+    ro.progressEveryEvents = jo.progressEveryEvents;
+
+    ItemFn fn = [&](u64 k, CancelToken &tok) -> ItemOutcome {
+        ItemOutcome out;
+        const std::string shard =
+            epoch::shardPath(spec.outPath, k);
+        epoch::EpochAttempt a = epoch::runOneEpoch(
+            s, plan, static_cast<std::size_t>(k), shard, ro, &tok);
+        if (a.interrupted) {
+            out.error = "interrupted";
+            return out;
+        }
+        if (!a.ioOk) {
+            out.error = a.error;
+            return out;
+        }
+        if (!a.verified) {
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "fingerprint mismatch (expected "
+                          "0x%016llX, actual 0x%016llX)",
+                          static_cast<unsigned long long>(
+                              plan.expectedFingerprint(
+                                  static_cast<std::size_t>(k))),
+                          static_cast<unsigned long long>(
+                              a.actualFingerprint));
+            out.error = msg;
+            return out;
+        }
+        bool fnvOk = false;
+        out.artifactFnv = fnvFile(shard, &fnvOk);
+        if (!fnvOk) {
+            out.error = "shard unreadable after close: " + shard;
+            return out;
+        }
+        out.ok = true;
+        out.artifact = shard;
+        BinWriter b;
+        b.put64(plan.lastEvent(static_cast<std::size_t>(k)) -
+                plan.firstEvent(static_cast<std::size_t>(k)));
+        b.put64(a.refs);
+        b.put64(a.instructions);
+        b.put64(a.cycles);
+        out.blob = b.takeBytes();
+        return out;
+    };
+
+    res.super = superviseItems(
+        n, fn,
+        superOptionsFor(spec, journal, jo.globalCancel,
+                        jo.backoffBaseMs, std::move(skip)));
+
+    if (handleInterrupt(res, journal))
+        return res; // shards of Done items stay for the resume
+
+    // Quarantined epochs keep their last attempt's shard (the
+    // divergence-degrade contract), so the stitch still covers every
+    // epoch; an epoch whose shard never made it to disk surfaces
+    // here as an unreadable-shard error.
+    epoch::RunOptions sro;
+    sro.jobs = spec.jobs;
+    sro.blockCapacity = spec.blockCapacity;
+    epoch::StitchResult st = stitchShards(spec.outPath, n, sro);
+    if (!st.ok) {
+        // No footer: the Done records stand and a resume retries
+        // the failed stitch.
+        res.error = "stitch failed: " + st.error;
+        return res;
+    }
+    res.refs = st.refs;
+    res.bytesWritten = st.bytesWritten;
+
+    bool fnvOk = false;
+    res.outFnv = fnvFile(spec.outPath, &fnvOk);
+    res.degraded = res.super.itemsQuarantined > 0;
+    footerBestEffort(
+        journal,
+        {res.degraded ? JobStatus::Degraded : JobStatus::Complete,
+         res.outFnv, res.degraded ? res.super.firstError : ""});
+
+    if (!jo.keepShards) {
+        for (std::size_t k = 0; k < n; ++k)
+            std::remove(epoch::shardPath(spec.outPath, k).c_str());
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace
+
+JobResult
+runEpochJob(const core::Session &s, const std::string &sessionPath,
+            const epoch::EpochPlan &plan, const std::string &planPath,
+            const std::string &outPath, const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = outPath;
+    if (std::string err = epoch::validatePlan(s, plan); !err.empty()) {
+        res.error = err;
+        return res;
+    }
+
+    JobSpec spec;
+    spec.kind = JobKind::EpochRun;
+    spec.sessionPath = sessionPath;
+    spec.planPath = planPath;
+    spec.outPath = outPath;
+    spec.blockCapacity = jo.blockCapacity;
+    spec.totalItems = plan.entries.size();
+    spec.maxAttempts = jo.maxAttempts;
+    spec.deadlineMs = jo.deadlineMs;
+    spec.backoffSeed = jo.backoffSeed;
+    spec.bindFingerprint = plan.logFingerprint;
+    spec.jobs = jo.jobs;
+
+    JournalWriter journal;
+    JournalWriter *jptr = nullptr;
+    if (!jo.journalPath.empty()) {
+        std::string err;
+        if (!journal.open(jo.journalPath, spec, &err)) {
+            res.error = "cannot open journal: " + err;
+            return res;
+        }
+        jptr = &journal;
+    }
+    return epochJobCore(s, plan, spec, jptr, {}, jo);
+}
+
+namespace
+{
+
+JobResult
+resumeEpochJob(const std::string &journalPath, const JournalData &data,
+               const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = data.spec.outPath;
+
+    core::Session s;
+    if (auto r = core::Session::load(data.spec.sessionPath, s); !r) {
+        res.error = "cannot reload session " + data.spec.sessionPath +
+                    ": " + r.message();
+        return res;
+    }
+    epoch::EpochPlan plan;
+    if (auto r = epoch::EpochPlan::load(data.spec.planPath, plan);
+        !r) {
+        res.error = "cannot reload plan " + data.spec.planPath + ": " +
+                    r.message();
+        return res;
+    }
+    if (plan.logFingerprint != data.spec.bindFingerprint) {
+        res.error = "the plan at " + data.spec.planPath +
+                    " no longer matches the journalled job "
+                    "(fingerprint changed)";
+        return res;
+    }
+    if (std::string err = epoch::validatePlan(s, plan); !err.empty()) {
+        res.error = err;
+        return res;
+    }
+    if (plan.entries.size() != data.spec.totalItems) {
+        res.error = "the plan's epoch count changed since the "
+                    "journal was written";
+        return res;
+    }
+
+    // Skip items whose journalled artifact is still intact on disk;
+    // anything else — Failed, Running at crash time, checksum drift —
+    // re-runs from its checkpoint.
+    std::vector<ItemRecord> latest = data.latestPerItem();
+    std::vector<bool> skip(latest.size(), false);
+    for (std::size_t i = 0; i < latest.size(); ++i) {
+        if (latest[i].state != ItemState::Done)
+            continue;
+        bool ok = false;
+        const u64 f = fnvFile(latest[i].artifact, &ok);
+        skip[i] = ok && f == latest[i].artifactFnv;
+    }
+
+    // Stale temp hygiene: a crash can strand <shard>.tmp /
+    // <out>.tmp litter. They are this job's own temporaries, so the
+    // resume removes them before re-running.
+    for (std::size_t k = 0; k < data.spec.totalItems; ++k) {
+        std::remove(
+            (epoch::shardPath(data.spec.outPath, k) + ".tmp").c_str());
+    }
+    std::remove((data.spec.outPath + ".tmp").c_str());
+
+    JournalWriter journal;
+    JournalWriter *jptr = nullptr;
+    std::string err;
+    if (journal.openAppend(journalPath, data.validBytes, &err))
+        jptr = &journal;
+
+    JobSpec spec = data.spec;
+    if (jo.jobs)
+        spec.jobs = jo.jobs;
+    return epochJobCore(s, plan, spec, jptr, std::move(skip), jo);
+}
+
+// ---------------------------------------------------------------------
+// Sweep jobs
+
+std::vector<u8>
+serializeConfigs(const std::vector<cache::CacheConfig> &configs)
+{
+    BinWriter w;
+    w.put32(static_cast<u32>(configs.size()));
+    for (const cache::CacheConfig &c : configs) {
+        w.put32(c.sizeBytes);
+        w.put32(c.lineBytes);
+        w.put32(c.assoc);
+        w.put8(static_cast<u8>(c.policy));
+    }
+    return w.takeBytes();
+}
+
+bool
+deserializeConfigs(const std::vector<u8> &extra,
+                   std::vector<cache::CacheConfig> &out)
+{
+    BinReader r(extra);
+    u32 count = r.get32();
+    out.clear();
+    for (u32 i = 0; i < count && r.ok(); ++i) {
+        cache::CacheConfig c;
+        c.sizeBytes = r.get32();
+        c.lineBytes = r.get32();
+        c.assoc = r.get32();
+        c.policy = static_cast<cache::Policy>(r.get8());
+        out.push_back(c);
+    }
+    return r.ok() && out.size() == count && r.atEnd();
+}
+
+std::vector<u8>
+sweepStatsBlob(const cache::CacheStats &st)
+{
+    BinWriter w;
+    w.put64(st.accesses);
+    w.put64(st.misses);
+    w.put64(st.evictions);
+    w.put64(st.ramAccesses);
+    w.put64(st.ramMisses);
+    w.put64(st.flashAccesses);
+    w.put64(st.flashMisses);
+    return w.takeBytes();
+}
+
+bool
+sweepStatsFromBlob(const std::vector<u8> &blob, cache::CacheStats &st)
+{
+    BinReader r(blob);
+    st.accesses = r.get64();
+    st.misses = r.get64();
+    st.evictions = r.get64();
+    st.ramAccesses = r.get64();
+    st.ramMisses = r.get64();
+    st.flashAccesses = r.get64();
+    st.flashMisses = r.get64();
+    return r.ok() && r.atEnd();
+}
+
+JobResult
+sweepJobCore(const std::vector<cache::CacheConfig> &configs,
+             const JobSpec &spec, JournalWriter *journal,
+             std::vector<bool> skip,
+             const std::vector<ItemRecord> &prior, const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = spec.outPath;
+    const std::size_t n = configs.size();
+
+    ItemFn fn = [&](u64 i, CancelToken &tok) -> ItemOutcome {
+        ItemOutcome out;
+        workload::PackedSweepResult r = workload::sweepPackedFile(
+            spec.sessionPath, {configs[static_cast<std::size_t>(i)]},
+            1, &tok);
+        if (r.interrupted) {
+            out.error = "interrupted";
+            return out;
+        }
+        if (!r.status) {
+            out.error = "trace error: " + r.status.message();
+            return out;
+        }
+        if (r.caches.size() != 1) {
+            out.error = "sweep produced no result";
+            return out;
+        }
+        out.ok = true;
+        out.blob = sweepStatsBlob(r.caches[0].stats());
+        return out;
+    };
+
+    res.super = superviseItems(
+        n, fn,
+        superOptionsFor(spec, journal, jo.globalCancel,
+                        jo.backoffBaseMs, std::move(skip)));
+
+    if (handleInterrupt(res, journal))
+        return res;
+
+    // Render every row from the journal-format blob — skipped items
+    // reuse their journalled stats — so a resumed run's CSV is
+    // byte-identical to an uninterrupted one.
+    std::string csv =
+        "config,size_bytes,line_bytes,assoc,policy,status,accesses,"
+        "misses,miss_rate,ram_accesses,ram_misses,flash_accesses,"
+        "flash_misses\n";
+    for (std::size_t i = 0; i < n; ++i) {
+        const cache::CacheConfig &c = configs[i];
+        csv += c.name();
+        csv += ',' + std::to_string(c.sizeBytes);
+        csv += ',' + std::to_string(c.lineBytes);
+        csv += ',' + std::to_string(c.assoc);
+        csv += ',';
+        csv += cache::policyName(c.policy);
+        const std::vector<u8> &blob =
+            res.super.outcomes[i].blob.empty() && i < prior.size()
+                ? prior[i].blob
+                : res.super.outcomes[i].blob;
+        cache::CacheStats st;
+        if (res.super.quarantined[i] || !sweepStatsFromBlob(blob, st)) {
+            csv += ",quarantined,0,0,0.000000,0,0,0,0\n";
+            continue;
+        }
+        csv += ",ok,";
+        csv += std::to_string(st.accesses);
+        csv += ',' + std::to_string(st.misses);
+        csv += ',';
+        appendFixed(csv, st.missRate());
+        csv += ',' + std::to_string(st.ramAccesses);
+        csv += ',' + std::to_string(st.ramMisses);
+        csv += ',' + std::to_string(st.flashAccesses);
+        csv += ',' + std::to_string(st.flashMisses);
+        csv += '\n';
+    }
+
+    BinWriter w;
+    w.putBytes(csv.data(), csv.size());
+    std::string err;
+    if (!w.writeFile(spec.outPath, &err)) {
+        res.error = "write " + spec.outPath + ": " + err;
+        return res;
+    }
+    res.outFnv = fnv64(csv.data(), csv.size());
+    res.degraded = res.super.itemsQuarantined > 0;
+    footerBestEffort(
+        journal,
+        {res.degraded ? JobStatus::Degraded : JobStatus::Complete,
+         res.outFnv, res.degraded ? res.super.firstError : ""});
+    res.ok = true;
+    return res;
+}
+
+} // namespace
+
+JobResult
+runSweepJob(const std::string &tracePath,
+            const std::vector<cache::CacheConfig> &configs,
+            const std::string &outPath, const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = outPath;
+    for (const cache::CacheConfig &c : configs) {
+        if (auto r = c.validate(); !r) {
+            res.error = "bad cache config " + c.name() + ": " +
+                        r.message();
+            return res;
+        }
+    }
+
+    bool fnvOk = false;
+    const u64 traceFnv = fnvFile(tracePath, &fnvOk);
+    if (!fnvOk) {
+        res.error = "cannot read trace " + tracePath;
+        return res;
+    }
+
+    JobSpec spec;
+    spec.kind = JobKind::PackedSweep;
+    spec.sessionPath = tracePath;
+    spec.outPath = outPath;
+    spec.blockCapacity = jo.blockCapacity;
+    spec.totalItems = configs.size();
+    spec.maxAttempts = jo.maxAttempts;
+    spec.deadlineMs = jo.deadlineMs;
+    spec.backoffSeed = jo.backoffSeed;
+    spec.bindFingerprint = traceFnv;
+    spec.jobs = jo.jobs;
+    spec.extra = serializeConfigs(configs);
+
+    JournalWriter journal;
+    JournalWriter *jptr = nullptr;
+    if (!jo.journalPath.empty()) {
+        std::string err;
+        if (!journal.open(jo.journalPath, spec, &err)) {
+            res.error = "cannot open journal: " + err;
+            return res;
+        }
+        jptr = &journal;
+    }
+    return sweepJobCore(configs, spec, jptr, {}, {}, jo);
+}
+
+namespace
+{
+
+JobResult
+resumeSweepJob(const std::string &journalPath, const JournalData &data,
+               const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = data.spec.outPath;
+
+    std::vector<cache::CacheConfig> configs;
+    if (!deserializeConfigs(data.spec.extra, configs) ||
+        configs.size() != data.spec.totalItems) {
+        res.error = "journalled sweep configs are corrupt";
+        return res;
+    }
+    bool fnvOk = false;
+    const u64 traceFnv = fnvFile(data.spec.sessionPath, &fnvOk);
+    if (!fnvOk || traceFnv != data.spec.bindFingerprint) {
+        res.error = "the trace at " + data.spec.sessionPath +
+                    " no longer matches the journalled job "
+                    "(fingerprint changed)";
+        return res;
+    }
+
+    std::vector<ItemRecord> latest = data.latestPerItem();
+    std::vector<bool> skip(latest.size(), false);
+    for (std::size_t i = 0; i < latest.size(); ++i) {
+        cache::CacheStats st;
+        skip[i] = latest[i].state == ItemState::Done &&
+                  sweepStatsFromBlob(latest[i].blob, st);
+    }
+    std::remove((data.spec.outPath + ".tmp").c_str());
+
+    JournalWriter journal;
+    JournalWriter *jptr = nullptr;
+    std::string err;
+    if (journal.openAppend(journalPath, data.validBytes, &err))
+        jptr = &journal;
+
+    JobSpec spec = data.spec;
+    if (jo.jobs)
+        spec.jobs = jo.jobs;
+    return sweepJobCore(configs, spec, jptr, std::move(skip), latest,
+                        jo);
+}
+
+// ---------------------------------------------------------------------
+// Session-batch jobs
+
+std::vector<u8>
+serializeSpecs(const std::vector<workload::SessionSpec> &specs)
+{
+    BinWriter w;
+    w.put32(static_cast<u32>(specs.size()));
+    for (const workload::SessionSpec &s : specs) {
+        w.putString(s.name);
+        const workload::UserModelConfig &c = s.config;
+        w.put64(c.seed);
+        w.put32(c.interactions);
+        w.put32(c.meanThinkTicks);
+        w.put32(c.meanIdleTicks);
+        w.put32(c.meanBurstActions);
+        w.put64(doubleBits(c.strokeWeight));
+        w.put64(doubleBits(c.tapWeight));
+        w.put64(doubleBits(c.appSwitchWeight));
+        w.put64(doubleBits(c.scrollHoldWeight));
+        w.put64(doubleBits(c.beamWeight));
+    }
+    return w.takeBytes();
+}
+
+bool
+deserializeSpecs(const std::vector<u8> &extra,
+                 std::vector<workload::SessionSpec> &out)
+{
+    BinReader r(extra);
+    u32 count = r.get32();
+    out.clear();
+    for (u32 i = 0; i < count && r.ok(); ++i) {
+        workload::SessionSpec s;
+        s.name = r.getString();
+        workload::UserModelConfig &c = s.config;
+        c.seed = r.get64();
+        c.interactions = r.get32();
+        c.meanThinkTicks = r.get32();
+        c.meanIdleTicks = r.get32();
+        c.meanBurstActions = r.get32();
+        c.strokeWeight = bitsDouble(r.get64());
+        c.tapWeight = bitsDouble(r.get64());
+        c.appSwitchWeight = bitsDouble(r.get64());
+        c.scrollHoldWeight = bitsDouble(r.get64());
+        c.beamWeight = bitsDouble(r.get64());
+        out.push_back(std::move(s));
+    }
+    return r.ok() && out.size() == count && r.atEnd();
+}
+
+struct SessionMeasure
+{
+    workload::UserSessionStats user;
+    u64 ramRefs = 0;
+    u64 flashRefs = 0;
+    u64 instructions = 0;
+    u64 cycles = 0;
+};
+
+std::vector<u8>
+sessionBlob(const SessionMeasure &m)
+{
+    BinWriter w;
+    w.put32(m.user.strokes);
+    w.put32(m.user.taps);
+    w.put32(m.user.appSwitches);
+    w.put32(m.user.scrollHolds);
+    w.put32(m.user.beams);
+    w.put32(m.user.elapsedTicks);
+    w.put64(m.ramRefs);
+    w.put64(m.flashRefs);
+    w.put64(m.instructions);
+    w.put64(m.cycles);
+    return w.takeBytes();
+}
+
+bool
+sessionFromBlob(const std::vector<u8> &blob, SessionMeasure &m)
+{
+    BinReader r(blob);
+    m.user.strokes = r.get32();
+    m.user.taps = r.get32();
+    m.user.appSwitches = r.get32();
+    m.user.scrollHolds = r.get32();
+    m.user.beams = r.get32();
+    m.user.elapsedTicks = r.get32();
+    m.ramRefs = r.get64();
+    m.flashRefs = r.get64();
+    m.instructions = r.get64();
+    m.cycles = r.get64();
+    return r.ok() && r.atEnd();
+}
+
+JobResult
+batchJobCore(const std::vector<workload::SessionSpec> &specs,
+             const JobSpec &spec, JournalWriter *journal,
+             std::vector<bool> skip,
+             const std::vector<ItemRecord> &prior, const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = spec.outPath;
+    const std::size_t n = specs.size();
+
+    ItemFn fn = [&](u64 i, CancelToken &tok) -> ItemOutcome {
+        ItemOutcome out;
+        const workload::SessionSpec &ss =
+            specs[static_cast<std::size_t>(i)];
+
+        core::PalmSimulator sim;
+        sim.beginCollection();
+        SessionMeasure m;
+        m.user = sim.runUser(ss.config);
+        core::Session sess = sim.endCollection();
+
+        core::ReplayConfig cfg;
+        cfg.options.cancel = &tok;
+        core::ReplayResult rr =
+            core::PalmSimulator::replaySession(sess, cfg);
+        if (rr.replayStats.interrupted) {
+            out.error = "interrupted";
+            return out;
+        }
+        if (rr.replayStats.optionsRejected) {
+            out.error = "replay options rejected: " +
+                        rr.replayStats.optionsError;
+            return out;
+        }
+        m.ramRefs = rr.refs.ramRefs();
+        m.flashRefs = rr.refs.flashRefs();
+        m.instructions = rr.instructions;
+        m.cycles = rr.cycles;
+        out.ok = true;
+        out.blob = sessionBlob(m);
+        return out;
+    };
+
+    res.super = superviseItems(
+        n, fn,
+        superOptionsFor(spec, journal, jo.globalCancel,
+                        jo.backoffBaseMs, std::move(skip)));
+
+    if (handleInterrupt(res, journal))
+        return res;
+
+    std::string csv =
+        "session,status,strokes,taps,app_switches,scroll_holds,beams,"
+        "elapsed_ticks,ram_refs,flash_refs,instructions,cycles\n";
+    for (std::size_t i = 0; i < n; ++i) {
+        csv += specs[i].name;
+        const std::vector<u8> &blob =
+            res.super.outcomes[i].blob.empty() && i < prior.size()
+                ? prior[i].blob
+                : res.super.outcomes[i].blob;
+        SessionMeasure m;
+        if (res.super.quarantined[i] || !sessionFromBlob(blob, m)) {
+            csv += ",quarantined,0,0,0,0,0,0,0,0,0,0\n";
+            continue;
+        }
+        csv += ",ok,";
+        csv += std::to_string(m.user.strokes);
+        csv += ',' + std::to_string(m.user.taps);
+        csv += ',' + std::to_string(m.user.appSwitches);
+        csv += ',' + std::to_string(m.user.scrollHolds);
+        csv += ',' + std::to_string(m.user.beams);
+        csv += ',' + std::to_string(m.user.elapsedTicks);
+        csv += ',' + std::to_string(m.ramRefs);
+        csv += ',' + std::to_string(m.flashRefs);
+        csv += ',' + std::to_string(m.instructions);
+        csv += ',' + std::to_string(m.cycles);
+        csv += '\n';
+    }
+
+    BinWriter w;
+    w.putBytes(csv.data(), csv.size());
+    std::string err;
+    if (!w.writeFile(spec.outPath, &err)) {
+        res.error = "write " + spec.outPath + ": " + err;
+        return res;
+    }
+    res.outFnv = fnv64(csv.data(), csv.size());
+    res.degraded = res.super.itemsQuarantined > 0;
+    footerBestEffort(
+        journal,
+        {res.degraded ? JobStatus::Degraded : JobStatus::Complete,
+         res.outFnv, res.degraded ? res.super.firstError : ""});
+    res.ok = true;
+    return res;
+}
+
+} // namespace
+
+JobResult
+runSessionBatchJob(const std::vector<workload::SessionSpec> &specs,
+                   const std::string &outPath, const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = outPath;
+
+    JobSpec spec;
+    spec.kind = JobKind::SessionBatch;
+    spec.outPath = outPath;
+    spec.totalItems = specs.size();
+    spec.maxAttempts = jo.maxAttempts;
+    spec.deadlineMs = jo.deadlineMs;
+    spec.backoffSeed = jo.backoffSeed;
+    spec.jobs = jo.jobs;
+    spec.extra = serializeSpecs(specs);
+    // The specs travel inside the journal itself, so the binding
+    // fingerprint covers them directly.
+    spec.bindFingerprint =
+        fnv64(spec.extra.data(), spec.extra.size());
+
+    JournalWriter journal;
+    JournalWriter *jptr = nullptr;
+    if (!jo.journalPath.empty()) {
+        std::string err;
+        if (!journal.open(jo.journalPath, spec, &err)) {
+            res.error = "cannot open journal: " + err;
+            return res;
+        }
+        jptr = &journal;
+    }
+    return batchJobCore(specs, spec, jptr, {}, {}, jo);
+}
+
+namespace
+{
+
+JobResult
+resumeBatchJob(const std::string &journalPath, const JournalData &data,
+               const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = data.spec.outPath;
+
+    std::vector<workload::SessionSpec> specs;
+    if (!deserializeSpecs(data.spec.extra, specs) ||
+        specs.size() != data.spec.totalItems) {
+        res.error = "journalled session specs are corrupt";
+        return res;
+    }
+    if (fnv64(data.spec.extra.data(), data.spec.extra.size()) !=
+        data.spec.bindFingerprint) {
+        res.error = "journalled session specs fail their binding "
+                    "fingerprint";
+        return res;
+    }
+
+    std::vector<ItemRecord> latest = data.latestPerItem();
+    std::vector<bool> skip(latest.size(), false);
+    for (std::size_t i = 0; i < latest.size(); ++i) {
+        SessionMeasure m;
+        skip[i] = latest[i].state == ItemState::Done &&
+                  sessionFromBlob(latest[i].blob, m);
+    }
+    std::remove((data.spec.outPath + ".tmp").c_str());
+
+    JournalWriter journal;
+    JournalWriter *jptr = nullptr;
+    std::string err;
+    if (journal.openAppend(journalPath, data.validBytes, &err))
+        jptr = &journal;
+
+    JobSpec spec = data.spec;
+    if (jo.jobs)
+        spec.jobs = jo.jobs;
+    return batchJobCore(specs, spec, jptr, std::move(skip), latest,
+                        jo);
+}
+
+} // namespace
+
+JobResult
+resumeJob(const std::string &journalPath, const JobOptions &jo)
+{
+    JobResult res;
+    JournalData data;
+    if (auto r = loadJournal(journalPath, data); !r) {
+        res.error = "cannot load journal " + journalPath + ": " +
+                    r.message();
+        return res;
+    }
+    if (data.hasFooter &&
+        data.footer.status != JobStatus::Interrupted) {
+        // An orderly complete/degraded run: nothing left to resume.
+        res.ok = true;
+        res.nothingToDo = true;
+        res.outPath = data.spec.outPath;
+        res.outFnv = data.footer.outFnv;
+        res.degraded = data.footer.status == JobStatus::Degraded;
+        return res;
+    }
+    switch (data.spec.kind) {
+      case JobKind::EpochRun:
+        return resumeEpochJob(journalPath, data, jo);
+      case JobKind::PackedSweep:
+        return resumeSweepJob(journalPath, data, jo);
+      case JobKind::SessionBatch:
+        return resumeBatchJob(journalPath, data, jo);
+      default:
+        res.error = "journal records an unknown job kind";
+        return res;
+    }
+}
+
+} // namespace pt::super

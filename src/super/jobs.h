@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Supervised-job adapters: the three batch pipelines wrapped in
+ * crash-safe, resumable, deadline-guarded execution.
+ *
+ *  - runEpochJob(): epoch-parallel profiled replay. Items are the
+ *    plan's epochs; each produces a PTPK shard, the stitcher merges
+ *    them into the final trace. Because every shard is a pure
+ *    function of (session, plan, epoch, blockCapacity), a resumed
+ *    run's stitched output is byte-identical to an uninterrupted one.
+ *  - runSweepJob(): cache sweep over a packed trace. Items are the
+ *    cache configurations; results land in a CSV written atomically
+ *    at the end, rows rendered from journalled per-item stats so a
+ *    resume reproduces the file exactly.
+ *  - runSessionBatchJob(): batched synthetic-session collect+replay.
+ *    Items are the session specs; same journalled-CSV scheme.
+ *
+ * Every job can attach a write-ahead journal (JobOptions::
+ * journalPath). resumeJob() reloads a journal — after a crash, a
+ * kill -9, or a clean SIGINT — verifies the inputs still match the
+ * spec's binding fingerprint, skips items whose artifacts are intact,
+ * re-runs the remainder, and finalizes the same output the original
+ * run would have produced.
+ */
+
+#ifndef PT_SUPER_JOBS_H
+#define PT_SUPER_JOBS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/palmsim.h"
+#include "epoch/epochrunner.h"
+#include "super/supervisor.h"
+#include "workload/sessionrunner.h"
+
+namespace pt::super
+{
+
+/** Knobs shared by every supervised job. */
+struct JobOptions
+{
+    unsigned jobs = 0; ///< pool width (0 = defaultJobs())
+    u32 blockCapacity = trace::kPackedDefaultBlockCapacity;
+    u32 maxAttempts = 3;
+    u64 deadlineMs = 0;     ///< per-item stall deadline (0 = off)
+    u64 backoffBaseMs = 25;
+    u64 backoffSeed = 1;
+    std::string journalPath; ///< empty = run unjournalled
+    CancelToken *globalCancel = nullptr;
+    bool keepShards = false; ///< epoch jobs: keep per-epoch shards
+    std::function<void(const replay::ReplayProgress &)> progress;
+    u64 progressEveryEvents = 0;
+};
+
+/** What a supervised job produced. */
+struct JobResult
+{
+    bool ok = false;          ///< output finalized (maybe degraded)
+    bool interrupted = false; ///< clean early stop; journal resumable
+    bool degraded = false;    ///< finished around quarantined items
+    bool nothingToDo = false; ///< resume of an already-finished job
+    std::string error;
+    std::string outPath;
+    u64 outFnv = 0;       ///< FNV-64 of the finished output
+    u64 refs = 0;         ///< epoch jobs: stitched record count
+    u64 bytesWritten = 0; ///< epoch jobs: stitched file size
+    SuperResult super;    ///< the underlying supervision counters
+};
+
+/** FNV-64 of a whole file; @p okOut (when given) reports readability. */
+u64 fnvFile(const std::string &path, bool *okOut = nullptr);
+
+/**
+ * Epoch-parallel profiled replay under supervision. @p sessionPath
+ * and @p planPath are recorded in the journal so a resume can reload
+ * the inputs; they may be empty when no journal is attached.
+ */
+JobResult runEpochJob(const core::Session &s,
+                      const std::string &sessionPath,
+                      const epoch::EpochPlan &plan,
+                      const std::string &planPath,
+                      const std::string &outPath, const JobOptions &jo);
+
+/** Per-configuration cache sweep of a packed trace, CSV output. */
+JobResult runSweepJob(const std::string &tracePath,
+                      const std::vector<cache::CacheConfig> &configs,
+                      const std::string &outPath, const JobOptions &jo);
+
+/** Batched synthetic-session collect+replay, CSV output. */
+JobResult
+runSessionBatchJob(const std::vector<workload::SessionSpec> &specs,
+                   const std::string &outPath, const JobOptions &jo);
+
+/**
+ * Resumes the job recorded in @p journalPath: reloads the inputs,
+ * verifies them against the spec's binding fingerprint, skips items
+ * whose journalled artifacts check out, runs the rest, finalizes.
+ * A journal whose footer says Complete/Degraded reports nothingToDo.
+ * Only jobs/globalCancel from @p jo apply — everything else comes
+ * from the journalled spec, so the resumed run matches the original.
+ */
+JobResult resumeJob(const std::string &journalPath,
+                    const JobOptions &jo);
+
+} // namespace pt::super
+
+#endif // PT_SUPER_JOBS_H

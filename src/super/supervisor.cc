@@ -1,0 +1,322 @@
+#include "supervisor.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "base/fnv.h"
+#include "base/threadpool.h"
+#include "obs/profile.h"
+
+namespace pt::super
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Watchdog bookkeeping for one (possibly re-armed) item. */
+struct WatchSlot
+{
+    bool active = false;
+    bool fired = false; ///< deadline already tripped this attempt
+    u64 lastBeat = 0;
+    Clock::time_point lastChange;
+};
+
+u64
+crashAfterItemsEnv()
+{
+    const char *env = std::getenv("PT_CRASH_AFTER_ITEMS");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    return (end && *end == '\0') ? static_cast<u64>(v) : 0;
+}
+
+} // namespace
+
+u64
+backoffDelayMs(u64 base, u64 seed, u64 item, u32 attempt)
+{
+    if (base == 0)
+        return 0;
+    // Cap the exponent: past 2^10 the wait dwarfs any real job.
+    const u32 shift = attempt < 10 ? attempt : 10;
+    Fnv64 h;
+    h.updateValue(seed);
+    h.updateValue(item);
+    h.updateValue(attempt);
+    return (base << shift) + h.value() % base;
+}
+
+SuperResult
+superviseItems(u64 n, const ItemFn &fn, const SuperOptions &opts)
+{
+    SuperResult res;
+    res.outcomes.resize(static_cast<std::size_t>(n));
+    res.quarantined.assign(static_cast<std::size_t>(n), false);
+    if (n == 0) {
+        res.ok = true;
+        return res;
+    }
+
+    const u64 crashAfter = crashAfterItemsEnv();
+    const u32 maxAttempts = opts.maxAttempts ? opts.maxAttempts : 1;
+
+    std::vector<CancelToken> tokens(static_cast<std::size_t>(n));
+    std::vector<WatchSlot> slots(static_cast<std::size_t>(n));
+    std::mutex wm;
+    std::condition_variable wcv;
+    bool stopWatchdog = false;
+
+    std::atomic<u64> itemsDone{0};
+    std::atomic<u64> itemsSkipped{0};
+    std::atomic<u64> itemsQuarantined{0};
+    std::atomic<u64> retries{0};
+    std::atomic<u64> watchdogFires{0};
+    std::atomic<u64> journalFailures{0};
+    std::atomic<u64> completions{0}; ///< PT_CRASH_AFTER_ITEMS counter
+    std::atomic<bool> interrupted{false};
+    std::mutex errM;
+
+    auto journalItem = [&](const ItemRecord &rec) {
+        if (!opts.journal)
+            return;
+        if (!opts.journal->appendItem(rec))
+            journalFailures.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // The watchdog is pure observation: it watches every armed
+    // token's beat counter and requests a cooperative stop when the
+    // beats freeze past the deadline, or fans the global cancel out
+    // to every running item. It never touches item state.
+    std::thread watchdog;
+    const bool haveWatchdog =
+        opts.deadlineMs > 0 || opts.globalCancel != nullptr;
+    if (haveWatchdog) {
+        watchdog = std::thread([&] {
+            const auto poll = std::chrono::milliseconds(
+                opts.watchdogPollMs ? opts.watchdogPollMs : 20);
+            std::unique_lock<std::mutex> lock(wm);
+            while (!stopWatchdog) {
+                wcv.wait_for(lock, poll);
+                if (stopWatchdog)
+                    break;
+                const bool global = opts.globalCancel &&
+                                    opts.globalCancel->cancelled();
+                const auto now = Clock::now();
+                for (std::size_t i = 0; i < slots.size(); ++i) {
+                    WatchSlot &s = slots[i];
+                    if (!s.active)
+                        continue;
+                    if (global) {
+                        tokens[i].requestCancel();
+                        continue;
+                    }
+                    const u64 b = tokens[i].beats();
+                    if (b != s.lastBeat) {
+                        s.lastBeat = b;
+                        s.lastChange = now;
+                        continue;
+                    }
+                    if (opts.deadlineMs > 0 && !s.fired &&
+                        now - s.lastChange >=
+                            std::chrono::milliseconds(
+                                opts.deadlineMs)) {
+                        s.fired = true;
+                        tokens[i].requestCancel();
+                        watchdogFires.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                }
+            }
+        });
+    }
+
+    {
+        ThreadPool pool(opts.jobs);
+        pool.parallelFor(static_cast<std::size_t>(n), [&](
+                             std::size_t i) {
+            if (i < opts.skip.size() && opts.skip[i]) {
+                res.outcomes[i].ok = true;
+                itemsSkipped.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+
+            for (u32 attempt = 0;; ++attempt) {
+                if (opts.globalCancel &&
+                    opts.globalCancel->cancelled()) {
+                    interrupted.store(true,
+                                      std::memory_order_relaxed);
+                    return;
+                }
+
+                journalItem({i, ItemState::Running, attempt,
+                             {}, 0, {}, {}});
+
+                // Arm: reset the token and hand it to the watchdog.
+                tokens[i].reset();
+                {
+                    std::lock_guard<std::mutex> lock(wm);
+                    slots[i].active = true;
+                    slots[i].fired = false;
+                    slots[i].lastBeat = tokens[i].beats();
+                    slots[i].lastChange = Clock::now();
+                }
+
+                ItemOutcome out;
+                try {
+                    out = fn(i, tokens[i]);
+                } catch (const std::bad_alloc &) {
+                    out = {};
+                    out.error = "allocation failure";
+                } catch (const std::exception &e) {
+                    out = {};
+                    out.error =
+                        std::string("worker exception: ") + e.what();
+                } catch (...) {
+                    out = {};
+                    out.error = "unknown worker exception";
+                }
+
+                bool deadlineFired = false;
+                {
+                    std::lock_guard<std::mutex> lock(wm);
+                    deadlineFired = slots[i].fired;
+                    slots[i].active = false;
+                }
+
+                if (out.ok) {
+                    journalItem({i, ItemState::Done, attempt,
+                                 out.artifact, out.artifactFnv, {},
+                                 out.blob});
+                    res.outcomes[i] = std::move(out);
+                    itemsDone.fetch_add(1, std::memory_order_relaxed);
+                    if (auto *ps = obs::profileSink())
+                        ps->count("super.items_done");
+                    if (crashAfter > 0 &&
+                        completions.fetch_add(
+                            1, std::memory_order_relaxed) +
+                                1 >=
+                            crashAfter) {
+                        // The deterministic crash point: the item's
+                        // artifact and Done record are durable, no
+                        // footer will ever be written — exactly the
+                        // state a kill -9 here leaves behind.
+                        std::_Exit(137);
+                    }
+                    return;
+                }
+
+                const bool global = opts.globalCancel &&
+                                    opts.globalCancel->cancelled();
+                if (out.error.empty()) {
+                    out.error = deadlineFired
+                                    ? "deadline exceeded (watchdog)"
+                                    : (global ? "interrupted"
+                                              : "attempt failed");
+                } else if (deadlineFired) {
+                    out.error += " (deadline exceeded)";
+                }
+
+                if (global) {
+                    // A clean early stop, not a real failure: leave
+                    // the item re-runnable (Failed, not Quarantined).
+                    interrupted.store(true,
+                                      std::memory_order_relaxed);
+                    journalItem({i, ItemState::Failed, attempt, {}, 0,
+                                 "interrupted", {}});
+                    res.outcomes[i] = std::move(out);
+                    return;
+                }
+
+                journalItem({i, ItemState::Failed, attempt, {}, 0,
+                             out.error, {}});
+
+                if (attempt + 1 >= maxAttempts) {
+                    journalItem({i, ItemState::Quarantined, attempt,
+                                 {}, 0, out.error, {}});
+                    res.quarantined[i] = true;
+                    itemsQuarantined.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (auto *ps = obs::profileSink())
+                        ps->count("super.items_quarantined");
+                    {
+                        std::lock_guard<std::mutex> lock(errM);
+                        if (res.firstError.empty()) {
+                            res.firstError =
+                                "item " + std::to_string(i) + ": " +
+                                out.error;
+                        }
+                    }
+                    res.outcomes[i] = std::move(out);
+                    return;
+                }
+
+                retries.fetch_add(1, std::memory_order_relaxed);
+                if (auto *ps = obs::profileSink())
+                    ps->count("super.retries");
+
+                // Backoff, sliced so a global cancel isn't kept
+                // waiting behind a long exponential delay.
+                const u64 delay =
+                    backoffDelayMs(opts.backoffBaseMs,
+                                   opts.backoffSeed, i, attempt);
+                const auto until =
+                    Clock::now() + std::chrono::milliseconds(delay);
+                while (Clock::now() < until) {
+                    if (opts.globalCancel &&
+                        opts.globalCancel->cancelled()) {
+                        interrupted.store(
+                            true, std::memory_order_relaxed);
+                        return;
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                }
+            }
+        });
+    }
+
+    if (haveWatchdog) {
+        {
+            std::lock_guard<std::mutex> lock(wm);
+            stopWatchdog = true;
+        }
+        wcv.notify_all();
+        watchdog.join();
+    }
+
+    res.itemsDone = itemsDone.load();
+    res.itemsSkipped = itemsSkipped.load();
+    res.itemsQuarantined = itemsQuarantined.load();
+    res.retries = retries.load();
+    res.watchdogFires = watchdogFires.load();
+    res.journalWriteFailures = journalFailures.load();
+    res.interrupted = interrupted.load();
+    res.ok = !res.interrupted &&
+             res.itemsDone + res.itemsSkipped + res.itemsQuarantined ==
+                 n;
+    if (res.interrupted && res.firstError.empty())
+        res.firstError = "interrupted";
+
+    if (auto *ps = obs::profileSink()) {
+        ps->count("super.runs");
+        ps->count("super.items_skipped", res.itemsSkipped);
+        ps->count("super.watchdog_fires", res.watchdogFires);
+        ps->count("super.journal_write_failures",
+                  res.journalWriteFailures);
+        ps->gauge("super.last_run_items", static_cast<double>(n));
+    }
+    return res;
+}
+
+} // namespace pt::super

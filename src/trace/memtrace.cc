@@ -21,7 +21,6 @@ RefCounter::avgMemCycles() const
 
 namespace
 {
-constexpr u32 kTraceMagic = 0x50545452; // "PTTR"
 constexpr std::size_t kTraceRecordBytes = 6; // u32 addr + kind + cls
 } // namespace
 

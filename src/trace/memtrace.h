@@ -85,6 +85,9 @@ class RefCounter : public device::MemRefSink
 inline constexpr double kRamCycles = 1.0;
 inline constexpr double kFlashCycles = 3.0;
 
+/** PTTR trace-file magic. */
+inline constexpr u32 kTraceMagic = 0x50545452; // "PTTR"
+
 /** One trace record: classified reference. */
 struct TraceRecord
 {

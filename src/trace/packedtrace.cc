@@ -5,6 +5,7 @@
 
 #include "base/binio.h"
 #include "base/fnv.h"
+#include "base/iohooks.h"
 
 namespace pt::trace
 {
@@ -91,6 +92,8 @@ PackedTraceWriter::PackedTraceWriter(const std::string &path,
     if (this->blockCapacity > kPackedMaxBlockCapacity)
         this->blockCapacity = kPackedMaxBlockCapacity;
     pending.reserve(this->blockCapacity);
+    if (io::checkFault(io::Op::Open, finalPath).any())
+        return;
     file = std::fopen(tmpPath.c_str(), "wb");
     if (!file)
         return;
@@ -113,7 +116,15 @@ PackedTraceWriter::write(const void *data, std::size_t len)
 {
     if (!file || failed)
         return;
-    if (std::fwrite(data, 1, len, file) != len) {
+    io::Fault wf = io::checkFault(io::Op::Write, finalPath);
+    if (wf.torn) {
+        // A crash mid-write: half the bytes land, the tmp survives.
+        std::fwrite(data, 1, len / 2, file);
+        failed = true;
+        torn = true;
+        return;
+    }
+    if (wf.fail || std::fwrite(data, 1, len, file) != len) {
         failed = true;
         return;
     }
@@ -301,7 +312,8 @@ PackedTraceWriter::close(std::string *errOut)
             std::fclose(file);
             file = nullptr;
         }
-        std::remove(tmpPath.c_str());
+        if (!torn)
+            std::remove(tmpPath.c_str());
         return false;
     };
     if (!file)
@@ -325,17 +337,41 @@ PackedTraceWriter::close(std::string *errOut)
     trailer.put32(kPackedEndMagic);
     write(trailer.bytes().data(), trailer.bytes().size());
 
-    if (failed || std::fflush(file) != 0)
+    if (failed || std::fflush(file) != 0 ||
+        io::checkFault(io::Op::Flush, finalPath).any()) {
         return fail("write");
-    if (std::fclose(file) != 0) {
+    }
+    if (std::fclose(file) != 0 ||
+        io::checkFault(io::Op::Close, finalPath).any()) {
         file = nullptr;
         return fail("close");
     }
     file = nullptr;
-    if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0)
+    io::Fault rf = io::checkFault(io::Op::Rename, finalPath);
+    if (rf.torn) {
+        // A crash between close and rename: the finished temporary
+        // stays behind as stale litter for fsck to report.
+        torn = true;
+        errno = EIO;
+        return fail("rename " + tmpPath + " to " + finalPath +
+                    " from");
+    }
+    if (rf.fail || std::rename(tmpPath.c_str(), finalPath.c_str()) != 0)
         return fail("rename " + tmpPath + " to " + finalPath +
                     " from");
     return true;
+}
+
+void
+PackedTraceWriter::abort()
+{
+    closed = true;
+    failed = true;
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+    std::remove(tmpPath.c_str());
 }
 
 // ---------------------------------------------------------------------

@@ -203,6 +203,14 @@ class PackedTraceWriter
      */
     bool close(std::string *errOut = nullptr);
 
+    /**
+     * Abandons the file: closes and removes the temporary without
+     * ever producing the final path. For cancelled work items — a
+     * partially-streamed trace is structurally valid PTPK, so it
+     * must never be renamed into place as if it were complete.
+     */
+    void abort();
+
     /** Bytes in the finished file; valid after a successful close. */
     u64 bytesWritten() const { return written; }
 
@@ -221,6 +229,7 @@ class PackedTraceWriter
     u64 written = 0;
     bool failed = false;
     bool closed = false;
+    bool torn = false; ///< injected crash: leave the tmp behind
 };
 
 /**

@@ -13,11 +13,17 @@ namespace pt::validate
 namespace
 {
 
-/** Parsers registered by higher layers, keyed by artifact magic. */
-std::map<u32, PayloadParser> &
+/** A parser registered by a higher layer, keyed by artifact magic. */
+struct ExtraParser
+{
+    PayloadParser parse = nullptr;
+    bool selfChecksummed = false;
+};
+
+std::map<u32, ExtraParser> &
 extraParsers()
 {
-    static std::map<u32, PayloadParser> parsers;
+    static std::map<u32, ExtraParser> parsers;
     return parsers;
 }
 
@@ -51,7 +57,7 @@ parsePayload(u32 magic, const std::vector<u8> &bytes)
       default: {
         auto it = extraParsers().find(magic);
         if (it != extraParsers().end())
-            return it->second(bytes);
+            return it->second.parse(bytes);
         return LoadResult::fail(0, "magic",
                                 "unrecognized artifact magic");
       }
@@ -61,9 +67,10 @@ parsePayload(u32 magic, const std::vector<u8> &bytes)
 } // namespace
 
 void
-registerPayloadParser(u32 magic, PayloadParser parser)
+registerPayloadParser(u32 magic, PayloadParser parser,
+                      bool selfChecksummed)
 {
-    extraParsers()[magic] = parser;
+    extraParsers()[magic] = {parser, selfChecksummed};
 }
 
 FsckReport
@@ -92,6 +99,12 @@ fsckArtifact(const std::string &path)
         rep.version = fi.version;
         rep.checksummed = fi.checksummed;
     }
+    // Formats with per-record integrity framing (the job journal)
+    // never carry the whole-file checksum but still verify every byte
+    // they parse.
+    if (auto it = extraParsers().find(magic);
+        it != extraParsers().end() && it->second.selfChecksummed)
+        rep.checksummed = true;
 
     rep.result = parsePayload(magic, bytes);
     if (rep.clean()) {

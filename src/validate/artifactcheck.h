@@ -49,11 +49,15 @@ using PayloadParser = LoadResult (*)(const std::vector<u8> &file);
 
 /**
  * Registers the structural parser for @p magic. Artifact formats
- * defined in layers above pt_validate (the epoch plan) hook their
- * deserializers in here so fsck can fully parse them; re-registering
- * a magic replaces its parser.
+ * defined in layers above pt_validate (the epoch plan, the job
+ * journal) hook their deserializers in here so fsck can fully parse
+ * them; re-registering a magic replaces its parser. Formats that
+ * verify their own integrity framing during parse (rather than the
+ * common whole-file artifact frame) pass @p selfChecksummed so fsck
+ * reports them as checksum-verified instead of legacy.
  */
-void registerPayloadParser(u32 magic, PayloadParser parser);
+void registerPayloadParser(u32 magic, PayloadParser parser,
+                           bool selfChecksummed = false);
 
 } // namespace pt::validate
 

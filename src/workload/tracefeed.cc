@@ -6,7 +6,7 @@ namespace pt::workload
 PackedSweepResult
 sweepPackedFile(const std::string &path,
                 const std::vector<cache::CacheConfig> &configs,
-                unsigned jobs)
+                unsigned jobs, CancelToken *cancel)
 {
     PackedSweepResult out;
     trace::PackedTraceReader reader;
@@ -16,8 +16,13 @@ sweepPackedFile(const std::string &path,
     }
     cache::CacheSweep sweep(configs, jobs);
     PackedRefSource src(reader);
-    out.refs = sweep.feedAll(src);
+    out.refs = sweep.feedAll(src, cancel);
     sweep.finish();
+    if (cancel && cancel->cancelled()) {
+        // Stats over a prefix of the trace are not results.
+        out.interrupted = true;
+        return out;
+    }
     if (auto res = src.status(); !res) {
         out.status = res;
         return out;

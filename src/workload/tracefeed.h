@@ -75,17 +75,20 @@ struct PackedSweepResult
     std::vector<cache::Cache> caches; ///< empty on failure
     u64 refs = 0;                     ///< references consumed
     LoadResult status;                ///< first trace error, if any
+    bool interrupted = false; ///< a CancelToken stopped the drain
 };
 
 /**
  * Streams the packed trace at @p path through a sweep of
  * @p configs. @p jobs as in CacheSweep (0 = shared-pool default,
- * 1 = inline sequential).
+ * 1 = inline sequential). A cancellation (via @p cancel) stops the
+ * drain between batches; the partial stats are withheld (caches
+ * stays empty) and interrupted is set.
  */
 PackedSweepResult
 sweepPackedFile(const std::string &path,
                 const std::vector<cache::CacheConfig> &configs,
-                unsigned jobs = 0);
+                unsigned jobs = 0, CancelToken *cancel = nullptr);
 
 } // namespace pt::workload
 

@@ -7,6 +7,8 @@
  */
 
 #include <atomic>
+#include <chrono>
+#include <new>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -87,6 +89,65 @@ TEST(ThreadPool, ExceptionInTaskPropagatesToCaller)
         count.fetch_add(1, std::memory_order_relaxed);
     });
     EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, WorkerThreadExceptionRethrownOnCaller)
+{
+    // Regression: an exception thrown on a *pool worker* thread (not
+    // the caller running items inline) must be captured and rethrown
+    // on the submitting thread with its message intact. The caller's
+    // chunks spin until a worker has demonstrably run an item, so the
+    // throw is guaranteed to originate off-caller.
+    ThreadPool pool(4);
+    std::thread::id caller = std::this_thread::get_id();
+    std::atomic<bool> workerThrew{false};
+    bool caught = false;
+    try {
+        pool.parallelFor(
+            256,
+            [&](std::size_t) {
+                if (std::this_thread::get_id() == caller) {
+                    // Park the caller until a worker item has thrown
+                    // (bounded so a broken pool fails, not hangs).
+                    for (int spin = 0;
+                         !workerThrew.load(std::memory_order_acquire) &&
+                         spin < 5000;
+                         ++spin) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    }
+                    return;
+                }
+                workerThrew.store(true, std::memory_order_release);
+                throw std::runtime_error("chaos-worker-42");
+            },
+            1);
+    } catch (const std::runtime_error &e) {
+        caught = true;
+        EXPECT_STREQ(e.what(), "chaos-worker-42");
+    }
+    EXPECT_TRUE(workerThrew.load()) << "no pool worker ever ran an item";
+    EXPECT_TRUE(caught) << "worker exception was swallowed";
+
+    // The pool must stay usable after the failed loop.
+    std::atomic<std::size_t> n{0};
+    pool.parallelFor(64, [&](std::size_t) {
+        n.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(n.load(), 64u);
+}
+
+TEST(ThreadPool, WorkerBadAllocKeepsItsType)
+{
+    // std::bad_alloc from a work item must arrive on the caller as
+    // std::bad_alloc, not be flattened into a generic exception.
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](std::size_t i) {
+                                      if (i % 7 == 3)
+                                          throw std::bad_alloc();
+                                  }),
+                 std::bad_alloc);
 }
 
 TEST(ThreadPool, NestedParallelForRunsInline)

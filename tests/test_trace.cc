@@ -13,6 +13,8 @@
 #include "trace/dinero.h"
 #include "trace/energy.h"
 #include "trace/memtrace.h"
+#include "trace/packedtrace.h"
+#include "trace/tracediff.h"
 
 namespace pt
 {
@@ -213,6 +215,131 @@ TEST(InstrEnergy, ClassEnergyOverride)
     m.setClassEnergy(trace::InstrClass::Alu, 5.0);
     m.onOpcode(0xD081, 0);
     EXPECT_NEAR(m.totalMj(), 5.0e-6, 1e-15);
+}
+
+// ---------------------------------------------------------------------
+// diffTraces: the three-outcome contract the CI exit codes map onto
+
+namespace diffutil
+{
+
+std::string
+diffTmp(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+writePttr(const std::string &name, const std::vector<trace::TraceRecord> &recs)
+{
+    TraceBuffer buf;
+    for (const auto &r : recs)
+        buf.onRef(r.addr,
+                  static_cast<m68k::AccessKind>(r.kind),
+                  r.cls ? device::RefClass::Flash
+                        : device::RefClass::Ram);
+    std::string path = diffTmp(name);
+    EXPECT_TRUE(buf.save(path));
+    return path;
+}
+
+std::string
+writePacked(const std::string &name,
+            const std::vector<trace::TraceRecord> &recs, u32 capacity)
+{
+    std::string path = diffTmp(name);
+    trace::PackedTraceWriter w(path, capacity);
+    for (const auto &r : recs)
+        w.add(r);
+    EXPECT_TRUE(w.close());
+    return path;
+}
+
+std::vector<trace::TraceRecord>
+sampleRecords(std::size_t n)
+{
+    std::vector<trace::TraceRecord> recs;
+    for (std::size_t i = 0; i < n; ++i) {
+        recs.push_back({static_cast<Addr>(0x1000 + i * 4),
+                        static_cast<u8>(i % 3),
+                        static_cast<u8>(i % 2)});
+    }
+    return recs;
+}
+
+} // namespace diffutil
+
+TEST(TraceDiff, IdenticalAcrossFormats)
+{
+    auto recs = diffutil::sampleRecords(300);
+    std::string pttr = diffutil::writePttr("diff_a.pttr", recs);
+    std::string packed = diffutil::writePacked("diff_a.ptpk", recs, 64);
+
+    auto same = trace::diffTraces(pttr, pttr);
+    EXPECT_EQ(same.outcome, trace::DiffOutcome::Identical);
+    EXPECT_EQ(same.records, 300u);
+
+    // Same record sequence in different containers is identical: the
+    // diff compares records, not bytes.
+    auto cross = trace::diffTraces(pttr, packed);
+    EXPECT_EQ(cross.outcome, trace::DiffOutcome::Identical);
+    EXPECT_EQ(cross.records, 300u);
+}
+
+TEST(TraceDiff, DivergenceAndLengthMismatchDiffer)
+{
+    auto recs = diffutil::sampleRecords(100);
+    std::string a = diffutil::writePttr("diff_b1.pttr", recs);
+    recs[57].addr ^= 4;
+    std::string b = diffutil::writePttr("diff_b2.pttr", recs);
+
+    auto res = trace::diffTraces(a, b);
+    EXPECT_EQ(res.outcome, trace::DiffOutcome::Differ);
+    EXPECT_EQ(res.records, 57u) << "stops at the first divergence";
+    EXPECT_FALSE(res.detail.empty());
+
+    // A strict prefix differs too (trailing records are a divergence).
+    auto shorter = diffutil::sampleRecords(100);
+    shorter.resize(80);
+    std::string c = diffutil::writePttr("diff_b3.pttr", shorter);
+    auto pre = trace::diffTraces(a, c);
+    EXPECT_EQ(pre.outcome, trace::DiffOutcome::Differ);
+    EXPECT_EQ(pre.records, 80u);
+}
+
+TEST(TraceDiff, UnreadableAndCorruptAreErrors)
+{
+    auto recs = diffutil::sampleRecords(20);
+    std::string good = diffutil::writePttr("diff_c.pttr", recs);
+
+    // Missing file.
+    auto missing =
+        trace::diffTraces(good, diffutil::diffTmp("diff_missing.pttr"));
+    EXPECT_EQ(missing.outcome, trace::DiffOutcome::Error);
+    EXPECT_FALSE(missing.detail.empty());
+
+    // Truncated PTTR: header claims more records than the payload
+    // holds.
+    std::string bad = diffutil::diffTmp("diff_trunc.pttr");
+    {
+        std::FILE *src = std::fopen(good.c_str(), "rb");
+        ASSERT_NE(src, nullptr);
+        std::vector<unsigned char> bytes(64);
+        std::size_t n = std::fread(bytes.data(), 1, bytes.size(), src);
+        std::fclose(src);
+        ASSERT_GT(n, 8u);
+        std::FILE *dst = std::fopen(bad.c_str(), "wb");
+        ASSERT_NE(dst, nullptr);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, n - 3, dst), n - 3);
+        std::fclose(dst);
+    }
+    auto corrupt = trace::diffTraces(good, bad);
+    EXPECT_EQ(corrupt.outcome, trace::DiffOutcome::Error);
+
+    // Error wins over Differ: comparing two unreadable files is an
+    // error, not a difference.
+    auto both = trace::diffTraces(bad, bad);
+    EXPECT_EQ(both.outcome, trace::DiffOutcome::Error);
 }
 
 } // namespace

@@ -78,6 +78,7 @@
  */
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -87,6 +88,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.h"
 #include "base/logging.h"
 #include "base/table.h"
 #include "base/threadpool.h"
@@ -100,9 +102,12 @@
 #include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "super/jobs.h"
+#include "super/journal.h"
 #include "trace/dinero.h"
 #include "trace/memtrace.h"
 #include "trace/packedtrace.h"
+#include "trace/tracediff.h"
 #include "validate/artifactcheck.h"
 #include "validate/correlate.h"
 #include "workload/desktoptrace.h"
@@ -113,6 +118,20 @@ namespace
 {
 
 using namespace pt;
+
+/** SIGINT requests a cooperative stop: long-running loops poll this
+ *  token, unwind cleanly (journal footer, metrics flush), and the
+ *  process exits 130 like an interrupted shell command. */
+CancelToken gSigint;
+
+extern "C" void
+onSigint(int)
+{
+    gSigint.requestCancel(); // async-signal-safe: one atomic store
+}
+
+/** Exit code for a run the user interrupted (128 + SIGINT). */
+constexpr int kExitInterrupted = 130;
 
 /** Tiny argv scanner. */
 struct Args
@@ -132,7 +151,8 @@ struct Args
             "--packed", "--pack-out",    "--synthetic",
             "--format", "--block",
             "--epochs", "--every-events", "--every-cycles",
-            "--retries",
+            "--retries", "--deadline",    "--max-retries",
+            "--journal",
         };
         for (const char *f : kValueFlags)
             if (!std::strcmp(flag, f))
@@ -184,8 +204,8 @@ struct Args
 };
 
 const char *const kSubcommands[] = {
-    "collect", "info", "replay", "validate",
-    "fsck",    "stats", "sweep", "trace", "epoch", "disasm",
+    "collect", "info", "replay", "validate", "fsck",  "stats",
+    "sweep",   "trace", "epoch", "resume",   "disasm",
 };
 
 void
@@ -224,7 +244,8 @@ printUsage(std::FILE *to)
         "  trace info FILE    trace statistics (any trace format)\n"
         "  trace diff A B     compare two traces record by record\n"
         "                     (any mix of din/PTTR/PTPK); report the\n"
-        "                     first divergence, exit 0 iff identical\n"
+        "                     first divergence; exit 0 identical,\n"
+        "                     1 traces differ, 2 unreadable/corrupt\n"
         "  replay BASE --epochs N --jobs J --pack-out FILE\n"
         "                     epoch-parallel profiled replay: scan,\n"
         "                     fan the epochs over the worker pool,\n"
@@ -236,8 +257,20 @@ printUsage(std::FILE *to)
         "            [--retries R] [--block N]\n"
         "                     profile a plan's epochs on all cores\n"
         "  epoch info PLAN    summarize an epoch plan\n"
+        "  resume JOURNAL [--jobs N]\n"
+        "                     resume a journalled job after a crash,\n"
+        "                     kill, or Ctrl-C: skips finished items,\n"
+        "                     re-runs the rest, finalizes the same\n"
+        "                     output an uninterrupted run writes\n"
         "  disasm [--count N] disassemble the PilotOS ROM\n"
         "  help               print this message\n"
+        "\n"
+        "supervised-job options (epoch run, sweep --packed):\n"
+        "  --journal FILE       write-ahead job journal; enables\n"
+        "                       'palmtrace resume FILE'\n"
+        "  --deadline MS        per-item stall deadline enforced by\n"
+        "                       the watchdog (0 = off)\n"
+        "  --max-retries N      attempts per item before quarantine\n"
         "\n"
         "observability options (any subcommand):\n"
         "  --jobs N             worker threads for parallel stages\n"
@@ -419,6 +452,10 @@ profileHierarchy()
 
 u32 blockCapacityArg(const Args &a); // defined with the trace toolbox
 
+// Supervised-job plumbing, defined with the epoch/resume commands.
+super::JobOptions jobOptionsFrom(const Args &a);
+int reportJob(const char *what, const super::JobResult &r);
+
 int
 cmdCollect(const Args &a)
 {
@@ -593,6 +630,7 @@ cmdReplayEpochs(const Args &a, const core::Session &s)
     ro.maxRetries = static_cast<u32>(
         std::strtoul(a.value("--retries", "2"), nullptr, 0));
     ro.keepShards = a.has("--keep-shards");
+    ro.cancel = &gSigint;
     Heartbeat hb;
     if (!a.has("--quiet")) {
         ro.progress = hb.handler();
@@ -601,7 +639,7 @@ cmdReplayEpochs(const Args &a, const core::Session &s)
     epoch::RunResult run = epoch::runEpochs(s, scan.plan, packOut, ro);
     if (!run.ok) {
         std::fprintf(stderr, "replay: %s\n", run.error.c_str());
-        return 1;
+        return run.interrupted ? kExitInterrupted : 1;
     }
     printEpochRun(run, packOut);
 
@@ -683,12 +721,21 @@ cmdReplay(const Args &a)
     Heartbeat hb;
     if (!a.has("--quiet"))
         hb.install(cfg.options);
+    cfg.options.cancel = &gSigint;
 
     core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
     if (r.replayStats.optionsRejected) {
         std::fprintf(stderr, "replay: %s\n",
                      r.replayStats.optionsError.c_str());
         return 2;
+    }
+    if (r.replayStats.interrupted) {
+        // A partial trace must not look complete: abort drops the
+        // temporary instead of renaming it into place.
+        if (packWriter)
+            packWriter->abort();
+        std::fprintf(stderr, "replay: interrupted\n");
+        return kExitInterrupted;
     }
     std::printf("instructions  %llu\n",
                 static_cast<unsigned long long>(r.instructions));
@@ -788,6 +835,17 @@ cmdFsck(const Args &a)
         validate::FsckReport rep = validate::fsckArtifact(p);
         std::printf("%s\n", rep.summary.c_str());
         allClean = allClean && rep.clean();
+        // Stale-temp hygiene: a crashed atomic write strands
+        // "<path>.tmp". Report the litter (informational — the
+        // artifact itself decides the exit code); journalled resumes
+        // clean the temporaries they own.
+        std::string tmp = p + ".tmp";
+        if (std::FILE *f = std::fopen(tmp.c_str(), "rb")) {
+            std::fclose(f);
+            std::printf("%s: stale temporary from an interrupted "
+                        "atomic write (safe to delete)\n",
+                        tmp.c_str());
+        }
     }
     return allClean ? 0 : 1;
 }
@@ -1025,6 +1083,24 @@ cmdSweepSessions(const Args &a)
 int
 cmdSweepPacked(const Args &a, const char *path)
 {
+    // Journalled mode: each configuration is a supervised work item,
+    // results land in a CSV finalized atomically at the end, and the
+    // journal makes the sweep resumable after a crash.
+    if (a.value("--journal") || a.value("--deadline") ||
+        a.value("--max-retries")) {
+        const char *out = a.value("--out");
+        if (!out) {
+            std::fprintf(stderr,
+                         "sweep: supervised mode needs --out CSV "
+                         "(the finalized results file)\n");
+            return 2;
+        }
+        super::JobOptions jo = jobOptionsFrom(a);
+        return reportJob(
+            "sweep", super::runSweepJob(
+                         path, cache::CacheSweep::paper56(), out, jo));
+    }
+
     auto t0 = std::chrono::steady_clock::now();
     workload::PackedSweepResult res;
     const char *mode;
@@ -1056,8 +1132,12 @@ cmdSweepPacked(const Args &a, const char *path)
         res.refs = all.size();
     } else {
         mode = "streaming";
-        res = workload::sweepPackedFile(path,
-                                        cache::CacheSweep::paper56());
+        res = workload::sweepPackedFile(
+            path, cache::CacheSweep::paper56(), 0, &gSigint);
+        if (res.interrupted) {
+            std::fprintf(stderr, "sweep: interrupted\n");
+            return kExitInterrupted;
+        }
         if (!res.status) {
             std::fprintf(stderr, "sweep: %s: %s\n", path,
                          res.status.message().c_str());
@@ -1120,8 +1200,13 @@ cmdSweep(const Args &a)
     Heartbeat hb;
     if (!a.has("--quiet"))
         hb.install(cfg.options);
+    cfg.options.cancel = &gSigint;
 
     core::ReplayResult r = core::PalmSimulator::replaySession(s, cfg);
+    if (r.replayStats.interrupted) {
+        std::fprintf(stderr, "sweep: interrupted\n");
+        return kExitInterrupted;
+    }
     sweep.finish();
 
     TextTable t("56-configuration sweep (miss rate %, T_eff cycles)");
@@ -1151,50 +1236,12 @@ cmdSweep(const Args &a)
 // ---------------------------------------------------------------------
 // `palmtrace trace`: the packed-trace toolbox.
 
-/** On-disk trace formats the toolbox understands. */
-enum class TraceFormat { Din, Pttr, Packed, Unreadable };
-
-/** Sniffs a trace file's format by its magic bytes; anything that is
- *  not PTTR or PTPK is treated as Dinero text. */
-TraceFormat
-sniffTraceFormat(const char *path)
-{
-    std::FILE *f = std::fopen(path, "rb");
-    if (!f)
-        return TraceFormat::Unreadable;
-    u8 b[4] = {0, 0, 0, 0};
-    std::size_t got = std::fread(b, 1, sizeof(b), f);
-    std::fclose(f);
-    if (got == 4) {
-        u32 magic = static_cast<u32>(b[0]) |
-                    static_cast<u32>(b[1]) << 8 |
-                    static_cast<u32>(b[2]) << 16 |
-                    static_cast<u32>(b[3]) << 24;
-        if (magic == 0x50545452) // PTTR (trace::kTraceMagic)
-            return TraceFormat::Pttr;
-        if (magic == trace::kPackedMagic)
-            return TraceFormat::Packed;
-    }
-    return TraceFormat::Din;
-}
-
-/** Maps a Dinero label (0 read / 1 write / 2 fetch) onto the trace
- *  record kind (0 fetch / 1 read / 2 write), and back. */
-u8
-dinLabelToKind(u8 label)
-{
-    return label == trace::DinLabel::Fetch  ? 0
-           : label == trace::DinLabel::Read ? 1
-                                            : 2;
-}
-
-u8
-kindToDinLabel(u8 kind)
-{
-    return kind == 0   ? trace::DinLabel::Fetch
-           : kind == 1 ? trace::DinLabel::Read
-                       : trace::DinLabel::Write;
-}
+// Format sniffing and record pulling live in trace/tracediff.h so
+// tests and tools share one implementation.
+using trace::dinLabelToKind;
+using trace::kindToDinLabel;
+using trace::sniffTraceFormat;
+using trace::TraceFormat;
 
 /** Parses --block, defaulting and bounds-checking. @return 0 on a
  *  bad value (caller reports). */
@@ -1504,97 +1551,11 @@ cmdTraceInfo(const Args &, const std::vector<const char *> &ops)
     return 0;
 }
 
-/** Pulls records one at a time from any trace format: din and PTTR
- *  are materialized (they are in-memory formats anyway), PTPK is
- *  streamed block by block with O(block) memory. */
-class TraceSource
-{
-  public:
-    bool
-    open(const char *path)
-    {
-        switch (sniffTraceFormat(path)) {
-          case TraceFormat::Unreadable:
-            err = "cannot read file";
-            return false;
-          case TraceFormat::Packed: {
-            packed = true;
-            if (auto r = reader.open(path); !r) {
-                err = r.message();
-                return false;
-            }
-            return true;
-          }
-          case TraceFormat::Pttr: {
-            trace::TraceBuffer buf;
-            if (auto r = trace::TraceBuffer::load(path, buf); !r) {
-                err = r.message();
-                return false;
-            }
-            all = buf.records();
-            return true;
-          }
-          case TraceFormat::Din: {
-            // Dinero text carries no RAM/flash class; records read
-            // back as class 0 (ram), matching what unpack wrote.
-            s64 n = trace::readDineroFile(
-                path, [&](Addr addr, u8 label) {
-                    all.push_back({addr, dinLabelToKind(label), 0});
-                });
-            if (n < 0) {
-                err = "cannot read file";
-                return false;
-            }
-            return true;
-          }
-        }
-        return false;
-    }
-
-    /** @return true with the next record; false at end or on error
-     *  (error() tells the two apart). */
-    bool
-    next(trace::TraceRecord &out)
-    {
-        if (!packed) {
-            if (pos >= all.size())
-                return false;
-            out = all[pos++];
-            return true;
-        }
-        while (bpos >= block.size()) {
-            if (!reader.nextBlock(block)) {
-                if (!reader.status())
-                    err = reader.status().message();
-                return false;
-            }
-            bpos = 0;
-        }
-        out = block[bpos++];
-        return true;
-    }
-
-    const std::string &error() const { return err; }
-
-  private:
-    bool packed = false;
-    std::vector<trace::TraceRecord> all;
-    std::size_t pos = 0;
-    trace::PackedTraceReader reader;
-    std::vector<trace::TraceRecord> block;
-    std::size_t bpos = 0;
-    std::string err;
-};
-
-const char *
-kindName(u8 kind)
-{
-    return kind == 0 ? "fetch" : kind == 1 ? "read" : "write";
-}
-
 /** `trace diff A B`: record-by-record comparison of two traces in
  *  any mix of formats; reports the first divergence. The epoch CI
- *  job uses it to prove stitched == sequential. */
+ *  job uses it to prove stitched == sequential. Exit codes are a
+ *  contract: 0 identical, 1 traces differ, 2 unreadable/corrupt
+ *  input (or usage error). */
 int
 cmdTraceDiff(const Args &, const std::vector<const char *> &ops)
 {
@@ -1602,64 +1563,20 @@ cmdTraceDiff(const Args &, const std::vector<const char *> &ops)
         std::fprintf(stderr, "usage: palmtrace trace diff A B\n");
         return 2;
     }
-    TraceSource srcA, srcB;
-    if (!srcA.open(ops[1])) {
-        std::fprintf(stderr, "trace diff: %s: %s\n", ops[1],
-                     srcA.error().c_str());
+    trace::DiffResult d = trace::diffTraces(ops[1], ops[2]);
+    switch (d.outcome) {
+      case trace::DiffOutcome::Identical:
+        std::printf("traces identical (%llu records)\n",
+                    static_cast<unsigned long long>(d.records));
+        return 0;
+      case trace::DiffOutcome::Differ:
+        std::printf("%s\n", d.detail.c_str());
         return 1;
+      case trace::DiffOutcome::Error:
+      default:
+        std::fprintf(stderr, "trace diff: %s\n", d.detail.c_str());
+        return 2;
     }
-    if (!srcB.open(ops[2])) {
-        std::fprintf(stderr, "trace diff: %s: %s\n", ops[2],
-                     srcB.error().c_str());
-        return 1;
-    }
-
-    auto describe = [](const trace::TraceRecord &r) {
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%s %s 0x%08X",
-                      r.cls ? "flash" : "ram", kindName(r.kind),
-                      r.addr);
-        return std::string(buf);
-    };
-
-    u64 i = 0;
-    for (;;) {
-        trace::TraceRecord ra, rb;
-        bool haveA = srcA.next(ra);
-        bool haveB = srcB.next(rb);
-        if (!srcA.error().empty() || !srcB.error().empty()) {
-            std::fprintf(stderr, "trace diff: %s: %s\n",
-                         srcA.error().empty() ? ops[2] : ops[1],
-                         srcA.error().empty()
-                             ? srcB.error().c_str()
-                             : srcA.error().c_str());
-            return 1;
-        }
-        if (!haveA && !haveB)
-            break;
-        if (haveA != haveB) {
-            std::printf("traces diverge at record %llu: %s ends, %s "
-                        "continues with [%s]\n",
-                        static_cast<unsigned long long>(i),
-                        haveA ? ops[2] : ops[1],
-                        haveA ? ops[1] : ops[2],
-                        describe(haveA ? ra : rb).c_str());
-            return 1;
-        }
-        if (ra.addr != rb.addr || ra.kind != rb.kind ||
-            ra.cls != rb.cls) {
-            std::printf("traces diverge at record %llu:\n"
-                        "  %s: [%s]\n  %s: [%s]\n",
-                        static_cast<unsigned long long>(i), ops[1],
-                        describe(ra).c_str(), ops[2],
-                        describe(rb).c_str());
-            return 1;
-        }
-        ++i;
-    }
-    std::printf("traces identical (%llu records)\n",
-                static_cast<unsigned long long>(i));
-    return 0;
 }
 
 int
@@ -1703,6 +1620,80 @@ loadSessionAt(const char *base, core::Session &s)
 /** `epoch plan BASE --out PLAN`: the scan pass alone — replay once
  *  without profiling instrumentation and save the checkpoint fan-out
  *  plan as a reusable artifact. */
+// ---------------------------------------------------------------------
+// Supervised jobs: journalled, watchdog-guarded, resumable runs.
+
+/** The shared supervision knobs, straight from the command line. */
+super::JobOptions
+jobOptionsFrom(const Args &a)
+{
+    super::JobOptions jo;
+    jo.maxAttempts = static_cast<u32>(
+        std::strtoul(a.value("--max-retries", "3"), nullptr, 0));
+    jo.deadlineMs =
+        std::strtoull(a.value("--deadline", "0"), nullptr, 0);
+    if (const char *j = a.value("--journal"))
+        jo.journalPath = j;
+    jo.globalCancel = &gSigint;
+    return jo;
+}
+
+/** Uniform reporting and exit code for a supervised job: 0 finished,
+ *  1 failed or degraded, 130 interrupted (resume to continue). */
+int
+reportJob(const char *what, const super::JobResult &r)
+{
+    if (r.nothingToDo) {
+        std::printf("%s: journal is already finalized%s; output %s\n",
+                    what, r.degraded ? " (degraded)" : "",
+                    r.outPath.c_str());
+        return 0;
+    }
+    if (r.interrupted) {
+        std::fprintf(stderr,
+                     "%s: interrupted; 'palmtrace resume' on the "
+                     "journal continues the run\n",
+                     what);
+        return kExitInterrupted;
+    }
+    if (!r.ok) {
+        std::fprintf(stderr, "%s: %s\n", what, r.error.c_str());
+        return 1;
+    }
+    std::printf("%s: %s (%llu done, %llu skipped, %llu quarantined, "
+                "%llu retries, fnv %016llx)\n",
+                what, r.outPath.c_str(),
+                static_cast<unsigned long long>(r.super.itemsDone),
+                static_cast<unsigned long long>(r.super.itemsSkipped),
+                static_cast<unsigned long long>(
+                    r.super.itemsQuarantined),
+                static_cast<unsigned long long>(r.super.retries),
+                static_cast<unsigned long long>(r.outFnv));
+    if (r.degraded) {
+        std::fprintf(stderr, "%s: DEGRADED: %s\n", what,
+                     r.super.firstError.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** `resume JOURNAL`: pick a journalled job back up where it stopped. */
+int
+cmdResume(const Args &a)
+{
+    const char *journal = a.operand();
+    if (!journal) {
+        std::fprintf(stderr,
+                     "usage: palmtrace resume JOURNAL [--jobs N]\n");
+        return 2;
+    }
+    super::JobOptions jo;
+    jo.globalCancel = &gSigint;
+    if (const char *j = a.value("--jobs"))
+        jo.jobs = static_cast<unsigned>(std::atoi(j));
+    return reportJob("resume", super::resumeJob(journal, jo));
+}
+
 int
 cmdEpochPlan(const Args &a, const std::vector<const char *> &ops)
 {
@@ -1781,11 +1772,30 @@ cmdEpochRun(const Args &a, const std::vector<const char *> &ops)
         return 1;
     }
 
+    // Any supervision flag routes through the journalled job runner;
+    // the plain path keeps the seed behaviour (and its own retry
+    // loop) untouched.
+    if (a.value("--journal") || a.value("--deadline") ||
+        a.value("--max-retries")) {
+        super::JobOptions jo = jobOptionsFrom(a);
+        jo.blockCapacity = cap;
+        jo.keepShards = a.has("--keep-shards");
+        Heartbeat shb;
+        if (!a.has("--quiet")) {
+            jo.progress = shb.handler();
+            jo.progressEveryEvents = 250;
+        }
+        return reportJob("epoch run",
+                         super::runEpochJob(s, ops[1], plan, ops[2],
+                                            out, jo));
+    }
+
     epoch::RunOptions ro;
     ro.blockCapacity = cap;
     ro.maxRetries = static_cast<u32>(
         std::strtoul(a.value("--retries", "2"), nullptr, 0));
     ro.keepShards = a.has("--keep-shards");
+    ro.cancel = &gSigint;
     Heartbeat hb;
     if (!a.has("--quiet")) {
         ro.progress = hb.handler();
@@ -1794,7 +1804,7 @@ cmdEpochRun(const Args &a, const std::vector<const char *> &ops)
     epoch::RunResult run = epoch::runEpochs(s, plan, out, ro);
     if (!run.ok) {
         std::fprintf(stderr, "epoch run: %s\n", run.error.c_str());
-        return 1;
+        return run.interrupted ? kExitInterrupted : 1;
     }
     printEpochRun(run, out);
     return run.divergences.empty() ? 0 : 1;
@@ -1901,6 +1911,8 @@ dispatch(const std::string &cmd, const Args &rest)
         return cmdTrace(rest);
     if (cmd == "epoch")
         return cmdEpoch(rest);
+    if (cmd == "resume")
+        return cmdResume(rest);
     if (cmd == "disasm")
         return cmdDisasm(rest);
     return unknownSubcommand(cmd);
@@ -1922,9 +1934,15 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // fsck/stats dispatch on artifact magic; the epoch-plan parser
-    // lives above the validate layer and hooks in at startup.
+    // fsck/stats dispatch on artifact magic; the epoch-plan and
+    // job-journal parsers live above the validate layer and hook in
+    // at startup.
     epoch::registerFsckParser();
+    super::registerFsckParser();
+
+    // Ctrl-C becomes a cooperative stop: journals get their footer,
+    // metrics still flush, and the process exits 130.
+    std::signal(SIGINT, onSigint);
 
     // Verbosity: CLI default is quiet (tables are the output), the
     // environment can override, explicit flags win.
