@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The observability overhead gate: full telemetry (refs-domain
+ * timeseries sampling, flight-recorder sampling, profile-sink
+ * counters) must cost less than 5% over the obs-off run of the Fig 7
+ * desktop-trace cache sweep — the exact workload `palmtrace sweep
+ * --packed FILE --timeseries-out TS` instruments in production.
+ *
+ * The telemetry tentpole's deployability claim is that recording is
+ * cheap enough to leave on for real runs — rr's lesson. This bench is
+ * the enforcement: both variants stream the identical reference
+ * sequence through the identical 56-configuration sweep; the
+ * instrumented variant additionally attributes every reference to a
+ * Timeseries interval, samples the flight recorder every 64th ref,
+ * and publishes a labeled metric scope. Each variant runs several
+ * interleaved rounds and the fastest rounds are compared (minimum
+ * filters scheduler noise).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/benchutil.h"
+#include "cache/cache.h"
+#include "obs/flightrec.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/timeseries.h"
+#include "workload/desktoptrace.h"
+
+namespace
+{
+
+using namespace pt;
+
+/** One classified reference of the pre-generated trace. */
+struct Ref
+{
+    Addr addr;
+    bool flash;
+};
+
+double
+sweepRound(const std::vector<Ref> &refs, bool obsOn)
+{
+    cache::CacheSweep sweep(cache::CacheSweep::paper56(), 1);
+    obs::Timeseries ts(1u << 19, obs::Timeseries::Domain::Refs);
+    obs::MetricScope scope("bench/perf_obs");
+    obs::FlightRecorder &fr = obs::FlightRecorder::global();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (obsOn) {
+        // The production telemetry path of `sweep --packed
+        // --timeseries-out`: per-ref interval attribution, a
+        // flight-recorder address sample every 64th ref, scoped
+        // counters published at the end.
+        obs::ScopedProfileSink scoped(scope);
+        fr.setEnabled(true);
+        u64 n = 0;
+        for (const Ref &r : refs) {
+            ts.addRef(0, obs::TsRef::Dread, r.flash);
+            if (((++n) & 63) == 0)
+                fr.noteRef(static_cast<u32>(r.addr), n);
+            sweep.feed(r.addr, r.flash);
+        }
+        sweep.finish();
+        fr.setEnabled(false);
+        obs::profileSink()->count("bench.refs", refs.size());
+        scope.publish();
+    } else {
+        for (const Ref &r : refs)
+            sweep.feed(r.addr, r.flash);
+        sweep.finish();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pt;
+    auto args = bench::BenchArgs::parse(argc, argv);
+    setLogQuiet(true);
+    bench::banner("perf_obs",
+                  "telemetry overhead gate on the Fig 7 sweep");
+
+    workload::DesktopTraceConfig tc;
+    tc.refs = static_cast<u64>(4'000'000 * args.scale);
+    std::printf("generating %llu-reference synthetic desktop "
+                "trace...\n\n",
+                static_cast<unsigned long long>(tc.refs));
+    std::vector<Ref> refs;
+    refs.reserve(tc.refs);
+    workload::DesktopTraceGen gen(tc);
+    gen.generate([&](Addr a, u8) {
+        // Give the telemetry a mixed RAM/flash stream to classify.
+        refs.push_back({a, (a & 0x400u) != 0});
+    });
+
+    constexpr int kRounds = 3;
+    double bare = 1e30, full = 1e30;
+    for (int i = 0; i < kRounds; ++i) {
+        // Interleaved so slow drift (thermal, background load) hits
+        // both variants alike.
+        bare = std::min(bare, sweepRound(refs, false));
+        full = std::min(full, sweepRound(refs, true));
+    }
+
+    const double overhead = bare > 0 ? (full - bare) / bare : 0.0;
+    const double perRefNs =
+        refs.empty() ? 0.0
+                     : (full - bare) * 1e9 /
+                           static_cast<double>(refs.size());
+    std::printf("obs-off sweep:          %8.3f s\n", bare);
+    std::printf("with full telemetry:    %8.3f s\n", full);
+    std::printf("overhead:               %8.2f %%  (%.2f ns/ref)\n\n",
+                overhead * 100.0, perRefNs);
+
+    char measured[32];
+    std::snprintf(measured, sizeof(measured), "%.2f%%",
+                  overhead * 100.0);
+    const bool ok = overhead < 0.05;
+    bench::expect("telemetry overhead on Fig 7 sweep", "< 5%",
+                  measured, ok);
+
+    obs::Registry::global().gauge("bench.obs_overhead").set(overhead);
+    bench::finishMetrics(args);
+    return ok ? 0 : 1;
+}

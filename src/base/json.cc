@@ -1,0 +1,307 @@
+#include "json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pt::json
+{
+
+namespace
+{
+
+constexpr int kMaxDepth = 64;
+
+const JsonValue kNullSentinel{};
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    explicit Parser(const std::string &t, std::size_t start)
+        : text(t), pos(start)
+    {}
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    LoadResult
+    fail(const std::string &field, const std::string &reason) const
+    {
+        return LoadResult::fail(pos, field, reason);
+    }
+
+    LoadResult
+    expect(char c, const char *field)
+    {
+        if (atEnd() || text[pos] != c)
+            return fail(field, std::string("expected '") + c + "'");
+        ++pos;
+        return LoadResult();
+    }
+
+    LoadResult
+    parseString(std::string &out)
+    {
+        LoadResult r = expect('"', "string");
+        if (!r.ok())
+            return r;
+        out.clear();
+        while (true) {
+            if (atEnd())
+                return fail("string", "unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return LoadResult();
+            if (c == '\\') {
+                if (atEnd())
+                    return fail("string", "unterminated escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                      if (pos + 4 > text.size())
+                          return fail("string", "short \\u escape");
+                      unsigned v = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          char h = text[pos++];
+                          v <<= 4;
+                          if (h >= '0' && h <= '9')
+                              v |= static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              v |= static_cast<unsigned>(h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              v |= static_cast<unsigned>(h - 'A' + 10);
+                          else
+                              return fail("string",
+                                          "bad \\u escape digit");
+                      }
+                      // Our emitters only \u-escape control bytes;
+                      // encode ASCII directly, wider code points as
+                      // UTF-8 (two/three bytes, no surrogate pairs).
+                      if (v < 0x80) {
+                          out += static_cast<char>(v);
+                      } else if (v < 0x800) {
+                          out += static_cast<char>(0xC0 | (v >> 6));
+                          out += static_cast<char>(0x80 | (v & 0x3F));
+                      } else {
+                          out += static_cast<char>(0xE0 | (v >> 12));
+                          out += static_cast<char>(0x80 |
+                                                   ((v >> 6) & 0x3F));
+                          out += static_cast<char>(0x80 | (v & 0x3F));
+                      }
+                      break;
+                  }
+                  default:
+                    return fail("string", "unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    LoadResult
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (!atEnd() && peek() == '-')
+            ++pos;
+        while (!atEnd() &&
+               ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                peek() == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("number", "empty number");
+        const std::string tok = text.substr(start, pos - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || !std::isfinite(v)) {
+            pos = start;
+            return fail("number", "malformed number '" + tok + "'");
+        }
+        out.k = Kind::Number;
+        out.num = v;
+        return LoadResult();
+    }
+
+    LoadResult
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("value", "nesting too deep");
+        skipWs();
+        if (atEnd())
+            return fail("value", "unexpected end of input");
+        const char c = peek();
+        if (c == '{') {
+            ++pos;
+            out.k = Kind::Object;
+            skipWs();
+            if (!atEnd() && peek() == '}') {
+                ++pos;
+                return LoadResult();
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                LoadResult r = parseString(key);
+                if (!r.ok())
+                    return r;
+                skipWs();
+                r = expect(':', "object");
+                if (!r.ok())
+                    return r;
+                JsonValue v;
+                r = parseValue(v, depth + 1);
+                if (!r.ok())
+                    return r;
+                out.obj.emplace(std::move(key), std::move(v));
+                skipWs();
+                if (!atEnd() && peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                return expect('}', "object");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.k = Kind::Array;
+            skipWs();
+            if (!atEnd() && peek() == ']') {
+                ++pos;
+                return LoadResult();
+            }
+            while (true) {
+                JsonValue v;
+                LoadResult r = parseValue(v, depth + 1);
+                if (!r.ok())
+                    return r;
+                out.arr.push_back(std::move(v));
+                skipWs();
+                if (!atEnd() && peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                return expect(']', "array");
+            }
+        }
+        if (c == '"') {
+            out.k = Kind::String;
+            return parseString(out.s);
+        }
+        if (c == 't') {
+            if (text.compare(pos, 4, "true") != 0)
+                return fail("value", "bad literal");
+            pos += 4;
+            out.k = Kind::Bool;
+            out.b = true;
+            return LoadResult();
+        }
+        if (c == 'f') {
+            if (text.compare(pos, 5, "false") != 0)
+                return fail("value", "bad literal");
+            pos += 5;
+            out.k = Kind::Bool;
+            out.b = false;
+            return LoadResult();
+        }
+        if (c == 'n') {
+            if (text.compare(pos, 4, "null") != 0)
+                return fail("value", "bad literal");
+            pos += 4;
+            out.k = Kind::Null;
+            return LoadResult();
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+const JsonValue &
+JsonValue::get(const std::string &key) const
+{
+    if (k != Kind::Object)
+        return kNullSentinel;
+    auto it = obj.find(key);
+    return it == obj.end() ? kNullSentinel : it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double dflt) const
+{
+    const JsonValue &v = get(key);
+    return v.isNumber() ? v.num : dflt;
+}
+
+u64
+JsonValue::u64Or(const std::string &key, u64 dflt) const
+{
+    const JsonValue &v = get(key);
+    if (!v.isNumber() || v.num < 0)
+        return dflt;
+    return static_cast<u64>(v.num);
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &dflt) const
+{
+    const JsonValue &v = get(key);
+    return v.isString() ? v.s : dflt;
+}
+
+LoadResult
+parseOne(const std::string &text, std::size_t &pos, JsonValue &out)
+{
+    out = JsonValue();
+    Parser p(text, pos);
+    LoadResult r = p.parseValue(out, 0);
+    if (!r.ok()) {
+        out = JsonValue();
+        return r;
+    }
+    while (p.pos < text.size() &&
+           (text[p.pos] == ' ' || text[p.pos] == '\t'))
+        ++p.pos;
+    pos = p.pos;
+    return LoadResult();
+}
+
+LoadResult
+parse(const std::string &text, JsonValue &out)
+{
+    std::size_t pos = 0;
+    LoadResult r = parseOne(text, pos, out);
+    if (!r.ok())
+        return r;
+    Parser tail(text, pos);
+    tail.skipWs();
+    if (!tail.atEnd()) {
+        out = JsonValue();
+        return LoadResult::fail(tail.pos, "document",
+                                "trailing garbage after document");
+    }
+    return LoadResult();
+}
+
+} // namespace pt::json

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A minimal JSON reader for palmtrace's own artifacts.
+ *
+ * The repo emits JSON in several places (metrics registry, timeseries
+ * headers, flight-recorder bundles, trace timelines) and `palmtrace
+ * report` plus the dump loaders need to read them back. This is a
+ * small strict recursive-descent parser over an in-memory document —
+ * no streaming, no external dependencies — returning a JsonValue
+ * tree. Failures come back as the same structured LoadError every
+ * other palmtrace loader uses, with a byte offset and field path.
+ *
+ * Scope limits (fine for our own well-formed emissions, checked
+ * explicitly): numbers parse as double, \uXXXX escapes outside the
+ * basic plane are passed through as '?', and nesting depth is capped
+ * to keep hostile inputs from overflowing the stack.
+ */
+
+#ifndef PT_BASE_JSON_H
+#define PT_BASE_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loaderror.h"
+#include "types.h"
+
+namespace pt::json
+{
+
+enum class Kind
+{
+    Null,
+    Bool,
+    Number,
+    String,
+    Array,
+    Object,
+};
+
+/** One node of a parsed JSON document. */
+class JsonValue
+{
+  public:
+    Kind kind() const { return k; }
+    bool isNull() const { return k == Kind::Null; }
+    bool isBool() const { return k == Kind::Bool; }
+    bool isNumber() const { return k == Kind::Number; }
+    bool isString() const { return k == Kind::String; }
+    bool isArray() const { return k == Kind::Array; }
+    bool isObject() const { return k == Kind::Object; }
+
+    bool boolean() const { return b; }
+    double number() const { return num; }
+    const std::string &str() const { return s; }
+    const std::vector<JsonValue> &array() const { return arr; }
+    const std::map<std::string, JsonValue> &object() const
+    {
+        return obj;
+    }
+
+    /** Object member by key; null-kind sentinel when absent. */
+    const JsonValue &get(const std::string &key) const;
+
+    /** Convenience typed getters with defaults for absent/mistyped. */
+    double numberOr(const std::string &key, double dflt) const;
+    u64 u64Or(const std::string &key, u64 dflt) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &dflt) const;
+
+    bool has(const std::string &key) const
+    {
+        return k == Kind::Object && obj.count(key) != 0;
+    }
+
+    static JsonValue makeNull() { return JsonValue(); }
+
+    Kind k = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string s;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+};
+
+/**
+ * Parses @p text into @p out. On failure @p out is left null and the
+ * LoadResult carries the byte offset and a reason. Trailing
+ * whitespace is allowed; trailing garbage is an error.
+ */
+LoadResult parse(const std::string &text, JsonValue &out);
+
+/**
+ * Parses one document from @p text starting at @p pos, advancing
+ * @p pos past it (plus trailing spaces/tabs). For JSONL streams:
+ * call once per line. Does NOT require end-of-input afterwards.
+ */
+LoadResult parseOne(const std::string &text, std::size_t &pos,
+                    JsonValue &out);
+
+} // namespace pt::json
+
+#endif // PT_BASE_JSON_H

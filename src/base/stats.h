@@ -55,6 +55,35 @@ class Summary
         return var > 0 ? std::sqrt(var) : 0.0;
     }
 
+    /**
+     * Folds another accumulator into this one losslessly (Chan et
+     * al.'s parallel Welford combination): the merged moments equal
+     * the moments of the concatenated sample streams, so per-scope
+     * summaries can be merged into process totals without replaying
+     * samples.
+     */
+    void
+    merge(const Summary &o)
+    {
+        if (o.n == 0)
+            return;
+        if (n == 0) {
+            *this = o;
+            return;
+        }
+        const double delta = o.meanAcc - meanAcc;
+        const u64 nn = n + o.n;
+        meanAcc += delta * static_cast<double>(o.n) /
+                   static_cast<double>(nn);
+        m2 += o.m2 + delta * delta * static_cast<double>(n) *
+                         static_cast<double>(o.n) /
+                         static_cast<double>(nn);
+        n = nn;
+        total += o.total;
+        lo = std::min(lo, o.lo);
+        hi = std::max(hi, o.hi);
+    }
+
     void
     reset()
     {

@@ -40,6 +40,12 @@ class TwoLevelCache
     const Cache &l1() const { return l1Cache; }
     const Cache &l2() const { return l2Cache; }
 
+    /** Mutable per-level handles for instrumentation that drives the
+     *  two-step lookup itself to attribute each level's hit/miss
+     *  (the timeseries adapters; equivalent to access()). */
+    Cache &l1() { return l1Cache; }
+    Cache &l2() { return l2Cache; }
+
     /**
      * Average access time: T = T_l1 + MR1 * (T_l2 + MR2 * T_mem),
      * where T_mem is the reference-mix-weighted backing-store time

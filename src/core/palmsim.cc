@@ -1,6 +1,7 @@
 #include "palmsim.h"
 
 #include "base/logging.h"
+#include "obs/flightrec.h"
 #include "obs/profile.h"
 #include "obs/tracer.h"
 #include "validate/correlate.h"
@@ -107,6 +108,59 @@ PalmSimulator::collect(const workload::UserModelConfig &cfg)
 namespace
 {
 
+/**
+ * Feeds the timeseries — and an optional cache hierarchy — one
+ * classified reference at a time, attributed to the device's current
+ * cycle. Only Ram/Flash classes count (the same stream a packed
+ * trace carries), so the sequential series matches what the epoch
+ * post-stitch pass reconstructs from the stitched trace.
+ */
+class TsRefSink final : public device::MemRefSink
+{
+  public:
+    TsRefSink(device::Device &dev, obs::Timeseries &ts,
+              cache::TwoLevelCache *hier)
+        : dev(dev), ts(ts), hier(hier)
+    {}
+
+    void
+    onRef(Addr addr, m68k::AccessKind kind,
+          device::RefClass cls) override
+    {
+        if (cls != device::RefClass::Ram &&
+            cls != device::RefClass::Flash)
+            return;
+        const bool isFlash = cls == device::RefClass::Flash;
+        const u64 cycle = dev.nowCycles();
+        const obs::TsRef k =
+            kind == m68k::AccessKind::Fetch ? obs::TsRef::Ifetch
+            : kind == m68k::AccessKind::Write
+                ? obs::TsRef::Dwrite
+                : obs::TsRef::Dread;
+        ts.addRef(cycle, k, isFlash);
+        if (hier) {
+            // Two-step lookup (equivalent to TwoLevelCache::access)
+            // so each level's outcome lands in the interval.
+            if (hier->l1().access(addr, isFlash)) {
+                ts.addCache(cycle, 1, true);
+            } else {
+                ts.addCache(cycle, 1, false);
+                ts.addCache(cycle, 2,
+                            hier->l2().access(addr, isFlash));
+            }
+        }
+        obs::FlightRecorder &fr = obs::FlightRecorder::global();
+        if (fr.enabled() && (++sampleCtr & 63) == 0)
+            fr.noteRef(addr, cycle);
+    }
+
+  private:
+    device::Device &dev;
+    obs::Timeseries &ts;
+    cache::TwoLevelCache *hier;
+    u64 sampleCtr = 0;
+};
+
 /** Publishes one replayed session's totals into the profile sink. */
 void
 publishReplayMetrics(obs::ProfileSink &ps, const ReplayResult &r,
@@ -170,6 +224,12 @@ PalmSimulator::replaySession(const Session &s, const ReplayConfig &cfg)
     tee.add(&res.refs);
     if (cfg.extraRefSink)
         tee.add(cfg.extraRefSink);
+    std::unique_ptr<TsRefSink> tsSink;
+    if (cfg.timeseries) {
+        tsSink = std::make_unique<TsRefSink>(dev, *cfg.timeseries,
+                                             cfg.tsHierarchy);
+        tee.add(tsSink.get());
+    }
     dev.bus().setRefSink(&tee);
     dev.bus().setTraceEnabled(cfg.profile);
     if (cfg.opcodeSink)
@@ -180,7 +240,10 @@ PalmSimulator::replaySession(const Session &s, const ReplayConfig &cfg)
     u64 trapBefore = dev.cpu().trapsTaken();
 
     replay::ReplayEngine engine(dev, s.log);
-    res.replayStats = engine.run(cfg.options);
+    replay::ReplayOptions opts = cfg.options;
+    if (cfg.timeseries)
+        opts.timeseries = cfg.timeseries;
+    res.replayStats = engine.run(opts);
 
     res.instructions = dev.instructionsRetired() - instBefore;
     res.cycles = dev.nowCycles() - cycBefore;

@@ -22,9 +22,11 @@
 #include <memory>
 #include <string>
 
+#include "cache/hierarchy.h"
 #include "device/device.h"
 #include "device/snapshot.h"
 #include "hacks/hackmgr.h"
+#include "obs/timeseries.h"
 #include "os/pilotos.h"
 #include "replay/replayengine.h"
 #include "trace/activitylog.h"
@@ -70,6 +72,23 @@ struct ReplayConfig
     /** Optional extra sinks fed during playback. */
     device::MemRefSink *extraRefSink = nullptr;
     m68k::OpcodeSink *opcodeSink = nullptr;
+
+    /**
+     * Simulated-time telemetry. When set, the replay attributes CPU
+     * progress, every RAM/flash reference, and drained events to the
+     * series' cycle intervals (options.timeseries is set up
+     * internally; leave it null). Not owned.
+     */
+    obs::Timeseries *timeseries = nullptr;
+
+    /**
+     * Optional cache hierarchy fed per-ref while the timeseries is
+     * active, attributing per-level hits/misses to the same
+     * intervals. The caller keeps ownership and supplies a freshly
+     * reset instance (the hierarchy is stateful). Ignored unless
+     * timeseries is set.
+     */
+    cache::TwoLevelCache *tsHierarchy = nullptr;
 };
 
 /** Everything measured from one replayed session. */

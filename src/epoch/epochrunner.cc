@@ -6,9 +6,11 @@
 
 #include "base/threadpool.h"
 #include "hacks/hackmgr.h"
+#include "obs/flightrec.h"
 #include "obs/profile.h"
 #include "obs/tracer.h"
 #include "os/rombuilder.h"
+#include "trace/memtrace.h"
 
 namespace pt::epoch
 {
@@ -40,6 +42,45 @@ prepareReplayDevice(const core::Session &s, device::Device &dev)
     mgr.installCollectionHacks();
     dev.runUntilIdle();
 }
+
+/**
+ * Attributes each Ram/Flash reference to the worker's timeseries at
+ * the device's current cycle — the same attribution the sequential
+ * TsRefSink in palmsim.cc performs, minus the cache hierarchy (epoch
+ * cache columns come from the post-stitch partition pass; DESIGN.md
+ * §14).
+ */
+class EpochTsSink final : public device::MemRefSink
+{
+  public:
+    EpochTsSink(device::Device &dev, obs::Timeseries &ts)
+        : dev(dev), ts(ts)
+    {}
+
+    void
+    onRef(Addr addr, m68k::AccessKind kind,
+          device::RefClass cls) override
+    {
+        if (cls != device::RefClass::Ram &&
+            cls != device::RefClass::Flash)
+            return;
+        const obs::TsRef k =
+            kind == m68k::AccessKind::Fetch ? obs::TsRef::Ifetch
+            : kind == m68k::AccessKind::Write
+                ? obs::TsRef::Dwrite
+                : obs::TsRef::Dread;
+        ts.addRef(dev.nowCycles(), k,
+                  cls == device::RefClass::Flash);
+        obs::FlightRecorder &fr = obs::FlightRecorder::global();
+        if (fr.enabled() && (++sampleCtr & 63) == 0)
+            fr.noteRef(addr, dev.nowCycles());
+    }
+
+  private:
+    device::Device &dev;
+    obs::Timeseries &ts;
+    u64 sampleCtr = 0;
+};
 
 } // namespace
 
@@ -191,11 +232,25 @@ shardPath(const std::string &outPath, u64 epoch)
 EpochAttempt
 runOneEpoch(const core::Session &s, const EpochPlan &plan,
             std::size_t k, const std::string &shard,
-            const RunOptions &ro, CancelToken *cancel)
+            const RunOptions &ro, CancelToken *cancel,
+            obs::Timeseries *ts)
 {
     EpochAttempt out;
     const EpochEntry &entry = plan.entries[k];
     const bool lastEpoch = k + 1 == plan.entries.size();
+
+    // Scoped metrics: this shard's observations accumulate in a
+    // labeled sub-registry on this worker thread and fold into the
+    // process totals at the end — counters and histogram moments
+    // merge losslessly, so the totals equal a sequential run's.
+    // Installed only when profiling is on to begin with.
+    std::unique_ptr<obs::MetricScope> scope;
+    std::unique_ptr<obs::ScopedProfileSink> scoped;
+    if (obs::profileSink()) {
+        scope = std::make_unique<obs::MetricScope>(
+            "epoch/" + std::to_string(k));
+        scoped = std::make_unique<obs::ScopedProfileSink>(*scope);
+    }
 
     device::Device dev;
     replay::ReplayEngine engine(dev, s.log);
@@ -206,7 +261,14 @@ runOneEpoch(const core::Session &s, const EpochPlan &plan,
         return out;
     }
     trace::PackedWriterSink sink(writer);
-    dev.bus().setRefSink(&sink);
+    trace::TeeSink tee;
+    tee.add(&sink);
+    std::unique_ptr<EpochTsSink> tsSink;
+    if (ts) {
+        tsSink = std::make_unique<EpochTsSink>(dev, *ts);
+        tee.add(tsSink.get());
+    }
+    dev.bus().setRefSink(&tee);
     dev.bus().setTraceEnabled(true);
 
     replay::ReplayOptions opts;
@@ -220,6 +282,7 @@ runOneEpoch(const core::Session &s, const EpochPlan &plan,
     opts.progress = ro.progress;
     opts.progressEveryEvents = ro.progressEveryEvents;
     opts.cancel = cancel;
+    opts.timeseries = ts;
 
     // resume() restores the checkpoint's CPU counters, so the slice's
     // own work is measured against the frozen counts, not against the
@@ -258,6 +321,10 @@ runOneEpoch(const core::Session &s, const EpochPlan &plan,
         return out;
     }
     out.ioOk = true;
+    // Publish the scope only on the success path: a retried attempt's
+    // partial observations must not inflate the process totals.
+    if (scope)
+        scope->publish();
     return out;
 }
 
@@ -303,6 +370,14 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
     std::string firstError;
     bool anyInterrupted = false;
 
+    // Per-epoch telemetry shards, merged in epoch order after the
+    // fan-out (merge order is irrelevant for sums, but fixed order
+    // keeps the code obviously deterministic).
+    const u64 tsWidth =
+        ro.timeseries ? ro.timeseries->interval() : 0;
+    std::vector<std::unique_ptr<obs::Timeseries>> tsShards(
+        ro.timeseries ? n : 0);
+
     const auto t0 = std::chrono::steady_clock::now();
     {
         PT_TRACE_SCOPE("epoch.fanout", "epoch");
@@ -317,7 +392,16 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
             const std::string shard = shardPath(outPath, k);
             EpochAttempt a;
             for (u32 attempt = 0;; ++attempt) {
-                a = runOneEpoch(s, plan, k, shard, ro, ro.cancel);
+                // Each attempt fills a fresh series: a rewound
+                // attempt's partial counts must not leak into the
+                // merged run telemetry.
+                std::unique_ptr<obs::Timeseries> ts;
+                if (ro.timeseries)
+                    ts = std::make_unique<obs::Timeseries>(tsWidth);
+                a = runOneEpoch(s, plan, k, shard, ro, ro.cancel,
+                                ts.get());
+                if (a.ioOk && ro.timeseries)
+                    tsShards[k] = std::move(ts);
                 if (!a.ioOk)
                     break; // I/O, option or cancel: retry won't help
                 if (a.verified)
@@ -355,6 +439,13 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
                                   true};
                 if (auto *ps = obs::profileSink())
                     ps->count("epoch.divergences");
+                // The first divergence freezes the flight recorder's
+                // picture of what every thread was doing (no-op when
+                // the recorder is not armed).
+                obs::FlightRecorder &fr =
+                    obs::FlightRecorder::global();
+                fr.note("epoch.divergence", k);
+                fr.dumpOnTrigger("epoch_divergence");
             }
             if (auto *ps = obs::profileSink()) {
                 ps->count("epoch.epochs_run");
@@ -375,6 +466,13 @@ runEpochs(const core::Session &s, const EpochPlan &plan,
         res.interrupted = anyInterrupted;
         res.error = firstError;
         return res;
+    }
+
+    if (ro.timeseries) {
+        for (std::size_t k = 0; k < n; ++k) {
+            if (tsShards[k])
+                ro.timeseries->merge(*tsShards[k]);
+        }
     }
 
     StitchResult sr = stitchShards(outPath, n, ro);

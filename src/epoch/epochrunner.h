@@ -113,6 +113,19 @@ struct RunOptions
     /** Global stop request (SIGINT, job abort). Workers poll it via
      *  the replay engine; a cancelled run reports interrupted. */
     CancelToken *cancel = nullptr;
+
+    /**
+     * Simulated-time telemetry for the whole run. When set, every
+     * epoch worker fills a private obs::Timeseries at this interval
+     * width and runEpochs() merges them in epoch order — the merged
+     * series is byte-identical to a sequential replay's (the shared
+     * boundary observations are zero-delta duplicates; DESIGN.md
+     * §14). Cache columns are NOT filled here: the caller derives
+     * them from the stitched trace (partitioned by the merged
+     * per-interval ref counts) so they too match the sequential
+     * inline attribution. Not owned.
+     */
+    obs::Timeseries *timeseries = nullptr;
 };
 
 /** Profile-pass outcome. */
@@ -165,7 +178,8 @@ struct EpochAttempt
 EpochAttempt runOneEpoch(const core::Session &s, const EpochPlan &plan,
                          std::size_t k, const std::string &shard,
                          const RunOptions &ro,
-                         CancelToken *cancel = nullptr);
+                         CancelToken *cancel = nullptr,
+                         obs::Timeseries *ts = nullptr);
 
 /** Stitch-pass outcome. */
 struct StitchResult

@@ -1,0 +1,328 @@
+#include "flightrec.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/json.h"
+#include "registry.h"
+
+namespace pt::obs
+{
+
+namespace
+{
+
+const char *
+kindName(u64 k)
+{
+    switch (static_cast<FlightKind>(k)) {
+      case FlightKind::SpanBegin: return "span_begin";
+      case FlightKind::SpanEnd: return "span_end";
+      case FlightKind::Pc: return "pc";
+      case FlightKind::Ref: return "ref";
+      case FlightKind::Event: return "event";
+      case FlightKind::Note: return "note";
+    }
+    return nullptr;
+}
+
+bool
+knownKind(const std::string &k)
+{
+    return k == "span_begin" || k == "span_end" || k == "pc" ||
+           k == "ref" || k == "event" || k == "note";
+}
+
+// Monotonic thread registration ids for the bundle's "tid" field
+// (stable across runs, unlike OS thread ids).
+std::atomic<u64> gNextTid{0};
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder instance;
+    return instance;
+}
+
+void
+FlightRecorder::arm(const std::string &p)
+{
+    {
+        std::lock_guard<std::mutex> lk(regM);
+        path = p;
+    }
+    setEnabled(true);
+}
+
+bool
+FlightRecorder::armed() const
+{
+    std::lock_guard<std::mutex> lk(regM);
+    return !path.empty();
+}
+
+std::string
+FlightRecorder::dumpPath() const
+{
+    std::lock_guard<std::mutex> lk(regM);
+    return path;
+}
+
+FlightRecorder::Ring *
+FlightRecorder::localRing()
+{
+    // One ring per (thread, recorder) pair, registered on first use
+    // and owned by the recorder for the life of the process — a ring
+    // must outlive its thread so the dump can still read it.
+    thread_local FlightRecorder *owner = nullptr;
+    thread_local Ring *ring = nullptr;
+    if (owner != this) {
+        auto fresh = std::make_unique<Ring>();
+        fresh->tid = gNextTid.fetch_add(1, std::memory_order_relaxed);
+        ring = fresh.get();
+        {
+            std::lock_guard<std::mutex> lk(regM);
+            rings.push_back(std::move(fresh));
+        }
+        owner = this;
+    }
+    return ring;
+}
+
+void
+FlightRecorder::record(FlightKind k, u64 name, u64 value, u64 cycle)
+{
+    Ring *r = localRing();
+    const u64 h = r->head.load(std::memory_order_relaxed);
+    Slot &s = r->slots[h & (kCapacity - 1)];
+    // Seqlock write: invalidate, fill, publish. The reader skips any
+    // slot whose sequence word changed across its field reads.
+    s.seq.store(0, std::memory_order_release);
+    s.kind.store(static_cast<u64>(k), std::memory_order_relaxed);
+    s.name.store(name, std::memory_order_relaxed);
+    s.value.store(value, std::memory_order_relaxed);
+    s.cycle.store(cycle, std::memory_order_relaxed);
+    s.seq.store(h + 1, std::memory_order_release);
+    r->head.store(h + 1, std::memory_order_release);
+}
+
+void
+FlightRecorder::noteSpanBegin(const char *name)
+{
+    if (!enabled())
+        return;
+    record(FlightKind::SpanBegin,
+           reinterpret_cast<u64>(name), 0, 0);
+}
+
+void
+FlightRecorder::noteSpanEnd(const char *name)
+{
+    if (!enabled())
+        return;
+    record(FlightKind::SpanEnd, reinterpret_cast<u64>(name), 0, 0);
+}
+
+void
+FlightRecorder::notePc(u32 pc, u64 cycle)
+{
+    if (!enabled())
+        return;
+    record(FlightKind::Pc, 0, pc, cycle);
+}
+
+void
+FlightRecorder::noteRef(u32 addr, u64 cycle)
+{
+    if (!enabled())
+        return;
+    record(FlightKind::Ref, 0, addr, cycle);
+}
+
+void
+FlightRecorder::noteEvent(u64 index, u64 cycle)
+{
+    if (!enabled())
+        return;
+    record(FlightKind::Event, 0, index, cycle);
+}
+
+void
+FlightRecorder::note(const char *label, u64 value)
+{
+    if (!enabled())
+        return;
+    record(FlightKind::Note, reinterpret_cast<u64>(label), value, 0);
+}
+
+std::string
+FlightRecorder::toJson(const std::string &reason) const
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"palmtrace-flightrec-v1\",\n"
+       << "  \"reason\": \"" << jsonEscape(reason) << "\",\n"
+       << "  \"capacity\": " << kCapacity << ",\n"
+       << "  \"threads\": [";
+
+    std::lock_guard<std::mutex> lk(regM);
+    bool firstT = true;
+    for (const auto &ring : rings) {
+        const u64 head = ring->head.load(std::memory_order_acquire);
+        const u64 lo = head > kCapacity ? head - kCapacity : 0;
+        os << (firstT ? "\n" : ",\n")
+           << "    {\"tid\": " << ring->tid << ", \"entries\": [";
+        bool firstE = true;
+        for (u64 i = lo; i < head; ++i) {
+            const Slot &s = ring->slots[i & (kCapacity - 1)];
+            const u64 s1 = s.seq.load(std::memory_order_acquire);
+            if (s1 != i + 1)
+                continue; // overwritten or mid-write: skip
+            const u64 kind = s.kind.load(std::memory_order_relaxed);
+            const u64 name = s.name.load(std::memory_order_relaxed);
+            const u64 value = s.value.load(std::memory_order_relaxed);
+            const u64 cycle = s.cycle.load(std::memory_order_relaxed);
+            const u64 s2 = s.seq.load(std::memory_order_acquire);
+            if (s1 != s2)
+                continue;
+            const char *kn = kindName(kind);
+            if (!kn)
+                continue;
+            os << (firstE ? "\n" : ",\n") << "      {\"kind\": \""
+               << kn << "\"";
+            if (name) {
+                os << ", \"name\": \""
+                   << jsonEscape(reinterpret_cast<const char *>(name))
+                   << "\"";
+            }
+            os << ", \"value\": " << value
+               << ", \"cycle\": " << cycle << "}";
+            firstE = false;
+        }
+        os << (firstE ? "" : "\n    ") << "]}";
+        firstT = false;
+    }
+    os << (firstT ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+bool
+FlightRecorder::writeDumpTo(const std::string &p,
+                            const std::string &reason,
+                            std::string *errOut) const
+{
+    const std::string body = toJson(reason);
+    std::FILE *f = std::fopen(p.c_str(), "wb");
+    if (!f) {
+        if (errOut)
+            *errOut = p + ": cannot open for writing";
+        return false;
+    }
+    bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok && errOut)
+        *errOut = p + ": short write";
+    return ok;
+}
+
+bool
+FlightRecorder::dumpOnTrigger(const std::string &reason)
+{
+    const std::string p = dumpPath();
+    if (p.empty())
+        return false;
+    bool expected = false;
+    if (!dumped.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel))
+        return false;
+    return writeDumpTo(p, reason);
+}
+
+void
+FlightRecorder::reset()
+{
+    std::lock_guard<std::mutex> lk(regM);
+    for (auto &ring : rings) {
+        ring->head.store(0, std::memory_order_relaxed);
+        for (Slot &s : ring->slots)
+            s.seq.store(0, std::memory_order_relaxed);
+    }
+    dumped.store(false, std::memory_order_relaxed);
+    path.clear();
+}
+
+LoadResult
+loadFlightDump(const std::string &path, FlightDump &out)
+{
+    out = FlightDump();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return LoadResult::fail(0, "file", "cannot open " + path);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string text(size > 0 ? static_cast<std::size_t>(size) : 0,
+                     '\0');
+    const std::size_t n =
+        text.empty() ? 0 : std::fread(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (n != text.size())
+        return LoadResult::fail(n, "file", "short read from " + path);
+
+    json::JsonValue doc;
+    if (LoadResult r = json::parse(text, doc); !r.ok())
+        return r;
+    if (!doc.isObject())
+        return LoadResult::fail(0, "document", "not a JSON object");
+    if (doc.stringOr("schema", "") != "palmtrace-flightrec-v1") {
+        return LoadResult::fail(0, "schema",
+                                "not a palmtrace-flightrec-v1 bundle");
+    }
+    if (!doc.get("reason").isString())
+        return LoadResult::fail(0, "reason", "missing reason string");
+    out.reason = doc.get("reason").str();
+    if (!doc.get("capacity").isNumber() ||
+        doc.numberOr("capacity", 0) <= 0) {
+        return LoadResult::fail(0, "capacity",
+                                "missing or non-positive capacity");
+    }
+    out.capacity = doc.u64Or("capacity", 0);
+    if (!doc.get("threads").isArray())
+        return LoadResult::fail(0, "threads", "missing threads array");
+    for (const json::JsonValue &t : doc.get("threads").array()) {
+        if (!t.isObject() || !t.get("tid").isNumber() ||
+            !t.get("entries").isArray()) {
+            return LoadResult::fail(
+                out.threads.size(), "thread",
+                "thread entry needs tid + entries");
+        }
+        FlightThread th;
+        th.tid = t.u64Or("tid", 0);
+        if (t.get("entries").array().size() > out.capacity) {
+            return LoadResult::fail(out.threads.size(), "entries",
+                                    "more entries than capacity");
+        }
+        for (const json::JsonValue &e : t.get("entries").array()) {
+            if (!e.isObject() || !e.get("kind").isString() ||
+                !knownKind(e.get("kind").str()) ||
+                !e.get("value").isNumber() ||
+                !e.get("cycle").isNumber()) {
+                return LoadResult::fail(
+                    th.entries.size(), "entry",
+                    "entry needs known kind + value + cycle");
+            }
+            FlightEntry fe;
+            fe.kind = e.get("kind").str();
+            fe.name = e.stringOr("name", "");
+            fe.value = e.u64Or("value", 0);
+            fe.cycle = e.u64Or("cycle", 0);
+            th.entries.push_back(std::move(fe));
+        }
+        out.threads.push_back(std::move(th));
+    }
+    return LoadResult();
+}
+
+} // namespace pt::obs

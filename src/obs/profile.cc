@@ -11,11 +11,17 @@ namespace
 // or teardown without a data race; acquire/release orders the sink's
 // construction before its first use.
 std::atomic<ProfileSink *> gSink{nullptr};
+
+// Per-thread override: plain thread_local (only the owning thread
+// reads or writes it, so no atomics needed).
+thread_local ProfileSink *tSink = nullptr;
 } // namespace
 
 ProfileSink *
 profileSink()
 {
+    if (tSink)
+        return tSink;
     return gSink.load(std::memory_order_acquire);
 }
 
@@ -23,6 +29,18 @@ void
 setProfileSink(ProfileSink *sink)
 {
     gSink.store(sink, std::memory_order_release);
+}
+
+void
+setThreadProfileSink(ProfileSink *sink)
+{
+    tSink = sink;
+}
+
+ProfileSink *
+threadProfileSink()
+{
+    return tSink;
 }
 
 } // namespace pt::obs

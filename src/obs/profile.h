@@ -70,11 +70,60 @@ class RegistrySink final : public ProfileSink
     Registry &reg;
 };
 
-/** @return the installed profile sink, or nullptr (profiling off). */
+/**
+ * @return the effective profile sink for the calling thread: the
+ * thread-local override when one is installed (scoped metrics on a
+ * pool worker), else the process-global sink, or nullptr (off).
+ */
 ProfileSink *profileSink();
 
 /** Installs (or clears, with nullptr) the process profile sink. */
 void setProfileSink(ProfileSink *sink);
+
+/**
+ * Installs (or clears) a sink override for the calling thread only.
+ * Instrumented code running on this thread reports here instead of
+ * the process sink; other threads are unaffected. Prefer the RAII
+ * ScopedProfileSink over calling this directly.
+ */
+void setThreadProfileSink(ProfileSink *sink);
+
+/** @return the calling thread's override sink, or nullptr. */
+ProfileSink *threadProfileSink();
+
+/**
+ * RAII thread-local sink override: routes the calling thread's
+ * observations into a scope's registry for the object's lifetime,
+ * restoring the previous override on destruction. This is how a pool
+ * worker isolates one epoch shard's / sweep config's / session's
+ * metrics into its MetricScope while other workers keep publishing
+ * to their own.
+ */
+class ScopedProfileSink
+{
+  public:
+    explicit ScopedProfileSink(ProfileSink &sink)
+        : prev(threadProfileSink())
+    {
+        setThreadProfileSink(&sink);
+    }
+
+    /** Convenience: route straight into a scope's registry. */
+    explicit ScopedProfileSink(MetricScope &scope)
+        : prev(threadProfileSink()), owned(scope.registry())
+    {
+        setThreadProfileSink(&owned);
+    }
+
+    ~ScopedProfileSink() { setThreadProfileSink(prev); }
+
+    ScopedProfileSink(const ScopedProfileSink &) = delete;
+    ScopedProfileSink &operator=(const ScopedProfileSink &) = delete;
+
+  private:
+    ProfileSink *prev;
+    RegistrySink owned{Registry::global()};
+};
 
 } // namespace pt::obs
 

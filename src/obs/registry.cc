@@ -102,6 +102,53 @@ LogHistogram::summary() const
     return summaryAcc;
 }
 
+double
+LogHistogram::percentile(double p) const
+{
+    std::lock_guard<std::mutex> lk(m);
+    const u64 n = summaryAcc.count();
+    if (n == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    const double target = p * static_cast<double>(n);
+    u64 cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (counts[i] == 0)
+            continue;
+        const double reach =
+            static_cast<double>(cum) + static_cast<double>(counts[i]);
+        if (reach >= target) {
+            const double lo = bucketLow(i);
+            const double hi = bucketHigh(i);
+            const double frac =
+                (target - static_cast<double>(cum)) /
+                static_cast<double>(counts[i]);
+            double v = lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+            // The bucket range overshoots the actual extremes;
+            // clamping keeps single-bucket percentiles honest.
+            v = std::max(v, summaryAcc.min());
+            v = std::min(v, summaryAcc.max());
+            return v;
+        }
+        cum += counts[i];
+    }
+    return summaryAcc.max();
+}
+
+void
+LogHistogram::merge(const LogHistogram &o)
+{
+    if (&o == this)
+        return;
+    std::scoped_lock lk(m, o.m);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts[i] += o.counts[i];
+    summaryAcc.merge(o.summaryAcc);
+}
+
 void
 LogHistogram::reset()
 {
@@ -192,6 +239,52 @@ Registry::size() const
     return n;
 }
 
+void
+Registry::mergeFrom(const Registry &src, const std::string &prefix)
+{
+    // Snapshot the source under its shard locks first, then fold the
+    // snapshot in: never holds locks of both registries at once, so
+    // cross-merges cannot deadlock.
+    std::map<std::string, u64> counterVals;
+    std::map<std::string, double> gaugeVals;
+    std::map<std::string, const LogHistogram *> histPtrs;
+    for (const Shard &s : src.shards) {
+        std::lock_guard<std::mutex> lk(s.m);
+        for (const auto &[name, c] : s.counters)
+            counterVals[name] = c->value();
+        for (const auto &[name, g] : s.gauges)
+            gaugeVals[name] = g->value();
+        for (const auto &[name, h] : s.histograms)
+            histPtrs[name] = h.get();
+    }
+    for (const auto &[name, v] : counterVals) {
+        if (v)
+            counter(prefix.empty() ? name : prefix + name).inc(v);
+        else
+            counter(prefix.empty() ? name : prefix + name);
+    }
+    for (const auto &[name, v] : gaugeVals)
+        gauge(prefix.empty() ? name : prefix + name).set(v);
+    for (const auto &[name, h] : histPtrs)
+        histogram(prefix.empty() ? name : prefix + name).merge(*h);
+}
+
+std::string
+MetricScope::toJson() const
+{
+    // The registry document with the scope label stamped in after the
+    // schema line, so per-scope emissions are self-describing.
+    std::string body = reg->toJson();
+    const std::string schemaLine =
+        "\"schema\": \"palmtrace-metrics-v1\",\n";
+    auto pos = body.find(schemaLine);
+    if (pos != std::string::npos) {
+        body.insert(pos + schemaLine.size(),
+                    "  \"label\": \"" + jsonEscape(name) + "\",\n");
+    }
+    return body;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -266,6 +359,9 @@ Registry::toJson() const
            << ", \"max\": " << jsonNumber(s.max())
            << ", \"mean\": " << jsonNumber(s.mean())
            << ", \"stddev\": " << jsonNumber(s.stddev())
+           << ", \"p50\": " << jsonNumber(h->percentile(0.50))
+           << ", \"p95\": " << jsonNumber(h->percentile(0.95))
+           << ", \"p99\": " << jsonNumber(h->percentile(0.99))
            << ", \"buckets\": [";
         bool firstB = true;
         for (std::size_t i = 0; i < h->usedBuckets(); ++i) {
@@ -310,7 +406,10 @@ Registry::toText() const
         os << name << " = {count " << s.count() << ", mean "
            << jsonNumber(s.mean()) << ", min " << jsonNumber(s.min())
            << ", max " << jsonNumber(s.max()) << ", stddev "
-           << jsonNumber(s.stddev()) << "}\n";
+           << jsonNumber(s.stddev()) << ", p50 "
+           << jsonNumber(h->percentile(0.50)) << ", p95 "
+           << jsonNumber(h->percentile(0.95)) << ", p99 "
+           << jsonNumber(h->percentile(0.99)) << "}\n";
     }
     return os.str();
 }

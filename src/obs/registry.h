@@ -108,6 +108,20 @@ class LogHistogram
     /** A consistent snapshot of the moments. */
     stats::Summary summary() const;
 
+    /**
+     * The @p p quantile (p in [0,1]) estimated from the log-scale
+     * buckets: the bucket holding the target rank is found by the
+     * cumulative count and the sample position interpolated linearly
+     * within its [low, high) range. 0 when the histogram is empty.
+     * The estimate is clamped into [min, max] so a single-bucket
+     * histogram reports sane percentiles.
+     */
+    double percentile(double p) const;
+
+    /** Folds @p o into this histogram: bucket counts add, moments
+     *  merge losslessly (stats::Summary::merge). */
+    void merge(const LogHistogram &o);
+
     void reset();
 
   private:
@@ -156,6 +170,16 @@ class Registry
     /** Drops every metric (tests and fresh CLI runs). */
     void clear();
 
+    /**
+     * Folds every metric of @p src into this registry, creating
+     * metrics on first sight. Counters add, histograms merge
+     * losslessly (bucket counts + Welford moments); gauges are
+     * point-in-time scalars with no additive meaning, so the source
+     * value overwrites. @p prefix, when nonempty, is prepended to
+     * every metric name (labeled sub-registry publication).
+     */
+    void mergeFrom(const Registry &src, const std::string &prefix = "");
+
   private:
     static constexpr std::size_t kShards = 8;
 
@@ -172,6 +196,50 @@ class Registry
     const Shard &shardFor(const std::string &name) const;
 
     Shard shards[kShards];
+};
+
+/**
+ * A labeled sub-registry: one session's, epoch shard's, or sweep
+ * config's metrics, isolated from the process registry until
+ * publication. The owning code routes its observations here (usually
+ * through a ScopedProfileSink installed for the worker thread), then
+ * calls publish() at a quiescent point — counters and histograms
+ * merge losslessly into the parent's process totals, and the label
+ * travels with the scope for per-scope emission (toJson).
+ */
+class MetricScope
+{
+  public:
+    explicit MetricScope(std::string scopeLabel)
+        : name(std::move(scopeLabel)),
+          reg(std::make_unique<Registry>())
+    {}
+
+    const std::string &label() const { return name; }
+    Registry &registry() { return *reg; }
+    const Registry &registry() const { return *reg; }
+
+    /** Merges this scope into @p parent unprefixed (process totals). */
+    void
+    publish(Registry &parent = Registry::global()) const
+    {
+        parent.mergeFrom(*reg);
+    }
+
+    /** Merges this scope into @p parent under "<label>." names —
+     *  the labeled per-scope view, alongside the unprefixed totals. */
+    void
+    publishLabeled(Registry &parent = Registry::global()) const
+    {
+        parent.mergeFrom(*reg, name + ".");
+    }
+
+    /** The scope's registry document with its label stamped in. */
+    std::string toJson() const;
+
+  private:
+    std::string name;
+    std::unique_ptr<Registry> reg;
 };
 
 /** Escapes a string for embedding in a JSON document. */

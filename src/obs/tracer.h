@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "base/types.h"
+#include "flightrec.h"
 
 namespace pt::obs
 {
@@ -100,7 +101,12 @@ class Tracer
     std::vector<Event> events;
 };
 
-/** RAII span: opens on construction when tracing, closes on exit. */
+/**
+ * RAII span: opens on construction when tracing, closes on exit.
+ * Also feeds the postmortem flight recorder (an independent enable
+ * flag): every traced phase boundary lands in the crash rings, so a
+ * postmortem bundle shows which phase each thread was in.
+ */
 class TraceSpan
 {
   public:
@@ -110,12 +116,18 @@ class TraceSpan
             live = true;
             Tracer::global().begin(name, cat);
         }
+        if (FlightRecorder::global().enabled()) {
+            flight = name;
+            FlightRecorder::global().noteSpanBegin(name);
+        }
     }
 
     ~TraceSpan()
     {
         if (live)
             Tracer::global().end();
+        if (flight)
+            FlightRecorder::global().noteSpanEnd(flight);
     }
 
     TraceSpan(const TraceSpan &) = delete;
@@ -123,6 +135,7 @@ class TraceSpan
 
   private:
     bool live = false;
+    const char *flight = nullptr;
 };
 
 } // namespace pt::obs

@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "hacks/logformat.h"
+#include "obs/flightrec.h"
 #include "obs/profile.h"
 #include "obs/tracer.h"
 #include "os/guestabi.h"
@@ -186,6 +187,11 @@ ReplayOptions::validate() const
         return "a partial slice (stopAtEventIndex) cannot be "
                "combined with recovery (the final verify needs the "
                "whole log)";
+    }
+    if (timeseries && recover) {
+        return "timeseries telemetry cannot be combined with "
+               "recovery (rewinds would re-count the rewound "
+               "window's cycles)";
     }
     return {};
 }
@@ -570,6 +576,15 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
                                 dev.instructionsRetired());
             }
 
+            // CPU progress observation at the event-meter point: the
+            // first call of a slice only sets the baseline, and a
+            // boundary shared with an adjacent epoch is observed as a
+            // zero-delta duplicate — both by design (DESIGN.md §14).
+            if (opts.timeseries) {
+                opts.timeseries->observe(dev.nowCycles(),
+                                         dev.instructionsRetired());
+            }
+
             if (opts.epochHook && epochDue())
                 fireEpoch();
 
@@ -645,6 +660,17 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
                              static_cast<double>(dev.ticks() -
                                                  e.tick));
             }
+            if (opts.timeseries)
+                opts.timeseries->noteEvent(dev.nowCycles());
+            {
+                obs::FlightRecorder &fr =
+                    obs::FlightRecorder::global();
+                if (fr.enabled()) {
+                    fr.noteEvent(static_cast<u64>(i),
+                                 dev.nowCycles());
+                    fr.notePc(dev.cpu().lastPc(), dev.nowCycles());
+                }
+            }
             stats.lastEventTick = e.tick;
             ++i;
             ++delivered;
@@ -657,8 +683,16 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
             }
         }
 
-        if (partialSlice)
+        if (partialSlice) {
+            // Observe the slice's exit state: the next epoch's first
+            // observation is this exact (cycle, instruction) point,
+            // so the merged series splits cleanly here.
+            if (opts.timeseries) {
+                opts.timeseries->observe(dev.nowCycles(),
+                                         dev.instructionsRetired());
+            }
             break; // the next epoch's worker continues from here
+        }
 
         // A trailing capture lands at eventIndex == syncEventCount():
         // that plan's final epoch delivers nothing and replays only
@@ -675,6 +709,11 @@ ReplayEngine::playFrom(std::size_t startIndex, u16 buttons,
         if (opts.eventMeter) {
             opts.eventMeter(syncEvents.size(),
                             dev.instructionsRetired());
+        }
+
+        if (opts.timeseries) {
+            opts.timeseries->observe(dev.nowCycles(),
+                                     dev.instructionsRetired());
         }
 
         if (!recovering)

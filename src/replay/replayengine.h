@@ -52,6 +52,7 @@
 #include "base/types.h"
 #include "device/checkpoint.h"
 #include "device/device.h"
+#include "obs/timeseries.h"
 #include "os/rombuilder.h"
 #include "trace/activitylog.h"
 
@@ -209,6 +210,18 @@ struct ReplayOptions
      * boundaries chosen from the meter's curve.
      */
     std::function<void(u64 eventIndex, u64 instructions)> eventMeter;
+
+    /**
+     * Simulated-time telemetry sink. When set, the engine observes
+     * CPU progress (absolute cycle + instruction counters) at every
+     * event-meter point — the top of each event's iteration, a
+     * partial-slice stop, and the end of the settle phase — and
+     * counts each delivered event at its delivery cycle. These are
+     * exactly the points epoch boundaries share with a sequential
+     * run, which is what makes the emitted series byte-identical
+     * across the two modes (DESIGN.md §14). Not owned.
+     */
+    obs::Timeseries *timeseries = nullptr;
 
     /** @return empty when consistent, else why this combination of
      *  options is rejected. */

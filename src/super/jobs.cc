@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "base/fnv.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
 #include "workload/tracefeed.h"
 
 namespace pt::super
@@ -397,6 +399,19 @@ sweepJobCore(const std::vector<cache::CacheConfig> &configs,
 
     ItemFn fn = [&](u64 i, CancelToken &tok) -> ItemOutcome {
         ItemOutcome out;
+        // Scoped metrics: this config's counters accumulate in a
+        // private registry for the attempt's lifetime, published
+        // into the process totals only when the attempt succeeds —
+        // retried attempts never double-count.
+        std::unique_ptr<obs::MetricScope> scope;
+        std::unique_ptr<obs::ScopedProfileSink> scoped;
+        if (obs::profileSink()) {
+            scope = std::make_unique<obs::MetricScope>(
+                "sweep/" +
+                configs[static_cast<std::size_t>(i)].name());
+            scoped =
+                std::make_unique<obs::ScopedProfileSink>(*scope);
+        }
         workload::PackedSweepResult r = workload::sweepPackedFile(
             spec.sessionPath, {configs[static_cast<std::size_t>(i)]},
             1, &tok);
@@ -414,6 +429,8 @@ sweepJobCore(const std::vector<cache::CacheConfig> &configs,
         }
         out.ok = true;
         out.blob = sweepStatsBlob(r.caches[0].stats());
+        if (scope)
+            scope->publish();
         return out;
     };
 
@@ -684,6 +701,15 @@ batchJobCore(const std::vector<workload::SessionSpec> &specs,
         const workload::SessionSpec &ss =
             specs[static_cast<std::size_t>(i)];
 
+        // Scoped metrics, published only on success (see sweepJobCore).
+        std::unique_ptr<obs::MetricScope> scope;
+        std::unique_ptr<obs::ScopedProfileSink> scoped;
+        if (obs::profileSink()) {
+            scope =
+                std::make_unique<obs::MetricScope>("session/" + ss.name);
+            scoped = std::make_unique<obs::ScopedProfileSink>(*scope);
+        }
+
         core::PalmSimulator sim;
         sim.beginCollection();
         SessionMeasure m;
@@ -709,6 +735,8 @@ batchJobCore(const std::vector<workload::SessionSpec> &specs,
         m.cycles = rr.cycles;
         out.ok = true;
         out.blob = sessionBlob(m);
+        if (scope)
+            scope->publish();
         return out;
     };
 

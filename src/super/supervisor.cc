@@ -11,6 +11,7 @@
 
 #include "base/fnv.h"
 #include "base/threadpool.h"
+#include "obs/flightrec.h"
 #include "obs/profile.h"
 
 namespace pt::super
@@ -70,6 +71,16 @@ superviseItems(u64 n, const ItemFn &fn, const SuperOptions &opts)
 
     const u64 crashAfter = crashAfterItemsEnv();
     const u32 maxAttempts = opts.maxAttempts ? opts.maxAttempts : 1;
+
+    // The chaos hook implies someone will be doing postmortem
+    // analysis: arm the flight recorder so the deliberate crash
+    // leaves a bundle behind even when the caller forgot to.
+    obs::FlightRecorder &fr = obs::FlightRecorder::global();
+    if (crashAfter > 0 && !fr.armed()) {
+        fr.arm(opts.journal
+                   ? opts.journal->path() + ".postmortem.json"
+                   : "palmtrace-postmortem.json");
+    }
 
     std::vector<CancelToken> tokens(static_cast<std::size_t>(n));
     std::vector<WatchSlot> slots(static_cast<std::size_t>(n));
@@ -135,6 +146,12 @@ superviseItems(u64 n, const ItemFn &fn, const SuperOptions &opts)
                         tokens[i].requestCancel();
                         watchdogFires.fetch_add(
                             1, std::memory_order_relaxed);
+                        obs::FlightRecorder &rec =
+                            obs::FlightRecorder::global();
+                        if (rec.enabled()) {
+                            rec.note("super.watchdog_stall", i);
+                            rec.dumpOnTrigger("watchdog_stall");
+                        }
                     }
                 }
             }
@@ -210,7 +227,14 @@ superviseItems(u64 n, const ItemFn &fn, const SuperOptions &opts)
                         // The deterministic crash point: the item's
                         // artifact and Done record are durable, no
                         // footer will ever be written — exactly the
-                        // state a kill -9 here leaves behind.
+                        // state a kill -9 here leaves behind. The
+                        // flight dump is the one concession: a real
+                        // crash handler gets to flush its rings too.
+                        if (fr.enabled()) {
+                            fr.note("super.crash_after_items",
+                                    crashAfter);
+                            fr.dumpOnTrigger("crash_after_items");
+                        }
                         std::_Exit(137);
                     }
                     return;
@@ -249,6 +273,10 @@ superviseItems(u64 n, const ItemFn &fn, const SuperOptions &opts)
                         1, std::memory_order_relaxed);
                     if (auto *ps = obs::profileSink())
                         ps->count("super.items_quarantined");
+                    if (fr.enabled()) {
+                        fr.note("super.quarantine", i);
+                        fr.dumpOnTrigger("quarantine");
+                    }
                     {
                         std::lock_guard<std::mutex> lock(errM);
                         if (res.firstError.empty()) {

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Flight-recorder tests: ring wraparound, the first-trigger-wins dump
+ * contract, concurrent writers against a concurrent dumper (the
+ * seqlock contract, meaningful under TSan), and the loader's
+ * rejection of truncated/corrupt/wrong-schema bundles.
+ */
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flightrec.h"
+
+namespace pt::obs
+{
+namespace
+{
+
+std::string
+tmpFile(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::string out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+void
+writeFileText(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+/** The recorder is a process singleton; every test starts from a
+ *  clean slate and disarms on the way out. */
+class FlightRec : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        FlightRecorder::global().reset();
+        FlightRecorder::global().setEnabled(false);
+    }
+
+    void
+    TearDown() override
+    {
+        FlightRecorder::global().reset();
+        FlightRecorder::global().setEnabled(false);
+    }
+};
+
+TEST_F(FlightRec, DisabledRecorderStoresNothing)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    fr.note("never", 1);
+    fr.setEnabled(true);
+    const std::string doc = fr.toJson("test");
+    EXPECT_EQ(doc.find("never"), std::string::npos);
+}
+
+TEST_F(FlightRec, RingKeepsOnlyTheLastCapacityEntries)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    fr.setEnabled(true);
+    const u64 total = FlightRecorder::kCapacity * 3 + 17;
+    for (u64 i = 0; i < total; ++i)
+        fr.notePc(static_cast<u32>(i), i);
+
+    const std::string path = tmpFile("pt_flight_wrap.json");
+    ASSERT_TRUE(fr.writeDumpTo(path, "wraparound"));
+    FlightDump dump;
+    auto r = loadFlightDump(path, dump);
+    ASSERT_TRUE(r) << r.message();
+    EXPECT_EQ(dump.reason, "wraparound");
+    EXPECT_EQ(dump.capacity, FlightRecorder::kCapacity);
+
+    // This thread's ring holds exactly the newest kCapacity PCs, in
+    // order: the oldest survivor is total - kCapacity.
+    bool found = false;
+    for (const FlightThread &th : dump.threads) {
+        if (th.entries.empty())
+            continue;
+        found = true;
+        EXPECT_EQ(th.entries.size(), FlightRecorder::kCapacity);
+        u64 expect = total - FlightRecorder::kCapacity;
+        for (const FlightEntry &e : th.entries) {
+            EXPECT_EQ(e.kind, "pc");
+            EXPECT_EQ(e.value, expect);
+            EXPECT_EQ(e.cycle, expect);
+            ++expect;
+        }
+    }
+    EXPECT_TRUE(found);
+    std::remove(path.c_str());
+}
+
+TEST_F(FlightRec, FirstTriggerWinsAndLaterOnesAreRejected)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    const std::string path = tmpFile("pt_flight_first.json");
+    fr.arm(path);
+    ASSERT_TRUE(fr.armed());
+    EXPECT_TRUE(fr.enabled()); // arming turns recording on
+    fr.note("divergence.epoch", 3);
+
+    ASSERT_TRUE(fr.dumpOnTrigger("epoch_divergence"));
+    // The quarantine that follows must not clobber the first dump.
+    fr.note("super.quarantine", 3);
+    EXPECT_FALSE(fr.dumpOnTrigger("quarantine"));
+
+    FlightDump dump;
+    auto r = loadFlightDump(path, dump);
+    ASSERT_TRUE(r) << r.message();
+    EXPECT_EQ(dump.reason, "epoch_divergence");
+    bool sawNote = false;
+    for (const FlightThread &th : dump.threads)
+        for (const FlightEntry &e : th.entries)
+            if (e.kind == "note" && e.name == "divergence.epoch") {
+                sawNote = true;
+                EXPECT_EQ(e.value, 3u);
+            }
+    EXPECT_TRUE(sawNote);
+    std::remove(path.c_str());
+}
+
+TEST_F(FlightRec, UnarmedTriggerIsANoOp)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    fr.setEnabled(true);
+    fr.note("orphan", 1);
+    EXPECT_FALSE(fr.dumpOnTrigger("watchdog_stall"));
+}
+
+/** Writers keep recording while a reader renders dumps: the seqlock
+ *  must make this data-race-free (run under TSan in CI) and the
+ *  reader must only ever see whole entries. */
+TEST_F(FlightRec, ConcurrentWritersAndDumperAreRaceFree)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    fr.setEnabled(true);
+
+    constexpr int kWriters = 4;
+    constexpr u64 kPerWriter = 20'000;
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&fr, w] {
+            for (u64 i = 0; i < kPerWriter; ++i) {
+                // Entry invariant the reader checks: value == cycle.
+                fr.notePc(static_cast<u32>(i), i);
+                if ((i & 1023) == 0)
+                    fr.noteSpanBegin("writer.burst");
+            }
+            (void)w;
+        });
+    }
+
+    for (int round = 0; round < 20; ++round) {
+        const std::string doc = fr.toJson("concurrent");
+        EXPECT_NE(doc.find("palmtrace-flightrec-v1"),
+                  std::string::npos);
+    }
+    for (std::thread &t : writers)
+        t.join();
+
+    // After the writers quiesce, every surviving pc entry must be
+    // whole (no torn value/cycle pairs slipped past the seqlock).
+    const std::string path = tmpFile("pt_flight_conc.json");
+    ASSERT_TRUE(fr.writeDumpTo(path, "concurrent"));
+    FlightDump dump;
+    auto r = loadFlightDump(path, dump);
+    ASSERT_TRUE(r) << r.message();
+    for (const FlightThread &th : dump.threads)
+        for (const FlightEntry &e : th.entries)
+            if (e.kind == "pc")
+                EXPECT_EQ(e.value, e.cycle);
+    std::remove(path.c_str());
+}
+
+TEST_F(FlightRec, LoaderRejectsMissingTruncatedAndCorruptBundles)
+{
+    FlightDump dump;
+    EXPECT_FALSE(loadFlightDump(tmpFile("pt_flight_nope.json"), dump));
+
+    // A real dump, then break it in every structural way.
+    FlightRecorder &fr = FlightRecorder::global();
+    fr.setEnabled(true);
+    fr.note("crumb", 42);
+    const std::string path = tmpFile("pt_flight_corrupt.json");
+    ASSERT_TRUE(fr.writeDumpTo(path, "test"));
+    const std::string good = readFileText(path);
+    ASSERT_FALSE(good.empty());
+
+    {
+        FlightDump d;
+        ASSERT_TRUE(loadFlightDump(path, d));
+    }
+
+    // Truncation at several depths: never a partial result.
+    for (std::size_t keep :
+         {good.size() / 4, good.size() / 2, good.size() - 2}) {
+        writeFileText(path, good.substr(0, keep));
+        FlightDump d;
+        auto r = loadFlightDump(path, d);
+        EXPECT_FALSE(r) << "accepted a dump truncated to " << keep;
+        EXPECT_FALSE(r.message().empty());
+    }
+
+    // Wrong schema tag.
+    {
+        std::string bad = good;
+        auto at = bad.find("palmtrace-flightrec-v1");
+        ASSERT_NE(at, std::string::npos);
+        bad.replace(at, 22, "palmtrace-flightrec-v9");
+        writeFileText(path, bad);
+        FlightDump d;
+        EXPECT_FALSE(loadFlightDump(path, d));
+    }
+
+    // Not JSON at all.
+    writeFileText(path, "PTPK\x01\x02 this is not json");
+    {
+        FlightDump d;
+        auto r = loadFlightDump(path, d);
+        EXPECT_FALSE(r);
+        EXPECT_FALSE(r.message().empty());
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pt::obs

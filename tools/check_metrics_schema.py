@@ -6,12 +6,19 @@ the expectations in tools/metrics_schema.json, and optionally checks a
 Chrome trace-event timeline (written by ``--trace-out``) for structural
 sanity so it is guaranteed to load in Perfetto / chrome://tracing.
 
-Usage:
-    check_metrics_schema.py METRICS_JSON [--schema SCHEMA_JSON]
-                            [--trace TRACE_JSON]
+Also validates the other observability artifacts: a timeseries JSONL
+file (written by ``--timeseries-out``) and a flight-recorder bundle
+(written on a crash/divergence/watchdog trigger or via ``palmtrace
+report --postmortem``).
 
-Exits 0 when every check passes, 1 otherwise, listing each failure.
-Standard library only.
+Usage:
+    check_metrics_schema.py [METRICS_JSON] [--schema SCHEMA_JSON]
+                            [--trace TRACE_JSON]
+                            [--timeseries TS_JSONL]
+                            [--flightrec BUNDLE_JSON]
+
+At least one artifact must be given. Exits 0 when every check passes,
+1 otherwise, listing each failure. Standard library only.
 """
 
 import argparse
@@ -60,11 +67,18 @@ def check_metrics(doc, schema):
         if name not in histograms:
             fail("metrics: required histogram %r is missing" % name)
 
+    percentiles = schema.get("histogram_percentiles",
+                             ["p50", "p95", "p99"])
     for name, h in histograms.items():
-        for field in ("count", "sum", "min", "max", "mean", "stddev",
-                      "buckets"):
+        for field in (["count", "sum", "min", "max", "mean", "stddev",
+                       "buckets"] + list(percentiles)):
             if field not in h:
                 fail("metrics: histogram %r lacks %r" % (name, field))
+        ps = [h.get(p) for p in percentiles]
+        if all(isinstance(p, numbers.Real) for p in ps):
+            if sorted(ps) != ps:
+                fail("metrics: histogram %r percentiles not "
+                     "monotone: %r" % (name, ps))
         total = 0
         for b in h.get("buckets", []):
             if (not isinstance(b, list) or len(b) != 3
@@ -122,25 +136,153 @@ def check_trace(doc):
             fail("trace: expected span %r not present" % expected)
 
 
+def check_timeseries(path, spec):
+    """Validate a --timeseries-out JSONL file line by line."""
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        fail("timeseries: %s is empty" % path)
+        return
+    try:
+        header = json.loads(lines[0])
+    except ValueError as e:
+        fail("timeseries: bad header line: %s" % e)
+        return
+    if header.get("schema") != spec["schema"]:
+        fail("timeseries: schema tag is %r, want %r"
+             % (header.get("schema"), spec["schema"]))
+    for field in spec["required_header"]:
+        if field not in header:
+            fail("timeseries: header lacks %r" % field)
+    if header.get("domain") not in spec["domains"]:
+        fail("timeseries: unknown domain %r" % header.get("domain"))
+    width = header.get("interval")
+    if not isinstance(width, int) or width <= 0:
+        fail("timeseries: interval %r is not a positive integer"
+             % width)
+        return
+
+    int_cols = set(spec["integer_columns"])
+    prev_idx = -1
+    for n, line in enumerate(lines[1:], start=2):
+        try:
+            row = json.loads(line)
+        except ValueError as e:
+            fail("timeseries: line %d is not JSON: %s" % (n, e))
+            continue
+        for col in spec["required_columns"]:
+            if col not in row:
+                fail("timeseries: line %d lacks column %r" % (n, col))
+                continue
+            v = row[col]
+            if col in int_cols:
+                if not isinstance(v, int) or v < 0:
+                    fail("timeseries: line %d column %r is %r, want "
+                         "a non-negative integer" % (n, col, v))
+            elif not isinstance(v, numbers.Real):
+                fail("timeseries: line %d column %r is %r, want a "
+                     "number" % (n, col, v))
+        idx = row.get("interval")
+        if isinstance(idx, int):
+            if idx <= prev_idx:
+                fail("timeseries: line %d interval %d not ascending"
+                     % (n, idx))
+            prev_idx = idx
+            if row.get("start") != idx * width:
+                fail("timeseries: line %d start %r != interval %d * "
+                     "width %d" % (n, row.get("start"), idx, width))
+        refs = row.get("ram_refs", 0) + row.get("flash_refs", 0)
+        kinds = (row.get("ifetch", 0) + row.get("dread", 0)
+                 + row.get("dwrite", 0))
+        if refs != kinds:
+            fail("timeseries: line %d ram+flash %d != "
+                 "ifetch+dread+dwrite %d" % (n, refs, kinds))
+        frac = row.get("flash_fraction", 0)
+        if refs and isinstance(frac, numbers.Real):
+            want = row.get("flash_refs", 0) / refs
+            if abs(frac - want) > 1e-9:
+                fail("timeseries: line %d flash_fraction %r != %r"
+                     % (n, frac, want))
+
+
+def check_flightrec(doc, spec):
+    """Validate a flight-recorder dump bundle."""
+    for field in spec["required_fields"]:
+        if field not in doc:
+            fail("flightrec: missing field %r" % field)
+    if doc.get("schema") != spec["schema"]:
+        fail("flightrec: schema tag is %r, want %r"
+             % (doc.get("schema"), spec["schema"]))
+    reason = doc.get("reason")
+    if not isinstance(reason, str) or not reason:
+        fail("flightrec: reason %r is not a non-empty string"
+             % reason)
+    cap = doc.get("capacity")
+    if not isinstance(cap, int) or cap <= 0 or cap & (cap - 1):
+        fail("flightrec: capacity %r is not a positive power of two"
+             % cap)
+    threads = doc.get("threads")
+    if not isinstance(threads, list):
+        fail("flightrec: threads is not a list")
+        return
+    kinds = set(spec["entry_kinds"])
+    total = 0
+    for t, th in enumerate(threads):
+        if not isinstance(th.get("tid"), int):
+            fail("flightrec: thread %d has no integer tid" % t)
+        entries = th.get("entries")
+        if not isinstance(entries, list):
+            fail("flightrec: thread %d has no entries list" % t)
+            continue
+        if isinstance(cap, int) and len(entries) > cap:
+            fail("flightrec: thread %d holds %d entries > capacity %d"
+                 % (t, len(entries), cap))
+        total += len(entries)
+        for i, e in enumerate(entries):
+            if e.get("kind") not in kinds:
+                fail("flightrec: thread %d entry %d has unknown kind "
+                     "%r" % (t, i, e.get("kind")))
+            for field in ("value", "cycle"):
+                if not isinstance(e.get(field), int) \
+                        or e.get(field) < 0:
+                    fail("flightrec: thread %d entry %d field %r is "
+                         "%r, want a non-negative integer"
+                         % (t, i, field, e.get(field)))
+    if total == 0:
+        fail("flightrec: bundle holds no entries at all")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("metrics", help="metrics JSON from --metrics-out")
+    ap.add_argument("metrics", nargs="?", default=None,
+                    help="metrics JSON from --metrics-out")
     ap.add_argument("--schema",
                     default=os.path.join(os.path.dirname(__file__),
                                          "metrics_schema.json"))
     ap.add_argument("--trace", default=None,
                     help="also check a --trace-out timeline")
+    ap.add_argument("--timeseries", default=None,
+                    help="also check a --timeseries-out JSONL series")
+    ap.add_argument("--flightrec", default=None,
+                    help="also check a flight-recorder dump bundle")
     args = ap.parse_args()
+    if not (args.metrics or args.trace or args.timeseries
+            or args.flightrec):
+        ap.error("nothing to check: give METRICS_JSON, --trace, "
+                 "--timeseries, or --flightrec")
 
     with open(args.schema) as f:
         schema = json.load(f)
-    try:
-        with open(args.metrics) as f:
-            doc = json.load(f)
-    except (OSError, ValueError) as e:
-        print("FAIL: cannot parse %s: %s" % (args.metrics, e))
-        return 1
-    check_metrics(doc, schema)
+    checked = []
+    if args.metrics:
+        try:
+            with open(args.metrics) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print("FAIL: cannot parse %s: %s" % (args.metrics, e))
+            return 1
+        check_metrics(doc, schema)
+        checked.append(args.metrics)
 
     if args.trace:
         try:
@@ -150,15 +292,33 @@ def main():
             print("FAIL: cannot parse %s: %s" % (args.trace, e))
             return 1
         check_trace(tdoc)
+        checked.append(args.trace)
+
+    if args.timeseries:
+        try:
+            check_timeseries(args.timeseries, schema["timeseries"])
+        except OSError as e:
+            print("FAIL: cannot read %s: %s" % (args.timeseries, e))
+            return 1
+        checked.append(args.timeseries)
+
+    if args.flightrec:
+        try:
+            with open(args.flightrec) as f:
+                fdoc = json.load(f)
+        except (OSError, ValueError) as e:
+            print("FAIL: cannot parse %s: %s" % (args.flightrec, e))
+            return 1
+        check_flightrec(fdoc, schema["flightrec"])
+        checked.append(args.flightrec)
 
     if errors:
         for e in errors:
             print("FAIL:", e)
         print("%d check(s) failed" % len(errors))
         return 1
-    print("ok: %s conforms to %s%s"
-          % (args.metrics, schema["schema"],
-             " (+ trace %s)" % args.trace if args.trace else ""))
+    print("ok: %s conform(s) to the palmtrace observability schemas"
+          % ", ".join(checked))
     return 0
 
 

@@ -61,6 +61,11 @@
  *   palmtrace disasm [--count N]
  *       disassemble the front of the PilotOS ROM (sanity/debugging)
  *
+ *   palmtrace report [--metrics M.json] [--timeseries T.jsonl]
+ *                    [--journal J] [--postmortem P.json] [--out FILE]
+ *       join a run's observability artifacts into one markdown
+ *       report (any subset of inputs; stdout when --out is omitted)
+ *
  * Observability options, accepted by every subcommand:
  *
  *   --jobs N             worker threads for the parallel stages
@@ -69,6 +74,17 @@
  *   --metrics-out FILE   write the metrics registry as JSON on exit
  *   --trace-out FILE     record a Chrome trace-event timeline (open in
  *                        Perfetto / chrome://tracing) and write it
+ *   --timeseries-out FILE
+ *                        simulated-time telemetry: per-interval
+ *                        cycles/instructions/refs/cache/energy rows
+ *                        as JSONL (or CSV when FILE ends in .csv);
+ *                        accepted by replay, sweep, and epoch run
+ *   --ts-interval N      timeseries interval width (cycles; refs for
+ *                        the sweep's reference-index domain)
+ *   --postmortem FILE    arm the flight recorder: on the first
+ *                        failure trigger (divergence, watchdog stall,
+ *                        quarantine, crash hook, fatal signal) the
+ *                        last moments of every thread dump to FILE
  *   --quiet / --verbose  lower / raise log verbosity (see also the
  *                        PT_LOG_LEVEL environment variable)
  *
@@ -81,14 +97,17 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "base/cancel.h"
+#include "base/json.h"
 #include "base/logging.h"
 #include "base/table.h"
 #include "base/threadpool.h"
@@ -99,8 +118,11 @@
 #include "epoch/epochplan.h"
 #include "epoch/epochrunner.h"
 #include "m68k/disasm.h"
+#include "obs/flightrec.h"
 #include "obs/profile.h"
+#include "obs/ratewindow.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "super/jobs.h"
 #include "super/journal.h"
@@ -130,6 +152,17 @@ onSigint(int)
     gSigint.requestCancel(); // async-signal-safe: one atomic store
 }
 
+/** A fatal signal's only job before re-raising: flush the flight
+ *  recorder so the crash leaves a postmortem bundle behind. A no-op
+ *  (beyond re-raising) when the recorder was never armed. */
+extern "C" void
+onFatalSignal(int sig)
+{
+    obs::FlightRecorder::global().dumpOnTrigger("fatal_signal");
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
 /** Exit code for a run the user interrupted (128 + SIGINT). */
 constexpr int kExitInterrupted = 130;
 
@@ -153,6 +186,8 @@ struct Args
             "--epochs", "--every-events", "--every-cycles",
             "--retries", "--deadline",    "--max-retries",
             "--journal",
+            "--timeseries-out", "--ts-interval", "--postmortem",
+            "--metrics", "--timeseries",
         };
         for (const char *f : kValueFlags)
             if (!std::strcmp(flag, f))
@@ -205,7 +240,7 @@ struct Args
 
 const char *const kSubcommands[] = {
     "collect", "info", "replay", "validate", "fsck",  "stats",
-    "sweep",   "trace", "epoch", "resume",   "disasm",
+    "sweep",   "trace", "epoch", "resume",   "disasm", "report",
 };
 
 void
@@ -263,6 +298,10 @@ printUsage(std::FILE *to)
         "                     re-runs the rest, finalizes the same\n"
         "                     output an uninterrupted run writes\n"
         "  disasm [--count N] disassemble the PilotOS ROM\n"
+        "  report [--metrics M.json] [--timeseries T.jsonl]\n"
+        "         [--journal J] [--postmortem P.json] [--out FILE]\n"
+        "                     join a run's observability artifacts\n"
+        "                     into one markdown run report\n"
         "  help               print this message\n"
         "\n"
         "supervised-job options (epoch run, sweep --packed):\n"
@@ -277,6 +316,14 @@ printUsage(std::FILE *to)
         "                       (also: PT_JOBS; 1 forces sequential)\n"
         "  --metrics-out FILE   write the metrics registry as JSON\n"
         "  --trace-out FILE     write a Chrome/Perfetto trace timeline\n"
+        "  --timeseries-out FILE\n"
+        "                       simulated-time telemetry (JSONL, or\n"
+        "                       CSV when FILE ends in .csv); replay,\n"
+        "                       sweep, and epoch run\n"
+        "  --ts-interval N      timeseries interval width in cycles\n"
+        "                       (refs for the sweep domain)\n"
+        "  --postmortem FILE    arm the flight recorder; failure\n"
+        "                       triggers dump the bundle to FILE\n"
         "  --quiet | --verbose  log verbosity (also: PT_LOG_LEVEL=\n"
         "                       quiet|warn|info|debug)\n");
 }
@@ -334,7 +381,11 @@ unknownSubcommand(const std::string &cmd)
 /** Wall-clock heartbeat printer for long replays. Reports progress
  *  in emulated cycles — the quantity replay wall time is actually
  *  proportional to — with a cycle-rate ETA, and tags the owning
- *  epoch when epoch-parallel workers report concurrently. */
+ *  epoch when epoch-parallel workers report concurrently. Rates and
+ *  the ETA come from a sliding window over recent reports (one
+ *  window per reporting epoch), not the run-lifetime average, so
+ *  they converge on the current pace instead of being dragged by a
+ *  slow warm-up or an early fast phase. */
 class Heartbeat
 {
   public:
@@ -365,20 +416,22 @@ class Heartbeat
         if (secs <= 0.0)
             return;
         // Concurrent epoch workers share one heartbeat; serialize the
-        // lines so they never interleave mid-record.
+        // lines so they never interleave mid-record. Each epoch's
+        // positions advance independently, so each gets its own
+        // rate windows.
         std::lock_guard<std::mutex> lock(mutex);
-        double evRate = static_cast<double>(p.eventsDelivered) / secs;
-        double cycRate = static_cast<double>(p.cycles) / secs;
+        Windows &w = windows[p.epochId];
+        w.events.add(secs, static_cast<double>(p.eventsDelivered));
+        w.cycles.add(secs, static_cast<double>(p.cycles));
+        double evRate = w.events.rate();
+        double cycRate = w.cycles.rate();
         // The replay ends around the last scheduled event (plus a
         // short settle), so the final emulated-cycle position is
         // known up front — unlike wall time, which depends on host
         // load, this ETA is derived from emulated progress.
         u64 finalCycles = p.finalTick * kCyclesPerTick;
-        double eta = 0.0;
-        if (p.cycles > 0 && finalCycles > p.cycles) {
-            eta = static_cast<double>(finalCycles - p.cycles) /
-                  cycRate;
-        }
+        double eta = std::max(
+            0.0, w.cycles.etaSeconds(static_cast<double>(finalCycles)));
         char tag[24] = "";
         if (p.epochId >= 0)
             std::snprintf(tag, sizeof(tag), " [epoch %d]", p.epochId);
@@ -393,8 +446,15 @@ class Heartbeat
             cycRate / 1e6, eta);
     }
 
+    struct Windows
+    {
+        obs::RateWindow events;
+        obs::RateWindow cycles;
+    };
+
     std::chrono::steady_clock::time_point start;
     std::mutex mutex;
+    std::map<int, Windows> windows; ///< keyed by epochId (-1 = whole)
 };
 
 /** Publishes one simulated cache level into the registry. */
@@ -446,6 +506,170 @@ profileHierarchy()
     l2.lineBytes = 32;
     l2.assoc = 8;
     return cache::TwoLevelCache(l1, l2);
+}
+
+// ---------------------------------------------------------------------
+// Simulated-time telemetry plumbing shared by replay/sweep/epoch.
+
+/** Parses --ts-interval. @return 0 on a bad value (caller reports). */
+u64
+tsIntervalArg(const Args &a)
+{
+    const char *arg = a.value("--ts-interval");
+    if (!arg)
+        return obs::Timeseries::kDefaultIntervalCycles;
+    return std::strtoull(arg, nullptr, 0);
+}
+
+bool
+writeTimeseries(const obs::Timeseries &ts, const char *path,
+                const char *what)
+{
+    std::string err;
+    if (!ts.writeFile(path, &err)) {
+        std::fprintf(stderr, "%s: timeseries: %s\n", what,
+                     err.c_str());
+        return false;
+    }
+    std::fprintf(stderr, "timeseries written to %s (%zu intervals)\n",
+                 path, ts.rows().size());
+    return true;
+}
+
+/**
+ * Fills an epoch-merged series' cache columns from the stitched
+ * trace. The stitched PTPK stream is byte-identical to what a
+ * sequential profiled replay emits, and the merged per-interval
+ * ram+flash counts partition that stream exactly as the sequential
+ * run's per-ref cycle attribution did — so streaming the records
+ * through an identically-configured hierarchy, switching intervals
+ * at the partition boundaries, reproduces the sequential inline
+ * cache columns (DESIGN.md §14).
+ */
+bool
+addStitchedCacheColumns(obs::Timeseries &ts, const char *tracePath,
+                        const char *what)
+{
+    cache::TwoLevelCache hier = profileHierarchy();
+    trace::PackedTraceReader reader;
+    if (auto r = reader.open(tracePath); !r) {
+        std::fprintf(stderr, "%s: timeseries: %s: %s\n", what,
+                     tracePath, r.message().c_str());
+        return false;
+    }
+    std::vector<trace::TraceRecord> block;
+    std::size_t pos = 0;
+    auto next = [&](trace::TraceRecord &rec) -> bool {
+        while (pos >= block.size()) {
+            if (!reader.nextBlock(block))
+                return false;
+            pos = 0;
+        }
+        rec = block[pos++];
+        return true;
+    };
+
+    // Snapshot the partition first: addCacheAt touches the rows the
+    // counts came from.
+    std::vector<std::pair<u64, u64>> partition;
+    for (const auto &[idx, row] : ts.rows())
+        partition.emplace_back(idx, row.ramRefs + row.flashRefs);
+
+    for (const auto &[idx, refs] : partition) {
+        u64 l1h = 0, l1m = 0, l2h = 0, l2m = 0;
+        for (u64 i = 0; i < refs; ++i) {
+            trace::TraceRecord rec;
+            if (!next(rec)) {
+                std::fprintf(stderr,
+                             "%s: timeseries: stitched trace ends "
+                             "before the series' reference count\n",
+                             what);
+                return false;
+            }
+            const bool isFlash = rec.cls == 1;
+            if (hier.l1().access(rec.addr, isFlash)) {
+                ++l1h;
+            } else {
+                ++l1m;
+                if (hier.l2().access(rec.addr, isFlash))
+                    ++l2h;
+                else
+                    ++l2m;
+            }
+        }
+        ts.addCacheAt(idx, l1h, l1m, l2h, l2m);
+    }
+    if (auto &r = reader.status(); !r) {
+        std::fprintf(stderr, "%s: timeseries: %s: %s\n", what,
+                     tracePath, r.message().c_str());
+        return false;
+    }
+    trace::TraceRecord rec;
+    if (next(rec)) {
+        std::fprintf(stderr,
+                     "%s: timeseries: stitched trace holds more "
+                     "references than the series counted\n",
+                     what);
+        return false;
+    }
+    return true;
+}
+
+/** Feeds Ram/Flash references into a reference-domain series (the
+ *  sweep's telemetry: mix and energy per fixed count of refs). */
+class RefsTsSink final : public device::MemRefSink
+{
+  public:
+    explicit RefsTsSink(obs::Timeseries &ts)
+        : ts(ts)
+    {}
+
+    void
+    onRef(Addr, m68k::AccessKind kind, device::RefClass cls) override
+    {
+        if (cls != device::RefClass::Ram &&
+            cls != device::RefClass::Flash)
+            return;
+        const obs::TsRef k =
+            kind == m68k::AccessKind::Fetch ? obs::TsRef::Ifetch
+            : kind == m68k::AccessKind::Write ? obs::TsRef::Dwrite
+                                              : obs::TsRef::Dread;
+        ts.addRef(0, k, cls == device::RefClass::Flash);
+    }
+
+  private:
+    obs::Timeseries &ts;
+};
+
+/** Streams a packed trace into a reference-domain series (the packed
+ *  sweep's telemetry pass — every sweep shard consumed the identical
+ *  stream, so one pass serves all 56 configurations). */
+bool
+packedTraceToRefSeries(const char *path, obs::Timeseries &ts,
+                       const char *what)
+{
+    trace::PackedTraceReader reader;
+    if (auto r = reader.open(path); !r) {
+        std::fprintf(stderr, "%s: timeseries: %s: %s\n", what, path,
+                     r.message().c_str());
+        return false;
+    }
+    std::vector<trace::TraceRecord> block;
+    while (reader.nextBlock(block)) {
+        for (const auto &rec : block) {
+            const obs::TsRef k = rec.kind == 0 ? obs::TsRef::Ifetch
+                                 : rec.kind == 2
+                                     ? obs::TsRef::Dwrite
+                                     : obs::TsRef::Dread;
+            ts.addRef(0, k, rec.cls == 1);
+        }
+    }
+    if (auto &r = reader.status(); !r) {
+        std::fprintf(stderr, "%s: timeseries: %s: %s\n", what, path,
+                     r.message().c_str());
+        return false;
+    }
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -631,6 +855,18 @@ cmdReplayEpochs(const Args &a, const core::Session &s)
         std::strtoul(a.value("--retries", "2"), nullptr, 0));
     ro.keepShards = a.has("--keep-shards");
     ro.cancel = &gSigint;
+    const char *tsOut = a.value("--timeseries-out");
+    std::unique_ptr<obs::Timeseries> ts;
+    if (tsOut) {
+        u64 w = tsIntervalArg(a);
+        if (!w) {
+            std::fprintf(stderr,
+                         "replay: --ts-interval must be positive\n");
+            return 2;
+        }
+        ts = std::make_unique<obs::Timeseries>(w);
+        ro.timeseries = ts.get();
+    }
     Heartbeat hb;
     if (!a.has("--quiet")) {
         ro.progress = hb.handler();
@@ -642,6 +878,11 @@ cmdReplayEpochs(const Args &a, const core::Session &s)
         return run.interrupted ? kExitInterrupted : 1;
     }
     printEpochRun(run, packOut);
+    if (ts) {
+        if (!addStitchedCacheColumns(*ts, packOut, "replay") ||
+            !writeTimeseries(*ts, tsOut, "replay"))
+            return 1;
+    }
 
     if (a.has("--profile")) {
         // Profiling from the stitched stream: byte-identical to the
@@ -717,6 +958,26 @@ cmdReplay(const Args &a)
     }
     if (profile || packOut)
         cfg.extraRefSink = &tee;
+
+    // Simulated-time telemetry: the replay engine observes CPU
+    // progress at its event-meter points and the core attributes
+    // each reference (and its cache outcome, via a dedicated
+    // hierarchy identical to the epoch post-stitch pass's) to the
+    // interval holding its cycle.
+    const char *tsOut = a.value("--timeseries-out");
+    std::unique_ptr<obs::Timeseries> ts;
+    cache::TwoLevelCache tsHier = profileHierarchy();
+    if (tsOut) {
+        u64 w = tsIntervalArg(a);
+        if (!w) {
+            std::fprintf(stderr,
+                         "replay: --ts-interval must be positive\n");
+            return 2;
+        }
+        ts = std::make_unique<obs::Timeseries>(w);
+        cfg.timeseries = ts.get();
+        cfg.tsHierarchy = &tsHier;
+    }
 
     Heartbeat hb;
     if (!a.has("--quiet"))
@@ -801,6 +1062,8 @@ cmdReplay(const Args &a)
                     hier.l2().config().name().c_str(),
                     hier.avgAccessTime());
     }
+    if (ts && !writeTimeseries(*ts, tsOut, "replay"))
+        return 1;
     return 0;
 }
 
@@ -940,6 +1203,227 @@ statsForEpochPlan(const std::string &path, TextTable &t)
         .inc();
 }
 
+bool
+readFileText(const char *path, std::string &out)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f)
+        return false;
+    char buf[1 << 16];
+    for (;;) {
+        std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+        out.append(buf, n);
+        if (n < sizeof(buf))
+            break;
+    }
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+/** The JSON telemetry artifacts carry their schema tag up front;
+ *  peeking at the head routes them to the right summarizer. */
+std::string
+sniffJsonSchema(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f)
+        return {};
+    char buf[128];
+    std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    const std::string head(buf);
+    if (head.find("palmtrace-timeseries-v1") != std::string::npos)
+        return "timeseries";
+    if (head.find("palmtrace-flightrec-v1") != std::string::npos)
+        return "flightrec";
+    return {};
+}
+
+/** Interpolated percentile over an unsorted sample (exact, unlike
+ *  the registry histogram's bucket interpolation). */
+double
+samplePercentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    if (p <= 0.0)
+        return v.front();
+    if (p >= 1.0)
+        return v.back();
+    const double t = p * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(t);
+    const double frac = t - static_cast<double>(lo);
+    if (lo + 1 >= v.size())
+        return v.back();
+    return v[lo] + (v[lo + 1] - v[lo]) * frac;
+}
+
+/** Aggregates over a timeseries JSONL file, shared by `stats` and
+ *  `report`. */
+struct TsSummary
+{
+    bool ok = false;
+    std::string error;
+    std::string domain;
+    u64 interval = 0;
+    u64 intervals = 0;
+    u64 instructions = 0, cycles = 0, ram = 0, flash = 0, events = 0;
+    u64 l1h = 0, l1m = 0, l2h = 0, l2m = 0;
+    double energy = 0.0;
+    std::vector<double> ipc; ///< per-interval, cycle intervals only
+};
+
+TsSummary
+summarizeTimeseries(const char *path)
+{
+    TsSummary s;
+    std::string text;
+    if (!readFileText(path, text)) {
+        s.error = std::string("cannot read '") + path + "'";
+        return s;
+    }
+    std::size_t pos = 0;
+    json::JsonValue header;
+    if (auto r = json::parseOne(text, pos, header); !r) {
+        s.error = r.message();
+        return s;
+    }
+    if (header.stringOr("schema", "") != "palmtrace-timeseries-v1") {
+        s.error = "not a palmtrace-timeseries-v1 file";
+        return s;
+    }
+    s.domain = header.stringOr("domain", "?");
+    s.interval = header.u64Or("interval", 0);
+    // parseOne stops at line ends (that is what makes it a JSONL
+    // reader); the loop owns stepping over them.
+    auto skipLines = [&] {
+        while (pos < text.size() &&
+               (text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    };
+    skipLines();
+    while (pos < text.size()) {
+        json::JsonValue row;
+        if (auto r = json::parseOne(text, pos, row); !r) {
+            s.error = r.message();
+            return s;
+        }
+        ++s.intervals;
+        s.instructions += row.u64Or("instructions", 0);
+        const u64 c = row.u64Or("cycles", 0);
+        s.cycles += c;
+        s.ram += row.u64Or("ram_refs", 0);
+        s.flash += row.u64Or("flash_refs", 0);
+        s.events += row.u64Or("events", 0);
+        s.l1h += row.u64Or("l1_hits", 0);
+        s.l1m += row.u64Or("l1_misses", 0);
+        s.l2h += row.u64Or("l2_hits", 0);
+        s.l2m += row.u64Or("l2_misses", 0);
+        s.energy += row.numberOr("energy_mj", 0.0);
+        if (c > 0)
+            s.ipc.push_back(row.numberOr("ipc", 0.0));
+        skipLines();
+    }
+    s.ok = true;
+    return s;
+}
+
+/** `stats` on a timeseries JSONL artifact: totals plus the
+ *  per-interval IPC distribution (p50/p95/p99). */
+int
+statsForTimeseriesFile(const char *path)
+{
+    TsSummary sum = summarizeTimeseries(path);
+    if (!sum.ok) {
+        std::fprintf(stderr, "stats: %s: %s\n", path,
+                     sum.error.c_str());
+        return 1;
+    }
+    const u64 intervals = sum.intervals;
+    const u64 instructions = sum.instructions, cycles = sum.cycles;
+    const u64 ram = sum.ram, flash = sum.flash, events = sum.events;
+    const u64 l1h = sum.l1h, l1m = sum.l1m, l2h = sum.l2h,
+              l2m = sum.l2m;
+    const double energy = sum.energy;
+    const std::vector<double> &ipc = sum.ipc;
+
+    TextTable t("Timeseries summary");
+    t.setHeader({"Quantity", "Value"});
+    t.addRow({"domain", sum.domain});
+    t.addRow({"interval width", std::to_string(sum.interval)});
+    t.addRow({"intervals", std::to_string(intervals)});
+    t.addRow({"instructions", std::to_string(instructions)});
+    t.addRow({"cycles", std::to_string(cycles)});
+    t.addRow({"RAM refs", std::to_string(ram)});
+    t.addRow({"flash refs", std::to_string(flash)});
+    if (ram + flash) {
+        t.addRow({"flash fraction",
+                  TextTable::percent(
+                      static_cast<double>(flash) /
+                          static_cast<double>(ram + flash),
+                      2)});
+    }
+    if (l1h + l1m) {
+        t.addRow({"L1 miss rate",
+                  TextTable::percent(
+                      static_cast<double>(l1m) /
+                          static_cast<double>(l1h + l1m),
+                      3)});
+    }
+    if (l2h + l2m) {
+        t.addRow({"L2 miss rate",
+                  TextTable::percent(
+                      static_cast<double>(l2m) /
+                          static_cast<double>(l2h + l2m),
+                      3)});
+    }
+    t.addRow({"events", std::to_string(events)});
+    t.addRow({"energy (mJ)", TextTable::num(energy, 3)});
+    if (!ipc.empty()) {
+        t.addRow({"IPC p50",
+                  TextTable::num(samplePercentile(ipc, 0.50), 4)});
+        t.addRow({"IPC p95",
+                  TextTable::num(samplePercentile(ipc, 0.95), 4)});
+        t.addRow({"IPC p99",
+                  TextTable::num(samplePercentile(ipc, 0.99), 4)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+/** `stats` on a flight-recorder bundle: trigger, threads, and the
+ *  per-kind entry mix. */
+int
+statsForFlightDumpFile(const char *path)
+{
+    obs::FlightDump dump;
+    if (auto r = obs::loadFlightDump(path, dump); !r) {
+        std::fprintf(stderr, "stats: %s: %s\n", path,
+                     r.message().c_str());
+        return 1;
+    }
+    std::map<std::string, u64> byKind;
+    u64 total = 0;
+    for (const auto &th : dump.threads) {
+        total += th.entries.size();
+        for (const auto &e : th.entries)
+            ++byKind[e.kind];
+    }
+    TextTable t("Flight-recorder bundle");
+    t.setHeader({"Quantity", "Value"});
+    t.addRow({"trigger", dump.reason});
+    t.addRow({"ring capacity", std::to_string(dump.capacity)});
+    t.addRow({"threads", std::to_string(dump.threads.size())});
+    t.addRow({"entries", std::to_string(total)});
+    for (const auto &[kind, n] : byKind)
+        t.addRow({"entries: " + kind, std::to_string(n)});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
 int
 cmdStats(const Args &a)
 {
@@ -949,6 +1433,14 @@ cmdStats(const Args &a)
                      "stats: missing FILE or session BASE operand\n");
         return 2;
     }
+    // The JSON telemetry artifacts (timeseries, flight-recorder
+    // bundles) are not framed like the binary artifacts; their
+    // schema tag routes them to dedicated summarizers.
+    const std::string schema = sniffJsonSchema(target);
+    if (schema == "timeseries")
+        return statsForTimeseriesFile(target);
+    if (schema == "flightrec")
+        return statsForFlightDumpFile(target);
     TextTable t("Artifact statistics");
     t.setHeader({"Artifact", "Quantity", "Value"});
     bool allClean = true;
@@ -1088,6 +1580,14 @@ cmdSweepPacked(const Args &a, const char *path)
     // journal makes the sweep resumable after a crash.
     if (a.value("--journal") || a.value("--deadline") ||
         a.value("--max-retries")) {
+        if (a.value("--timeseries-out")) {
+            std::fprintf(
+                stderr,
+                "sweep: --timeseries-out is not supported with "
+                "supervised (journalled) runs — a resumed run skips "
+                "finished configurations; use the plain sweep\n");
+            return 2;
+        }
         const char *out = a.value("--out");
         if (!out) {
             std::fprintf(stderr,
@@ -1179,6 +1679,18 @@ cmdSweepPacked(const Args &a, const char *path)
     std::fprintf(stderr, "%llu refs from %s (%s) in %.2fs\n",
                  static_cast<unsigned long long>(res.refs), path, mode,
                  secs);
+    if (const char *tsOut = a.value("--timeseries-out")) {
+        u64 w = tsIntervalArg(a);
+        if (!w) {
+            std::fprintf(stderr,
+                         "sweep: --ts-interval must be positive\n");
+            return 2;
+        }
+        obs::Timeseries ts(w, obs::Timeseries::Domain::Refs);
+        if (!packedTraceToRefSeries(path, ts, "sweep") ||
+            !writeTimeseries(ts, tsOut, "sweep"))
+            return 1;
+    }
     return 0;
 }
 
@@ -1195,7 +1707,28 @@ cmdSweep(const Args &a)
     cache::CacheSweep sweep(cache::CacheSweep::paper56());
     SweepSink sink(sweep);
     core::ReplayConfig cfg;
-    cfg.extraRefSink = &sink;
+    trace::TeeSink tee;
+    tee.add(&sink);
+    cfg.extraRefSink = &tee;
+
+    // Sweep telemetry uses the reference-index domain: interval k
+    // covers refs [k*W, (k+1)*W), and only the mix/energy columns
+    // are meaningful (a cache sweep has no single timeline).
+    const char *tsOut = a.value("--timeseries-out");
+    std::unique_ptr<obs::Timeseries> ts;
+    std::unique_ptr<RefsTsSink> tsSink;
+    if (tsOut) {
+        u64 w = tsIntervalArg(a);
+        if (!w) {
+            std::fprintf(stderr,
+                         "sweep: --ts-interval must be positive\n");
+            return 2;
+        }
+        ts = std::make_unique<obs::Timeseries>(
+            w, obs::Timeseries::Domain::Refs);
+        tsSink = std::make_unique<RefsTsSink>(*ts);
+        tee.add(tsSink.get());
+    }
 
     Heartbeat hb;
     if (!a.has("--quiet"))
@@ -1208,6 +1741,8 @@ cmdSweep(const Args &a)
         return kExitInterrupted;
     }
     sweep.finish();
+    if (ts && !writeTimeseries(*ts, tsOut, "sweep"))
+        return 1;
 
     TextTable t("56-configuration sweep (miss rate %, T_eff cycles)");
     t.setHeader({"Config", "Miss rate", "T_eff", "vs no cache"});
@@ -1777,6 +2312,16 @@ cmdEpochRun(const Args &a, const std::vector<const char *> &ops)
     // loop) untouched.
     if (a.value("--journal") || a.value("--deadline") ||
         a.value("--max-retries")) {
+        if (a.value("--timeseries-out")) {
+            std::fprintf(
+                stderr,
+                "epoch run: --timeseries-out is not supported with "
+                "supervised (journalled) runs — a resumed run skips "
+                "finished epochs, so their telemetry would be "
+                "missing; use the plain 'epoch run' or 'replay "
+                "--epochs'\n");
+            return 2;
+        }
         super::JobOptions jo = jobOptionsFrom(a);
         jo.blockCapacity = cap;
         jo.keepShards = a.has("--keep-shards");
@@ -1796,6 +2341,18 @@ cmdEpochRun(const Args &a, const std::vector<const char *> &ops)
         std::strtoul(a.value("--retries", "2"), nullptr, 0));
     ro.keepShards = a.has("--keep-shards");
     ro.cancel = &gSigint;
+    const char *tsOut = a.value("--timeseries-out");
+    std::unique_ptr<obs::Timeseries> ts;
+    if (tsOut) {
+        u64 w = tsIntervalArg(a);
+        if (!w) {
+            std::fprintf(stderr,
+                         "epoch run: --ts-interval must be positive\n");
+            return 2;
+        }
+        ts = std::make_unique<obs::Timeseries>(w);
+        ro.timeseries = ts.get();
+    }
     Heartbeat hb;
     if (!a.has("--quiet")) {
         ro.progress = hb.handler();
@@ -1807,6 +2364,11 @@ cmdEpochRun(const Args &a, const std::vector<const char *> &ops)
         return run.interrupted ? kExitInterrupted : 1;
     }
     printEpochRun(run, out);
+    if (ts) {
+        if (!addStitchedCacheColumns(*ts, out, "epoch run") ||
+            !writeTimeseries(*ts, tsOut, "epoch run"))
+            return 1;
+    }
     return run.divergences.empty() ? 0 : 1;
 }
 
@@ -1890,6 +2452,281 @@ cmdDisasm(const Args &a)
     return 0;
 }
 
+/** Appends one `- key: value` bullet to the report body. */
+void
+mdBullet(std::string &md, const std::string &key,
+         const std::string &value)
+{
+    md += "- " + key + ": " + value + "\n";
+}
+
+/** `report --metrics FILE`: the counters and histogram percentiles
+ *  section. */
+bool
+reportMetricsSection(std::string &md, const char *path)
+{
+    std::string text;
+    if (!readFileText(path, text)) {
+        std::fprintf(stderr, "report: cannot read '%s'\n", path);
+        return false;
+    }
+    json::JsonValue doc;
+    if (auto r = json::parse(text, doc); !r) {
+        std::fprintf(stderr, "report: %s: %s\n", path,
+                     r.message().c_str());
+        return false;
+    }
+    if (doc.stringOr("schema", "") != "palmtrace-metrics-v1") {
+        std::fprintf(stderr,
+                     "report: %s: not a palmtrace-metrics-v1 file\n",
+                     path);
+        return false;
+    }
+
+    md += "\n## Metrics\n\n";
+    mdBullet(md, "source", path);
+    if (doc.has("label"))
+        mdBullet(md, "scope label", doc.stringOr("label", ""));
+
+    const json::JsonValue &counters = doc.get("counters");
+    if (counters.isObject() && !counters.object().empty()) {
+        md += "\n| counter | value |\n|---|---:|\n";
+        for (const auto &[name, v] : counters.object()) {
+            md += "| `" + name + "` | " +
+                  std::to_string(static_cast<u64>(v.number())) +
+                  " |\n";
+        }
+    }
+
+    const json::JsonValue &gauges = doc.get("gauges");
+    if (gauges.isObject() && !gauges.object().empty()) {
+        md += "\n| gauge | value |\n|---|---:|\n";
+        for (const auto &[name, v] : gauges.object()) {
+            md += "| `" + name + "` | " +
+                  TextTable::num(v.number(), 3) + " |\n";
+        }
+    }
+
+    const json::JsonValue &hists = doc.get("histograms");
+    if (hists.isObject() && !hists.object().empty()) {
+        md += "\n| histogram | count | mean | p50 | p95 | p99 |\n"
+              "|---|---:|---:|---:|---:|---:|\n";
+        for (const auto &[name, h] : hists.object()) {
+            md += "| `" + name + "` | " +
+                  std::to_string(h.u64Or("count", 0)) + " | " +
+                  TextTable::num(h.numberOr("mean", 0), 3) + " | " +
+                  TextTable::num(h.numberOr("p50", 0), 3) + " | " +
+                  TextTable::num(h.numberOr("p95", 0), 3) + " | " +
+                  TextTable::num(h.numberOr("p99", 0), 3) + " |\n";
+        }
+    }
+    return true;
+}
+
+/** `report --timeseries FILE`: run totals plus the interval IPC
+ *  distribution, from the same aggregates `stats` prints. */
+bool
+reportTimeseriesSection(std::string &md, const char *path)
+{
+    TsSummary s = summarizeTimeseries(path);
+    if (!s.ok) {
+        std::fprintf(stderr, "report: %s: %s\n", path,
+                     s.error.c_str());
+        return false;
+    }
+    md += "\n## Timeseries\n\n";
+    mdBullet(md, "source", path);
+    mdBullet(md, "domain", s.domain);
+    mdBullet(md, "interval width", std::to_string(s.interval));
+    mdBullet(md, "intervals", std::to_string(s.intervals));
+    if (s.instructions)
+        mdBullet(md, "instructions", std::to_string(s.instructions));
+    if (s.cycles)
+        mdBullet(md, "cycles", std::to_string(s.cycles));
+    mdBullet(md, "RAM / flash refs",
+             std::to_string(s.ram) + " / " + std::to_string(s.flash));
+    if (s.ram + s.flash) {
+        mdBullet(md, "flash fraction",
+                 TextTable::percent(
+                     static_cast<double>(s.flash) /
+                         static_cast<double>(s.ram + s.flash),
+                     2));
+    }
+    if (s.l1h + s.l1m) {
+        mdBullet(md, "L1 miss rate",
+                 TextTable::percent(
+                     static_cast<double>(s.l1m) /
+                         static_cast<double>(s.l1h + s.l1m),
+                     3));
+    }
+    if (s.l2h + s.l2m) {
+        mdBullet(md, "L2 miss rate",
+                 TextTable::percent(
+                     static_cast<double>(s.l2m) /
+                         static_cast<double>(s.l2h + s.l2m),
+                     3));
+    }
+    if (s.events)
+        mdBullet(md, "events delivered", std::to_string(s.events));
+    mdBullet(md, "energy (mJ)", TextTable::num(s.energy, 3));
+    if (!s.ipc.empty()) {
+        md += "\n| IPC p50 | p95 | p99 |\n|---:|---:|---:|\n| " +
+              TextTable::num(samplePercentile(s.ipc, 0.50), 4) +
+              " | " +
+              TextTable::num(samplePercentile(s.ipc, 0.95), 4) +
+              " | " +
+              TextTable::num(samplePercentile(s.ipc, 0.99), 4) +
+              " |\n";
+    }
+    return true;
+}
+
+/** `report --journal FILE`: the supervised run's shape — spec, item
+ *  states, footer verdict. */
+bool
+reportJournalSection(std::string &md, const char *path)
+{
+    super::JournalData jd;
+    if (auto r = super::loadJournal(path, jd); !r) {
+        std::fprintf(stderr, "report: %s: %s\n", path,
+                     r.message().c_str());
+        return false;
+    }
+    md += "\n## Job journal\n\n";
+    mdBullet(md, "source", path);
+    mdBullet(md, "job kind", super::jobKindName(jd.spec.kind));
+    mdBullet(md, "items", std::to_string(jd.spec.totalItems));
+    if (!jd.spec.outPath.empty())
+        mdBullet(md, "output", jd.spec.outPath);
+    mdBullet(md, "max attempts per item",
+             std::to_string(jd.spec.maxAttempts));
+
+    std::map<std::string, u64> byState;
+    u32 maxAttempt = 0;
+    for (const super::ItemRecord &rec : jd.latestPerItem()) {
+        ++byState[super::itemStateName(rec.state)];
+        maxAttempt = std::max(maxAttempt, rec.attempt);
+    }
+    std::string states;
+    for (const auto &[name, n] : byState) {
+        if (!states.empty())
+            states += ", ";
+        states += std::to_string(n) + " " + name;
+    }
+    mdBullet(md, "item states", states);
+    if (maxAttempt > 0)
+        mdBullet(md, "deepest retry", "attempt " +
+                                          std::to_string(maxAttempt));
+    if (jd.hasFooter) {
+        mdBullet(md, "verdict",
+                 super::jobStatusName(jd.footer.status));
+        if (!jd.footer.note.empty())
+            mdBullet(md, "note", jd.footer.note);
+    } else {
+        mdBullet(md, "verdict",
+                 "no footer — the run crashed or is still going");
+    }
+    if (jd.truncatedBytes) {
+        mdBullet(md, "torn tail",
+                 std::to_string(jd.truncatedBytes) +
+                     " bytes dropped (crash mid-append)");
+    }
+    return true;
+}
+
+/** `report --postmortem FILE`: the flight-recorder bundle — trigger
+ *  plus each thread's last recorded moments. */
+bool
+reportPostmortemSection(std::string &md, const char *path)
+{
+    obs::FlightDump dump;
+    if (auto r = obs::loadFlightDump(path, dump); !r) {
+        std::fprintf(stderr, "report: %s: %s\n", path,
+                     r.message().c_str());
+        return false;
+    }
+    md += "\n## Postmortem\n\n";
+    mdBullet(md, "source", path);
+    mdBullet(md, "trigger", "**" + dump.reason + "**");
+    mdBullet(md, "threads captured",
+             std::to_string(dump.threads.size()));
+    constexpr std::size_t kTail = 8;
+    for (const obs::FlightThread &th : dump.threads) {
+        md += "\nThread `" + std::to_string(th.tid) + "` — last " +
+              std::to_string(std::min(kTail, th.entries.size())) +
+              " of " + std::to_string(th.entries.size()) +
+              " entries:\n\n";
+        const std::size_t from =
+            th.entries.size() > kTail ? th.entries.size() - kTail : 0;
+        for (std::size_t i = from; i < th.entries.size(); ++i) {
+            const obs::FlightEntry &e = th.entries[i];
+            md += "- " + e.kind;
+            if (!e.name.empty())
+                md += " `" + e.name + "`";
+            if (e.kind == "pc") {
+                char hex[24];
+                std::snprintf(hex, sizeof(hex), " 0x%08llX",
+                              static_cast<unsigned long long>(
+                                  e.value));
+                md += hex;
+            } else {
+                md += " value=" + std::to_string(e.value);
+            }
+            if (e.cycle)
+                md += " cycle=" + std::to_string(e.cycle);
+            md += "\n";
+        }
+    }
+    return true;
+}
+
+/**
+ * `report`: joins a run's observability artifacts — metrics JSON,
+ * timeseries JSONL, job journal, flight-recorder bundle — into one
+ * markdown run report on stdout (or --out FILE). Every input is
+ * optional but at least one must be given; a malformed input fails
+ * the report rather than silently dropping a section.
+ */
+int
+cmdReport(const Args &a)
+{
+    const char *metrics = a.value("--metrics");
+    const char *timeseries = a.value("--timeseries");
+    const char *journal = a.value("--journal");
+    const char *postmortem = a.value("--postmortem");
+    if (!metrics && !timeseries && !journal && !postmortem) {
+        std::fprintf(stderr,
+                     "report: nothing to report — give at least one "
+                     "of --metrics, --timeseries, --journal, "
+                     "--postmortem\n");
+        return 2;
+    }
+
+    std::string md = "# palmtrace run report\n";
+    if (journal && !reportJournalSection(md, journal))
+        return 1;
+    if (metrics && !reportMetricsSection(md, metrics))
+        return 1;
+    if (timeseries && !reportTimeseriesSection(md, timeseries))
+        return 1;
+    if (postmortem && !reportPostmortemSection(md, postmortem))
+        return 1;
+
+    if (const char *out = a.value("--out")) {
+        std::FILE *f = std::fopen(out, "wb");
+        if (!f) {
+            std::fprintf(stderr, "report: cannot write '%s'\n", out);
+            return 1;
+        }
+        std::fwrite(md.data(), 1, md.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "report written to %s\n", out);
+    } else {
+        std::fputs(md.c_str(), stdout);
+    }
+    return 0;
+}
+
 int
 dispatch(const std::string &cmd, const Args &rest)
 {
@@ -1913,6 +2750,8 @@ dispatch(const std::string &cmd, const Args &rest)
         return cmdEpoch(rest);
     if (cmd == "resume")
         return cmdResume(rest);
+    if (cmd == "report")
+        return cmdReport(rest);
     if (cmd == "disasm")
         return cmdDisasm(rest);
     return unknownSubcommand(cmd);
@@ -1943,6 +2782,17 @@ main(int argc, char **argv)
     // Ctrl-C becomes a cooperative stop: journals get their footer,
     // metrics still flush, and the process exits 130.
     std::signal(SIGINT, onSigint);
+
+    // --postmortem FILE arms the flight recorder for the whole run;
+    // the fatal-signal handlers flush its rings into FILE before the
+    // default action takes over. Installed unconditionally — they are
+    // pure no-ops (beyond re-raising) when the recorder stays unarmed.
+    if (const char *postmortem = rest.value("--postmortem"))
+        obs::FlightRecorder::global().arm(postmortem);
+    std::signal(SIGSEGV, onFatalSignal);
+    std::signal(SIGABRT, onFatalSignal);
+    std::signal(SIGBUS, onFatalSignal);
+    std::signal(SIGILL, onFatalSignal);
 
     // Verbosity: CLI default is quiet (tables are the output), the
     // environment can override, explicit flags win.
