@@ -6,8 +6,17 @@ namespace pt::device
 {
 
 Bus::Bus(DragonballIo &io)
-    : io(io), ram(kRamSize, 0), rom(kRomSize, 0xFF)
+    : io(io), ram(kRamSize, 0), rom(kRomSize, 0xFF),
+      pageKinds(1u << 16, static_cast<u8>(PageKind::Unmapped)),
+      granuleGens(kRamGranules + kRomGranules, 0),
+      granuleHasCode(kRamGranules + kRomGranules, 0)
 {
+    for (Addr p = kRamBase >> 16; p < (kRamBase + kRamSize) >> 16; ++p)
+        pageKinds[p] = static_cast<u8>(PageKind::Ram);
+    for (Addr p = kRomBase >> 16; p < (kRomBase + kRomSize) >> 16; ++p)
+        pageKinds[p] = static_cast<u8>(PageKind::Rom);
+    // The top page holds the MMIO window above an unmapped hole.
+    pageKinds[kMmioBase >> 16] = static_cast<u8>(PageKind::Mixed);
 }
 
 RefClass
@@ -20,6 +29,20 @@ Bus::classify(Addr a) const
     if (inMmio(a))
         return RefClass::Mmio;
     return RefClass::Unmapped;
+}
+
+RefClass
+Bus::classify16(Addr a) const
+{
+    RefClass c = classify(a);
+    // A 16-bit transaction touches bytes a and a+1. MMIO sits at the
+    // top of the address space (its own register decode handles the
+    // offset); RAM/ROM transactions must keep both bytes inside the
+    // region — the last byte of a region cannot start a word access.
+    if (c == RefClass::Ram || c == RefClass::Flash)
+        if (classify(a + 1) != c)
+            return RefClass::Unmapped;
+    return c;
 }
 
 void
@@ -35,8 +58,144 @@ Bus::note(Addr a, m68k::AccessKind k, RefClass cls)
         refSink->onRef(a, k, cls);
 }
 
+int
+Bus::granuleOf(Addr a) const
+{
+    if (inRam(a))
+        return static_cast<int>(a >> kGranuleShift);
+    if (inRom(a))
+        return static_cast<int>(kRamGranules +
+                                ((a - kRomBase) >> kGranuleShift));
+    return -1;
+}
+
+void
+Bus::invalidateCodeCache()
+{
+    for (u32 &g : granuleGens)
+        ++g;
+}
+
+bool
+Bus::codeWindow(Addr a, m68k::CodeWindow *out)
+{
+    const u8 *mem;
+    u64 *counter;
+    RefClass cls;
+    Addr base = a & ~(kGranule - 1);
+    if (inRam(a)) {
+        mem = &ram[base];
+        counter = &nRam;
+        cls = RefClass::Ram;
+    } else if (inRom(a)) {
+        mem = &rom[base - kRomBase];
+        counter = &nFlash;
+        cls = RefClass::Flash;
+    } else {
+        return false; // MMIO / unmapped pc: interpreter handles it
+    }
+    u32 g = static_cast<u32>(granuleOf(a));
+    granuleHasCode[g] = 1;
+    out->mem = mem;
+    out->base = base;
+    out->len = kGranule;
+    out->gen = &granuleGens[g];
+    out->genSnap = granuleGens[g];
+    out->fetchCounter = counter;
+    out->cls = static_cast<u8>(cls);
+    out->traced = traceOn && refSink != nullptr;
+    return true;
+}
+
+void
+Bus::onCachedFetch(Addr a, u8 cls)
+{
+    if (traceOn && refSink)
+        refSink->onRef(a, m68k::AccessKind::Fetch,
+                       static_cast<RefClass>(cls));
+}
+
 u8
 Bus::read8(Addr a, m68k::AccessKind k)
+{
+    switch (static_cast<PageKind>(pageKinds[a >> 16])) {
+      case PageKind::Ram:
+        ++nRam;
+        if (traceOn && refSink)
+            refSink->onRef(a, k, RefClass::Ram);
+        return ram[a];
+      case PageKind::Rom:
+        ++nFlash;
+        if (traceOn && refSink)
+            refSink->onRef(a, k, RefClass::Flash);
+        return rom[a - kRomBase];
+      default:
+        return readSlow8(a, k);
+    }
+}
+
+u16
+Bus::read16(Addr a, m68k::AccessKind k)
+{
+    // Even addresses cannot straddle a region edge (regions are
+    // 64 KB-page aligned and sized), so the page kind decides alone.
+    if (!(a & 1)) {
+        switch (static_cast<PageKind>(pageKinds[a >> 16])) {
+          case PageKind::Ram:
+            ++nRam;
+            if (traceOn && refSink)
+                refSink->onRef(a, k, RefClass::Ram);
+            return static_cast<u16>((ram[a] << 8) | ram[a + 1]);
+          case PageKind::Rom: {
+            ++nFlash;
+            if (traceOn && refSink)
+                refSink->onRef(a, k, RefClass::Flash);
+            u32 off = a - kRomBase;
+            return static_cast<u16>((rom[off] << 8) | rom[off + 1]);
+          }
+          default:
+            break;
+        }
+    }
+    return readSlow16(a, k);
+}
+
+void
+Bus::write8(Addr a, u8 v)
+{
+    if (static_cast<PageKind>(pageKinds[a >> 16]) == PageKind::Ram) {
+        ++nRam;
+        if (traceOn && refSink)
+            refSink->onRef(a, m68k::AccessKind::Write, RefClass::Ram);
+        ram[a] = v;
+        u32 g = a >> kGranuleShift;
+        if (granuleHasCode[g])
+            ++granuleGens[g];
+        return;
+    }
+    writeSlow8(a, v);
+}
+
+void
+Bus::write16(Addr a, u16 v)
+{
+    if (!(a & 1) &&
+        static_cast<PageKind>(pageKinds[a >> 16]) == PageKind::Ram) {
+        ++nRam;
+        if (traceOn && refSink)
+            refSink->onRef(a, m68k::AccessKind::Write, RefClass::Ram);
+        ram[a] = static_cast<u8>(v >> 8);
+        ram[a + 1] = static_cast<u8>(v);
+        u32 g = a >> kGranuleShift; // even a: both bytes, one granule
+        if (granuleHasCode[g])
+            ++granuleGens[g];
+        return;
+    }
+    writeSlow16(a, v);
+}
+
+u8
+Bus::readSlow8(Addr a, m68k::AccessKind k)
 {
     RefClass cls = classify(a);
     note(a, k, cls);
@@ -59,9 +218,9 @@ Bus::read8(Addr a, m68k::AccessKind k)
 }
 
 u16
-Bus::read16(Addr a, m68k::AccessKind k)
+Bus::readSlow16(Addr a, m68k::AccessKind k)
 {
-    RefClass cls = classify(a);
+    RefClass cls = classify16(a);
     note(a, k, cls);
     switch (cls) {
       case RefClass::Ram:
@@ -82,13 +241,14 @@ Bus::read16(Addr a, m68k::AccessKind k)
 }
 
 void
-Bus::write8(Addr a, u8 v)
+Bus::writeSlow8(Addr a, u8 v)
 {
     RefClass cls = classify(a);
     note(a, m68k::AccessKind::Write, cls);
     switch (cls) {
       case RefClass::Ram:
         ram[a] = v;
+        touchCode(a);
         return;
       case RefClass::Flash:
         if (!warnedRomWrite) {
@@ -112,14 +272,16 @@ Bus::write8(Addr a, u8 v)
 }
 
 void
-Bus::write16(Addr a, u16 v)
+Bus::writeSlow16(Addr a, u16 v)
 {
-    RefClass cls = classify(a);
+    RefClass cls = classify16(a);
     note(a, m68k::AccessKind::Write, cls);
     switch (cls) {
       case RefClass::Ram:
         ram[a] = static_cast<u8>(v >> 8);
         ram[a + 1] = static_cast<u8>(v);
+        touchCode(a);
+        touchCode(a + 1); // odd a may straddle a granule boundary
         return;
       case RefClass::Flash:
         if (!warnedRomWrite) {
@@ -154,9 +316,11 @@ Bus::poke8(Addr a, u8 v)
     switch (classify(a)) {
       case RefClass::Ram:
         ram[a] = v;
+        touchCode(a);
         return;
       case RefClass::Flash:
         rom[a - kRomBase] = v; // host-side ROM patching (ROM build)
+        touchCode(a);
         return;
       default:
         return;
@@ -169,6 +333,7 @@ Bus::loadRom(std::vector<u8> image)
     PT_ASSERT(image.size() <= kRomSize, "ROM image too large");
     image.resize(kRomSize, 0xFF);
     rom = std::move(image);
+    invalidateCodeCache(); // the backing storage itself moved
 }
 
 void
@@ -177,12 +342,14 @@ Bus::loadRam(std::vector<u8> image)
     PT_ASSERT(image.size() <= kRamSize, "RAM image too large");
     image.resize(kRamSize, 0);
     ram = std::move(image);
+    invalidateCodeCache();
 }
 
 void
 Bus::clearRam()
 {
     std::fill(ram.begin(), ram.end(), 0);
+    invalidateCodeCache();
 }
 
 } // namespace pt::device

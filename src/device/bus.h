@@ -8,6 +8,19 @@
  * 8-bit) transaction is classified as a RAM or flash reference, the
  * split that drives the no-cache average-access-time numbers in
  * Table 1 and feeds the cache simulator for Figures 5 and 6.
+ *
+ * Dispatch is a flat page table (DESIGN.md §15): the address space is
+ * covered by 64 KB dispatch pages whose kind — RAM, ROM, mixed, or
+ * unmapped — is one table load, so the hot load/store path never
+ * walks the range-classification chain. RAM and ROM pages resolve to
+ * direct base-pointer accesses; the mixed top page (MMIO + the
+ * unmapped hole beneath it) and unmapped pages take the slow path.
+ *
+ * The bus also backs the CPU's translation cache: it publishes
+ * m68k::CodeWindow views of RAM/ROM and maintains per-4KB-granule
+ * generation counters that invalidate translated blocks on
+ * self-modifying writes, host pokes, image replacement (snapshot /
+ * checkpoint restore), and trace-configuration changes.
  */
 
 #ifndef PT_DEVICE_BUS_H
@@ -48,16 +61,28 @@ class Bus : public m68k::BusIf
     void write16(Addr a, u16 v) override;
     u8 peek8(Addr a) const override;
     void poke8(Addr a, u8 v) override;
+    bool codeWindow(Addr a, m68k::CodeWindow *out) override;
+    void onCachedFetch(Addr a, u8 cls) override;
 
     /** Installs (or clears, with nullptr) the reference sink. */
-    void setRefSink(MemRefSink *sink) { refSink = sink; }
+    void
+    setRefSink(MemRefSink *sink)
+    {
+        refSink = sink;
+        invalidateCodeCache(); // traced-fetch windows are now stale
+    }
 
     /**
      * Enables per-transaction tracing. This is POSE's "Profiling"
      * switch: the reference counters below always run, but the sink is
      * only invoked while tracing is on.
      */
-    void setTraceEnabled(bool on) { traceOn = on; }
+    void
+    setTraceEnabled(bool on)
+    {
+        traceOn = on;
+        invalidateCodeCache();
+    }
     bool traceEnabled() const { return traceOn; }
 
     /** Replaces the flash image (ROM build / snapshot restore). */
@@ -72,6 +97,13 @@ class Bus : public m68k::BusIf
     /** Zeroes RAM (cold boot). */
     void clearRam();
 
+    /**
+     * Invalidates every published code window (bumps all granule
+     * generations). Required after mutating ramImage() directly —
+     * guest writes and pokes invalidate automatically.
+     */
+    void invalidateCodeCache();
+
     // Cumulative reference counters (always on, trace or not).
     u64 ramRefs() const { return nRam; }
     u64 flashRefs() const { return nFlash; }
@@ -80,12 +112,44 @@ class Bus : public m68k::BusIf
     void resetRefCounts() { nRam = nFlash = nMmio = 0; }
 
   private:
+    /** One 64 KB dispatch page's kind. */
+    enum class PageKind : u8 { Unmapped, Ram, Rom, Mixed };
+
+    /** Code-window granule size: blocks never straddle one. */
+    static constexpr u32 kGranuleShift = 12;
+    static constexpr u32 kGranule = 1u << kGranuleShift;
+    static constexpr u32 kRamGranules = kRamSize >> kGranuleShift;
+    static constexpr u32 kRomGranules = kRomSize >> kGranuleShift;
+
     RefClass classify(Addr a) const;
+    /** Classifies a 16-bit transaction: both bytes must land in the
+     *  same RAM/ROM region, else the access is a bus error
+     *  (Unmapped) — the region-edge off-by-one fix. */
+    RefClass classify16(Addr a) const;
     void note(Addr a, m68k::AccessKind k, RefClass cls);
+
+    u8 readSlow8(Addr a, m68k::AccessKind k);
+    u16 readSlow16(Addr a, m68k::AccessKind k);
+    void writeSlow8(Addr a, u8 v);
+    void writeSlow16(Addr a, u16 v);
+
+    /** @return the code granule covering @p a, or -1 outside RAM/ROM. */
+    int granuleOf(Addr a) const;
+    /** Bumps @p a's granule generation if it holds translated code. */
+    void
+    touchCode(Addr a)
+    {
+        int g = granuleOf(a);
+        if (g >= 0 && granuleHasCode[static_cast<u32>(g)])
+            ++granuleGens[static_cast<u32>(g)];
+    }
 
     DragonballIo &io;
     std::vector<u8> ram;
     std::vector<u8> rom;
+    std::vector<u8> pageKinds;      ///< 65536 entries, one per 64 KB
+    std::vector<u32> granuleGens;   ///< RAM then ROM granules
+    std::vector<u8> granuleHasCode; ///< granule published a window
     MemRefSink *refSink = nullptr;
     bool traceOn = false;
     bool warnedRomWrite = false;

@@ -30,8 +30,10 @@ DragonballIo::readReg(u32 offset)
             return 0;
         u16 v = static_cast<u16>(0x100 | serialFifo.front());
         serialFifo.pop_front();
-        if (serialFifo.empty())
+        if (serialFifo.empty() && (intStat & Irq::Serial)) {
             intStat &= ~Irq::Serial; // FIFO drained
+            ++mutEpoch;
+        }
         return v;
       }
       case Reg::IntStat:
@@ -52,18 +54,34 @@ DragonballIo::writeReg(u32 offset, u16 value)
 {
     switch (offset) {
       case Reg::IntMask:
-        intMask = value;
+        if (intMask != value) {
+            intMask = value;
+            ++mutEpoch;
+        }
         break;
       case Reg::IntAck:
-        intStat &= ~value;
+        if (intStat & value) {
+            intStat &= ~value;
+            ++mutEpoch;
+        }
         break;
-      case Reg::TimerCmp:
-        timerCmp = (timerCmp & 0x0000FFFFu) |
-                   (static_cast<u32>(value) << 16);
+      case Reg::TimerCmp: {
+        u32 nu = (timerCmp & 0x0000FFFFu) |
+                 (static_cast<u32>(value) << 16);
+        if (timerCmp != nu) {
+            timerCmp = nu;
+            ++mutEpoch;
+        }
         break;
-      case Reg::TimerCmp + 2:
-        timerCmp = (timerCmp & 0xFFFF0000u) | value;
+      }
+      case Reg::TimerCmp + 2: {
+        u32 nu = (timerCmp & 0xFFFF0000u) | value;
+        if (timerCmp != nu) {
+            timerCmp = nu;
+            ++mutEpoch;
+        }
         break;
+      }
       case Reg::DbgPort:
         if (debugSink)
             debugSink(static_cast<char>(value & 0xFF));
@@ -146,6 +164,7 @@ DragonballIo::loadState(const IoState &s)
     penDownLatch = s.penDownLatch;
     btnState = s.btnState;
     serialFifo.assign(s.serialFifo.begin(), s.serialFifo.end());
+    ++mutEpoch; // checkpoint thaw: force a run-loop resync
 }
 
 void
@@ -159,6 +178,7 @@ DragonballIo::reset()
     penXLatch = penYLatch = penDownLatch = 0;
     btnState = 0;
     serialFifo.clear();
+    ++mutEpoch;
 }
 
 } // namespace pt::device

@@ -7,7 +7,7 @@ namespace pt::m68k
 {
 
 Cpu::Cpu(BusIf &bus)
-    : busRef(bus)
+    : busRef(bus), mode(defaultExecMode())
 {
 }
 
@@ -21,6 +21,31 @@ Cpu::reset()
     otherSp = 0;
     areg[7] = busRef.peek32(resetVectorBase);
     pcReg = busRef.peek32(resetVectorBase + 4);
+    clearCursor();
+}
+
+void
+Cpu::setExecMode(ExecMode m)
+{
+    mode = m;
+    clearCursor();
+}
+
+translate::CacheStats
+Cpu::translateStats() const
+{
+    return tcache ? tcache->stats() : translate::CacheStats{};
+}
+
+void
+Cpu::clearCursor()
+{
+    curBlk = nullptr;
+    curIdx = 0;
+    fcMem = nullptr;
+    fcGen = nullptr;
+    fcCounter = nullptr;
+    fcTraced = false;
 }
 
 void
@@ -83,6 +108,7 @@ Cpu::loadState(const CpuState &s)
     haltedFlag = false;
     cycleCount = s.cycles;
     instret = s.instructions;
+    clearCursor(); // checkpoint thaw: never trust a pre-restore block
 }
 
 // --- bus helpers -----------------------------------------------------
@@ -133,6 +159,25 @@ Cpu::busWrite32(Addr a, u32 v)
 u16
 Cpu::fetch16()
 {
+    // Extension-word fast path: while the block cursor is live, serve
+    // the fetch from the block's code window with side effects
+    // identical to busRead16(pc, Fetch) — 4 cycles, one counter bump,
+    // one traced-sink call. The generation guard makes the window's
+    // bytes provably equal to memory; any miss (window edge, stale
+    // generation, exception retarget) takes the real bus below.
+    if (fcMem) {
+        Addr a = pcReg & ~1u;
+        u32 off = a - fcBase; // underflow wraps past fcLen: safe miss
+        if (off + 2 <= fcLen && *fcGen == fcGenSnap) {
+            pendingCycles += 4;
+            if (fcCounter)
+                ++*fcCounter;
+            if (fcTraced)
+                busRef.onCachedFetch(a, fcCls);
+            pcReg += 2;
+            return static_cast<u16>((fcMem[off] << 8) | fcMem[off + 1]);
+        }
+    }
     u16 v = busRead16(pcReg, AccessKind::Fetch);
     pcReg += 2;
     return v;
@@ -192,16 +237,23 @@ Cpu::setFlag(u16 bit, bool v)
 void
 Cpu::setNZ(u32 value, Size sz)
 {
-    setFlag(Sr::N, msb(value, sz));
-    setFlag(Sr::Z, truncSz(value, sz) == 0);
+    u16 s = srReg & ~(Sr::N | Sr::Z);
+    if (msb(value, sz))
+        s |= Sr::N;
+    if (truncSz(value, sz) == 0)
+        s |= Sr::Z;
+    srReg = s;
 }
 
 void
 Cpu::setLogicFlags(u32 value, Size sz)
 {
-    setNZ(value, sz);
-    setFlag(Sr::V, false);
-    setFlag(Sr::C, false);
+    u16 s = srReg & ~(Sr::N | Sr::Z | Sr::V | Sr::C);
+    if (msb(value, sz))
+        s |= Sr::N;
+    if (truncSz(value, sz) == 0)
+        s |= Sr::Z;
+    srReg = s;
 }
 
 u32
@@ -213,16 +265,22 @@ Cpu::addCommon(u32 dst, u32 src, Size sz, bool useX, bool isX)
     u32 r = truncSz(static_cast<u32>(wide), sz);
     bool carry = wide >> (sizeBytes(sz) * 8);
     bool sd = msb(dst, sz), ss = msb(src, sz), sr = msb(r, sz);
-    setFlag(Sr::C, carry);
-    setFlag(Sr::X, carry);
-    setFlag(Sr::V, (sd == ss) && (sr != sd));
-    setFlag(Sr::N, sr);
+    u16 s = srReg & ~(Sr::C | Sr::X | Sr::V | Sr::N);
+    if (carry)
+        s |= Sr::C | Sr::X;
+    if ((sd == ss) && (sr != sd))
+        s |= Sr::V;
+    if (sr)
+        s |= Sr::N;
     if (isX) {
         if (r != 0)
-            setFlag(Sr::Z, false);
+            s &= ~Sr::Z;
     } else {
-        setFlag(Sr::Z, r == 0);
+        s &= ~Sr::Z;
+        if (r == 0)
+            s |= Sr::Z;
     }
+    srReg = s;
     return r;
 }
 
@@ -235,16 +293,22 @@ Cpu::subCommon(u32 dst, u32 src, Size sz, bool useX, bool isX)
     u32 r = truncSz(static_cast<u32>(wide), sz);
     bool borrow = static_cast<u64>(ts) + x > static_cast<u64>(td);
     bool sd = msb(dst, sz), ss = msb(src, sz), sr = msb(r, sz);
-    setFlag(Sr::C, borrow);
-    setFlag(Sr::X, borrow);
-    setFlag(Sr::V, (sd != ss) && (sr != sd));
-    setFlag(Sr::N, sr);
+    u16 s = srReg & ~(Sr::C | Sr::X | Sr::V | Sr::N);
+    if (borrow)
+        s |= Sr::C | Sr::X;
+    if ((sd != ss) && (sr != sd))
+        s |= Sr::V;
+    if (sr)
+        s |= Sr::N;
     if (isX) {
         if (r != 0)
-            setFlag(Sr::Z, false);
+            s &= ~Sr::Z;
     } else {
-        setFlag(Sr::Z, r == 0);
+        s &= ~Sr::Z;
+        if (r == 0)
+            s |= Sr::Z;
     }
+    srReg = s;
     return r;
 }
 
@@ -255,10 +319,16 @@ Cpu::cmpCommon(u32 dst, u32 src, Size sz)
     u32 r = truncSz(td - ts, sz);
     bool borrow = ts > td;
     bool sd = msb(dst, sz), ss = msb(src, sz), sr = msb(r, sz);
-    setFlag(Sr::C, borrow);
-    setFlag(Sr::V, (sd != ss) && (sr != sd));
-    setFlag(Sr::N, sr);
-    setFlag(Sr::Z, r == 0);
+    u16 s = srReg & ~(Sr::C | Sr::V | Sr::N | Sr::Z);
+    if (borrow)
+        s |= Sr::C;
+    if ((sd != ss) && (sr != sd))
+        s |= Sr::V;
+    if (sr)
+        s |= Sr::N;
+    if (r == 0)
+        s |= Sr::Z;
+    srReg = s;
 }
 
 bool
@@ -533,32 +603,9 @@ Cpu::privilegeViolation()
 
 // --- main loop ---------------------------------------------------------
 
-Cycles
-Cpu::step()
+void
+Cpu::dispatchOp(u16 op)
 {
-    pendingCycles = 0;
-    exceptionTaken = false;
-
-    if (haltedFlag)
-        return 4;
-
-    int ipm = (srReg >> Sr::IpmShift) & 7;
-    if (irqLevel > ipm) {
-        lastPcReg = pcReg;
-        Cycles c = enterInterrupt(irqLevel);
-        cycleCount += c;
-        return c;
-    }
-
-    if (stoppedFlag)
-        return 4;
-
-    lastPcReg = pcReg;
-    u16 op = fetch16();
-    ++instret;
-    if (opcodeSink)
-        opcodeSink->onOpcode(op, lastPcReg);
-
     switch (op >> 12) {
       case 0x0: execGroup0(op); break;
       case 0x1:
@@ -585,6 +632,115 @@ Cpu::step()
         internalCycles(18);
         break;
     }
+}
+
+// --- translation-cache cursor (DESIGN.md §15) -------------------------
+
+void
+Cpu::refillCursor()
+{
+    clearCursor();
+    if (!tcache)
+        tcache = std::make_unique<translate::BlockCache>();
+    u16 key = (srReg & Sr::T) ? 1 : 0;
+    const translate::Block *b = tcache->get(busRef, pcReg, key);
+    if (!b)
+        return; // untranslatable pc: interpret via fetch16()
+    curBlk = b;
+    curIdx = 0;
+    curKey = key;
+    fcMem = b->window.mem;
+    fcBase = b->window.base;
+    fcLen = b->window.len;
+    fcGen = b->window.gen;
+    fcGenSnap = b->window.genSnap;
+    fcCounter = b->window.fetchCounter;
+    fcCls = b->window.cls;
+    fcTraced = b->window.traced;
+}
+
+const translate::MicroOp *
+Cpu::serveCursorOp(const translate::Block *b)
+{
+    // Serve the opcode with read16(pc, Fetch)'s exact side effects.
+    const translate::MicroOp *m = &b->ops[curIdx++];
+    pendingCycles += 4;
+    if (fcCounter)
+        ++*fcCounter;
+    if (fcTraced)
+        busRef.onCachedFetch(pcReg, fcCls);
+    pcReg += 2;
+    return m;
+}
+
+const translate::MicroOp *
+Cpu::nextCachedMicroOp()
+{
+    // Re-validate the cursor: same block generation, pc exactly at
+    // the next micro-op, same SR key. Any branch, exception, SMC
+    // write, or restore fails one of these and refills (or falls
+    // back to the interpreter fetch — behaviorally identical).
+    const translate::Block *b = curBlk;
+    u16 key = (srReg & Sr::T) ? 1 : 0;
+    if (b) {
+        if (curIdx < b->count) {
+            if (*b->window.gen == b->window.genSnap &&
+                pcReg == b->pc + b->ops[curIdx].pcOff && curKey == key)
+                return serveCursorOp(b);
+        } else if (pcReg == b->pc && curKey == key &&
+                   *b->window.gen == b->window.genSnap) {
+            // Loop-back fast path: the block's terminating branch
+            // landed on its own head (the shape of every hot loop).
+            // The generation and key checks above are the same ones
+            // BlockCache::get would apply, so rewinding the cursor is
+            // exactly a cache hit — count it as one.
+            curIdx = 0;
+            tcache->noteHit();
+            return serveCursorOp(b);
+        }
+    }
+    refillCursor();
+    b = curBlk;
+    if (!b)
+        return nullptr;
+    return serveCursorOp(b);
+}
+
+Cycles
+Cpu::step()
+{
+    pendingCycles = 0;
+    exceptionTaken = false;
+
+    if (haltedFlag)
+        return 4;
+
+    int ipm = (srReg >> Sr::IpmShift) & 7;
+    if (irqLevel > ipm) {
+        lastPcReg = pcReg;
+        Cycles c = enterInterrupt(irqLevel);
+        cycleCount += c;
+        return c;
+    }
+
+    if (stoppedFlag)
+        return 4;
+
+    lastPcReg = pcReg;
+    const translate::MicroOp *m = nullptr;
+    u16 op;
+    if (mode == ExecMode::Translate && (m = nextCachedMicroOp()))
+        op = m->opcode;
+    else
+        op = fetch16();
+    ++instret;
+    if (opcodeSink)
+        opcodeSink->onOpcode(op, lastPcReg);
+
+    if (m)
+        execMicro(*m);
+    else
+        dispatchOp(op);
 
     cycleCount += pendingCycles;
     return pendingCycles;

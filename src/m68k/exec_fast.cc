@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Specialized micro-op execution for the translation cache
+ * (DESIGN.md §15).
+ *
+ * Each case replays one interpreter exec path with the field decode
+ * and Ea machinery hoisted to translate time. The handlers call the
+ * same flag helpers (addCommon/subCommon/cmpCommon/setLogicFlags/
+ * testCond/execShift) and charge the same internal cycles as the
+ * generic handlers they shadow, so architectural state, cycle counts
+ * and the reference stream stay bit-identical; the differential suite
+ * in tests/test_translate.cc enforces this per instruction.
+ */
+
+#include "cpu.h"
+
+#include "m68k/bits.h"
+
+namespace pt::m68k
+{
+
+void
+Cpu::execMicro(const translate::MicroOp &m)
+{
+    using translate::UKind;
+    const Size sz = static_cast<Size>(m.szb);
+    switch (m.kind) {
+      case UKind::Moveq: {
+        u32 value = signExt(m.opcode & 0xFF, Size::B);
+        dreg[m.rx] = value;
+        setLogicFlags(value, Size::L);
+        return;
+      }
+      case UKind::MoveRR: {
+        u32 value = truncSz(dreg[m.ry], sz);
+        setLogicFlags(value, sz);
+        setDregSz(m.rx, sz, value);
+        return;
+      }
+      case UKind::MoveRToInd: {
+        u32 value = truncSz(dreg[m.ry], sz);
+        setLogicFlags(value, sz);
+        Addr a = areg[m.rx];
+        if (sz == Size::B)
+            busWrite8(a, static_cast<u8>(value));
+        else if (sz == Size::W)
+            busWrite16(a, static_cast<u16>(value));
+        else
+            busWrite32(a, value);
+        return;
+      }
+      case UKind::MoveIndToR: {
+        Addr a = areg[m.ry];
+        u32 value = sz == Size::B
+            ? busRead8(a, AccessKind::Read)
+            : sz == Size::W ? busRead16(a, AccessKind::Read)
+                            : busRead32(a, AccessKind::Read);
+        setLogicFlags(value, sz);
+        setDregSz(m.rx, sz, value);
+        return;
+      }
+      case UKind::AddRR: {
+        u32 r = addCommon(truncSz(dreg[m.rx], sz),
+                          truncSz(dreg[m.ry], sz), sz, false, false);
+        setDregSz(m.rx, sz, r);
+        if (sz == Size::L)
+            internalCycles(2);
+        return;
+      }
+      case UKind::SubRR: {
+        u32 r = subCommon(truncSz(dreg[m.rx], sz),
+                          truncSz(dreg[m.ry], sz), sz, false, false);
+        setDregSz(m.rx, sz, r);
+        if (sz == Size::L)
+            internalCycles(2);
+        return;
+      }
+      case UKind::CmpRR:
+        cmpCommon(truncSz(dreg[m.rx], sz), truncSz(dreg[m.ry], sz),
+                  sz);
+        if (sz == Size::L)
+            internalCycles(2);
+        return;
+      case UKind::AndRR: {
+        u32 r = truncSz(truncSz(dreg[m.ry], sz) & dreg[m.rx], sz);
+        setLogicFlags(r, sz);
+        setDregSz(m.rx, sz, r);
+        if (sz == Size::L)
+            internalCycles(2);
+        return;
+      }
+      case UKind::OrRR: {
+        u32 r = truncSz(truncSz(dreg[m.ry], sz) | dreg[m.rx], sz);
+        setLogicFlags(r, sz);
+        setDregSz(m.rx, sz, r);
+        if (sz == Size::L)
+            internalCycles(2);
+        return;
+      }
+      case UKind::EorRR: {
+        // EOR's destination is the EA register (Dy), and its
+        // long-form register charge is 4 cycles, not 2.
+        u32 r = truncSz(truncSz(dreg[m.ry], sz) ^ dreg[m.rx], sz);
+        setLogicFlags(r, sz);
+        setDregSz(m.ry, sz, r);
+        if (sz == Size::L)
+            internalCycles(4);
+        return;
+      }
+      case UKind::AddqR: {
+        u32 r = addCommon(truncSz(dreg[m.rx], sz), m.arg, sz, false,
+                          false);
+        setDregSz(m.rx, sz, r);
+        if (sz == Size::L)
+            internalCycles(4);
+        return;
+      }
+      case UKind::SubqR: {
+        u32 r = subCommon(truncSz(dreg[m.rx], sz), m.arg, sz, false,
+                          false);
+        setDregSz(m.rx, sz, r);
+        if (sz == Size::L)
+            internalCycles(4);
+        return;
+      }
+      case UKind::ShiftR: {
+        u32 count = (m.arg & 8) ? dreg[m.ry] & 63 : m.ry;
+        execShift(m.arg & 3, m.arg & 4, sz, count, m.rx);
+        return;
+      }
+      case UKind::BccB: {
+        u32 base = pcReg;
+        if (m.arg == 0 || testCond(m.arg)) { // BRA or taken Bcc
+            pcReg = base + signExt(m.opcode & 0xFF, Size::B);
+            internalCycles(2);
+        } else {
+            internalCycles(4);
+        }
+        return;
+      }
+      case UKind::BccW: {
+        u32 base = pcReg;
+        consumeExtWord();
+        if (m.arg == 0 || testCond(m.arg)) { // BRA or taken Bcc
+            pcReg = base + signExt(m.ext, Size::W);
+            internalCycles(2);
+        } else {
+            internalCycles(4);
+        }
+        return;
+      }
+      case UKind::DbccW: {
+        u32 base = pcReg;
+        consumeExtWord();
+        if (!testCond(m.arg)) {
+            u16 counter = static_cast<u16>(dreg[m.rx] - 1);
+            dreg[m.rx] = (dreg[m.rx] & 0xFFFF0000u) | counter;
+            if (counter != 0xFFFF) {
+                pcReg = base + signExt(m.ext, Size::W);
+                internalCycles(2);
+            } else {
+                internalCycles(6);
+            }
+        } else {
+            internalCycles(4);
+        }
+        return;
+      }
+      default:
+        dispatchOp(m.opcode);
+        return;
+    }
+}
+
+} // namespace pt::m68k

@@ -67,10 +67,16 @@ Cpu::execShift(int type, bool left, Size sz, u32 count, int reg)
         c = flag(Sr::X); // ROXd with zero count sets C from X
 
     writeEa(Ea{Ea::Kind::DReg, reg, 0, 0}, sz, val);
-    setFlag(Sr::N, msb(val, sz));
-    setFlag(Sr::Z, val == 0);
-    setFlag(Sr::V, type == 0 && left ? v : false);
-    setFlag(Sr::C, count == 0 && type != 2 ? false : c);
+    u16 s = srReg & ~(Sr::N | Sr::Z | Sr::V | Sr::C);
+    if (msb(val, sz))
+        s |= Sr::N;
+    if (val == 0)
+        s |= Sr::Z;
+    if (type == 0 && left && v)
+        s |= Sr::V;
+    if (!(count == 0 && type != 2) && c)
+        s |= Sr::C;
+    srReg = s;
     internalCycles(2 + 2 * count + (sz == Size::L ? 2 : 0));
 }
 

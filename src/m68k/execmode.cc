@@ -1,0 +1,73 @@
+#include "execmode.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace pt::m68k
+{
+
+namespace
+{
+
+// 0 = unset (consult the environment), else 1 + ExecMode.
+std::atomic<int> gModeOverride{0};
+
+ExecMode
+envExecMode()
+{
+    const char *s = std::getenv("PT_EXEC_MODE");
+    if (!s || !*s)
+        return ExecMode::Interp;
+    ExecMode m;
+    if (parseExecMode(s, &m))
+        return m;
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        warn("PT_EXEC_MODE=", s,
+             " is not 'interp' or 'translate'; using interp");
+    }
+    return ExecMode::Interp;
+}
+
+} // namespace
+
+ExecMode
+defaultExecMode()
+{
+    int o = gModeOverride.load(std::memory_order_relaxed);
+    if (o)
+        return static_cast<ExecMode>(o - 1);
+    return envExecMode();
+}
+
+void
+setDefaultExecMode(ExecMode mode)
+{
+    gModeOverride.store(1 + static_cast<int>(mode),
+                        std::memory_order_relaxed);
+}
+
+const char *
+execModeName(ExecMode mode)
+{
+    return mode == ExecMode::Translate ? "translate" : "interp";
+}
+
+bool
+parseExecMode(const std::string &text, ExecMode *out)
+{
+    if (text == "interp" || text == "interpreter") {
+        *out = ExecMode::Interp;
+        return true;
+    }
+    if (text == "translate" || text == "translator") {
+        *out = ExecMode::Translate;
+        return true;
+    }
+    return false;
+}
+
+} // namespace pt::m68k

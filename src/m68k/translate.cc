@@ -1,0 +1,226 @@
+#include "translate.h"
+
+#include "m68k/bits.h"
+#include "m68k/disasm.h"
+
+namespace pt::m68k::translate
+{
+
+void
+classify(MicroOp &m)
+{
+    u16 op = m.opcode;
+    int mode = (op >> 3) & 7;
+    int reg = op & 7;
+    int dn = (op >> 9) & 7;
+    int opmode = (op >> 6) & 7;
+
+    switch (op >> 12) {
+      case 0x1:
+      case 0x2:
+      case 0x3: {
+        // MOVE: only the register-to-register and single (An) forms;
+        // MOVEA (dst mode 1) and every EA needing extension words or
+        // post/pre-decrement side effects stay Generic.
+        Size sz = (op >> 12) == 1 ? Size::B
+                : (op >> 12) == 3 ? Size::W
+                                  : Size::L;
+        if (mode == 0 && opmode == 0) {
+            m.kind = UKind::MoveRR;
+        } else if (mode == 0 && opmode == 2) {
+            m.kind = UKind::MoveRToInd;
+        } else if (mode == 2 && opmode == 0) {
+            m.kind = UKind::MoveIndToR;
+        } else {
+            break;
+        }
+        m.rx = static_cast<u8>(dn);
+        m.ry = static_cast<u8>(reg);
+        m.szb = static_cast<u8>(sz);
+        break;
+      }
+      case 0x5: // ADDQ/SUBQ to a data register, or DBcc
+        if (((op >> 6) & 3) != 3 && mode == 0) {
+            m.kind = (op & 0x0100) ? UKind::SubqR : UKind::AddqR;
+            m.rx = static_cast<u8>(reg);
+            m.szb = static_cast<u8>(decodeSize2((op >> 6) & 3));
+            m.arg = static_cast<u8>(dn ? dn : 8);
+        } else if ((op & 0xF0F8) == 0x50C8) { // DBcc Dn,<disp16>
+            m.kind = UKind::DbccW;
+            m.rx = static_cast<u8>(reg);
+            m.arg = static_cast<u8>((op >> 8) & 0xF);
+        }
+        break;
+      case 0x6: { // Bcc/BRA (BSR pushes a return address: Generic)
+        int cond = (op >> 8) & 0xF;
+        if (cond != 1) {
+            m.kind = (op & 0xFF) != 0 ? UKind::BccB : UKind::BccW;
+            m.arg = static_cast<u8>(cond);
+        }
+        break;
+      }
+      case 0x7:
+        if (!(op & 0x0100)) {
+            m.kind = UKind::Moveq;
+            m.rx = static_cast<u8>(dn);
+        }
+        break;
+      case 0x8: // OR Dy,Dx (opmode 3/7 are DIV, >=4 is SBCD/to-EA)
+      case 0x9: // SUB Dy,Dx
+      case 0xC: // AND Dy,Dx
+      case 0xD: // ADD Dy,Dx
+        if (opmode <= 2 && mode == 0) {
+            switch (op >> 12) {
+              case 0x8: m.kind = UKind::OrRR; break;
+              case 0x9: m.kind = UKind::SubRR; break;
+              case 0xC: m.kind = UKind::AndRR; break;
+              default: m.kind = UKind::AddRR; break;
+            }
+            m.rx = static_cast<u8>(dn);
+            m.ry = static_cast<u8>(reg);
+            m.szb = static_cast<u8>(decodeSize2(opmode));
+        }
+        break;
+      case 0xB: // CMP Dy,Dx (opmode 0-2) / EOR Dx,Dy (opmode 4-6)
+        if (mode == 0 && opmode != 3 && opmode != 7) {
+            m.kind = opmode <= 2 ? UKind::CmpRR : UKind::EorRR;
+            m.rx = static_cast<u8>(dn);
+            m.ry = static_cast<u8>(reg);
+            m.szb = static_cast<u8>(decodeSize2(opmode & 3));
+        }
+        break;
+      case 0xE: // register-form shifts/rotates (szField 3 is memory)
+        if (((op >> 6) & 3) != 3) {
+            bool useReg = op & 0x0020;
+            m.kind = UKind::ShiftR;
+            m.rx = static_cast<u8>(reg);
+            m.ry = static_cast<u8>(useReg ? dn : (dn ? dn : 8));
+            m.szb = static_cast<u8>(decodeSize2((op >> 6) & 3));
+            m.arg = static_cast<u8>(((op >> 3) & 3) |
+                                    ((op & 0x0100) ? 4 : 0) |
+                                    (useReg ? 8 : 0));
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+bool
+endsBlock(u16 opcode)
+{
+    switch (opcode >> 12) {
+      case 0x4:
+        if ((opcode & 0xFF80) == 0x4E80)
+            return true; // JSR / JMP
+        if ((opcode & 0xFFF0) == 0x4E40)
+            return true; // TRAP #n
+        switch (opcode) {
+          case 0x4E70: // RESET
+          case 0x4E72: // STOP
+          case 0x4E73: // RTE
+          case 0x4E75: // RTS
+          case 0x4E76: // TRAPV
+          case 0x4E77: // RTR
+            return true;
+          default:
+            return false;
+        }
+      case 0x5:
+        return (opcode & 0xF0F8) == 0x50C8; // DBcc
+      case 0x6:
+        return true; // Bcc / BRA / BSR
+      case 0xA:
+      case 0xF:
+        return true; // line A/F emulator traps
+      default:
+        return false;
+    }
+}
+
+BlockCache::BlockCache()
+    : slots(kSlots)
+{
+}
+
+void
+BlockCache::clear()
+{
+    for (auto &s : slots)
+        s.reset();
+}
+
+const Block *
+BlockCache::get(BusIf &bus, Addr pc, u16 key)
+{
+    if (pc & 1)
+        return nullptr; // odd pc faults in the interpreter's own way
+    u32 slot = slotOf(pc, key);
+    Block *b = slots[slot].get();
+    if (b && b->pc == pc && b->key == key) {
+        if (*b->window.gen == b->window.genSnap) {
+            ++counts.hits;
+            return b;
+        }
+        ++counts.stale;
+        return translate(bus, pc, key, slot);
+    }
+    return translate(bus, pc, key, slot);
+}
+
+const Block *
+BlockCache::translate(BusIf &bus, Addr pc, u16 key, u32 slot)
+{
+    CodeWindow w;
+    if (!bus.codeWindow(pc, &w) || !w.mem) {
+        ++counts.refusals;
+        return nullptr;
+    }
+
+    // Slice the block with the disassembler's length decoder (pure
+    // peeks). A wrong length here cannot corrupt execution — the
+    // cursor re-validates pc per micro-op — it only costs a miss.
+    Block blk;
+    blk.pc = pc;
+    blk.key = key;
+    blk.window = w;
+    Addr at = pc;
+    Addr windowEnd = w.base + w.len;
+    while (blk.count < kMaxBlockInstrs) {
+        if (at < w.base || at + 2 > windowEnd)
+            break; // opcode word would leave the window
+        u32 off = at - w.base;
+        u16 opcode = static_cast<u16>((w.mem[off] << 8) | w.mem[off + 1]);
+        DisasmResult d = disassemble(bus, at);
+        if (at + d.length > windowEnd)
+            break; // extension words straddle the window edge
+        MicroOp &mop = blk.ops[blk.count];
+        mop.pcOff = static_cast<u16>(at - pc);
+        mop.opcode = opcode;
+        classify(mop);
+        if (usesExtWord(mop.kind)) {
+            // d.length >= 4 for these kinds and the straddle check
+            // above already proved off+3 is inside the window.
+            mop.ext = static_cast<u16>((w.mem[off + 2] << 8) |
+                                       w.mem[off + 3]);
+        }
+        ++blk.count;
+        at += d.length;
+        if (endsBlock(opcode))
+            break;
+    }
+    if (blk.count == 0) {
+        ++counts.refusals;
+        return nullptr;
+    }
+
+    ++counts.translations;
+    if (slots[slot] && slots[slot]->pc != pc)
+        ++counts.evictions;
+    if (!slots[slot])
+        slots[slot] = std::make_unique<Block>();
+    *slots[slot] = blk;
+    return slots[slot].get();
+}
+
+} // namespace pt::m68k::translate

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The basic-block translation cache (DESIGN.md §15).
+ *
+ * The interpreter pays a full decode on every executed instruction.
+ * Guest code is overwhelmingly loops, so palmtrace decodes each basic
+ * block once into a run of pre-decoded micro-ops — (pc offset, opcode
+ * word) pairs sliced with the disassembler's side-effect-free length
+ * decoder — and replays the run through the interpreter's own dispatch
+ * switch. Bit-identity with the interpreter is by construction:
+ *
+ *  - Micro-ops execute through the same exec functions; only the
+ *    opcode fetch is served from the block's CodeWindow, with the
+ *    exact accounting side effects read16(pc, Fetch) would have had.
+ *  - A block's window carries a generation guard; the bus bumps it on
+ *    any write into the block's granule (self-modifying code), on
+ *    RAM/ROM image replacement (snapshot/checkpoint restore), and on
+ *    trace-configuration changes. A stale block is never executed —
+ *    it is re-translated from current memory.
+ *  - The length decoder cannot affect correctness: the executing
+ *    cursor re-validates the program counter against the next
+ *    micro-op's pc before serving it, so a mis-sliced block simply
+ *    misses and falls back to the interpreter fetch path.
+ *
+ * Blocks are keyed by (pc, SR trace mode) and stored in a
+ * direct-mapped table; a collision evicts the previous occupant.
+ */
+
+#ifndef PT_M68K_TRANSLATE_H
+#define PT_M68K_TRANSLATE_H
+
+#include <memory>
+#include <vector>
+
+#include "base/types.h"
+#include "m68k/busif.h"
+
+namespace pt::m68k::translate
+{
+
+/**
+ * Specialized execution forms recognized at translate time.
+ *
+ * Each named kind is a register-only (or single (An) memory operand)
+ * encoding whose handler replicates the interpreter's exec path —
+ * including flag helpers and internal-cycle charges — while skipping
+ * the generic field decode and Ea machinery. Anything not provably in
+ * one of these shapes stays Generic and goes through dispatchOp(),
+ * so the fallback is the interpreter itself. The differential suite
+ * (tests/test_translate.cc) holds every kind to bit-identity.
+ */
+enum class UKind : u8
+{
+    Generic,    ///< route through the interpreter's dispatch switch
+    Moveq,      ///< MOVEQ #imm,Dn
+    MoveRR,     ///< MOVE.sz Dy,Dx
+    MoveRToInd, ///< MOVE.sz Dy,(Ax)
+    MoveIndToR, ///< MOVE.sz (Ay),Dx
+    AddRR,      ///< ADD.sz Dy,Dx
+    SubRR,      ///< SUB.sz Dy,Dx
+    CmpRR,      ///< CMP.sz Dy,Dx
+    AndRR,      ///< AND.sz Dy,Dx
+    OrRR,       ///< OR.sz Dy,Dx
+    EorRR,      ///< EOR.sz Dx,Dy (destination is the EA register Dy)
+    AddqR,      ///< ADDQ.sz #q,Dx
+    SubqR,      ///< SUBQ.sz #q,Dx
+    ShiftR,     ///< group-E register shift/rotate on Dx
+    BccB,       ///< Bcc/BRA with an 8-bit displacement (not BSR)
+    BccW,       ///< Bcc/BRA with a 16-bit displacement (not BSR)
+    DbccW,      ///< DBcc Dx,<disp16>
+};
+
+/**
+ * One pre-decoded instruction inside a block.
+ *
+ * `ext` caches the extension word for the kinds that consume one
+ * (BccW/DbccW). That is sound only because the block's generation
+ * guard covers every byte of the window: a write that patches the
+ * extension word in memory bumps the generation, so a block carrying
+ * the stale copy is never executed again.
+ */
+struct MicroOp
+{
+    u16 pcOff;  ///< byte offset of the instruction from Block::pc
+    u16 opcode; ///< the instruction's first (opcode) word
+    u16 ext = 0; ///< pre-decoded extension word (BccW/DbccW)
+    UKind kind = UKind::Generic; ///< specialized form, if any
+    u8 rx = 0;  ///< primary register (destination, or shift target)
+    u8 ry = 0;  ///< secondary register (source; ShiftR: count reg/imm)
+    u8 szb = 0; ///< operand size (Size enum value)
+    u8 arg = 0; ///< quick data / condition / packed shift spec
+};
+
+/** @return true when @p kind consumes the pre-decoded `ext` word. */
+inline bool
+usesExtWord(UKind kind)
+{
+    return kind == UKind::BccW || kind == UKind::DbccW;
+}
+
+/** Fills in a micro-op's specialized kind from its opcode word. */
+void classify(MicroOp &m);
+
+/** The longest run of instructions one block may hold. */
+inline constexpr u32 kMaxBlockInstrs = 32;
+
+/** A translated basic block: a micro-op run plus its code window. */
+struct Block
+{
+    Addr pc = 0;       ///< guest address of the first instruction
+    u16 key = 0;       ///< SR trace-mode key bits
+    u16 count = 0;     ///< populated micro-ops
+    CodeWindow window; ///< fetch window + generation guard
+    MicroOp ops[kMaxBlockInstrs];
+};
+
+/** Translation-cache observability counters. */
+struct CacheStats
+{
+    u64 translations = 0; ///< blocks decoded (includes re-decodes)
+    u64 hits = 0;         ///< lookups served by a live block
+    u64 stale = 0;        ///< lookups that found an invalidated block
+    u64 evictions = 0;    ///< blocks displaced by a colliding pc
+    u64 refusals = 0;     ///< pcs the bus offered no code window for
+};
+
+/**
+ * A direct-mapped cache of translated blocks, owned by one Cpu.
+ *
+ * get() is the only entry point: it returns a live block for
+ * (pc, key) — translating or re-translating as needed — or nullptr
+ * when the pc cannot be translated (odd pc, MMIO, unmapped, or a bus
+ * without code windows), in which case the caller interprets.
+ */
+class BlockCache
+{
+  public:
+    BlockCache();
+
+    const Block *get(BusIf &bus, Addr pc, u16 key);
+
+    /**
+     * Records a lookup served without get() — the Cpu's loop-back
+     * fast path re-enters a live block at its own head and must still
+     * count as a hit so the counters describe every block entry.
+     */
+    void noteHit() { ++counts.hits; }
+
+    const CacheStats &stats() const { return counts; }
+
+    /** Drops every block (exec-mode switches, explicit flushes). */
+    void clear();
+
+  private:
+    static constexpr u32 kSlots = 4096; ///< power of two
+
+    static u32
+    slotOf(Addr pc, u16 key)
+    {
+        u32 h = (pc >> 1) * 2654435761u;
+        return (h ^ key) & (kSlots - 1);
+    }
+
+    /** (Re)translates the block at @p pc into @p slot. */
+    const Block *translate(BusIf &bus, Addr pc, u16 key, u32 slot);
+
+    std::vector<std::unique_ptr<Block>> slots;
+    CacheStats counts;
+};
+
+/** @return true when @p opcode transfers control and ends a block. */
+bool endsBlock(u16 opcode);
+
+} // namespace pt::m68k::translate
+
+#endif // PT_M68K_TRANSLATE_H

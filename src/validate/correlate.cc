@@ -209,6 +209,7 @@ logicalImport(const device::Snapshot &src, device::Device &dst)
     std::copy(src.ram.begin() + os::Lay::HeapBase,
               src.ram.begin() + os::Lay::HeapEnd,
               ram.begin() + os::Lay::HeapBase);
+    dst.bus().invalidateCodeCache(); // direct ramImage() mutation
 
     // Imported, not created: the CREATION, MODIFICATION and LAST
     // BACKUP dates read zero on the emulated device (§3.4) — the

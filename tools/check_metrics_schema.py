@@ -106,6 +106,38 @@ def check_metrics(doc, schema):
                  % (lvl, hits, misses, acc))
 
 
+def check_bench(doc, schema, required_gauges):
+    """Validate a benchmark's --metrics-out document.
+
+    Bench documents share the metrics schema tag and the counter/gauge
+    value rules but not the replay-session counter set, so only the
+    gauges named on the command line are required.
+    """
+    if doc.get("schema") != schema["schema"]:
+        fail("bench: schema tag is %r, want %r"
+             % (doc.get("schema"), schema["schema"]))
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    if not isinstance(counters, dict) or not isinstance(gauges, dict):
+        fail("bench: counters/gauges sections missing or malformed")
+        return
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail("bench: counter %r is %r, want a non-negative "
+                 "integer" % (name, value))
+    for name, value in gauges.items():
+        if not isinstance(value, numbers.Real):
+            fail("bench: gauge %r is %r, want a number" % (name, value))
+    for name in required_gauges:
+        if name not in gauges:
+            fail("bench: required gauge %r is missing" % name)
+    # Every bench publishes its pass/fail tally; a zero means the
+    # bench's own acceptance checks failed and CI must not trust the
+    # numbers it exported.
+    if counters.get("bench.checks_passed", 0) == 0:
+        fail("bench: counter 'bench.checks_passed' missing or zero")
+
+
 def check_trace(doc):
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -259,6 +291,12 @@ def main():
     ap.add_argument("--schema",
                     default=os.path.join(os.path.dirname(__file__),
                                          "metrics_schema.json"))
+    ap.add_argument("--bench", default=None,
+                    help="check a benchmark --metrics-out document")
+    ap.add_argument("--require-gauge", action="append", default=[],
+                    metavar="NAME",
+                    help="gauge that must be present in --bench doc "
+                         "(repeatable)")
     ap.add_argument("--trace", default=None,
                     help="also check a --trace-out timeline")
     ap.add_argument("--timeseries", default=None,
@@ -266,10 +304,10 @@ def main():
     ap.add_argument("--flightrec", default=None,
                     help="also check a flight-recorder dump bundle")
     args = ap.parse_args()
-    if not (args.metrics or args.trace or args.timeseries
+    if not (args.metrics or args.bench or args.trace or args.timeseries
             or args.flightrec):
-        ap.error("nothing to check: give METRICS_JSON, --trace, "
-                 "--timeseries, or --flightrec")
+        ap.error("nothing to check: give METRICS_JSON, --bench, "
+                 "--trace, --timeseries, or --flightrec")
 
     with open(args.schema) as f:
         schema = json.load(f)
@@ -283,6 +321,16 @@ def main():
             return 1
         check_metrics(doc, schema)
         checked.append(args.metrics)
+
+    if args.bench:
+        try:
+            with open(args.bench) as f:
+                bdoc = json.load(f)
+        except (OSError, ValueError) as e:
+            print("FAIL: cannot parse %s: %s" % (args.bench, e))
+            return 1
+        check_bench(bdoc, schema, args.require_gauge)
+        checked.append(args.bench)
 
     if args.trace:
         try:

@@ -118,6 +118,7 @@
 #include "epoch/epochplan.h"
 #include "epoch/epochrunner.h"
 #include "m68k/disasm.h"
+#include "m68k/execmode.h"
 #include "obs/flightrec.h"
 #include "obs/profile.h"
 #include "obs/ratewindow.h"
@@ -188,6 +189,7 @@ struct Args
             "--journal",
             "--timeseries-out", "--ts-interval", "--postmortem",
             "--metrics", "--timeseries",
+            "--exec-mode",
         };
         for (const char *f : kValueFlags)
             if (!std::strcmp(flag, f))
@@ -314,6 +316,9 @@ printUsage(std::FILE *to)
         "observability options (any subcommand):\n"
         "  --jobs N             worker threads for parallel stages\n"
         "                       (also: PT_JOBS; 1 forces sequential)\n"
+        "  --exec-mode MODE     m68k engine: interp | translate\n"
+        "                       (also: PT_EXEC_MODE; both engines are\n"
+        "                       bit-identical, translate is faster)\n"
         "  --metrics-out FILE   write the metrics registry as JSON\n"
         "  --trace-out FILE     write a Chrome/Perfetto trace timeline\n"
         "  --timeseries-out FILE\n"
@@ -2809,6 +2814,20 @@ main(int argc, char **argv)
         unsigned n = static_cast<unsigned>(std::atoi(jobs));
         if (n)
             setDefaultJobs(n);
+    }
+
+    // The m68k execution engine. PT_EXEC_MODE is the environment's
+    // default; --exec-mode wins. Every device this process builds
+    // (replay, epoch workers, validation) samples this default.
+    if (const char *em = rest.value("--exec-mode")) {
+        m68k::ExecMode mode;
+        if (!m68k::parseExecMode(em, &mode)) {
+            std::fprintf(stderr,
+                         "palmtrace: --exec-mode %s: expected "
+                         "'interp' or 'translate'\n", em);
+            return 2;
+        }
+        m68k::setDefaultExecMode(mode);
     }
 
     // Observability surfaces: install the registry sink when metrics
