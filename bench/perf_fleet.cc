@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Fleet-scale instantiation report (DESIGN.md §16): provisions a
+ * thousand-device fleet from one shared snapshot and measures what
+ * the copy-on-write page store actually costs per device (resident
+ * set delta, dirty pages), then runs a supervised fleet job to report
+ * session and event throughput, checking that per-session packed
+ * traces are byte-identical across job counts.
+ *
+ * The headline gate is the memory model's promise: RSS per
+ * instantiated device stays within a 512 KB bookkeeping budget plus
+ * the device's own dirty pages — not the 20 MB a flat address map
+ * would cost.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/table.h"
+#include "bench/benchutil.h"
+#include "core/palmsim.h"
+#include "device/device.h"
+#include "device/snapshot.h"
+#include "obs/hostmem.h"
+#include "os/pilotos.h"
+#include "super/jobs.h"
+#include "workload/sessionrunner.h"
+
+namespace
+{
+
+using namespace pt;
+
+/** Per-device RSS budget beyond dirty pages: page tables, dispatch
+ *  tables, generation counters, allocator slack. */
+constexpr u64 kPerDeviceBudgetBytes = 512 * 1024;
+
+std::string
+tmpBase(const char *name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir && *dir ? dir : "/tmp") + "/" + name;
+}
+
+std::vector<workload::SessionSpec>
+fleetSpecs(std::size_t count, u64 seed)
+{
+    std::vector<workload::SessionSpec> specs(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        specs[i].name = "fleet-" + std::to_string(i);
+        specs[i].config.seed = seed + i;
+        specs[i].config.interactions = 3;
+        specs[i].config.meanIdleTicks = 1'500;
+    }
+    return specs;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    bench::banner("perf_fleet",
+                  "fleet-scale device instantiation and throughput");
+
+    // --- One base state, shared by the whole fleet ---------------
+    device::Device seed;
+    os::setupDevice(seed);
+    seed.runUntilIdle();
+    device::Snapshot snap = device::Snapshot::capture(seed);
+
+    const std::size_t fleetSize = static_cast<std::size_t>(
+        1024 * (args.scale > 0 ? args.scale : 1.0));
+
+    const u64 rssBefore = obs::residentSetBytes();
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::unique_ptr<device::Device>> fleet;
+    fleet.reserve(fleetSize);
+    for (std::size_t i = 0; i < fleetSize; ++i) {
+        fleet.push_back(std::make_unique<device::Device>());
+        snap.restore(*fleet.back());
+        // Each device diverges a little, as a live fleet would.
+        fleet.back()->bus().write8(
+            0x00200000 + static_cast<Addr>(i % 64) * 4096, 0xA5);
+    }
+    const double provisionSecs = secondsSince(t0);
+    const u64 rssAfter = obs::residentSetBytes();
+
+    u64 dirtyBytes = 0;
+    for (const auto &d : fleet)
+        dirtyBytes +=
+            static_cast<u64>(d->bus().dirtyPages()) * 4096;
+    const u64 rssDelta = rssAfter > rssBefore ? rssAfter - rssBefore : 0;
+    const double rssPerDevice =
+        static_cast<double>(rssDelta) / static_cast<double>(fleetSize);
+    const double budget =
+        static_cast<double>(kPerDeviceBudgetBytes) +
+        static_cast<double>(dirtyBytes) /
+            static_cast<double>(fleetSize);
+
+    TextTable t("Fleet instantiation — shared ROM + COW RAM");
+    t.setHeader({"Metric", "value"});
+    t.addRow({"fleet size", std::to_string(fleetSize)});
+    t.addRow({"provisioning time (s)", TextTable::num(provisionSecs, 3)});
+    t.addRow({"devices/s",
+              TextTable::num(static_cast<double>(fleetSize) /
+                                 provisionSecs, 0)});
+    t.addRow({"RSS delta (MB)",
+              TextTable::num(static_cast<double>(rssDelta) / 1e6, 1)});
+    t.addRow({"RSS per device (KB)",
+              TextTable::num(rssPerDevice / 1024.0, 1)});
+    t.addRow({"dirty pages per device",
+              TextTable::num(static_cast<double>(dirtyBytes) / 4096.0 /
+                                 static_cast<double>(fleetSize), 2)});
+    t.addRow({"flat-map equivalent (MB)",
+              TextTable::num(static_cast<double>(fleetSize) * 20.0,
+                             0)});
+    std::printf("%s\n", t.render().c_str());
+    if (args.csv)
+        std::printf("%s\n", t.renderCsv().c_str());
+
+    auto &reg = obs::Registry::global();
+    reg.gauge("fleet.rss_per_device_bytes").set(rssPerDevice);
+    reg.gauge("fleet.devices").set(static_cast<double>(fleetSize));
+
+    const bool sizeOk = fleetSize >= 1000 || args.scale < 1.0;
+    bench::expect("concurrent devices", ">= 1000",
+                  std::to_string(fleetSize), sizeOk);
+    const bool rssOk = rssPerDevice <= budget;
+    bench::expect(
+        "RSS per device", "<= 512 KB + dirty",
+        TextTable::num(rssPerDevice / 1024.0, 1) + " KB", rssOk);
+
+    fleet.clear(); // release the fleet before the replay phase
+
+    // --- Fleet job throughput ------------------------------------
+    const std::size_t sessions = static_cast<std::size_t>(
+        16 * (args.scale > 0 ? args.scale : 1.0)) + 1;
+    auto specs = fleetSpecs(sessions, 1);
+    const std::string baseA = tmpBase("perf_fleet_a");
+    const std::string baseB = tmpBase("perf_fleet_b");
+
+    super::JobOptions jo;
+    t0 = std::chrono::steady_clock::now();
+    auto res = super::runFleetJob(specs, baseA, jo);
+    const double fleetSecs = secondsSince(t0);
+    if (!res.ok) {
+        std::fprintf(stderr, "fleet job failed: %s\n",
+                     res.error.c_str());
+        return 1;
+    }
+
+    TextTable ft("Fleet job — collect + replay to packed traces");
+    ft.setHeader({"Metric", "value"});
+    ft.addRow({"sessions", std::to_string(sessions)});
+    ft.addRow({"wall time (s)", TextTable::num(fleetSecs, 3)});
+    ft.addRow({"sessions/s",
+               TextTable::num(reg.gauge("fleet.sessions_per_sec")
+                                  .value(), 1)});
+    ft.addRow({"events/s",
+               TextTable::num(reg.gauge("fleet.events_per_sec")
+                                  .value(), 0)});
+    std::printf("%s\n", ft.render().c_str());
+    if (args.csv)
+        std::printf("%s\n", ft.renderCsv().c_str());
+
+    const bool throughputOk =
+        reg.gauge("fleet.sessions_per_sec").value() > 0;
+    bench::expect("fleet sessions/s", "> 0",
+                  TextTable::num(reg.gauge("fleet.sessions_per_sec")
+                                     .value(), 1),
+                  throughputOk);
+
+    // --- Determinism across job counts ---------------------------
+    super::JobOptions jo1;
+    jo1.jobs = 1;
+    auto seq = super::runFleetJob(specs, baseB, jo1);
+    bool identical = seq.ok;
+    for (std::size_t i = 0; identical && i < specs.size(); ++i) {
+        identical = super::fnvFile(super::fleetTracePath(baseA, i)) ==
+                    super::fnvFile(super::fleetTracePath(baseB, i));
+    }
+    bench::expect("traces vs --jobs 1", "byte-identical",
+                  identical ? "byte-identical" : "diverged",
+                  identical);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::remove(super::fleetTracePath(baseA, i).c_str());
+        std::remove(super::fleetTracePath(baseB, i).c_str());
+    }
+    std::remove((baseA + ".csv").c_str());
+    std::remove((baseB + ".csv").c_str());
+
+    const int exitCode =
+        sizeOk && rssOk && throughputOk && identical ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
+}

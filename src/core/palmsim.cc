@@ -212,7 +212,7 @@ PalmSimulator::replaySession(const Session &s, const ReplayConfig &cfg)
     // applications", so the emulated session logs its own activity.
     {
         PT_TRACE_SCOPE("replay.install_hacks", "replay");
-        os::RomSymbols syms = os::buildRom().syms;
+        os::RomSymbols syms = os::builtRom().syms;
         hacks::HackManager mgr(dev, syms);
         mgr.installCollectionHacks();
         dev.runUntilIdle();

@@ -1,16 +1,26 @@
 #include "bus.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "base/logging.h"
 
 namespace pt::device
 {
 
 Bus::Bus(DragonballIo &io)
-    : io(io), ram(kRamSize, 0), rom(kRomSize, 0xFF),
+    : io(io), ramPages(kRamPages, zeroPage()),
+      romPages(kRomPages, erasedPage()), ramRd(kRamPages),
+      romRd(kRomPages), ramWr(kRamPages, nullptr),
+      romWr(kRomPages, nullptr),
       pageKinds(1u << 16, static_cast<u8>(PageKind::Unmapped)),
       granuleGens(kRamGranules + kRomGranules, 0),
       granuleHasCode(kRamGranules + kRomGranules, 0)
 {
+    for (u32 pg = 0; pg < kRamPages; ++pg)
+        ramRd[pg] = ramPages[pg]->bytes;
+    for (u32 pg = 0; pg < kRomPages; ++pg)
+        romRd[pg] = romPages[pg]->bytes;
     for (Addr p = kRamBase >> 16; p < (kRamBase + kRamSize) >> 16; ++p)
         pageKinds[p] = static_cast<u8>(PageKind::Ram);
     for (Addr p = kRomBase >> 16; p < (kRomBase + kRomSize) >> 16; ++p)
@@ -76,19 +86,52 @@ Bus::invalidateCodeCache()
         ++g;
 }
 
+u8 *
+Bus::materializeRam(u32 pg)
+{
+    PageRef fresh = copyPage(*ramPages[pg]);
+    u8 *w = fresh->bytes;
+    ramPages[pg] = std::move(fresh);
+    ramRd[pg] = w;
+    ramWr[pg] = w;
+    // The window's backing bytes moved: any translated block over
+    // this granule must re-resolve against the private copy.
+    if (granuleHasCode[pg])
+        ++granuleGens[pg];
+    return w;
+}
+
+u8 *
+Bus::materializeRom(u32 pg)
+{
+    PageRef fresh = copyPage(*romPages[pg]);
+    u8 *w = fresh->bytes;
+    romPages[pg] = std::move(fresh);
+    romRd[pg] = w;
+    romWr[pg] = w;
+    if (granuleHasCode[kRamGranules + pg])
+        ++granuleGens[kRamGranules + pg];
+    return w;
+}
+
 bool
 Bus::codeWindow(Addr a, m68k::CodeWindow *out)
 {
     const u8 *mem;
     u64 *counter;
     RefClass cls;
+    std::shared_ptr<const void> pin;
     Addr base = a & ~(kGranule - 1);
     if (inRam(a)) {
-        mem = &ram[base];
+        const u32 pg = a >> kMemPageShift;
+        mem = ramRd[pg];
+        pin = ramPages[pg];
         counter = &nRam;
         cls = RefClass::Ram;
     } else if (inRom(a)) {
-        mem = &rom[base - kRomBase];
+        const u32 pg = (a - kRomBase) >> kMemPageShift;
+        mem = romRd[pg];
+        pin = romPages[pg];
         counter = &nFlash;
         cls = RefClass::Flash;
     } else {
@@ -104,6 +147,7 @@ Bus::codeWindow(Addr a, m68k::CodeWindow *out)
     out->fetchCounter = counter;
     out->cls = static_cast<u8>(cls);
     out->traced = traceOn && refSink != nullptr;
+    out->pin = std::move(pin);
     return true;
 }
 
@@ -123,12 +167,12 @@ Bus::read8(Addr a, m68k::AccessKind k)
         ++nRam;
         if (traceOn && refSink)
             refSink->onRef(a, k, RefClass::Ram);
-        return ram[a];
+        return ramByte(a);
       case PageKind::Rom:
         ++nFlash;
         if (traceOn && refSink)
             refSink->onRef(a, k, RefClass::Flash);
-        return rom[a - kRomBase];
+        return romByte(a);
       default:
         return readSlow8(a, k);
     }
@@ -138,20 +182,26 @@ u16
 Bus::read16(Addr a, m68k::AccessKind k)
 {
     // Even addresses cannot straddle a region edge (regions are
-    // 64 KB-page aligned and sized), so the page kind decides alone.
+    // 64 KB-page aligned and sized) or a 4 KB page (even offsets stop
+    // at 4094), so the page kind decides alone and one read pointer
+    // serves both bytes.
     if (!(a & 1)) {
         switch (static_cast<PageKind>(pageKinds[a >> 16])) {
-          case PageKind::Ram:
+          case PageKind::Ram: {
             ++nRam;
             if (traceOn && refSink)
                 refSink->onRef(a, k, RefClass::Ram);
-            return static_cast<u16>((ram[a] << 8) | ram[a + 1]);
+            const u8 *p = ramRd[a >> kMemPageShift] + (a & kMemPageMask);
+            return static_cast<u16>((p[0] << 8) | p[1]);
+          }
           case PageKind::Rom: {
             ++nFlash;
             if (traceOn && refSink)
                 refSink->onRef(a, k, RefClass::Flash);
             u32 off = a - kRomBase;
-            return static_cast<u16>((rom[off] << 8) | rom[off + 1]);
+            const u8 *p =
+                romRd[off >> kMemPageShift] + (off & kMemPageMask);
+            return static_cast<u16>((p[0] << 8) | p[1]);
           }
           default:
             break;
@@ -167,7 +217,7 @@ Bus::write8(Addr a, u8 v)
         ++nRam;
         if (traceOn && refSink)
             refSink->onRef(a, m68k::AccessKind::Write, RefClass::Ram);
-        ram[a] = v;
+        *ramWritable(a) = v;
         u32 g = a >> kGranuleShift;
         if (granuleHasCode[g])
             ++granuleGens[g];
@@ -184,8 +234,9 @@ Bus::write16(Addr a, u16 v)
         ++nRam;
         if (traceOn && refSink)
             refSink->onRef(a, m68k::AccessKind::Write, RefClass::Ram);
-        ram[a] = static_cast<u8>(v >> 8);
-        ram[a + 1] = static_cast<u8>(v);
+        u8 *p = ramWritable(a); // even a: both bytes, one page
+        p[0] = static_cast<u8>(v >> 8);
+        p[1] = static_cast<u8>(v);
         u32 g = a >> kGranuleShift; // even a: both bytes, one granule
         if (granuleHasCode[g])
             ++granuleGens[g];
@@ -201,9 +252,9 @@ Bus::readSlow8(Addr a, m68k::AccessKind k)
     note(a, k, cls);
     switch (cls) {
       case RefClass::Ram:
-        return ram[a];
+        return ramByte(a);
       case RefClass::Flash:
-        return rom[a - kRomBase];
+        return romByte(a);
       case RefClass::Mmio: {
         u16 w = io.readReg((a - kMmioBase) & ~1u);
         return (a & 1) ? static_cast<u8>(w) : static_cast<u8>(w >> 8);
@@ -224,11 +275,10 @@ Bus::readSlow16(Addr a, m68k::AccessKind k)
     note(a, k, cls);
     switch (cls) {
       case RefClass::Ram:
-        return static_cast<u16>((ram[a] << 8) | ram[a + 1]);
-      case RefClass::Flash: {
-        u32 off = a - kRomBase;
-        return static_cast<u16>((rom[off] << 8) | rom[off + 1]);
-      }
+        // Odd addresses may straddle a page boundary: two byte reads.
+        return static_cast<u16>((ramByte(a) << 8) | ramByte(a + 1));
+      case RefClass::Flash:
+        return static_cast<u16>((romByte(a) << 8) | romByte(a + 1));
       case RefClass::Mmio:
         return io.readReg(a - kMmioBase);
       default:
@@ -247,7 +297,7 @@ Bus::writeSlow8(Addr a, u8 v)
     note(a, m68k::AccessKind::Write, cls);
     switch (cls) {
       case RefClass::Ram:
-        ram[a] = v;
+        *ramWritable(a) = v;
         touchCode(a);
         return;
       case RefClass::Flash:
@@ -278,10 +328,11 @@ Bus::writeSlow16(Addr a, u16 v)
     note(a, m68k::AccessKind::Write, cls);
     switch (cls) {
       case RefClass::Ram:
-        ram[a] = static_cast<u8>(v >> 8);
-        ram[a + 1] = static_cast<u8>(v);
+        // Odd addresses may straddle a page (and granule) boundary.
+        *ramWritable(a) = static_cast<u8>(v >> 8);
+        *ramWritable(a + 1) = static_cast<u8>(v);
         touchCode(a);
-        touchCode(a + 1); // odd a may straddle a granule boundary
+        touchCode(a + 1);
         return;
       case RefClass::Flash:
         if (!warnedRomWrite) {
@@ -302,9 +353,9 @@ Bus::peek8(Addr a) const
 {
     switch (classify(a)) {
       case RefClass::Ram:
-        return ram[a];
+        return ramByte(a);
       case RefClass::Flash:
-        return rom[a - kRomBase];
+        return romByte(a);
       default:
         return 0; // peeks never touch MMIO state
     }
@@ -315,41 +366,152 @@ Bus::poke8(Addr a, u8 v)
 {
     switch (classify(a)) {
       case RefClass::Ram:
-        ram[a] = v;
+        *ramWritable(a) = v;
         touchCode(a);
         return;
-      case RefClass::Flash:
-        rom[a - kRomBase] = v; // host-side ROM patching (ROM build)
+      case RefClass::Flash: {
+        // Host-side ROM patching shadows the shared flash page with a
+        // private copy — siblings sharing the original are unaffected.
+        const u32 off = a - kRomBase;
+        const u32 pg = off >> kMemPageShift;
+        u8 *w = romWr[pg];
+        if (!w)
+            w = materializeRom(pg);
+        w[off & kMemPageMask] = v;
         touchCode(a);
         return;
+      }
       default:
         return;
     }
 }
 
 void
+Bus::loadRom(const PagedImage &image)
+{
+    std::size_t n = image.size();
+    if (n > kRomSize) {
+        warn("bus: ROM image of ", n, " bytes clamped to ", kRomSize);
+        n = kRomSize;
+    }
+    const std::size_t fullPages = n >> kMemPageShift;
+    for (u32 pg = 0; pg < kRomPages; ++pg) {
+        if (pg < fullPages) {
+            romPages[pg] = image.page(pg);
+        } else if ((static_cast<std::size_t>(pg) << kMemPageShift) <
+                   n) {
+            // Partial tail page: image bytes, then erased fill. The
+            // image pads with zero, flash pads with 0xFF, so this one
+            // page cannot be shared.
+            PageRef t = copyPage(*image.page(pg));
+            const std::size_t tail = n & kMemPageMask;
+            std::memset(t->bytes + tail, 0xFF, kMemPageSize - tail);
+            romPages[pg] = std::move(t);
+        } else {
+            romPages[pg] = erasedPage();
+        }
+        romRd[pg] = romPages[pg]->bytes;
+        romWr[pg] = nullptr;
+    }
+    invalidateCodeCache(); // the backing storage itself moved
+}
+
+void
+Bus::loadRam(const PagedImage &image)
+{
+    std::size_t n = image.size();
+    if (n > kRamSize) {
+        warn("bus: RAM image of ", n, " bytes clamped to ", kRamSize);
+        n = kRamSize;
+    }
+    const std::size_t pages = (n + kMemPageSize - 1) >> kMemPageShift;
+    for (u32 pg = 0; pg < kRamPages; ++pg) {
+        // RAM and PagedImage both pad with zero, so even a partial
+        // tail page shares directly.
+        ramPages[pg] = pg < pages ? image.page(pg) : zeroPage();
+        ramRd[pg] = ramPages[pg]->bytes;
+        ramWr[pg] = nullptr;
+    }
+    invalidateCodeCache();
+}
+
+void
 Bus::loadRom(std::vector<u8> image)
 {
-    PT_ASSERT(image.size() <= kRomSize, "ROM image too large");
-    image.resize(kRomSize, 0xFF);
-    rom = std::move(image);
-    invalidateCodeCache(); // the backing storage itself moved
+    loadRom(PagedImage::fromBytes(image));
 }
 
 void
 Bus::loadRam(std::vector<u8> image)
 {
-    PT_ASSERT(image.size() <= kRamSize, "RAM image too large");
-    image.resize(kRamSize, 0);
-    ram = std::move(image);
+    loadRam(PagedImage::fromBytes(image));
+}
+
+PagedImage
+Bus::captureRam() const
+{
+    // Freeze: drop write ownership so a future guest write shadows
+    // the page instead of mutating the image being returned.
+    std::fill(ramWr.begin(), ramWr.end(), nullptr);
+    return PagedImage::fromPages(ramPages, kRamSize);
+}
+
+PagedImage
+Bus::captureRom() const
+{
+    std::fill(romWr.begin(), romWr.end(), nullptr);
+    return PagedImage::fromPages(romPages, kRomSize);
+}
+
+void
+Bus::writeRam(Addr off, const void *src, std::size_t len)
+{
+    PT_ASSERT(static_cast<u64>(off) + len <= kRamSize,
+              "writeRam out of range");
+    const u8 *s = static_cast<const u8 *>(src);
+    while (len) {
+        const u32 pg = off >> kMemPageShift;
+        const u32 at = off & kMemPageMask;
+        const std::size_t take =
+            std::min<std::size_t>(kMemPageSize - at, len);
+        // Skip chunks that already match (typically zero runs over
+        // the shared zero page): the import stays O(dirty).
+        if (std::memcmp(ramRd[pg] + at, s, take) != 0) {
+            u8 *w = ramWr[pg];
+            if (!w)
+                w = materializeRam(pg);
+            std::memcpy(w + at, s, take);
+        }
+        off += static_cast<Addr>(take);
+        s += take;
+        len -= take;
+    }
     invalidateCodeCache();
 }
 
 void
 Bus::clearRam()
 {
-    std::fill(ram.begin(), ram.end(), 0);
+    const PageRef &zero = zeroPage();
+    for (u32 pg = 0; pg < kRamPages; ++pg) {
+        if (ramPages[pg] == zero)
+            continue; // already blank: no pointer churn
+        ramPages[pg] = zero;
+        ramRd[pg] = zero->bytes;
+        ramWr[pg] = nullptr;
+    }
     invalidateCodeCache();
+}
+
+u32
+Bus::dirtyPages() const
+{
+    u32 n = 0;
+    for (u32 pg = 0; pg < kRamPages; ++pg)
+        n += ramWr[pg] != nullptr;
+    for (u32 pg = 0; pg < kRomPages; ++pg)
+        n += romWr[pg] != nullptr;
+    return n;
 }
 
 } // namespace pt::device

@@ -21,6 +21,13 @@
  * generation counters that invalidate translated blocks on
  * self-modifying writes, host pokes, image replacement (snapshot /
  * checkpoint restore), and trace-configuration changes.
+ *
+ * Memory itself is held as shared copy-on-write page blocks
+ * (DESIGN.md §16, device/pagemem.h): a fresh bus references the
+ * process-wide zero/erased pages, loads share a snapshot's pages,
+ * and the first write into a page allocates this device's private
+ * copy. The invalidation granule equals the page size, so shadowing
+ * a page bumps exactly the granule whose window moved.
  */
 
 #ifndef PT_DEVICE_BUS_H
@@ -31,6 +38,7 @@
 #include "base/types.h"
 #include "device/io.h"
 #include "device/map.h"
+#include "device/pagemem.h"
 #include "m68k/busif.h"
 
 namespace pt::device
@@ -85,22 +93,52 @@ class Bus : public m68k::BusIf
     }
     bool traceEnabled() const { return traceOn; }
 
-    /** Replaces the flash image (ROM build / snapshot restore). */
+    /**
+     * Replaces the flash image, sharing the snapshot's pages
+     * (O(pages), no byte copy). Flash beyond the image reads erased
+     * (0xFF). Oversized images are clamped with a warning — the
+     * structured rejection happens at deserialization time.
+     */
+    void loadRom(const PagedImage &image);
+    /** Replaces the RAM image, sharing pages; RAM beyond the image
+     *  reads zero. Oversized images are clamped with a warning. */
+    void loadRam(const PagedImage &image);
+
+    /** Flat-byte conveniences (ROM builders, tests). */
     void loadRom(std::vector<u8> image);
-    /** Replaces the RAM image (snapshot restore). */
     void loadRam(std::vector<u8> image);
 
-    const std::vector<u8> &ramImage() const { return ram; }
-    const std::vector<u8> &romImage() const { return rom; }
-    std::vector<u8> &ramImage() { return ram; }
+    /**
+     * Shares the current RAM pages out as an image (O(pages), no
+     * byte copy) and freezes this bus's write ownership: the next
+     * guest write to any page shadows it, so the captured image is
+     * immutable. Logically const — the guest-visible bytes do not
+     * change.
+     */
+    PagedImage captureRam() const;
+    /** Likewise for the flash image. */
+    PagedImage captureRom() const;
 
-    /** Zeroes RAM (cold boot). */
+    /**
+     * Host-side bulk RAM store (state import). Copy-on-write like
+     * any write; chunks that match the current page contents are
+     * skipped so an import over cleared RAM stays O(dirty). Ends by
+     * invalidating the code cache.
+     */
+    void writeRam(Addr off, const void *src, std::size_t len);
+
+    /** Zeroes RAM (cold boot): every page drops back to the shared
+     *  zero page — O(pages), regardless of how much was dirty. */
     void clearRam();
+
+    /** Private (copied-on-write) pages currently held, RAM + ROM —
+     *  the per-device dirty footprint in 4 KB units. */
+    u32 dirtyPages() const;
 
     /**
      * Invalidates every published code window (bumps all granule
-     * generations). Required after mutating ramImage() directly —
-     * guest writes and pokes invalidate automatically.
+     * generations). Guest writes and pokes invalidate their own
+     * granule automatically.
      */
     void invalidateCodeCache();
 
@@ -115,11 +153,15 @@ class Bus : public m68k::BusIf
     /** One 64 KB dispatch page's kind. */
     enum class PageKind : u8 { Unmapped, Ram, Rom, Mixed };
 
-    /** Code-window granule size: blocks never straddle one. */
-    static constexpr u32 kGranuleShift = 12;
+    /** Code-window granule size: blocks never straddle one. Must
+     *  equal the COW page size so a page shadow maps to exactly one
+     *  generation counter. */
+    static constexpr u32 kGranuleShift = kMemPageShift;
     static constexpr u32 kGranule = 1u << kGranuleShift;
     static constexpr u32 kRamGranules = kRamSize >> kGranuleShift;
     static constexpr u32 kRomGranules = kRomSize >> kGranuleShift;
+    static constexpr u32 kRamPages = kRamSize >> kMemPageShift;
+    static constexpr u32 kRomPages = kRomSize >> kMemPageShift;
 
     RefClass classify(Addr a) const;
     /** Classifies a 16-bit transaction: both bytes must land in the
@@ -144,9 +186,48 @@ class Bus : public m68k::BusIf
             ++granuleGens[static_cast<u32>(g)];
     }
 
+    /** @return byte @p a of RAM (a must be in RAM). */
+    u8
+    ramByte(Addr a) const
+    {
+        return ramRd[a >> kMemPageShift][a & kMemPageMask];
+    }
+    /** @return byte @p a of flash (a must be in ROM). */
+    u8
+    romByte(Addr a) const
+    {
+        const u32 off = a - kRomBase;
+        return romRd[off >> kMemPageShift][off & kMemPageMask];
+    }
+
+    /** Copies RAM page @p pg for private writing (first write after a
+     *  share). Bumps the granule generation when the page holds
+     *  translated code: the window's backing bytes moved. */
+    u8 *materializeRam(u32 pg);
+    /** Likewise for flash page @p pg (ROM shadowing / host pokes). */
+    u8 *materializeRom(u32 pg);
+
+    /** @return a writable pointer to RAM byte @p a. */
+    u8 *
+    ramWritable(Addr a)
+    {
+        const u32 pg = a >> kMemPageShift;
+        u8 *w = ramWr[pg];
+        if (!w)
+            w = materializeRam(pg);
+        return w + (a & kMemPageMask);
+    }
+
     DragonballIo &io;
-    std::vector<u8> ram;
-    std::vector<u8> rom;
+    std::vector<PageRef> ramPages;  ///< shared page blocks
+    std::vector<PageRef> romPages;
+    std::vector<const u8 *> ramRd;  ///< hot-path read pointers
+    std::vector<const u8 *> romRd;
+    /** Non-null while the page is privately writable; cleared by a
+     *  capture (freeze) or an image load. Mutable because capture is
+     *  logically const (bytes unchanged, ownership dropped). */
+    mutable std::vector<u8 *> ramWr;
+    mutable std::vector<u8 *> romWr;
     std::vector<u8> pageKinds;      ///< 65536 entries, one per 64 KB
     std::vector<u32> granuleGens;   ///< RAM then ROM granules
     std::vector<u8> granuleHasCode; ///< granule published a window

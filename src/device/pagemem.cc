@@ -1,0 +1,235 @@
+#include "pagemem.h"
+
+#include <cstring>
+
+#include "base/fnv.h"
+#include "base/logging.h"
+
+namespace pt::device
+{
+
+const PageRef &
+zeroPage()
+{
+    static const PageRef page = makeFilledPage(0x00);
+    return page;
+}
+
+const PageRef &
+erasedPage()
+{
+    static const PageRef page = makeFilledPage(0xFF);
+    return page;
+}
+
+PageRef
+makeFilledPage(u8 fill)
+{
+    PageRef p = std::make_shared<MemPage>();
+    std::memset(p->bytes, fill, kMemPageSize);
+    return p;
+}
+
+PageRef
+copyPage(const MemPage &src)
+{
+    PageRef p = std::make_shared<MemPage>();
+    std::memcpy(p->bytes, src.bytes, kMemPageSize);
+    return p;
+}
+
+u64
+pageHash(const MemPage &p)
+{
+    u64 h = p.cachedHash.load(std::memory_order_relaxed);
+    if (h != 0)
+        return h;
+    h = fnv64(p.bytes, kMemPageSize);
+    // FNV of a fixed-size block is 0 with negligible probability; a
+    // 0 result simply stays uncached and is recomputed next time.
+    p.cachedHash.store(h, std::memory_order_relaxed);
+    return h;
+}
+
+namespace
+{
+
+bool
+allZero(const u8 *p, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        if (p[i])
+            return false;
+    return true;
+}
+
+std::size_t
+pagesFor(std::size_t bytes)
+{
+    return (bytes + kMemPageSize - 1) >> kMemPageShift;
+}
+
+} // namespace
+
+PagedImage
+PagedImage::fromBytes(const u8 *data, std::size_t len)
+{
+    PagedImage img;
+    img.byteSize = len;
+    const std::size_t n = pagesFor(len);
+    img.pageRefs.reserve(n);
+    for (std::size_t pg = 0; pg < n; ++pg) {
+        const std::size_t off = pg << kMemPageShift;
+        const std::size_t take =
+            std::min<std::size_t>(kMemPageSize, len - off);
+        if (allZero(data + off, take)) {
+            img.pageRefs.push_back(zeroPage());
+            continue;
+        }
+        PageRef p = std::make_shared<MemPage>();
+        std::memcpy(p->bytes, data + off, take);
+        if (take < kMemPageSize)
+            std::memset(p->bytes + take, 0, kMemPageSize - take);
+        img.pageRefs.push_back(std::move(p));
+    }
+    return img;
+}
+
+PagedImage
+PagedImage::fromPages(std::vector<PageRef> pages, std::size_t size)
+{
+    PT_ASSERT(pages.size() == pagesFor(size),
+              "page count does not cover the image size");
+    PagedImage img;
+    img.pageRefs = std::move(pages);
+    img.byteSize = size;
+    return img;
+}
+
+void
+PagedImage::assign(std::size_t n, u8 fill)
+{
+    pageRefs.clear();
+    byteSize = n;
+    const std::size_t pages = pagesFor(n);
+    pageRefs.reserve(pages);
+    if (pages == 0)
+        return;
+    // One template page serves every full page of the image; a zero
+    // fill shares the process-wide singleton instead.
+    PageRef full = fill == 0 ? zeroPage() : makeFilledPage(fill);
+    const bool tailPartial = (n & kMemPageMask) != 0;
+    const std::size_t fullPages = tailPartial ? pages - 1 : pages;
+    for (std::size_t pg = 0; pg < fullPages; ++pg)
+        pageRefs.push_back(full);
+    if (tailPartial) {
+        const std::size_t tail = n & kMemPageMask;
+        if (fill == 0) {
+            pageRefs.push_back(zeroPage());
+        } else {
+            PageRef t = std::make_shared<MemPage>();
+            std::memset(t->bytes, fill, tail);
+            std::memset(t->bytes + tail, 0, kMemPageSize - tail);
+            pageRefs.push_back(std::move(t));
+        }
+    }
+}
+
+MemPage *
+PagedImage::ensureWritable(std::size_t pg)
+{
+    PageRef &ref = pageRefs[pg];
+    // use_count() == 1 means this image is the page's only owner (the
+    // shared singletons always count their global ref), so an
+    // in-place write cannot be observed elsewhere. The cached hash is
+    // dropped first: the bytes are about to change.
+    if (ref.use_count() != 1)
+        ref = copyPage(*ref);
+    ref->cachedHash.store(0, std::memory_order_relaxed);
+    return ref.get();
+}
+
+void
+PagedImage::setByte(std::size_t i, u8 v)
+{
+    PT_ASSERT(i < byteSize, "PagedImage::setByte out of range");
+    if (byte(i) == v)
+        return; // no-op stores must not materialize pages
+    ensureWritable(i >> kMemPageShift)->bytes[i & kMemPageMask] = v;
+}
+
+void
+PagedImage::write(std::size_t off, const void *src, std::size_t len)
+{
+    PT_ASSERT(off + len <= byteSize && off + len >= off,
+              "PagedImage::write out of range");
+    const u8 *s = static_cast<const u8 *>(src);
+    while (len) {
+        const std::size_t pg = off >> kMemPageShift;
+        const std::size_t at = off & kMemPageMask;
+        const std::size_t take =
+            std::min<std::size_t>(kMemPageSize - at, len);
+        if (std::memcmp(pageRefs[pg]->bytes + at, s, take) != 0)
+            std::memcpy(ensureWritable(pg)->bytes + at, s, take);
+        off += take;
+        s += take;
+        len -= take;
+    }
+}
+
+void
+PagedImage::read(std::size_t off, void *dst, std::size_t len) const
+{
+    PT_ASSERT(off + len <= byteSize && off + len >= off,
+              "PagedImage::read out of range");
+    u8 *d = static_cast<u8 *>(dst);
+    while (len) {
+        const std::size_t pg = off >> kMemPageShift;
+        const std::size_t at = off & kMemPageMask;
+        const std::size_t take =
+            std::min<std::size_t>(kMemPageSize - at, len);
+        std::memcpy(d, pageRefs[pg]->bytes + at, take);
+        off += take;
+        d += take;
+        len -= take;
+    }
+}
+
+std::vector<u8>
+PagedImage::bytes() const
+{
+    std::vector<u8> out(byteSize);
+    if (byteSize)
+        read(0, out.data(), byteSize);
+    return out;
+}
+
+u64
+PagedImage::fingerprint() const
+{
+    Fnv64 f;
+    f.updateValue(static_cast<u64>(byteSize));
+    for (const PageRef &p : pageRefs)
+        f.updateValue(pageHash(*p));
+    return f.value();
+}
+
+bool
+operator==(const PagedImage &a, const PagedImage &b)
+{
+    if (a.byteSize != b.byteSize)
+        return false;
+    for (std::size_t pg = 0; pg < a.pageRefs.size(); ++pg) {
+        if (a.pageRefs[pg] == b.pageRefs[pg])
+            continue; // shared page: identical by identity
+        // Tail padding is zero on both sides (class invariant), so
+        // whole pages always compare.
+        if (std::memcmp(a.pageRefs[pg]->bytes, b.pageRefs[pg]->bytes,
+                        kMemPageSize) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace pt::device

@@ -1,5 +1,7 @@
 #include "snapshot.h"
 
+#include <algorithm>
+
 #include "base/artifact.h"
 #include "base/binio.h"
 #include "base/fnv.h"
@@ -11,34 +13,66 @@ namespace pt::device
 namespace
 {
 
-/** Largest believable decoded image: 4x the m515's RAM. A corrupt
- *  length field must never drive a multi-gigabyte allocation. */
-constexpr u32 kMaxImageBytes = 4 * kRamSize;
-
-/** Encodes a byte image as (zeroRun, literalRun, literals)* records. */
+/**
+ * Encodes a byte image as (zeroRun, literalRun, literals)* records.
+ *
+ * Walks the image page by page — a page still sharing the zero
+ * singleton extends the current zero run without touching its bytes,
+ * so encoding cost follows the dirty footprint. The record stream is
+ * byte-identical to a flat scan of the same image: each record is a
+ * maximal zero run followed by the maximal literal run after it.
+ */
 void
-rleEncode(BinWriter &w, const std::vector<u8> &data)
+rleEncode(BinWriter &w, const PagedImage &img)
 {
-    w.put32(static_cast<u32>(data.size()));
-    std::size_t i = 0;
-    while (i < data.size()) {
-        std::size_t zstart = i;
-        while (i < data.size() && data[i] == 0)
-            ++i;
-        u32 zeros = static_cast<u32>(i - zstart);
-        std::size_t lstart = i;
-        while (i < data.size() && data[i] != 0)
-            ++i;
-        u32 lits = static_cast<u32>(i - lstart);
+    w.put32(static_cast<u32>(img.size()));
+    u32 zeros = 0;
+    std::vector<u8> lits;
+    auto flush = [&] {
+        if (zeros == 0 && lits.empty())
+            return;
         w.put32(zeros);
-        w.put32(lits);
-        w.putBytes(data.data() + lstart, lits);
+        w.put32(static_cast<u32>(lits.size()));
+        w.putBytes(lits.data(), lits.size());
+        zeros = 0;
+        lits.clear();
+    };
+    const std::size_t n = img.size();
+    for (std::size_t pg = 0; pg < img.pageCount(); ++pg) {
+        const std::size_t off = pg << kMemPageShift;
+        const std::size_t take =
+            std::min<std::size_t>(kMemPageSize, n - off);
+        if (img.pageIsZero(pg)) {
+            if (!lits.empty())
+                flush();
+            zeros += static_cast<u32>(take);
+            continue;
+        }
+        const u8 *b = img.page(pg)->bytes;
+        for (std::size_t i = 0; i < take; ++i) {
+            if (b[i] == 0) {
+                if (!lits.empty())
+                    flush();
+                ++zeros;
+            } else {
+                lits.push_back(b[i]);
+            }
+        }
     }
+    flush();
 }
 
+/**
+ * Decodes one RLE image of at most @p maxBytes — the capacity of the
+ * device region this field restores into. A corrupt or hostile length
+ * field is rejected here with a structured error instead of surviving
+ * until Bus::loadRam aborted the process (the seed-era failure mode),
+ * and it can never drive a multi-gigabyte allocation. Zero runs skip
+ * over shared zero pages, so decode cost is O(literal bytes).
+ */
 LoadResult
-rleDecode(BinReader &r, std::vector<u8> &out, const char *field,
-          std::size_t base)
+rleDecode(BinReader &r, PagedImage &out, const char *field,
+          std::size_t base, u32 maxBytes)
 {
     std::size_t at = base + r.offset();
     u32 total = r.get32();
@@ -46,13 +80,16 @@ rleDecode(BinReader &r, std::vector<u8> &out, const char *field,
         return LoadResult::fail(at, field,
                                 "truncated before the image size");
     }
-    if (total > kMaxImageBytes) {
-        return LoadResult::fail(at, field,
-                                "implausible image size " +
-                                    std::to_string(total) + " bytes");
+    if (total > maxBytes) {
+        return LoadResult::fail(
+            at, field,
+            "image size " + std::to_string(total) +
+                " bytes exceeds the device's " +
+                std::to_string(maxBytes) + "-byte capacity");
     }
     out.assign(total, 0);
     std::size_t pos = 0;
+    u8 buf[kMemPageSize];
     while (pos < total) {
         at = base + r.offset();
         u32 zeros = r.get32();
@@ -73,14 +110,19 @@ rleDecode(BinReader &r, std::vector<u8> &out, const char *field,
                     std::to_string(total) + ")");
         }
         pos += zeros;
-        r.getBytes(out.data() + pos, lits);
-        if (!r.ok()) {
-            return LoadResult::fail(base + r.offset(), field,
-                                    "truncated RLE literals at image "
-                                    "byte " +
-                                        std::to_string(pos));
+        while (lits) {
+            const u32 take = std::min<u32>(lits, kMemPageSize);
+            r.getBytes(buf, take);
+            if (!r.ok()) {
+                return LoadResult::fail(
+                    base + r.offset(), field,
+                    "truncated RLE literals at image byte " +
+                        std::to_string(pos));
+            }
+            out.write(pos, buf, take);
+            pos += take;
+            lits -= take;
         }
-        pos += lits;
     }
     return {};
 }
@@ -91,8 +133,8 @@ Snapshot
 Snapshot::capture(const Device &dev)
 {
     Snapshot s;
-    s.ram = dev.bus().ramImage();
-    s.rom = dev.bus().romImage();
+    s.ram = dev.bus().captureRam();
+    s.rom = dev.bus().captureRom();
     s.rtcBase = dev.io().rtcBaseValue();
     return s;
 }
@@ -109,9 +151,12 @@ Snapshot::restore(Device &dev) const
 u64
 Snapshot::fingerprint() const
 {
+    // Combine of the per-image page-hash fingerprints: O(pages) once
+    // the page hashes are cached, instead of re-hashing 20 MB. Tests
+    // pin this definition by recomputing it from the flat bytes.
     Fnv64 f;
-    f.update(ram.data(), ram.size());
-    f.update(rom.data(), rom.size());
+    f.updateValue(ram.fingerprint());
+    f.updateValue(rom.fingerprint());
     f.updateValue(rtcBase);
     return f.value();
 }
@@ -143,9 +188,9 @@ Snapshot::deserialize(const std::vector<u8> &data, Snapshot &out)
         return LoadResult::fail(base + r.offset(), "rtcBase",
                                 "payload too short");
     }
-    if (auto res = rleDecode(r, out.ram, "ram", base); !res)
+    if (auto res = rleDecode(r, out.ram, "ram", base, kRamSize); !res)
         return res;
-    if (auto res = rleDecode(r, out.rom, "rom", base); !res)
+    if (auto res = rleDecode(r, out.rom, "rom", base, kRomSize); !res)
         return res;
     if (!r.atEnd()) {
         return LoadResult::fail(base + r.offset(), "trailer",

@@ -10,6 +10,12 @@
  *
  * Images are serialized with zero-run-length compression: Palm RAM is
  * mostly empty, so snapshots stay small on disk.
+ *
+ * Images are held as shared copy-on-write page blocks (pagemem.h):
+ * capturing shares the device's pages instead of copying 20 MB,
+ * restoring shares them back, and a snapshot kept alive across a
+ * fleet costs one copy of the state regardless of how many devices
+ * it seeds.
  */
 
 #ifndef PT_DEVICE_SNAPSHOT_H
@@ -21,6 +27,7 @@
 #include "base/loaderror.h"
 #include "base/types.h"
 #include "device/map.h"
+#include "device/pagemem.h"
 #include "m68k/busif.h"
 
 namespace pt::device
@@ -31,8 +38,8 @@ class Device;
 /** A captured initial state. */
 struct Snapshot
 {
-    std::vector<u8> ram;
-    std::vector<u8> rom;
+    PagedImage ram;
+    PagedImage rom;
     u32 rtcBase = 0;
 
     /** Captures the device's memory and RTC base. */

@@ -37,7 +37,7 @@ prepareReplayDevice(const core::Session &s, device::Device &dev)
 {
     s.initialState.restore(dev);
     dev.runUntilIdle();
-    os::RomSymbols syms = os::buildRom().syms;
+    os::RomSymbols syms = os::builtRom().syms;
     hacks::HackManager mgr(dev, syms);
     mgr.installCollectionHacks();
     dev.runUntilIdle();

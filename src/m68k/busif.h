@@ -18,6 +18,8 @@
 #ifndef PT_M68K_BUSIF_H
 #define PT_M68K_BUSIF_H
 
+#include <memory>
+
 #include "base/types.h"
 
 namespace pt::m68k
@@ -53,6 +55,15 @@ struct CodeWindow
     u64 *fetchCounter = nullptr; ///< per-fetch reference counter
     u8 cls = 0;                  ///< region class cookie for onCachedFetch
     bool traced = false;         ///< report each fetch via onCachedFetch
+
+    /**
+     * Keeps the storage behind @ref mem alive. A copy-on-write bus
+     * retires a page's backing block when the page is shadowed; the
+     * generation guard already prevents a stale window from being
+     * *used*, and the pin prevents the dangling bytes from being
+     * *freed* while a cached block still holds the window.
+     */
+    std::shared_ptr<const void> pin;
 };
 
 /** Abstract CPU bus. Implemented by device::Bus. */

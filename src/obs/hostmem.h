@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Host process memory introspection for capacity gauges.
+ *
+ * The fleet runner publishes RSS-per-device so operators (and the CI
+ * budget gate) can see what a session actually costs with the shared
+ * copy-on-write memory model. Linux-only — other hosts report 0 and
+ * the gauges simply stay unset.
+ */
+
+#ifndef PT_OBS_HOSTMEM_H
+#define PT_OBS_HOSTMEM_H
+
+#include <cstdio>
+
+#include "base/types.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace pt::obs
+{
+
+/** The process's current resident set size in bytes (0 if unknown). */
+inline u64
+residentSetBytes()
+{
+#if defined(__linux__)
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long long pagesTotal = 0, pagesResident = 0;
+    const int n =
+        std::fscanf(f, "%llu %llu", &pagesTotal, &pagesResident);
+    std::fclose(f);
+    if (n != 2)
+        return 0;
+    const long pageSize = sysconf(_SC_PAGESIZE);
+    return static_cast<u64>(pagesResident) *
+           static_cast<u64>(pageSize > 0 ? pageSize : 4096);
+#else
+    return 0;
+#endif
+}
+
+} // namespace pt::obs
+
+#endif // PT_OBS_HOSTMEM_H

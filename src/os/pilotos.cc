@@ -36,8 +36,8 @@ installApp(GuestHeap &heap, m68k::BusIf &bus, const char *dbName,
 RomSymbols
 setupDevice(device::Device &dev, const SetupOptions &opts)
 {
-    RomImage rom = buildRom();
-    dev.bus().loadRom(rom.bytes);
+    // Shared pages: every device in the process references one ROM.
+    dev.bus().loadRom(builtRomPaged());
     dev.bus().clearRam();
     dev.io().setRtcBase(opts.rtcBase);
 
@@ -56,7 +56,7 @@ setupDevice(device::Device &dev, const SetupOptions &opts)
     dev.reset();
     if (opts.bootToLauncher)
         dev.runUntilIdle();
-    return rom.syms;
+    return builtRom().syms;
 }
 
 } // namespace pt::os

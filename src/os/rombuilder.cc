@@ -821,4 +821,21 @@ buildRom()
     return out;
 }
 
+const RomImage &
+builtRom()
+{
+    // Thread-safe (magic static); buildRom() is deterministic, so the
+    // first caller's image is everyone's image.
+    static const RomImage image = buildRom();
+    return image;
+}
+
+const device::PagedImage &
+builtRomPaged()
+{
+    static const device::PagedImage paged =
+        device::PagedImage::fromBytes(builtRom().bytes);
+    return paged;
+}
+
 } // namespace pt::os

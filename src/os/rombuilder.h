@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "base/types.h"
+#include "device/pagemem.h"
 #include "os/guestabi.h"
 
 namespace pt::os
@@ -45,6 +46,20 @@ struct RomImage
 
 /** Builds the PilotOS ROM. Deterministic: same output every call. */
 RomImage buildRom();
+
+/**
+ * The memoized process-wide ROM. buildRom() is deterministic, so one
+ * build serves every device in the process — fleet setup stops paying
+ * an assembler pass (and a 4 MB image) per session.
+ */
+const RomImage &builtRom();
+
+/**
+ * The built ROM as shared copy-on-write pages. Every device loading
+ * this image references the same physical pages, so a fleet's flash
+ * costs one ROM regardless of device count.
+ */
+const device::PagedImage &builtRomPaged();
 
 } // namespace pt::os
 

@@ -1,11 +1,14 @@
 #include "jobs.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "base/fnv.h"
+#include "obs/hostmem.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
+#include "trace/packedtrace.h"
 #include "workload/tracefeed.h"
 
 namespace pt::super
@@ -874,7 +877,338 @@ resumeBatchJob(const std::string &journalPath, const JournalData &data,
                         jo);
 }
 
+// ---------------------------------------------------------------------
+// Fleet jobs
+
+std::vector<u8>
+serializeFleetExtra(const std::vector<workload::SessionSpec> &specs,
+                    const FleetOptions &fo)
+{
+    BinWriter w;
+    w.put8(fo.saveSessions ? 1 : 0);
+    const std::vector<u8> s = serializeSpecs(specs);
+    w.putBytes(s.data(), s.size());
+    return w.takeBytes();
+}
+
+bool
+deserializeFleetExtra(const std::vector<u8> &extra,
+                      std::vector<workload::SessionSpec> &specs,
+                      FleetOptions &fo)
+{
+    if (extra.empty())
+        return false;
+    fo.saveSessions = extra[0] != 0;
+    return deserializeSpecs({extra.begin() + 1, extra.end()}, specs);
+}
+
+struct FleetMeasure
+{
+    u64 events = 0;     ///< packed records written
+    u64 traceBytes = 0; ///< finished .ptpk size
+    u64 ramRefs = 0;
+    u64 flashRefs = 0;
+    u64 instructions = 0;
+    u64 cycles = 0;
+};
+
+std::vector<u8>
+fleetBlob(const FleetMeasure &m)
+{
+    BinWriter w;
+    w.put64(m.events);
+    w.put64(m.traceBytes);
+    w.put64(m.ramRefs);
+    w.put64(m.flashRefs);
+    w.put64(m.instructions);
+    w.put64(m.cycles);
+    return w.takeBytes();
+}
+
+bool
+fleetFromBlob(const std::vector<u8> &blob, FleetMeasure &m)
+{
+    BinReader r(blob);
+    m.events = r.get64();
+    m.traceBytes = r.get64();
+    m.ramRefs = r.get64();
+    m.flashRefs = r.get64();
+    m.instructions = r.get64();
+    m.cycles = r.get64();
+    return r.ok() && r.atEnd();
+}
+
+JobResult
+fleetJobCore(const std::vector<workload::SessionSpec> &specs,
+             const FleetOptions &fo, const JobSpec &spec,
+             JournalWriter *journal, std::vector<bool> skip,
+             const std::vector<ItemRecord> &prior, const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = spec.outPath;
+    const std::string &outBase = spec.sessionPath;
+    const std::size_t n = specs.size();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    ItemFn fn = [&](u64 i, CancelToken &tok) -> ItemOutcome {
+        ItemOutcome out;
+        const workload::SessionSpec &ss =
+            specs[static_cast<std::size_t>(i)];
+
+        // Scoped metrics, published only on success (see sweepJobCore).
+        std::unique_ptr<obs::MetricScope> scope;
+        std::unique_ptr<obs::ScopedProfileSink> scoped;
+        if (obs::profileSink()) {
+            scope =
+                std::make_unique<obs::MetricScope>("fleet/" + ss.name);
+            scoped = std::make_unique<obs::ScopedProfileSink>(*scope);
+        }
+
+        // Each item is a pure function of its spec: the device boots
+        // from the shared ROM pages, the session is deterministic in
+        // the spec's seed, and the packed trace streams straight to
+        // disk — so the bytes cannot depend on job count or on which
+        // worker ran the item.
+        core::Session sess = core::PalmSimulator::collect(ss.config);
+        if (fo.saveSessions) {
+            std::string serr;
+            if (!sess.save(outBase + "-session-" + std::to_string(i),
+                           &serr)) {
+                out.error = "cannot save session: " + serr;
+                return out;
+            }
+        }
+
+        const std::string tracePath = fleetTracePath(outBase, i);
+        trace::PackedTraceWriter writer(tracePath,
+                                        spec.blockCapacity);
+        if (!writer.ok()) {
+            out.error = "cannot open trace " + tracePath;
+            return out;
+        }
+        trace::PackedWriterSink sink(writer);
+        core::ReplayConfig cfg;
+        cfg.options.cancel = &tok;
+        cfg.extraRefSink = &sink;
+        core::ReplayResult rr =
+            core::PalmSimulator::replaySession(sess, cfg);
+        if (rr.replayStats.interrupted) {
+            writer.abort();
+            out.error = "interrupted";
+            return out;
+        }
+        if (rr.replayStats.optionsRejected) {
+            writer.abort();
+            out.error = "replay options rejected: " +
+                        rr.replayStats.optionsError;
+            return out;
+        }
+        FleetMeasure m;
+        m.events = writer.count();
+        std::string werr;
+        if (!writer.close(&werr)) {
+            out.error = "close " + tracePath + ": " + werr;
+            return out;
+        }
+        m.traceBytes = writer.bytesWritten();
+        bool fnvOk = false;
+        out.artifactFnv = fnvFile(tracePath, &fnvOk);
+        if (!fnvOk) {
+            out.error = "trace unreadable after close: " + tracePath;
+            return out;
+        }
+        m.ramRefs = rr.refs.ramRefs();
+        m.flashRefs = rr.refs.flashRefs();
+        m.instructions = rr.instructions;
+        m.cycles = rr.cycles;
+        out.ok = true;
+        out.artifact = tracePath;
+        out.blob = fleetBlob(m);
+        if (scope)
+            scope->publish();
+        return out;
+    };
+
+    res.super = superviseItems(
+        n, fn,
+        superOptionsFor(spec, journal, jo.globalCancel,
+                        jo.backoffBaseMs, std::move(skip)));
+
+    // Fleet throughput and footprint gauges. RSS-per-device reports
+    // what the copy-on-write memory model actually costs per session
+    // in this process; event totals fold in journalled (skipped)
+    // items so a resumed run reports the whole fleet.
+    u64 totalEvents = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::vector<u8> &blob =
+            res.super.outcomes[i].blob.empty() && i < prior.size()
+                ? prior[i].blob
+                : res.super.outcomes[i].blob;
+        FleetMeasure m;
+        if (fleetFromBlob(blob, m))
+            totalEvents += m.events;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    obs::Registry &reg = obs::Registry::global();
+    if (elapsed > 0 && n > 0) {
+        reg.gauge("fleet.sessions_per_sec")
+            .set(static_cast<double>(res.super.itemsDone) / elapsed);
+        reg.gauge("fleet.events_per_sec")
+            .set(static_cast<double>(totalEvents) / elapsed);
+    }
+    if (n > 0) {
+        reg.gauge("fleet.rss_per_device_bytes")
+            .set(static_cast<double>(obs::residentSetBytes()) /
+                 static_cast<double>(n));
+    }
+
+    if (handleInterrupt(res, journal))
+        return res; // finished traces stay for the resume
+
+    std::string csv =
+        "session,status,trace,events,trace_bytes,ram_refs,flash_refs,"
+        "instructions,cycles\n";
+    for (std::size_t i = 0; i < n; ++i) {
+        csv += specs[i].name;
+        const std::vector<u8> &blob =
+            res.super.outcomes[i].blob.empty() && i < prior.size()
+                ? prior[i].blob
+                : res.super.outcomes[i].blob;
+        FleetMeasure m;
+        if (res.super.quarantined[i] || !fleetFromBlob(blob, m)) {
+            csv += ",quarantined,,0,0,0,0,0,0\n";
+            continue;
+        }
+        csv += ",ok,";
+        csv += fleetTracePath(outBase, i);
+        csv += ',' + std::to_string(m.events);
+        csv += ',' + std::to_string(m.traceBytes);
+        csv += ',' + std::to_string(m.ramRefs);
+        csv += ',' + std::to_string(m.flashRefs);
+        csv += ',' + std::to_string(m.instructions);
+        csv += ',' + std::to_string(m.cycles);
+        csv += '\n';
+    }
+
+    BinWriter w;
+    w.putBytes(csv.data(), csv.size());
+    std::string err;
+    if (!w.writeFile(spec.outPath, &err)) {
+        res.error = "write " + spec.outPath + ": " + err;
+        return res;
+    }
+    res.outFnv = fnv64(csv.data(), csv.size());
+    res.degraded = res.super.itemsQuarantined > 0;
+    footerBestEffort(
+        journal,
+        {res.degraded ? JobStatus::Degraded : JobStatus::Complete,
+         res.outFnv, res.degraded ? res.super.firstError : ""});
+    res.ok = true;
+    return res;
+}
+
+JobResult
+resumeFleetJob(const std::string &journalPath, const JournalData &data,
+               const JobOptions &jo)
+{
+    JobResult res;
+    res.outPath = data.spec.outPath;
+
+    std::vector<workload::SessionSpec> specs;
+    FleetOptions fo;
+    if (!deserializeFleetExtra(data.spec.extra, specs, fo) ||
+        specs.size() != data.spec.totalItems) {
+        res.error = "journalled fleet specs are corrupt";
+        return res;
+    }
+    if (fnv64(data.spec.extra.data(), data.spec.extra.size()) !=
+        data.spec.bindFingerprint) {
+        res.error = "journalled fleet specs fail their binding "
+                    "fingerprint";
+        return res;
+    }
+
+    // Skip only items whose journalled trace is still intact on disk
+    // (epoch-style artifact verification): the .ptpk is the product,
+    // not just the row.
+    std::vector<ItemRecord> latest = data.latestPerItem();
+    std::vector<bool> skip(latest.size(), false);
+    for (std::size_t i = 0; i < latest.size(); ++i) {
+        FleetMeasure m;
+        if (latest[i].state != ItemState::Done ||
+            !fleetFromBlob(latest[i].blob, m)) {
+            continue;
+        }
+        bool ok = false;
+        const u64 f = fnvFile(latest[i].artifact, &ok);
+        skip[i] = ok && f == latest[i].artifactFnv;
+    }
+    for (std::size_t i = 0; i < data.spec.totalItems; ++i) {
+        std::remove(
+            (fleetTracePath(data.spec.sessionPath, i) + ".tmp")
+                .c_str());
+    }
+    std::remove((data.spec.outPath + ".tmp").c_str());
+
+    JournalWriter journal;
+    JournalWriter *jptr = nullptr;
+    std::string err;
+    if (journal.openAppend(journalPath, data.validBytes, &err))
+        jptr = &journal;
+
+    JobSpec spec = data.spec;
+    if (jo.jobs)
+        spec.jobs = jo.jobs;
+    return fleetJobCore(specs, fo, spec, jptr, std::move(skip),
+                        latest, jo);
+}
+
 } // namespace
+
+std::string
+fleetTracePath(const std::string &outBase, u64 i)
+{
+    return outBase + "-session-" + std::to_string(i) + ".ptpk";
+}
+
+JobResult
+runFleetJob(const std::vector<workload::SessionSpec> &specs,
+            const std::string &outBase, const JobOptions &jo,
+            const FleetOptions &fo)
+{
+    JobResult res;
+    res.outPath = outBase + ".csv";
+
+    JobSpec spec;
+    spec.kind = JobKind::Fleet;
+    spec.sessionPath = outBase; ///< per-session trace base
+    spec.outPath = outBase + ".csv";
+    spec.blockCapacity = jo.blockCapacity;
+    spec.totalItems = specs.size();
+    spec.maxAttempts = jo.maxAttempts;
+    spec.deadlineMs = jo.deadlineMs;
+    spec.backoffSeed = jo.backoffSeed;
+    spec.jobs = jo.jobs;
+    spec.extra = serializeFleetExtra(specs, fo);
+    // The specs travel inside the journal, so the binding fingerprint
+    // covers them directly (the session-batch scheme).
+    spec.bindFingerprint = fnv64(spec.extra.data(), spec.extra.size());
+
+    JournalWriter journal;
+    JournalWriter *jptr = nullptr;
+    if (!jo.journalPath.empty()) {
+        std::string err;
+        if (!journal.open(jo.journalPath, spec, &err)) {
+            res.error = "cannot open journal: " + err;
+            return res;
+        }
+        jptr = &journal;
+    }
+    return fleetJobCore(specs, fo, spec, jptr, {}, {}, jo);
+}
 
 JobResult
 resumeJob(const std::string &journalPath, const JobOptions &jo)
@@ -903,6 +1237,8 @@ resumeJob(const std::string &journalPath, const JobOptions &jo)
         return resumeSweepJob(journalPath, data, jo);
       case JobKind::SessionBatch:
         return resumeBatchJob(journalPath, data, jo);
+      case JobKind::Fleet:
+        return resumeFleetJob(journalPath, data, jo);
       default:
         res.error = "journal records an unknown job kind";
         return res;

@@ -14,6 +14,14 @@
  *    resume reproduces the file exactly.
  *  - runSessionBatchJob(): batched synthetic-session collect+replay.
  *    Items are the session specs; same journalled-CSV scheme.
+ *  - runFleetJob(): fleet-scale device instantiation. Items are
+ *    session specs; each collects a session on its own device and
+ *    replays it through a streaming packed-trace writer, producing
+ *    <outBase>-session-<i>.ptpk plus a summary CSV. Every device
+ *    shares the process ROM pages and copy-on-write RAM, so a fleet's
+ *    footprint is one base state plus per-device dirty pages. Each
+ *    item is a pure function of its spec, so per-session traces are
+ *    byte-identical at any job count (and across resumes).
  *
  * Every job can attach a write-ahead journal (JobOptions::
  * journalPath). resumeJob() reloads a journal — after a crash, a
@@ -93,6 +101,27 @@ JobResult runSweepJob(const std::string &tracePath,
 JobResult
 runSessionBatchJob(const std::vector<workload::SessionSpec> &specs,
                    const std::string &outPath, const JobOptions &jo);
+
+/** Fleet-specific knobs. */
+struct FleetOptions
+{
+    /** Also persist each collected session next to its trace
+     *  (<outBase>-session-<i>.init.snap/.log/.final.snap). */
+    bool saveSessions = false;
+};
+
+/** The per-session packed-trace path of fleet item @p i. */
+std::string fleetTracePath(const std::string &outBase, u64 i);
+
+/**
+ * Fleet-scale batched collect+replay: one packed trace per session
+ * (<outBase>-session-<i>.ptpk) and a summary CSV at <outBase>.csv.
+ * Publishes fleet.sessions_per_sec, fleet.events_per_sec and
+ * fleet.rss_per_device_bytes gauges.
+ */
+JobResult runFleetJob(const std::vector<workload::SessionSpec> &specs,
+                      const std::string &outBase, const JobOptions &jo,
+                      const FleetOptions &fo = {});
 
 /**
  * Resumes the job recorded in @p journalPath: reloads the inputs,

@@ -39,6 +39,8 @@ jobKindName(JobKind k)
         return "packed-sweep";
       case JobKind::SessionBatch:
         return "session-batch";
+      case JobKind::Fleet:
+        return "fleet";
     }
     return "?";
 }
@@ -102,7 +104,7 @@ LoadResult
 JobSpec::deserialize(BinReader &r, JobSpec &out)
 {
     u32 kind = r.get32();
-    if (kind > static_cast<u32>(JobKind::SessionBatch)) {
+    if (kind > static_cast<u32>(JobKind::Fleet)) {
         return LoadResult::fail(r.offset(), "spec.kind",
                                 "unknown job kind " +
                                     std::to_string(kind));

@@ -64,6 +64,7 @@ enum class JobKind : u32
     EpochRun = 1,     ///< epoch-parallel profiled replay
     PackedSweep = 2,  ///< cache sweep over a packed trace
     SessionBatch = 3, ///< batched synthetic-session replay
+    Fleet = 4,        ///< fleet collect+replay to per-session traces
 };
 
 const char *jobKindName(JobKind k);

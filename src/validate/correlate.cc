@@ -205,11 +205,9 @@ logicalImport(const device::Snapshot &src, device::Device &dst)
     dst.bus().clearRam();
     dst.io().setRtcBase(src.rtcBase);
 
-    auto &ram = dst.bus().ramImage();
-    std::copy(src.ram.begin() + os::Lay::HeapBase,
-              src.ram.begin() + os::Lay::HeapEnd,
-              ram.begin() + os::Lay::HeapBase);
-    dst.bus().invalidateCodeCache(); // direct ramImage() mutation
+    std::vector<u8> heap(os::Lay::HeapEnd - os::Lay::HeapBase);
+    src.ram.read(os::Lay::HeapBase, heap.data(), heap.size());
+    dst.bus().writeRam(os::Lay::HeapBase, heap.data(), heap.size());
 
     // Imported, not created: the CREATION, MODIFICATION and LAST
     // BACKUP dates read zero on the emulated device (§3.4) — the

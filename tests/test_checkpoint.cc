@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "base/artifact.h"
+#include "base/binio.h"
 #include "core/palmsim.h"
 #include "device/checkpoint.h"
 #include "fault/faultplan.h"
@@ -272,6 +274,47 @@ TEST(CheckpointReplay, ResumeFromDeserializedCheckpoint)
     engine2.resume(cp2);
     EXPECT_EQ(device::Snapshot::capture(dev2).fingerprint(),
               full.finalState.fingerprint());
+}
+
+TEST(CheckpointTest, OversizedEmbeddedRamRejectedStructured)
+{
+    // Splice a checksum-valid hostile snapshot — one whose RAM image
+    // claims more than the device holds — into an otherwise valid
+    // checkpoint. Loading must return a structured error pointing at
+    // the embedded field, not abort the process (the seed-era bug).
+    Checkpoint clean;
+    auto framed = clean.serialize();
+    artifact::FrameInfo fi;
+    ASSERT_TRUE(
+        artifact::unframe(framed, artifact::kCheckpointMagic, fi));
+    std::vector<u8> payload(
+        framed.begin() + static_cast<std::ptrdiff_t>(fi.payloadOffset),
+        framed.begin() +
+            static_cast<std::ptrdiff_t>(fi.payloadOffset +
+                                        fi.payloadLen));
+    BinReader r(payload);
+    const u32 oldMemSize = r.get32();
+    ASSERT_TRUE(r.ok());
+
+    BinWriter hostileSnap;
+    hostileSnap.put32(0);                    // rtcBase
+    hostileSnap.put32(device::kRamSize + 1); // oversized RAM claim
+    auto hostile = artifact::frame(artifact::kSnapshotMagic,
+                                   hostileSnap.takeBytes());
+
+    BinWriter w;
+    w.put32(static_cast<u32>(hostile.size()));
+    w.putBytes(hostile.data(), hostile.size());
+    w.putBytes(payload.data() + 4 + oldMemSize,
+               payload.size() - 4 - oldMemSize);
+    auto bad =
+        artifact::frame(artifact::kCheckpointMagic, w.takeBytes());
+
+    Checkpoint out;
+    auto res = Checkpoint::deserialize(bad, out);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().field, "memory.ram");
+    EXPECT_NE(res.error().reason.find("capacity"), std::string::npos);
 }
 
 } // namespace

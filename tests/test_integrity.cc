@@ -193,6 +193,75 @@ TEST(IntegrityCheckpoint, AllTruncationsAndBitFlipsRejected)
         bytes, &device::Checkpoint::deserialize);
 }
 
+/** A checksum-valid framed snapshot whose RAM image claims
+ *  @p ramSize bytes; the capacity check must fire before any RLE
+ *  record is read (none follow). */
+std::vector<u8>
+snapshotClaimingRamSize(u32 ramSize)
+{
+    BinWriter w;
+    w.put32(0x11223344); // rtcBase
+    w.put32(ramSize);    // ram image size
+    return artifact::frame(artifact::kSnapshotMagic, w.takeBytes());
+}
+
+TEST(IntegritySnapshot, OversizedRamImageRejectedStructured)
+{
+    // The seed-era loader let an oversized image through to
+    // Bus::loadRam, which aborted the process. It must now be a
+    // structured LoadError naming the field.
+    device::Snapshot out;
+    auto res = device::Snapshot::deserialize(
+        snapshotClaimingRamSize(device::kRamSize + 1), out);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().field, "ram");
+    EXPECT_NE(res.error().reason.find("capacity"), std::string::npos);
+}
+
+TEST(IntegritySnapshot, HostileRamSizeCannotDriveAllocation)
+{
+    // A ~4 GB claim is refused by the capacity check up front — it
+    // must never reach an allocator.
+    device::Snapshot out;
+    auto res = device::Snapshot::deserialize(
+        snapshotClaimingRamSize(0xFFFFFFFFu), out);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().field, "ram");
+}
+
+TEST(IntegritySnapshot, OversizedRomImageRejectedStructured)
+{
+    BinWriter w;
+    w.put32(0);                    // rtcBase
+    w.put32(0);                    // ram: empty image, no records
+    w.put32(device::kRomSize + 1); // hostile ROM size
+    device::Snapshot out;
+    auto res = device::Snapshot::deserialize(
+        artifact::frame(artifact::kSnapshotMagic, w.takeBytes()), out);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().field, "rom");
+    EXPECT_NE(res.error().reason.find("capacity"), std::string::npos);
+}
+
+TEST(IntegritySnapshot, FullCapacityImagesStillAccepted)
+{
+    // Exactly-at-capacity sizes are legitimate (a real device dump).
+    BinWriter w;
+    w.put32(7);                // rtcBase
+    w.put32(device::kRamSize); // ram: one maximal zero run
+    w.put32(device::kRamSize);
+    w.put32(0);
+    w.put32(device::kRomSize); // rom: likewise
+    w.put32(device::kRomSize);
+    w.put32(0);
+    device::Snapshot out;
+    auto res = device::Snapshot::deserialize(
+        artifact::frame(artifact::kSnapshotMagic, w.takeBytes()), out);
+    ASSERT_TRUE(res.ok()) << res.error().reason;
+    EXPECT_EQ(out.ram.size(), device::kRamSize);
+    EXPECT_EQ(out.rom.size(), device::kRomSize);
+}
+
 TEST(IntegrityLog, SeededSmashRejected)
 {
     auto bytes = sampleLog().serialize();

@@ -243,6 +243,7 @@ struct Args
 const char *const kSubcommands[] = {
     "collect", "info", "replay", "validate", "fsck",  "stats",
     "sweep",   "trace", "epoch", "resume",   "disasm", "report",
+    "fleet",
 };
 
 void
@@ -299,6 +300,14 @@ printUsage(std::FILE *to)
         "                     kill, or Ctrl-C: skips finished items,\n"
         "                     re-runs the rest, finalizes the same\n"
         "                     output an uninterrupted run writes\n"
+        "  fleet --out BASE [--count N] [--scale X] [--seed S]\n"
+        "        [--block N] [--save-sessions]\n"
+        "                     instantiate a fleet of N devices (shared\n"
+        "                     ROM, copy-on-write RAM), collect+replay a\n"
+        "                     session on each, stream one packed trace\n"
+        "                     per session to BASE-session-<i>.ptpk and\n"
+        "                     a summary CSV to BASE.csv; traces are\n"
+        "                     byte-identical at any --jobs count\n"
         "  disasm [--count N] disassemble the PilotOS ROM\n"
         "  report [--metrics M.json] [--timeseries T.jsonl]\n"
         "         [--journal J] [--postmortem P.json] [--out FILE]\n"
@@ -306,7 +315,7 @@ printUsage(std::FILE *to)
         "                     into one markdown run report\n"
         "  help               print this message\n"
         "\n"
-        "supervised-job options (epoch run, sweep --packed):\n"
+        "supervised-job options (epoch run, sweep --packed, fleet):\n"
         "  --journal FILE       write-ahead job journal; enables\n"
         "                       'palmtrace resume FILE'\n"
         "  --deadline MS        per-item stall deadline enforced by\n"
@@ -2217,6 +2226,65 @@ reportJob(const char *what, const super::JobResult &r)
     return 0;
 }
 
+/**
+ * Deterministic fleet session specs: @p count sessions cycling the
+ * four Table 1 presets, each with a per-index seed derived from the
+ * fleet seed — a pure function of (count, scale, seed), so any two
+ * invocations (and any job counts) produce the same sessions.
+ */
+std::vector<workload::SessionSpec>
+fleetSpecs(unsigned count, double scale, u64 seed)
+{
+    std::vector<workload::SessionSpec> presets =
+        workload::table1Specs(scale);
+    std::vector<workload::SessionSpec> specs;
+    specs.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        workload::SessionSpec s = presets[i % presets.size()];
+        s.name = "fleet-" + std::to_string(i) + "-" + s.name;
+        s.config.seed += seed * 0x9E3779B97F4A7C15ull +
+                         u64{i} * 0x2545F4914F6CDD1Dull;
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+/** `fleet --out BASE`: fleet-scale batched collect+replay with one
+ *  streamed packed trace per session plus a summary CSV. */
+int
+cmdFleet(const Args &a)
+{
+    const char *out = a.value("--out");
+    if (!out) {
+        std::fprintf(
+            stderr,
+            "usage: palmtrace fleet --out BASE [--count N] "
+            "[--scale X] [--seed S] [--block N] [--save-sessions] "
+            "[--journal FILE] [--deadline MS] [--max-retries N]\n");
+        return 2;
+    }
+    unsigned count = static_cast<unsigned>(
+        std::strtoul(a.value("--count", "8"), nullptr, 0));
+    if (!count)
+        count = 8;
+    double scale = std::atof(a.value("--scale", "1"));
+    if (scale <= 0)
+        scale = 1.0;
+    const u64 seed =
+        std::strtoull(a.value("--seed", "1"), nullptr, 0);
+
+    super::JobOptions jo = jobOptionsFrom(a);
+    if (const char *b = a.value("--block")) {
+        jo.blockCapacity =
+            static_cast<u32>(std::strtoul(b, nullptr, 0));
+    }
+    super::FleetOptions fo;
+    fo.saveSessions = a.has("--save-sessions");
+    return reportJob("fleet",
+                     super::runFleetJob(fleetSpecs(count, scale, seed),
+                                        out, jo, fo));
+}
+
 /** `resume JOURNAL`: pick a journalled job back up where it stopped. */
 int
 cmdResume(const Args &a)
@@ -2442,9 +2510,9 @@ cmdDisasm(const Args &a)
 {
     u32 count = static_cast<u32>(
         std::strtoul(a.value("--count", "40"), nullptr, 0));
-    os::RomImage rom = os::buildRom();
+    const os::RomImage &rom = os::builtRom();
     device::Device dev;
-    dev.bus().loadRom(rom.bytes);
+    dev.bus().loadRom(os::builtRomPaged());
     std::printf("PilotOS ROM @ 0x%08X (boot 0x%08X, dispatcher "
                 "0x%08X)\n\n",
                 device::kRomBase, rom.syms.boot, rom.syms.dispatcher);
@@ -2755,6 +2823,8 @@ dispatch(const std::string &cmd, const Args &rest)
         return cmdEpoch(rest);
     if (cmd == "resume")
         return cmdResume(rest);
+    if (cmd == "fleet")
+        return cmdFleet(rest);
     if (cmd == "report")
         return cmdReport(rest);
     if (cmd == "disasm")
