@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Resident fleet-server throughput report (DESIGN.md §17): boots an
+ * in-process `palmtrace serve` server, drives a thousand-session
+ * fleet through it over the Unix-domain socket, and compares the
+ * served throughput against a local `palmtrace fleet` of the same
+ * specs.
+ *
+ * The headline gate is the protocol's promise: framing, streaming,
+ * and FNV verification cost little enough that served sessions/s
+ * stays within 0.8x of running the fleet in-process — while the
+ * artifacts stay byte-identical.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/table.h"
+#include "bench/benchutil.h"
+#include "obs/registry.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "super/jobs.h"
+#include "workload/sessionrunner.h"
+
+namespace
+{
+
+using namespace pt;
+
+std::string
+tmpBase(const char *name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir && *dir ? dir : "/tmp") + "/" + name;
+}
+
+std::vector<workload::SessionSpec>
+serveSpecs(std::size_t count, u64 seed)
+{
+    std::vector<workload::SessionSpec> specs(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        specs[i].name = "serve-" + std::to_string(i);
+        specs[i].config.seed = seed + i;
+        specs[i].config.interactions = 2;
+        specs[i].config.meanIdleTicks = 1'000;
+    }
+    return specs;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+removeFleet(const std::string &base, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        std::remove(super::fleetTracePath(base, i).c_str());
+    std::remove((base + ".csv").c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    bench::banner("perf_serve",
+                  "resident fleet server — served vs local throughput");
+
+    const std::size_t sessions = static_cast<std::size_t>(
+        1024 * (args.scale > 0 ? args.scale : 1.0));
+    auto specs = serveSpecs(sessions ? sessions : 1, 1);
+    const std::string localBase = tmpBase("perf_serve_local");
+    const std::string remoteBase = tmpBase("perf_serve_remote");
+
+    // --- Local baseline: the same fleet, in-process ---------------
+    super::JobOptions jo;
+    auto t0 = std::chrono::steady_clock::now();
+    auto local = super::runFleetJob(specs, localBase, jo);
+    const double localSecs = secondsSince(t0);
+    if (!local.ok) {
+        std::fprintf(stderr, "local fleet failed: %s\n",
+                     local.error.c_str());
+        return 1;
+    }
+    const double localRate =
+        static_cast<double>(specs.size()) / localSecs;
+
+    // --- Served fleet: same specs through the resident server -----
+    serve::ServeOptions so;
+    so.socketPath = tmpBase("perf_serve.sock");
+    so.maxSessions = 128;
+    serve::Server server(so);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "serve: %s\n", err.c_str());
+        return 1;
+    }
+    serve::ClientOptions co;
+    co.endpoint = so.socketPath;
+    t0 = std::chrono::steady_clock::now();
+    auto remote = serve::runRemoteFleet(specs, remoteBase, co, jo);
+    const double remoteSecs = secondsSince(t0);
+    auto st = server.stop();
+    if (!remote.ok) {
+        std::fprintf(stderr, "served fleet failed: %s\n",
+                     remote.error.c_str());
+        return 1;
+    }
+    const double remoteRate =
+        static_cast<double>(specs.size()) / remoteSecs;
+
+    auto &reg = obs::Registry::global();
+    TextTable t("Served fleet — PTSF socket protocol");
+    t.setHeader({"Metric", "local", "served"});
+    t.addRow({"sessions", std::to_string(specs.size()),
+              std::to_string(st.sessionsDone)});
+    t.addRow({"wall time (s)", TextTable::num(localSecs, 3),
+              TextTable::num(remoteSecs, 3)});
+    t.addRow({"sessions/s", TextTable::num(localRate, 1),
+              TextTable::num(remoteRate, 1)});
+    t.addRow({"bytes streamed", "-",
+              std::to_string(st.bytesStreamed)});
+    t.addRow({"serve.sessions_per_sec (gauge)", "-",
+              TextTable::num(reg.gaugeValue("serve.sessions_per_sec"),
+                             1)});
+    std::printf("%s\n", t.render().c_str());
+    if (args.csv)
+        std::printf("%s\n", t.renderCsv().c_str());
+
+    const bool sizeOk = specs.size() >= 1000 || args.scale < 1.0;
+    bench::expect("served sessions", ">= 1000",
+                  std::to_string(specs.size()), sizeOk);
+
+    const bool rateOk = remoteRate >= 0.8 * localRate;
+    bench::expect("served sessions/s", ">= 0.8x local",
+                  TextTable::num(remoteRate / localRate, 2) + "x",
+                  rateOk);
+
+    // --- Byte-identity: the served artifacts ARE the local ones ---
+    bool identical = true;
+    for (std::size_t i = 0; identical && i < specs.size(); ++i) {
+        identical =
+            super::fnvFile(super::fleetTracePath(localBase, i)) ==
+            super::fnvFile(super::fleetTracePath(remoteBase, i));
+    }
+    bench::expect("served traces vs local", "byte-identical",
+                  identical ? "byte-identical" : "diverged",
+                  identical);
+
+    const bool gaugesOk =
+        reg.gaugeValue("serve.sessions_per_sec") > 0 &&
+        st.bytesStreamed > 0 && st.badFrames == 0;
+    bench::expect("serve.* gauges", "published",
+                  gaugesOk ? "published" : "missing", gaugesOk);
+
+    removeFleet(localBase, specs.size());
+    removeFleet(remoteBase, specs.size());
+
+    const int exitCode =
+        sizeOk && rateOk && identical && gaugesOk ? 0 : 1;
+    bench::finishMetrics(args);
+    return exitCode;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "fdio.h"
 #include "iohooks.h"
 
 namespace pt
@@ -46,7 +47,7 @@ BinWriter::writeFile(const std::string &path, std::string *errOut) const
         return writeFailed(errOut, "torn write of", tmp);
     }
     std::size_t n = (buf.empty() || wf.fail)
-        ? 0 : std::fwrite(buf.data(), 1, buf.size(), f);
+        ? 0 : io::fwriteFull(buf.data(), buf.size(), f);
     if (n != buf.size() || wf.fail || std::fflush(f) != 0 ||
         io::checkFault(io::Op::Flush, path).any()) {
         std::fclose(f);
@@ -87,7 +88,7 @@ BinReader::readFile(const std::string &path, BinReader &out)
     std::fseek(f, 0, SEEK_SET);
     std::vector<u8> data(size > 0 ? static_cast<std::size_t>(size) : 0);
     std::size_t n = data.empty()
-        ? 0 : std::fread(data.data(), 1, data.size(), f);
+        ? 0 : io::freadFull(data.data(), data.size(), f);
     std::fclose(f);
     if (n != data.size()) {
         return LoadResult::fail(n, "file",

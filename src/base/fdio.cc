@@ -1,0 +1,106 @@
+#include "fdio.h"
+
+#include <cerrno>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace pt::io
+{
+
+bool
+readFull(int fd, void *buf, std::size_t len)
+{
+#if defined(_WIN32)
+    (void)fd;
+    (void)buf;
+    (void)len;
+    errno = ENOSYS;
+    return false;
+#else
+    auto *p = static_cast<unsigned char *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::read(fd, p, len);
+        if (n > 0) {
+            p += n;
+            len -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            errno = 0; // clean EOF mid-buffer
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+#endif
+}
+
+bool
+writeFull(int fd, const void *buf, std::size_t len)
+{
+#if defined(_WIN32)
+    (void)fd;
+    (void)buf;
+    (void)len;
+    errno = ENOSYS;
+    return false;
+#else
+    const auto *p = static_cast<const unsigned char *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n > 0) {
+            p += n;
+            len -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+#endif
+}
+
+std::size_t
+freadFull(void *buf, std::size_t len, std::FILE *f)
+{
+    auto *p = static_cast<unsigned char *>(buf);
+    std::size_t got = 0;
+    while (got < len) {
+        const std::size_t n = std::fread(p + got, 1, len - got, f);
+        got += n;
+        if (got == len)
+            break;
+        if (std::ferror(f) && errno == EINTR) {
+            std::clearerr(f);
+            continue;
+        }
+        break; // EOF or a hard error
+    }
+    return got;
+}
+
+std::size_t
+fwriteFull(const void *buf, std::size_t len, std::FILE *f)
+{
+    const auto *p = static_cast<const unsigned char *>(buf);
+    std::size_t put = 0;
+    while (put < len) {
+        const std::size_t n = std::fwrite(p + put, 1, len - put, f);
+        put += n;
+        if (put == len)
+            break;
+        if (std::ferror(f) && errno == EINTR) {
+            std::clearerr(f);
+            continue;
+        }
+        break;
+    }
+    return put;
+}
+
+} // namespace pt::io

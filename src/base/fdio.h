@@ -1,0 +1,56 @@
+/**
+ * @file
+ * EINTR-safe full-buffer I/O primitives.
+ *
+ * POSIX read()/write() may transfer fewer bytes than asked — a signal
+ * (the SIGINT handler, the watchdog's profiling timers) interrupts
+ * them with EINTR, and sockets legitimately return short counts under
+ * load. Every call site that actually needs "all n bytes or a hard
+ * failure" — the serve wire protocol, artifact file I/O — routes
+ * through these helpers so the retry loop exists exactly once.
+ *
+ * Two flavors:
+ *  - readFull()/writeFull() on raw file descriptors (sockets, pipes),
+ *  - freadFull()/fwriteFull() on stdio streams (artifact files),
+ *    which retry the EINTR case stdio surfaces as a short count with
+ *    ferror()+errno==EINTR.
+ */
+
+#ifndef PT_BASE_FDIO_H
+#define PT_BASE_FDIO_H
+
+#include <cstddef>
+#include <cstdio>
+
+namespace pt::io
+{
+
+/**
+ * Reads exactly @p len bytes from @p fd into @p buf, retrying EINTR
+ * and short reads. @return true on success; false on EOF before @p
+ * len bytes or on a hard error (errno holds the cause; errno == 0
+ * means clean EOF).
+ */
+bool readFull(int fd, void *buf, std::size_t len);
+
+/**
+ * Writes exactly @p len bytes from @p buf to @p fd, retrying EINTR
+ * and short writes. @return true when all bytes were written.
+ */
+bool writeFull(int fd, const void *buf, std::size_t len);
+
+/**
+ * fread() until @p len bytes arrive, EOF, or a non-EINTR error.
+ * @return the number of bytes actually read (== @p len on success).
+ */
+std::size_t freadFull(void *buf, std::size_t len, std::FILE *f);
+
+/**
+ * fwrite() until @p len bytes are queued or a non-EINTR error.
+ * @return the number of bytes actually written (== @p len on success).
+ */
+std::size_t fwriteFull(const void *buf, std::size_t len, std::FILE *f);
+
+} // namespace pt::io
+
+#endif // PT_BASE_FDIO_H

@@ -11,7 +11,9 @@
 #ifndef PT_OBS_HOSTMEM_H
 #define PT_OBS_HOSTMEM_H
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 #include "base/types.h"
 
@@ -22,7 +24,14 @@
 namespace pt::obs
 {
 
-/** The process's current resident set size in bytes (0 if unknown). */
+/**
+ * The process's current resident set size in bytes, 0 if unknown.
+ * Every failure path — no /proc (non-Linux hosts, sandboxes), a
+ * short or malformed statm line — degrades to 0 so the gauges built
+ * on this simply stay unset instead of publishing garbage. Parsing
+ * uses strtoull (which saturates) rather than fscanf("%llu"), whose
+ * behavior on out-of-range input is undefined.
+ */
 inline u64
 residentSetBytes()
 {
@@ -30,11 +39,22 @@ residentSetBytes()
     std::FILE *f = std::fopen("/proc/self/statm", "r");
     if (!f)
         return 0;
-    unsigned long long pagesTotal = 0, pagesResident = 0;
-    const int n =
-        std::fscanf(f, "%llu %llu", &pagesTotal, &pagesResident);
+    char line[256];
+    const bool got = std::fgets(line, sizeof(line), f) != nullptr;
     std::fclose(f);
-    if (n != 2)
+    if (!got)
+        return 0;
+    // statm := size resident shared ... — we want field two.
+    char *p = line;
+    std::strtoull(p, &p, 10); // size (pages), discarded
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p)))
+        return 0;
+    char *end = nullptr;
+    const unsigned long long pagesResident =
+        std::strtoull(p, &end, 10);
+    if (end == p)
         return 0;
     const long pageSize = sysconf(_SC_PAGESIZE);
     return static_cast<u64>(pagesResident) *

@@ -1,0 +1,784 @@
+#include "client.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "base/fdio.h"
+#include "base/fnv.h"
+#include "serve/protocol.h"
+#include "super/journal.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace pt::serve
+{
+
+namespace
+{
+
+/** The per-session measure a JobDone carries — same field set (and
+ *  journal blob encoding) as the local fleet's FleetMeasure, so the
+ *  CSV rows render identically. */
+struct Measure
+{
+    u64 events = 0;
+    u64 traceBytes = 0;
+    u64 ramRefs = 0;
+    u64 flashRefs = 0;
+    u64 instructions = 0;
+    u64 cycles = 0;
+};
+
+std::vector<u8>
+measureBlob(const Measure &m)
+{
+    BinWriter w;
+    w.put64(m.events);
+    w.put64(m.traceBytes);
+    w.put64(m.ramRefs);
+    w.put64(m.flashRefs);
+    w.put64(m.instructions);
+    w.put64(m.cycles);
+    return w.takeBytes();
+}
+
+bool
+measureFromBlob(const std::vector<u8> &blob, Measure &m)
+{
+    BinReader r(blob);
+    m.events = r.get64();
+    m.traceBytes = r.get64();
+    m.ramRefs = r.get64();
+    m.flashRefs = r.get64();
+    m.instructions = r.get64();
+    m.cycles = r.get64();
+    return r.ok() && r.atEnd();
+}
+
+/** RemoteFleet journal extra: the endpoint plus the spec list, so a
+ *  resume can rebuild the run without the original command line. */
+std::vector<u8>
+remoteExtra(const std::string &endpoint,
+            const std::vector<workload::SessionSpec> &specs)
+{
+    BinWriter w;
+    w.putString(endpoint);
+    w.put32(static_cast<u32>(specs.size()));
+    for (const workload::SessionSpec &s : specs)
+        putSessionSpec(w, s);
+    return w.takeBytes();
+}
+
+bool
+parseRemoteExtra(const std::vector<u8> &extra, std::string &endpoint,
+                 std::vector<workload::SessionSpec> &specs)
+{
+    BinReader r(extra);
+    endpoint = r.getString();
+    const u32 n = r.get32();
+    if (!r.ok())
+        return false;
+    specs.clear();
+    specs.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+        workload::SessionSpec s;
+        if (!getSessionSpec(r, s))
+            return false;
+        specs.push_back(std::move(s));
+    }
+    return r.ok() && r.atEnd();
+}
+
+#ifndef _WIN32
+
+int
+connectEndpoint(const std::string &endpoint, std::string *errOut)
+{
+    int fd = -1;
+    if (endpoint.rfind("tcp:", 0) == 0) {
+        const int port = std::atoi(endpoint.c_str() + 4);
+        if (port <= 0 || port > 65535) {
+            if (errOut)
+                *errOut = "bad TCP endpoint '" + endpoint + "'";
+            return -1;
+        }
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            if (errOut)
+                *errOut = std::strerror(errno);
+            return -1;
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<u16>(port));
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            if (errOut) {
+                *errOut = "connect " + endpoint + ": " +
+                          std::strerror(errno);
+            }
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.size() >= sizeof(addr.sun_path)) {
+        if (errOut)
+            *errOut = "socket path too long: " + endpoint;
+        return -1;
+    }
+    std::memcpy(addr.sun_path, endpoint.c_str(), endpoint.size() + 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (errOut)
+            *errOut = std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (errOut) {
+            *errOut =
+                "connect " + endpoint + ": " + std::strerror(errno);
+        }
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** One in-flight (or settled) fleet item on the client side. */
+struct ItemCtx
+{
+    enum class Phase : u8
+    {
+        Pending,
+        Submitted,
+        Done,
+        Failed,
+        Skipped, ///< resume: intact artifact on disk
+    };
+
+    Phase phase = Phase::Pending;
+    std::FILE *tmp = nullptr;
+    std::string tmpPath;
+    u64 expect = 0; ///< next expected stream offset
+    Measure m;
+    std::string error;
+};
+
+bool
+cancelled(const super::JobOptions &jo)
+{
+    return jo.globalCancel != nullptr && jo.globalCancel->cancelled();
+}
+
+void
+footerBestEffort(super::JournalWriter *journal,
+                 const super::JournalFooter &f)
+{
+    if (journal != nullptr && journal->ok())
+        journal->appendFooter(f);
+}
+
+/**
+ * The shared engine behind runRemoteFleet and resumeRemoteFleetJob.
+ * Submits every non-skipped spec (a bounded window in flight),
+ * demultiplexes TraceChunk streams into per-item .tmp files, verifies
+ * each finished trace's FNV-64 before renaming it into place, then
+ * writes the local-fleet-format CSV. A drain, a connection loss, or
+ * a cancel leaves finished traces plus a resumable journal — never a
+ * partial artifact.
+ */
+super::JobResult
+remoteFleetCore(const std::vector<workload::SessionSpec> &specs,
+                const std::string &outBase, const std::string &endpoint,
+                unsigned maxInflight, const super::JobSpec &spec,
+                super::JournalWriter *journal, std::vector<bool> skip,
+                const std::vector<super::ItemRecord> &prior,
+                const super::JobOptions &jo)
+{
+    super::JobResult res;
+    res.outPath = spec.outPath;
+    const std::size_t n = specs.size();
+
+    // A peer that drops the connection mid-write must surface as a
+    // send failure, not a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::string cerr;
+    const int fd = connectEndpoint(endpoint, &cerr);
+    if (fd < 0) {
+        res.error = "cannot reach server: " + cerr;
+        return res;
+    }
+
+    std::vector<ItemCtx> items(n);
+    res.super.outcomes.resize(n);
+    res.super.quarantined.assign(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i < skip.size() && skip[i]) {
+            items[i].phase = ItemCtx::Phase::Skipped;
+            ++res.super.itemsSkipped;
+        }
+        items[i].tmpPath = super::fleetTracePath(outBase, i) + ".tmp";
+    }
+
+    // Failure-path bookkeeping, shared by every early exit: close and
+    // remove any half-streamed .tmp so nothing partial survives.
+    auto dropTmp = [&](ItemCtx &it) {
+        if (it.tmp != nullptr) {
+            std::fclose(it.tmp);
+            it.tmp = nullptr;
+        }
+        std::remove(it.tmpPath.c_str());
+    };
+    auto failItem = [&](std::size_t i, const std::string &why) {
+        ItemCtx &it = items[i];
+        dropTmp(it);
+        it.phase = ItemCtx::Phase::Failed;
+        it.error = why;
+        if (res.super.firstError.empty())
+            res.super.firstError = why;
+        if (journal != nullptr && journal->ok()) {
+            super::ItemRecord rec;
+            rec.item = i;
+            rec.state = super::ItemState::Quarantined;
+            rec.attempt = 1;
+            rec.error = why;
+            journal->appendItem(rec);
+        }
+    };
+    auto closeAll = [&]() {
+        for (ItemCtx &it : items) {
+            if (it.phase == ItemCtx::Phase::Submitted ||
+                it.tmp != nullptr) {
+                dropTmp(it);
+            }
+        }
+        ::close(fd);
+    };
+
+    // Handshake: the version must match before any job travels.
+    if (!sendFrame(fd, MsgType::Hello, encodeHello())) {
+        closeAll();
+        res.error = "cannot greet server: " +
+                    std::string(std::strerror(errno));
+        return res;
+    }
+    MsgType type{};
+    std::vector<u8> payload;
+    if (auto r = recvFrame(fd, type, payload); !r) {
+        closeAll();
+        res.error = "handshake failed: " + r.message();
+        return res;
+    }
+    HelloOkMsg hello;
+    if (type != MsgType::HelloOk ||
+        !HelloOkMsg::decode(payload, hello)) {
+        if (type == MsgType::Error) {
+            ErrorMsg em;
+            if (ErrorMsg::decode(payload, em)) {
+                closeAll();
+                res.error = "server refused handshake: " +
+                            (em.err.field + ": " + em.err.reason);
+                return res;
+            }
+        }
+        closeAll();
+        res.error = "handshake failed: unexpected " +
+                    std::string(msgTypeName(type)) + " frame";
+        return res;
+    }
+    if (hello.version != kProtocolVersion) {
+        closeAll();
+        res.error = "server speaks protocol version " +
+                    std::to_string(hello.version) + ", not " +
+                    std::to_string(kProtocolVersion);
+        return res;
+    }
+    // Keep every worker fed without flooding the admission queue:
+    // twice the pool width in flight is enough to hide the stream
+    // round-trip, and Busy backpressure absorbs any overshoot.
+    unsigned window = maxInflight != 0
+                          ? maxInflight
+                          : (hello.jobs > 0 ? hello.jobs * 2 : 2);
+    if (window == 0)
+        window = 1;
+
+    std::size_t nextSubmit = 0;
+    u64 inflight = 0;
+    bool admissionOpen = true;
+    bool drainSeen = false;
+    bool connLost = false;
+    std::string connError;
+
+    auto pendingLeft = [&]() {
+        for (std::size_t i = nextSubmit; i < n; ++i) {
+            if (items[i].phase == ItemCtx::Phase::Pending)
+                return true;
+        }
+        return false;
+    };
+
+    while (!cancelled(jo)) {
+        // Submit up to the window while admission is open.
+        while (admissionOpen && inflight < window &&
+               nextSubmit < n && !cancelled(jo)) {
+            if (items[nextSubmit].phase != ItemCtx::Phase::Pending) {
+                ++nextSubmit;
+                continue;
+            }
+            SubmitMsg sub;
+            sub.jobId = static_cast<u64>(nextSubmit) + 1;
+            sub.blockCapacity = spec.blockCapacity;
+            sub.spec = specs[nextSubmit];
+            if (!sendFrame(fd, MsgType::Submit, sub.encode())) {
+                connLost = true;
+                connError = "connection lost on submit: " +
+                            std::string(std::strerror(errno));
+                break;
+            }
+            items[nextSubmit].phase = ItemCtx::Phase::Submitted;
+            ++inflight;
+            ++nextSubmit;
+        }
+        if (connLost)
+            break;
+        if (inflight == 0) {
+            if (!admissionOpen || !pendingLeft())
+                break; // settled (or drained out)
+            continue;
+        }
+
+        // Wait for traffic in short slices so a SIGINT lands fast.
+        pollfd pfd{fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr < 0 && errno != EINTR) {
+            connLost = true;
+            connError = "poll: " + std::string(std::strerror(errno));
+            break;
+        }
+        if (pr <= 0)
+            continue;
+
+        if (auto r = recvFrame(fd, type, payload); !r) {
+            connLost = true;
+            connError = "connection lost: " + r.message();
+            break;
+        }
+
+        switch (type) {
+          case MsgType::Accepted: {
+            u64 jobId = 0;
+            u32 depth = 0;
+            decodeJobRef(payload, jobId, depth);
+            break; // the queue took it; results will stream
+          }
+          case MsgType::Busy: {
+            BusyMsg busy;
+            if (!BusyMsg::decode(payload, busy) || busy.jobId == 0 ||
+                busy.jobId > n) {
+                connLost = true;
+                connError = "malformed busy frame";
+                break;
+            }
+            const std::size_t i =
+                static_cast<std::size_t>(busy.jobId - 1);
+            --inflight;
+            if (busy.reason == "draining" ||
+                busy.field == "server") {
+                // The server is shutting down: stop submitting and
+                // let in-flight jobs finish; the rest resumes later.
+                admissionOpen = false;
+                drainSeen = true;
+                items[i].phase = ItemCtx::Phase::Pending;
+            } else {
+                // Queue full: back off briefly and resubmit.
+                items[i].phase = ItemCtx::Phase::Pending;
+                if (i < nextSubmit)
+                    nextSubmit = i;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+            break;
+          }
+          case MsgType::TraceChunk: {
+            TraceChunkHeader hdr;
+            const u8 *data = nullptr;
+            std::size_t len = 0;
+            if (!decodeTraceChunk(payload, hdr, &data, &len) ||
+                hdr.jobId == 0 || hdr.jobId > n) {
+                connLost = true;
+                connError = "malformed trace chunk";
+                break;
+            }
+            const std::size_t i =
+                static_cast<std::size_t>(hdr.jobId - 1);
+            ItemCtx &it = items[i];
+            if (it.phase != ItemCtx::Phase::Submitted ||
+                !it.error.empty()) {
+                break; // already failing; drain the stream
+            }
+            if (hdr.offset != it.expect) {
+                it.error = "trace stream out of order";
+                break;
+            }
+            if (it.tmp == nullptr) {
+                it.tmp = std::fopen(it.tmpPath.c_str(), "wb");
+                if (it.tmp == nullptr) {
+                    it.error = "cannot open " + it.tmpPath + ": " +
+                               std::strerror(errno);
+                    break;
+                }
+            }
+            if (io::fwriteFull(data, len, it.tmp) != len) {
+                it.error = "write " + it.tmpPath + ": " +
+                           std::strerror(errno);
+                break;
+            }
+            it.expect += len;
+            break;
+          }
+          case MsgType::JobDone: {
+            JobDoneMsg done;
+            if (!JobDoneMsg::decode(payload, done) ||
+                done.jobId == 0 || done.jobId > n) {
+                connLost = true;
+                connError = "malformed job-done frame";
+                break;
+            }
+            const std::size_t i =
+                static_cast<std::size_t>(done.jobId - 1);
+            ItemCtx &it = items[i];
+            --inflight;
+            if (!it.error.empty()) {
+                failItem(i, it.error);
+                break;
+            }
+            if (it.tmp == nullptr) {
+                failItem(i, "job finished without streaming a trace");
+                break;
+            }
+            if (std::fclose(it.tmp) != 0) {
+                it.tmp = nullptr;
+                failItem(i, "close " + it.tmpPath + ": " +
+                                std::strerror(errno));
+                break;
+            }
+            it.tmp = nullptr;
+            if (it.expect != done.traceBytes) {
+                failItem(i, "trace stream short: got " +
+                                std::to_string(it.expect) + " of " +
+                                std::to_string(done.traceBytes) +
+                                " bytes");
+                break;
+            }
+            bool fnvOk = false;
+            const u64 f = super::fnvFile(it.tmpPath, &fnvOk);
+            if (!fnvOk || f != done.traceFnv) {
+                failItem(i, "trace checksum mismatch after "
+                            "streaming");
+                break;
+            }
+            const std::string finalPath =
+                super::fleetTracePath(outBase, i);
+            if (std::rename(it.tmpPath.c_str(),
+                            finalPath.c_str()) != 0) {
+                failItem(i, "rename " + finalPath + ": " +
+                                std::strerror(errno));
+                break;
+            }
+            it.phase = ItemCtx::Phase::Done;
+            it.m = {done.events,       done.traceBytes,
+                    done.ramRefs,      done.flashRefs,
+                    done.instructions, done.cycles};
+            ++res.super.itemsDone;
+            super::ItemOutcome &oc = res.super.outcomes[i];
+            oc.ok = true;
+            oc.artifact = finalPath;
+            oc.artifactFnv = done.traceFnv;
+            oc.blob = measureBlob(it.m);
+            if (journal != nullptr && journal->ok()) {
+                super::ItemRecord rec;
+                rec.item = i;
+                rec.state = super::ItemState::Done;
+                rec.attempt = 1;
+                rec.artifact = finalPath;
+                rec.artifactFnv = done.traceFnv;
+                rec.blob = oc.blob;
+                journal->appendItem(rec);
+            }
+            break;
+          }
+          case MsgType::Error: {
+            ErrorMsg em;
+            if (!ErrorMsg::decode(payload, em)) {
+                connLost = true;
+                connError = "malformed error frame";
+                break;
+            }
+            if (em.jobId == 0 || em.jobId > n) {
+                // Connection-scoped error: the server rejected our
+                // framing; nothing else will arrive.
+                connLost = true;
+                connError = "server error: " + (em.err.field + ": " + em.err.reason);
+                break;
+            }
+            const std::size_t i =
+                static_cast<std::size_t>(em.jobId - 1);
+            --inflight;
+            failItem(i, "server: " + (em.err.field + ": " + em.err.reason));
+            break;
+          }
+          default:
+            connLost = true;
+            connError = "unexpected " +
+                        std::string(msgTypeName(type)) + " frame";
+            break;
+        }
+        if (connLost)
+            break;
+    }
+
+    const bool wasCancelled = cancelled(jo);
+    if (wasCancelled) {
+        // Best-effort server-side cancellation, then stop reading:
+        // half-streamed tmps are dropped; the journal resumes them.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (items[i].phase == ItemCtx::Phase::Submitted) {
+                sendFrame(fd, MsgType::Cancel,
+                          encodeJobRef(static_cast<u64>(i) + 1));
+            }
+        }
+    }
+    if (wasCancelled || drainSeen || connLost) {
+        closeAll();
+        footerBestEffort(journal,
+                         {super::JobStatus::Interrupted, 0,
+                          connLost ? connError : "interrupted"});
+        res.interrupted = !connLost;
+        res.super.interrupted = res.interrupted;
+        if (connLost)
+            res.error = connError;
+        return res; // finished traces stay for the resume
+    }
+    ::close(fd);
+
+    // Settled: render the fleet CSV — the exact local format, so
+    // `trace diff`/cmp prove remote == local byte-for-byte.
+    std::string csv =
+        "session,status,trace,events,trace_bytes,ram_refs,flash_refs,"
+        "instructions,cycles\n";
+    for (std::size_t i = 0; i < n; ++i) {
+        csv += specs[i].name;
+        Measure m;
+        bool haveMeasure = false;
+        if (items[i].phase == ItemCtx::Phase::Done) {
+            m = items[i].m;
+            haveMeasure = true;
+        } else if (items[i].phase == ItemCtx::Phase::Skipped &&
+                   i < prior.size()) {
+            haveMeasure = measureFromBlob(prior[i].blob, m);
+        }
+        if (!haveMeasure) {
+            res.super.quarantined[i] = true;
+            ++res.super.itemsQuarantined;
+            if (res.super.outcomes[i].error.empty())
+                res.super.outcomes[i].error = items[i].error;
+            csv += ",quarantined,,0,0,0,0,0,0\n";
+            continue;
+        }
+        csv += ",ok,";
+        csv += super::fleetTracePath(outBase, i);
+        csv += ',' + std::to_string(m.events);
+        csv += ',' + std::to_string(m.traceBytes);
+        csv += ',' + std::to_string(m.ramRefs);
+        csv += ',' + std::to_string(m.flashRefs);
+        csv += ',' + std::to_string(m.instructions);
+        csv += ',' + std::to_string(m.cycles);
+        csv += '\n';
+    }
+
+    BinWriter w;
+    w.putBytes(csv.data(), csv.size());
+    std::string err;
+    if (!w.writeFile(spec.outPath, &err)) {
+        res.error = "write " + spec.outPath + ": " + err;
+        return res;
+    }
+    res.outFnv = fnv64(csv.data(), csv.size());
+    res.degraded = res.super.itemsQuarantined > 0;
+    res.super.ok = true;
+    footerBestEffort(
+        journal,
+        {res.degraded ? super::JobStatus::Degraded
+                      : super::JobStatus::Complete,
+         res.outFnv, res.degraded ? res.super.firstError : ""});
+    res.ok = true;
+    return res;
+}
+
+#endif // !_WIN32
+
+} // namespace
+
+#ifndef _WIN32
+
+super::JobResult
+runRemoteFleet(const std::vector<workload::SessionSpec> &specs,
+               const std::string &outBase, const ClientOptions &co,
+               const super::JobOptions &jo)
+{
+    super::JobResult res;
+    res.outPath = outBase + ".csv";
+
+    super::JobSpec spec;
+    spec.kind = super::JobKind::RemoteFleet;
+    spec.sessionPath = outBase;
+    spec.outPath = outBase + ".csv";
+    spec.blockCapacity = jo.blockCapacity;
+    spec.totalItems = specs.size();
+    spec.maxAttempts = 1;
+    spec.backoffSeed = jo.backoffSeed;
+    spec.jobs = co.maxInflight;
+    spec.extra = remoteExtra(co.endpoint, specs);
+    spec.bindFingerprint =
+        fnv64(spec.extra.data(), spec.extra.size());
+
+    super::JournalWriter journal;
+    super::JournalWriter *jptr = nullptr;
+    if (!jo.journalPath.empty()) {
+        std::string err;
+        if (!journal.open(jo.journalPath, spec, &err)) {
+            res.error = "cannot open journal: " + err;
+            return res;
+        }
+        jptr = &journal;
+    }
+    return remoteFleetCore(specs, outBase, co.endpoint, co.maxInflight,
+                           spec, jptr, {}, {}, jo);
+}
+
+super::JobResult
+resumeRemoteFleetJob(const std::string &journalPath,
+                     const std::string &endpointOverride,
+                     const super::JobOptions &jo)
+{
+    super::JobResult res;
+    super::JournalData data;
+    if (auto r = super::loadJournal(journalPath, data); !r) {
+        res.error = "cannot load journal " + journalPath + ": " +
+                    r.message();
+        return res;
+    }
+    res.outPath = data.spec.outPath;
+    if (data.spec.kind != super::JobKind::RemoteFleet) {
+        res.error = "journal records a " +
+                    std::string(super::jobKindName(data.spec.kind)) +
+                    " job, not a remote fleet";
+        return res;
+    }
+    if (data.hasFooter &&
+        data.footer.status != super::JobStatus::Interrupted) {
+        res.ok = true;
+        res.nothingToDo = true;
+        res.outFnv = data.footer.outFnv;
+        res.degraded =
+            data.footer.status == super::JobStatus::Degraded;
+        return res;
+    }
+
+    std::string endpoint;
+    std::vector<workload::SessionSpec> specs;
+    if (!parseRemoteExtra(data.spec.extra, endpoint, specs) ||
+        specs.size() != data.spec.totalItems) {
+        res.error = "journalled remote-fleet specs are corrupt";
+        return res;
+    }
+    if (fnv64(data.spec.extra.data(), data.spec.extra.size()) !=
+        data.spec.bindFingerprint) {
+        res.error = "journalled remote-fleet specs fail their "
+                    "binding fingerprint";
+        return res;
+    }
+    if (!endpointOverride.empty())
+        endpoint = endpointOverride;
+
+    const std::string &outBase = data.spec.sessionPath;
+    std::vector<super::ItemRecord> latest = data.latestPerItem();
+    std::vector<bool> skip(latest.size(), false);
+    for (std::size_t i = 0; i < latest.size(); ++i) {
+        Measure m;
+        if (latest[i].state != super::ItemState::Done ||
+            !measureFromBlob(latest[i].blob, m)) {
+            continue;
+        }
+        bool ok = false;
+        const u64 f = super::fnvFile(latest[i].artifact, &ok);
+        skip[i] = ok && f == latest[i].artifactFnv;
+    }
+    for (std::size_t i = 0; i < data.spec.totalItems; ++i) {
+        std::remove(
+            (super::fleetTracePath(outBase, i) + ".tmp").c_str());
+    }
+    std::remove((data.spec.outPath + ".tmp").c_str());
+
+    super::JournalWriter journal;
+    super::JournalWriter *jptr = nullptr;
+    std::string err;
+    if (journal.openAppend(journalPath, data.validBytes, &err))
+        jptr = &journal;
+
+    return remoteFleetCore(specs, outBase, endpoint,
+                           data.spec.jobs, data.spec, jptr,
+                           std::move(skip), latest, jo);
+}
+
+#else // _WIN32
+
+super::JobResult
+runRemoteFleet(const std::vector<workload::SessionSpec> &,
+               const std::string &, const ClientOptions &,
+               const super::JobOptions &)
+{
+    super::JobResult res;
+    res.error = "palmtrace serve is not supported on this platform";
+    return res;
+}
+
+super::JobResult
+resumeRemoteFleetJob(const std::string &, const std::string &,
+                     const super::JobOptions &)
+{
+    super::JobResult res;
+    res.error = "palmtrace serve is not supported on this platform";
+    return res;
+}
+
+#endif // _WIN32
+
+bool
+isRemoteFleetJournal(const std::string &journalPath)
+{
+    super::JournalData data;
+    if (!super::loadJournal(journalPath, data))
+        return false;
+    return data.spec.kind == super::JobKind::RemoteFleet;
+}
+
+} // namespace pt::serve

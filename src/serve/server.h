@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The resident fleet server behind `palmtrace serve`.
+ *
+ * A Server owns one or two listening sockets (a Unix-domain socket,
+ * plus an optional TCP listener bound to the loopback), a bounded
+ * admission queue, and a pool of session workers. Each accepted
+ * connection gets a reader thread speaking the PTSF protocol
+ * (serve/protocol.h); Submit frames become queued session jobs; each
+ * job is executed exactly like a local `palmtrace fleet` item —
+ * collect the UserModel session on a COW device, replay it through a
+ * streaming PackedTraceWriter — then the finished trace is streamed
+ * back in TraceChunk frames and sealed with a JobDone carrying the
+ * whole-file FNV-64. Because the item is a pure function of its spec,
+ * the bytes a client reassembles are byte-identical to a local fleet
+ * run of the same spec.
+ *
+ * Production shape:
+ *  - admission is bounded: when the queue holds maxSessions jobs (or
+ *    the server is draining) a Submit earns a structured Busy
+ *    response instead of unbounded memory growth,
+ *  - every running session has a CancelToken; a per-session timeout
+ *    monitor cancels sessions that exceed sessionTimeoutMs, and a
+ *    client Cancel frame cancels its own job,
+ *  - requestDrain() (SIGTERM, a Shutdown frame) stops admission,
+ *    lets queued and in-flight jobs finish, flushes their streams,
+ *    then closes every connection and returns from waitDrained(),
+ *  - serve.* gauges (active_sessions, queue_depth, sessions_per_sec,
+ *    bytes_streamed, rss) are published through the process obs
+ *    registry, scrapeable in-band via a Stats frame.
+ */
+
+#ifndef PT_SERVE_SERVER_H
+#define PT_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/types.h"
+#include "serve/protocol.h"
+#include "trace/packedtrace.h"
+
+namespace pt::serve
+{
+
+/** Server knobs. */
+struct ServeOptions
+{
+    std::string socketPath;    ///< Unix-domain socket path (required)
+    int tcpPort = -1;          ///< loopback TCP port (-1 = off,
+                               ///< 0 = ephemeral; see Server::tcpPort)
+    unsigned jobs = 0;         ///< worker pool width (0 = hw default)
+    u32 maxSessions = 64;      ///< admission queue capacity
+    u64 sessionTimeoutMs = 0;  ///< per-session wall deadline (0 = off)
+    std::string scratchDir;    ///< server-side trace scratch
+                               ///< (default: alongside the socket)
+};
+
+/** Post-drain accounting. */
+struct ServeStats
+{
+    u64 sessionsDone = 0;
+    u64 sessionsFailed = 0;  ///< cancelled, timed out, or errored
+    u64 sessionsRejected = 0; ///< Busy responses sent
+    u64 bytesStreamed = 0;
+    u64 connections = 0;
+    u64 badFrames = 0; ///< malformed frames rejected
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Binds the sockets and spawns acceptors + workers. */
+    bool start(std::string *errOut = nullptr);
+
+    /** The bound TCP port (after start), -1 when TCP is off. */
+    int tcpPort() const { return boundTcpPort; }
+
+    /** Stops admission; queued and running jobs finish, streams
+     *  flush, then every thread exits. Idempotent. Not
+     *  async-signal-safe (it notifies a condition variable) — a
+     *  SIGTERM handler should set a flag the serving loop polls,
+     *  as `palmtrace serve` does. */
+    void requestDrain();
+
+    /** Blocks until a requested drain completes and returns the
+     *  final accounting. */
+    ServeStats waitDrained();
+
+    /** requestDrain() + waitDrained(). */
+    ServeStats stop();
+
+    bool draining() const
+    {
+        return drainFlag.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        u64 id = 0;
+        std::mutex writeMutex; ///< one frame writes atomically
+        std::atomic<bool> alive{true};
+
+        ~Connection();
+    };
+    using ConnPtr = std::shared_ptr<Connection>;
+
+    struct Job
+    {
+        ConnPtr conn;
+        u64 jobId = 0;
+        u32 blockCapacity = 0;
+        workload::SessionSpec spec;
+        CancelToken cancel;
+        std::atomic<bool> timedOut{false};
+        std::chrono::steady_clock::time_point started{};
+        std::atomic<bool> running{false};
+    };
+    using JobPtr = std::shared_ptr<Job>;
+
+    void acceptLoop(int listenFd);
+    void connectionLoop(ConnPtr conn);
+    void workerLoop();
+    void monitorLoop();
+    void runJob(const JobPtr &job);
+    bool sendOnConn(const ConnPtr &conn, MsgType type,
+                    const std::vector<u8> &payload);
+    void publishGauges();
+    void closeAllConnections();
+
+    ServeOptions opts;
+    int unixFd = -1;
+    int tcpFd = -1;
+    int boundTcpPort = -1;
+
+    std::vector<std::thread> acceptThreads;
+    std::vector<std::thread> workerThreads;
+    std::thread monitorThread;
+    std::mutex connMutex;
+    std::vector<ConnPtr> conns;
+    std::vector<std::thread> connThreads;
+    std::atomic<u64> nextConnId{1};
+    std::atomic<u64> nextScratchId{1};
+
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    std::deque<JobPtr> queue;
+    std::vector<JobPtr> active; ///< guarded by queueMutex
+    std::atomic<u64> queuedCount{0};
+    std::atomic<u64> activeCount{0};
+
+    std::atomic<bool> drainFlag{false};
+    std::atomic<bool> stopped{false};
+    std::mutex drainMutex;
+    std::condition_variable drainCv;
+    bool drained = false;
+    bool joinerActive = false;
+    ServeStats finalStats;
+
+    std::chrono::steady_clock::time_point startTime{};
+    std::atomic<u64> sessionsDone{0};
+    std::atomic<u64> sessionsFailed{0};
+    std::atomic<u64> sessionsRejected{0};
+    std::atomic<u64> bytesStreamed{0};
+    std::atomic<u64> connectionsSeen{0};
+    std::atomic<u64> badFrames{0};
+    bool started = false;
+};
+
+} // namespace pt::serve
+
+#endif // PT_SERVE_SERVER_H

@@ -41,6 +41,8 @@ jobKindName(JobKind k)
         return "session-batch";
       case JobKind::Fleet:
         return "fleet";
+      case JobKind::RemoteFleet:
+        return "remote-fleet";
     }
     return "?";
 }
@@ -104,7 +106,7 @@ LoadResult
 JobSpec::deserialize(BinReader &r, JobSpec &out)
 {
     u32 kind = r.get32();
-    if (kind > static_cast<u32>(JobKind::Fleet)) {
+    if (kind > static_cast<u32>(JobKind::RemoteFleet)) {
         return LoadResult::fail(r.offset(), "spec.kind",
                                 "unknown job kind " +
                                     std::to_string(kind));

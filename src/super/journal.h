@@ -65,6 +65,8 @@ enum class JobKind : u32
     PackedSweep = 2,  ///< cache sweep over a packed trace
     SessionBatch = 3, ///< batched synthetic-session replay
     Fleet = 4,        ///< fleet collect+replay to per-session traces
+    RemoteFleet = 5,  ///< fleet driven through a `palmtrace serve`
+                      ///< server; resumed by the serve client
 };
 
 const char *jobKindName(JobKind k);

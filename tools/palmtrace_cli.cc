@@ -104,6 +104,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/cancel.h"
@@ -125,6 +126,8 @@
 #include "obs/registry.h"
 #include "obs/timeseries.h"
 #include "obs/tracer.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "super/jobs.h"
 #include "super/journal.h"
 #include "trace/dinero.h"
@@ -167,6 +170,17 @@ onFatalSignal(int sig)
 /** Exit code for a run the user interrupted (128 + SIGINT). */
 constexpr int kExitInterrupted = 130;
 
+/** SIGTERM asks `palmtrace serve` to drain. The handler only sets
+ *  this flag (async-signal-safe); the serving loop polls it and
+ *  calls the (not signal-safe) drain machinery from normal code. */
+volatile std::sig_atomic_t gSigterm = 0;
+
+extern "C" void
+onSigterm(int)
+{
+    gSigterm = 1;
+}
+
 /** Tiny argv scanner. */
 struct Args
 {
@@ -190,6 +204,8 @@ struct Args
             "--timeseries-out", "--ts-interval", "--postmortem",
             "--metrics", "--timeseries",
             "--exec-mode",
+            "--socket", "--tcp", "--max-sessions",
+            "--session-timeout", "--scratch", "--remote",
         };
         for (const char *f : kValueFlags)
             if (!std::strcmp(flag, f))
@@ -243,7 +259,7 @@ struct Args
 const char *const kSubcommands[] = {
     "collect", "info", "replay", "validate", "fsck",  "stats",
     "sweep",   "trace", "epoch", "resume",   "disasm", "report",
-    "fleet",
+    "fleet",   "serve", "submit",
 };
 
 void
@@ -308,6 +324,23 @@ printUsage(std::FILE *to)
         "                     per session to BASE-session-<i>.ptpk and\n"
         "                     a summary CSV to BASE.csv; traces are\n"
         "                     byte-identical at any --jobs count\n"
+        "  serve --socket PATH [--tcp PORT] [--jobs N]\n"
+        "        [--max-sessions M] [--session-timeout MS]\n"
+        "        [--scratch DIR]\n"
+        "                     resident fleet server: accepts session\n"
+        "                     jobs over the PTSF socket protocol,\n"
+        "                     streams back packed traces and metrics;\n"
+        "                     SIGTERM (or a client shutdown frame)\n"
+        "                     drains in-flight sessions, then exits\n"
+        "  submit --socket PATH --out BASE [--count N] [--scale X]\n"
+        "         [--seed S] [--block N] [--journal FILE]\n"
+        "                     run a fleet through a resident server;\n"
+        "                     artifacts are byte-identical to a local\n"
+        "                     'palmtrace fleet' of the same specs\n"
+        "                     (--tcp PORT instead of --socket talks\n"
+        "                     to a TCP-loopback server)\n"
+        "  fleet --remote PATH ...\n"
+        "                     same as submit --socket PATH\n"
         "  disasm [--count N] disassemble the PilotOS ROM\n"
         "  report [--metrics M.json] [--timeseries T.jsonl]\n"
         "         [--journal J] [--postmortem P.json] [--out FILE]\n"
@@ -2278,11 +2311,142 @@ cmdFleet(const Args &a)
         jo.blockCapacity =
             static_cast<u32>(std::strtoul(b, nullptr, 0));
     }
+    if (const char *remote = a.value("--remote")) {
+        // Route the whole fleet through a resident server. The
+        // artifacts come back byte-identical, so the only visible
+        // difference is where the sessions ran.
+        if (a.has("--save-sessions")) {
+            std::fprintf(stderr,
+                         "fleet: --save-sessions is ignored with "
+                         "--remote (sessions live server-side)\n");
+        }
+        serve::ClientOptions co;
+        co.endpoint = remote;
+        return reportJob(
+            "fleet",
+            serve::runRemoteFleet(fleetSpecs(count, scale, seed), out,
+                                  co, jo));
+    }
     super::FleetOptions fo;
     fo.saveSessions = a.has("--save-sessions");
     return reportJob("fleet",
                      super::runFleetJob(fleetSpecs(count, scale, seed),
                                         out, jo, fo));
+}
+
+/** The server endpoint named by --socket PATH or --tcp PORT. */
+std::string
+endpointFrom(const Args &a)
+{
+    if (const char *s = a.value("--socket"))
+        return s;
+    if (const char *t = a.value("--tcp"))
+        return std::string("tcp:") + t;
+    return {};
+}
+
+/** `submit --socket PATH --out BASE`: a fleet through a resident
+ *  server, byte-identical to running it locally. */
+int
+cmdSubmit(const Args &a)
+{
+    const std::string endpoint = endpointFrom(a);
+    const char *out = a.value("--out");
+    if (endpoint.empty() || !out) {
+        std::fprintf(
+            stderr,
+            "usage: palmtrace submit (--socket PATH | --tcp PORT) "
+            "--out BASE [--count N] [--scale X] [--seed S] "
+            "[--block N] [--journal FILE]\n");
+        return 2;
+    }
+    unsigned count = static_cast<unsigned>(
+        std::strtoul(a.value("--count", "8"), nullptr, 0));
+    if (!count)
+        count = 8;
+    double scale = std::atof(a.value("--scale", "1"));
+    if (scale <= 0)
+        scale = 1.0;
+    const u64 seed =
+        std::strtoull(a.value("--seed", "1"), nullptr, 0);
+
+    super::JobOptions jo = jobOptionsFrom(a);
+    if (const char *b = a.value("--block")) {
+        jo.blockCapacity =
+            static_cast<u32>(std::strtoul(b, nullptr, 0));
+    }
+    serve::ClientOptions co;
+    co.endpoint = endpoint;
+    return reportJob(
+        "submit",
+        serve::runRemoteFleet(fleetSpecs(count, scale, seed), out, co,
+                              jo));
+}
+
+/** `serve --socket PATH`: the resident fleet server. Runs until
+ *  SIGTERM/SIGINT or a client Shutdown frame, then drains. */
+int
+cmdServe(const Args &a)
+{
+    const char *socket = a.value("--socket");
+    if (!socket) {
+        std::fprintf(
+            stderr,
+            "usage: palmtrace serve --socket PATH [--tcp PORT] "
+            "[--jobs N] [--max-sessions M] [--session-timeout MS] "
+            "[--scratch DIR]\n");
+        return 2;
+    }
+    serve::ServeOptions so;
+    so.socketPath = socket;
+    if (const char *t = a.value("--tcp"))
+        so.tcpPort = std::atoi(t);
+    so.maxSessions = static_cast<u32>(
+        std::strtoul(a.value("--max-sessions", "64"), nullptr, 0));
+    if (!so.maxSessions)
+        so.maxSessions = 64;
+    so.sessionTimeoutMs = std::strtoull(
+        a.value("--session-timeout", "0"), nullptr, 0);
+    if (const char *j = a.value("--jobs"))
+        so.jobs = static_cast<unsigned>(std::atoi(j));
+    if (const char *s = a.value("--scratch"))
+        so.scratchDir = s;
+
+    serve::Server server(so);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "serve: %s\n", err.c_str());
+        return 1;
+    }
+    std::signal(SIGTERM, onSigterm);
+    if (server.tcpPort() >= 0) {
+        std::printf("serve: listening on %s (tcp port %d)\n", socket,
+                    server.tcpPort());
+    } else {
+        std::printf("serve: listening on %s\n", socket);
+    }
+    std::fflush(stdout);
+
+    // The serving loop: all the work happens on the server's own
+    // threads; this thread just waits for a reason to drain. The
+    // signal handlers only set flags — the actual drain (condition
+    // variables, joins) runs here, in normal code.
+    while (!gSigterm && !gSigint.cancelled() && !server.draining()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("serve: draining\n");
+    std::fflush(stdout);
+    serve::ServeStats st = server.stop();
+    std::printf(
+        "serve: drained (%llu sessions, %llu failed, %llu rejected, "
+        "%llu bytes streamed, %llu connections, %llu bad frames)\n",
+        static_cast<unsigned long long>(st.sessionsDone),
+        static_cast<unsigned long long>(st.sessionsFailed),
+        static_cast<unsigned long long>(st.sessionsRejected),
+        static_cast<unsigned long long>(st.bytesStreamed),
+        static_cast<unsigned long long>(st.connections),
+        static_cast<unsigned long long>(st.badFrames));
+    return 0;
 }
 
 /** `resume JOURNAL`: pick a journalled job back up where it stopped. */
@@ -2299,6 +2463,13 @@ cmdResume(const Args &a)
     jo.globalCancel = &gSigint;
     if (const char *j = a.value("--jobs"))
         jo.jobs = static_cast<unsigned>(std::atoi(j));
+    // Remote-fleet journals are resumed by the serve client (the
+    // endpoint travels in the journal; --socket/--tcp override it).
+    if (serve::isRemoteFleetJournal(journal)) {
+        return reportJob("resume",
+                         serve::resumeRemoteFleetJob(
+                             journal, endpointFrom(a), jo));
+    }
     return reportJob("resume", super::resumeJob(journal, jo));
 }
 
@@ -2825,6 +2996,10 @@ dispatch(const std::string &cmd, const Args &rest)
         return cmdResume(rest);
     if (cmd == "fleet")
         return cmdFleet(rest);
+    if (cmd == "serve")
+        return cmdServe(rest);
+    if (cmd == "submit")
+        return cmdSubmit(rest);
     if (cmd == "report")
         return cmdReport(rest);
     if (cmd == "disasm")
